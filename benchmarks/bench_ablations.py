@@ -1,0 +1,37 @@
+"""Ablation benches: design choices DESIGN.md §6 calls out."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_ablation_nan_retry(benchmark, bench_scale, record_result):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("ablation_nan_retry", scale=bench_scale),
+    )
+    record_result(result)
+    by_label = {(row[0], row[1]): row[4] for row in result.rows}
+    # the extreme guard must strictly reduce collapses at 1000 flips
+    flips = max(row[0] for row in result.rows)
+    assert by_label[(flips, "no + extreme guard")] <= by_label[(flips, "yes")]
+
+
+def test_ablation_scrub(benchmark, bench_scale, record_result):
+    result = run_once(
+        benchmark, lambda: run_experiment("ablation_scrub", scale=bench_scale)
+    )
+    record_result(result)
+    raw = next(r for r in result.rows if r[0] == "raw")
+    scrubbed = next(r for r in result.rows if r[0] == "scrubbed")
+    assert scrubbed[2] <= raw[2]
+
+
+def test_ablation_optimizer_state(benchmark, bench_scale, record_result):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("ablation_optimizer_state", scale=bench_scale),
+    )
+    record_result(result)
+    with_opt = next(r for r in result.rows if r[0] == "yes")
+    assert with_opt[4] == "bit-identical"

@@ -1,0 +1,16 @@
+"""Per-bit sensitivity bench (Fig 2 extension)."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_bit_sensitivity(benchmark, bench_scale, record_result):
+    result = run_once(
+        benchmark, lambda: run_experiment("bit_sensitivity",
+                                          scale=bench_scale)
+    )
+    record_result(result)
+    by_bit = {row[0]: row[4] for row in result.rows}
+    assert by_bit[1] == 100.0  # exponent MSB always collapses
+    assert by_bit[0] == 0.0    # sign bit never does

@@ -1,0 +1,17 @@
+"""Churn-study bench (Table VIII extension)."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_churn_study(benchmark, bench_scale, record_result):
+    result = run_once(
+        benchmark, lambda: run_experiment("churn_study", scale=bench_scale)
+    )
+    record_result(result)
+    churn = {row[0]: row[3] for row in result.rows
+             if isinstance(row[3], (int, float))}
+    assert churn[0] == 0.0
+    if 1000 in churn and 1 in churn:
+        assert churn[1000] >= churn[1]

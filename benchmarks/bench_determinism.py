@@ -1,0 +1,16 @@
+"""Determinism-study bench (paper §V-A3 / Code 1)."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_determinism_study(benchmark, bench_scale, record_result):
+    result = run_once(
+        benchmark, lambda: run_experiment("determinism_study",
+                                          scale=bench_scale)
+    )
+    record_result(result)
+    verdicts = {(row[0], row[1]): row[4] for row in result.rows}
+    for framework in ("chainer_like", "torch_like", "tf_like"):
+        assert verdicts[(framework, "fusion off (Code 1)")] == "bit-identical"

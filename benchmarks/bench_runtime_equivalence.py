@@ -1,0 +1,16 @@
+"""Runtime-vs-checkpoint equivalence bench (methodology validation)."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_runtime_equivalence(benchmark, bench_scale, record_result):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("runtime_equivalence", scale=bench_scale),
+    )
+    record_result(result)
+    for row in result.rows:
+        assert row[3] == "identical", row
+        assert row[4] == "identical", row

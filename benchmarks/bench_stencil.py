@@ -1,0 +1,15 @@
+"""Stencil-study bench (paper §VI-5 extension)."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_stencil_study(benchmark, bench_scale, record_result):
+    result = run_once(
+        benchmark, lambda: run_experiment("stencil_study", scale=bench_scale)
+    )
+    record_result(result)
+    verdicts = {row[0]: row[3] for row in result.rows}
+    assert verdicts["clean restart"] == "recovered"
+    assert verdicts["mantissa flips (first_bit=12)"] == "recovered"

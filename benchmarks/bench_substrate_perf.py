@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the substrates (real repeated-round measurements):
+HDF5 write/read, in-place corruption throughput, and training-step rate."""
+
+import numpy as np
+import pytest
+
+from repro import hdf5
+from repro.data import synthetic_cifar10
+from repro.injector import CheckpointCorrupter, InjectorConfig
+from repro.models import build_model
+from repro.nn import SGD, Trainer, rng
+
+
+@pytest.fixture(scope="module")
+def payload():
+    gen = np.random.default_rng(0)
+    return {f"layer_{i}/W": gen.standard_normal((64, 64)).astype(np.float32)
+            for i in range(32)}
+
+
+def write_checkpoint(path, payload):
+    with hdf5.File(path, "w") as f:
+        for name, data in payload.items():
+            f.create_dataset(name, data=data)
+
+
+def test_hdf5_write_throughput(benchmark, tmp_path, payload):
+    path = str(tmp_path / "w.h5")
+    benchmark(write_checkpoint, path, payload)
+
+
+def test_hdf5_read_throughput(benchmark, tmp_path, payload):
+    path = str(tmp_path / "r.h5")
+    write_checkpoint(path, payload)
+
+    def read_all():
+        with hdf5.File(path, "r") as f:
+            return sum(d.read().size for d in f.datasets())
+
+    total = benchmark(read_all)
+    assert total == 32 * 64 * 64
+
+
+def test_injector_flip_rate(benchmark, tmp_path, payload):
+    path = str(tmp_path / "c.h5")
+    write_checkpoint(path, payload)
+    config = InjectorConfig(hdf5_file=path, injection_attempts=1000,
+                            float_precision=32, seed=1)
+
+    def campaign():
+        return CheckpointCorrupter(config).corrupt()
+
+    result = benchmark(campaign)
+    assert result.successes == 1000
+
+
+@pytest.mark.parametrize("model_name", ["alexnet", "vgg16", "resnet50"])
+def test_training_epoch_rate(benchmark, model_name):
+    rng.seed_all(1)
+    image_size = 16 if model_name == "resnet50" else 32
+    train, _ = synthetic_cifar10(train_size=60, test_size=50,
+                                 image_size=image_size)
+    model = build_model(model_name, width_mult=0.0625,
+                        image_size=image_size)
+    trainer = Trainer(model, SGD(lr=0.01), batch_size=32)
+    benchmark.pedantic(
+        lambda: trainer.run_epoch(train.images, train.labels),
+        rounds=3, iterations=1,
+    )

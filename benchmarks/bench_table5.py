@@ -1,0 +1,13 @@
+"""Regenerate the paper's table5 (see DESIGN.md §4 for the mapping)."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_table5_regenerate(benchmark, bench_scale, record_result):
+    result = run_once(
+        benchmark, lambda: run_experiment("table5", scale=bench_scale)
+    )
+    record_result(result)
+    assert result.rows, "experiment produced no rows"

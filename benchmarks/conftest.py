@@ -1,0 +1,53 @@
+"""Shared benchmark fixtures.
+
+Every table/figure bench regenerates its experiment once (rounds=1 — these
+are end-to-end harness runs, not micro-benchmarks) at the scale given by
+``REPRO_BENCH_SCALE`` (default ``tiny``), prints the rendered table/figure,
+and archives it under ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_result(results_dir):
+    """Return a callback that archives an ExperimentResult and prints it."""
+
+    def _record(result):
+        path = results_dir / f"{result.experiment_id}.txt"
+        path.write_text(
+            f"{result.rendered}\n\n[scale={BENCH_SCALE}]\n",
+            encoding="utf-8",
+        )
+        json_payload = result.to_json()
+        (results_dir / f"{result.experiment_id}.json").write_text(
+            json_payload, encoding="utf-8"
+        )
+        print()
+        print(result.rendered)
+        return result
+
+    return _record
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

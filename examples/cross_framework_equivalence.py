@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Equivalent injection across frameworks (paper §IV-C / Fig 5).
+
+Records the exact bit-flip sequence applied to the first convolutional layer
+of a Chainer-style AlexNet checkpoint, then replays it — same flips, same
+order, same model location — on PyTorch- and TensorFlow-style checkpoints
+whose HDF5 layouts differ (paths, kernel layouts).  All three trainings are
+then resumed and compared.
+
+Usage: python examples/cross_framework_equivalence.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.experiments.common import (
+    BaselineCache,
+    SCALES,
+    SessionSpec,
+    corrupted_copy,
+    resume_training,
+)
+from repro.frameworks import get_facade
+from repro.injector import (
+    CheckpointCorrupter,
+    InjectorConfig,
+    build_location_map,
+    replay_log,
+)
+from repro.experiments.common import build_session_model
+
+SCALE = SCALES["tiny"]
+SEED = 42
+FLIPS = 1000
+
+
+def main():
+    cache = BaselineCache()
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = Path(tmp)
+
+        # 1. corrupt conv1 of the Chainer checkpoint, saving the log
+        source_spec = SessionSpec("chainer_like", "alexnet", SCALE, seed=SEED)
+        source_baseline = cache.get(source_spec)
+        source_facade = get_facade("chainer_like")
+        source_table = source_facade.layer_location_table(
+            build_session_model(source_spec)
+        )
+        source_ckpt = corrupted_copy(source_baseline.checkpoint_path,
+                                     str(workdir), "chainer")
+        result = CheckpointCorrupter(InjectorConfig(
+            hdf5_file=source_ckpt, injection_attempts=FLIPS,
+            corruption_mode="bit_range", first_bit=2, float_precision=32,
+            locations_to_corrupt=[source_table["conv1"]],
+            use_random_locations=False, seed=SEED,
+        )).corrupt()
+        log_path = workdir / "conv1_flips.json"
+        result.log.save(log_path)
+        print(f"chainer_like: injected {result.successes} flips into "
+              f"{source_table['conv1']}; log -> {log_path.name}")
+        summary = result.log.summary()
+        print(f"  distinct bit positions flipped: "
+              f"{len(summary['per_bit_msb'])}")
+
+        outcome = resume_training(source_spec, source_ckpt,
+                                  epochs=SCALE.resume_epochs)
+        print(f"  resumed accuracy: "
+              f"{[f'{a:.3f}' for a in outcome.accuracy_curve]}")
+
+        # 2. replay on the other frameworks via location remapping
+        for target in ("torch_like", "tf_like"):
+            spec = SessionSpec(target, "alexnet", SCALE, seed=SEED)
+            baseline = cache.get(spec)
+            facade = get_facade(target)
+            target_table = facade.layer_location_table(
+                build_session_model(spec)
+            )
+            location_map = build_location_map(source_table, target_table)
+            ckpt = corrupted_copy(baseline.checkpoint_path, str(workdir),
+                                  target)
+            replay = replay_log(ckpt, result.log,
+                                location_map=location_map, seed=SEED)
+            print(f"\n{target}: replayed {replay.replayed}/{len(result.log)} "
+                  f"flips at {target_table['conv1']}")
+            outcome = resume_training(spec, ckpt, epochs=SCALE.resume_epochs)
+            print(f"  resumed accuracy: "
+                  f"{[f'{a:.3f}' for a in outcome.accuracy_curve]}")
+            reference = baseline.resumed_curve[:SCALE.resume_epochs]
+            print(f"  error-free ref:   {[f'{a:.3f}' for a in reference]}")
+
+
+if __name__ == "__main__":
+    main()

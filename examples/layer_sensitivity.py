@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Per-layer fault sensitivity (paper Fig 4 / Fig 6).
+
+Injects 1000 bit-flips into the first, middle, and last layers of AlexNet
+(Chainer-style checkpoint), resumes training, and reports both the accuracy
+trajectories (Fig 4) and the weight-difference box plots against the clean
+continuation (Fig 6).
+
+Usage: python examples/layer_sensitivity.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro.analysis import (
+    BoxplotStats,
+    render_boxplots,
+    render_curves,
+    weight_differences,
+)
+from repro.experiments.common import (
+    BaselineCache,
+    SCALES,
+    SessionSpec,
+    build_session_model,
+    corrupted_copy,
+    resume_training,
+)
+from repro.frameworks import get_facade
+from repro.injector import CheckpointCorrupter, InjectorConfig
+from repro.models import INJECTION_LAYERS
+
+SCALE = SCALES["tiny"]
+SEED = 42
+FLIPS = 1000
+
+
+def main():
+    cache = BaselineCache()
+    spec = SessionSpec("chainer_like", "alexnet", SCALE, seed=SEED)
+    baseline = cache.get(spec)
+    facade = get_facade("chainer_like")
+    table = facade.layer_location_table(build_session_model(spec))
+    first, middle, last = INJECTION_LAYERS["alexnet"]
+
+    clean = resume_training(spec, baseline.checkpoint_path,
+                            epochs=SCALE.resume_epochs, keep_model=True)
+    curves = {"baseline": clean.accuracy_curve}
+    boxplots = {}
+
+    with tempfile.TemporaryDirectory() as workdir:
+        for label, layer in (("first", first), ("middle", middle),
+                             ("last", last)):
+            path = corrupted_copy(baseline.checkpoint_path, workdir, label)
+            CheckpointCorrupter(InjectorConfig(
+                hdf5_file=path, injection_attempts=FLIPS,
+                corruption_mode="bit_range", first_bit=2,
+                float_precision=32,
+                locations_to_corrupt=[table[layer]],
+                use_random_locations=False, seed=SEED,
+            )).corrupt()
+            outcome = resume_training(spec, path, epochs=SCALE.resume_epochs,
+                                      keep_model=True)
+            curves[f"{label} ({layer})"] = outcome.accuracy_curve
+            diffs = weight_differences(clean.model, outcome.model)
+            all_diffs = np.concatenate(list(diffs.values())) if diffs else \
+                np.array([])
+            boxplots[f"injected@{label}"] = BoxplotStats.from_values(all_diffs)
+
+    print(render_curves(curves,
+                        title=f"Fig 4 shape: accuracy after {FLIPS} flips "
+                              "per layer"))
+    print()
+    print(render_boxplots(boxplots,
+                          title="Fig 6 shape: weight differences vs clean "
+                                "continuation"))
+
+
+if __name__ == "__main__":
+    main()

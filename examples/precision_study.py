@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Floating-point precision trade-off at inference time (paper §V-D).
+
+Trains AlexNet at fp16/fp32/fp64 (Chainer-style facade), corrupts the
+trained checkpoint with increasing numbers of bit-flips, and measures how
+prediction accuracy degrades per precision — the paper's Table VIII shape:
+lower precision degrades more, and high flip counts produce N-EV logits.
+
+Usage: python examples/precision_study.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.experiments.common import (
+    BaselineCache,
+    SCALES,
+    SessionSpec,
+    corrupted_copy,
+    make_dataset,
+    build_session_model,
+)
+from repro.frameworks import get_facade, set_global_determinism
+from repro.injector import CheckpointCorrupter, InjectorConfig
+
+SCALE = SCALES["tiny"]
+SEED = 42
+PRECISIONS = ("float16", "float32", "float64")
+BITFLIPS = (0, 10, 100, 1000)
+TRIALS = 5
+
+
+def predict_accuracy(spec, ckpt_path):
+    facade = get_facade(spec.framework)
+    set_global_determinism(spec.framework, spec.seed)
+    _, test = make_dataset(spec)
+    model = build_session_model(spec)
+    facade.load_checkpoint(ckpt_path, model)
+    with np.errstate(over="ignore", invalid="ignore"):
+        logits = model.predict(test.images)
+    if not np.all(np.isfinite(logits)):
+        return None  # an N-EV reached the output
+    return float(np.mean(np.argmax(logits, axis=1) == test.labels))
+
+
+def main():
+    cache = BaselineCache()
+    rows = []
+    with tempfile.TemporaryDirectory() as workdir:
+        for flips in BITFLIPS:
+            row = [flips]
+            for precision in PRECISIONS:
+                spec = SessionSpec("chainer_like", "alexnet", SCALE,
+                                   policy=precision, seed=SEED)
+                baseline = cache.get(spec)
+                accs, nev = [], 0
+                for trial in range(TRIALS if flips else 1):
+                    path = corrupted_copy(baseline.final_path, workdir,
+                                          f"{precision}_{flips}_{trial}")
+                    if flips:
+                        CheckpointCorrupter(InjectorConfig(
+                            hdf5_file=path, injection_attempts=flips,
+                            corruption_mode="bit_range",
+                            float_precision=int(precision[5:]),
+                            locations_to_corrupt=["predictor"],
+                            use_random_locations=False,
+                            seed=SEED + flips + trial,
+                        )).corrupt()
+                    acc = predict_accuracy(spec, path)
+                    if acc is None:
+                        nev += 1
+                    else:
+                        accs.append(acc)
+                mean = f"{100 * np.mean(accs):.1f}" if accs else "-"
+                row.append(f"{mean}({nev})" if nev else mean)
+            rows.append(row)
+
+    print(render_table(
+        ["Bit-flips"] + list(PRECISIONS), rows,
+        title="Prediction accuracy vs bit-flips per precision "
+              "(N-EV predictions in parentheses)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

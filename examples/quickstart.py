@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Quickstart: train, checkpoint, corrupt, resume — the paper's §IV loop.
+
+Runs in well under a minute on a laptop CPU:
+
+1. train a small AlexNet (TensorFlow-style facade) on the synthetic
+   CIFAR-10 stand-in, checkpointing at epoch 2;
+2. flip 1000 random bits in the checkpoint's weights with the injector,
+   excluding the critical exponent MSB;
+3. resume training from the corrupted checkpoint and compare against the
+   error-free continuation;
+4. repeat with the exponent MSB *included* to watch training collapse.
+
+Usage: python examples/quickstart.py
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro.analysis import scan_checkpoint
+from repro.frameworks import get_facade, set_global_determinism
+from repro.injector import CheckpointCorrupter, InjectorConfig
+from repro.nn import SGD, Trainer
+from repro.data import synthetic_cifar10
+
+FRAMEWORK = "tf_like"
+SEED = 42
+CHECKPOINT_EPOCH = 2
+TOTAL_EPOCHS = 6
+
+
+def train_baseline(workdir: Path):
+    set_global_determinism(FRAMEWORK, SEED)
+    train, test = synthetic_cifar10(train_size=300, test_size=100)
+    facade = get_facade(FRAMEWORK)
+    model = facade.build_model("alexnet", width_mult=0.125, dropout=0.2)
+    optimizer = SGD(lr=0.01, momentum=0.9)
+    ckpt = workdir / "alexnet_epoch2.h5"
+
+    def save_at_checkpoint(epoch, trainer):
+        if epoch == CHECKPOINT_EPOCH:
+            facade.save_checkpoint(str(ckpt), model, optimizer, epoch=epoch)
+
+    trainer = Trainer(model, optimizer, batch_size=32,
+                      epoch_callback=save_at_checkpoint)
+    history = trainer.fit(train.images, train.labels, epochs=TOTAL_EPOCHS,
+                          x_test=test.images, labels_test=test.labels)
+    print("error-free accuracy per epoch:",
+          [f"{m.test_accuracy:.3f}" for m in history.epochs])
+    return ckpt, history
+
+
+def resume(ckpt: Path, label: str):
+    set_global_determinism(FRAMEWORK, SEED)
+    train, test = synthetic_cifar10(train_size=300, test_size=100)
+    facade = get_facade(FRAMEWORK)
+    model = facade.build_model("alexnet", width_mult=0.125, dropout=0.2)
+    optimizer = SGD(lr=0.01, momentum=0.9)
+    start = facade.load_checkpoint(str(ckpt), model, optimizer)
+    trainer = Trainer(model, optimizer, batch_size=32)
+    trainer.epoch = start
+    history = trainer.fit(train.images, train.labels,
+                          epochs=TOTAL_EPOCHS - start,
+                          x_test=test.images, labels_test=test.labels)
+    curve = [m.test_accuracy for m in history.epochs]
+    status = "COLLAPSED" if history.collapsed else "ok"
+    print(f"{label:34s} [{status:9s}]",
+          [f"{a:.3f}" if a is not None else "-" for a in curve])
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = Path(tmp)
+        ckpt, _ = train_baseline(workdir)
+
+        # error-free restart: must replay the baseline exactly
+        resume(ckpt, "clean restart")
+
+        # 1000 bit-flips, exponent MSB excluded (paper §V-C)
+        safe = workdir / "safe_flips.h5"
+        shutil.copy(ckpt, safe)
+        result = CheckpointCorrupter(InjectorConfig(
+            hdf5_file=str(safe), injection_attempts=1000,
+            corruption_mode="bit_range", first_bit=2, float_precision=32,
+            locations_to_corrupt=["model_weights"],
+            use_random_locations=False, seed=SEED,
+        )).corrupt()
+        print(f"\ninjected {result.successes} flips "
+              f"(N-EV introduced: {result.nev_introduced})")
+        resume(safe, "1000 flips, exponent MSB excluded")
+
+        # 1000 bit-flips over the full bit range: expect a collapse
+        unsafe = workdir / "unsafe_flips.h5"
+        shutil.copy(ckpt, unsafe)
+        result = CheckpointCorrupter(InjectorConfig(
+            hdf5_file=str(unsafe), injection_attempts=1000,
+            corruption_mode="bit_range", first_bit=0, float_precision=32,
+            locations_to_corrupt=["model_weights"],
+            use_random_locations=False, seed=SEED,
+        )).corrupt()
+        report = scan_checkpoint(str(unsafe))
+        print(f"\ninjected {result.successes} full-range flips; checkpoint "
+              f"now holds {report.nev_count} N-EV values")
+        resume(unsafe, "1000 flips, full bit range")
+
+
+if __name__ == "__main__":
+    main()

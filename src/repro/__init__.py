@@ -1,0 +1,19 @@
+"""Reproduction of "Understanding Soft Error Sensitivity of Deep Learning
+Models and Frameworks through Checkpoint Alteration" (CLUSTER 2021).
+
+Public subpackages:
+
+- :mod:`repro.hdf5` -- pure-Python HDF5 format subset (h5py stand-in).
+- :mod:`repro.nn` -- vectorized numpy deep-learning engine.
+- :mod:`repro.models` -- AlexNet / VGG16 / ResNet50 (CIFAR-scale).
+- :mod:`repro.frameworks` -- Chainer/PyTorch/TensorFlow-style facades with
+  framework-faithful HDF5 checkpoint layouts.
+- :mod:`repro.data` -- synthetic CIFAR-10 stand-in dataset.
+- :mod:`repro.injector` -- the paper's parameterized HDF5 checkpoint corrupter.
+- :mod:`repro.distributed` -- simulated Horovod-style data parallelism.
+- :mod:`repro.analysis` -- N-EV detection, RWC stats, report rendering.
+- :mod:`repro.experiments` -- harnesses regenerating every table and figure.
+- :mod:`repro.stencil` -- Jacobi heat-equation solver (non-DL extension).
+"""
+
+__version__ = "1.0.0"

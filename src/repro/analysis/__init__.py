@@ -1,0 +1,56 @@
+"""Analysis utilities: N-EV detection/scrubbing, RWC statistics, box-plot
+summaries, and plain-text table/figure rendering."""
+
+from .campaign import RateEstimate, RateTable, rates_differ, wilson_interval
+from .incidence_model import (
+    IncidenceFit,
+    critical_bit_probability,
+    fit_incidence,
+    incidence_curve,
+)
+from .nev import (
+    EXTREME_THRESHOLD,
+    NEVReport,
+    ValueClass,
+    classify_value,
+    scan_checkpoint,
+    scan_model,
+    scrub_checkpoint,
+    training_collapsed,
+)
+from .render import render_boxplots, render_curves, render_heatmap, render_table
+from .stats import (
+    BoxplotStats,
+    RWCStats,
+    count_rwc,
+    mean_excluding_collapsed,
+    weight_differences,
+)
+
+__all__ = [
+    "BoxplotStats",
+    "IncidenceFit",
+    "RateEstimate",
+    "RateTable",
+    "critical_bit_probability",
+    "fit_incidence",
+    "incidence_curve",
+    "rates_differ",
+    "wilson_interval",
+    "EXTREME_THRESHOLD",
+    "NEVReport",
+    "RWCStats",
+    "ValueClass",
+    "classify_value",
+    "count_rwc",
+    "mean_excluding_collapsed",
+    "render_boxplots",
+    "render_curves",
+    "render_heatmap",
+    "render_table",
+    "scan_checkpoint",
+    "scan_model",
+    "scrub_checkpoint",
+    "training_collapsed",
+    "weight_differences",
+]

@@ -1,0 +1,111 @@
+"""Campaign-level statistics: binomial confidence intervals and comparisons.
+
+The paper reports raw collapse/RWC percentages over 250 trainings.  At the
+reduced trial counts of this reproduction, raw percentages are noisy; this
+module provides Wilson score intervals for the rates, two-proportion
+comparisons, and a `RateTable` container used by the extended analyses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """A binomial rate with its Wilson score confidence interval."""
+
+    successes: int
+    trials: int
+    low: float
+    high: float
+
+    @property
+    def rate(self) -> float:
+        return self.successes / self.trials if self.trials else float("nan")
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.rate
+
+    def overlaps(self, other: "RateEstimate") -> bool:
+        """True when the two intervals overlap (rates not distinguishable)."""
+        return self.low <= other.high and other.low <= self.high
+
+    def __str__(self) -> str:
+        return (f"{self.percent:.1f}% "
+                f"[{100 * self.low:.1f}, {100 * self.high:.1f}] "
+                f"({self.successes}/{self.trials})")
+
+
+def wilson_interval(successes: int, trials: int,
+                    confidence: float = 0.95) -> RateEstimate:
+    """Wilson score interval for a binomial proportion.
+
+    Unlike the normal approximation, Wilson behaves sensibly at the extremes
+    (0/n and n/n) that fault-injection campaigns regularly produce.
+    """
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ValueError(f"invalid counts: {successes}/{trials}")
+    if trials == 0:
+        return RateEstimate(0, 0, float("nan"), float("nan"))
+    z = _z_for_confidence(confidence)
+    p_hat = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p_hat + z * z / (2 * trials)) / denom
+    margin = (z / denom) * math.sqrt(
+        p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials)
+    )
+    return RateEstimate(successes, trials,
+                        max(0.0, center - margin),
+                        min(1.0, center + margin))
+
+
+def _z_for_confidence(confidence: float) -> float:
+    table = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+    if confidence in table:
+        return table[confidence]
+    if not 0.5 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0.5, 1): {confidence}")
+    # Beasley-Springer-Moro style rational approximation of the normal
+    # quantile, adequate for reporting purposes.
+    p = 1.0 - (1.0 - confidence) / 2.0
+    t = math.sqrt(-2.0 * math.log(1.0 - p))
+    return t - ((0.010328 * t + 0.802853) * t + 2.515517) / (
+        ((0.001308 * t + 0.189269) * t + 1.432788) * t + 1.0
+    )
+
+
+def rates_differ(a: RateEstimate, b: RateEstimate) -> bool:
+    """Conservative check: intervals are disjoint => rates differ."""
+    return not a.overlaps(b)
+
+
+@dataclass
+class RateTable:
+    """Named binomial rates collected over a campaign grid."""
+
+    confidence: float = 0.95
+    cells: dict[tuple, RateEstimate] = field(default_factory=dict)
+
+    def record(self, key: tuple, successes: int, trials: int) -> RateEstimate:
+        estimate = wilson_interval(successes, trials, self.confidence)
+        self.cells[key] = estimate
+        return estimate
+
+    def get(self, key: tuple) -> RateEstimate:
+        return self.cells[key]
+
+    def rows(self) -> list[list[object]]:
+        """Render-ready rows: key fields + rate + interval."""
+        out = []
+        for key in sorted(self.cells, key=str):
+            estimate = self.cells[key]
+            out.append([
+                *key,
+                f"{estimate.percent:.1f}%",
+                f"[{100 * estimate.low:.1f}, {100 * estimate.high:.1f}]",
+                f"{estimate.successes}/{estimate.trials}",
+            ])
+        return out

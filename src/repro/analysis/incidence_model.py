@@ -1,0 +1,111 @@
+"""Analytic model of N-EV incidence vs bit-flip count.
+
+The paper observes (Table IV) that collapse incidence grows "almost
+proportionally" with the number of injected bit-flips.  The underlying
+process is Bernoulli: if a single uniformly placed flip is *critical* (turns
+a weight into an N-EV that collapses training) with probability ``p1``, then
+with ``k`` independent flips
+
+    P(collapse | k) = 1 - (1 - p1) ** k
+
+— near-linear for small ``k * p1`` and saturating at 1, exactly the
+measured shape.  This module fits ``p1`` from campaign counts by maximum
+likelihood and provides the theoretical expectation from the float format:
+a uniformly random bit among ``P`` hits the exponent MSB with probability
+``1 / P`` (the paper's "probability of 1 in 64" for fp64).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IncidenceFit:
+    """Maximum-likelihood fit of the one-flip criticality probability."""
+
+    p1: float
+    log_likelihood: float
+    observations: dict[int, tuple[int, int]]  # flips -> (collapsed, trials)
+
+    def predict(self, flips: int) -> float:
+        """P(collapse) after *flips* independent flips."""
+        return incidence_curve(self.p1, flips)
+
+    def residuals(self) -> dict[int, float]:
+        """Measured minus predicted rate per flip count."""
+        out = {}
+        for flips, (collapsed, trials) in self.observations.items():
+            out[flips] = collapsed / trials - self.predict(flips)
+        return out
+
+
+def incidence_curve(p1: float, flips: int) -> float:
+    """``1 - (1 - p1)^k`` with guards for the boundary values."""
+    if not 0.0 <= p1 <= 1.0:
+        raise ValueError(f"p1 must be in [0, 1]: {p1}")
+    if flips < 0:
+        raise ValueError("flips must be non-negative")
+    if p1 == 1.0 and flips > 0:
+        return 1.0
+    return 1.0 - (1.0 - p1) ** flips
+
+
+def critical_bit_probability(precision: int,
+                             critical_bits: int = 1) -> float:
+    """Theoretical one-flip criticality: critical bits / format width.
+
+    The paper's §V-B1 finding is ``critical_bits == 1`` (the exponent MSB):
+    1/64 for fp64, 1/32 for fp32, 1/16 for fp16.
+    """
+    if precision <= 0:
+        raise ValueError("precision must be positive")
+    if not 0 <= critical_bits <= precision:
+        raise ValueError("critical_bits out of range")
+    return critical_bits / precision
+
+
+def fit_incidence(observations: dict[int, tuple[int, int]],
+                  tolerance: float = 1e-10) -> IncidenceFit:
+    """Fit ``p1`` by maximizing the binomial likelihood over flip counts.
+
+    *observations* maps flip count -> (collapsed, trials).  The likelihood
+    is unimodal in ``p1``; golden-section search is robust and dependency
+    free.
+    """
+    if not observations:
+        raise ValueError("no observations to fit")
+    for flips, (collapsed, trials) in observations.items():
+        if flips <= 0 or trials <= 0 or not 0 <= collapsed <= trials:
+            raise ValueError(
+                f"bad observation: {flips} -> ({collapsed}, {trials})"
+            )
+
+    def negative_log_likelihood(p1: float) -> float:
+        total = 0.0
+        for flips, (collapsed, trials) in observations.items():
+            p = min(max(incidence_curve(p1, flips), 1e-12), 1 - 1e-12)
+            total += collapsed * math.log(p) + (trials - collapsed) \
+                * math.log(1 - p)
+        return -total
+
+    low, high = 1e-9, 1.0 - 1e-9
+    inv_phi = (math.sqrt(5.0) - 1.0) / 2.0
+    a, b = low, high
+    c = b - inv_phi * (b - a)
+    d = a + inv_phi * (b - a)
+    fc, fd = negative_log_likelihood(c), negative_log_likelihood(d)
+    while abs(b - a) > tolerance:
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - inv_phi * (b - a)
+            fc = negative_log_likelihood(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + inv_phi * (b - a)
+            fd = negative_log_likelihood(d)
+    p1 = (a + b) / 2.0
+    return IncidenceFit(p1=p1,
+                        log_likelihood=-negative_log_likelihood(p1),
+                        observations=dict(observations))

@@ -1,0 +1,153 @@
+"""The paper's published numbers, plus qualitative shape checks.
+
+Absolute values cannot be expected to match (the paper ran full-width models
+on Summit GPUs against real CIFAR-10; this repository runs width-scaled
+models on a synthetic dataset), so reproduction is judged on *shapes* —
+monotonicity, orderings, and crossover locations.  The shape predicates here
+are used by the test suite and by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# Published values
+# ---------------------------------------------------------------------------
+
+#: Table IV — N-EV % per (framework, model) at 1/10/100/1000 bit-flips.
+TABLE4_NEV_PERCENT: dict[tuple[str, str], dict[int, float]] = {
+    ("chainer", "resnet50"): {1: 0.4, 10: 7.2, 100: 48.8, 1000: 99.6},
+    ("chainer", "vgg16"): {1: 0.0, 10: 2.8, 100: 12.8, 1000: 75.2},
+    ("chainer", "alexnet"): {1: 0.0, 10: 6.0, 100: 38.4, 1000: 96.4},
+    ("pytorch", "resnet50"): {1: 0.4, 10: 8.8, 100: 56.8, 1000: 99.6},
+    ("pytorch", "vgg16"): {1: 0.4, 10: 6.8, 100: 65.2, 1000: 99.2},
+    ("pytorch", "alexnet"): {1: 0.0, 10: 4.8, 100: 47.6, 1000: 99.6},
+    ("tensorflow", "resnet50"): {1: 0.4, 10: 6.8, 100: 66.8, 1000: 98.4},
+    ("tensorflow", "vgg16"): {1: 0.0, 10: 2.8, 100: 33.2, 1000: 90.8},
+    ("tensorflow", "alexnet"): {1: 0.4, 10: 2.8, 100: 42.4, 1000: 93.6},
+}
+
+#: Table V — RWC % per (model, framework); 250 trainings each.
+TABLE5_RWC_PERCENT: dict[tuple[str, str], float] = {
+    ("resnet50", "chainer"): 78.4,
+    ("resnet50", "pytorch"): 74.4,
+    ("resnet50", "tensorflow"): 79.6,
+    ("vgg16", "chainer"): 53.6,
+    ("vgg16", "pytorch"): 77.6,
+    ("vgg16", "tensorflow"): 96.0,
+    ("alexnet", "chainer"): 90.4,
+    ("alexnet", "pytorch"): 46.0,
+    ("alexnet", "tensorflow"): 98.8,
+}
+
+#: Table VI — multi-bit masks (bits, mask) -> per-framework
+#: (AvgI-Acc, N-EV count); ResNet50, 10 weights x 10 trainings.
+TABLE6_MASKS: dict[str, dict[str, tuple[float, int | None]]] = {
+    "00000000": {"chainer": (57.6, None), "pytorch": (30.01, None),
+                 "tensorflow": (39.2, None)},
+    "10001010": {"chainer": (57.3, 1), "pytorch": (29.9, 1),
+                 "tensorflow": (36.8, 0)},
+    "01101010": {"chainer": (57.1, 3), "pytorch": (29.9, 0),
+                 "tensorflow": (36.6, 0)},
+    "10110010": {"chainer": (57.4, 0), "pytorch": (29.1, 1),
+                 "tensorflow": (36.7, 1)},
+    "11110001": {"chainer": (53.0, 0), "pytorch": (27.2, 0),
+                 "tensorflow": (36.5, 3)},
+    "11101101": {"chainer": (57.4, 1), "pytorch": (29.9, 2),
+                 "tensorflow": (36.8, 3)},
+}
+
+#: Table VII — N-EV % (Chainer) per precision/model at each flip count.
+TABLE7_NEV_PERCENT: dict[tuple[int, str], dict[int, float]] = {
+    (16, "resnet50"): {1: 0.4, 10: 10.4, 100: 59.2, 1000: 96.0},
+    (16, "vgg16"): {1: 0.0, 10: 11.6, 100: 69.2, 1000: 77.2},
+    (16, "alexnet"): {1: 0.4, 10: 7.2, 100: 60.0, 1000: 86.0},
+    (32, "resnet50"): {1: 1.2, 10: 15.6, 100: 76.8, 1000: 98.0},
+    (32, "vgg16"): {1: 2.4, 10: 17.2, 100: 72.4, 1000: 78.0},
+    (32, "alexnet"): {1: 2.8, 10: 13.2, 100: 68.0, 1000: 91.6},
+}
+
+#: Table VIII — prediction accuracy (Chainer) per precision/model/flips;
+#: None means all 10 predictions hit N-EVs.
+TABLE8_PREDICTION: dict[tuple[int, str], dict[int, float | None]] = {
+    (16, "resnet50"): {0: 75.6, 1: 75.75, 10: 74.6, 100: 60.2, 1000: None},
+    (16, "vgg16"): {0: 84.5, 1: 84.16, 10: 82.8, 100: 77.3, 1000: 42.6},
+    (16, "alexnet"): {0: 83.1, 1: 84.5, 10: 82.65, 100: 73.6, 1000: 47.24},
+    (32, "resnet50"): {0: 75.6, 1: 76.1, 10: 69.1, 100: 44.6, 1000: None},
+    (32, "vgg16"): {0: 84.5, 1: 82.95, 10: 81.0, 100: 79.1, 1000: 58.0},
+    (32, "alexnet"): {0: 83.1, 1: 83.5, 10: 81.3, 100: 80.95, 1000: 66.2},
+    (64, "resnet50"): {0: 75.6, 1: 74.65, 10: 75.3, 100: 56.4, 1000: None},
+    (64, "vgg16"): {0: 84.5, 1: 84.9, 10: 82.6, 100: 84.8, 1000: 72.8},
+    (64, "alexnet"): {0: 83.1, 1: 83.0, 10: 82.2, 100: 78.6, 1000: 70.2},
+}
+
+#: Fig 2 — 170 trainings per range, 1000 flips: training collapses only when
+#: the injected range includes the exponent's most significant bit.
+FIG2_CRITICAL_BIT_MSB = 1
+
+#: Fig 7 — baseline accuracy 0.576 (Chainer ResNet50); scaling 10 weights by
+#: 4500 roughly halves accuracy.
+FIG7_BASELINE_ACCURACY = 0.576
+
+
+# ---------------------------------------------------------------------------
+# Shape predicates
+# ---------------------------------------------------------------------------
+
+def nev_incidence_shape_holds(percent_by_flips: dict[int, float],
+                              high_threshold: float = 90.0) -> bool:
+    """Table IV/VII shape: (weakly) rising incidence, low at 1 flip, near
+    100 % at 1000 flips."""
+    flips = sorted(percent_by_flips)
+    values = [percent_by_flips[f] for f in flips]
+    rising = all(b >= a - 20.0 for a, b in zip(values, values[1:]))
+    return rising and values[0] <= 40.0 and values[-1] >= high_threshold
+
+
+def rwc_majority_shape_holds(rwc_percents: list[float],
+                             majority: float = 50.0) -> bool:
+    """Table V shape: most cells show a majority of unchanged restarts."""
+    hits = sum(1 for p in rwc_percents if p >= majority)
+    return hits * 2 >= len(rwc_percents)
+
+
+def critical_bit_shape_holds(
+    collapse_percent_by_range: dict[tuple[int, int], float]
+) -> bool:
+    """Fig 2 shape: collapse iff the range includes MSB-order bit 1."""
+    for (first, last), percent in collapse_percent_by_range.items():
+        includes = first <= FIG2_CRITICAL_BIT_MSB <= last
+        if includes and percent < 50.0:
+            return False
+        if not includes and percent > 10.0:
+            return False
+    return True
+
+
+def prediction_degradation_shape_holds(
+    accuracy_by_flips: dict[int, float | None]
+) -> bool:
+    """Table VIII shape: prediction accuracy at high flip counts is clearly
+    below the error-free value (or fully collapsed)."""
+    clean = accuracy_by_flips.get(0)
+    worst_key = max(k for k in accuracy_by_flips if k > 0)
+    worst = accuracy_by_flips[worst_key]
+    if clean is None:
+        return False
+    if worst is None:
+        return True  # full collapse counts as degradation
+    return worst <= clean + 1e-9
+
+
+def scaling_damage_shape_holds(grid: np.ndarray,
+                               baseline: float) -> bool:
+    """Fig 7 shape: the heaviest corruption cell is materially below (or has
+    collapsed relative to) the lightest corruption cell."""
+    lightest = grid[0, 0]
+    heaviest = grid[-1, -1]
+    if np.isnan(heaviest):
+        return True
+    if np.isnan(lightest):
+        return False
+    return heaviest <= max(lightest, baseline) + 0.05

@@ -1,0 +1,123 @@
+"""Plain-text rendering of tables, accuracy curves, and heat maps.
+
+Every experiment harness reports through these renderers, so benchmark
+output visually parallels the paper's tables and figures without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def render_table(headers: list[str], rows: list[list[object]],
+                 title: str | None = None) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in cells))
+        if cells else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if np.isnan(value):
+            return "-"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_curves(series: dict[str, list[float]], width: int = 60,
+                  height: int = 12, title: str | None = None) -> str:
+    """Multiple named accuracy curves as an ASCII chart (Fig 3/4/5 style)."""
+    finite = [v for values in series.values() for v in values
+              if v is not None and np.isfinite(v)]
+    if not finite:
+        return (title or "") + "\n(no finite data)"
+    low, high = min(finite), max(finite)
+    if high == low:
+        high = low + 1e-9
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    longest = max(len(v) for v in series.values())
+    for index, (name, values) in enumerate(sorted(series.items())):
+        marker = markers[index % len(markers)]
+        for step, value in enumerate(values):
+            if value is None or not np.isfinite(value):
+                continue
+            col = int(step / max(longest - 1, 1) * (width - 1))
+            row = height - 1 - int((value - low) / (high - low) * (height - 1))
+            grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{high:8.3f} " + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 9 + "".join(row))
+    lines.append(f"{low:8.3f} " + "".join(grid[-1]))
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}"
+        for i, name in enumerate(sorted(series))
+    )
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)
+
+
+def render_heatmap(row_labels: list[str], col_labels: list[str],
+                   values: np.ndarray, title: str | None = None) -> str:
+    """Numeric heat map with a shade column per cell (Fig 7 style)."""
+    values = np.asarray(values, dtype=np.float64)
+    shades = " .:-=+*#%@"
+    finite = values[np.isfinite(values)]
+    low = finite.min() if finite.size else 0.0
+    high = finite.max() if finite.size else 1.0
+    span = (high - low) or 1e-9
+
+    def shade(value: float) -> str:
+        if not np.isfinite(value):
+            return "!"
+        level = int((value - low) / span * (len(shades) - 1))
+        return shades[level]
+
+    label_width = max(len(str(l)) for l in row_labels)
+    cell_width = max(7, *(len(str(c)) for c in col_labels))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * (label_width + 1) + " ".join(
+        str(c).rjust(cell_width) for c in col_labels
+    )
+    lines.append(header)
+    for label, row in zip(row_labels, values):
+        cells = " ".join(
+            f"{value:6.3f}{shade(value)}".rjust(cell_width) for value in row
+        )
+        lines.append(f"{str(label).rjust(label_width)} {cells}")
+    lines.append(f"shade scale: '{shades[0]}' = {low:.3f} ... "
+                 f"'{shades[-1]}' = {high:.3f}, '!' = collapsed")
+    return "\n".join(lines)
+
+
+def render_boxplots(stats_by_label: dict[str, "object"],
+                    title: str | None = None) -> str:
+    """Render :class:`~repro.analysis.stats.BoxplotStats` rows (Fig 6 style)."""
+    headers = ["layer", "count", "whisk-", "q1", "median", "q3", "whisk+",
+               "outliers", "spread"]
+    rows = []
+    for label, stats in stats_by_label.items():
+        rows.append([
+            label, stats.count, stats.whisker_low, stats.q1, stats.median,
+            stats.q3, stats.whisker_high, stats.outliers, stats.spread,
+        ])
+    return render_table(headers, rows, title=title)

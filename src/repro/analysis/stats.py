@@ -1,0 +1,115 @@
+"""Statistics used by the paper's tables and figures: restart-with-no-change
+(RWC) accounting, box-plot summaries of weight differences, and accuracy
+aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.model import Model
+
+
+@dataclass(frozen=True)
+class RWCStats:
+    """Table V bookkeeping: trainings that Restarted With no Change."""
+
+    trainings: int
+    unchanged: int
+
+    @property
+    def rwc_percent(self) -> float:
+        return 100.0 * self.unchanged / self.trainings if self.trainings else 0.0
+
+
+def count_rwc(baseline_accuracies: list[float],
+              injected_accuracies: list[list[float]],
+              tolerance: float = 0.0) -> RWCStats:
+    """Count injected trainings whose accuracy trajectory matches baseline.
+
+    The paper's deterministic setup makes error-free runs bit-identical, so
+    "no change" means the accuracy sequence after restart is exactly equal
+    (tolerance 0); a tolerance can relax that to near-equality.
+    """
+    baseline = np.asarray(baseline_accuracies, dtype=np.float64)
+    unchanged = 0
+    for accuracies in injected_accuracies:
+        candidate = np.asarray(accuracies, dtype=np.float64)
+        if candidate.shape == baseline.shape and np.all(
+            np.abs(candidate - baseline) <= tolerance
+        ):
+            unchanged += 1
+    return RWCStats(trainings=len(injected_accuracies), unchanged=unchanged)
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Five-number summary plus outliers — Fig 6's box plots as data."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    whisker_low: float
+    whisker_high: float
+    outliers: int
+    count: int
+
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "BoxplotStats":
+        data = np.asarray(values, dtype=np.float64)
+        data = data[np.isfinite(data)]
+        if data.size == 0:
+            return cls(*([float("nan")] * 7), 0, 0)
+        q1, median, q3 = np.percentile(data, [25, 50, 75])
+        iqr = q3 - q1
+        low_bound = q1 - 1.5 * iqr
+        high_bound = q3 + 1.5 * iqr
+        inside = data[(data >= low_bound) & (data <= high_bound)]
+        whisker_low = float(inside.min()) if inside.size else float(q1)
+        whisker_high = float(inside.max()) if inside.size else float(q3)
+        outliers = int(((data < low_bound) | (data > high_bound)).sum())
+        return cls(float(data.min()), float(q1), float(median), float(q3),
+                   float(data.max()), whisker_low, whisker_high, outliers,
+                   int(data.size))
+
+    @property
+    def spread(self) -> float:
+        """Whisker-to-whisker range: the "range of differences" Fig 6 reads."""
+        return self.whisker_high - self.whisker_low
+
+
+def weight_differences(clean: Model, corrupted: Model,
+                       include_zero: bool = False) -> dict[str, np.ndarray]:
+    """Per-layer |clean - corrupted| weight differences (Fig 6 input).
+
+    The paper uses "only weights with differences"; pass
+    ``include_zero=True`` to keep unchanged weights too.
+    """
+    out: dict[str, np.ndarray] = {}
+    clean_params = clean.named_parameters()
+    corrupted_params = corrupted.named_parameters()
+    if clean_params.keys() != corrupted_params.keys():
+        raise ValueError("models have different parameter sets")
+    for (layer, key), clean_value in clean_params.items():
+        delta = np.abs(
+            clean_value.astype(np.float64)
+            - corrupted_params[(layer, key)].astype(np.float64)
+        ).reshape(-1)
+        if not include_zero:
+            delta = delta[delta > 0]
+        if delta.size:
+            out.setdefault(layer, [])
+            out[layer] = (np.concatenate([out[layer], delta])
+                          if isinstance(out[layer], np.ndarray) else delta)
+    return out
+
+
+def mean_excluding_collapsed(values: list[float],
+                             collapsed: list[bool]) -> float:
+    """Average accuracy excluding collapsed trainings (Table VI's AvgI-Acc:
+    "these trainings were excluded to calculate the average")."""
+    kept = [v for v, c in zip(values, collapsed) if not c]
+    return float(np.mean(kept)) if kept else float("nan")

@@ -1,0 +1,14 @@
+"""Dataset substrate: synthetic CIFAR-10 stand-in (see DESIGN.md)."""
+
+from .augment import Augmenter, cutout, random_crop, random_horizontal_flip
+from .synthetic import DatasetSplit, generate_split, synthetic_cifar10
+
+__all__ = [
+    "Augmenter",
+    "DatasetSplit",
+    "cutout",
+    "generate_split",
+    "random_crop",
+    "random_horizontal_flip",
+    "synthetic_cifar10",
+]

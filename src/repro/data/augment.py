@@ -1,0 +1,78 @@
+"""Deterministic data augmentation (random crop, horizontal flip, cutout).
+
+Standard CIFAR training augments each batch; for the paper's methodology the
+augmentation must be *replayable across restarts*, so — like dropout and
+shuffling — every random decision here is drawn from a named stream keyed by
+``(seed, name, epoch)``.  Resuming at epoch k applies exactly the crops and
+flips an uninterrupted run would have applied.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.rng import stream
+
+
+class Augmenter:
+    """Composable per-epoch augmentation over NCHW image batches."""
+
+    def __init__(self, pad: int = 2, flip_probability: float = 0.5,
+                 cutout_size: int = 0, name: str = "augment"):
+        if pad < 0:
+            raise ValueError("pad must be >= 0")
+        if not 0.0 <= flip_probability <= 1.0:
+            raise ValueError("flip_probability must be in [0, 1]")
+        if cutout_size < 0:
+            raise ValueError("cutout_size must be >= 0")
+        self.pad = pad
+        self.flip_probability = flip_probability
+        self.cutout_size = cutout_size
+        self.name = name
+
+    def __call__(self, images: np.ndarray, epoch: int) -> np.ndarray:
+        """Augment a batch for *epoch* (pure function of seed+name+epoch)."""
+        rng = stream(f"{self.name}", epoch)
+        out = images
+        if self.pad:
+            out = random_crop(out, self.pad, rng)
+        if self.flip_probability:
+            out = random_horizontal_flip(out, self.flip_probability, rng)
+        if self.cutout_size:
+            out = cutout(out, self.cutout_size, rng)
+        return out
+
+
+def random_crop(images: np.ndarray, pad: int,
+                rng: np.random.Generator) -> np.ndarray:
+    """Zero-pad by *pad* on each side, then crop back at a random offset."""
+    n, c, h, w = images.shape
+    padded = np.pad(images, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    ys = rng.integers(0, 2 * pad + 1, size=n)
+    xs = rng.integers(0, 2 * pad + 1, size=n)
+    out = np.empty_like(images)
+    for i in range(n):
+        out[i] = padded[i, :, ys[i]:ys[i] + h, xs[i]:xs[i] + w]
+    return out
+
+
+def random_horizontal_flip(images: np.ndarray, probability: float,
+                           rng: np.random.Generator) -> np.ndarray:
+    """Mirror a random subset of the batch left-right."""
+    mask = rng.random(images.shape[0]) < probability
+    out = images.copy()
+    out[mask] = out[mask, :, :, ::-1]
+    return out
+
+
+def cutout(images: np.ndarray, size: int,
+           rng: np.random.Generator) -> np.ndarray:
+    """Zero a random size x size square per image (DeVries & Taylor 2017)."""
+    n, c, h, w = images.shape
+    size = min(size, h, w)
+    ys = rng.integers(0, h - size + 1, size=n)
+    xs = rng.integers(0, w - size + 1, size=n)
+    out = images.copy()
+    for i in range(n):
+        out[i, :, ys[i]:ys[i] + size, xs[i]:xs[i] + size] = 0.0
+    return out

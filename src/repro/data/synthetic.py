@@ -1,0 +1,110 @@
+"""Synthetic CIFAR-10 stand-in (substitution documented in DESIGN.md §2).
+
+Ten classes of 32x32 RGB images, each class a distinct combination of
+oriented sinusoidal texture, frequency, and color, with per-sample random
+phase, brightness jitter, and additive Gaussian noise.  The task is learnable
+by small convolutional networks within a few epochs — which is all the
+paper's experiments require, since they measure accuracy *relative to an
+error-free baseline* rather than absolute CIFAR-10 numbers.
+
+Generation is a pure function of the global seed (via named RNG streams), so
+every experiment sees bit-identical data across runs and frameworks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.rng import stream
+
+#: Base RGB colour per class (rows sum to distinctive hues).
+_CLASS_COLORS = np.array([
+    [0.9, 0.2, 0.2],
+    [0.2, 0.9, 0.2],
+    [0.2, 0.2, 0.9],
+    [0.9, 0.9, 0.2],
+    [0.9, 0.2, 0.9],
+    [0.2, 0.9, 0.9],
+    [0.7, 0.5, 0.3],
+    [0.3, 0.7, 0.5],
+    [0.5, 0.3, 0.7],
+    [0.8, 0.8, 0.8],
+], dtype=np.float64)
+
+
+@dataclass
+class DatasetSplit:
+    """One split: NCHW float32 images plus int64 labels."""
+
+    images: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.images.shape[0] != self.labels.shape[0]:
+            raise ValueError("images/labels length mismatch")
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    def subset(self, count: int) -> "DatasetSplit":
+        return DatasetSplit(self.images[:count], self.labels[:count])
+
+
+def _render_class(rng: np.random.Generator, label: int, count: int,
+                  image_size: int, num_classes: int,
+                  noise: float) -> np.ndarray:
+    """Render *count* images of one class, vectorized over the batch."""
+    angle = np.pi * label / num_classes
+    freq = 2.0 + (label % 5)
+    color = _CLASS_COLORS[label % len(_CLASS_COLORS)]
+
+    ys, xs = np.meshgrid(
+        np.linspace(0, 1, image_size), np.linspace(0, 1, image_size),
+        indexing="ij",
+    )
+    axis = xs * np.cos(angle) + ys * np.sin(angle)  # (H, W)
+
+    phase = rng.uniform(0, 2 * np.pi, size=(count, 1, 1))
+    brightness = rng.uniform(0.7, 1.3, size=(count, 1, 1))
+    texture = 0.5 + 0.5 * np.sin(
+        2 * np.pi * freq * axis[None, :, :] + phase
+    )  # (N, H, W)
+    texture = texture * brightness
+
+    images = texture[:, None, :, :] * color[None, :, None, None]
+    images += rng.normal(0.0, noise, size=images.shape)
+    # clip to a sane dynamic range, then zero-center (standard preprocessing)
+    return (np.clip(images, 0.0, 1.5) - 0.5).astype(np.float32)
+
+
+def generate_split(count: int, image_size: int = 32, num_classes: int = 10,
+                   noise: float = 0.15,
+                   stream_name: str = "data/train") -> DatasetSplit:
+    """Generate one balanced split of synthetic images."""
+    if count % num_classes != 0:
+        raise ValueError(
+            f"count {count} must be a multiple of num_classes {num_classes} "
+            "to keep the split balanced"
+        )
+    rng = stream(stream_name)
+    per_class = count // num_classes
+    images = np.concatenate([
+        _render_class(rng, label, per_class, image_size, num_classes, noise)
+        for label in range(num_classes)
+    ])
+    labels = np.repeat(np.arange(num_classes, dtype=np.int64), per_class)
+    order = rng.permutation(count)
+    return DatasetSplit(images[order], labels[order])
+
+
+def synthetic_cifar10(train_size: int = 1000, test_size: int = 500,
+                      image_size: int = 32, num_classes: int = 10,
+                      noise: float = 0.15) -> tuple[DatasetSplit, DatasetSplit]:
+    """The standard train/test pair used across all experiments."""
+    train = generate_split(train_size, image_size, num_classes, noise,
+                           stream_name="data/train")
+    test = generate_split(test_size, image_size, num_classes, noise,
+                          stream_name="data/test")
+    return train, test

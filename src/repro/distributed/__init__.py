@@ -1,0 +1,5 @@
+"""Simulated Horovod-style data parallelism (paper SS V-A3 determinism)."""
+
+from .horovod_sim import AllReduceStats, DataParallelTrainer, SimulatedHorovod
+
+__all__ = ["AllReduceStats", "DataParallelTrainer", "SimulatedHorovod"]

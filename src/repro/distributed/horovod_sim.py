@@ -1,0 +1,177 @@
+"""Simulated Horovod-style data-parallel training.
+
+The paper trains on Summit with Horovod and observes that distributed
+gradient reduction is a source of nondeterminism: Horovod fuses small
+tensors into buffers whose reduction order depends on arrival timing, and
+floating-point addition is not associative.  Setting
+``HOROVOD_FUSION_THRESHOLD=0`` disables fusion and restores a deterministic
+order (Code 1, line 8).
+
+This module reproduces that mechanism in-process: a
+:class:`DataParallelTrainer` shards every batch across *n* simulated
+workers, accumulates per-worker gradients, and all-reduces them.  With
+``fusion_threshold == 0`` partial sums are combined in fixed worker order;
+otherwise tensors are grouped into fusion buffers and each buffer's worker
+contributions are summed in an *unseeded* random order — genuinely
+nondeterministic across runs, exactly the failure mode the paper had to
+disable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.model import Model
+from ..nn.optim import Optimizer
+from ..nn.rng import stream
+from ..nn.trainer import EpochMetrics, TrainingHistory
+
+
+@dataclass
+class AllReduceStats:
+    """Bookkeeping of one epoch's reductions (for tests/inspection)."""
+
+    reductions: int = 0
+    fused_buffers: int = 0
+    deterministic: bool = True
+
+
+class SimulatedHorovod:
+    """Gradient all-reduce with Horovod-style fusion semantics."""
+
+    def __init__(self, num_workers: int, fusion_threshold: int | None = None):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        if fusion_threshold is None:
+            fusion_threshold = int(
+                os.environ.get("HOROVOD_FUSION_THRESHOLD", "67108864")
+            )
+        self.fusion_threshold = fusion_threshold
+        self._entropy = np.random.default_rng()  # deliberately unseeded
+
+    def allreduce(
+        self, per_worker: list[dict[str, np.ndarray]]
+    ) -> tuple[dict[str, np.ndarray], AllReduceStats]:
+        """Average per-worker gradient dicts (same keys on every worker)."""
+        if len(per_worker) != self.num_workers:
+            raise ValueError(
+                f"expected {self.num_workers} gradient sets, got "
+                f"{len(per_worker)}"
+            )
+        stats = AllReduceStats(deterministic=self.fusion_threshold == 0)
+        keys = list(per_worker[0])
+        averaged: dict[str, np.ndarray] = {}
+        if self.fusion_threshold == 0:
+            # tensor-by-tensor, fixed worker order: deterministic
+            for key in keys:
+                total = per_worker[0][key].astype(np.float64).copy()
+                for worker in range(1, self.num_workers):
+                    total += per_worker[worker][key]
+                averaged[key] = (total / self.num_workers).astype(
+                    per_worker[0][key].dtype
+                )
+                stats.reductions += 1
+            return averaged, stats
+
+        # fusion enabled: pack tensors into buffers up to the threshold,
+        # then sum each buffer's worker contributions in random order
+        buffers: list[list[str]] = [[]]
+        buffer_bytes = 0
+        for key in keys:
+            nbytes = per_worker[0][key].nbytes
+            if buffer_bytes + nbytes > self.fusion_threshold and buffers[-1]:
+                buffers.append([])
+                buffer_bytes = 0
+            buffers[-1].append(key)
+            buffer_bytes += nbytes
+        for buffer_keys in buffers:
+            stats.fused_buffers += 1
+            order = self._entropy.permutation(self.num_workers)
+            for key in buffer_keys:
+                total = np.zeros_like(per_worker[0][key], dtype=np.float32)
+                for worker in order:
+                    total = total + per_worker[worker][key].astype(np.float32)
+                averaged[key] = (total / self.num_workers).astype(
+                    per_worker[0][key].dtype
+                )
+                stats.reductions += 1
+        return averaged, stats
+
+
+class DataParallelTrainer:
+    """Single-process simulation of Horovod data-parallel training.
+
+    Each mini-batch is split into ``num_workers`` shards; gradients are
+    computed shard-by-shard on the (shared) model replica, all-reduced via
+    :class:`SimulatedHorovod`, and applied once.  With a deterministic
+    reduction (fusion threshold 0) the result is bit-identical across runs;
+    with fusion enabled, runs diverge — reproducing §V-A3.
+    """
+
+    def __init__(self, model: Model, optimizer: Optimizer,
+                 num_workers: int = 2, batch_size: int = 32,
+                 fusion_threshold: int | None = None):
+        self.model = model
+        self.optimizer = optimizer
+        self.num_workers = num_workers
+        self.batch_size = batch_size
+        self.horovod = SimulatedHorovod(num_workers, fusion_threshold)
+        self.history = TrainingHistory()
+        self.epoch = 0
+
+    def run_epoch(self, x: np.ndarray, labels: np.ndarray) -> EpochMetrics:
+        self.epoch += 1
+        for layer in self.model.layers():
+            layer.on_epoch_start(self.epoch)
+        order = stream("shuffle", self.epoch).permutation(x.shape[0])
+        losses: list[float] = []
+        correct = 0
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            for start in range(0, x.shape[0], self.batch_size):
+                idx = order[start:start + self.batch_size]
+                batch, batch_labels = x[idx], labels[idx]
+                shards = np.array_split(np.arange(len(idx)),
+                                        self.num_workers)
+                per_worker: list[dict[str, np.ndarray]] = []
+                batch_loss = 0.0
+                for shard in shards:
+                    if shard.size == 0:
+                        continue
+                    logits = self.model.forward(batch[shard], training=True)
+                    loss, grad = F.softmax_cross_entropy_with_grad(
+                        logits, batch_labels[shard]
+                    )
+                    batch_loss += loss * shard.size
+                    correct += int(np.sum(
+                        np.argmax(logits, axis=1) == batch_labels[shard]
+                    ))
+                    self.model.backward(grad)
+                    per_worker.append({
+                        f"{layer.name}/{key}": layer.grads[key].copy()
+                        for layer in self.model.parameter_layers()
+                        for key in layer.grads
+                    })
+                # a final short batch may fill fewer workers; pad by
+                # repeating the last shard's gradients
+                while len(per_worker) < self.num_workers:
+                    per_worker.append(per_worker[-1])
+                averaged, _ = self.horovod.allreduce(per_worker)
+                for layer in self.model.parameter_layers():
+                    for key in layer.grads:
+                        layer.grads[key] = averaged[f"{layer.name}/{key}"]
+                self.optimizer.step(self.model)
+                losses.append(batch_loss / len(idx))
+        train_loss = float(np.mean(losses)) if losses else float("nan")
+        metrics = EpochMetrics(
+            epoch=self.epoch, train_loss=train_loss,
+            train_accuracy=correct / x.shape[0],
+            collapsed=(not np.isfinite(train_loss)
+                       or self.model.has_nonfinite_parameters()),
+        )
+        self.history.append(metrics)
+        return metrics

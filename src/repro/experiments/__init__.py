@@ -1,0 +1,42 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Usage::
+
+    from repro.experiments import run_experiment
+    result = run_experiment("table4", scale="tiny")
+    print(result.rendered)
+
+or from the shell: ``repro-experiments run table4 table5 --scale tiny``.
+
+See DESIGN.md §4 for the experiment-id ↔ paper table/figure mapping and
+EXPERIMENTS.md for recorded paper-vs-measured results.
+"""
+
+from .common import (
+    Baseline,
+    BaselineCache,
+    DEFAULT_CACHE,
+    ExperimentResult,
+    ExperimentScale,
+    SCALES,
+    SessionSpec,
+    get_scale,
+    resume_training,
+    weights_root,
+)
+from .registry import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "Baseline",
+    "BaselineCache",
+    "DEFAULT_CACHE",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "ExperimentScale",
+    "SCALES",
+    "SessionSpec",
+    "get_scale",
+    "resume_training",
+    "run_experiment",
+    "weights_root",
+]

@@ -1,0 +1,85 @@
+"""Per-bit sensitivity sweep (extension of Fig 2, §VI research directions).
+
+Fig 2 tests coarse bit *ranges*; this experiment measures the collapse
+probability of every individual bit position of the fp32 format: for each
+MSB-order position, N trainings resume from a checkpoint with 100 flips
+confined to exactly that bit.  The outcome is the full sensitivity profile
+the paper's range experiment samples — the sign bit and mantissa positions
+absorb everything, the exponent MSB collapses everything, and the lower
+exponent bits interpolate, with Wilson confidence intervals on each rate.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from ..analysis import render_table, wilson_interval
+from ..injector.bitops import FLOAT_LAYOUTS, lsb_to_msb
+from .common import (
+    DEFAULT_CACHE,
+    ExperimentResult,
+    SessionSpec,
+    get_scale,
+)
+from .table4_nev_incidence import nev_trial
+
+EXPERIMENT_ID = "bit_sensitivity"
+TITLE = "Per-bit collapse sensitivity (Fig 2 extension, fp32)"
+
+DEFAULT_FRAMEWORK = "chainer_like"
+DEFAULT_MODEL = "alexnet"
+BITFLIPS_PER_TRAINING = 100
+
+
+def classify_bit(bit_msb: int, precision: int = 32) -> str:
+    """Human label of an MSB-order bit position."""
+    layout = FLOAT_LAYOUTS[precision]
+    if bit_msb == 0:
+        return "sign"
+    exponent_bits = layout.exponent_bits
+    if 1 <= bit_msb <= exponent_bits:
+        return f"exponent[{bit_msb - 1}]"  # 0 = most significant
+    return f"mantissa[{bit_msb - exponent_bits - 1}]"
+
+
+def run(scale="tiny", seed: int = 42, framework: str = DEFAULT_FRAMEWORK,
+        model: str = DEFAULT_MODEL, bits: tuple[int, ...] | None = None,
+        cache=None) -> ExperimentResult:
+    """Run the per-bit collapse sweep (Fig 2 extension)."""
+    scale = get_scale(scale)
+    cache = cache or DEFAULT_CACHE
+    trainings = scale.trainings
+    spec = SessionSpec(framework, model, scale, seed=seed)
+    baseline = cache.get(spec)
+
+    if bits is None:
+        # default: every exponent bit plus representative sign/mantissa bits
+        layout = FLOAT_LAYOUTS[32]
+        bits = tuple(range(0, layout.exponent_bits + 1)) + (
+            lsb_to_msb(layout.mantissa_bits - 1, 32),  # mantissa MSB
+            lsb_to_msb(0, 32),  # mantissa LSB
+        )
+
+    rows = []
+    with tempfile.TemporaryDirectory() as workdir:
+        for bit in bits:
+            collapsed = sum(
+                nev_trial(spec, baseline, BITFLIPS_PER_TRAINING, trial,
+                          workdir, policy_precision=32,
+                          first_bit=bit, last_bit=bit)
+                for trial in range(trainings)
+            )
+            estimate = wilson_interval(collapsed, trainings)
+            rows.append([
+                bit, classify_bit(bit), trainings, collapsed,
+                round(estimate.percent, 1),
+                f"[{100 * estimate.low:.0f}, {100 * estimate.high:.0f}]",
+            ])
+
+    headers = ["bit (MSB order)", "field", "trainings", "collapsed",
+               "collapse %", "95% CI"]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, headers=headers, rows=rows,
+        rendered=render_table(headers, rows, title=TITLE),
+        extra={"scale": scale.name, "bitflips": BITFLIPS_PER_TRAINING},
+    )

@@ -1,0 +1,106 @@
+"""Prediction-churn study (extension of Table VIII).
+
+Table VIII measures aggregate accuracy under inference-time corruption.
+Accuracy alone understates the damage: corrupted predictions can *change*
+on many inputs while the error rate moves little (wrong answers trading
+places with other wrong answers).  This experiment measures, per flip
+count, both the accuracy delta and the **churn** — the fraction of inputs
+whose predicted class changed relative to the clean model — plus top-3
+accuracy to show how far the correct class drifts down the ranking.
+
+Expected shape: churn rises earlier and faster than the accuracy drop,
+making it the more sensitive SDC detector at inference time.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+
+from ..analysis import render_table
+from ..frameworks import get_facade, set_global_determinism
+from ..injector import CheckpointCorrupter, InjectorConfig
+from ..nn.metrics import prediction_churn, top_k_accuracy
+from .common import (
+    DEFAULT_CACHE,
+    ExperimentResult,
+    SessionSpec,
+    build_session_model,
+    corrupted_copy,
+    get_scale,
+    make_dataset,
+    weights_root,
+)
+
+EXPERIMENT_ID = "churn_study"
+TITLE = "Prediction churn under inference-time corruption (Table VIII ext.)"
+
+DEFAULT_FRAMEWORK = "chainer_like"
+DEFAULT_MODEL = "alexnet"
+DEFAULT_BITFLIPS = (1, 10, 100, 1000)
+
+
+def run(scale="tiny", seed: int = 42, framework: str = DEFAULT_FRAMEWORK,
+        model: str = DEFAULT_MODEL, bitflips=DEFAULT_BITFLIPS,
+        cache=None) -> ExperimentResult:
+    """Run the prediction-churn study (Table VIII extension)."""
+    scale = get_scale(scale)
+    cache = cache or DEFAULT_CACHE
+    trials = scale.predictions
+    spec = SessionSpec(framework, model, scale, seed=seed)
+    baseline = cache.get(spec)
+    facade = get_facade(framework)
+
+    set_global_determinism(framework, seed)
+    _, test = make_dataset(spec)
+    images = test.images[: scale.prediction_images]
+    labels = test.labels[: scale.prediction_images]
+
+    clean_model = build_session_model(spec)
+    facade.load_checkpoint(baseline.final_path, clean_model)
+    clean_logits = clean_model.predict(images, scale.batch_size)
+    clean_accuracy = float(np.mean(np.argmax(clean_logits, 1) == labels))
+
+    rows = [[0, round(100 * clean_accuracy, 2),
+             round(100 * top_k_accuracy(clean_logits, labels, 3), 2),
+             0.0, 0]]
+    with tempfile.TemporaryDirectory() as workdir:
+        for flips in bitflips:
+            accs, top3s, churns, nev = [], [], [], 0
+            for trial in range(trials):
+                path = corrupted_copy(baseline.final_path, workdir,
+                                      f"churn_{flips}_{trial}")
+                CheckpointCorrupter(InjectorConfig(
+                    hdf5_file=path, injection_attempts=flips,
+                    corruption_mode="bit_range", first_bit=2,
+                    float_precision=32,
+                    locations_to_corrupt=[weights_root(framework)],
+                    use_random_locations=False,
+                    seed=seed * 14_000 + flips * 7 + trial,
+                )).corrupt()
+                corrupted = build_session_model(spec)
+                facade.load_checkpoint(path, corrupted)
+                with np.errstate(over="ignore", invalid="ignore"):
+                    logits = corrupted.predict(images, scale.batch_size)
+                if not np.all(np.isfinite(logits)):
+                    nev += 1
+                    continue
+                accs.append(float(np.mean(np.argmax(logits, 1) == labels)))
+                top3s.append(top_k_accuracy(logits, labels, 3))
+                churns.append(prediction_churn(clean_logits, logits))
+            rows.append([
+                flips,
+                round(100 * float(np.mean(accs)), 2) if accs else "-",
+                round(100 * float(np.mean(top3s)), 2) if top3s else "-",
+                round(100 * float(np.mean(churns)), 2) if churns else "-",
+                nev,
+            ])
+
+    headers = ["Bit-flips", "accuracy %", "top-3 %", "churn %", "N-EV"]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, headers=headers, rows=rows,
+        rendered=render_table(headers, rows, title=TITLE),
+        extra={"scale": scale.name, "clean_accuracy": clean_accuracy,
+               "trials": trials},
+    )

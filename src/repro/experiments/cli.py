@@ -1,0 +1,65 @@
+"""Command-line entry point: ``repro-experiments run table4 --scale tiny``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .common import SCALES
+from .registry import EXPERIMENTS, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the list/run subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lister = sub.add_parser("list", help="list available experiments")
+    _ = lister
+
+    runner = sub.add_parser("run", help="run one or more experiments")
+    runner.add_argument("experiments", nargs="+",
+                        help="experiment ids (or 'all')")
+    runner.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    runner.add_argument("--seed", type=int, default=42)
+    runner.add_argument("--json", action="store_true",
+                        help="emit machine-readable rows instead of tables")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro-experiments``."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in sorted(EXPERIMENTS):
+            print(experiment_id)
+        return 0
+
+    ids = list(args.experiments)
+    if ids == ["all"]:
+        ids = sorted(EXPERIMENTS)
+    unknown = [e for e in ids if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        return 2
+    for experiment_id in ids:
+        start = time.time()
+        result = run_experiment(experiment_id, scale=args.scale,
+                                seed=args.seed)
+        elapsed = time.time() - start
+        if args.json:
+            print(result.to_json())
+        else:
+            print(result.rendered)
+            print(f"[{experiment_id} completed in {elapsed:.1f}s "
+                  f"at scale={args.scale}]")
+            print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

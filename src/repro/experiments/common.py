@@ -1,0 +1,375 @@
+"""Shared experiment infrastructure: scales, baseline caching, and the
+inject-and-resume primitive every table/figure builds on.
+
+The paper's protocol (§V-A):
+
+1. train a model deterministically, checkpointing each epoch to HDF5;
+2. take the epoch-20 checkpoint, corrupt a copy of it with the injector;
+3. resume training from the corrupted copy and compare the accuracy
+   trajectory against the error-free continuation.
+
+Because training is deterministic, the baseline (checkpoint file + accuracy
+trajectory) for a (framework, model, precision, scale, seed) tuple is a pure
+function of its key; :class:`BaselineCache` trains it once and reuses it
+across trials and experiments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..data import synthetic_cifar10
+from ..frameworks import get_facade, set_global_determinism
+from ..nn import SGD, Trainer
+from ..nn.model import Model
+
+
+# ---------------------------------------------------------------------------
+# Scales
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs that trade fidelity for runtime.
+
+    ``paper`` mirrors the paper's configuration (250 trainings, checkpoint at
+    epoch 20, 100 total epochs, full-width models); ``small`` and ``tiny``
+    shrink trial counts, epochs, widths, and dataset size for CPU runs; the
+    ``smoke`` scale exists for the test suite.
+    """
+
+    name: str
+    train_size: int
+    test_size: int
+    image_size: int
+    checkpoint_epoch: int
+    total_epochs: int
+    resume_epochs: int  # epochs trained after restart for curve experiments
+    nev_resume_epochs: int  # epochs needed to detect a collapse
+    trainings: int  # trials per experiment cell
+    curve_trainings: int  # averaged trainings for figure curves
+    predictions: int  # repeated predictions for Table VIII
+    prediction_images: int
+    batch_size: int
+    width_mult: dict[str, float] = field(default_factory=dict)
+    resnet_image_size: int = 32
+    #: running-stats momentum for batch-norm models; small-data scales use a
+    #: lower value so eval-mode statistics track the 53-BN ResNet stack.
+    bn_momentum: float = 0.9
+
+    def width(self, model: str) -> float:
+        return self.width_mult.get(model, 1.0)
+
+    def model_image_size(self, model: str) -> int:
+        return self.resnet_image_size if model == "resnet50" else self.image_size
+
+
+SCALES: dict[str, ExperimentScale] = {
+    "smoke": ExperimentScale(
+        name="smoke", train_size=60, test_size=50, image_size=16,
+        checkpoint_epoch=1, total_epochs=3, resume_epochs=2,
+        nev_resume_epochs=1, trainings=2, curve_trainings=2, predictions=2,
+        prediction_images=50, batch_size=32,
+        width_mult={"alexnet": 0.0625, "vgg16": 0.0625, "resnet50": 0.03125},
+        resnet_image_size=16,
+        bn_momentum=0.5,
+    ),
+    "tiny": ExperimentScale(
+        name="tiny", train_size=200, test_size=100, image_size=32,
+        checkpoint_epoch=2, total_epochs=8, resume_epochs=6,
+        nev_resume_epochs=1, trainings=6, curve_trainings=3, predictions=4,
+        prediction_images=100, batch_size=32,
+        width_mult={"alexnet": 0.125, "vgg16": 0.125, "resnet50": 0.0625},
+        resnet_image_size=16,
+        bn_momentum=0.5,
+    ),
+    "small": ExperimentScale(
+        name="small", train_size=500, test_size=200, image_size=32,
+        checkpoint_epoch=4, total_epochs=14, resume_epochs=10,
+        nev_resume_epochs=1, trainings=25, curve_trainings=5, predictions=10,
+        prediction_images=200, batch_size=32,
+        width_mult={"alexnet": 0.25, "vgg16": 0.125, "resnet50": 0.125},
+        resnet_image_size=32,
+        bn_momentum=0.7,
+    ),
+    "paper": ExperimentScale(
+        name="paper", train_size=50000, test_size=10000, image_size=32,
+        checkpoint_epoch=20, total_epochs=100, resume_epochs=80,
+        nev_resume_epochs=1, trainings=250, curve_trainings=10,
+        predictions=10, prediction_images=1000, batch_size=128,
+        width_mult={"alexnet": 1.0, "vgg16": 1.0, "resnet50": 1.0},
+        resnet_image_size=32,
+    ),
+}
+
+
+def get_scale(scale: str | ExperimentScale) -> ExperimentScale:
+    """Resolve a scale by name (or pass an ExperimentScale through)."""
+    if isinstance(scale, ExperimentScale):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale!r}; choose from {sorted(SCALES)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Session specification
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Everything defining one deterministic training session."""
+
+    framework: str
+    model: str
+    scale: ExperimentScale
+    policy: str = "float32"
+    seed: int = 42
+    learning_rate: float = 0.01
+    momentum: float = 0.9
+    dropout: float = 0.2
+    include_optimizer: bool = True
+
+    def cache_key(self) -> str:
+        parts = (
+            self.framework, self.model, self.scale.name, self.policy,
+            str(self.seed), f"{self.learning_rate}", f"{self.momentum}",
+            f"{self.dropout}", str(self.scale.train_size),
+            str(self.scale.total_epochs), str(self.scale.checkpoint_epoch),
+            str(self.include_optimizer),
+            str(self.scale.width(self.model)),
+            str(self.scale.model_image_size(self.model)),
+            str(self.scale.bn_momentum),
+        )
+        return "_".join(parts).replace("/", "-")
+
+    @property
+    def effective_learning_rate(self) -> float:
+        """ResNet's batch-normalized stack tolerates (and, on small data,
+        needs) a higher learning rate than the plain conv nets."""
+        if self.model == "resnet50" and self.scale.train_size <= 1000:
+            return max(self.learning_rate, 0.05)
+        return self.learning_rate
+
+    def model_kwargs(self) -> dict:
+        kwargs = {
+            "width_mult": self.scale.width(self.model),
+            "policy": self.policy,
+            "image_size": self.scale.model_image_size(self.model),
+        }
+        if self.model in ("alexnet", "vgg16"):
+            kwargs["dropout"] = self.dropout
+        if self.model == "resnet50":
+            kwargs["bn_momentum"] = self.scale.bn_momentum
+        return kwargs
+
+
+def make_dataset(spec: SessionSpec):
+    """The deterministic train/test pair for a spec (after seeding)."""
+    size = spec.scale.model_image_size(spec.model)
+    return synthetic_cifar10(
+        train_size=spec.scale.train_size,
+        test_size=spec.scale.test_size,
+        image_size=size,
+    )
+
+
+def build_session_model(spec: SessionSpec) -> Model:
+    """Build the spec's model through its framework facade."""
+    facade = get_facade(spec.framework)
+    return facade.build_model(spec.model, **spec.model_kwargs())
+
+
+# ---------------------------------------------------------------------------
+# Baseline cache
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Baseline:
+    """Artifacts of one error-free training."""
+
+    spec: SessionSpec
+    checkpoint_path: str  # epoch == scale.checkpoint_epoch
+    final_path: str  # epoch == scale.total_epochs
+    accuracy_curve: list[float]  # test accuracy, epochs 1..total
+    resumed_curve: list[float]  # test accuracy of the error-free restart
+    final_accuracy: float
+
+
+class BaselineCache:
+    """Disk cache of baseline trainings keyed by :meth:`SessionSpec.cache_key`.
+
+    The default cache root lives under the system temp directory and is
+    shared between the test suite, benchmarks, and examples; set the
+    ``REPRO_CACHE_DIR`` environment variable to relocate it.
+    """
+
+    def __init__(self, root: str | None = None):
+        self.root = root or os.environ.get(
+            "REPRO_CACHE_DIR",
+            os.path.join(tempfile.gettempdir(), "repro_baseline_cache"),
+        )
+        os.makedirs(self.root, exist_ok=True)
+
+    def get(self, spec: SessionSpec) -> Baseline:
+        key = spec.cache_key()
+        directory = os.path.join(self.root, key)
+        meta_path = os.path.join(directory, "meta.json")
+        ckpt = os.path.join(directory, "checkpoint.h5")
+        final = os.path.join(directory, "final.h5")
+        if os.path.exists(meta_path):
+            meta = json.loads(open(meta_path).read())
+            return Baseline(
+                spec=spec, checkpoint_path=ckpt, final_path=final,
+                accuracy_curve=meta["accuracy_curve"],
+                resumed_curve=meta["resumed_curve"],
+                final_accuracy=meta["final_accuracy"],
+            )
+        os.makedirs(directory, exist_ok=True)
+        baseline = self._train(spec, ckpt, final)
+        meta = {
+            "accuracy_curve": baseline.accuracy_curve,
+            "resumed_curve": baseline.resumed_curve,
+            "final_accuracy": baseline.final_accuracy,
+        }
+        with open(meta_path, "w") as handle:
+            json.dump(meta, handle)
+        return baseline
+
+    def _train(self, spec: SessionSpec, ckpt: str, final: str) -> Baseline:
+        scale = spec.scale
+        facade = get_facade(spec.framework)
+        set_global_determinism(spec.framework, spec.seed)
+        train, test = make_dataset(spec)
+        model = build_session_model(spec)
+        optimizer = SGD(lr=spec.effective_learning_rate,
+                        momentum=spec.momentum)
+
+        def callback(epoch: int, trainer: Trainer) -> None:
+            if epoch == scale.checkpoint_epoch:
+                facade.save_checkpoint(
+                    ckpt, model, optimizer, epoch=epoch,
+                    include_optimizer=spec.include_optimizer,
+                )
+
+        trainer = Trainer(model, optimizer, batch_size=scale.batch_size,
+                          epoch_callback=callback)
+        history = trainer.fit(train.images, train.labels,
+                              epochs=scale.total_epochs,
+                              x_test=test.images, labels_test=test.labels)
+        facade.save_checkpoint(final, model, optimizer,
+                               epoch=scale.total_epochs,
+                               include_optimizer=spec.include_optimizer)
+        curve = [m.test_accuracy for m in history.epochs]
+        resumed = curve[scale.checkpoint_epoch:]
+        return Baseline(
+            spec=spec, checkpoint_path=ckpt, final_path=final,
+            accuracy_curve=curve, resumed_curve=resumed,
+            final_accuracy=curve[-1] if curve else float("nan"),
+        )
+
+
+#: Module-level default cache shared by all experiments.
+DEFAULT_CACHE = BaselineCache()
+
+
+# ---------------------------------------------------------------------------
+# Inject-and-resume primitive
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ResumeOutcome:
+    """Result of resuming training from a (possibly corrupted) checkpoint."""
+
+    accuracy_curve: list[float]  # test accuracy per resumed epoch
+    collapsed: bool
+    final_accuracy: float
+    model: Model | None = None
+
+
+def resume_training(spec: SessionSpec, checkpoint_path: str,
+                    epochs: int | None = None,
+                    keep_model: bool = False) -> ResumeOutcome:
+    """Load *checkpoint_path* and continue training deterministically.
+
+    Replays exactly the batches an uninterrupted run would see from the
+    stored epoch onward; corrupted values in the checkpoint flow into the
+    model unchecked.
+    """
+    scale = spec.scale
+    facade = get_facade(spec.framework)
+    set_global_determinism(spec.framework, spec.seed)
+    train, test = make_dataset(spec)
+    model = build_session_model(spec)
+    optimizer = SGD(lr=spec.effective_learning_rate,
+                        momentum=spec.momentum)
+    start_epoch = facade.load_checkpoint(checkpoint_path, model, optimizer)
+    trainer = Trainer(model, optimizer, batch_size=scale.batch_size)
+    trainer.epoch = start_epoch
+    if epochs is None:
+        epochs = scale.total_epochs - start_epoch
+    history = trainer.fit(train.images, train.labels, epochs=epochs,
+                          x_test=test.images, labels_test=test.labels)
+    curve = [m.test_accuracy for m in history.epochs]
+    finite = [a for a in curve if a is not None]
+    return ResumeOutcome(
+        accuracy_curve=curve,
+        collapsed=history.collapsed,
+        final_accuracy=finite[-1] if finite else float("nan"),
+        model=model if keep_model else None,
+    )
+
+
+def corrupted_copy(checkpoint_path: str, workdir: str, tag: str) -> str:
+    """Copy a baseline checkpoint into *workdir* for corruption."""
+    target = os.path.join(workdir, f"{tag}.h5")
+    shutil.copy(checkpoint_path, target)
+    return target
+
+
+def weights_root(framework: str) -> str:
+    """The checkpoint group holding model weights (excludes optimizer state)."""
+    return {
+        "chainer_like": "predictor",
+        "torch_like": "state_dict",
+        "tf_like": "model_weights",
+    }[framework]
+
+
+# ---------------------------------------------------------------------------
+# Experiment result container
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ExperimentResult:
+    """Uniform result record for every table/figure harness."""
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+    rendered: str
+    extra: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": self.headers,
+            "rows": self.rows,
+            "scale": self.extra.get("scale"),
+        }, indent=2, default=str)
+
+
+def with_scale(spec: SessionSpec, scale: str | ExperimentScale) -> SessionSpec:
+    """A copy of *spec* at a different scale."""
+    return replace(spec, scale=get_scale(scale))

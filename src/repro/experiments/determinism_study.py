@@ -1,0 +1,92 @@
+"""Determinism study (paper §V-A3 / Code 1 / §VI-4).
+
+The paper's methodology depends on bit-reproducible training, and its
+authors had to disable Horovod's tensor fusion (``HOROVOD_FUSION_THRESHOLD=0``)
+to get it.  This experiment quantifies that mechanism on the simulated
+data-parallel trainer:
+
+* per framework, two identical runs with the full Code 1 recipe must match
+  bit-for-bit;
+* with Horovod fusion *enabled*, two runs diverge (floating-point addition
+  is not associative, and the buffer reduction order is timing-dependent);
+* with fusion disabled, data-parallel runs are reproducible again.
+
+The divergence is reported as the max |weight difference| between two runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import render_table
+from ..data import synthetic_cifar10
+from ..distributed import DataParallelTrainer
+from ..frameworks import get_facade, set_global_determinism
+from ..nn import SGD
+from .common import ExperimentResult, get_scale
+
+EXPERIMENT_ID = "determinism_study"
+TITLE = "Determinism study: Code 1 recipe and Horovod fusion (SSV-A3)"
+
+DEFAULT_FRAMEWORKS = ("chainer_like", "torch_like", "tf_like")
+
+
+def _train_once(framework: str, seed: int, scale, fusion_threshold: int,
+                num_workers: int) -> dict:
+    set_global_determinism(framework, seed)
+    train, _ = synthetic_cifar10(
+        train_size=scale.train_size, test_size=scale.test_size,
+        image_size=16,
+    )
+    facade = get_facade(framework)
+    model = facade.build_model("alexnet", width_mult=0.0625, dropout=0.2,
+                               image_size=16)
+    trainer = DataParallelTrainer(
+        model, SGD(lr=0.01, momentum=0.9), num_workers=num_workers,
+        batch_size=scale.batch_size, fusion_threshold=fusion_threshold,
+    )
+    for _ in range(2):
+        trainer.run_epoch(train.images, train.labels)
+    return {key: value.copy()
+            for key, value in model.named_parameters().items()}
+
+
+def max_weight_divergence(a: dict, b: dict) -> float:
+    """Largest |a - b| over two runs' parameter dictionaries."""
+    worst = 0.0
+    for key in a:
+        delta = np.abs(a[key].astype(np.float64)
+                       - b[key].astype(np.float64))
+        if delta.size:
+            worst = max(worst, float(delta.max()))
+    return worst
+
+
+def run(scale="tiny", seed: int = 42, frameworks=DEFAULT_FRAMEWORKS,
+        num_workers: int = 4, cache=None) -> ExperimentResult:
+    """Run the Code 1 / Horovod-fusion determinism study."""
+    scale = get_scale(scale)
+    _ = cache  # no baselines needed; accepted for registry uniformity
+
+    rows = []
+    for framework in frameworks:
+        for label, threshold in (("fusion off (Code 1)", 0),
+                                 ("fusion on", 1 << 20)):
+            first = _train_once(framework, seed, scale, threshold,
+                                num_workers)
+            second = _train_once(framework, seed, scale, threshold,
+                                 num_workers)
+            divergence = max_weight_divergence(first, second)
+            rows.append([
+                framework, label, num_workers,
+                f"{divergence:.3g}",
+                "bit-identical" if divergence == 0.0 else "nondeterministic",
+            ])
+
+    headers = ["framework", "allreduce mode", "workers",
+               "max |weight diff| between identical runs", "verdict"]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, headers=headers, rows=rows,
+        rendered=render_table(headers, rows, title=TITLE),
+        extra={"scale": scale.name, "num_workers": num_workers},
+    )

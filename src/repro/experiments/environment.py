@@ -1,0 +1,66 @@
+"""Environment report — the reproduction's analog of the paper's
+Tables II (software versions) and III (experimental configuration)."""
+
+from __future__ import annotations
+
+import platform
+import sys
+
+import numpy as np
+
+from .. import __version__
+from ..analysis import render_table
+from .common import SCALES, ExperimentResult
+
+
+def software_rows() -> list[list[str]]:
+    """Table II analog: every software component and its version."""
+    return [
+        ["Platform", platform.platform()],
+        ["Python", sys.version.split()[0]],
+        ["numpy", np.__version__],
+        ["repro", __version__],
+        ["HDF5 library", "repro.hdf5 (pure-Python subset, v0 superblock)"],
+        ["DL frameworks", "repro.frameworks facades over repro.nn "
+                          "(chainer_like, torch_like, tf_like)"],
+        ["Distributed", "repro.distributed simulated Horovod"],
+    ]
+
+
+def configuration_rows(scale_name: str = "paper") -> list[list[str]]:
+    """Table III analog: the experiment configuration at one scale."""
+    scale = SCALES[scale_name]
+    return [
+        ["DL frameworks", "chainer_like, torch_like, tf_like"],
+        ["Neural network models", "resnet50, vgg16, alexnet"],
+        ["Dataset", f"synthetic CIFAR-10 stand-in "
+                    f"({scale.train_size} train / {scale.test_size} test, "
+                    f"{scale.image_size}x{scale.image_size})"],
+        ["Restart epoch", str(scale.checkpoint_epoch)],
+        ["Total epochs", str(scale.total_epochs)],
+        ["Trainings per cell", str(scale.trainings)],
+        ["Predictions (Table VIII)",
+         f"{scale.predictions} x {scale.prediction_images} images"],
+        ["Width multipliers", str(scale.width_mult)],
+        ["Batch size", str(scale.batch_size)],
+    ]
+
+
+def run(scale="paper", seed: int = 42, cache=None) -> ExperimentResult:
+    """Render both tables; *scale* selects the configuration column."""
+    _ = seed, cache
+    scale_name = scale if isinstance(scale, str) else scale.name
+    headers = ["Item", "Value"]
+    rows = software_rows() + [["--", "--"]] + configuration_rows(scale_name)
+    rendered = "\n\n".join([
+        render_table(headers, software_rows(),
+                     title="Software versions (paper Table II analog)"),
+        render_table(headers, configuration_rows(scale_name),
+                     title=f"Experiment configuration at scale "
+                           f"'{scale_name}' (paper Table III analog)"),
+    ])
+    return ExperimentResult(
+        experiment_id="environment", title="Environment report",
+        headers=headers, rows=rows, rendered=rendered,
+        extra={"scale": scale_name},
+    )

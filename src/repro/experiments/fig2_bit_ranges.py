@@ -1,0 +1,72 @@
+"""Figure 2 — Which bit ranges collapse a neural network.
+
+The injector is restricted to sliding bit ranges of the float format and
+1000 flips are injected per training.  The paper's finding: training
+collapses **only** when the range includes the exponent's most significant
+bit (MSB-order bit 1); sign-bit and mantissa flips never collapse it.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from ..analysis import render_table
+from .common import (
+    DEFAULT_CACHE,
+    ExperimentResult,
+    SessionSpec,
+    get_scale,
+)
+from .table4_nev_incidence import nev_trial
+
+EXPERIMENT_ID = "fig2"
+TITLE = "Fig 2: Bit ranges that collapse training (1000 flips each)"
+
+#: (first_bit, last_bit) in paper MSB order for 32-bit floats:
+#: bit 0 = sign, bit 1 = exponent MSB, bits 9..31 = mantissa.
+DEFAULT_RANGES_32 = (
+    (0, 31),   # everything, incl. exponent MSB  -> collapses
+    (1, 31),   # exponent MSB onward             -> collapses
+    (2, 31),   # exponent MSB excluded           -> survives
+    (0, 0),    # sign bit only                   -> survives
+    (1, 1),    # exponent MSB only               -> collapses
+    (2, 8),    # low exponent bits               -> survives
+    (9, 31),   # mantissa only                   -> survives
+)
+
+DEFAULT_FRAMEWORK = "chainer_like"
+DEFAULT_MODEL = "alexnet"
+BITFLIPS = 1000
+
+
+def run(scale="tiny", seed: int = 42, framework: str = DEFAULT_FRAMEWORK,
+        model: str = DEFAULT_MODEL, ranges=DEFAULT_RANGES_32,
+        cache=None) -> ExperimentResult:
+    """Regenerate Fig 2 (bit ranges that collapse training)."""
+    scale = get_scale(scale)
+    cache = cache or DEFAULT_CACHE
+    trainings = scale.trainings
+    spec = SessionSpec(framework, model, scale, seed=seed)
+    baseline = (cache or DEFAULT_CACHE).get(spec)
+
+    headers = ["first_bit", "last_bit", "includes exp MSB", "trainings",
+               "collapsed", "collapse %"]
+    rows = []
+    with tempfile.TemporaryDirectory() as workdir:
+        for first, last in ranges:
+            collapsed = sum(
+                nev_trial(spec, baseline, BITFLIPS, trial, workdir,
+                          policy_precision=32, first_bit=first, last_bit=last)
+                for trial in range(trainings)
+            )
+            rows.append([
+                first, last, "yes" if first <= 1 <= last else "no",
+                trainings, collapsed,
+                round(100.0 * collapsed / trainings, 1),
+            ])
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, headers=headers, rows=rows,
+        rendered=render_table(headers, rows, title=TITLE),
+        extra={"scale": scale.name, "bitflips": BITFLIPS},
+    )

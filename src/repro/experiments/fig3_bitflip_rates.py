@@ -1,0 +1,106 @@
+"""Figure 3 — Sensitivity to different bit-flip rates.
+
+Three framework/model pairs resume from the epoch-20 checkpoint with 1, 10,
+100, or 1000 bit-flips injected (exponent MSB excluded, so nothing
+collapses); each curve averages several trainings, plotted against the
+error-free 100-epoch baseline.  Paper shape: no visible degradation at any
+flip rate.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+
+from ..analysis import render_curves
+from ..injector import CheckpointCorrupter, InjectorConfig
+from .common import (
+    DEFAULT_CACHE,
+    ExperimentResult,
+    SessionSpec,
+    corrupted_copy,
+    get_scale,
+    resume_training,
+    weights_root,
+)
+from .table5_single_bitflip import SAFE_FIRST_BIT
+
+EXPERIMENT_ID = "fig3"
+TITLE = "Fig 3: Accuracy vs epochs at different bit-flip rates"
+
+DEFAULT_PAIRS = (
+    ("chainer_like", "alexnet"),
+    ("torch_like", "vgg16"),
+    ("tf_like", "resnet50"),
+)
+DEFAULT_BITFLIPS = (1, 10, 100, 1000)
+
+
+def averaged_curve(spec: SessionSpec, baseline, flips: int, workdir: str,
+                   trainings: int) -> list[float]:
+    """Average resumed accuracy over *trainings* injected restarts."""
+    epochs = spec.scale.resume_epochs
+    curves = []
+    for trial in range(trainings):
+        path = corrupted_copy(baseline.checkpoint_path, workdir,
+                              f"{spec.framework}_{spec.model}_{flips}_{trial}")
+        config = InjectorConfig(
+            hdf5_file=path,
+            injection_attempts=flips,
+            corruption_mode="bit_range",
+            first_bit=SAFE_FIRST_BIT,
+            float_precision=32,
+            locations_to_corrupt=[weights_root(spec.framework)],
+            use_random_locations=False,
+            seed=spec.seed * 3_000 + flips * 17 + trial,
+        )
+        CheckpointCorrupter(config).corrupt()
+        outcome = resume_training(spec, path, epochs=epochs)
+        curves.append([a if a is not None else np.nan
+                       for a in outcome.accuracy_curve])
+    width = max(len(c) for c in curves)
+    padded = np.full((len(curves), width), np.nan)
+    for i, curve in enumerate(curves):
+        padded[i, :len(curve)] = curve
+    return [float(v) for v in np.nanmean(padded, axis=0)]
+
+
+def run(scale="tiny", seed: int = 42, pairs=DEFAULT_PAIRS,
+        bitflips=DEFAULT_BITFLIPS, cache=None) -> ExperimentResult:
+    """Regenerate Fig 3 (accuracy curves per flip rate)."""
+    scale = get_scale(scale)
+    cache = cache or DEFAULT_CACHE
+    trainings = scale.curve_trainings
+
+    panels: dict[str, dict[str, list[float]]] = {}
+    rows = []
+    with tempfile.TemporaryDirectory() as workdir:
+        for framework, model in pairs:
+            spec = SessionSpec(framework, model, scale, seed=seed)
+            baseline = cache.get(spec)
+            series: dict[str, list[float]] = {
+                "baseline": baseline.resumed_curve[: scale.resume_epochs],
+            }
+            for flips in bitflips:
+                series[f"{flips} flips"] = averaged_curve(
+                    spec, baseline, flips, workdir, trainings
+                )
+            panels[f"{framework}/{model}"] = series
+            for name, curve in series.items():
+                finite = [v for v in curve if v == v]
+                rows.append([
+                    f"{framework}/{model}", name,
+                    round(float(finite[-1]), 4) if finite else float("nan"),
+                ])
+
+    rendered = "\n\n".join(
+        render_curves(series, title=f"{TITLE} — {panel}")
+        for panel, series in panels.items()
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE,
+        headers=["panel", "series", "final accuracy"], rows=rows,
+        rendered=rendered,
+        extra={"scale": scale.name, "curves": panels},
+    )

@@ -1,0 +1,99 @@
+"""Figure 7 — Dramatic corruption via scaling factors (heat map).
+
+Instead of single bit-flips, weights are multiplied by a scaling factor —
+potentially overturning up to half the bits at once.  Chainer + ResNet50:
+the grid sweeps (number of scaled weights) x (scaling factor); each cell is
+the average final accuracy of several trainings.  Paper shape: degradation
+grows along both axes; ~10 weights at factor 4500 already halve accuracy.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+
+from ..analysis import mean_excluding_collapsed, render_heatmap
+from ..injector import CheckpointCorrupter, InjectorConfig
+from .common import (
+    DEFAULT_CACHE,
+    ExperimentResult,
+    SessionSpec,
+    corrupted_copy,
+    get_scale,
+    resume_training,
+    weights_root,
+)
+
+EXPERIMENT_ID = "fig7"
+TITLE = "Fig 7: Accuracy under scaling-factor corruption"
+
+DEFAULT_FRAMEWORK = "chainer_like"
+DEFAULT_MODEL = "resnet50"
+DEFAULT_FACTORS = (1.5, 10.0, 100.0, 1000.0, 4500.0)
+DEFAULT_WEIGHT_COUNTS = (1, 10, 100, 1000)
+
+
+def scaling_cell(spec: SessionSpec, baseline, factor: float, weights: int,
+                 workdir: str, trainings: int) -> float:
+    """Average final accuracy for one (factor, weights) heat-map cell."""
+    finals, collapsed = [], []
+    for trial in range(trainings):
+        path = corrupted_copy(baseline.checkpoint_path, workdir,
+                              f"sf_{factor}_{weights}_{trial}")
+        config = InjectorConfig(
+            hdf5_file=path,
+            injection_attempts=weights,
+            corruption_mode="scaling_factor",
+            scaling_factor=factor,
+            float_precision=32,
+            locations_to_corrupt=[weights_root(spec.framework)],
+            use_random_locations=False,
+            seed=spec.seed * 8_000 + int(factor) + weights + trial,
+        )
+        CheckpointCorrupter(config).corrupt()
+        outcome = resume_training(spec, path,
+                                  epochs=spec.scale.resume_epochs)
+        finals.append(outcome.final_accuracy)
+        collapsed.append(outcome.collapsed)
+    return mean_excluding_collapsed(finals, collapsed)
+
+
+def run(scale="tiny", seed: int = 42, framework: str = DEFAULT_FRAMEWORK,
+        model: str = DEFAULT_MODEL, factors=DEFAULT_FACTORS,
+        weight_counts=DEFAULT_WEIGHT_COUNTS, cache=None) -> ExperimentResult:
+    """Regenerate Fig 7 (scaling-factor heat map)."""
+    scale = get_scale(scale)
+    cache = cache or DEFAULT_CACHE
+    trainings = scale.curve_trainings
+    spec = SessionSpec(framework, model, scale, seed=seed)
+    baseline = cache.get(spec)
+    reference = baseline.resumed_curve
+    baseline_final = reference[min(scale.resume_epochs, len(reference)) - 1]
+
+    grid = np.zeros((len(weight_counts), len(factors)))
+    with tempfile.TemporaryDirectory() as workdir:
+        for i, weights in enumerate(weight_counts):
+            for j, factor in enumerate(factors):
+                grid[i, j] = scaling_cell(spec, baseline, factor, weights,
+                                          workdir, trainings)
+
+    headers = ["weights \\ factor"] + [str(f) for f in factors]
+    rows = []
+    for i, weights in enumerate(weight_counts):
+        rows.append([weights] + [
+            round(float(grid[i, j]), 4) if grid[i, j] == grid[i, j]
+            else float("nan")
+            for j in range(len(factors))
+        ])
+
+    rendered = render_heatmap(
+        [str(w) for w in weight_counts], [str(f) for f in factors], grid,
+        title=f"{TITLE} (baseline accuracy {baseline_final:.3f})",
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, headers=headers, rows=rows,
+        rendered=rendered,
+        extra={"scale": scale.name, "baseline_accuracy": baseline_final,
+               "grid": grid.tolist()},
+    )

@@ -1,0 +1,62 @@
+"""Registry mapping experiment ids (table/figure numbers) to harnesses."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from . import (
+    ablations,
+    bit_sensitivity,
+    churn_study,
+    determinism_study,
+    environment,
+    stencil_study,
+    fig2_bit_ranges,
+    fig3_bitflip_rates,
+    fig4_layer_injection,
+    fig5_equivalent_injection,
+    fig6_error_propagation,
+    fig7_scaling_factor,
+    runtime_equivalence,
+    table4_nev_incidence,
+    table5_single_bitflip,
+    table6_multibit_masks,
+    table7_nev_precision,
+    table8_prediction,
+)
+from .common import ExperimentResult
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table4": table4_nev_incidence.run,
+    "table5": table5_single_bitflip.run,
+    "table6": table6_multibit_masks.run,
+    "table7": table7_nev_precision.run,
+    "table8": table8_prediction.run,
+    "fig2": fig2_bit_ranges.run,
+    "fig3": fig3_bitflip_rates.run,
+    "fig4": fig4_layer_injection.run,
+    "fig5": fig5_equivalent_injection.run,
+    "fig6": fig6_error_propagation.run,
+    "fig7": fig7_scaling_factor.run,
+    "bit_sensitivity": bit_sensitivity.run,
+    "churn_study": churn_study.run,
+    "environment": environment.run,
+    "determinism_study": determinism_study.run,
+    "stencil_study": stencil_study.run,
+    "runtime_equivalence": runtime_equivalence.run,
+    "ablation_nan_retry": ablations.run_nan_retry,
+    "ablation_scrub": ablations.run_scrub,
+    "ablation_optimizer_state": ablations.run_optimizer_state,
+}
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id ('table4' ... 'fig7', 'ablation_*')."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; choose from "
+            f"{sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(**kwargs)

@@ -1,0 +1,75 @@
+"""Table VII — N-EV incidence at 16- and 32-bit floating-point precision.
+
+Same protocol as Table IV but the models are trained and checkpointed at
+fp16/fp32 (Chainer facade, all three models).  Paper shape: incidence still
+rises with flip count at every precision; at 1000 flips the lower precisions
+collapse slightly *less* often than fp64 because flipped exponents cannot
+reach such astronomical magnitudes.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from ..analysis import render_table
+from .common import (
+    DEFAULT_CACHE,
+    ExperimentResult,
+    SessionSpec,
+    get_scale,
+)
+from .table4_nev_incidence import nev_trial
+
+EXPERIMENT_ID = "table7"
+TITLE = "Table VII: N-EV incidence at 16-bit and 32-bit precision"
+
+DEFAULT_FRAMEWORK = "chainer_like"
+DEFAULT_MODELS = ("resnet50", "vgg16", "alexnet")
+DEFAULT_BITFLIPS = (1, 10, 100, 1000)
+DEFAULT_PRECISIONS = ("float16", "float32")
+
+
+def run(scale="tiny", seed: int = 42, framework: str = DEFAULT_FRAMEWORK,
+        models=DEFAULT_MODELS, bitflips=DEFAULT_BITFLIPS,
+        precisions=DEFAULT_PRECISIONS, cache=None) -> ExperimentResult:
+    """Regenerate Table VII (N-EV incidence at fp16/fp32)."""
+    scale = get_scale(scale)
+    cache = cache or DEFAULT_CACHE
+    trainings = scale.trainings
+
+    headers = ["Bit-flips", "DL Train"]
+    for precision in precisions:
+        for model in models:
+            headers.append(f"{precision}/{model} (%)")
+
+    cells: dict[tuple[str, str, int], float] = {}
+    with tempfile.TemporaryDirectory() as workdir:
+        for precision in precisions:
+            for model in models:
+                spec = SessionSpec(framework, model, scale, policy=precision,
+                                   seed=seed)
+                baseline = cache.get(spec)
+                width = int(precision.replace("float", ""))
+                for flips in bitflips:
+                    collapsed = sum(
+                        nev_trial(spec, baseline, flips, trial, workdir,
+                                  policy_precision=width)
+                        for trial in range(trainings)
+                    )
+                    cells[(precision, model, flips)] = (
+                        100.0 * collapsed / trainings
+                    )
+
+    rows = []
+    for flips in bitflips:
+        row: list[object] = [flips, trainings]
+        for precision in precisions:
+            for model in models:
+                row.append(round(cells[(precision, model, flips)], 1))
+        rows.append(row)
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, headers=headers, rows=rows,
+        rendered=render_table(headers, rows, title=TITLE),
+        extra={"scale": scale.name, "framework": framework},
+    )

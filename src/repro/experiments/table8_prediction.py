@@ -1,0 +1,123 @@
+"""Table VIII — Prediction (inference) under different precisions and
+bit-flip rates.
+
+A fully trained checkpoint ("epoch 100") is corrupted with 0/1/10/100/1000
+full-range flips and used purely for prediction; each cell averages several
+repeated predictions over a fixed image set.  Collapsed predictions (logits
+containing N-EVs) are counted in parentheses, as in the paper.  Paper shape:
+unlike training, prediction *does* degrade with flips, more at lower
+precision; ResNet is the most N-EV-prone.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+
+from ..analysis import render_table
+from ..frameworks import get_facade, set_global_determinism
+from ..injector import CheckpointCorrupter, InjectorConfig
+from .common import (
+    DEFAULT_CACHE,
+    ExperimentResult,
+    SessionSpec,
+    build_session_model,
+    corrupted_copy,
+    get_scale,
+    make_dataset,
+    weights_root,
+)
+
+EXPERIMENT_ID = "table8"
+TITLE = ("Table VIII: Prediction under different floating-point precisions "
+         "and bit-flip rates")
+
+DEFAULT_FRAMEWORK = "chainer_like"
+DEFAULT_MODELS = ("resnet50", "vgg16", "alexnet")
+DEFAULT_BITFLIPS = (0, 1, 10, 100, 1000)
+DEFAULT_PRECISIONS = ("float16", "float32", "float64")
+
+
+def prediction_trial(spec: SessionSpec, final_ckpt: str, bitflips: int,
+                     trial: int, workdir: str) -> tuple[float, bool]:
+    """Corrupt a trained checkpoint, predict once, return (accuracy, nev)."""
+    facade = get_facade(spec.framework)
+    set_global_determinism(spec.framework, spec.seed)
+    _, test = make_dataset(spec)
+    images = test.images[: spec.scale.prediction_images]
+    labels = test.labels[: spec.scale.prediction_images]
+
+    path = corrupted_copy(final_ckpt, workdir,
+                          f"{spec.policy}_{spec.model}_{bitflips}_{trial}")
+    if bitflips:
+        config = InjectorConfig(
+            hdf5_file=path,
+            injection_attempts=bitflips,
+            corruption_mode="bit_range",
+            float_precision=int(spec.policy.replace("float", "")),
+            locations_to_corrupt=[weights_root(spec.framework)],
+            use_random_locations=False,
+            seed=spec.seed * 11_000 + bitflips * 37 + trial,
+        )
+        CheckpointCorrupter(config).corrupt()
+    model = build_session_model(spec)
+    facade.load_checkpoint(path, model)
+    with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+        logits = model.predict(images, batch_size=spec.scale.batch_size)
+    if not np.all(np.isfinite(logits)):
+        return float("nan"), True
+    accuracy = float(np.mean(np.argmax(logits, axis=1) == labels))
+    return accuracy, False
+
+
+def run(scale="tiny", seed: int = 42, framework: str = DEFAULT_FRAMEWORK,
+        models=DEFAULT_MODELS, bitflips=DEFAULT_BITFLIPS,
+        precisions=DEFAULT_PRECISIONS, cache=None) -> ExperimentResult:
+    """Regenerate Table VIII (inference under corruption per precision)."""
+    scale = get_scale(scale)
+    cache = cache or DEFAULT_CACHE
+    predictions = scale.predictions
+
+    headers = ["Bit-flips"]
+    for precision in precisions:
+        for model in models:
+            headers.append(f"{precision}/{model}")
+
+    cells: dict[tuple[str, str, int], str] = {}
+    with tempfile.TemporaryDirectory() as workdir:
+        for precision in precisions:
+            for model in models:
+                spec = SessionSpec(framework, model, scale, policy=precision,
+                                   seed=seed)
+                baseline = cache.get(spec)
+                for flips in bitflips:
+                    accs, nevs = [], 0
+                    for trial in range(predictions if flips else 1):
+                        acc, nev = prediction_trial(
+                            spec, baseline.final_path, flips, trial, workdir
+                        )
+                        if nev:
+                            nevs += 1
+                        else:
+                            accs.append(acc)
+                    mean = (round(100.0 * float(np.mean(accs)), 2)
+                            if accs else "-")
+                    cells[(precision, model, flips)] = (
+                        f"{mean}({nevs})" if nevs else f"{mean}"
+                    )
+
+    rows = []
+    for flips in bitflips:
+        row: list[object] = [flips]
+        for precision in precisions:
+            for model in models:
+                row.append(cells[(precision, model, flips)])
+        rows.append(row)
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, headers=headers, rows=rows,
+        rendered=render_table(headers, rows, title=TITLE),
+        extra={"scale": scale.name, "framework": framework,
+               "predictions_per_cell": predictions},
+    )

@@ -1,0 +1,55 @@
+"""Framework facades: Chainer / PyTorch / TensorFlow checkpoint personalities.
+
+Each facade builds models from the shared numpy engine but serializes
+checkpoints with its framework's HDF5 layout (paths, dataset names, kernel
+layouts).  ``get_facade`` dispatches by name; ``FRAMEWORKS`` lists all three.
+"""
+
+from .base import FrameworkFacade
+from .convert import (
+    hdf5_to_npz,
+    load_npz_checkpoint,
+    npz_to_hdf5,
+    save_npz_checkpoint,
+)
+from .chainer_like import ChainerLikeFacade
+from .determinism import (
+    DeterminismReport,
+    horovod_fusion_threshold,
+    set_global_determinism,
+)
+from .tf_like import TFLikeFacade
+from .torch_like import TorchLikeFacade
+
+FRAMEWORKS: dict[str, type[FrameworkFacade]] = {
+    "chainer_like": ChainerLikeFacade,
+    "torch_like": TorchLikeFacade,
+    "tf_like": TFLikeFacade,
+}
+
+
+def get_facade(name: str) -> FrameworkFacade:
+    """Instantiate a facade by name ('chainer_like', 'torch_like', 'tf_like')."""
+    try:
+        return FRAMEWORKS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown framework {name!r}; choose from {sorted(FRAMEWORKS)}"
+        ) from None
+
+
+__all__ = [
+    "ChainerLikeFacade",
+    "DeterminismReport",
+    "FRAMEWORKS",
+    "FrameworkFacade",
+    "TFLikeFacade",
+    "TorchLikeFacade",
+    "get_facade",
+    "hdf5_to_npz",
+    "load_npz_checkpoint",
+    "npz_to_hdf5",
+    "save_npz_checkpoint",
+    "horovod_fusion_threshold",
+    "set_global_determinism",
+]

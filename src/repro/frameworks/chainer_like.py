@@ -1,0 +1,35 @@
+"""Chainer-style facade.
+
+Chainer snapshots serialized with ``save_hdf5`` place a classifier's model
+under ``predictor/<link>/{W,b}``; batch-normalization links store
+``gamma``/``beta``/``avg_mean``/``avg_var``.  Convolution weights are OIHW
+and dense weights ``(out, in)`` — identical to this engine's internal
+layout, so no transposition is needed.
+"""
+
+from __future__ import annotations
+
+from .base import FrameworkFacade
+
+
+class ChainerLikeFacade(FrameworkFacade):
+    """Chainer checkpoint personality (see module docstring)."""
+
+    name = "chainer_like"
+
+    def layer_group(self, layer_name: str) -> str:
+        return f"predictor/{layer_name}"
+
+    def param_dataset_name(self, layer, key: str) -> str:
+        if self._is_batchnorm(layer):
+            return {"gamma": "gamma", "beta": "beta"}[key]
+        return {"W": "W", "b": "b"}[key]
+
+    def state_dataset_name(self, layer, key: str) -> str:
+        return {"running_mean": "avg_mean", "running_var": "avg_var"}[key]
+
+    def optimizer_group(self) -> str:
+        return "updater/optimizer"
+
+    def root_attributes(self):
+        return {"framework": self.name, "chainer_version": "7.7.0"}

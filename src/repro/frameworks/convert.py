@@ -1,0 +1,121 @@
+"""Non-HDF5 checkpoint formats and conversion to HDF5.
+
+The paper (§III-C) notes that Chainer natively snapshots to **NPZ** (numpy's
+zip format) *and* HDF5, while PyTorch pickles — the authors wrote their own
+HDF5 serializer for it.  The injector, by design, only operates on HDF5
+files; the realistic workflow for any other format is *convert, corrupt,
+convert back*.  This module implements that workflow for NPZ:
+
+* :func:`save_npz_checkpoint` / :func:`load_npz_checkpoint` — Chainer-style
+  ``numpy.savez`` snapshots with ``/``-joined keys;
+* :func:`npz_to_hdf5` / :func:`hdf5_to_npz` — lossless converters (keys
+  become HDF5 paths and back).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import hdf5
+from ..nn.model import Model
+from ..nn.optim import Optimizer
+from .base import FrameworkFacade
+
+
+def save_npz_checkpoint(path: str, model: Model, facade: FrameworkFacade,
+                        optimizer: Optimizer | None = None,
+                        epoch: int = 0) -> None:
+    """Serialize a checkpoint as NPZ using the facade's path layout.
+
+    Keys are the same strings that would be HDF5 dataset paths, so the NPZ
+    and HDF5 snapshots of one model are key-for-key convertible.
+    """
+    arrays: dict[str, np.ndarray] = {"__epoch__": np.int64(epoch)}
+    arrays["__model__"] = np.array(model.name.encode(), dtype="S64")
+    for layer in model.layers():
+        if not layer.params and not layer.state:
+            continue
+        group = facade.layer_group(layer.name)
+        for key, value in layer.params.items():
+            name = facade.param_dataset_name(layer, key)
+            arrays[f"{group}/{name}"] = facade.to_checkpoint_layout(
+                layer, key, value
+            )
+        for key, value in layer.state.items():
+            name = facade.state_dataset_name(layer, key)
+            arrays[f"{group}/{name}"] = facade.to_checkpoint_layout(
+                layer, key, value
+            )
+    if optimizer is not None:
+        for key, value in optimizer.state_arrays().items():
+            arrays[f"{facade.optimizer_group()}/{key}"] = np.asarray(value)
+    np.savez(path, **arrays)
+
+
+def load_npz_checkpoint(path: str, model: Model, facade: FrameworkFacade,
+                        optimizer: Optimizer | None = None) -> int:
+    """Restore a model (and optimizer) from an NPZ checkpoint."""
+    with np.load(path) as payload:
+        arrays = {key: payload[key] for key in payload.files}
+    for layer in model.layers():
+        if not layer.params and not layer.state:
+            continue
+        group = facade.layer_group(layer.name)
+        for key in layer.params:
+            name = facade.param_dataset_name(layer, key)
+            value = facade.from_checkpoint_layout(
+                layer, key, arrays[f"{group}/{name}"]
+            )
+            layer.params[key] = value.astype(layer.policy.param_dtype)
+        for key in layer.state:
+            name = facade.state_dataset_name(layer, key)
+            value = facade.from_checkpoint_layout(
+                layer, key, arrays[f"{group}/{name}"]
+            )
+            layer.state[key] = value.astype(layer.state[key].dtype)
+    if optimizer is not None:
+        prefix = facade.optimizer_group() + "/"
+        optimizer.load_state_arrays({
+            key[len(prefix):]: value
+            for key, value in arrays.items() if key.startswith(prefix)
+        })
+    return int(arrays.get("__epoch__", np.int64(0))[()])
+
+
+def npz_to_hdf5(npz_path: str, hdf5_path: str) -> int:
+    """Convert an NPZ checkpoint into an HDF5 one (injectable in place).
+
+    Returns the number of datasets written.  ``__``-prefixed bookkeeping
+    keys become root attributes.
+    """
+    with np.load(npz_path) as payload:
+        arrays = {key: payload[key] for key in payload.files}
+    count = 0
+    with hdf5.File(hdf5_path, "w") as f:
+        for key, value in arrays.items():
+            if key.startswith("__") and key.endswith("__"):
+                scalar = value[()]
+                if isinstance(scalar, bytes):
+                    f.attrs[key.strip("_")] = scalar.decode()
+                else:
+                    f.attrs[key.strip("_")] = int(scalar)
+                continue
+            f.create_dataset(key, data=value)
+            count += 1
+    return count
+
+
+def hdf5_to_npz(hdf5_path: str, npz_path: str) -> int:
+    """Convert an HDF5 checkpoint back to NPZ (after corruption)."""
+    arrays: dict[str, np.ndarray] = {}
+    with hdf5.File(hdf5_path, "r") as f:
+        for key, value in f.attrs.items():
+            if key == "epoch":
+                arrays["__epoch__"] = np.int64(value)
+            elif key == "model":
+                arrays["__model__"] = np.array(str(value).encode(),
+                                               dtype="S64")
+        for dataset in f.datasets():
+            arrays[dataset.name.lstrip("/")] = dataset.read()
+    np.savez(npz_path, **arrays)
+    return len(arrays)

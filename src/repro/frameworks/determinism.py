@@ -1,0 +1,97 @@
+"""Deterministic-training setup mirroring the paper's Code 1.
+
+The paper disables every source of nondeterminism per framework: Python and
+numpy seeds (shared), then framework-specific flags (torch/cuda seeds and
+cuDNN determinism for PyTorch, CuPy seed and cuDNN flag for Chainer, TF's
+own seed and ``TF_DETERMINISTIC_OPS``), plus ``HOROVOD_FUSION_THRESHOLD=0``
+for PyTorch's distributed runs.
+
+Here the analogous switches are: the engine's global seed, each facade's
+namespaced streams, and the simulated-Horovod fusion threshold
+(:mod:`repro.distributed`).  ``set_global_determinism`` applies them and
+returns the list of applied instructions, so tests (and users) can audit
+what a given framework required — the same shape as the paper's Code 1
+listing.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn import rng
+
+
+@dataclass
+class DeterminismReport:
+    """What was applied to make a framework deterministic."""
+
+    framework: str
+    seed: int
+    instructions: list[str] = field(default_factory=list)
+    environment: dict[str, str] = field(default_factory=dict)
+
+
+#: Framework-specific instructions, mirroring Code 1 lines 4-14.
+_FRAMEWORK_INSTRUCTIONS: dict[str, list[str]] = {
+    "torch_like": [
+        "torch.manual_seed(SEED)",
+        "torch.cuda.manual_seed(SEED)",
+        "torch.backends.cudnn.deterministic = True",
+        "os.environ['HOROVOD_FUSION_THRESHOLD'] = '0'",
+    ],
+    "chainer_like": [
+        "cupy.random.seed(SEED)",
+        "chainer.global_config.cudnn_deterministic = True",
+    ],
+    "tf_like": [
+        "tensorflow.random.set_seed(SEED)",
+        "os.environ['TF_DETERMINISTIC_OPS'] = '1'",
+    ],
+}
+
+#: Environment variables each framework requires (applied for real).
+_FRAMEWORK_ENV: dict[str, dict[str, str]] = {
+    "torch_like": {"HOROVOD_FUSION_THRESHOLD": "0"},
+    "chainer_like": {},
+    "tf_like": {"TF_DETERMINISTIC_OPS": "1"},
+}
+
+
+def set_global_determinism(framework: str, seed: int) -> DeterminismReport:
+    """Apply Code 1 for *framework*: seed everything, set env flags.
+
+    Returns a report of the instructions the real framework would need,
+    with the numpy-engine equivalents actually applied.
+    """
+    if framework not in _FRAMEWORK_INSTRUCTIONS:
+        raise ValueError(
+            f"unknown framework {framework!r}; choose from "
+            f"{sorted(_FRAMEWORK_INSTRUCTIONS)}"
+        )
+    # Shared instructions (Code 1 lines 2-3).
+    random.seed(seed)
+    np.random.seed(seed % (2**32))
+    rng.seed_all(seed)
+
+    environment = dict(_FRAMEWORK_ENV[framework])
+    for key, value in environment.items():
+        os.environ[key] = value
+
+    instructions = [
+        "random.seed(SEED)",
+        "numpy.random.seed(SEED)",
+        *_FRAMEWORK_INSTRUCTIONS[framework],
+    ]
+    return DeterminismReport(framework=framework, seed=seed,
+                             instructions=instructions,
+                             environment=environment)
+
+
+def horovod_fusion_threshold() -> int:
+    """The fusion threshold the simulated Horovod honours (0 = deterministic
+    reduction order; see :mod:`repro.distributed`)."""
+    return int(os.environ.get("HOROVOD_FUSION_THRESHOLD", "67108864"))

@@ -1,0 +1,60 @@
+"""TensorFlow/Keras-style facade.
+
+Keras ``model.save_weights("ckpt.h5")`` produces
+``model_weights/<layer>/<layer>/{kernel:0,bias:0}`` (the doubled layer name
+is Keras's weight-scope convention), with batch normalization storing
+``gamma:0``/``beta:0``/``moving_mean:0``/``moving_variance:0`` and optimizer
+slots under ``optimizer_weights``.  Convolution kernels are **HWIO** and
+dense kernels ``(in, out)`` — transposed relative to the engine's internal
+OIHW/(out, in) layout, so this facade converts on save and load.  This is
+exactly the layout difference that makes naive flat-index replay between
+frameworks meaningless and motivates the paper's equivalent injection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import FrameworkFacade
+
+
+class TFLikeFacade(FrameworkFacade):
+    """TensorFlow/Keras checkpoint personality (see module docstring)."""
+
+    name = "tf_like"
+
+    def layer_group(self, layer_name: str) -> str:
+        return f"model_weights/{layer_name}/{layer_name}"
+
+    def param_dataset_name(self, layer, key: str) -> str:
+        if self._is_batchnorm(layer):
+            return {"gamma": "gamma:0", "beta": "beta:0"}[key]
+        return {"W": "kernel:0", "b": "bias:0"}[key]
+
+    def state_dataset_name(self, layer, key: str) -> str:
+        return {"running_mean": "moving_mean:0",
+                "running_var": "moving_variance:0"}[key]
+
+    def optimizer_group(self) -> str:
+        return "optimizer_weights"
+
+    def to_checkpoint_layout(self, layer, key, value):
+        if key == "W" and self._is_conv(layer):
+            return np.ascontiguousarray(value.transpose(2, 3, 1, 0))  # OIHW->HWIO
+        if key == "W" and self._is_dense(layer):
+            return np.ascontiguousarray(value.T)  # (out,in)->(in,out)
+        return value
+
+    def from_checkpoint_layout(self, layer, key, value):
+        if key == "W" and self._is_conv(layer):
+            return np.ascontiguousarray(value.transpose(3, 2, 0, 1))  # HWIO->OIHW
+        if key == "W" and self._is_dense(layer):
+            return np.ascontiguousarray(value.T)
+        return value
+
+    def root_attributes(self):
+        return {
+            "framework": self.name,
+            "backend": "numpy",
+            "keras_version": "2.3.0-repro",
+        }

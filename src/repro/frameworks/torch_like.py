@@ -1,0 +1,38 @@
+"""PyTorch-style facade.
+
+PyTorch has no native HDF5 checkpoint format (it pickles ``state_dict``);
+the paper's authors wrote their own HDF5 serializer (Ckpt_Py_HDF5) that
+stores one dataset per ``state_dict`` entry.  We mirror that tool's layout:
+``state_dict/<module>/{weight,bias}`` with batch-norm buffers
+``running_mean``/``running_var``/``num_batches_tracked``.  Array layouts
+match PyTorch: OIHW convolutions and ``(out, in)`` linear weights — the same
+as the engine's internal layout.
+"""
+
+from __future__ import annotations
+
+from .base import FrameworkFacade
+
+
+class TorchLikeFacade(FrameworkFacade):
+    """PyTorch/Ckpt_Py_HDF5 checkpoint personality (see module docstring)."""
+
+    name = "torch_like"
+
+    def layer_group(self, layer_name: str) -> str:
+        return f"state_dict/{layer_name}"
+
+    def param_dataset_name(self, layer, key: str) -> str:
+        if self._is_batchnorm(layer):
+            return {"gamma": "weight", "beta": "bias"}[key]
+        return {"W": "weight", "b": "bias"}[key]
+
+    def state_dataset_name(self, layer, key: str) -> str:
+        return {"running_mean": "running_mean",
+                "running_var": "running_var"}[key]
+
+    def optimizer_group(self) -> str:
+        return "optimizer_state"
+
+    def root_attributes(self):
+        return {"framework": self.name, "torch_version": "1.5.0"}

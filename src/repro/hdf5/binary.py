@@ -1,0 +1,92 @@
+"""Little-endian binary packing helpers used by the HDF5 codec modules."""
+
+from __future__ import annotations
+
+import struct
+
+
+class BinaryWriter:
+    """An append-only little-endian byte buffer with integer helpers."""
+
+    def __init__(self) -> None:
+        self._chunks: list[bytes] = []
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def write(self, data: bytes) -> None:
+        self._chunks.append(bytes(data))
+        self._size += len(data)
+
+    def u8(self, value: int) -> None:
+        self.write(struct.pack("<B", value))
+
+    def u16(self, value: int) -> None:
+        self.write(struct.pack("<H", value))
+
+    def u32(self, value: int) -> None:
+        self.write(struct.pack("<I", value))
+
+    def u64(self, value: int) -> None:
+        self.write(struct.pack("<Q", value))
+
+    def zeros(self, count: int) -> None:
+        self.write(b"\x00" * count)
+
+    def pad_to(self, alignment: int = 8) -> None:
+        remainder = self._size % alignment
+        if remainder:
+            self.zeros(alignment - remainder)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+
+class BinaryReader:
+    """A cursor over a bytes-like object with little-endian integer helpers."""
+
+    def __init__(self, data: bytes, offset: int = 0) -> None:
+        self.data = data
+        self.offset = offset
+
+    def seek(self, offset: int) -> None:
+        self.offset = offset
+
+    def read(self, count: int) -> bytes:
+        if self.offset + count > len(self.data):
+            raise EOFError(
+                f"attempt to read {count} bytes at offset {self.offset} "
+                f"beyond end of buffer ({len(self.data)} bytes)"
+            )
+        out = self.data[self.offset : self.offset + count]
+        self.offset += count
+        return out
+
+    def u8(self) -> int:
+        return struct.unpack("<B", self.read(1))[0]
+
+    def u16(self) -> int:
+        return struct.unpack("<H", self.read(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self.read(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack("<Q", self.read(8))[0]
+
+    def skip(self, count: int) -> None:
+        self.offset += count
+
+    def align(self, alignment: int = 8, base: int = 0) -> None:
+        """Advance the cursor so that ``offset - base`` is a multiple of *alignment*."""
+        remainder = (self.offset - base) % alignment
+        if remainder:
+            self.offset += alignment - remainder
+
+    def cstring(self) -> bytes:
+        """Read a NUL-terminated byte string (terminator consumed)."""
+        end = self.data.index(b"\x00", self.offset)
+        out = self.data[self.offset : end]
+        self.offset = end + 1
+        return out

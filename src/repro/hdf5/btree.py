@@ -1,0 +1,175 @@
+"""Version-1 group B-tree and symbol-table node (SNOD) codecs.
+
+Old-style HDF5 groups index their links with a version-1 B-tree whose leaf
+children are *symbol-table nodes* (SNODs) holding up to ``2 * GROUP_LEAF_K``
+entries sorted by link name.  For checkpoint-sized groups one level-0 B-tree
+node pointing at a handful of SNODs is always sufficient; we therefore write
+exactly that shape and can read any file of the same shape back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .binary import BinaryReader, BinaryWriter
+from .constants import (
+    BTREE_SIGNATURE,
+    GROUP_INTERNAL_K,
+    GROUP_LEAF_K,
+    SNOD_SIGNATURE,
+    SYMBOL_TABLE_ENTRY_SIZE,
+    UNDEFINED_ADDRESS,
+)
+
+#: Fixed allocated size of a level-0 group B-tree node:
+#: 24-byte header + (2K + 1) keys + 2K child pointers, 8 bytes each.
+BTREE_NODE_SIZE = 24 + (2 * GROUP_INTERNAL_K + 1) * 8 + 2 * GROUP_INTERNAL_K * 8
+
+#: Fixed allocated size of a symbol-table node:
+#: 8-byte header + 2K entries of 40 bytes.
+SNOD_SIZE = 8 + 2 * GROUP_LEAF_K * SYMBOL_TABLE_ENTRY_SIZE
+
+#: Maximum number of entries in one SNOD.
+SNOD_CAPACITY = 2 * GROUP_LEAF_K
+
+#: Maximum number of SNOD children of the (single) B-tree node we write.
+BTREE_CAPACITY = 2 * GROUP_INTERNAL_K
+
+
+@dataclass(frozen=True)
+class SymbolTableEntry:
+    """One link: heap offset of its name plus its object-header address."""
+
+    name_offset: int
+    object_header_address: int
+
+    def encode(self) -> bytes:
+        writer = BinaryWriter()
+        writer.u64(self.name_offset)
+        writer.u64(self.object_header_address)
+        writer.u32(0)  # cache type: no cached data
+        writer.u32(0)  # reserved
+        writer.zeros(16)  # scratch space
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, reader: BinaryReader) -> "SymbolTableEntry":
+        name_offset = reader.u64()
+        header_address = reader.u64()
+        reader.u32()  # cache type
+        reader.u32()
+        reader.skip(16)
+        return cls(name_offset, header_address)
+
+
+def chunk_entries(
+    entries: list[SymbolTableEntry],
+) -> list[list[SymbolTableEntry]]:
+    """Split sorted *entries* into SNOD-sized chunks."""
+    if not entries:
+        return []
+    chunks = [
+        entries[i : i + SNOD_CAPACITY]
+        for i in range(0, len(entries), SNOD_CAPACITY)
+    ]
+    if len(chunks) > BTREE_CAPACITY:
+        raise ValueError(
+            f"group too large: {len(entries)} links exceeds the "
+            f"{BTREE_CAPACITY * SNOD_CAPACITY}-link capacity of a "
+            "single-level B-tree"
+        )
+    return chunks
+
+
+def encode_snod(entries: list[SymbolTableEntry]) -> bytes:
+    """Serialize one symbol-table node (padded to its allocated size)."""
+    if len(entries) > SNOD_CAPACITY:
+        raise ValueError(f"too many entries for one SNOD: {len(entries)}")
+    writer = BinaryWriter()
+    writer.write(SNOD_SIGNATURE)
+    writer.u8(1)  # version
+    writer.u8(0)
+    writer.u16(len(entries))
+    for entry in entries:
+        writer.write(entry.encode())
+    writer.zeros(SNOD_SIZE - len(writer))
+    return writer.getvalue()
+
+
+def encode_btree_node(
+    snod_addresses: list[int],
+    last_name_offsets: list[int],
+) -> bytes:
+    """Serialize a level-0 group B-tree node over *snod_addresses*.
+
+    ``last_name_offsets[i]`` is the heap offset of the greatest link name in
+    SNOD *i* (the B-tree key following child *i*); key 0 is the reserved empty
+    string at heap offset 0.
+    """
+    if len(snod_addresses) != len(last_name_offsets):
+        raise ValueError("address/key count mismatch")
+    if len(snod_addresses) > BTREE_CAPACITY:
+        raise ValueError("too many SNOD children for one B-tree node")
+    writer = BinaryWriter()
+    writer.write(BTREE_SIGNATURE)
+    writer.u8(0)  # node type: group node
+    writer.u8(0)  # node level: leaf
+    writer.u16(len(snod_addresses))
+    writer.u64(UNDEFINED_ADDRESS)  # left sibling
+    writer.u64(UNDEFINED_ADDRESS)  # right sibling
+    writer.u64(0)  # key 0: empty string
+    for address, key in zip(snod_addresses, last_name_offsets):
+        writer.u64(address)
+        writer.u64(key)
+    writer.zeros(BTREE_NODE_SIZE - len(writer))
+    return writer.getvalue()
+
+
+def parse_group_btree(
+    buffer: bytes, btree_address: int
+) -> list[SymbolTableEntry]:
+    """Walk a group B-tree and return all symbol-table entries, in order.
+
+    Handles arbitrary depth (internal nodes recurse) even though the writer
+    only produces level-0 nodes, so files written by the real HDF5 library
+    with deeper trees remain readable.
+    """
+    reader = BinaryReader(buffer, btree_address)
+    signature = reader.read(4)
+    if signature != BTREE_SIGNATURE:
+        raise ValueError(
+            f"bad B-tree signature at {btree_address:#x}: {signature!r}"
+        )
+    node_type = reader.u8()
+    if node_type != 0:
+        raise ValueError(f"not a group B-tree node (type {node_type})")
+    level = reader.u8()
+    entries_used = reader.u16()
+    reader.u64()  # left sibling
+    reader.u64()  # right sibling
+    children: list[int] = []
+    reader.u64()  # key 0
+    for _ in range(entries_used):
+        children.append(reader.u64())
+        reader.u64()  # key i+1
+    entries: list[SymbolTableEntry] = []
+    for child in children:
+        if level > 0:
+            entries.extend(parse_group_btree(buffer, child))
+        else:
+            entries.extend(parse_snod(buffer, child))
+    return entries
+
+
+def parse_snod(buffer: bytes, address: int) -> list[SymbolTableEntry]:
+    """Parse one symbol-table node into its entries."""
+    reader = BinaryReader(buffer, address)
+    signature = reader.read(4)
+    if signature != SNOD_SIGNATURE:
+        raise ValueError(f"bad SNOD signature at {address:#x}: {signature!r}")
+    version = reader.u8()
+    if version != 1:
+        raise ValueError(f"unsupported SNOD version: {version}")
+    reader.u8()
+    count = reader.u16()
+    return [SymbolTableEntry.decode(reader) for _ in range(count)]

@@ -1,0 +1,273 @@
+"""Chunked dataset storage with optional gzip compression.
+
+Real HDF5 checkpoints frequently store large weight tensors chunked (layout
+class 2) and deflate-compressed (filter id 1).  This module implements the
+on-disk structures for that case:
+
+* **data layout message, version 3, class 2 (chunked)** — chunk dimensions
+  plus the address of a chunk index;
+* **filter pipeline message (0x000B)** — a version-1 pipeline carrying the
+  deflate filter;
+* **version-1 B-tree of type 1 (raw data chunks)** — the chunk index.  As
+  with group B-trees, the writer emits a single leaf node (sufficient for
+  checkpoint-sized tensors: up to ``2 * GROUP_INTERNAL_K`` chunks) while the
+  reader walks arbitrary depth.
+
+In-place element writes are refused on compressed chunks (matching h5py,
+where partial writes re-compress whole chunks); uncompressed chunked data
+supports them.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from .binary import BinaryReader, BinaryWriter
+from .constants import BTREE_SIGNATURE, UNDEFINED_ADDRESS
+
+#: HDF5 data layout class for chunked storage.
+LAYOUT_CHUNKED = 2
+
+#: Object header message id for the filter pipeline.
+MSG_FILTER_PIPELINE = 0x000B
+
+#: HDF5 registered filter id for deflate.
+FILTER_DEFLATE = 1
+
+#: Maximum chunks per (single leaf) chunk B-tree node we write.
+CHUNK_BTREE_CAPACITY = 32
+
+
+@dataclass(frozen=True)
+class ChunkedLayout:
+    """Layout message payload for a chunked dataset."""
+
+    btree_address: int
+    chunk_shape: tuple[int, ...]  # in elements, per dimension
+    element_size: int
+
+
+def encode_chunked_layout(layout: ChunkedLayout) -> bytes:
+    """Encode a v3 chunked data-layout message."""
+    writer = BinaryWriter()
+    writer.u8(3)  # layout message version
+    writer.u8(LAYOUT_CHUNKED)
+    writer.u8(len(layout.chunk_shape) + 1)  # dimensionality incl. element dim
+    writer.u64(layout.btree_address)
+    for dim in layout.chunk_shape:
+        writer.u32(dim)
+    writer.u32(layout.element_size)
+    return writer.getvalue()
+
+
+def decode_chunked_layout(reader: BinaryReader) -> ChunkedLayout:
+    """Parse a v3 chunked data-layout message."""
+    version = reader.u8()
+    if version != 3:
+        raise ValueError(f"unsupported chunked layout version: {version}")
+    layout_class = reader.u8()
+    if layout_class != LAYOUT_CHUNKED:
+        raise ValueError(f"not a chunked layout: class {layout_class}")
+    rank = reader.u8()
+    btree_address = reader.u64()
+    dims = tuple(reader.u32() for _ in range(rank - 1))
+    element_size = reader.u32()
+    return ChunkedLayout(btree_address, dims, element_size)
+
+
+def encode_filter_pipeline(deflate_level: int) -> bytes:
+    """Version-1 filter pipeline holding a single deflate filter."""
+    writer = BinaryWriter()
+    writer.u8(1)  # version
+    writer.u8(1)  # number of filters
+    writer.zeros(6)
+    name = b"deflate\x00"
+    writer.u16(FILTER_DEFLATE)
+    writer.u16(len(name))
+    writer.u16(0x0001)  # flags: optional
+    writer.u16(1)  # number of client data values
+    writer.write(name)
+    writer.u32(deflate_level)
+    writer.u32(0)  # pad client data to even count
+    return writer.getvalue()
+
+
+def decode_filter_pipeline(reader: BinaryReader) -> list[int]:
+    """Return the filter ids in the pipeline (client data ignored)."""
+    version = reader.u8()
+    if version not in (1, 2):
+        raise ValueError(f"unsupported filter pipeline version: {version}")
+    count = reader.u8()
+    if version == 1:
+        reader.skip(6)
+    filters = []
+    for _ in range(count):
+        filter_id = reader.u16()
+        name_length = reader.u16() if (version == 1 or filter_id >= 256) else 0
+        reader.u16()  # flags
+        values = reader.u16()
+        if name_length:
+            reader.skip(name_length)
+        reader.skip(4 * values)
+        if version == 1 and values % 2 == 1:
+            reader.skip(4)
+        filters.append(filter_id)
+    return filters
+
+
+@dataclass(frozen=True)
+class ChunkRecord:
+    """One chunk in the index: its offsets, stored size, and address."""
+
+    offsets: tuple[int, ...]  # element offsets per dimension (excl. elem dim)
+    stored_size: int
+    filter_mask: int
+    address: int
+
+
+def chunk_grid(shape: tuple[int, ...],
+               chunk_shape: tuple[int, ...]) -> list[tuple[int, ...]]:
+    """All chunk origin offsets covering *shape*, C-order."""
+    if len(shape) != len(chunk_shape):
+        raise ValueError("chunk rank mismatch")
+    axes = []
+    for size, chunk in zip(shape, chunk_shape):
+        if chunk <= 0:
+            raise ValueError("chunk dimensions must be positive")
+        axes.append(list(range(0, size, chunk)))
+    grid: list[tuple[int, ...]] = [()]
+    for axis in axes:
+        grid = [origin + (offset,) for origin in grid for offset in axis]
+    return grid
+
+
+def chunk_btree_node_size(rank: int) -> int:
+    """Allocated size of one chunk-index B-tree leaf node.
+
+    Keys carry chunk size(4) + filter mask(4) + (rank+1) 8-byte offsets;
+    there are capacity+1 keys and capacity child pointers.
+    """
+    key_size = 8 + 8 * (rank + 1)
+    return 24 + (CHUNK_BTREE_CAPACITY + 1) * key_size \
+        + CHUNK_BTREE_CAPACITY * 8
+
+
+def encode_chunk_btree(records: list[ChunkRecord], rank: int) -> bytes:
+    """Serialize a leaf chunk-index node over *records* (sorted by offset)."""
+    if len(records) > CHUNK_BTREE_CAPACITY:
+        raise ValueError(
+            f"too many chunks for a single index node: {len(records)} > "
+            f"{CHUNK_BTREE_CAPACITY}"
+        )
+    writer = BinaryWriter()
+    writer.write(BTREE_SIGNATURE)
+    writer.u8(1)  # node type: raw data chunks
+    writer.u8(0)  # leaf
+    writer.u16(len(records))
+    writer.u64(UNDEFINED_ADDRESS)
+    writer.u64(UNDEFINED_ADDRESS)
+
+    def write_key(record: ChunkRecord | None) -> None:
+        if record is None:
+            # final sentinel key: zero size, offsets one past the end
+            writer.u32(0)
+            writer.u32(0)
+            for _ in range(rank + 1):
+                writer.u64(0)
+            return
+        writer.u32(record.stored_size)
+        writer.u32(record.filter_mask)
+        for offset in record.offsets:
+            writer.u64(offset)
+        writer.u64(0)  # element-dimension offset is always 0
+
+    for record in records:
+        write_key(record)
+        writer.u64(record.address)
+    write_key(None)
+    padding = chunk_btree_node_size(rank) - len(writer)
+    writer.zeros(padding)
+    return writer.getvalue()
+
+
+def parse_chunk_btree(buffer: bytes, address: int,
+                      rank: int) -> list[ChunkRecord]:
+    """Walk a chunk-index B-tree (any depth) into chunk records."""
+    reader = BinaryReader(buffer, address)
+    signature = reader.read(4)
+    if signature != BTREE_SIGNATURE:
+        raise ValueError(
+            f"bad chunk B-tree signature at {address:#x}: {signature!r}"
+        )
+    node_type = reader.u8()
+    if node_type != 1:
+        raise ValueError(f"not a chunk B-tree (type {node_type})")
+    level = reader.u8()
+    used = reader.u16()
+    reader.u64()
+    reader.u64()
+    records: list[ChunkRecord] = []
+    for _ in range(used):
+        stored_size = reader.u32()
+        filter_mask = reader.u32()
+        offsets = tuple(reader.u64() for _ in range(rank))
+        reader.u64()  # element dim offset
+        child = reader.u64()
+        if level > 0:
+            records.extend(parse_chunk_btree(buffer, child, rank))
+        else:
+            records.append(
+                ChunkRecord(offsets, stored_size, filter_mask, child)
+            )
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Chunk data encode/decode
+# ---------------------------------------------------------------------------
+
+def slice_chunk(data: np.ndarray, origin: tuple[int, ...],
+                chunk_shape: tuple[int, ...]) -> np.ndarray:
+    """Extract (and zero-pad to full chunk size) the chunk at *origin*."""
+    slices = tuple(
+        slice(off, min(off + chunk, size))
+        for off, chunk, size in zip(origin, chunk_shape, data.shape)
+    )
+    piece = data[slices]
+    if piece.shape == tuple(chunk_shape):
+        return np.ascontiguousarray(piece)
+    padded = np.zeros(chunk_shape, dtype=data.dtype)
+    padded[tuple(slice(0, s) for s in piece.shape)] = piece
+    return padded
+
+
+def place_chunk(target: np.ndarray, chunk: np.ndarray,
+                origin: tuple[int, ...]) -> None:
+    """Write a (possibly edge-padded) chunk back into *target*."""
+    slices = tuple(
+        slice(off, min(off + size, limit))
+        for off, size, limit in zip(origin, chunk.shape, target.shape)
+    )
+    trimmed = chunk[tuple(slice(0, s.stop - s.start) for s in slices)]
+    target[slices] = trimmed
+
+
+def compress_chunk(chunk: np.ndarray, level: int | None) -> bytes:
+    """Serialize a chunk, deflating when *level* is set."""
+    raw = chunk.tobytes()
+    if level is None:
+        return raw
+    return zlib.compress(raw, level)
+
+
+def decompress_chunk(payload: bytes, compressed: bool, dtype: np.dtype,
+                     chunk_shape: tuple[int, ...]) -> np.ndarray:
+    """Inverse of :func:`compress_chunk`."""
+    raw = zlib.decompress(payload) if compressed else payload
+    count = 1
+    for dim in chunk_shape:
+        count *= dim
+    return np.frombuffer(raw, dtype=dtype, count=count).reshape(chunk_shape)

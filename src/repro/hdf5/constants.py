@@ -1,0 +1,78 @@
+"""Constants of the HDF5 on-disk format subset implemented by :mod:`repro.hdf5`.
+
+The values follow the HDF5 File Format Specification, version 2.0 (the format
+written by the HDF5 1.8/1.10 libraries when no "latest format" flag is set):
+a version-0 superblock, version-1 object headers, version-1 B-trees over
+symbol-table nodes, and local heaps.  Only the pieces required for
+checkpoint-style files (groups, contiguous numeric datasets, attributes) are
+implemented.
+"""
+
+from __future__ import annotations
+
+#: Magic number at offset 0 of every HDF5 file.
+FORMAT_SIGNATURE = b"\x89HDF\r\n\x1a\n"
+
+#: Signature of a local heap block.
+LOCAL_HEAP_SIGNATURE = b"HEAP"
+
+#: Signature of a version-1 B-tree node.
+BTREE_SIGNATURE = b"TREE"
+
+#: Signature of a symbol-table node (group leaf storage).
+SNOD_SIGNATURE = b"SNOD"
+
+#: The "undefined address" marker for 8-byte offsets.
+UNDEFINED_ADDRESS = 0xFFFF_FFFF_FFFF_FFFF
+
+#: Size in bytes of file offsets and of lengths (we always use 8/8).
+SIZE_OF_OFFSETS = 8
+SIZE_OF_LENGTHS = 8
+
+#: Group B-tree rank: a leaf (level-0) node holds at most ``2 * GROUP_INTERNAL_K``
+#: children (symbol-table nodes).
+GROUP_INTERNAL_K = 16
+
+#: A symbol-table node holds at most ``2 * GROUP_LEAF_K`` entries.
+GROUP_LEAF_K = 32
+
+#: Fixed size of the version-0 superblock with 8-byte offsets/lengths,
+#: including the root-group symbol-table entry.
+SUPERBLOCK_SIZE = 96
+
+#: Size of one symbol-table entry (8-byte offsets).
+SYMBOL_TABLE_ENTRY_SIZE = 40
+
+#: Version-1 object header prefix: version, reserved, message count,
+#: reference count, header data size, then 4 bytes of padding.
+OBJECT_HEADER_PREFIX_SIZE = 16
+
+#: Each object-header message is prefixed by type(2), size(2), flags(1),
+#: reserved(3).
+MESSAGE_HEADER_SIZE = 8
+
+# --- Object header message type ids -----------------------------------------
+MSG_NIL = 0x0000
+MSG_DATASPACE = 0x0001
+MSG_DATATYPE = 0x0003
+MSG_FILL_VALUE = 0x0005
+MSG_DATA_LAYOUT = 0x0008
+MSG_ATTRIBUTE = 0x000C
+MSG_OBJECT_COMMENT = 0x000D
+MSG_SYMBOL_TABLE = 0x0011
+
+# --- Datatype classes --------------------------------------------------------
+CLASS_FIXED_POINT = 0
+CLASS_FLOAT = 1
+CLASS_STRING = 3
+
+#: Data layout class for contiguous storage (layout message version 3).
+LAYOUT_CONTIGUOUS = 1
+
+
+def pad_to(size: int, alignment: int = 8) -> int:
+    """Return *size* rounded up to the next multiple of *alignment*."""
+    remainder = size % alignment
+    if remainder == 0:
+        return size
+    return size + alignment - remainder

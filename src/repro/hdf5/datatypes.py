@@ -1,0 +1,133 @@
+"""Encoding and decoding of HDF5 *datatype* messages for numeric dtypes.
+
+The subset covers the little-endian IEEE-754 floats (``float16/32/64``),
+two's-complement integers (``u/int8/16/32/64``), and fixed-length ASCII
+strings (used only for attribute values).  These are the types that appear in
+deep-learning checkpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .binary import BinaryReader, BinaryWriter
+from .constants import CLASS_FIXED_POINT, CLASS_FLOAT, CLASS_STRING
+
+
+@dataclass(frozen=True)
+class FloatSpec:
+    """IEEE-754 field geometry for one floating-point width."""
+
+    size: int  # bytes
+    sign_location: int
+    exponent_location: int
+    exponent_size: int
+    mantissa_size: int
+    exponent_bias: int
+
+
+_FLOAT_SPECS: dict[int, FloatSpec] = {
+    2: FloatSpec(2, 15, 10, 5, 10, 15),
+    4: FloatSpec(4, 31, 23, 8, 23, 127),
+    8: FloatSpec(8, 63, 52, 11, 52, 1023),
+}
+
+_SUPPORTED_INTS = {1, 2, 4, 8}
+
+
+def is_supported_dtype(dtype: np.dtype) -> bool:
+    """Return True when *dtype* can be stored in a dataset by this library."""
+    dtype = np.dtype(dtype)
+    if dtype.kind == "f":
+        return dtype.itemsize in _FLOAT_SPECS
+    if dtype.kind in ("i", "u"):
+        return dtype.itemsize in _SUPPORTED_INTS
+    if dtype.kind == "S":
+        return True
+    return False
+
+
+def encode_datatype(dtype: np.dtype) -> bytes:
+    """Serialize a numpy dtype to an HDF5 datatype message body."""
+    dtype = np.dtype(dtype)
+    writer = BinaryWriter()
+    if dtype.kind == "f":
+        spec = _FLOAT_SPECS.get(dtype.itemsize)
+        if spec is None:
+            raise TypeError(f"unsupported float width: {dtype}")
+        writer.u8((1 << 4) | CLASS_FLOAT)  # version 1, class float
+        # bit field 0: byte order 0 (LE), mantissa normalization = 2 (implied
+        # set, bits 4-5), pads clear.
+        writer.u8(0x20)
+        writer.u8(spec.sign_location)  # bit field 1: sign bit location
+        writer.u8(0x00)
+        writer.u32(spec.size)
+        writer.u16(0)  # bit offset
+        writer.u16(spec.size * 8)  # bit precision
+        writer.u8(spec.exponent_location)
+        writer.u8(spec.exponent_size)
+        writer.u8(0)  # mantissa location
+        writer.u8(spec.mantissa_size)
+        writer.u32(spec.exponent_bias)
+        return writer.getvalue()
+    if dtype.kind in ("i", "u"):
+        if dtype.itemsize not in _SUPPORTED_INTS:
+            raise TypeError(f"unsupported integer width: {dtype}")
+        writer.u8((1 << 4) | CLASS_FIXED_POINT)
+        # bit field 0: byte order 0 (LE), bit 3 set when signed.
+        writer.u8(0x08 if dtype.kind == "i" else 0x00)
+        writer.u8(0x00)
+        writer.u8(0x00)
+        writer.u32(dtype.itemsize)
+        writer.u16(0)  # bit offset
+        writer.u16(dtype.itemsize * 8)  # bit precision
+        return writer.getvalue()
+    if dtype.kind == "S":
+        writer.u8((1 << 4) | CLASS_STRING)
+        # bit field 0: null-padded (0), ASCII charset (0).
+        writer.u8(0x00)
+        writer.u8(0x00)
+        writer.u8(0x00)
+        writer.u32(max(dtype.itemsize, 1))
+        return writer.getvalue()
+    raise TypeError(f"unsupported dtype for HDF5 serialization: {dtype}")
+
+
+def decode_datatype(reader: BinaryReader) -> np.dtype:
+    """Parse an HDF5 datatype message body back into a numpy dtype."""
+    class_and_version = reader.u8()
+    type_class = class_and_version & 0x0F
+    version = class_and_version >> 4
+    if version not in (1, 2, 3):
+        raise ValueError(f"unsupported datatype message version: {version}")
+    bits0 = reader.u8()
+    bits1 = reader.u8()
+    reader.u8()
+    size = reader.u32()
+    if type_class == CLASS_FLOAT:
+        reader.u16()  # bit offset
+        reader.u16()  # precision
+        reader.skip(4)  # exponent/mantissa geometry
+        reader.u32()  # bias
+        if size not in _FLOAT_SPECS:
+            raise ValueError(f"unsupported float size: {size}")
+        _ = bits1
+        return np.dtype(f"<f{size}")
+    if type_class == CLASS_FIXED_POINT:
+        reader.u16()
+        reader.u16()
+        signed = bool(bits0 & 0x08)
+        kind = "i" if signed else "u"
+        if size not in _SUPPORTED_INTS:
+            raise ValueError(f"unsupported integer size: {size}")
+        return np.dtype(f"<{kind}{size}")
+    if type_class == CLASS_STRING:
+        return np.dtype(f"S{size}")
+    raise ValueError(f"unsupported datatype class: {type_class}")
+
+
+def datatype_message_size(dtype: np.dtype) -> int:
+    """Size in bytes of the encoded datatype message body."""
+    return len(encode_datatype(dtype))

@@ -1,0 +1,81 @@
+"""Local heap codec.
+
+Every HDF5 "old-style" group stores its link names in a *local heap*: a
+header block pointing at a data segment of NUL-terminated names.  Offset 0 of
+the data segment is reserved (it holds 8 NUL bytes and doubles as the empty
+string used by B-tree keys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .binary import BinaryReader, BinaryWriter
+from .constants import LOCAL_HEAP_SIGNATURE, pad_to
+
+#: Size of the local-heap header block (signature, version, sizes, address).
+LOCAL_HEAP_HEADER_SIZE = 32
+
+
+@dataclass
+class LocalHeap:
+    """A built local heap: the name -> data-segment-offset map plus raw data."""
+
+    offsets: dict[str, int]
+    data: bytes
+
+    @classmethod
+    def build(cls, names: list[str]) -> "LocalHeap":
+        """Lay out *names* in a fresh heap data segment.
+
+        Returns the heap with each name's offset recorded; names are stored
+        in the order given, each NUL-terminated and padded to 8 bytes.
+        """
+        writer = BinaryWriter()
+        writer.zeros(8)  # offset 0: reserved empty entry
+        offsets: dict[str, int] = {}
+        for name in names:
+            if not name or "/" in name:
+                raise ValueError(f"invalid link name: {name!r}")
+            offsets[name] = len(writer)
+            encoded = name.encode("utf-8") + b"\x00"
+            writer.write(encoded)
+            writer.zeros(pad_to(len(encoded)) - len(encoded))
+        return cls(offsets, writer.getvalue())
+
+    def header_bytes(self, data_address: int) -> bytes:
+        """Serialize the 32-byte heap header pointing at *data_address*."""
+        writer = BinaryWriter()
+        writer.write(LOCAL_HEAP_SIGNATURE)
+        writer.u8(0)  # version
+        writer.zeros(3)
+        writer.u64(len(self.data))  # data segment size
+        writer.u64(1)  # free-list head offset: 1 == no free blocks
+        writer.u64(data_address)
+        return writer.getvalue()
+
+    def name_at(self, offset: int) -> str:
+        """Return the NUL-terminated name stored at *offset*."""
+        reader = BinaryReader(self.data, offset)
+        return reader.cstring().decode("utf-8")
+
+
+def parse_local_heap(buffer: bytes, header_address: int) -> LocalHeap:
+    """Parse a local heap (header + data segment) out of the file buffer."""
+    reader = BinaryReader(buffer, header_address)
+    signature = reader.read(4)
+    if signature != LOCAL_HEAP_SIGNATURE:
+        raise ValueError(
+            f"bad local heap signature at {header_address:#x}: {signature!r}"
+        )
+    version = reader.u8()
+    if version != 0:
+        raise ValueError(f"unsupported local heap version: {version}")
+    reader.skip(3)
+    data_size = reader.u64()
+    reader.u64()  # free list head (ignored)
+    data_address = reader.u64()
+    data = buffer[data_address : data_address + data_size]
+    # Reconstruct the name map lazily: offsets are discovered by the B-tree
+    # walker, so we return an empty map here.
+    return LocalHeap({}, bytes(data))

@@ -1,0 +1,121 @@
+"""Version-1 object header codec.
+
+An object header is the metadata block describing a group or dataset: a
+16-byte prefix followed by a sequence of 8-byte-aligned messages.  The writer
+always emits a single header block sized exactly for its messages; the reader
+additionally follows continuation messages so that files produced by the real
+HDF5 library remain parseable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .binary import BinaryReader, BinaryWriter
+from .constants import (
+    MESSAGE_HEADER_SIZE,
+    OBJECT_HEADER_PREFIX_SIZE,
+    pad_to,
+)
+from .messages import Message
+
+#: Object-header continuation message (read support only).
+MSG_CONTINUATION = 0x0010
+
+
+def object_header_size(messages: list[Message]) -> int:
+    """Total on-disk size of a version-1 object header for *messages*."""
+    body = sum(MESSAGE_HEADER_SIZE + msg.padded_size() for msg in messages)
+    return OBJECT_HEADER_PREFIX_SIZE + body
+
+
+def encode_object_header(messages: list[Message]) -> bytes:
+    """Serialize a version-1 object header holding *messages*."""
+    body = BinaryWriter()
+    for msg in messages:
+        body.u16(msg.type_id)
+        body.u16(msg.padded_size())
+        body.u8(msg.flags)
+        body.zeros(3)
+        body.write(msg.body)
+        body.zeros(msg.padded_size() - len(msg.body))
+    body_bytes = body.getvalue()
+
+    header = BinaryWriter()
+    header.u8(1)  # version
+    header.u8(0)
+    header.u16(len(messages))
+    header.u32(1)  # object reference count
+    header.u32(len(body_bytes))  # header data size
+    header.zeros(4)  # pad so messages start 8-aligned
+    header.write(body_bytes)
+    return header.getvalue()
+
+
+@dataclass
+class ParsedObjectHeader:
+    """The raw messages of one object header, in file order."""
+
+    messages: list[Message]
+
+    def find(self, type_id: int) -> Message | None:
+        for msg in self.messages:
+            if msg.type_id == type_id:
+                return msg
+        return None
+
+    def find_all(self, type_id: int) -> list[Message]:
+        return [msg for msg in self.messages if msg.type_id == type_id]
+
+
+def parse_object_header(buffer: bytes, address: int) -> ParsedObjectHeader:
+    """Parse the version-1 object header at *address*."""
+    reader = BinaryReader(buffer, address)
+    version = reader.u8()
+    if version != 1:
+        raise ValueError(
+            f"unsupported object header version {version} at {address:#x}"
+        )
+    reader.u8()
+    message_count = reader.u16()
+    reader.u32()  # reference count
+    header_size = reader.u32()
+    reader.skip(4)  # alignment padding
+
+    messages: list[Message] = []
+    # (start, remaining-size) block stack; continuations push new blocks.
+    blocks: list[tuple[int, int]] = [(reader.offset, header_size)]
+    while blocks and len(messages) < message_count:
+        start, size = blocks.pop(0)
+        block = BinaryReader(buffer, start)
+        end = start + size
+        while block.offset + MESSAGE_HEADER_SIZE <= end:
+            if len(messages) >= message_count:
+                break
+            type_id = block.u16()
+            body_size = block.u16()
+            flags = block.u8()
+            block.skip(3)
+            body = block.read(body_size)
+            if type_id == MSG_CONTINUATION:
+                cont = BinaryReader(body)
+                cont_address = cont.u64()
+                cont_size = cont.u64()
+                blocks.append((cont_address, cont_size))
+                # A continuation does not count toward useful messages but
+                # does count in the header's message total.
+                messages.append(Message(type_id, body, flags))
+                continue
+            messages.append(Message(type_id, body, flags))
+    real = [msg for msg in messages if msg.type_id != MSG_CONTINUATION]
+    return ParsedObjectHeader(real)
+
+
+__all__ = [
+    "MSG_CONTINUATION",
+    "ParsedObjectHeader",
+    "encode_object_header",
+    "object_header_size",
+    "parse_object_header",
+    "pad_to",
+]

@@ -1,0 +1,186 @@
+"""Parsing of an HDF5 file into address-resolved metadata.
+
+The reader materializes the group hierarchy and, for each dataset, records
+its dtype, shape, and raw-data file offset.  Dataset contents themselves are
+*not* copied — the public API reads (and, in ``r+`` mode, writes) them
+directly at their file offsets, which is what makes in-place bit surgery on
+checkpoints possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from . import chunked
+from .binary import BinaryReader
+from .btree import parse_group_btree
+from .constants import (
+    FORMAT_SIGNATURE,
+    MSG_ATTRIBUTE,
+    MSG_DATA_LAYOUT,
+    MSG_DATASPACE,
+    MSG_DATATYPE,
+    MSG_SYMBOL_TABLE,
+    UNDEFINED_ADDRESS,
+)
+from .datatypes import decode_datatype
+from .heap import parse_local_heap
+from .messages import (
+    AttributeValue,
+    decode_attribute,
+    decode_dataspace,
+    decode_layout,
+    decode_symbol_table,
+)
+from .objects import parse_object_header
+
+
+@dataclass
+class DatasetInfo:
+    """Metadata of one dataset: geometry plus raw-data location.
+
+    Contiguous datasets carry ``data_offset``/``data_size``; chunked ones
+    carry ``chunk_shape``/``chunk_records`` (+ ``compressed``) instead.
+    """
+
+    path: str
+    dtype: np.dtype
+    shape: tuple[int, ...]
+    data_offset: int
+    data_size: int
+    attrs: dict[str, AttributeValue] = field(default_factory=dict)
+    chunk_shape: tuple[int, ...] | None = None
+    chunk_records: list = field(default_factory=list)
+    compressed: bool = False
+
+    @property
+    def is_chunked(self) -> bool:
+        return self.chunk_shape is not None
+
+    @property
+    def size(self) -> int:
+        """Number of elements."""
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count
+
+
+@dataclass
+class GroupInfo:
+    """Metadata of one group: its children by link name."""
+
+    path: str
+    groups: dict[str, "GroupInfo"] = field(default_factory=dict)
+    datasets: dict[str, DatasetInfo] = field(default_factory=dict)
+    attrs: dict[str, AttributeValue] = field(default_factory=dict)
+
+
+def parse_file(buffer: bytes) -> GroupInfo:
+    """Parse complete HDF5 *buffer* bytes into a :class:`GroupInfo` tree."""
+    if buffer[: len(FORMAT_SIGNATURE)] != FORMAT_SIGNATURE:
+        raise ValueError("not an HDF5 file (bad signature)")
+    reader = BinaryReader(buffer, len(FORMAT_SIGNATURE))
+    superblock_version = reader.u8()
+    if superblock_version != 0:
+        raise ValueError(
+            f"unsupported superblock version: {superblock_version}"
+        )
+    reader.u8()  # free-space version
+    reader.u8()  # root symbol-table version
+    reader.u8()
+    reader.u8()  # shared header version
+    size_of_offsets = reader.u8()
+    size_of_lengths = reader.u8()
+    if (size_of_offsets, size_of_lengths) != (8, 8):
+        raise ValueError("only 8-byte offsets/lengths are supported")
+    reader.u8()
+    reader.u16()  # leaf k
+    reader.u16()  # internal k
+    reader.u32()  # consistency flags
+    base_address = reader.u64()
+    if base_address != 0:
+        raise ValueError("non-zero base addresses are not supported")
+    reader.u64()  # free-space address
+    reader.u64()  # end of file address
+    reader.u64()  # driver info address
+    reader.u64()  # root link name offset
+    root_header_address = reader.u64()
+    return _parse_group(buffer, root_header_address, "/")
+
+
+def _parse_group(buffer: bytes, header_address: int, path: str) -> GroupInfo:
+    header = parse_object_header(buffer, header_address)
+    symtab_msg = header.find(MSG_SYMBOL_TABLE)
+    if symtab_msg is None:
+        raise ValueError(f"group at {header_address:#x} has no symbol table")
+    info = decode_symbol_table(BinaryReader(symtab_msg.body))
+    group = GroupInfo(path)
+    for msg in header.find_all(MSG_ATTRIBUTE):
+        attr = decode_attribute(BinaryReader(msg.body))
+        group.attrs[attr.name] = attr
+
+    heap = parse_local_heap(buffer, info.heap_address)
+    for entry in parse_group_btree(buffer, info.btree_address):
+        name = heap.name_at(entry.name_offset)
+        child_path = path.rstrip("/") + "/" + name
+        child_header = parse_object_header(buffer, entry.object_header_address)
+        if child_header.find(MSG_SYMBOL_TABLE) is not None:
+            group.groups[name] = _parse_group(
+                buffer, entry.object_header_address, child_path
+            )
+        else:
+            group.datasets[name] = _parse_dataset(buffer, child_header,
+                                                  child_path)
+    return group
+
+
+def _parse_dataset(buffer: bytes, header, path: str) -> DatasetInfo:
+    dataspace_msg = header.find(MSG_DATASPACE)
+    datatype_msg = header.find(MSG_DATATYPE)
+    layout_msg = header.find(MSG_DATA_LAYOUT)
+    if dataspace_msg is None or datatype_msg is None or layout_msg is None:
+        raise ValueError(f"dataset {path!r} is missing required messages")
+    shape = decode_dataspace(BinaryReader(dataspace_msg.body))
+    dtype = decode_datatype(BinaryReader(datatype_msg.body))
+
+    layout_class = layout_msg.body[1]
+    if layout_class == chunked.LAYOUT_CHUNKED:
+        chunk_layout = chunked.decode_chunked_layout(
+            BinaryReader(layout_msg.body)
+        )
+        info = DatasetInfo(path, dtype, shape, 0, 0,
+                           chunk_shape=chunk_layout.chunk_shape)
+        info.chunk_records = chunked.parse_chunk_btree(
+            buffer, chunk_layout.btree_address, len(shape)
+        )
+        filter_msg = header.find(chunked.MSG_FILTER_PIPELINE)
+        if filter_msg is not None:
+            filters = chunked.decode_filter_pipeline(
+                BinaryReader(filter_msg.body)
+            )
+            if any(f != chunked.FILTER_DEFLATE for f in filters):
+                raise ValueError(
+                    f"dataset {path!r} uses unsupported filters: {filters}"
+                )
+            info.compressed = bool(filters)
+    else:
+        layout = decode_layout(BinaryReader(layout_msg.body))
+        offset = layout.data_address
+        if offset == UNDEFINED_ADDRESS:
+            offset = 0
+        info = DatasetInfo(path, dtype, shape, offset, layout.data_size)
+    for msg in header.find_all(MSG_ATTRIBUTE):
+        attr = decode_attribute(BinaryReader(msg.body))
+        info.attrs[attr.name] = attr
+    return info
+
+
+def iter_datasets(group: GroupInfo):
+    """Yield every :class:`DatasetInfo` under *group*, depth-first by name."""
+    for name in sorted(group.datasets):
+        yield group.datasets[name]
+    for name in sorted(group.groups):
+        yield from iter_datasets(group.groups[name])

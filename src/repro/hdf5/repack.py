@@ -1,0 +1,82 @@
+"""Checkpoint repack/copy utility (an ``h5repack`` equivalent).
+
+Reads every reachable object of a source file and rewrites it into a fresh
+file — optionally changing storage (contiguous <-> chunked/compressed).
+Uses: compacting corrupted-then-scrubbed checkpoints, converting compressed
+checkpoints into injectable (in-place-writable) ones, and salvaging files
+whose trailing bytes were damaged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .file import Dataset, File, Group
+
+
+@dataclass
+class RepackStats:
+    """What a repack did."""
+
+    groups: int = 0
+    datasets: int = 0
+    attributes: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+
+
+def repack(source_path: str, target_path: str,
+           chunks: tuple[int, ...] | None = None,
+           compression: str | int | None = None,
+           compression_opts: int = 4) -> RepackStats:
+    """Copy *source_path* to *target_path*, rewriting dataset storage.
+
+    ``chunks``/``compression`` apply to every dataset whose rank matches
+    ``chunks`` (or all datasets when ``chunks`` is None and compression is
+    set — each becomes a single compressed chunk).  Attributes and group
+    structure are preserved.
+    """
+    import os
+
+    stats = RepackStats()
+    with File(source_path, "r") as source, File(target_path, "w") as target:
+        for key, value in source.attrs.items():
+            target.attrs[key] = value
+            stats.attributes += 1
+        for path, obj in source._walk():
+            if isinstance(obj, Group):
+                group = target.create_group(path)
+                for key, value in obj.attrs.items():
+                    group.attrs[key] = value
+                    stats.attributes += 1
+                stats.groups += 1
+            elif isinstance(obj, Dataset):
+                data = obj.read()
+                dataset_chunks = chunks
+                if dataset_chunks is not None and (
+                    data.ndim != len(dataset_chunks) or data.ndim == 0
+                ):
+                    dataset_chunks = None
+                dataset_compression = compression
+                if data.ndim == 0:
+                    dataset_compression = None  # scalars stay contiguous
+                target.create_dataset(
+                    path, data=data,
+                    chunks=dataset_chunks,
+                    compression=dataset_compression,
+                    compression_opts=compression_opts,
+                )
+                new = target[path]
+                for key, value in obj.attrs.items():
+                    new.attrs[key] = value
+                    stats.attributes += 1
+                stats.datasets += 1
+    stats.bytes_in = os.path.getsize(source_path)
+    stats.bytes_out = os.path.getsize(target_path)
+    return stats
+
+
+def decompress_checkpoint(source_path: str, target_path: str) -> RepackStats:
+    """Rewrite with plain contiguous storage — makes every dataset
+    in-place-writable (and therefore injectable by the corrupter)."""
+    return repack(source_path, target_path, chunks=None, compression=None)

@@ -1,0 +1,132 @@
+"""In-memory staged representation of an HDF5 file being written."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .datatypes import is_supported_dtype
+from .messages import AttributeValue
+
+
+class Node:
+    """Base class for staged group/dataset nodes."""
+
+    def __init__(self) -> None:
+        self.attrs: dict[str, AttributeValue] = {}
+
+    def set_attr(self, name: str, value: object) -> None:
+        self.attrs[name] = AttributeValue.from_python(name, value)
+
+
+class GroupNode(Node):
+    """A staged group: an ordered mapping of link name to child node."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.children: dict[str, Node] = {}
+
+    def create_group(self, name: str) -> "GroupNode":
+        """Create (or return an existing) child group chain for *name*.
+
+        *name* may contain ``/`` separators; intermediate groups are created
+        as needed, mirroring h5py semantics.
+        """
+        node: GroupNode = self
+        for part in _split_path(name):
+            child = node.children.get(part)
+            if child is None:
+                child = GroupNode()
+                node.children[part] = child
+            elif not isinstance(child, GroupNode):
+                raise ValueError(f"path component {part!r} is a dataset")
+            node = child
+        return node
+
+    def create_dataset(self, name: str, data: np.ndarray,
+                       chunks: tuple[int, ...] | None = None,
+                       compression: int | None = None) -> "DatasetNode":
+        parts = _split_path(name)
+        if not parts:
+            raise ValueError("dataset name must be non-empty")
+        parent = self
+        if len(parts) > 1:
+            parent = self.create_group("/".join(parts[:-1]))
+        leaf = parts[-1]
+        if leaf in parent.children:
+            raise ValueError(f"name already exists: {name!r}")
+        node = DatasetNode(data, chunks=chunks, compression=compression)
+        parent.children[leaf] = node
+        return node
+
+    def resolve(self, path: str) -> Node:
+        node: Node = self
+        for part in _split_path(path):
+            if not isinstance(node, GroupNode):
+                raise KeyError(path)
+            try:
+                node = node.children[part]
+            except KeyError:
+                raise KeyError(path) from None
+        return node
+
+    def walk(self, prefix: str = "") -> list[tuple[str, Node]]:
+        """Return ``(path, node)`` pairs for all descendants, preorder."""
+        out: list[tuple[str, Node]] = []
+        for name, child in self.children.items():
+            path = f"{prefix}/{name}" if prefix else name
+            out.append((path, child))
+            if isinstance(child, GroupNode):
+                out.extend(child.walk(path))
+        return out
+
+
+class DatasetNode(Node):
+    """A staged dataset holding a contiguous numpy array.
+
+    ``chunks``/``compression`` select chunked (optionally deflate-compressed)
+    storage instead of the default contiguous layout.
+    """
+
+    def __init__(self, data: np.ndarray,
+                 chunks: tuple[int, ...] | None = None,
+                 compression: int | None = None) -> None:
+        super().__init__()
+        array = np.asarray(data)
+        if array.ndim > 0:
+            array = np.ascontiguousarray(array)
+        else:
+            array = array.copy()
+        if not is_supported_dtype(array.dtype):
+            raise TypeError(
+                f"dtype {array.dtype} cannot be stored in an HDF5 dataset "
+                "by this library"
+            )
+        if compression is not None and chunks is None:
+            chunks = array.shape  # single-chunk compressed dataset
+        if chunks is not None:
+            if array.ndim == 0:
+                raise ValueError("scalar datasets cannot be chunked")
+            if len(chunks) != array.ndim:
+                raise ValueError(
+                    f"chunk rank {len(chunks)} != data rank {array.ndim}"
+                )
+            if any(c <= 0 for c in chunks):
+                raise ValueError("chunk dimensions must be positive")
+            chunks = tuple(int(min(c, s)) for c, s in zip(chunks, array.shape))
+        if compression is not None and not 0 <= compression <= 9:
+            raise ValueError("compression must be a deflate level 0..9")
+        self.data = array
+        self.chunks = chunks
+        self.compression = compression
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+
+def _split_path(path: str) -> list[str]:
+    return [part for part in path.split("/") if part]

@@ -1,0 +1,260 @@
+"""Structural validation of HDF5 files (an ``h5check``-style walker).
+
+After a corruption campaign it is useful to distinguish *payload* damage
+(flipped weights — the injector's purpose) from *structural* damage (a flip
+that landed in metadata and broke the file).  The validator re-walks every
+structure the reader touches and reports findings instead of raising, so a
+partially broken file yields a diagnosis rather than a stack trace.
+
+The checkpoint corrupter only writes inside dataset payloads, so files it
+touches always validate clean — asserted by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .binary import BinaryReader
+from .btree import parse_group_btree
+from .constants import (
+    BTREE_SIGNATURE,
+    FORMAT_SIGNATURE,
+    LOCAL_HEAP_SIGNATURE,
+    MSG_DATA_LAYOUT,
+    MSG_DATASPACE,
+    MSG_DATATYPE,
+    MSG_SYMBOL_TABLE,
+    SNOD_SIGNATURE,
+    UNDEFINED_ADDRESS,
+)
+from .messages import decode_symbol_table
+from .objects import parse_object_header
+
+
+@dataclass
+class Finding:
+    """One validation finding."""
+
+    severity: str  # "error" | "warning"
+    location: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.location}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """All findings plus simple counts."""
+
+    findings: list[Finding] = field(default_factory=list)
+    groups_checked: int = 0
+    datasets_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not any(f.severity == "error" for f in self.findings)
+
+    def error(self, location: str, message: str) -> None:
+        self.findings.append(Finding("error", location, message))
+
+    def warning(self, location: str, message: str) -> None:
+        self.findings.append(Finding("warning", location, message))
+
+
+def validate_file(path: str) -> ValidationReport:
+    """Validate the file at *path* structure by structure."""
+    report = ValidationReport()
+    try:
+        with open(path, "rb") as handle:
+            buffer = handle.read()
+    except OSError as error:
+        report.error("/", f"cannot read file: {error}")
+        return report
+
+    if len(buffer) < 96:
+        report.error("/", f"file too small to be HDF5 ({len(buffer)} bytes)")
+        return report
+    if buffer[:8] != FORMAT_SIGNATURE:
+        report.error("/", "bad format signature")
+        return report
+
+    reader = BinaryReader(buffer, 8)
+    version = reader.u8()
+    if version != 0:
+        report.error("/", f"unsupported superblock version {version}")
+        return report
+    reader.skip(4)
+    size_of_offsets = reader.u8()
+    size_of_lengths = reader.u8()
+    if (size_of_offsets, size_of_lengths) != (8, 8):
+        report.error("/", "offsets/lengths are not 8 bytes")
+        return report
+    reader.skip(1 + 2 + 2 + 4 + 8 + 8)
+    end_of_file = reader.u64()
+    if end_of_file > len(buffer):
+        report.error(
+            "/",
+            f"superblock end-of-file {end_of_file} exceeds actual size "
+            f"{len(buffer)} (truncated file?)",
+        )
+    elif end_of_file < len(buffer):
+        report.warning(
+            "/",
+            f"{len(buffer) - end_of_file} trailing bytes beyond "
+            "end-of-file address",
+        )
+    reader.skip(8)  # driver info
+    reader.skip(8)  # root link name offset
+    root_address = reader.u64()
+    _validate_group(buffer, root_address, "/", report, set())
+    return report
+
+
+def _validate_group(buffer: bytes, address: int, path: str,
+                    report: ValidationReport, seen: set[int]) -> None:
+    if address in seen:
+        report.error(path, f"group cycle detected at {address:#x}")
+        return
+    seen.add(address)
+    report.groups_checked += 1
+    try:
+        header = parse_object_header(buffer, address)
+    except (ValueError, EOFError) as error:
+        report.error(path, f"unreadable object header: {error}")
+        return
+    symtab = header.find(MSG_SYMBOL_TABLE)
+    if symtab is None:
+        report.error(path, "group missing symbol-table message")
+        return
+    info = decode_symbol_table(BinaryReader(symtab.body))
+    if info.heap_address >= len(buffer):
+        report.error(path, f"heap address {info.heap_address:#x} out of file")
+        return
+    if buffer[info.heap_address:info.heap_address + 4] != \
+            LOCAL_HEAP_SIGNATURE:
+        report.error(path, "local heap signature mismatch")
+        return
+    if info.btree_address >= len(buffer):
+        report.error(path, f"B-tree address {info.btree_address:#x} "
+                           "out of file")
+        return
+    if buffer[info.btree_address:info.btree_address + 4] != BTREE_SIGNATURE:
+        report.error(path, "B-tree signature mismatch")
+        return
+    try:
+        entries = parse_group_btree(buffer, info.btree_address)
+    except (ValueError, EOFError) as error:
+        report.error(path, f"unreadable group B-tree: {error}")
+        return
+
+    from .heap import parse_local_heap
+    heap = parse_local_heap(buffer, info.heap_address)
+    previous_name = ""
+    for entry in entries:
+        if entry.name_offset >= len(heap.data):
+            report.error(path, f"link name offset {entry.name_offset} "
+                               "beyond heap")
+            continue
+        try:
+            name = heap.name_at(entry.name_offset)
+        except ValueError:
+            report.error(path, "unterminated link name in heap")
+            continue
+        if name <= previous_name:
+            report.warning(path, f"link {name!r} out of sort order")
+        previous_name = name
+        child_path = path.rstrip("/") + "/" + name
+        if entry.object_header_address >= len(buffer):
+            report.error(child_path, "object header address out of file")
+            continue
+        try:
+            child = parse_object_header(buffer,
+                                        entry.object_header_address)
+        except (ValueError, EOFError) as error:
+            report.error(child_path, f"unreadable object header: {error}")
+            continue
+        if child.find(MSG_SYMBOL_TABLE) is not None:
+            _validate_group(buffer, entry.object_header_address, child_path,
+                            report, seen)
+        else:
+            _validate_dataset(buffer, child, child_path, report)
+
+
+def _validate_dataset(buffer: bytes, header, path: str,
+                      report: ValidationReport) -> None:
+    report.datasets_checked += 1
+    from . import chunked
+    from .datatypes import decode_datatype
+    from .messages import decode_dataspace, decode_layout
+
+    dataspace = header.find(MSG_DATASPACE)
+    datatype = header.find(MSG_DATATYPE)
+    layout = header.find(MSG_DATA_LAYOUT)
+    for name, msg in (("dataspace", dataspace), ("datatype", datatype),
+                      ("layout", layout)):
+        if msg is None:
+            report.error(path, f"dataset missing {name} message")
+    if dataspace is None or datatype is None or layout is None:
+        return
+    try:
+        shape = decode_dataspace(BinaryReader(dataspace.body))
+    except (ValueError, EOFError) as error:
+        report.error(path, f"bad dataspace: {error}")
+        return
+    try:
+        dtype = decode_datatype(BinaryReader(datatype.body))
+    except (ValueError, EOFError) as error:
+        report.error(path, f"bad datatype: {error}")
+        return
+    count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+
+    layout_class = layout.body[1]
+    if layout_class == chunked.LAYOUT_CHUNKED:
+        try:
+            chunk_layout = chunked.decode_chunked_layout(
+                BinaryReader(layout.body)
+            )
+            records = chunked.parse_chunk_btree(
+                buffer, chunk_layout.btree_address, len(shape)
+            )
+        except (ValueError, EOFError) as error:
+            report.error(path, f"bad chunk index: {error}")
+            return
+        for record in records:
+            if record.address + record.stored_size > len(buffer):
+                report.error(
+                    path,
+                    f"chunk at {record.offsets} extends beyond end of file",
+                )
+        covered = len(records)
+        expected = len(chunked.chunk_grid(shape, chunk_layout.chunk_shape))
+        if covered != expected:
+            report.warning(
+                path,
+                f"chunk index holds {covered} chunks, geometry implies "
+                f"{expected}",
+            )
+    else:
+        try:
+            contiguous = decode_layout(BinaryReader(layout.body))
+        except (ValueError, EOFError) as error:
+            report.error(path, f"bad layout: {error}")
+            return
+        expected_bytes = count * dtype.itemsize
+        if (contiguous.data_address != UNDEFINED_ADDRESS
+                and contiguous.data_address + contiguous.data_size
+                > len(buffer)):
+            report.error(path, "raw data extends beyond end of file")
+        if contiguous.data_size != expected_bytes:
+            report.warning(
+                path,
+                f"stored size {contiguous.data_size} != shape x itemsize "
+                f"{expected_bytes}",
+            )
+
+
+__all__ = ["Finding", "ValidationReport", "validate_file",
+           "SNOD_SIGNATURE"]

@@ -1,0 +1,300 @@
+"""Serialization of a staged tree into HDF5 file bytes.
+
+The layout is computed in two passes: pass one walks the tree assigning file
+addresses to every block (object headers, heaps, B-trees, SNODs, raw data);
+pass two emits the bytes with all cross-references resolved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from . import chunked
+from .binary import BinaryWriter
+from .btree import (
+    BTREE_NODE_SIZE,
+    SNOD_SIZE,
+    SymbolTableEntry,
+    chunk_entries,
+    encode_btree_node,
+    encode_snod,
+)
+from .constants import (
+    FORMAT_SIGNATURE,
+    GROUP_INTERNAL_K,
+    GROUP_LEAF_K,
+    MSG_ATTRIBUTE,
+    MSG_DATA_LAYOUT,
+    MSG_DATASPACE,
+    MSG_DATATYPE,
+    MSG_FILL_VALUE,
+    MSG_SYMBOL_TABLE,
+    SUPERBLOCK_SIZE,
+    UNDEFINED_ADDRESS,
+    pad_to,
+)
+from .datatypes import encode_datatype
+from .heap import LOCAL_HEAP_HEADER_SIZE, LocalHeap
+from .messages import (
+    ContiguousLayout,
+    Message,
+    SymbolTableInfo,
+    encode_attribute,
+    encode_dataspace,
+    encode_fill_value,
+    encode_layout,
+    encode_symbol_table,
+)
+from .objects import encode_object_header, object_header_size
+from .tree import DatasetNode, GroupNode, Node
+
+
+@dataclass
+class _GroupLayout:
+    header_address: int = 0
+    heap_header_address: int = 0
+    heap_data_address: int = 0
+    btree_address: int = 0
+    snod_addresses: list[int] = field(default_factory=list)
+    heap: LocalHeap | None = None
+
+
+@dataclass
+class _DatasetLayout:
+    header_address: int = 0
+    data_address: int = 0
+    # chunked storage only:
+    btree_address: int = 0
+    chunk_origins: list[tuple[int, ...]] = field(default_factory=list)
+    chunk_payloads: list[bytes] = field(default_factory=list)
+    chunk_addresses: list[int] = field(default_factory=list)
+
+
+def serialize_file(root: GroupNode) -> bytes:
+    """Serialize the staged tree rooted at *root* into complete file bytes."""
+    group_layouts: dict[int, _GroupLayout] = {}
+    dataset_layouts: dict[int, _DatasetLayout] = {}
+
+    cursor = SUPERBLOCK_SIZE
+
+    def allocate(node: Node) -> None:
+        nonlocal cursor
+        if isinstance(node, GroupNode):
+            layout = _GroupLayout()
+            names = sorted(node.children)
+            layout.heap = LocalHeap.build(names)
+            layout.header_address = cursor
+            cursor += pad_to(object_header_size(_group_messages(node, 0, 0)))
+            layout.heap_header_address = cursor
+            cursor += LOCAL_HEAP_HEADER_SIZE
+            layout.heap_data_address = cursor
+            cursor += pad_to(len(layout.heap.data))
+            layout.btree_address = cursor
+            cursor += BTREE_NODE_SIZE
+            snod_count = len(chunk_entries(_placeholder_entries(names)))
+            for _ in range(snod_count):
+                layout.snod_addresses.append(cursor)
+                cursor += SNOD_SIZE
+            group_layouts[id(node)] = layout
+            for _, child in sorted(node.children.items()):
+                allocate(child)
+        elif isinstance(node, DatasetNode):
+            layout = _DatasetLayout()
+            layout.header_address = cursor
+            if node.chunks is None:
+                cursor += pad_to(
+                    object_header_size(_dataset_messages(node, 0))
+                )
+                layout.data_address = cursor
+                cursor += pad_to(int(node.data.nbytes))
+            else:
+                layout.chunk_origins = chunked.chunk_grid(
+                    node.data.shape, node.chunks
+                )
+                layout.chunk_payloads = [
+                    chunked.compress_chunk(
+                        chunked.slice_chunk(node.data, origin, node.chunks),
+                        node.compression,
+                    )
+                    for origin in layout.chunk_origins
+                ]
+                cursor += pad_to(
+                    object_header_size(_chunked_messages(node, 0))
+                )
+                layout.btree_address = cursor
+                cursor += chunked.chunk_btree_node_size(node.data.ndim)
+                for payload in layout.chunk_payloads:
+                    layout.chunk_addresses.append(cursor)
+                    cursor += pad_to(len(payload))
+            dataset_layouts[id(node)] = layout
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown node type: {type(node)!r}")
+
+    allocate(root)
+    end_of_file = cursor
+
+    buffer = bytearray(end_of_file)
+
+    def emit(node: Node) -> None:
+        if isinstance(node, GroupNode):
+            layout = group_layouts[id(node)]
+            heap = layout.heap
+            assert heap is not None
+            entries = []
+            for name in sorted(node.children):
+                child = node.children[name]
+                if isinstance(child, GroupNode):
+                    child_addr = group_layouts[id(child)].header_address
+                else:
+                    child_addr = dataset_layouts[id(child)].header_address
+                entries.append(SymbolTableEntry(heap.offsets[name], child_addr))
+            chunks = chunk_entries(entries)
+            header = encode_object_header(
+                _group_messages(node, layout.btree_address, layout.heap_header_address)
+            )
+            _place(buffer, layout.header_address, header)
+            _place(
+                buffer,
+                layout.heap_header_address,
+                heap.header_bytes(layout.heap_data_address),
+            )
+            _place(buffer, layout.heap_data_address, heap.data)
+            last_offsets = [chunk[-1].name_offset for chunk in chunks]
+            _place(
+                buffer,
+                layout.btree_address,
+                encode_btree_node(layout.snod_addresses, last_offsets),
+            )
+            for address, chunk in zip(layout.snod_addresses, chunks):
+                _place(buffer, address, encode_snod(chunk))
+            for _, child in sorted(node.children.items()):
+                emit(child)
+        elif isinstance(node, DatasetNode):
+            layout = dataset_layouts[id(node)]
+            if node.chunks is None:
+                header = encode_object_header(
+                    _dataset_messages(node, layout.data_address)
+                )
+                _place(buffer, layout.header_address, header)
+                _place(buffer, layout.data_address, node.data.tobytes())
+            else:
+                header = encode_object_header(
+                    _chunked_messages(node, layout.btree_address)
+                )
+                _place(buffer, layout.header_address, header)
+                records = [
+                    chunked.ChunkRecord(
+                        offsets=origin,
+                        stored_size=len(payload),
+                        filter_mask=0,
+                        address=address,
+                    )
+                    for origin, payload, address in zip(
+                        layout.chunk_origins, layout.chunk_payloads,
+                        layout.chunk_addresses,
+                    )
+                ]
+                _place(buffer, layout.btree_address,
+                       chunked.encode_chunk_btree(records, node.data.ndim))
+                for payload, address in zip(layout.chunk_payloads,
+                                            layout.chunk_addresses):
+                    _place(buffer, address, payload)
+
+    emit(root)
+
+    root_layout = group_layouts[id(root)]
+    superblock = _encode_superblock(root_layout.header_address, end_of_file)
+    _place(buffer, 0, superblock)
+    return bytes(buffer)
+
+
+def _placeholder_entries(names: list[str]) -> list[SymbolTableEntry]:
+    return [SymbolTableEntry(0, 0) for _ in names]
+
+
+def _group_messages(
+    node: GroupNode, btree_address: int, heap_address: int
+) -> list[Message]:
+    messages = [
+        Message(
+            MSG_SYMBOL_TABLE,
+            encode_symbol_table(SymbolTableInfo(btree_address, heap_address)),
+        )
+    ]
+    for attr in node.attrs.values():
+        messages.append(Message(MSG_ATTRIBUTE, encode_attribute(attr)))
+    return messages
+
+
+def _chunked_messages(node: DatasetNode, btree_address: int) -> list[Message]:
+    layout = chunked.ChunkedLayout(
+        btree_address=btree_address,
+        chunk_shape=node.chunks,
+        element_size=node.dtype.itemsize,
+    )
+    messages = [
+        Message(MSG_DATASPACE, encode_dataspace(node.shape)),
+        Message(MSG_DATATYPE, encode_datatype(node.dtype)),
+        Message(MSG_FILL_VALUE, encode_fill_value()),
+        Message(MSG_DATA_LAYOUT, chunked.encode_chunked_layout(layout)),
+    ]
+    if node.compression is not None:
+        messages.append(Message(
+            chunked.MSG_FILTER_PIPELINE,
+            chunked.encode_filter_pipeline(node.compression),
+        ))
+    for attr in node.attrs.values():
+        messages.append(Message(MSG_ATTRIBUTE, encode_attribute(attr)))
+    return messages
+
+
+def _dataset_messages(node: DatasetNode, data_address: int) -> list[Message]:
+    layout = ContiguousLayout(
+        data_address if node.data.nbytes else UNDEFINED_ADDRESS,
+        int(node.data.nbytes),
+    )
+    messages = [
+        Message(MSG_DATASPACE, encode_dataspace(node.shape)),
+        Message(MSG_DATATYPE, encode_datatype(node.dtype)),
+        Message(MSG_FILL_VALUE, encode_fill_value()),
+        Message(MSG_DATA_LAYOUT, encode_layout(layout)),
+    ]
+    for attr in node.attrs.values():
+        messages.append(Message(MSG_ATTRIBUTE, encode_attribute(attr)))
+    return messages
+
+
+def _encode_superblock(root_header_address: int, end_of_file: int) -> bytes:
+    writer = BinaryWriter()
+    writer.write(FORMAT_SIGNATURE)
+    writer.u8(0)  # superblock version
+    writer.u8(0)  # free-space storage version
+    writer.u8(0)  # root group symbol-table version
+    writer.u8(0)
+    writer.u8(0)  # shared-header message format version
+    writer.u8(8)  # size of offsets
+    writer.u8(8)  # size of lengths
+    writer.u8(0)
+    writer.u16(GROUP_LEAF_K)
+    writer.u16(GROUP_INTERNAL_K)
+    writer.u32(0)  # file consistency flags
+    writer.u64(0)  # base address
+    writer.u64(UNDEFINED_ADDRESS)  # free-space info address
+    writer.u64(end_of_file)
+    writer.u64(UNDEFINED_ADDRESS)  # driver info block address
+    # Root group symbol-table entry.
+    writer.u64(0)  # link name offset (root has no name)
+    writer.u64(root_header_address)
+    writer.u32(0)  # cache type
+    writer.u32(0)
+    writer.zeros(16)
+    return writer.getvalue()
+
+
+def _place(buffer: bytearray, address: int, data: bytes) -> None:
+    end = address + len(data)
+    if end > len(buffer):  # pragma: no cover - defensive
+        raise ValueError("block exceeds allocated file size")
+    buffer[address:end] = data

@@ -1,0 +1,51 @@
+"""Parameterized fault injector for HDF5 checkpoint files (paper §IV).
+
+The injector corrupts a previously saved checkpoint *in place*; when training
+resumes from the altered file, it continues "as if nothing happened" — which
+is precisely how a silent data corruption manifests.  Because only the HDF5
+file is touched, the injector is application- and framework-independent.
+
+Quick use::
+
+    from repro.injector import InjectorConfig, CheckpointCorrupter
+
+    config = InjectorConfig(
+        hdf5_file="ckpt_epoch20.h5",
+        injection_type="count", injection_attempts=1000,
+        corruption_mode="bit_range", first_bit=2, last_bit=63,  # skip exp MSB
+        float_precision=64, seed=7,
+    )
+    result = CheckpointCorrupter(config).corrupt()
+    result.log.save("flips.json")          # for equivalent injection later
+"""
+
+from . import bitops
+from .config import InjectorConfig
+from .corrupter import (
+    CheckpointCorrupter,
+    CorruptionError,
+    CorruptionResult,
+    corrupt_checkpoint,
+    count_entries,
+    expand_locations,
+    resolve_attempts,
+)
+from .equivalent import ReplayResult, build_location_map, replay_log
+from .log import InjectionLog, InjectionRecord
+
+__all__ = [
+    "CheckpointCorrupter",
+    "CorruptionError",
+    "CorruptionResult",
+    "InjectionLog",
+    "InjectionRecord",
+    "InjectorConfig",
+    "ReplayResult",
+    "bitops",
+    "build_location_map",
+    "corrupt_checkpoint",
+    "count_entries",
+    "expand_locations",
+    "replay_log",
+    "resolve_attempts",
+]

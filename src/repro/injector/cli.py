@@ -1,0 +1,153 @@
+"""Command-line front end for the HDF5 checkpoint corrupter.
+
+Mirrors the paper's standalone tool: every Table I setting is a flag, plus
+``--save-log``/``--replay-log`` for equivalent injection.
+
+Examples
+--------
+Flip 1000 random bits anywhere in the file, excluding the exponent MSB::
+
+    hdf5-corrupter ckpt.h5 --attempts 1000 --mode bit_range \
+        --first-bit 2 --last-bit 63 --seed 7 --save-log flips.json
+
+Replay those flips on another framework's checkpoint::
+
+    hdf5-corrupter other.h5 --replay-log flips.json \
+        --remap predictor/conv1_1=model_weights/block1_conv1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .config import InjectorConfig
+from .corrupter import CheckpointCorrupter
+from .equivalent import replay_log
+from .log import InjectionLog
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser exposing every Table I setting as a flag."""
+    parser = argparse.ArgumentParser(
+        prog="hdf5-corrupter",
+        description="Inject bit-flips into an HDF5 checkpoint file.",
+    )
+    parser.add_argument("hdf5_file", help="checkpoint file to corrupt")
+    parser.add_argument("--probability", type=float, default=1.0,
+                        help="probability each attempt succeeds (default 1)")
+    parser.add_argument("--type", choices=["count", "percentage"],
+                        default="count", dest="injection_type")
+    parser.add_argument("--attempts", type=float, default=1.0,
+                        help="attempt count, or percentage when --type "
+                             "percentage")
+    parser.add_argument("--precision", type=int, choices=[16, 32, 64],
+                        default=64, help="float precision for bit positions")
+    parser.add_argument("--mode",
+                        choices=["bit_mask", "bit_range", "scaling_factor",
+                                 "stuck_at", "zero_value"],
+                        default="bit_range", dest="corruption_mode")
+    parser.add_argument("--bit-mask", default="1",
+                        help="mask bit string for bit_mask mode")
+    parser.add_argument("--first-bit", type=int, default=0,
+                        help="range start, MSB order (0 = sign bit)")
+    parser.add_argument("--last-bit", type=int, default=None,
+                        help="range end inclusive, MSB order")
+    parser.add_argument("--scaling-factor", type=float, default=2.0)
+    parser.add_argument("--stuck-bit", type=int, default=0,
+                        help="stuck_at mode: MSB-order bit to force")
+    parser.add_argument("--stuck-value", type=int, choices=[0, 1], default=1,
+                        help="stuck_at mode: value the bit is forced to")
+    parser.add_argument("--no-nan", action="store_true",
+                        help="retry corruptions that produce NaN/Inf")
+    parser.add_argument("--location", action="append", default=[],
+                        dest="locations",
+                        help="corrupt only this path (repeatable)")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--save-log", default=None,
+                        help="write the injection log JSON here")
+    parser.add_argument("--replay-log", default=None,
+                        help="replay this injection log instead of a fresh "
+                             "campaign")
+    parser.add_argument("--remap", action="append", default=[],
+                        help="SRC=DST location translation for replay "
+                             "(repeatable)")
+    parser.add_argument("--reuse-indices", action="store_true",
+                        help="replay at the recorded flat indices")
+    parser.add_argument("--json", action="store_true",
+                        help="print a machine-readable summary")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``hdf5-corrupter`` (fresh campaign or replay)."""
+    args = build_parser().parse_args(argv)
+
+    if args.replay_log:
+        log = InjectionLog.load(args.replay_log)
+        location_map = {}
+        for pair in args.remap:
+            if "=" not in pair:
+                print(f"bad --remap entry (need SRC=DST): {pair!r}",
+                      file=sys.stderr)
+                return 2
+            src, dst = pair.split("=", 1)
+            location_map[src] = dst
+        result = replay_log(args.hdf5_file, log,
+                            location_map=location_map or None,
+                            reuse_indices=args.reuse_indices,
+                            seed=args.seed)
+        summary = {
+            "replayed": result.replayed,
+            "skipped": result.skipped,
+            "nev_introduced": result.nev_introduced,
+        }
+        if args.save_log:
+            result.log.save(args.save_log)
+        _emit(summary, args.json)
+        return 0
+
+    config = InjectorConfig(
+        hdf5_file=args.hdf5_file,
+        injection_probability=args.probability,
+        injection_type=args.injection_type,
+        injection_attempts=args.attempts,
+        float_precision=args.precision,
+        corruption_mode=args.corruption_mode,
+        bit_mask=args.bit_mask,
+        first_bit=args.first_bit,
+        last_bit=args.last_bit,
+        scaling_factor=args.scaling_factor,
+        stuck_bit=args.stuck_bit,
+        stuck_value=args.stuck_value,
+        allow_NaN_values=not args.no_nan,
+        locations_to_corrupt=args.locations,
+        use_random_locations=not args.locations,
+        seed=args.seed,
+    )
+    result = CheckpointCorrupter(config).corrupt()
+    if args.save_log:
+        result.log.save(args.save_log)
+    summary = {
+        "attempts": result.attempts,
+        "successes": result.successes,
+        "skipped_probability": result.skipped_probability,
+        "skipped_retries": result.skipped_retries,
+        "nev_introduced": result.nev_introduced,
+        "locations": len(result.locations),
+    }
+    _emit(summary, args.json)
+    return 0
+
+
+def _emit(summary: dict, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(summary))
+    else:
+        for key, value in summary.items():
+            print(f"{key}: {value}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

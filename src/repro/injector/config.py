@@ -1,0 +1,211 @@
+"""Injector configuration — a faithful implementation of the paper's Table I."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from .bitops import mask_width, parse_mask, supported_precisions
+
+#: The paper's Table I defines the first three modes; ``stuck_at`` (force one
+#: bit to a fixed value, the classic stuck-at fault model) and ``zero_value``
+#: (weight zeroing, as in PyTorchFI-style injectors) are extensions.
+CorruptionMode = Literal["bit_mask", "bit_range", "scaling_factor",
+                         "stuck_at", "zero_value"]
+InjectionType = Literal["count", "percentage"]
+
+
+@dataclass
+class InjectorConfig:
+    """Settings for the HDF5 checkpoint file corrupter (paper Table I).
+
+    Attributes
+    ----------
+    hdf5_file:
+        Path of the HDF5 file to corrupt.
+    injection_probability:
+        Probability that each injection attempt succeeds.
+    injection_type:
+        ``"count"`` — ``injection_attempts`` is an absolute number of
+        attempts; ``"percentage"`` — it is a percentage of the file's
+        corruptible entries.
+    injection_attempts:
+        The value for ``injection_type`` (int count or float percentage).
+    float_precision:
+        16, 32 or 64; bit positions are interpreted at this width.  When a
+        dataset's actual dtype width differs, behaviour follows
+        ``precision_mismatch``.
+    corruption_mode:
+        ``"bit_mask"`` — XOR a bit pattern at a random offset;
+        ``"bit_range"`` — flip one random bit inside ``[first_bit, last_bit]``
+        (paper MSB-order: 0 = sign, 1 = exponent MSB, ...);
+        ``"scaling_factor"`` — multiply the value by ``scaling_factor``.
+    bit_mask:
+        The mask pattern for ``bit_mask`` mode (e.g. ``"101101"``).
+    first_bit / last_bit:
+        Inclusive MSB-order range for ``bit_range`` mode.
+    scaling_factor:
+        Multiplier for ``scaling_factor`` mode.
+    stuck_bit / stuck_value:
+        For the ``stuck_at`` extension mode: force the MSB-order bit
+        ``stuck_bit`` to ``stuck_value`` (0 or 1).
+    target_slice:
+        Extension (BinFI-style spatial targeting): when set, corruption is
+        confined to index ``target_slice`` along each dataset's leading
+        axis — e.g. one output filter of an OIHW convolution kernel.
+        Datasets whose leading axis is too small are skipped.
+    allow_NaN_values:
+        When False the corrupter retries until the corrupted value is neither
+        NaN nor infinite.
+    locations_to_corrupt:
+        HDF5 paths (datasets or groups; a group means all datasets below it).
+    use_random_locations:
+        When True, ignore ``locations_to_corrupt`` and draw from every
+        dataset in the file.
+    seed:
+        RNG seed making a corruption campaign reproducible.
+    max_retries:
+        Safety bound on the ``allow_NaN_values=False`` retry loop.
+    extreme_guard:
+        Extension beyond the paper's Table I: when set to a magnitude
+        threshold, the retry loop also rejects *finite* corrupted values
+        whose absolute value exceeds it.  The paper's NaN/INF-only guard
+        cannot stop e.g. an fp32 exponent-MSB flip producing ~1e38 — finite,
+        yet collapse-inducing (see the ``ablation_nan_retry`` experiment).
+    precision_mismatch:
+        ``"adapt"`` (default) — use the dataset's own float width when it
+        differs from ``float_precision``; ``"strict"`` — raise;
+        ``"skip"`` — leave mismatching datasets uncorrupted.
+    """
+
+    hdf5_file: str = ""
+    injection_probability: float = 1.0
+    injection_type: InjectionType = "count"
+    injection_attempts: float = 1
+    float_precision: int = 64
+    corruption_mode: CorruptionMode = "bit_range"
+    bit_mask: str = "1"
+    first_bit: int = 0
+    last_bit: int | None = None
+    scaling_factor: float = 2.0
+    stuck_bit: int = 0
+    stuck_value: int = 1
+    target_slice: int | None = None
+    allow_NaN_values: bool = True
+    locations_to_corrupt: list[str] = field(default_factory=list)
+    use_random_locations: bool = True
+    seed: int | None = None
+    max_retries: int = 10_000
+    extreme_guard: float | None = None
+    precision_mismatch: Literal["adapt", "strict", "skip"] = "adapt"
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if not 0.0 <= self.injection_probability <= 1.0:
+            raise ValueError(
+                "injection_probability must be in [0, 1], got "
+                f"{self.injection_probability}"
+            )
+        if self.injection_type not in ("count", "percentage"):
+            raise ValueError(f"bad injection_type: {self.injection_type!r}")
+        if self.injection_type == "count":
+            if self.injection_attempts < 0 or (
+                self.injection_attempts != int(self.injection_attempts)
+            ):
+                raise ValueError(
+                    "count injection_attempts must be a non-negative integer"
+                )
+        else:
+            if not 0.0 <= float(self.injection_attempts) <= 100.0:
+                raise ValueError(
+                    "percentage injection_attempts must be in [0, 100]"
+                )
+        if self.float_precision not in supported_precisions():
+            raise ValueError(
+                f"float_precision must be one of {supported_precisions()}"
+            )
+        if self.corruption_mode not in (
+            "bit_mask", "bit_range", "scaling_factor", "stuck_at",
+            "zero_value",
+        ):
+            raise ValueError(f"bad corruption_mode: {self.corruption_mode!r}")
+        if self.corruption_mode == "bit_mask":
+            pattern = parse_mask(self.bit_mask)
+            if mask_width(self.bit_mask) > self.float_precision:
+                raise ValueError(
+                    f"bit_mask wider than float_precision: {self.bit_mask!r}"
+                )
+            if pattern == 0:
+                raise ValueError("bit_mask of all zeros corrupts nothing")
+        effective_last = (
+            self.float_precision - 1 if self.last_bit is None else self.last_bit
+        )
+        if self.corruption_mode == "bit_range":
+            if not (
+                0 <= self.first_bit <= effective_last < self.float_precision
+            ):
+                raise ValueError(
+                    f"invalid bit range [{self.first_bit}, {effective_last}] "
+                    f"for {self.float_precision}-bit floats"
+                )
+        if self.corruption_mode == "stuck_at":
+            if not 0 <= self.stuck_bit < self.float_precision:
+                raise ValueError(
+                    f"stuck_bit {self.stuck_bit} out of range for "
+                    f"{self.float_precision}-bit floats"
+                )
+            if self.stuck_value not in (0, 1):
+                raise ValueError("stuck_value must be 0 or 1")
+        if not self.use_random_locations and not self.locations_to_corrupt:
+            raise ValueError(
+                "locations_to_corrupt must be non-empty when "
+                "use_random_locations is False"
+            )
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be positive")
+        if self.extreme_guard is not None and self.extreme_guard <= 0:
+            raise ValueError("extreme_guard must be positive when set")
+        if self.target_slice is not None and self.target_slice < 0:
+            raise ValueError("target_slice must be non-negative")
+
+    @property
+    def effective_last_bit(self) -> int:
+        """The inclusive MSB-order upper bound of the bit range."""
+        if self.last_bit is None:
+            return self.float_precision - 1
+        return self.last_bit
+
+    def to_dict(self) -> dict:
+        return {
+            "hdf5_file": self.hdf5_file,
+            "injection_probability": self.injection_probability,
+            "injection_type": self.injection_type,
+            "injection_attempts": self.injection_attempts,
+            "float_precision": self.float_precision,
+            "corruption_mode": self.corruption_mode,
+            "bit_mask": self.bit_mask,
+            "first_bit": self.first_bit,
+            "last_bit": self.last_bit,
+            "scaling_factor": self.scaling_factor,
+            "stuck_bit": self.stuck_bit,
+            "stuck_value": self.stuck_value,
+            "target_slice": self.target_slice,
+            "allow_NaN_values": self.allow_NaN_values,
+            "locations_to_corrupt": list(self.locations_to_corrupt),
+            "use_random_locations": self.use_random_locations,
+            "seed": self.seed,
+            "max_retries": self.max_retries,
+            "extreme_guard": self.extreme_guard,
+            "precision_mismatch": self.precision_mismatch,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "InjectorConfig":
+        known = {
+            key: payload[key]
+            for key in cls.__dataclass_fields__  # type: ignore[attr-defined]
+            if key in payload
+        }
+        return cls(**known)

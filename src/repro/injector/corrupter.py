@@ -1,0 +1,302 @@
+"""The HDF5 checkpoint file corrupter (paper §IV-B).
+
+The corrupter opens a checkpoint in ``r+`` mode and performs *injection
+attempts*: each attempt picks a random location (HDF5 dataset), a random
+element inside it, and — with ``injection_probability`` — corrupts that
+element according to ``corruption_mode``.  All successful corruptions are
+recorded in an :class:`~repro.injector.log.InjectionLog`, which can later be
+replayed on another framework's checkpoint (*equivalent injection*).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import hdf5
+from . import bitops
+from .config import InjectorConfig
+from .log import InjectionLog, InjectionRecord
+
+
+class CorruptionError(RuntimeError):
+    """Raised when a corruption campaign cannot proceed."""
+
+
+@dataclass
+class CorruptionResult:
+    """Outcome of one corruption campaign."""
+
+    log: InjectionLog
+    attempts: int = 0
+    successes: int = 0
+    skipped_probability: int = 0
+    skipped_retries: int = 0
+    nev_introduced: int = 0
+    locations: list[str] = field(default_factory=list)
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.attempts if self.attempts else 0.0
+
+
+def expand_locations(
+    handle: hdf5.File | hdf5.Group, locations: list[str] | None = None
+) -> list[str]:
+    """Resolve configured locations into concrete dataset paths.
+
+    ``None`` (or empty) means *every* dataset in the file.  A location naming
+    a group expands to every dataset below it ("all sublocations inside a
+    location will be corrupted", Table I).
+    """
+    if not locations:
+        return [dataset.name for dataset in handle.datasets()]
+    expanded: list[str] = []
+    for location in locations:
+        try:
+            obj = handle[location]
+        except KeyError:
+            raise CorruptionError(
+                f"location not found in checkpoint: {location!r}"
+            ) from None
+        if isinstance(obj, hdf5.Dataset):
+            expanded.append(obj.name)
+        else:
+            below = obj.datasets()
+            if not below:
+                raise CorruptionError(
+                    f"location {location!r} contains no datasets"
+                )
+            expanded.extend(dataset.name for dataset in below)
+    return expanded
+
+
+def count_entries(handle: hdf5.File | hdf5.Group,
+                  locations: list[str]) -> int:
+    """Total corruptible entries over *locations* (product of dims each)."""
+    total = 0
+    for location in locations:
+        dataset = handle[location]
+        total += dataset.size
+    return total
+
+
+def resolve_attempts(config: InjectorConfig, total_entries: int) -> int:
+    """Turn the ``injection_type``/``injection_attempts`` pair into a count."""
+    if config.injection_type == "count":
+        return int(config.injection_attempts)
+    fraction = float(config.injection_attempts) / 100.0
+    return int(math.ceil(total_entries * fraction))
+
+
+class CheckpointCorrupter:
+    """Drives a corruption campaign over one HDF5 checkpoint file."""
+
+    def __init__(self, config: InjectorConfig):
+        self.config = config
+        self.rng = np.random.default_rng(config.seed)
+
+    # -- public entry points ---------------------------------------------------
+    def corrupt(self, path: str | None = None) -> CorruptionResult:
+        """Open ``config.hdf5_file`` (or *path*) in ``r+`` and run a campaign."""
+        target = path or self.config.hdf5_file
+        if not target:
+            raise CorruptionError("no hdf5_file configured")
+        with hdf5.File(target, "r+") as handle:
+            return self.corrupt_open_file(handle)
+
+    def corrupt_open_file(self, handle: hdf5.File) -> CorruptionResult:
+        """Run a campaign against an already-open writable file."""
+        config = self.config
+        if config.use_random_locations:
+            locations = expand_locations(handle, None)
+        else:
+            locations = expand_locations(handle, config.locations_to_corrupt)
+        locations = [
+            loc for loc in locations
+            if handle[loc].size > 0 and handle[loc].supports_inplace_writes
+        ]
+        if config.target_slice is not None:
+            locations = [
+                loc for loc in locations
+                if handle[loc].shape
+                and config.target_slice < handle[loc].shape[0]
+            ]
+        if not locations:
+            raise CorruptionError("no corruptible datasets in checkpoint")
+
+        attempts = resolve_attempts(config, count_entries(handle, locations))
+        log = InjectionLog(config=config.to_dict())
+        result = CorruptionResult(log=log, locations=locations)
+
+        datasets = {loc: handle[loc] for loc in locations}
+        for _ in range(attempts):
+            result.attempts += 1
+            location = locations[int(self.rng.integers(0, len(locations)))]
+            dataset = datasets[location]
+            index = self._draw_index(dataset)
+            if self.rng.random() >= config.injection_probability:
+                result.skipped_probability += 1
+                continue
+            record = self._corrupt_element(dataset, location, index)
+            if record is None:
+                result.skipped_retries += 1
+                continue
+            result.successes += 1
+            if record.kind != "integer" and bitops.is_nan_or_inf(
+                record.new_value
+            ):
+                result.nev_introduced += 1
+            log.append(record)
+        return result
+
+    def _draw_index(self, dataset: hdf5.Dataset) -> int:
+        """Random flat index, confined to ``target_slice`` when configured."""
+        if self.config.target_slice is None or not dataset.shape:
+            return int(self.rng.integers(0, dataset.size))
+        stride = 1
+        for dim in dataset.shape[1:]:
+            stride *= dim
+        base = self.config.target_slice * stride
+        return base + int(self.rng.integers(0, stride))
+
+    # -- element corruption ------------------------------------------------------
+    def _corrupt_element(
+        self, dataset: hdf5.Dataset, location: str, index: int
+    ) -> InjectionRecord | None:
+        if dataset.dtype.kind in ("i", "u"):
+            return self._corrupt_integer(dataset, location, index)
+        if dataset.dtype.kind != "f":
+            return None  # strings etc. are not corrupted
+        precision = self._effective_precision(dataset)
+        if precision is None:
+            return None
+        old = dataset.read_flat(index)
+        for attempt in range(1, self.config.max_retries + 1):
+            new, record = self._corrupt_float(old, precision)
+            if (not self.config.allow_NaN_values
+                    and bitops.is_nan_or_inf(new)):
+                continue
+            if (self.config.extreme_guard is not None
+                    and bitops.is_extreme(new, self.config.extreme_guard)):
+                continue
+            dataset.write_flat(index, new)
+            record.location = location
+            record.flat_index = index
+            record.attempts = attempt
+            return record
+        return None
+
+    def _effective_precision(self, dataset: hdf5.Dataset) -> int | None:
+        actual = bitops.precision_of_dtype(dataset.dtype)
+        if actual == self.config.float_precision:
+            return actual
+        if self.config.precision_mismatch == "strict":
+            raise CorruptionError(
+                f"dataset {dataset.name!r} is {actual}-bit but "
+                f"float_precision={self.config.float_precision}"
+            )
+        if self.config.precision_mismatch == "skip":
+            return None
+        return actual  # adapt
+
+    def _corrupt_float(
+        self, old, precision: int
+    ) -> tuple[np.floating, InjectionRecord]:
+        config = self.config
+        mode = config.corruption_mode
+        if mode == "bit_range":
+            first = config.first_bit
+            last = min(config.effective_last_bit, precision - 1)
+            bit_msb = int(self.rng.integers(first, last + 1))
+            bit_lsb = bitops.msb_to_lsb(bit_msb, precision)
+            new = bitops.flip_bit(old, bit_lsb, precision)
+            record = InjectionRecord(
+                location="", flat_index=-1, kind="bit_range",
+                precision=precision, bit_msb=bit_msb,
+            )
+        elif mode == "bit_mask":
+            mask = bitops.parse_mask(config.bit_mask)
+            width = bitops.mask_width(config.bit_mask)
+            max_shift = precision - width
+            shift = int(self.rng.integers(0, max_shift + 1))
+            new = bitops.apply_xor_mask(old, mask, shift, precision)
+            record = InjectionRecord(
+                location="", flat_index=-1, kind="bit_mask",
+                precision=precision, mask=format(mask, f"0{width}b"),
+                shift=shift,
+            )
+        elif mode == "scaling_factor":
+            dtype = bitops.dtype_for_precision(precision)
+            with np.errstate(over="ignore", invalid="ignore"):
+                new = (np.asarray(old, dtype=dtype)
+                       * dtype.type(config.scaling_factor))[()]
+            record = InjectionRecord(
+                location="", flat_index=-1, kind="scaling_factor",
+                precision=precision, factor=config.scaling_factor,
+            )
+        elif mode == "stuck_at":
+            # extension: force one bit to a fixed value (stuck-at fault)
+            bit_msb = min(config.stuck_bit, precision - 1)
+            bit_lsb = bitops.msb_to_lsb(bit_msb, precision)
+            bits = bitops.float_to_bits(old, precision)
+            if config.stuck_value:
+                bits |= 1 << bit_lsb
+            else:
+                bits &= ~(1 << bit_lsb)
+            new = bitops.bits_to_float(bits, precision)
+            record = InjectionRecord(
+                location="", flat_index=-1, kind="stuck_at",
+                precision=precision, bit_msb=bit_msb,
+                shift=config.stuck_value,
+            )
+        elif mode == "zero_value":
+            # extension: weight zeroing (PyTorchFI-style)
+            dtype = bitops.dtype_for_precision(precision)
+            new = dtype.type(0.0)
+            record = InjectionRecord(
+                location="", flat_index=-1, kind="zero_value",
+                precision=precision,
+            )
+        else:  # pragma: no cover - config validation prevents this
+            raise CorruptionError(f"unknown corruption mode: {mode!r}")
+        record.old_bits = format(bitops.float_to_bits(old, precision), "x")
+        record.new_bits = format(bitops.float_to_bits(new, precision), "x")
+        record.old_value = float(old)
+        record.new_value = float(new)
+        return new, record
+
+    def _corrupt_integer(
+        self, dataset: hdf5.Dataset, location: str, index: int
+    ) -> InjectionRecord:
+        old = int(dataset.read_flat(index))
+        new = bitops.flip_integer_bit(old, self.rng)
+        info = np.iinfo(dataset.dtype)
+        if not info.min <= new <= info.max:
+            # The flipped value no longer fits the stored width; wrap the way
+            # a store of the raw bits would.
+            new = int(np.asarray(new).astype(dataset.dtype)[()])
+        dataset.write_flat(index, new)
+        return InjectionRecord(
+            location=location, flat_index=index, kind="integer",
+            precision=dataset.dtype.itemsize * 8,
+            old_bits=format(old & ((1 << 64) - 1), "x"),
+            new_bits=format(new & ((1 << 64) - 1), "x"),
+            old_value=float(old), new_value=float(new),
+        )
+
+
+def corrupt_checkpoint(
+    path: str, config: InjectorConfig | None = None, **overrides
+) -> CorruptionResult:
+    """One-call convenience wrapper around :class:`CheckpointCorrupter`."""
+    if config is None:
+        config = InjectorConfig(hdf5_file=path, **overrides)
+    elif overrides:
+        payload = config.to_dict()
+        payload.update(overrides)
+        payload["hdf5_file"] = path
+        config = InjectorConfig.from_dict(payload)
+    return CheckpointCorrupter(config).corrupt(path)

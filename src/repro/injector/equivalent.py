@@ -1,0 +1,226 @@
+"""Equivalent injection (paper §IV-C): replay a recorded bit-flip sequence
+on another framework's checkpoint.
+
+Frameworks store the same model's weights in different layouts, so replaying
+the *flat index* of each flip is meaningless across frameworks.  What *is*
+preserved — and what the paper replays — is the sequence of (location,
+bit position) pairs: the same number of corruptions, in the same order, with
+the same flipped bits, applied inside the equivalent layer.  Element indices
+are redrawn at the target (set ``reuse_indices=True`` to keep them when the
+layouts do match, e.g. replaying onto a copy of the same checkpoint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import hdf5
+from . import bitops
+from .corrupter import CorruptionError
+from .log import InjectionLog, InjectionRecord
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying an injection log on a target checkpoint."""
+
+    log: InjectionLog
+    replayed: int = 0
+    skipped: int = 0
+    nev_introduced: int = 0
+    skipped_records: list[str] = field(default_factory=list)
+
+
+def replay_log(
+    target_path: str,
+    log: InjectionLog,
+    location_map: dict[str, str] | None = None,
+    reuse_indices: bool = False,
+    seed: int | None = None,
+) -> ReplayResult:
+    """Replay *log* onto the checkpoint at *target_path*.
+
+    Parameters
+    ----------
+    location_map:
+        Optional path translation (source framework path -> target framework
+        path); applied with longest-prefix matching before replay.
+    reuse_indices:
+        Replay at the recorded flat indices instead of redrawing random ones.
+        Requires the recorded index to be in range at the target.
+    seed:
+        RNG seed for index redraws.
+    """
+    if location_map:
+        log = log.remap(location_map)
+    rng = np.random.default_rng(seed)
+    out_log = InjectionLog(config={"replayed_from": dict(log.config)})
+    result = ReplayResult(log=out_log)
+    with hdf5.File(target_path, "r+") as handle:
+        for record in log:
+            dataset = _resolve_target(handle, record.location, rng)
+            if dataset is None:
+                result.skipped += 1
+                result.skipped_records.append(
+                    f"missing location: {record.location}"
+                )
+                continue
+            if dataset.size == 0:
+                result.skipped += 1
+                result.skipped_records.append(
+                    f"not a corruptible dataset: {record.location}"
+                )
+                continue
+            new_record = _replay_one(dataset, record, rng, reuse_indices)
+            if new_record is None:
+                result.skipped += 1
+                result.skipped_records.append(
+                    f"not replayable here: {record.location} ({record.kind})"
+                )
+                continue
+            result.replayed += 1
+            if bitops.is_nan_or_inf(new_record.new_value):
+                result.nev_introduced += 1
+            out_log.append(new_record)
+    return result
+
+
+def _resolve_target(
+    handle: hdf5.File, location: str, rng: np.random.Generator
+) -> hdf5.Dataset | None:
+    """Resolve a (possibly remapped) record location to a target dataset.
+
+    Frameworks name the datasets inside a layer group differently (Chainer's
+    ``W`` vs PyTorch's ``weight`` vs Keras's ``kernel:0``), so a remapped
+    path's leaf may not exist at the target.  Resolution order:
+
+    1. the exact path, when it is a dataset;
+    2. the exact path, when it is a group: a random float dataset inside it;
+    3. the parent group of the path: a random float dataset inside it.
+
+    This mirrors the paper's semantics — the replayed flips land *somewhere
+    in the equivalent model location*, not at a bitwise-identical address.
+    """
+    def pick_from(group: hdf5.Group) -> hdf5.Dataset | None:
+        floats = [d for d in group.datasets() if d.dtype.kind == "f"]
+        if not floats:
+            return None
+        return floats[int(rng.integers(0, len(floats)))]
+
+    try:
+        obj = handle[location]
+    except KeyError:
+        obj = None
+    if isinstance(obj, hdf5.Dataset):
+        return obj
+    if isinstance(obj, hdf5.Group):
+        return pick_from(obj)
+    parent = location.rstrip("/").rsplit("/", 1)[0]
+    if parent:
+        try:
+            parent_obj = handle[parent]
+        except KeyError:
+            return None
+        if isinstance(parent_obj, hdf5.Group):
+            return pick_from(parent_obj)
+    return None
+
+
+def _replay_one(
+    dataset: hdf5.Dataset,
+    record: InjectionRecord,
+    rng: np.random.Generator,
+    reuse_indices: bool,
+) -> InjectionRecord | None:
+    if dataset.dtype.kind != "f":
+        return None
+    precision = bitops.precision_of_dtype(dataset.dtype)
+    if reuse_indices:
+        if record.flat_index >= dataset.size:
+            return None
+        index = record.flat_index
+    else:
+        index = int(rng.integers(0, dataset.size))
+    old = dataset.read_flat(index)
+
+    if record.kind == "bit_range":
+        if record.bit_msb is None or record.bit_msb >= precision:
+            return None
+        bit_lsb = bitops.msb_to_lsb(record.bit_msb, precision)
+        new = bitops.flip_bit(old, bit_lsb, precision)
+        replayed = InjectionRecord(
+            location=dataset.name, flat_index=index, kind="bit_range",
+            precision=precision, bit_msb=record.bit_msb,
+        )
+    elif record.kind == "bit_mask":
+        if record.mask is None or record.shift is None:
+            return None
+        mask = bitops.parse_mask(record.mask)
+        if mask.bit_length() + record.shift > precision:
+            return None
+        new = bitops.apply_xor_mask(old, mask, record.shift, precision)
+        replayed = InjectionRecord(
+            location=dataset.name, flat_index=index, kind="bit_mask",
+            precision=precision, mask=record.mask, shift=record.shift,
+        )
+    elif record.kind == "scaling_factor":
+        if record.factor is None:
+            return None
+        dtype = bitops.dtype_for_precision(precision)
+        with np.errstate(over="ignore", invalid="ignore"):
+            new = (np.asarray(old, dtype=dtype) * dtype.type(record.factor))[()]
+        replayed = InjectionRecord(
+            location=dataset.name, flat_index=index, kind="scaling_factor",
+            precision=precision, factor=record.factor,
+        )
+    elif record.kind == "stuck_at":
+        if record.bit_msb is None or record.bit_msb >= precision:
+            return None
+        bit_lsb = bitops.msb_to_lsb(record.bit_msb, precision)
+        bits = bitops.float_to_bits(old, precision)
+        if record.shift:  # shift field doubles as stuck_value for this kind
+            bits |= 1 << bit_lsb
+        else:
+            bits &= ~(1 << bit_lsb)
+        new = bitops.bits_to_float(bits, precision)
+        replayed = InjectionRecord(
+            location=dataset.name, flat_index=index, kind="stuck_at",
+            precision=precision, bit_msb=record.bit_msb, shift=record.shift,
+        )
+    elif record.kind == "zero_value":
+        dtype = bitops.dtype_for_precision(precision)
+        new = dtype.type(0.0)
+        replayed = InjectionRecord(
+            location=dataset.name, flat_index=index, kind="zero_value",
+            precision=precision,
+        )
+    else:
+        return None
+
+    dataset.write_flat(index, new)
+    replayed.old_bits = format(bitops.float_to_bits(old, precision), "x")
+    replayed.new_bits = format(bitops.float_to_bits(new, precision), "x")
+    replayed.old_value = float(old)
+    replayed.new_value = float(new)
+    return replayed
+
+
+def build_location_map(
+    source_layers: dict[str, str], target_layers: dict[str, str]
+) -> dict[str, str]:
+    """Derive a replay location map from two frameworks' layer-path tables.
+
+    Both inputs map *canonical layer names* (e.g. ``"conv1"``) to that
+    framework's HDF5 path prefix.  The result maps source paths to target
+    paths for every layer present in both.
+    """
+    mapping: dict[str, str] = {}
+    for layer, source_path in source_layers.items():
+        target_path = target_layers.get(layer)
+        if target_path is not None:
+            mapping[source_path] = target_path
+    if not mapping:
+        raise CorruptionError("no common layers between the two frameworks")
+    return mapping

@@ -1,0 +1,137 @@
+"""Injection logs: the record that makes *equivalent injection* possible.
+
+Every successful corruption is recorded as an :class:`InjectionRecord`.  A
+log can be serialized to JSON, remapped to another framework's checkpoint
+paths, and replayed — flipping the *same bits in the same order at the same
+model location* even though the target file stores its weights differently
+(paper §IV-C and §V-E).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+LOG_FORMAT_VERSION = 1
+
+
+@dataclass
+class InjectionRecord:
+    """One successful corruption event.
+
+    ``bit_msb`` is the flipped bit in paper MSB order (0 = sign) for
+    ``bit_range`` mode; for ``bit_mask`` mode ``mask``/``shift`` are set
+    instead; for ``scaling_factor`` mode ``factor`` is set.  ``old``/``new``
+    store the exact values as hex bit patterns plus a human-readable repr.
+    """
+
+    location: str
+    flat_index: int
+    kind: str  # "bit_range" | "bit_mask" | "scaling_factor" | "integer"
+    precision: int
+    bit_msb: int | None = None
+    mask: str | None = None
+    shift: int | None = None
+    factor: float | None = None
+    old_bits: str = ""
+    new_bits: str = ""
+    old_value: float = 0.0
+    new_value: float = 0.0
+    attempts: int = 1
+
+
+@dataclass
+class InjectionLog:
+    """An ordered collection of injection records plus campaign metadata."""
+
+    config: dict = field(default_factory=dict)
+    records: list[InjectionRecord] = field(default_factory=list)
+    version: int = LOG_FORMAT_VERSION
+
+    def append(self, record: InjectionRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def locations(self) -> list[str]:
+        """Distinct corrupted locations, in first-seen order."""
+        seen: dict[str, None] = {}
+        for record in self.records:
+            seen.setdefault(record.location, None)
+        return list(seen)
+
+    # -- serialization -------------------------------------------------------
+    def to_json(self) -> str:
+        payload = {
+            "version": self.version,
+            "config": self.config,
+            "records": [asdict(record) for record in self.records],
+        }
+        return json.dumps(payload, indent=2)
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def from_json(cls, text: str) -> "InjectionLog":
+        payload = json.loads(text)
+        version = payload.get("version", 0)
+        if version != LOG_FORMAT_VERSION:
+            raise ValueError(f"unsupported injection log version: {version}")
+        records = [InjectionRecord(**entry) for entry in payload["records"]]
+        return cls(config=payload.get("config", {}), records=records,
+                   version=version)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "InjectionLog":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    # -- equivalent injection -------------------------------------------------
+    def remap(self, location_map: dict[str, str]) -> "InjectionLog":
+        """Return a new log with locations substituted via *location_map*.
+
+        This is the paper's path-translation step: e.g. mapping Chainer's
+        ``predictor/conv1_1`` onto TensorFlow's
+        ``model_weights/block1_conv1``.  Locations absent from the map are
+        kept unchanged.  Remapping uses longest-prefix matching so a whole
+        layer group can be remapped with one entry.
+        """
+        prefixes = sorted(location_map, key=len, reverse=True)
+
+        def translate(location: str) -> str:
+            for prefix in prefixes:
+                if location == prefix:
+                    return location_map[prefix]
+                if location.startswith(prefix.rstrip("/") + "/"):
+                    suffix = location[len(prefix.rstrip("/")):]
+                    return location_map[prefix].rstrip("/") + suffix
+            return location
+
+        remapped = [
+            InjectionRecord(**{**asdict(record),
+                               "location": translate(record.location)})
+            for record in self.records
+        ]
+        return InjectionLog(config=dict(self.config), records=remapped,
+                            version=self.version)
+
+    def summary(self) -> dict:
+        """Aggregate view: counts per location and per flipped bit position."""
+        per_location: dict[str, int] = {}
+        per_bit: dict[int, int] = {}
+        for record in self.records:
+            per_location[record.location] = (
+                per_location.get(record.location, 0) + 1
+            )
+            if record.bit_msb is not None:
+                per_bit[record.bit_msb] = per_bit.get(record.bit_msb, 0) + 1
+        return {
+            "total": len(self.records),
+            "per_location": per_location,
+            "per_bit_msb": dict(sorted(per_bit.items())),
+        }

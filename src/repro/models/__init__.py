@@ -1,0 +1,61 @@
+"""The paper's three neural-network models at CIFAR scale.
+
+Each builder takes ``num_classes``, ``policy`` (float16/32/64), and
+``width_mult`` (channel scaling for CPU-tractable experiments — topology and
+layer names are invariant to it).  ``build_model`` dispatches by name;
+``INJECTION_LAYERS`` lists each model's canonical first/middle/last injection
+targets used throughout the paper's figures.
+"""
+
+from __future__ import annotations
+
+from ..nn import Model
+from .alexnet import (
+    ALEXNET_FIRST_LAYER,
+    ALEXNET_LAST_LAYER,
+    ALEXNET_MIDDLE_LAYER,
+    alexnet,
+)
+from .resnet50 import (
+    RESNET50_FIRST_LAYER,
+    RESNET50_LAST_LAYER,
+    RESNET50_MIDDLE_LAYER,
+    resnet50,
+)
+from .vgg16 import VGG16_FIRST_LAYER, VGG16_LAST_LAYER, VGG16_MIDDLE_LAYER, vgg16
+
+MODEL_BUILDERS = {
+    "alexnet": alexnet,
+    "vgg16": vgg16,
+    "resnet50": resnet50,
+}
+
+#: canonical (first, middle, last) parameter-layer names per model.
+INJECTION_LAYERS: dict[str, tuple[str, str, str]] = {
+    "alexnet": (ALEXNET_FIRST_LAYER, ALEXNET_MIDDLE_LAYER,
+                ALEXNET_LAST_LAYER),
+    "vgg16": (VGG16_FIRST_LAYER, VGG16_MIDDLE_LAYER, VGG16_LAST_LAYER),
+    "resnet50": (RESNET50_FIRST_LAYER, RESNET50_MIDDLE_LAYER,
+                 RESNET50_LAST_LAYER),
+}
+
+
+def build_model(name: str, **kwargs) -> Model:
+    """Build a model by name ('alexnet', 'vgg16', 'resnet50')."""
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; choose from {sorted(MODEL_BUILDERS)}"
+        ) from None
+    return builder(**kwargs)
+
+
+__all__ = [
+    "INJECTION_LAYERS",
+    "MODEL_BUILDERS",
+    "alexnet",
+    "build_model",
+    "resnet50",
+    "vgg16",
+]

@@ -1,0 +1,71 @@
+"""AlexNet (Krizhevsky 2012), CIFAR-scale variant.
+
+Faithful to the paper's description: eight parameter layers — five
+convolutional (``conv1``..``conv5``) and three fully connected
+(``fc6``..``fc8``) — with the classic 64/192/384/256/256 channel profile
+scaled by ``width_mult``.  Kernel geometry is adapted to 32x32 inputs (3x3
+kernels, three 2x2 max-pools) as is standard for CIFAR AlexNet ports.
+"""
+
+from __future__ import annotations
+
+from ..nn import (
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    Model,
+    ReLU,
+    Sequential,
+)
+
+
+def alexnet(num_classes: int = 10, policy="float32", width_mult: float = 1.0,
+            image_size: int = 32, dropout: float = 0.5) -> Model:
+    """Build a CIFAR-scale AlexNet.
+
+    ``width_mult`` scales every channel/unit count; experiments use small
+    multipliers (e.g. 0.125) to keep CPU runtimes tractable without changing
+    the layer topology the injector targets.
+    """
+    def ch(base: int) -> int:
+        return max(int(round(base * width_mult)), 4)
+
+    if image_size % 8 != 0:
+        raise ValueError("image_size must be divisible by 8")
+    final_spatial = image_size // 8
+    c1, c2, c3, c4, c5 = ch(64), ch(192), ch(384), ch(256), ch(256)
+    fc_width = ch(1024)
+
+    net = Sequential("alexnet", [
+        Conv2D("conv1", 3, c1, kernel=3, stride=1, pad=1, policy=policy),
+        ReLU("relu1"),
+        MaxPool2D("pool1", kernel=2),
+        Conv2D("conv2", c1, c2, kernel=3, stride=1, pad=1, policy=policy),
+        ReLU("relu2"),
+        MaxPool2D("pool2", kernel=2),
+        Conv2D("conv3", c2, c3, kernel=3, stride=1, pad=1, policy=policy),
+        ReLU("relu3"),
+        Conv2D("conv4", c3, c4, kernel=3, stride=1, pad=1, policy=policy),
+        ReLU("relu4"),
+        Conv2D("conv5", c4, c5, kernel=3, stride=1, pad=1, policy=policy),
+        ReLU("relu5"),
+        MaxPool2D("pool5", kernel=2),
+        Flatten("flatten"),
+        Dropout("drop6", dropout),
+        Dense("fc6", c5 * final_spatial * final_spatial, fc_width,
+              policy=policy),
+        ReLU("relu6"),
+        Dropout("drop7", dropout),
+        Dense("fc7", fc_width, fc_width, policy=policy),
+        ReLU("relu7"),
+        Dense("fc8", fc_width, num_classes, policy=policy),
+    ])
+    return Model("alexnet", net, num_classes, policy)
+
+
+#: Canonical injection targets (paper Figs. 4-6): first, middle, last layer.
+ALEXNET_FIRST_LAYER = "conv1"
+ALEXNET_MIDDLE_LAYER = "conv4"
+ALEXNET_LAST_LAYER = "fc8"

@@ -1,0 +1,115 @@
+"""ResNet50 (He et al. 2015), CIFAR-scale variant.
+
+The genuine ResNet50 topology: a stem convolution followed by four stages of
+bottleneck blocks ([3, 4, 6, 3] — 16 blocks, 53 convolutions in all), batch
+normalization after every convolution, and identity/projection shortcuts.
+Layer names follow the Caffe/Keras convention (``res2a_branch2a``,
+``bn2a_branch2a``, ...), which is what appears as group names inside real
+ResNet50 HDF5 checkpoints.
+
+Adapted to 32x32 inputs the standard way: 3x3 stride-1 stem, no stem
+max-pool, stage strides 1/2/2/2.
+"""
+
+from __future__ import annotations
+
+from ..nn import (
+    Add,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool2D,
+    Model,
+    ReLU,
+    Sequential,
+)
+
+#: blocks per stage for ResNet50.
+_STAGE_BLOCKS = [3, 4, 6, 3]
+#: bottleneck (inner) base width per stage; output width is 4x.
+_STAGE_WIDTHS = [64, 128, 256, 512]
+_EXPANSION = 4
+
+
+def _bottleneck(stage: int, block_letter: str, in_channels: int,
+                width: int, stride: int, policy,
+                bn_momentum: float) -> Add:
+    """One bottleneck block: 1x1 reduce, 3x3, 1x1 expand, with shortcut."""
+    tag = f"{stage}{block_letter}"
+    out_channels = width * _EXPANSION
+    main = Sequential(f"res{tag}_main", [
+        Conv2D(f"res{tag}_branch2a", in_channels, width, kernel=1,
+               stride=stride, policy=policy),
+        BatchNorm2D(f"bn{tag}_branch2a", width, momentum=bn_momentum,
+                    policy=policy),
+        ReLU(f"res{tag}_branch2a_relu"),
+        Conv2D(f"res{tag}_branch2b", width, width, kernel=3, stride=1,
+               pad=1, policy=policy),
+        BatchNorm2D(f"bn{tag}_branch2b", width, momentum=bn_momentum,
+                    policy=policy),
+        ReLU(f"res{tag}_branch2b_relu"),
+        Conv2D(f"res{tag}_branch2c", width, out_channels, kernel=1,
+               stride=1, policy=policy),
+        BatchNorm2D(f"bn{tag}_branch2c", out_channels,
+                    momentum=bn_momentum, policy=policy),
+    ])
+    if stride != 1 or in_channels != out_channels:
+        shortcut = Sequential(f"res{tag}_short", [
+            Conv2D(f"res{tag}_branch1", in_channels, out_channels, kernel=1,
+                   stride=stride, policy=policy),
+            BatchNorm2D(f"bn{tag}_branch1", out_channels,
+                        momentum=bn_momentum, policy=policy),
+        ])
+    else:
+        shortcut = None
+    return Add(f"res{tag}", main, shortcut)
+
+
+def resnet50(num_classes: int = 10, policy="float32",
+             width_mult: float = 1.0, image_size: int = 32,
+             bn_momentum: float = 0.9) -> Model:
+    """Build a CIFAR-scale ResNet50.
+
+    ``bn_momentum`` is the running-statistics momentum; lower it (e.g. 0.5)
+    for short small-data runs so that inference-mode statistics can track
+    the fast-moving activations of a 53-batch-norm stack.
+    """
+    def ch(base: int) -> int:
+        return max(int(round(base * width_mult)), 4)
+
+    if image_size % 8 != 0:
+        raise ValueError("image_size must be divisible by 8")
+
+    stem_channels = ch(64)
+    layers = [
+        Conv2D("conv1", 3, stem_channels, kernel=3, stride=1, pad=1,
+               policy=policy),
+        BatchNorm2D("bn_conv1", stem_channels, momentum=bn_momentum,
+                    policy=policy),
+        ReLU("conv1_relu"),
+    ]
+    in_channels = stem_channels
+    for stage_index, (blocks, base_width) in enumerate(
+        zip(_STAGE_BLOCKS, _STAGE_WIDTHS)
+    ):
+        stage = stage_index + 2  # stages are numbered 2..5
+        width = ch(base_width)
+        for block_index in range(blocks):
+            letter = chr(ord("a") + block_index)
+            stride = 2 if (block_index == 0 and stage > 2) else 1
+            layers.append(_bottleneck(stage, letter, in_channels, width,
+                                      stride, policy, bn_momentum))
+            in_channels = width * _EXPANSION
+    layers.extend([
+        GlobalAvgPool2D("pool5"),
+        Flatten("flatten"),  # no-op on (N, C); kept for layer-count parity
+        Dense("fc1000", in_channels, num_classes, policy=policy),
+    ])
+    return Model("resnet50", Sequential("resnet50", layers), num_classes,
+                 policy)
+
+
+RESNET50_FIRST_LAYER = "conv1"
+RESNET50_MIDDLE_LAYER = "res3d_branch2b"
+RESNET50_LAST_LAYER = "fc1000"

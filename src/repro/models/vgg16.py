@@ -1,0 +1,69 @@
+"""VGG16 (Simonyan & Zisserman 2014), CIFAR-scale variant.
+
+Sixteen parameter layers as in the paper: thirteen 3x3 convolutions in five
+blocks (``conv1_1`` .. ``conv5_3``, channel profile 64/128/256/512/512
+scaled by ``width_mult``) plus three fully connected layers
+(``fc6``..``fc8``).  Five 2x2 max-pools reduce 32x32 inputs to 1x1.
+"""
+
+from __future__ import annotations
+
+from ..nn import (
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    Model,
+    ReLU,
+    Sequential,
+)
+
+#: (block, convs-in-block, base channels) for the 13 convolutional layers.
+_BLOCKS = [(1, 2, 64), (2, 2, 128), (3, 3, 256), (4, 3, 512), (5, 3, 512)]
+
+
+def vgg16(num_classes: int = 10, policy="float32", width_mult: float = 1.0,
+          image_size: int = 32, dropout: float = 0.5) -> Model:
+    """Build a CIFAR-scale VGG16."""
+    def ch(base: int) -> int:
+        return max(int(round(base * width_mult)), 4)
+
+    if image_size % 16 != 0:
+        raise ValueError("image_size must be divisible by 16")
+    # 16x16 inputs keep all 13 convolutions (the parameter layers the
+    # injector targets) but drop the fifth pool, which has no parameters.
+    pools = 5 if image_size % 32 == 0 else 4
+
+    layers = []
+    in_channels = 3
+    for block, convs, base in _BLOCKS:
+        out_channels = ch(base)
+        for conv_index in range(1, convs + 1):
+            name = f"conv{block}_{conv_index}"
+            layers.append(Conv2D(name, in_channels, out_channels, kernel=3,
+                                 stride=1, pad=1, policy=policy))
+            layers.append(ReLU(f"relu{block}_{conv_index}"))
+            in_channels = out_channels
+        if block <= pools:
+            layers.append(MaxPool2D(f"pool{block}", kernel=2))
+
+    final_spatial = image_size // (2 ** pools)
+    fc_width = ch(1024)
+    layers.extend([
+        Flatten("flatten"),
+        Dropout("drop6", dropout),
+        Dense("fc6", in_channels * final_spatial * final_spatial, fc_width,
+              policy=policy),
+        ReLU("relu6"),
+        Dropout("drop7", dropout),
+        Dense("fc7", fc_width, fc_width, policy=policy),
+        ReLU("relu7"),
+        Dense("fc8", fc_width, num_classes, policy=policy),
+    ])
+    return Model("vgg16", Sequential("vgg16", layers), num_classes, policy)
+
+
+VGG16_FIRST_LAYER = "conv1_1"
+VGG16_MIDDLE_LAYER = "conv3_2"
+VGG16_LAST_LAYER = "fc8"

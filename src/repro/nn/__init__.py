@@ -1,0 +1,62 @@
+"""A vectorized numpy deep-learning engine.
+
+Substrate for the checkpoint-alteration study: layers with explicit
+forward/backward passes, SGD/Adam optimizers, fp16/32/64 dtype policies, and
+a deterministic trainer.  No GPU, no external framework — everything the
+paper's experiments need runs on numpy alone.
+"""
+
+from . import functional, init, metrics, profiler, rng, schedulers, summary
+from .dtypes import POLICIES, DTypePolicy, get_policy
+from .layers import (
+    Add,
+    AvgPool2D,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    Layer,
+    LocalResponseNorm,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+from .model import Model
+from .optim import SGD, Adam, Optimizer, RMSProp
+from .trainer import EpochMetrics, Trainer, TrainingHistory
+
+__all__ = [
+    "Add",
+    "Adam",
+    "AvgPool2D",
+    "BatchNorm2D",
+    "Conv2D",
+    "DTypePolicy",
+    "Dense",
+    "Dropout",
+    "EpochMetrics",
+    "Flatten",
+    "GlobalAvgPool2D",
+    "Layer",
+    "LocalResponseNorm",
+    "MaxPool2D",
+    "Model",
+    "Optimizer",
+    "RMSProp",
+    "POLICIES",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Trainer",
+    "TrainingHistory",
+    "functional",
+    "get_policy",
+    "init",
+    "metrics",
+    "profiler",
+    "summary",
+    "schedulers",
+    "rng",
+]

@@ -1,0 +1,53 @@
+"""Floating-point precision policies (paper §V-D).
+
+The paper trains and stores checkpoints at 16-, 32-, and 64-bit precision.
+A :class:`DTypePolicy` separates the *parameter/storage* dtype (what lands in
+the checkpoint, and therefore what the injector corrupts) from the *compute*
+dtype (forward/backward arithmetic).  ``float16`` uses fp32 compute with fp16
+master weights — the standard mixed-precision recipe — so training remains
+numerically stable while the checkpoint is genuinely 16-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DTypePolicy:
+    """Parameter-storage and compute dtypes for a training run."""
+
+    name: str
+    param_dtype: np.dtype
+    compute_dtype: np.dtype
+
+    @property
+    def precision(self) -> int:
+        """Checkpoint float width in bits (what the injector sees)."""
+        return self.param_dtype.itemsize * 8
+
+
+POLICIES: dict[str, DTypePolicy] = {
+    "float16": DTypePolicy("float16", np.dtype(np.float16),
+                           np.dtype(np.float32)),
+    "float32": DTypePolicy("float32", np.dtype(np.float32),
+                           np.dtype(np.float32)),
+    "float64": DTypePolicy("float64", np.dtype(np.float64),
+                           np.dtype(np.float64)),
+}
+
+
+def get_policy(name: str | DTypePolicy | int) -> DTypePolicy:
+    """Look up a policy by name ('float32'), bit width (32), or identity."""
+    if isinstance(name, DTypePolicy):
+        return name
+    if isinstance(name, int):
+        name = f"float{name}"
+    try:
+        return POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dtype policy {name!r}; choose from {sorted(POLICIES)}"
+        ) from None

@@ -1,0 +1,99 @@
+"""Vectorized numerical primitives: im2col convolution lowering, pooling
+patch extraction, softmax, and cross-entropy.
+
+Everything operates on NCHW tensors and is written as pure numpy with no
+Python-level loops over batch elements or spatial positions (the loops that
+do remain are over the kernel window, bounded by kernel_size**2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output size: input {size}, kernel {kernel}, "
+            f"stride {stride}, pad {pad}"
+        )
+    return out
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, pad: int) -> np.ndarray:
+    """Lower NCHW input patches into a matrix of shape
+    ``(N * out_h * out_w, C * kernel * kernel)``.
+
+    The column order matches the OIHW weight layout flattened with C-order
+    reshape, so a convolution becomes a single GEMM.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride, pad)
+    out_w = conv_output_size(w, kernel, stride, pad)
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+    cols = np.empty((n, c, kernel, kernel, out_h, out_w), dtype=x.dtype)
+    for ky in range(kernel):
+        y_max = ky + stride * out_h
+        for kx in range(kernel):
+            x_max = kx + stride * out_w
+            cols[:, :, ky, kx, :, :] = x[:, :, ky:y_max:stride, kx:x_max:stride]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(
+        n * out_h * out_w, c * kernel * kernel
+    )
+
+
+def col2im(cols: np.ndarray, x_shape: tuple[int, int, int, int],
+           kernel: int, stride: int, pad: int) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back onto the input."""
+    n, c, h, w = x_shape
+    out_h = conv_output_size(h, kernel, stride, pad)
+    out_w = conv_output_size(w, kernel, stride, pad)
+    cols = cols.reshape(n, out_h, out_w, c, kernel, kernel).transpose(
+        0, 3, 4, 5, 1, 2
+    )
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    for ky in range(kernel):
+        y_max = ky + stride * out_h
+        for kx in range(kernel):
+            x_max = kx + stride * out_w
+            padded[:, :, ky:y_max:stride, kx:x_max:stride] += (
+                cols[:, :, ky, kx, :, :]
+            )
+    if pad > 0:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable row-wise softmax."""
+    shifted = logits - np.max(logits, axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=1, keepdims=True)
+
+
+def cross_entropy(probs: np.ndarray, labels: np.ndarray,
+                  eps: float = 1e-12) -> float:
+    """Mean negative log-likelihood of integer *labels* under *probs*."""
+    n = probs.shape[0]
+    picked = probs[np.arange(n), labels]
+    return float(-np.mean(np.log(np.clip(picked, eps, None))))
+
+
+def softmax_cross_entropy_with_grad(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Loss value and gradient w.r.t. logits in one pass."""
+    probs = softmax(logits)
+    loss = cross_entropy(probs, labels)
+    grad = probs.copy()
+    grad[np.arange(logits.shape[0]), labels] -= 1.0
+    grad /= logits.shape[0]
+    return loss, grad
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy in [0, 1]."""
+    return float(np.mean(np.argmax(logits, axis=1) == labels))

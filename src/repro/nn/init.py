@@ -1,0 +1,29 @@
+"""Weight initializers (He / Xavier / zeros) with explicit generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def he_normal(rng: np.random.Generator, shape: tuple[int, ...],
+              fan_in: int, dtype=np.float32) -> np.ndarray:
+    """Kaiming-normal init: N(0, sqrt(2 / fan_in)); standard for ReLU nets."""
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape).astype(dtype)
+
+
+def xavier_uniform(rng: np.random.Generator, shape: tuple[int, ...],
+                   fan_in: int, fan_out: int, dtype=np.float32) -> np.ndarray:
+    """Glorot-uniform init: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    bound = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-bound, bound, size=shape).astype(dtype)
+
+
+def zeros(shape: tuple[int, ...], dtype=np.float32) -> np.ndarray:
+    """All-zeros initializer (biases, beta)."""
+    return np.zeros(shape, dtype=dtype)
+
+
+def ones(shape: tuple[int, ...], dtype=np.float32) -> np.ndarray:
+    """All-ones initializer (batch-norm gamma)."""
+    return np.ones(shape, dtype=dtype)

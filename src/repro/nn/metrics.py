@@ -1,0 +1,77 @@
+"""Classification metrics beyond plain top-1 accuracy.
+
+Used by the extended prediction study: top-k accuracy, per-class accuracy,
+confusion matrices, and the divergence of a corrupted model's predictions
+from the clean model's (prediction churn — how many answers *changed*, which
+is more sensitive than accuracy alone)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int) -> float:
+    """Fraction of rows whose true label is among the k largest logits."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    k = min(k, logits.shape[1])
+    top = np.argpartition(-logits, kth=k - 1, axis=1)[:, :k]
+    hits = (top == labels[:, None]).any(axis=1)
+    return float(np.mean(hits))
+
+
+def per_class_accuracy(logits: np.ndarray, labels: np.ndarray,
+                       num_classes: int) -> np.ndarray:
+    """Accuracy per true class; NaN for classes absent from *labels*."""
+    predictions = np.argmax(logits, axis=1)
+    out = np.full(num_classes, np.nan)
+    for cls in range(num_classes):
+        mask = labels == cls
+        if mask.any():
+            out[cls] = float(np.mean(predictions[mask] == cls))
+    return out
+
+
+def confusion_matrix(logits: np.ndarray, labels: np.ndarray,
+                     num_classes: int) -> np.ndarray:
+    """``M[i, j]`` = count of true class i predicted as class j."""
+    predictions = np.argmax(logits, axis=1)
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+def prediction_churn(clean_logits: np.ndarray,
+                     corrupted_logits: np.ndarray) -> float:
+    """Fraction of inputs whose argmax prediction changed after corruption.
+
+    Churn upper-bounds the accuracy change and detects corruption effects
+    that cancel out in aggregate accuracy (a flip that trades one correct
+    answer for another correct answer still counts)."""
+    if clean_logits.shape != corrupted_logits.shape:
+        raise ValueError("logit shapes differ")
+    clean = np.argmax(clean_logits, axis=1)
+    corrupted = np.argmax(corrupted_logits, axis=1)
+    return float(np.mean(clean != corrupted))
+
+
+def expected_calibration_error(logits: np.ndarray, labels: np.ndarray,
+                               bins: int = 10) -> float:
+    """ECE over equal-width confidence bins (softmax confidence)."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    confidence = probs.max(axis=1)
+    predictions = probs.argmax(axis=1)
+    correct = predictions == labels
+    total = labels.shape[0]
+    ece = 0.0
+    edges = np.linspace(0.0, 1.0, bins + 1)
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (confidence > lo) & (confidence <= hi)
+        if not mask.any():
+            continue
+        gap = abs(float(np.mean(correct[mask]))
+                  - float(np.mean(confidence[mask])))
+        ece += gap * mask.sum() / total
+    return float(ece)

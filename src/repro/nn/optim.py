@@ -1,0 +1,159 @@
+"""Optimizers: SGD (with momentum/weight decay) and Adam.
+
+Updates are computed at the policy's compute dtype and stored back at the
+parameter dtype, so fp16 runs keep fp16 checkpoints while updating stably.
+Optimizer slots (momentum buffers, Adam moments, step counter) are exposed
+through ``state_arrays`` so facades can include them in checkpoints — the
+paper notes (Fig. 3b) that *not* checkpointing optimizer state changes
+post-restart behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .model import Model
+
+
+class Optimizer:
+    """Base optimizer over a model's parameter layers."""
+
+    def __init__(self, lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive: {lr}")
+        self.lr = lr
+        self.step_count = 0
+
+    def step(self, model: Model) -> None:
+        self.step_count += 1
+        for layer in model.parameter_layers():
+            compute = layer.policy.compute_dtype
+            for key in layer.params:
+                param = layer.params[key].astype(compute)
+                grad = layer.grads[key].astype(compute)
+                new = self._update(f"{layer.name}/{key}", param, grad)
+                layer.params[key] = new.astype(layer.policy.param_dtype)
+
+    def _update(self, slot: str, param: np.ndarray,
+                grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """Persistent optimizer state for checkpointing."""
+        return {"step_count": np.int64(self.step_count)}
+
+    def load_state_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        if "step_count" in arrays:
+            self.step_count = int(np.asarray(arrays["step_count"])[()])
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0):
+        super().__init__(lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.velocity: dict[str, np.ndarray] = {}
+
+    def _update(self, slot, param, grad):
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param
+        if self.momentum:
+            vel = self.velocity.get(slot)
+            if vel is None:
+                vel = np.zeros_like(param)
+            vel = self.momentum * vel - self.lr * grad
+            self.velocity[slot] = vel
+            return param + vel
+        return param - self.lr * grad
+
+    def state_arrays(self):
+        out = super().state_arrays()
+        for slot, vel in self.velocity.items():
+            out[f"velocity/{slot}"] = vel
+        return out
+
+    def load_state_arrays(self, arrays):
+        super().load_state_arrays(arrays)
+        for key, value in arrays.items():
+            if key.startswith("velocity/"):
+                self.velocity[key[len("velocity/"):]] = np.asarray(value)
+
+
+class Adam(Optimizer):
+    """Adam with bias correction."""
+
+    def __init__(self, lr: float = 0.001, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8):
+        super().__init__(lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.m: dict[str, np.ndarray] = {}
+        self.v: dict[str, np.ndarray] = {}
+
+    def _update(self, slot, param, grad):
+        m = self.m.get(slot)
+        v = self.v.get(slot)
+        if m is None:
+            m = np.zeros_like(param)
+            v = np.zeros_like(param)
+        m = self.beta1 * m + (1 - self.beta1) * grad
+        v = self.beta2 * v + (1 - self.beta2) * grad * grad
+        self.m[slot] = m
+        self.v[slot] = v
+        t = self.step_count
+        m_hat = m / (1 - self.beta1 ** t)
+        v_hat = v / (1 - self.beta2 ** t)
+        return param - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_arrays(self):
+        out = super().state_arrays()
+        for slot, value in self.m.items():
+            out[f"m/{slot}"] = value
+        for slot, value in self.v.items():
+            out[f"v/{slot}"] = value
+        return out
+
+    def load_state_arrays(self, arrays):
+        super().load_state_arrays(arrays)
+        for key, value in arrays.items():
+            if key.startswith("m/"):
+                self.m[key[2:]] = np.asarray(value)
+            elif key.startswith("v/"):
+                self.v[key[2:]] = np.asarray(value)
+
+
+class RMSProp(Optimizer):
+    """RMSProp with exponentially averaged squared gradients."""
+
+    def __init__(self, lr: float = 0.001, decay: float = 0.9,
+                 eps: float = 1e-8):
+        super().__init__(lr)
+        if not 0.0 < decay < 1.0:
+            raise ValueError("decay must be in (0, 1)")
+        self.decay = decay
+        self.eps = eps
+        self.mean_square: dict[str, np.ndarray] = {}
+
+    def _update(self, slot, param, grad):
+        ms = self.mean_square.get(slot)
+        if ms is None:
+            ms = np.zeros_like(param)
+        ms = self.decay * ms + (1 - self.decay) * grad * grad
+        self.mean_square[slot] = ms
+        return param - self.lr * grad / (np.sqrt(ms) + self.eps)
+
+    def state_arrays(self):
+        out = super().state_arrays()
+        for slot, value in self.mean_square.items():
+            out[f"ms/{slot}"] = value
+        return out
+
+    def load_state_arrays(self, arrays):
+        super().load_state_arrays(arrays)
+        for key, value in arrays.items():
+            if key.startswith("ms/"):
+                self.mean_square[key[3:]] = np.asarray(value)

@@ -1,0 +1,123 @@
+"""Per-layer wall-clock profiler for forward and backward passes.
+
+Following the HPC guidance "no optimization without measuring": before
+tuning anything in the engine, profile where a training step actually
+spends its time.  The profiler wraps each concrete layer's forward/backward
+with timers for the duration of a ``with`` block.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .model import Model
+
+
+@dataclass
+class LayerTiming:
+    """Accumulated timings of one layer."""
+
+    name: str
+    kind: str
+    forward_seconds: float = 0.0
+    backward_seconds: float = 0.0
+    forward_calls: int = 0
+    backward_calls: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.forward_seconds + self.backward_seconds
+
+
+@dataclass
+class ProfileReport:
+    """All layer timings of one profiling session."""
+
+    timings: dict[str, LayerTiming] = field(default_factory=dict)
+
+    def sorted_by_cost(self) -> list[LayerTiming]:
+        return sorted(self.timings.values(),
+                      key=lambda t: t.total_seconds, reverse=True)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(t.total_seconds for t in self.timings.values())
+
+    def render(self, top: int = 15) -> str:
+        lines = [
+            f"{'layer':28s} {'type':16s} {'fwd ms':>9} {'bwd ms':>9} "
+            f"{'total ms':>9} {'share':>7}",
+        ]
+        total = self.total_seconds or 1e-12
+        for timing in self.sorted_by_cost()[:top]:
+            lines.append(
+                f"{timing.name:28s} {timing.kind:16s} "
+                f"{1e3 * timing.forward_seconds:9.2f} "
+                f"{1e3 * timing.backward_seconds:9.2f} "
+                f"{1e3 * timing.total_seconds:9.2f} "
+                f"{100 * timing.total_seconds / total:6.1f}%"
+            )
+        lines.append(f"profiled total: {1e3 * self.total_seconds:.1f} ms")
+        return "\n".join(lines)
+
+
+class profile_model:
+    """Context manager instrumenting a model's layers.
+
+    Usage::
+
+        with profile_model(model) as report:
+            trainer.run_epoch(x, y)
+        print(report.render())
+    """
+
+    def __init__(self, model: Model):
+        self.model = model
+        self.report = ProfileReport()
+        self._originals: list[tuple] = []
+
+    def __enter__(self) -> ProfileReport:
+        for layer in self.model.layers():
+            timing = self.report.timings.setdefault(
+                layer.name, LayerTiming(layer.name, type(layer).__name__)
+            )
+            fwd, bwd = layer.forward, layer.backward
+            self._originals.append((layer, fwd, bwd))
+
+            def timed_forward(x, training=False, _f=fwd, _t=timing):
+                start = time.perf_counter()
+                out = _f(x, training)
+                _t.forward_seconds += time.perf_counter() - start
+                _t.forward_calls += 1
+                return out
+
+            def timed_backward(grad, _b=bwd, _t=timing):
+                start = time.perf_counter()
+                out = _b(grad)
+                _t.backward_seconds += time.perf_counter() - start
+                _t.backward_calls += 1
+                return out
+
+            layer.forward = timed_forward
+            layer.backward = timed_backward
+        return self.report
+
+    def __exit__(self, *exc_info) -> None:
+        for layer, fwd, bwd in self._originals:
+            layer.forward = fwd
+            layer.backward = bwd
+
+
+def profile_step(model: Model, batch: np.ndarray,
+                 labels: np.ndarray) -> ProfileReport:
+    """Profile a single forward+backward step (no optimizer update)."""
+    from . import functional as F
+
+    with profile_model(model) as report:
+        logits = model.forward(batch, training=True)
+        _, grad = F.softmax_cross_entropy_with_grad(logits, labels)
+        model.backward(grad)
+    return report

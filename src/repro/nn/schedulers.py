@@ -1,0 +1,90 @@
+"""Learning-rate schedules.
+
+The paper trains 100-epoch CIFAR runs, which in practice use step or cosine
+decay; schedules also matter to checkpoint studies because the *restart*
+must resume the schedule at the stored epoch, not restart it.  Schedulers
+are therefore pure functions of the epoch number — resuming at epoch k
+automatically yields the same learning rate an uninterrupted run would use.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+
+class Scheduler:
+    """Base: maps an epoch number to a learning rate and applies it."""
+
+    def __init__(self, optimizer: Optimizer, base_lr: float | None = None):
+        self.optimizer = optimizer
+        self.base_lr = base_lr if base_lr is not None else optimizer.lr
+
+    def lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def apply(self, epoch: int) -> float:
+        """Set the optimizer's learning rate for *epoch*; returns it."""
+        lr = self.lr_at(epoch)
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantLR(Scheduler):
+    """A fixed learning rate (the paper's configuration)."""
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepDecay(Scheduler):
+    """Multiply the rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int,
+                 gamma: float = 0.1, base_lr: float | None = None):
+        super().__init__(optimizer, base_lr)
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def lr_at(self, epoch: int) -> float:
+        drops = max(epoch - 1, 0) // self.step_size
+        return self.base_lr * (self.gamma ** drops)
+
+
+class CosineAnnealing(Scheduler):
+    """Cosine decay from ``base_lr`` to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int,
+                 min_lr: float = 0.0, base_lr: float | None = None):
+        super().__init__(optimizer, base_lr)
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be >= 1")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def lr_at(self, epoch: int) -> float:
+        progress = min(max(epoch - 1, 0), self.total_epochs) / self.total_epochs
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+
+
+class WarmupWrapper(Scheduler):
+    """Linear warm-up for the first ``warmup_epochs``, then an inner schedule."""
+
+    def __init__(self, inner: Scheduler, warmup_epochs: int):
+        super().__init__(inner.optimizer, inner.base_lr)
+        if warmup_epochs < 0:
+            raise ValueError("warmup_epochs must be >= 0")
+        self.inner = inner
+        self.warmup_epochs = warmup_epochs
+
+    def lr_at(self, epoch: int) -> float:
+        if self.warmup_epochs and epoch <= self.warmup_epochs:
+            return self.base_lr * epoch / self.warmup_epochs
+        return self.inner.lr_at(epoch)

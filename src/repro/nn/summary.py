@@ -1,0 +1,96 @@
+"""Model summaries: layer tables, output shapes, parameter counts.
+
+``summarize(model, input_shape)`` performs one tracing forward pass and
+returns per-layer records (name, type, output shape, parameters); ``render``
+prints the familiar Keras-style table.  Used by examples and by the
+documentation to show that the builders match the paper's layer counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .layers import Layer
+from .model import Model
+
+
+@dataclass(frozen=True)
+class LayerRecord:
+    """Summary of one concrete layer."""
+
+    name: str
+    kind: str
+    output_shape: tuple[int, ...]
+    params: int
+    state: int
+
+
+def summarize(model: Model,
+              input_shape: tuple[int, ...] = (1, 3, 32, 32)) -> list[LayerRecord]:
+    """Trace one forward pass, recording each concrete layer's output."""
+    records: list[LayerRecord] = []
+    originals: list[tuple[Layer, object]] = []
+
+    def wrap(layer: Layer):
+        inner = layer.forward
+
+        def traced(x, training=False, _layer=layer, _inner=inner):
+            out = _inner(x, training)
+            records.append(LayerRecord(
+                name=_layer.name,
+                kind=type(_layer).__name__,
+                output_shape=tuple(out.shape),
+                params=_layer.num_params,
+                state=int(sum(v.size for v in _layer.state.values())),
+            ))
+            return out
+
+        return traced
+
+    for layer in model.layers():
+        originals.append((layer, layer.forward))
+        layer.forward = wrap(layer)
+    try:
+        model.forward(np.zeros(input_shape, dtype=np.float32))
+    finally:
+        for layer, original in originals:
+            layer.forward = original
+    return records
+
+
+def render(model: Model,
+           input_shape: tuple[int, ...] = (1, 3, 32, 32)) -> str:
+    """Keras-style text summary."""
+    records = summarize(model, input_shape)
+    name_width = max(len(r.name) for r in records)
+    kind_width = max(len(r.kind) for r in records)
+    lines = [
+        f"Model: {model.name} (policy={model.policy.name})",
+        f"{'layer'.ljust(name_width)}  {'type'.ljust(kind_width)}  "
+        f"{'output shape'.ljust(18)}  {'params':>10}",
+        "-" * (name_width + kind_width + 34),
+    ]
+    for record in records:
+        shape = "x".join(str(s) for s in record.output_shape)
+        lines.append(
+            f"{record.name.ljust(name_width)}  "
+            f"{record.kind.ljust(kind_width)}  "
+            f"{shape.ljust(18)}  {record.params:>10,}"
+        )
+    total = model.num_params
+    state = sum(r.state for r in records)
+    lines.append("-" * (name_width + kind_width + 34))
+    lines.append(f"total parameters: {total:,}  "
+                 f"(+ {state:,} persistent state values)")
+    return "\n".join(lines)
+
+
+def parameter_layer_count(model: Model) -> dict[str, int]:
+    """Count of parameterized layers per type (the paper's '5 conv + 3 fc')."""
+    out: dict[str, int] = {}
+    for layer in model.parameter_layers():
+        kind = type(layer).__name__
+        out[kind] = out.get(kind, 0) + 1
+    return out

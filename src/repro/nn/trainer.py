@@ -1,0 +1,142 @@
+"""Deterministic training loop with per-epoch metrics and collapse detection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from . import functional as F
+from .model import Model
+from .optim import Optimizer
+from .rng import stream
+
+
+@dataclass
+class EpochMetrics:
+    """Metrics of one completed epoch."""
+
+    epoch: int
+    train_loss: float
+    train_accuracy: float
+    test_loss: float | None = None
+    test_accuracy: float | None = None
+    collapsed: bool = False
+
+
+@dataclass
+class TrainingHistory:
+    """Accumulated epoch metrics plus collapse bookkeeping."""
+
+    epochs: list[EpochMetrics] = field(default_factory=list)
+
+    def append(self, metrics: EpochMetrics) -> None:
+        self.epochs.append(metrics)
+
+    @property
+    def collapsed(self) -> bool:
+        return any(m.collapsed for m in self.epochs)
+
+    def accuracies(self, split: str = "test") -> list[float]:
+        key = "test_accuracy" if split == "test" else "train_accuracy"
+        return [getattr(m, key) for m in self.epochs]
+
+    def final_accuracy(self, split: str = "test") -> float | None:
+        values = [v for v in self.accuracies(split) if v is not None]
+        return values[-1] if values else None
+
+
+class Trainer:
+    """Mini-batch SGD training with deterministic shuffling.
+
+    Shuffling for epoch *e* is drawn from the named stream
+    ``("shuffle", e)`` — a pure function of the global seed and the epoch —
+    so resuming from a checkpoint at epoch 20 replays exactly the batches an
+    uninterrupted run would have seen (the property the paper's
+    deterministic-training methodology depends on).
+    """
+
+    def __init__(self, model: Model, optimizer: Optimizer,
+                 batch_size: int = 32,
+                 stop_on_collapse: bool = True,
+                 epoch_callback: Callable[[int, "Trainer"], None] | None = None,
+                 scheduler=None,
+                 augmenter=None):
+        self.model = model
+        self.optimizer = optimizer
+        self.batch_size = batch_size
+        self.stop_on_collapse = stop_on_collapse
+        self.epoch_callback = epoch_callback
+        self.scheduler = scheduler
+        self.augmenter = augmenter  # callable(images, epoch) -> images
+        self.history = TrainingHistory()
+        self.epoch = 0
+
+    def run_epoch(self, x: np.ndarray, labels: np.ndarray) -> EpochMetrics:
+        """Train one epoch; returns its metrics (not yet evaluated on test)."""
+        self.epoch += 1
+        if self.scheduler is not None:
+            # schedules are functions of the epoch number, so a restart at
+            # epoch k resumes the schedule rather than restarting it
+            self.scheduler.apply(self.epoch)
+        for layer in self.model.layers():
+            layer.on_epoch_start(self.epoch)
+        order = stream("shuffle", self.epoch).permutation(x.shape[0])
+        if self.augmenter is not None:
+            # augmentation is keyed by epoch, so restarts replay it exactly
+            x = self.augmenter(x, self.epoch)
+        losses: list[float] = []
+        correct = 0
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            for start in range(0, x.shape[0], self.batch_size):
+                idx = order[start:start + self.batch_size]
+                batch = x[idx]
+                batch_labels = labels[idx]
+                logits = self.model.forward(batch, training=True)
+                loss, grad = F.softmax_cross_entropy_with_grad(
+                    logits, batch_labels
+                )
+                losses.append(loss)
+                correct += int(
+                    np.sum(np.argmax(logits, axis=1) == batch_labels)
+                )
+                self.model.backward(grad)
+                self.optimizer.step(self.model)
+        train_loss = float(np.mean(losses)) if losses else float("nan")
+        collapsed = not np.isfinite(train_loss)
+        if collapsed:
+            # distinguish transient loss overflow from weight corruption
+            collapsed = True
+        elif self.model.has_nonfinite_parameters():
+            collapsed = True
+        return EpochMetrics(
+            epoch=self.epoch,
+            train_loss=train_loss,
+            train_accuracy=correct / x.shape[0],
+            collapsed=collapsed,
+        )
+
+    def fit(self, x: np.ndarray, labels: np.ndarray,
+            epochs: int,
+            x_test: np.ndarray | None = None,
+            labels_test: np.ndarray | None = None) -> TrainingHistory:
+        """Train for *epochs* epochs, evaluating after each one."""
+        for _ in range(epochs):
+            metrics = self.run_epoch(x, labels)
+            if x_test is not None and not metrics.collapsed:
+                with np.errstate(over="ignore", invalid="ignore",
+                                 divide="ignore"):
+                    test_loss, test_acc = self.model.evaluate(
+                        x_test, labels_test, self.batch_size
+                    )
+                metrics.test_loss = test_loss
+                metrics.test_accuracy = test_acc
+                if not np.isfinite(test_loss):
+                    metrics.collapsed = True
+            self.history.append(metrics)
+            if self.epoch_callback is not None:
+                self.epoch_callback(self.epoch, self)
+            if metrics.collapsed and self.stop_on_collapse:
+                break
+        return self.history

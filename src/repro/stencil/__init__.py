@@ -1,0 +1,6 @@
+"""Non-DL scientific substrate (paper SS VI-5): a Jacobi heat-equation solver
+whose HDF5 checkpoints the same injector corrupts."""
+
+from .jacobi import JacobiProblem, JacobiSolver, reference_solution
+
+__all__ = ["JacobiProblem", "JacobiSolver", "reference_solution"]

@@ -1,0 +1,111 @@
+"""Command line for the Jacobi solver: solve, checkpoint, resume.
+
+Examples::
+
+    python -m repro.stencil solve --size 64 --iterations 2000 \
+        --checkpoint-every 500 --checkpoint jacobi.h5
+    python -m repro.stencil resume jacobi.h5 --iterations 2000
+    python -m repro.stencil info jacobi.h5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .jacobi import JacobiProblem, JacobiSolver
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the solve/resume/info subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.stencil",
+        description="Jacobi 2-D heat-equation solver with HDF5 checkpoints.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="run a fresh solve")
+    solve.add_argument("--size", type=int, default=64)
+    solve.add_argument("--iterations", type=int, default=2000)
+    solve.add_argument("--tolerance", type=float, default=1e-8)
+    solve.add_argument("--top", type=float, default=100.0)
+    solve.add_argument("--bottom", type=float, default=0.0)
+    solve.add_argument("--left", type=float, default=25.0)
+    solve.add_argument("--right", type=float, default=75.0)
+    solve.add_argument("--checkpoint", default=None,
+                       help="HDF5 checkpoint path")
+    solve.add_argument("--checkpoint-every", type=int, default=None)
+
+    resume = sub.add_parser("resume", help="resume from a checkpoint")
+    resume.add_argument("checkpoint")
+    resume.add_argument("--iterations", type=int, default=2000)
+    resume.add_argument("--tolerance", type=float, default=1e-8)
+    resume.add_argument("--save", default=None,
+                        help="write the final state here")
+
+    info = sub.add_parser("info", help="describe a checkpoint")
+    info.add_argument("checkpoint")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code (2 = collapsed state)."""
+    args = build_parser().parse_args(argv)
+    if args.command == "solve":
+        problem = JacobiProblem(size=args.size, top=args.top,
+                                bottom=args.bottom, left=args.left,
+                                right=args.right)
+        solver = JacobiSolver(problem)
+        executed = solver.solve(
+            args.iterations, tolerance=args.tolerance,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.checkpoint,
+        )
+        if args.checkpoint:
+            solver.save_checkpoint(args.checkpoint)
+        print(f"ran {executed} iterations; residual "
+              f"{solver.last_residual:.3g}"
+              + (f"; checkpoint -> {args.checkpoint}" if args.checkpoint
+                 else ""))
+        return 0
+    if args.command == "resume":
+        try:
+            solver = JacobiSolver.load_checkpoint(args.checkpoint)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"cannot load {args.checkpoint}: {error}", file=sys.stderr)
+            return 1
+        start = solver.iteration
+        executed = solver.solve(args.iterations, tolerance=args.tolerance)
+        status = "COLLAPSED (non-finite grid)" if solver.collapsed else \
+            f"residual {solver.last_residual:.3g}"
+        print(f"resumed at iteration {start}, ran {executed} more; {status}")
+        if args.save:
+            solver.save_checkpoint(args.save)
+            print(f"state -> {args.save}")
+        return 2 if solver.collapsed else 0
+    # info
+    try:
+        solver = JacobiSolver.load_checkpoint(args.checkpoint)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"cannot load {args.checkpoint}: {error}", file=sys.stderr)
+        return 1
+    grid = solver.grid
+    finite = np.isfinite(grid)
+    print(f"jacobi2d checkpoint: {grid.shape[0]}x{grid.shape[1]} grid, "
+          f"iteration {solver.iteration}")
+    print(f"boundaries: top={solver.problem.top} "
+          f"bottom={solver.problem.bottom} left={solver.problem.left} "
+          f"right={solver.problem.right}")
+    if finite.all():
+        print(f"values: min={grid.min():.4g} max={grid.max():.4g} "
+              f"mean={grid.mean():.4g}")
+    else:
+        print(f"values: {int((~finite).sum())} non-finite cells "
+              "(corrupted state)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,102 @@
+"""Tests for Wilson intervals and campaign rate tables."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.campaign import (
+    RateTable,
+    rates_differ,
+    wilson_interval,
+)
+
+
+class TestWilson:
+    def test_half_centered(self):
+        est = wilson_interval(50, 100)
+        assert est.rate == 0.5
+        assert est.low < 0.5 < est.high
+        assert est.high - est.low < 0.25
+
+    def test_extreme_zero(self):
+        est = wilson_interval(0, 20)
+        assert est.low == 0.0
+        assert 0.0 < est.high < 0.3
+
+    def test_extreme_full(self):
+        est = wilson_interval(20, 20)
+        assert est.high == 1.0
+        assert 0.7 < est.low < 1.0
+
+    def test_more_trials_tighter(self):
+        wide = wilson_interval(5, 10)
+        narrow = wilson_interval(500, 1000)
+        assert (narrow.high - narrow.low) < (wide.high - wide.low)
+
+    def test_known_value(self):
+        # canonical check: 8/10 at 95% -> approx [0.490, 0.943]
+        est = wilson_interval(8, 10)
+        assert est.low == pytest.approx(0.490, abs=0.01)
+        assert est.high == pytest.approx(0.943, abs=0.01)
+
+    def test_zero_trials(self):
+        est = wilson_interval(0, 0)
+        assert math.isnan(est.rate)
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 3)
+
+    def test_confidence_levels_nest(self):
+        narrow = wilson_interval(30, 100, confidence=0.90)
+        wide = wilson_interval(30, 100, confidence=0.99)
+        assert wide.low <= narrow.low
+        assert wide.high >= narrow.high
+
+    def test_custom_confidence_approximation(self):
+        est = wilson_interval(30, 100, confidence=0.975)
+        ref_low = wilson_interval(30, 100, confidence=0.95)
+        ref_high = wilson_interval(30, 100, confidence=0.99)
+        assert ref_high.low <= est.low <= ref_low.low
+
+    @given(st.integers(0, 200), st.integers(1, 200))
+    @settings(max_examples=100)
+    def test_interval_contains_point_estimate(self, successes, trials):
+        successes = min(successes, trials)
+        est = wilson_interval(successes, trials)
+        assert est.low <= est.rate + 1e-12
+        assert est.high >= est.rate - 1e-12
+        assert 0.0 <= est.low <= est.high <= 1.0
+
+
+class TestComparisons:
+    def test_clearly_different(self):
+        a = wilson_interval(95, 100)
+        b = wilson_interval(5, 100)
+        assert rates_differ(a, b)
+
+    def test_indistinguishable(self):
+        a = wilson_interval(5, 10)
+        b = wilson_interval(6, 10)
+        assert not rates_differ(a, b)
+
+
+class TestRateTable:
+    def test_record_and_rows(self):
+        table = RateTable()
+        table.record(("chainer", 1000), 249, 250)
+        table.record(("chainer", 1), 1, 250)
+        rows = table.rows()
+        assert len(rows) == 2
+        assert table.get(("chainer", 1000)).percent == pytest.approx(99.6)
+        assert "249/250" in rows[1]
+
+    def test_str_rendering(self):
+        est = wilson_interval(10, 20)
+        text = str(est)
+        assert "50.0%" in text
+        assert "10/20" in text

@@ -1,0 +1,110 @@
+"""Tests for the analytic N-EV incidence model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.incidence_model import (
+    critical_bit_probability,
+    fit_incidence,
+    incidence_curve,
+)
+from repro.analysis.paper_reference import TABLE4_NEV_PERCENT
+
+
+class TestCurve:
+    def test_zero_flips(self):
+        assert incidence_curve(0.1, 0) == 0.0
+
+    def test_one_flip_equals_p1(self):
+        assert incidence_curve(0.25, 1) == pytest.approx(0.25)
+
+    def test_saturates(self):
+        assert incidence_curve(0.01, 100000) == pytest.approx(1.0)
+
+    def test_small_k_near_linear(self):
+        p1 = 0.001
+        assert incidence_curve(p1, 10) == pytest.approx(10 * p1, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            incidence_curve(1.5, 1)
+        with pytest.raises(ValueError):
+            incidence_curve(0.5, -1)
+
+    @given(st.floats(0.0, 1.0), st.integers(0, 1000))
+    @settings(max_examples=100)
+    def test_monotone_in_flips(self, p1, flips):
+        assert incidence_curve(p1, flips + 1) >= incidence_curve(p1, flips)
+
+
+class TestTheory:
+    def test_paper_probabilities(self):
+        """The paper: 'a probability of 1 in 64' for the fp64 critical bit."""
+        assert critical_bit_probability(64) == pytest.approx(1 / 64)
+        assert critical_bit_probability(32) == pytest.approx(1 / 32)
+        assert critical_bit_probability(16) == pytest.approx(1 / 16)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            critical_bit_probability(0)
+        with pytest.raises(ValueError):
+            critical_bit_probability(32, critical_bits=40)
+
+
+class TestFit:
+    def test_recovers_known_p1(self):
+        rng = np.random.default_rng(0)
+        true_p1 = 0.03
+        observations = {}
+        for flips in (1, 10, 100, 1000):
+            trials = 2000
+            p = incidence_curve(true_p1, flips)
+            observations[flips] = (int(rng.binomial(trials, p)), trials)
+        fit = fit_incidence(observations)
+        assert fit.p1 == pytest.approx(true_p1, rel=0.15)
+
+    def test_fits_paper_table4_below_one_in_sixtyfour(self):
+        """Fitting the paper's own Table IV numbers.
+
+        The theoretical upper bound is 1/64 (a uniform fp64 flip hits the
+        exponent MSB with probability 1/64, and trained weights have that
+        bit clear, so the flip always explodes the value).  The *fitted*
+        per-flip collapse probability sits below that bound by a
+        model-dependent absorption factor: an exploded weight does not
+        always collapse the observed training.  The factor is smallest for
+        VGG16 — the paper's own "VGG16 is less affected" finding, recovered
+        here quantitatively from their Table IV."""
+        fits = {}
+        for (framework, model), percents in TABLE4_NEV_PERCENT.items():
+            observations = {
+                flips: (round(250 * pct / 100.0), 250)
+                for flips, pct in percents.items()
+            }
+            fits[(framework, model)] = fit_incidence(observations).p1
+        median = float(np.median(list(fits.values())))
+        assert 1 / 1000 < median < 1 / 64
+        # VGG16 has the lowest fitted criticality for Chainer and
+        # TensorFlow (under PyTorch the paper's own Table IV shows VGG16
+        # *above* AlexNet at 100 flips, so the claim is not universal)
+        for framework in ("chainer", "tensorflow"):
+            vgg = fits[(framework, "vgg16")]
+            others = [fits[(framework, m)] for m in ("resnet50", "alexnet")]
+            assert vgg < min(others), framework
+
+    def test_predict_and_residuals(self):
+        observations = {1: (1, 100), 100: (50, 100)}
+        fit = fit_incidence(observations)
+        residuals = fit.residuals()
+        assert set(residuals) == {1, 100}
+        assert all(abs(r) < 0.5 for r in residuals.values())
+        assert 0.0 <= fit.predict(10) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_incidence({})
+        with pytest.raises(ValueError):
+            fit_incidence({0: (1, 10)})
+        with pytest.raises(ValueError):
+            fit_incidence({1: (11, 10)})

@@ -1,0 +1,114 @@
+"""Tests for N-EV detection, classification, and checkpoint scrubbing."""
+
+import numpy as np
+import pytest
+
+from repro import hdf5
+from repro.analysis import (
+    NEVReport,
+    ValueClass,
+    classify_value,
+    scan_checkpoint,
+    scan_model,
+    scrub_checkpoint,
+    training_collapsed,
+)
+from repro.models import build_model
+from repro.nn import rng
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    rng.seed_all(606)
+
+
+class TestClassify:
+    @pytest.mark.parametrize("value,expected", [
+        (1.0, ValueClass.NORMAL),
+        (0.0, ValueClass.NORMAL),
+        (float("nan"), ValueClass.NAN),
+        (float("inf"), ValueClass.INF),
+        (float("-inf"), ValueClass.INF),
+        (4.49e307, ValueClass.EXTREME),
+        (-1e31, ValueClass.EXTREME),
+        (1e-200, ValueClass.SUBNORMAL_TINY),
+        (1e29, ValueClass.NORMAL),
+    ])
+    def test_classification(self, value, expected):
+        assert classify_value(value) == expected
+
+    def test_threshold_override(self):
+        assert classify_value(100.0, threshold=10.0) == ValueClass.EXTREME
+
+
+class TestScan:
+    def test_report_counts(self):
+        report = NEVReport()
+        data = np.array([1.0, np.nan, np.inf, -np.inf, 1e31, 1e-40, 0.0])
+        report.merge_array("layer/W", data)
+        assert report.total_values == 7
+        assert report.nan_count == 1
+        assert report.inf_count == 2
+        assert report.extreme_count == 1
+        assert report.tiny_count == 1
+        assert report.nev_count == 4
+        assert report.per_location == {"layer/W": 4}
+
+    def test_clean_model_scan(self):
+        model = build_model("alexnet", width_mult=0.125)
+        report = scan_model(model)
+        assert not report.has_nev
+        assert report.total_values == model.num_params + sum(
+            v.size for v in model.named_state().values()
+        )
+
+    def test_corrupted_model_scan(self):
+        model = build_model("alexnet", width_mult=0.125)
+        model.get_layer("conv3").params["W"].reshape(-1)[0] = np.nan
+        report = scan_model(model)
+        assert report.nan_count == 1
+        assert "conv3/W" in report.per_location
+
+    def test_scan_checkpoint(self, tmp_path):
+        path = str(tmp_path / "c.h5")
+        with hdf5.File(path, "w") as f:
+            f.create_dataset("w", data=np.array([1.0, np.inf, 2.0]))
+            f.create_dataset("ints", data=np.array([1, 2], np.int64))
+        report = scan_checkpoint(path)
+        assert report.inf_count == 1
+        assert report.total_values == 3  # ints ignored
+
+
+class TestScrub:
+    def test_scrub_replaces_nev_in_place(self, tmp_path):
+        path = str(tmp_path / "c.h5")
+        with hdf5.File(path, "w") as f:
+            f.create_dataset("g/w", data=np.array([1.0, np.nan, 1e31, -2.0]))
+        replaced = scrub_checkpoint(path)
+        assert replaced == 2
+        with hdf5.File(path, "r") as f:
+            np.testing.assert_array_equal(f["g/w"].read(),
+                                          [1.0, 0.0, 0.0, -2.0])
+
+    def test_scrub_clean_file_is_noop(self, tmp_path):
+        path = str(tmp_path / "c.h5")
+        data = np.array([0.5, -0.5], dtype=np.float32)
+        with hdf5.File(path, "w") as f:
+            f.create_dataset("w", data=data)
+        assert scrub_checkpoint(path) == 0
+        with hdf5.File(path, "r") as f:
+            np.testing.assert_array_equal(f["w"].read(), data)
+
+    def test_scrub_custom_replacement(self, tmp_path):
+        path = str(tmp_path / "c.h5")
+        with hdf5.File(path, "w") as f:
+            f.create_dataset("w", data=np.array([np.inf]))
+        scrub_checkpoint(path, replacement=0.25)
+        with hdf5.File(path, "r") as f:
+            assert f["w"].read()[0] == 0.25
+
+
+def test_training_collapsed_helper():
+    assert training_collapsed([1.0, float("nan")])
+    assert training_collapsed([1e40])
+    assert not training_collapsed([1.0, -1e20])

@@ -1,0 +1,75 @@
+"""Tests that (a) the stored paper values satisfy their own shape
+predicates and (b) the predicates discriminate correctly."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import paper_reference as ref
+
+
+class TestStoredValuesSelfConsistent:
+    def test_table4_shapes_hold_on_paper_data(self):
+        for cell, values in ref.TABLE4_NEV_PERCENT.items():
+            assert ref.nev_incidence_shape_holds(values, high_threshold=75), cell
+
+    def test_table7_shapes_hold_on_paper_data(self):
+        for cell, values in ref.TABLE7_NEV_PERCENT.items():
+            assert ref.nev_incidence_shape_holds(values, high_threshold=75), cell
+
+    def test_table5_majority_holds_on_paper_data(self):
+        assert ref.rwc_majority_shape_holds(
+            list(ref.TABLE5_RWC_PERCENT.values())
+        )
+
+    def test_table8_degradation_holds_on_paper_data(self):
+        for cell, values in ref.TABLE8_PREDICTION.items():
+            assert ref.prediction_degradation_shape_holds(values), cell
+
+    def test_vgg_least_affected_in_table4(self):
+        """Paper: 'trainings that use VGG16 are less affected'."""
+        for framework in ("chainer", "pytorch", "tensorflow"):
+            vgg = ref.TABLE4_NEV_PERCENT[(framework, "vgg16")][1000]
+            others = [ref.TABLE4_NEV_PERCENT[(framework, m)][1000]
+                      for m in ("resnet50", "alexnet")]
+            assert vgg <= min(others), framework
+
+    def test_table6_row0_is_error_free(self):
+        row0 = ref.TABLE6_MASKS["00000000"]
+        assert all(nev is None for _, nev in row0.values())
+
+
+class TestPredicatesDiscriminate:
+    def test_nev_shape_rejects_flat(self):
+        assert not ref.nev_incidence_shape_holds(
+            {1: 50.0, 10: 50.0, 100: 50.0, 1000: 50.0}
+        )
+
+    def test_nev_shape_rejects_decreasing(self):
+        assert not ref.nev_incidence_shape_holds(
+            {1: 90.0, 10: 50.0, 100: 20.0, 1000: 95.0}
+        )
+
+    def test_rwc_majority_rejects_minority(self):
+        assert not ref.rwc_majority_shape_holds([10.0, 20.0, 30.0, 60.0])
+
+    def test_critical_bit_accepts_paper_pattern(self):
+        assert ref.critical_bit_shape_holds({
+            (0, 31): 100.0, (1, 1): 100.0, (2, 31): 0.0, (9, 31): 0.0,
+        })
+
+    def test_critical_bit_rejects_wrong_pattern(self):
+        assert not ref.critical_bit_shape_holds({(2, 31): 80.0})
+        assert not ref.critical_bit_shape_holds({(1, 1): 0.0})
+
+    def test_prediction_degradation_rejects_improvement(self):
+        assert not ref.prediction_degradation_shape_holds(
+            {0: 50.0, 1000: 80.0}
+        )
+
+    def test_scaling_shape(self):
+        down = np.array([[0.5, 0.4], [0.3, 0.1]])
+        up = np.array([[0.3, 0.4], [0.5, 0.9]])
+        collapsed = np.array([[0.5, 0.4], [0.3, np.nan]])
+        assert ref.scaling_damage_shape_holds(down, 0.5)
+        assert not ref.scaling_damage_shape_holds(up, 0.3)
+        assert ref.scaling_damage_shape_holds(collapsed, 0.5)

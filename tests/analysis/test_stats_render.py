@@ -1,0 +1,150 @@
+"""Tests for RWC stats, box-plot summaries, and text rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    BoxplotStats,
+    count_rwc,
+    mean_excluding_collapsed,
+    render_boxplots,
+    render_curves,
+    render_heatmap,
+    render_table,
+    weight_differences,
+)
+from repro.nn import Dense, Model, Sequential, rng
+
+
+class TestRWC:
+    def test_exact_match_counts(self):
+        baseline = [0.5, 0.6, 0.7]
+        injected = [[0.5, 0.6, 0.7], [0.5, 0.6, 0.71], [0.5, 0.6, 0.7]]
+        stats = count_rwc(baseline, injected)
+        assert stats.unchanged == 2
+        assert stats.trainings == 3
+        assert stats.rwc_percent == pytest.approx(66.666, rel=1e-3)
+
+    def test_tolerance(self):
+        stats = count_rwc([0.5], [[0.5004]], tolerance=1e-3)
+        assert stats.unchanged == 1
+
+    def test_length_mismatch_is_changed(self):
+        stats = count_rwc([0.5, 0.6], [[0.5]])
+        assert stats.unchanged == 0
+
+    def test_empty(self):
+        assert count_rwc([0.5], []).rwc_percent == 0.0
+
+
+class TestBoxplot:
+    def test_five_number_summary(self):
+        data = np.arange(1, 101, dtype=np.float64)
+        stats = BoxplotStats.from_values(data)
+        assert stats.median == pytest.approx(50.5)
+        assert stats.q1 == pytest.approx(25.75)
+        assert stats.q3 == pytest.approx(75.25)
+        assert stats.outliers == 0
+        assert stats.count == 100
+
+    def test_outlier_detection(self):
+        data = np.concatenate([np.ones(50), [1000.0]])
+        stats = BoxplotStats.from_values(data)
+        assert stats.outliers == 1
+        assert stats.maximum == 1000.0
+        assert stats.whisker_high == 1.0
+
+    def test_nonfinite_filtered(self):
+        stats = BoxplotStats.from_values(
+            np.array([1.0, np.nan, np.inf, 2.0])
+        )
+        assert stats.count == 2
+
+    def test_empty(self):
+        stats = BoxplotStats.from_values(np.array([]))
+        assert stats.count == 0
+        assert np.isnan(stats.median)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=4, max_size=50))
+    @settings(max_examples=50)
+    def test_ordering_invariants(self, values):
+        stats = BoxplotStats.from_values(np.array(values))
+        assert stats.minimum <= stats.q1 <= stats.median
+        assert stats.median <= stats.q3 <= stats.maximum
+        assert stats.whisker_low >= stats.minimum
+        assert stats.whisker_high <= stats.maximum
+
+
+class TestWeightDifferences:
+    def _model(self):
+        rng.seed_all(404)
+        net = Sequential("s", [Dense("fc1", 4, 4, policy="float64"),
+                               Dense("fc2", 4, 2, policy="float64")])
+        return Model("m", net, 2, policy="float64")
+
+    def test_differences_per_layer(self):
+        a = self._model()
+        b = self._model()
+        b.get_layer("fc1").params["W"][0, 0] += 1.0
+        diffs = weight_differences(a, b)
+        assert set(diffs) == {"fc1"}
+        np.testing.assert_allclose(diffs["fc1"], [1.0])
+
+    def test_identical_models_no_diffs(self):
+        a = self._model()
+        b = self._model()
+        assert weight_differences(a, b) == {}
+
+    def test_mismatched_models_rejected(self):
+        a = self._model()
+        rng.seed_all(404)
+        net = Sequential("s", [Dense("other", 4, 2, policy="float64")])
+        c = Model("m2", net, 2, policy="float64")
+        with pytest.raises(ValueError):
+            weight_differences(a, c)
+
+
+def test_mean_excluding_collapsed():
+    values = [0.5, 0.1, 0.6]
+    collapsed = [False, True, False]
+    assert mean_excluding_collapsed(values, collapsed) == pytest.approx(0.55)
+    assert np.isnan(mean_excluding_collapsed([0.1], [True]))
+
+
+class TestRendering:
+    def test_table(self):
+        text = render_table(["model", "acc"], [["alexnet", 0.83],
+                                               ["vgg16", 0.845]],
+                            title="Table V")
+        assert "Table V" in text
+        assert "alexnet" in text
+        assert "0.845" in text
+
+    def test_table_nan_dash(self):
+        text = render_table(["x"], [[float("nan")]])
+        assert "-" in text
+
+    def test_curves(self):
+        text = render_curves({"baseline": [0.1, 0.5, 0.9],
+                              "1000 flips": [0.1, 0.4, 0.8]},
+                             title="Fig 3a")
+        assert "Fig 3a" in text
+        assert "o=" in text  # legend marker
+
+    def test_curves_empty(self):
+        assert "no finite data" in render_curves({"x": [float("nan")]})
+
+    def test_heatmap(self):
+        values = np.array([[0.5, 0.3], [0.2, float("nan")]])
+        text = render_heatmap(["10", "100"], ["1.5", "4500"], values,
+                              title="Fig 7")
+        assert "Fig 7" in text
+        assert "!" in text  # collapsed cell marker
+
+    def test_boxplots(self):
+        stats = BoxplotStats.from_values(np.arange(10, dtype=float))
+        text = render_boxplots({"first": stats}, title="Fig 6")
+        assert "first" in text
+        assert "median" in text

@@ -1,0 +1,86 @@
+"""Tests for the synthetic CIFAR-10 stand-in dataset."""
+
+import numpy as np
+import pytest
+
+from repro.data import DatasetSplit, generate_split, synthetic_cifar10
+from repro.nn import SGD, Trainer, rng
+from repro.models import build_model
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    rng.seed_all(777)
+
+
+class TestGeneration:
+    def test_shapes_and_dtypes(self):
+        train, test = synthetic_cifar10(train_size=100, test_size=50)
+        assert train.images.shape == (100, 3, 32, 32)
+        assert train.images.dtype == np.float32
+        assert train.labels.shape == (100,)
+        assert train.labels.dtype == np.int64
+        assert len(test) == 50
+
+    def test_balanced_classes(self):
+        split = generate_split(200)
+        counts = np.bincount(split.labels, minlength=10)
+        np.testing.assert_array_equal(counts, 20)
+
+    def test_unbalanced_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_split(105)
+
+    def test_deterministic_given_seed(self):
+        rng.seed_all(1)
+        a = generate_split(50)
+        rng.seed_all(1)
+        b = generate_split(50)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_train_test_streams_differ(self):
+        train, test = synthetic_cifar10(train_size=100, test_size=100)
+        assert not np.array_equal(train.images, test.images)
+
+    def test_zero_centered(self):
+        split = generate_split(100)
+        assert -0.2 < float(split.images.mean()) < 0.2
+
+    def test_classes_visually_distinct(self):
+        """Per-class mean images differ substantially between classes."""
+        split = generate_split(500, noise=0.05)
+        means = np.stack([
+            split.images[split.labels == label].mean(axis=0)
+            for label in range(10)
+        ])
+        for a in range(10):
+            for b in range(a + 1, 10):
+                assert np.abs(means[a] - means[b]).mean() > 0.02, (a, b)
+
+    def test_subset(self):
+        split = generate_split(100)
+        sub = split.subset(30)
+        assert len(sub) == 30
+        np.testing.assert_array_equal(sub.images, split.images[:30])
+
+    def test_custom_image_size(self):
+        split = generate_split(20, image_size=16)
+        assert split.images.shape == (20, 3, 16, 16)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetSplit(np.zeros((3, 3, 8, 8), np.float32),
+                         np.zeros(2, np.int64))
+
+
+class TestLearnability:
+    def test_alexnet_learns_the_task(self):
+        """The dataset must be learnable well above chance in a few epochs —
+        the property every paper experiment relies on."""
+        train, test = synthetic_cifar10(train_size=300, test_size=100)
+        model = build_model("alexnet", width_mult=0.125, dropout=0.2)
+        trainer = Trainer(model, SGD(lr=0.01, momentum=0.9), batch_size=32)
+        history = trainer.fit(train.images, train.labels, epochs=6,
+                              x_test=test.images, labels_test=test.labels)
+        assert history.final_accuracy() > 0.5

@@ -1,0 +1,129 @@
+"""Tests for the simulated Horovod all-reduce and data-parallel trainer."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import DataParallelTrainer, SimulatedHorovod
+from repro.nn import Dense, Model, ReLU, SGD, Sequential, rng
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    rng.seed_all(808)
+
+
+def grads_for(workers, shapes, seed=0):
+    gen = np.random.default_rng(seed)
+    return [
+        {name: gen.standard_normal(shape).astype(np.float32)
+         for name, shape in shapes.items()}
+        for _ in range(workers)
+    ]
+
+
+class TestAllReduce:
+    def test_averages_correctly(self):
+        hvd = SimulatedHorovod(num_workers=4, fusion_threshold=0)
+        per_worker = grads_for(4, {"w": (8,)})
+        averaged, stats = hvd.allreduce(per_worker)
+        expected = np.mean([g["w"] for g in per_worker], axis=0)
+        np.testing.assert_allclose(averaged["w"], expected, rtol=1e-6)
+        assert stats.deterministic
+
+    def test_threshold_zero_is_deterministic(self):
+        per_worker = grads_for(4, {"w": (1000,), "b": (10,)}, seed=3)
+        results = []
+        for _ in range(3):
+            hvd = SimulatedHorovod(4, fusion_threshold=0)
+            averaged, _ = hvd.allreduce(
+                [{k: v.copy() for k, v in g.items()} for g in per_worker]
+            )
+            results.append(averaged)
+        for other in results[1:]:
+            np.testing.assert_array_equal(results[0]["w"], other["w"])
+
+    def test_fusion_buffers_grouped_by_threshold(self):
+        hvd = SimulatedHorovod(2, fusion_threshold=64)
+        per_worker = grads_for(2, {"a": (8,), "b": (8,), "c": (8,)})
+        _, stats = hvd.allreduce(per_worker)
+        # each tensor is 32 bytes; threshold 64 => 2 tensors per buffer
+        assert stats.fused_buffers == 2
+        assert not stats.deterministic
+
+    def test_fusion_enabled_still_numerically_close(self):
+        per_worker = grads_for(4, {"w": (1000,)}, seed=5)
+        deterministic = SimulatedHorovod(4, fusion_threshold=0)
+        fused = SimulatedHorovod(4, fusion_threshold=1 << 20)
+        a, _ = deterministic.allreduce(
+            [{k: v.copy() for k, v in g.items()} for g in per_worker]
+        )
+        b, _ = fused.allreduce(per_worker)
+        np.testing.assert_allclose(a["w"], b["w"], rtol=1e-4, atol=1e-5)
+
+    def test_worker_count_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedHorovod(0)
+        hvd = SimulatedHorovod(3, fusion_threshold=0)
+        with pytest.raises(ValueError):
+            hvd.allreduce(grads_for(2, {"w": (4,)}))
+
+
+def tiny_model():
+    net = Sequential("mlp", [Dense("fc1", 8, 16, policy="float64"),
+                             ReLU("r"),
+                             Dense("fc2", 16, 3, policy="float64")])
+    return Model("mlp", net, 3, policy="float64")
+
+
+def toy_data(n=64):
+    gen = np.random.default_rng(0)
+    x = gen.standard_normal((n, 8)).astype(np.float64)
+    y = (x[:, 0] > 0).astype(np.int64) + (x[:, 1] > 1).astype(np.int64)
+    return x, np.clip(y, 0, 2)
+
+
+class TestDataParallelTrainer:
+    def test_learns(self):
+        x, y = toy_data(128)
+        model = tiny_model()
+        trainer = DataParallelTrainer(model, SGD(lr=0.1), num_workers=4,
+                                      batch_size=32, fusion_threshold=0)
+        first = trainer.run_epoch(x, y)
+        for _ in range(9):
+            last = trainer.run_epoch(x, y)
+        assert last.train_loss < first.train_loss
+
+    def test_deterministic_with_threshold_zero(self):
+        x, y = toy_data()
+        weights = []
+        for _ in range(2):
+            rng.seed_all(31)
+            model = tiny_model()
+            trainer = DataParallelTrainer(model, SGD(lr=0.1), num_workers=4,
+                                          batch_size=32, fusion_threshold=0)
+            trainer.run_epoch(x, y)
+            weights.append(model.get_layer("fc1").params["W"].copy())
+        np.testing.assert_array_equal(weights[0], weights[1])
+
+    def test_matches_gradient_average_semantics(self):
+        """One data-parallel step over N workers equals one big-batch step
+        when every shard has equal size (mean-of-shard-means == global mean)."""
+        x, y = toy_data(32)
+        rng.seed_all(17)
+        parallel_model = tiny_model()
+        parallel = DataParallelTrainer(parallel_model, SGD(lr=0.1),
+                                       num_workers=4, batch_size=32,
+                                       fusion_threshold=0)
+        parallel.run_epoch(x, y)
+
+        from repro.nn import Trainer
+        rng.seed_all(17)
+        serial_model = tiny_model()
+        serial = Trainer(serial_model, SGD(lr=0.1), batch_size=32)
+        serial.run_epoch(x, y)
+
+        np.testing.assert_allclose(
+            parallel_model.get_layer("fc2").params["W"],
+            serial_model.get_layer("fc2").params["W"],
+            rtol=1e-10,
+        )

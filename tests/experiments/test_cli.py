@@ -1,0 +1,39 @@
+"""Tests for the repro-experiments command line."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert "table4" in out
+    assert "fig7" in out
+    assert "ablation_scrub" in out
+
+
+def test_unknown_experiment(capsys):
+    assert main(["run", "table99", "--scale", "smoke"]) == 2
+    assert "unknown experiments" in capsys.readouterr().err
+
+
+def test_run_fig2_smoke(capsys):
+    assert main(["run", "fig2", "--scale", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 2" in out
+    assert "completed in" in out
+
+
+def test_run_json_output(capsys):
+    assert main(["run", "fig2", "--scale", "smoke", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["experiment_id"] == "fig2"
+    assert payload["rows"]
+
+
+def test_seed_flag_changes_nothing_structural(capsys):
+    assert main(["run", "fig2", "--scale", "smoke", "--seed", "7"]) == 0
+    assert "Fig 2" in capsys.readouterr().out

@@ -1,0 +1,119 @@
+"""Tests for the shared experiment infrastructure."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import hdf5
+from repro.experiments.common import (
+    BaselineCache,
+    SCALES,
+    SessionSpec,
+    corrupted_copy,
+    get_scale,
+    resume_training,
+    weights_root,
+)
+
+
+@pytest.fixture(scope="module")
+def cache(tmp_path_factory):
+    return BaselineCache(str(tmp_path_factory.mktemp("baselines")))
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return SessionSpec("chainer_like", "alexnet", SCALES["smoke"], seed=7)
+
+
+@pytest.fixture(scope="module")
+def baseline(cache, spec):
+    return cache.get(spec)
+
+
+class TestScales:
+    def test_all_scales_present(self):
+        assert set(SCALES) == {"smoke", "tiny", "small", "paper"}
+
+    def test_paper_scale_matches_paper(self):
+        paper = SCALES["paper"]
+        assert paper.checkpoint_epoch == 20
+        assert paper.total_epochs == 100
+        assert paper.trainings == 250
+        assert paper.prediction_images == 1000
+        assert paper.width_mult["alexnet"] == 1.0
+
+    def test_get_scale(self):
+        assert get_scale("tiny").name == "tiny"
+        assert get_scale(SCALES["tiny"]).name == "tiny"
+        with pytest.raises(ValueError):
+            get_scale("huge")
+
+
+class TestBaselineCache:
+    def test_artifacts_exist(self, baseline, spec):
+        assert os.path.exists(baseline.checkpoint_path)
+        assert os.path.exists(baseline.final_path)
+        assert len(baseline.accuracy_curve) == spec.scale.total_epochs
+        assert len(baseline.resumed_curve) == (
+            spec.scale.total_epochs - spec.scale.checkpoint_epoch
+        )
+
+    def test_checkpoint_epoch_attr(self, baseline, spec):
+        with hdf5.File(baseline.checkpoint_path, "r") as f:
+            assert f.attrs["epoch"] == spec.scale.checkpoint_epoch
+        with hdf5.File(baseline.final_path, "r") as f:
+            assert f.attrs["epoch"] == spec.scale.total_epochs
+
+    def test_cache_hit_returns_same_curve(self, cache, spec, baseline):
+        again = cache.get(spec)
+        assert again.accuracy_curve == baseline.accuracy_curve
+
+    def test_different_seed_different_key(self, spec):
+        other = SessionSpec("chainer_like", "alexnet", SCALES["smoke"],
+                            seed=8)
+        assert other.cache_key() != spec.cache_key()
+
+    def test_policy_in_key(self, spec):
+        other = SessionSpec("chainer_like", "alexnet", SCALES["smoke"],
+                            seed=7, policy="float16")
+        assert other.cache_key() != spec.cache_key()
+
+
+class TestResume:
+    def test_clean_resume_matches_baseline(self, baseline, spec):
+        """Core invariant: the error-free restart replays the baseline."""
+        outcome = resume_training(spec, baseline.checkpoint_path)
+        assert not outcome.collapsed
+        np.testing.assert_allclose(outcome.accuracy_curve,
+                                   baseline.resumed_curve)
+
+    def test_resume_partial_epochs(self, baseline, spec):
+        outcome = resume_training(spec, baseline.checkpoint_path, epochs=1)
+        assert len(outcome.accuracy_curve) == 1
+        assert outcome.accuracy_curve[0] == pytest.approx(
+            baseline.resumed_curve[0]
+        )
+
+    def test_keep_model(self, baseline, spec):
+        outcome = resume_training(spec, baseline.checkpoint_path, epochs=1,
+                                  keep_model=True)
+        assert outcome.model is not None
+        assert outcome.model.name == "alexnet"
+
+    def test_corrupted_copy_is_independent(self, baseline, tmp_path):
+        copy_path = corrupted_copy(baseline.checkpoint_path, str(tmp_path),
+                                   "trial")
+        with hdf5.File(copy_path, "r+") as f:
+            f.datasets()[0].write_flat(0, 999.0)
+        with hdf5.File(baseline.checkpoint_path, "r") as f:
+            assert f.datasets()[0].read_flat(0) != 999.0
+
+
+def test_weights_root_known_frameworks():
+    assert weights_root("chainer_like") == "predictor"
+    assert weights_root("torch_like") == "state_dict"
+    assert weights_root("tf_like") == "model_weights"
+    with pytest.raises(KeyError):
+        weights_root("unknown")

@@ -1,0 +1,100 @@
+"""Tests for NPZ checkpoints and NPZ<->HDF5 conversion (paper §III-C)."""
+
+import numpy as np
+import pytest
+
+from repro import hdf5
+from repro.data import synthetic_cifar10
+from repro.frameworks import get_facade, set_global_determinism
+from repro.frameworks.convert import (
+    hdf5_to_npz,
+    load_npz_checkpoint,
+    npz_to_hdf5,
+    save_npz_checkpoint,
+)
+from repro.injector import corrupt_checkpoint
+from repro.nn import SGD, Trainer
+
+
+@pytest.fixture()
+def trained(tmp_path):
+    set_global_determinism("chainer_like", 31)
+    train, _ = synthetic_cifar10(train_size=60, test_size=50, image_size=16)
+    facade = get_facade("chainer_like")
+    model = facade.build_model("alexnet", width_mult=0.0625, dropout=0.2,
+                               image_size=16)
+    optimizer = SGD(lr=0.01, momentum=0.9)
+    Trainer(model, optimizer, batch_size=32).fit(train.images, train.labels,
+                                                 epochs=1)
+    return facade, model, optimizer
+
+
+class TestNPZCheckpoints:
+    def test_npz_roundtrip(self, trained, tmp_path):
+        facade, model, optimizer = trained
+        path = str(tmp_path / "snapshot.npz")
+        save_npz_checkpoint(path, model, facade, optimizer, epoch=1)
+
+        clone = facade.build_model("alexnet", width_mult=0.0625,
+                                   dropout=0.2, image_size=16)
+        clone_opt = SGD(lr=0.01, momentum=0.9)
+        epoch = load_npz_checkpoint(path, clone, facade, clone_opt)
+        assert epoch == 1
+        assert clone_opt.step_count == optimizer.step_count
+        for key, value in model.named_parameters().items():
+            np.testing.assert_array_equal(value,
+                                          clone.named_parameters()[key])
+
+    def test_npz_uses_chainer_paths(self, trained, tmp_path):
+        facade, model, optimizer = trained
+        path = str(tmp_path / "snapshot.npz")
+        save_npz_checkpoint(path, model, facade, epoch=1)
+        with np.load(path) as payload:
+            assert "predictor/conv1/W" in payload.files
+            assert "predictor/fc8/b" in payload.files
+
+
+class TestConversionWorkflow:
+    def test_npz_to_hdf5_and_back_is_lossless(self, trained, tmp_path):
+        facade, model, optimizer = trained
+        npz = str(tmp_path / "a.npz")
+        h5 = str(tmp_path / "a.h5")
+        back = str(tmp_path / "b.npz")
+        save_npz_checkpoint(npz, model, facade, optimizer, epoch=1)
+        written = npz_to_hdf5(npz, h5)
+        assert written > 0
+        with hdf5.File(h5, "r") as f:
+            assert f.attrs["epoch"] == 1
+            assert "predictor/conv1/W" in f
+        hdf5_to_npz(h5, back)
+        with np.load(npz) as a, np.load(back) as b:
+            assert set(a.files) == set(b.files)
+            for key in a.files:
+                np.testing.assert_array_equal(a[key], b[key], err_msg=key)
+
+    def test_convert_corrupt_convert_back(self, trained, tmp_path):
+        """The realistic non-HDF5 workflow: NPZ -> HDF5 -> inject -> NPZ."""
+        facade, model, optimizer = trained
+        npz = str(tmp_path / "a.npz")
+        h5 = str(tmp_path / "a.h5")
+        corrupted_npz = str(tmp_path / "corrupted.npz")
+        save_npz_checkpoint(npz, model, facade, epoch=1)
+        npz_to_hdf5(npz, h5)
+        result = corrupt_checkpoint(
+            h5, injection_attempts=20, first_bit=2, float_precision=32,
+            locations_to_corrupt=["predictor"], use_random_locations=False,
+            seed=5,
+        )
+        assert result.successes == 20
+        hdf5_to_npz(h5, corrupted_npz)
+
+        clone = facade.build_model("alexnet", width_mult=0.0625,
+                                   dropout=0.2, image_size=16)
+        epoch = load_npz_checkpoint(corrupted_npz, clone, facade)
+        assert epoch == 1
+        # the corruption survived the round trip
+        different = any(
+            not np.array_equal(value, clone.named_parameters()[key])
+            for key, value in model.named_parameters().items()
+        )
+        assert different

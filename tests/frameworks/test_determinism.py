@@ -1,0 +1,68 @@
+"""Tests for the Code 1 determinism recipe and its simulated mechanisms."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.frameworks import (
+    get_facade,
+    horovod_fusion_threshold,
+    set_global_determinism,
+)
+from repro.nn import SGD, Trainer, rng
+from repro.data import synthetic_cifar10
+
+
+class TestCode1Recipe:
+    def test_shared_instructions_present(self):
+        report = set_global_determinism("tf_like", seed=11)
+        assert "random.seed(SEED)" in report.instructions
+        assert "numpy.random.seed(SEED)" in report.instructions
+
+    def test_torch_sets_horovod_fusion_threshold(self):
+        report = set_global_determinism("torch_like", seed=11)
+        assert "os.environ['HOROVOD_FUSION_THRESHOLD'] = '0'" in (
+            report.instructions
+        )
+        assert os.environ["HOROVOD_FUSION_THRESHOLD"] == "0"
+        assert horovod_fusion_threshold() == 0
+
+    def test_tf_sets_deterministic_ops(self):
+        report = set_global_determinism("tf_like", seed=11)
+        assert os.environ["TF_DETERMINISTIC_OPS"] == "1"
+        assert "tensorflow.random.set_seed(SEED)" in report.instructions
+
+    def test_chainer_instructions(self):
+        report = set_global_determinism("chainer_like", seed=11)
+        assert "cupy.random.seed(SEED)" in report.instructions
+        assert ("chainer.global_config.cudnn_deterministic = True"
+                in report.instructions)
+
+    def test_unknown_framework(self):
+        with pytest.raises(ValueError):
+            set_global_determinism("jax_like", seed=0)
+
+    def test_applies_engine_seed(self):
+        set_global_determinism("tf_like", seed=123)
+        assert rng.current_seed() == 123
+
+
+class TestEndToEndDeterminism:
+    def test_two_full_trainings_bit_identical(self):
+        """The property the whole methodology rests on (paper §V-A3)."""
+        results = []
+        for _ in range(2):
+            set_global_determinism("chainer_like", seed=77)
+            train, _ = synthetic_cifar10(train_size=100, test_size=50)
+            facade = get_facade("chainer_like")
+            model = facade.build_model("alexnet", width_mult=0.125,
+                                       dropout=0.3)
+            trainer = Trainer(model, SGD(lr=0.01, momentum=0.9),
+                              batch_size=32)
+            trainer.fit(train.images, train.labels, epochs=2)
+            results.append({k: v.copy()
+                            for k, v in model.named_parameters().items()})
+        for key in results[0]:
+            np.testing.assert_array_equal(results[0][key], results[1][key],
+                                          err_msg=str(key))

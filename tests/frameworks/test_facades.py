@@ -1,0 +1,147 @@
+"""Tests for the framework facades: layouts, save/load, location tables."""
+
+import numpy as np
+import pytest
+
+from repro import hdf5
+from repro.frameworks import FRAMEWORKS, get_facade
+from repro.nn import SGD, Trainer, rng
+from repro.data import synthetic_cifar10
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    rng.seed_all(2024)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng.seed_all(2024)
+    return synthetic_cifar10(train_size=100, test_size=50)
+
+
+ALL = sorted(FRAMEWORKS)
+
+
+class TestRegistry:
+    def test_get_facade(self):
+        for name in ALL:
+            assert get_facade(name).name == name
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            get_facade("mxnet_like")
+
+
+class TestCheckpointLayouts:
+    @pytest.mark.parametrize("framework", ALL)
+    def test_save_produces_framework_paths(self, framework, tmp_path):
+        facade = get_facade(framework)
+        model = facade.build_model("alexnet", width_mult=0.125)
+        path = str(tmp_path / "ckpt.h5")
+        facade.save_checkpoint(path, model, epoch=20)
+        with hdf5.File(path, "r") as f:
+            names = {d.name for d in f.datasets()}
+            assert f.attrs["framework"] == framework
+            assert f.attrs["epoch"] == 20
+        if framework == "chainer_like":
+            assert "/predictor/conv1/W" in names
+        elif framework == "torch_like":
+            assert "/state_dict/conv1/weight" in names
+        else:
+            assert "/model_weights/conv1/conv1/kernel:0" in names
+
+    def test_tf_kernel_is_hwio(self, tmp_path):
+        facade = get_facade("tf_like")
+        model = facade.build_model("alexnet", width_mult=0.125)
+        conv1 = model.get_layer("conv1")
+        path = str(tmp_path / "tf.h5")
+        facade.save_checkpoint(path, model)
+        with hdf5.File(path, "r") as f:
+            stored = f["model_weights/conv1/conv1/kernel:0"].read()
+        o, i, kh, kw = conv1.params["W"].shape
+        assert stored.shape == (kh, kw, i, o)
+        np.testing.assert_array_equal(stored.transpose(3, 2, 0, 1),
+                                      conv1.params["W"])
+
+    def test_tf_dense_is_in_out(self, tmp_path):
+        facade = get_facade("tf_like")
+        model = facade.build_model("alexnet", width_mult=0.125)
+        fc8 = model.get_layer("fc8")
+        path = str(tmp_path / "tf.h5")
+        facade.save_checkpoint(path, model)
+        with hdf5.File(path, "r") as f:
+            stored = f["model_weights/fc8/fc8/kernel:0"].read()
+        assert stored.shape == fc8.params["W"].T.shape
+
+    @pytest.mark.parametrize("framework", ALL)
+    def test_roundtrip_bit_exact(self, framework, tmp_path, dataset):
+        train, _ = dataset
+        facade = get_facade(framework)
+        model = facade.build_model("alexnet", width_mult=0.125, dropout=0.2)
+        opt = SGD(lr=0.01, momentum=0.9)
+        Trainer(model, opt, batch_size=32).fit(
+            train.images, train.labels, epochs=1
+        )
+        path = str(tmp_path / "ckpt.h5")
+        facade.save_checkpoint(path, model, opt, epoch=1)
+
+        clone = facade.build_model("alexnet", width_mult=0.125, dropout=0.2)
+        clone_opt = SGD(lr=0.01, momentum=0.9)
+        epoch = facade.load_checkpoint(path, clone, clone_opt)
+        assert epoch == 1
+        assert clone_opt.step_count == opt.step_count
+        for key, value in model.named_parameters().items():
+            np.testing.assert_array_equal(
+                value, clone.named_parameters()[key], err_msg=str(key)
+            )
+        for key, value in model.named_state().items():
+            np.testing.assert_array_equal(
+                value, clone.named_state()[key], err_msg=str(key)
+            )
+
+    def test_resnet_batchnorm_names(self, tmp_path):
+        facade = get_facade("tf_like")
+        model = facade.build_model("resnet50", width_mult=0.0625)
+        path = str(tmp_path / "rn.h5")
+        facade.save_checkpoint(path, model)
+        with hdf5.File(path, "r") as f:
+            names = {d.name for d in f.datasets()}
+        assert "/model_weights/bn_conv1/bn_conv1/gamma:0" in names
+        assert "/model_weights/bn_conv1/bn_conv1/moving_mean:0" in names
+
+    def test_exclude_optimizer(self, tmp_path):
+        facade = get_facade("tf_like")
+        model = facade.build_model("alexnet", width_mult=0.125)
+        opt = SGD(lr=0.01, momentum=0.9)
+        path = str(tmp_path / "no_opt.h5")
+        facade.save_checkpoint(path, model, opt, include_optimizer=False)
+        with hdf5.File(path, "r") as f:
+            assert "optimizer_weights" not in f
+
+
+class TestCrossFramework:
+    def test_different_frameworks_different_init(self):
+        m1 = get_facade("chainer_like").build_model("alexnet",
+                                                    width_mult=0.125)
+        m2 = get_facade("tf_like").build_model("alexnet", width_mult=0.125)
+        assert not np.array_equal(m1.get_layer("conv1").params["W"],
+                                  m2.get_layer("conv1").params["W"])
+
+    def test_same_framework_reproducible_init(self):
+        m1 = get_facade("tf_like").build_model("alexnet", width_mult=0.125)
+        m2 = get_facade("tf_like").build_model("alexnet", width_mult=0.125)
+        np.testing.assert_array_equal(m1.get_layer("conv1").params["W"],
+                                      m2.get_layer("conv1").params["W"])
+
+    def test_location_tables_share_layer_names(self):
+        tables = {}
+        for framework in ALL:
+            facade = get_facade(framework)
+            model = facade.build_model("alexnet", width_mult=0.125)
+            tables[framework] = facade.layer_location_table(model)
+        keys = [set(t) for t in tables.values()]
+        assert keys[0] == keys[1] == keys[2]
+        assert tables["chainer_like"]["conv1"] == "/predictor/conv1"
+        assert tables["tf_like"]["conv1"] == "/model_weights/conv1/conv1"
+        assert tables["torch_like"]["conv1"] == "/state_dict/conv1"

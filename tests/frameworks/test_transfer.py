@@ -1,0 +1,76 @@
+"""Cross-facade weight transfer: layout conversions must compose losslessly.
+
+A model's weights saved under one framework's checkpoint layout, then
+re-serialized under another's, must describe the *same function* — this is
+the invariant that makes equivalent injection a meaningful comparison.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic_cifar10
+from repro.frameworks import FRAMEWORKS, get_facade, set_global_determinism
+from repro.nn import SGD, Trainer
+
+
+@pytest.fixture(scope="module")
+def trained_model():
+    set_global_determinism("chainer_like", 17)
+    train, test = synthetic_cifar10(train_size=60, test_size=40,
+                                    image_size=16)
+    facade = get_facade("chainer_like")
+    model = facade.build_model("alexnet", width_mult=0.0625, dropout=0.2,
+                               image_size=16)
+    Trainer(model, SGD(lr=0.01, momentum=0.9), batch_size=32).fit(
+        train.images, train.labels, epochs=1
+    )
+    return model, test
+
+
+@pytest.mark.parametrize("route", [
+    ("chainer_like", "tf_like"),
+    ("tf_like", "torch_like"),
+    ("torch_like", "chainer_like"),
+    ("tf_like", "chainer_like"),
+])
+def test_transfer_preserves_function(trained_model, tmp_path, route):
+    model, test = trained_model
+    src_name, dst_name = route
+    src, dst = get_facade(src_name), get_facade(dst_name)
+
+    # save under src layout, load into a fresh engine model
+    src_path = str(tmp_path / f"{src_name}.h5")
+    src.save_checkpoint(src_path, model, epoch=1)
+    carrier = src.build_model("alexnet", width_mult=0.0625, dropout=0.2,
+                              image_size=16)
+    src.load_checkpoint(src_path, carrier)
+
+    # re-save under dst layout and load again
+    dst_path = str(tmp_path / f"{dst_name}.h5")
+    dst.save_checkpoint(dst_path, carrier, epoch=1)
+    final = dst.build_model("alexnet", width_mult=0.0625, dropout=0.2,
+                            image_size=16)
+    dst.load_checkpoint(dst_path, final)
+
+    # bit-identical weights after the round trip through both layouts
+    for key, value in model.named_parameters().items():
+        np.testing.assert_array_equal(value, final.named_parameters()[key],
+                                      err_msg=f"{route} {key}")
+    # and therefore identical predictions
+    np.testing.assert_array_equal(
+        model.predict(test.images[:16]), final.predict(test.images[:16])
+    )
+
+
+def test_all_facades_share_canonical_layer_names():
+    """Location tables are keyed by engine layer names in every facade —
+    the join that makes equivalent injection's path map total."""
+    tables = {}
+    for name in FRAMEWORKS:
+        facade = get_facade(name)
+        model = facade.build_model("vgg16", width_mult=0.0625,
+                                   image_size=16)
+        tables[name] = set(facade.layer_location_table(model))
+    reference = tables.pop("chainer_like")
+    for name, keys in tables.items():
+        assert keys == reference, name

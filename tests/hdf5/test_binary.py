@@ -1,0 +1,71 @@
+"""Unit tests for the little-endian binary packing helpers."""
+
+import pytest
+
+from repro.hdf5.binary import BinaryReader, BinaryWriter
+
+
+class TestWriter:
+    def test_integer_widths(self):
+        writer = BinaryWriter()
+        writer.u8(0xAB)
+        writer.u16(0x1234)
+        writer.u32(0xDEADBEEF)
+        writer.u64(0x0102030405060708)
+        data = writer.getvalue()
+        assert data == (b"\xab" + b"\x34\x12" + b"\xef\xbe\xad\xde"
+                        + b"\x08\x07\x06\x05\x04\x03\x02\x01")
+        assert len(writer) == 15
+
+    def test_pad_to(self):
+        writer = BinaryWriter()
+        writer.write(b"abc")
+        writer.pad_to(8)
+        assert len(writer) == 8
+        writer.pad_to(8)  # already aligned: no-op
+        assert len(writer) == 8
+
+    def test_zeros(self):
+        writer = BinaryWriter()
+        writer.zeros(5)
+        assert writer.getvalue() == b"\x00" * 5
+
+
+class TestReader:
+    def test_roundtrip(self):
+        writer = BinaryWriter()
+        writer.u8(7)
+        writer.u16(300)
+        writer.u32(70000)
+        writer.u64(2**40)
+        reader = BinaryReader(writer.getvalue())
+        assert reader.u8() == 7
+        assert reader.u16() == 300
+        assert reader.u32() == 70000
+        assert reader.u64() == 2**40
+
+    def test_eof_raises(self):
+        reader = BinaryReader(b"\x01")
+        reader.u8()
+        with pytest.raises(EOFError):
+            reader.u8()
+
+    def test_seek_and_skip(self):
+        reader = BinaryReader(b"\x01\x02\x03\x04")
+        reader.skip(2)
+        assert reader.u8() == 3
+        reader.seek(0)
+        assert reader.u8() == 1
+
+    def test_align_with_base(self):
+        reader = BinaryReader(b"\x00" * 32, offset=3)
+        reader.align(8, base=0)
+        assert reader.offset == 8
+        reader.seek(11)
+        reader.align(8, base=3)
+        assert reader.offset == 11  # (11-3) already a multiple of 8
+
+    def test_cstring(self):
+        reader = BinaryReader(b"hello\x00world\x00")
+        assert reader.cstring() == b"hello"
+        assert reader.cstring() == b"world"

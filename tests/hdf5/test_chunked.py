@@ -1,0 +1,173 @@
+"""Tests for chunked (and gzip-compressed) dataset storage."""
+
+import numpy as np
+import pytest
+
+from repro import hdf5
+from repro.hdf5.chunked import chunk_grid
+
+
+@pytest.fixture()
+def path(tmp_path):
+    return str(tmp_path / "chunked.h5")
+
+
+class TestChunkGrid:
+    def test_exact_tiling(self):
+        assert chunk_grid((4, 4), (2, 2)) == [(0, 0), (0, 2), (2, 0), (2, 2)]
+
+    def test_ragged_edges(self):
+        assert chunk_grid((5,), (2,)) == [(0,), (2,), (4,)]
+
+    def test_single_chunk(self):
+        assert chunk_grid((3, 3), (3, 3)) == [(0, 0)]
+
+    def test_bad_chunk(self):
+        with pytest.raises(ValueError):
+            chunk_grid((4,), (0,))
+
+
+class TestChunkedRoundtrip:
+    def test_exact_tiles(self, path):
+        data = np.arange(64, dtype=np.float64).reshape(8, 8)
+        with hdf5.File(path, "w") as f:
+            f.create_dataset("w", data=data, chunks=(4, 4))
+        with hdf5.File(path, "r") as f:
+            d = f["w"]
+            assert d.chunks == (4, 4)
+            assert d.compression is None
+            np.testing.assert_array_equal(d.read(), data)
+
+    def test_ragged_tiles(self, path):
+        data = np.random.default_rng(0).standard_normal((7, 5)).astype(
+            np.float32
+        )
+        with hdf5.File(path, "w") as f:
+            f.create_dataset("w", data=data, chunks=(3, 2))
+        with hdf5.File(path, "r") as f:
+            np.testing.assert_array_equal(f["w"].read(), data)
+
+    def test_chunk_larger_than_data_clamped(self, path):
+        data = np.ones((3, 3), np.float32)
+        with hdf5.File(path, "w") as f:
+            d = f.create_dataset("w", data=data, chunks=(10, 10))
+        with hdf5.File(path, "r") as f:
+            assert f["w"].chunks == (3, 3)
+            np.testing.assert_array_equal(f["w"].read(), data)
+
+    def test_1d_chunks(self, path):
+        data = np.arange(100, dtype=np.int32)
+        with hdf5.File(path, "w") as f:
+            f.create_dataset("v", data=data, chunks=(7,))
+        with hdf5.File(path, "r") as f:
+            np.testing.assert_array_equal(f["v"].read(), data)
+
+    def test_scalar_cannot_be_chunked(self, path):
+        with hdf5.File(path, "w") as f:
+            with pytest.raises(ValueError):
+                f.create_dataset("s", data=np.float64(1.0), chunks=(1,))
+
+    def test_rank_mismatch_rejected(self, path):
+        with hdf5.File(path, "w") as f:
+            with pytest.raises(ValueError):
+                f.create_dataset("w", data=np.ones((2, 2)), chunks=(2,))
+
+
+class TestCompression:
+    def test_gzip_roundtrip(self, path):
+        data = np.zeros((64, 64), dtype=np.float64)
+        data[10:20, 10:20] = 1.0
+        with hdf5.File(path, "w") as f:
+            f.create_dataset("w", data=data, compression="gzip")
+        with hdf5.File(path, "r") as f:
+            d = f["w"]
+            assert d.compression == "gzip"
+            np.testing.assert_array_equal(d.read(), data)
+
+    def test_gzip_actually_shrinks(self, tmp_path):
+        data = np.zeros((128, 128), dtype=np.float64)
+        raw_path = str(tmp_path / "raw.h5")
+        gz_path = str(tmp_path / "gz.h5")
+        with hdf5.File(raw_path, "w") as f:
+            f.create_dataset("w", data=data)
+        with hdf5.File(gz_path, "w") as f:
+            f.create_dataset("w", data=data, compression="gzip",
+                             compression_opts=9)
+        import os
+        assert os.path.getsize(gz_path) < os.path.getsize(raw_path) / 10
+
+    def test_gzip_chunked_roundtrip(self, path):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((20, 20))
+        with hdf5.File(path, "w") as f:
+            f.create_dataset("w", data=data, chunks=(8, 8),
+                             compression="gzip", compression_opts=1)
+        with hdf5.File(path, "r") as f:
+            np.testing.assert_array_equal(f["w"].read(), data)
+
+    def test_bad_compression_rejected(self, path):
+        with hdf5.File(path, "w") as f:
+            with pytest.raises(ValueError):
+                f.create_dataset("w", data=np.ones(3), compression="lzf")
+            with pytest.raises(ValueError):
+                f.create_dataset("w2", data=np.ones(3), compression=17)
+
+
+class TestChunkedInPlace:
+    def test_write_flat_uncompressed_chunks(self, path):
+        data = np.arange(36, dtype=np.float64).reshape(6, 6)
+        with hdf5.File(path, "w") as f:
+            f.create_dataset("w", data=data, chunks=(4, 4))
+        with hdf5.File(path, "r+") as f:
+            f["w"].write_flat(7, -1.0)  # element (1,1), first chunk
+            f["w"].write_flat(35, -2.0)  # element (5,5), ragged last chunk
+            assert f["w"].read_flat(7) == -1.0
+        with hdf5.File(path, "r") as f:
+            out = f["w"].read()
+        expected = data.copy()
+        expected[1, 1] = -1.0
+        expected[5, 5] = -2.0
+        np.testing.assert_array_equal(out, expected)
+
+    def test_full_write_uncompressed_chunks(self, path):
+        data = np.zeros((5, 5), np.float32)
+        with hdf5.File(path, "w") as f:
+            f.create_dataset("w", data=data, chunks=(2, 2))
+        new = np.arange(25, dtype=np.float32).reshape(5, 5)
+        with hdf5.File(path, "r+") as f:
+            f["w"].write(new)
+        with hdf5.File(path, "r") as f:
+            np.testing.assert_array_equal(f["w"].read(), new)
+
+    def test_compressed_write_rejected(self, path):
+        with hdf5.File(path, "w") as f:
+            f.create_dataset("w", data=np.ones((4, 4)), compression="gzip")
+        with hdf5.File(path, "r+") as f:
+            with pytest.raises(PermissionError):
+                f["w"].write_flat(0, 2.0)
+            with pytest.raises(PermissionError):
+                f["w"].write(np.zeros((4, 4)))
+
+    def test_compressed_read_flat_works(self, path):
+        data = np.arange(16, dtype=np.float64).reshape(4, 4)
+        with hdf5.File(path, "w") as f:
+            f.create_dataset("w", data=data, compression="gzip")
+        with hdf5.File(path, "r") as f:
+            assert f["w"].read_flat(5) == 5.0
+
+
+class TestInjectorOnChunked:
+    def test_corrupter_works_on_uncompressed_chunked_checkpoint(self, path):
+        from repro.injector import corrupt_checkpoint
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal((16, 16))
+        with hdf5.File(path, "w") as f:
+            f.create_dataset("layer/W", data=data, chunks=(8, 8))
+        result = corrupt_checkpoint(path, injection_attempts=25, seed=9)
+        assert result.successes == 25
+        with hdf5.File(path, "r") as f:
+            out = f["layer/W"].read()
+        assert not np.array_equal(out, data)
+        # untouched elements are bit-identical
+        changed = int(np.sum(out.view(np.uint64) != data.view(np.uint64)))
+        assert 1 <= changed <= 25

@@ -1,0 +1,48 @@
+"""Golden-bytes stability test for the HDF5 writer.
+
+The writer must be byte-deterministic and format-stable: the same staged
+tree always serializes to exactly the same file.  A hash change means the
+on-disk format changed — which invalidates recorded injection logs (their
+flat indices and locations) and must be a deliberate, reviewed decision.
+If you intentionally changed the format, update GOLDEN_SHA256 here and note
+the change in docs/hdf5-format.md.
+"""
+
+import hashlib
+
+import numpy as np
+
+from repro import hdf5
+
+GOLDEN_SHA256 = (
+    "3378e3d97ef0ad5ed68e5ac657ee3ad5a49fccdbab221c1cb83900a572893923"
+)
+GOLDEN_SIZE = 8456
+
+
+def build_golden(path: str) -> None:
+    with hdf5.File(path, "w") as f:
+        f.attrs["purpose"] = "golden"
+        d = f.create_dataset(
+            "g/values", data=np.arange(6, dtype=np.float64).reshape(2, 3)
+        )
+        d.attrs["unit"] = "K"
+        f.create_dataset("g/count", data=np.int32(7))
+        f.create_dataset("packed", data=np.zeros((4, 4), np.float32),
+                         chunks=(2, 2))
+
+
+def test_writer_bytes_are_stable(tmp_path):
+    path = str(tmp_path / "golden.h5")
+    build_golden(path)
+    raw = open(path, "rb").read()
+    assert len(raw) == GOLDEN_SIZE
+    assert hashlib.sha256(raw).hexdigest() == GOLDEN_SHA256
+
+
+def test_writer_is_deterministic(tmp_path):
+    a = str(tmp_path / "a.h5")
+    b = str(tmp_path / "b.h5")
+    build_golden(a)
+    build_golden(b)
+    assert open(a, "rb").read() == open(b, "rb").read()

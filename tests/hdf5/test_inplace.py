@@ -1,0 +1,112 @@
+"""Tests of in-place ('r+') dataset mutation — the corrupter's core need."""
+
+import numpy as np
+import pytest
+
+from repro import hdf5
+
+
+@pytest.fixture()
+def ckpt(tmp_path):
+    path = str(tmp_path / "ckpt.h5")
+    with hdf5.File(path, "w") as f:
+        f.create_dataset("g/w", data=np.arange(12, dtype=np.float64).reshape(3, 4))
+        f.create_dataset("g/b", data=np.zeros(4, dtype=np.float32))
+        f.create_dataset("step", data=np.int64(100))
+    return path
+
+
+def test_write_flat_element(ckpt):
+    with hdf5.File(ckpt, "r+") as f:
+        f["g/w"].write_flat(5, -99.5)
+    with hdf5.File(ckpt, "r") as f:
+        data = f["g/w"].read()
+    assert data[1, 1] == -99.5
+    # every other element untouched
+    expected = np.arange(12, dtype=np.float64).reshape(3, 4)
+    expected[1, 1] = -99.5
+    np.testing.assert_array_equal(data, expected)
+
+
+def test_write_flat_visible_within_same_handle(ckpt):
+    with hdf5.File(ckpt, "r+") as f:
+        f["g/w"].write_flat(0, 7.0)
+        assert f["g/w"].read_flat(0) == 7.0
+
+
+def test_full_overwrite(ckpt):
+    new = np.full((3, 4), 3.5, dtype=np.float64)
+    with hdf5.File(ckpt, "r+") as f:
+        f["g/w"].write(new)
+    with hdf5.File(ckpt, "r") as f:
+        np.testing.assert_array_equal(f["g/w"].read(), new)
+
+
+def test_shape_mismatch_rejected(ckpt):
+    with hdf5.File(ckpt, "r+") as f:
+        with pytest.raises(ValueError):
+            f["g/w"].write(np.zeros((2, 2)))
+
+
+def test_scalar_int_inplace(ckpt):
+    with hdf5.File(ckpt, "r+") as f:
+        f["step"].write_flat(0, 101)
+    with hdf5.File(ckpt, "r") as f:
+        assert f["step"].read()[()] == 101
+
+
+def test_read_mode_rejects_writes(ckpt):
+    with hdf5.File(ckpt, "r") as f:
+        with pytest.raises(PermissionError):
+            f["g/w"].write_flat(0, 1.0)
+
+
+def test_rplus_rejects_structure_changes(ckpt):
+    with hdf5.File(ckpt, "r+") as f:
+        with pytest.raises(PermissionError):
+            f.create_dataset("new", data=np.zeros(1, np.float32))
+        with pytest.raises(PermissionError):
+            f.create_group("new_group")
+
+
+def test_out_of_range_flat_index(ckpt):
+    with hdf5.File(ckpt, "r+") as f:
+        with pytest.raises(IndexError):
+            f["g/b"].write_flat(4, 0.0)
+        with pytest.raises(IndexError):
+            f["g/b"].read_flat(-1)
+
+
+def test_setitem_full_and_indexed(ckpt):
+    with hdf5.File(ckpt, "r+") as f:
+        f["g/b"][...] = 2.0
+        f["g/w"][0, 0] = 42.0
+    with hdf5.File(ckpt, "r") as f:
+        np.testing.assert_array_equal(f["g/b"].read(), np.full(4, 2.0, np.float32))
+        assert f["g/w"].read()[0, 0] == 42.0
+
+
+def test_nan_bytes_roundtrip(ckpt):
+    """NaN and Inf survive in-place writes bit-exactly."""
+    with hdf5.File(ckpt, "r+") as f:
+        f["g/w"].write_flat(0, np.nan)
+        f["g/w"].write_flat(1, np.inf)
+        f["g/w"].write_flat(2, -np.inf)
+    with hdf5.File(ckpt, "r") as f:
+        data = f["g/w"].read().reshape(-1)
+    assert np.isnan(data[0])
+    assert data[1] == np.inf
+    assert data[2] == -np.inf
+
+
+def test_bit_exact_flip_via_view(ckpt):
+    """Flipping the exponent MSB through a uint view is persisted exactly."""
+    with hdf5.File(ckpt, "r+") as f:
+        d = f["g/w"]
+        value = np.float64(d.read_flat(3))
+        bits = value.view(np.uint64)
+        flipped = (bits ^ np.uint64(1 << 62)).view(np.float64)
+        d.write_flat(3, flipped)
+    with hdf5.File(ckpt, "r") as f:
+        stored = np.float64(f["g/w"].read_flat(3))
+    assert stored.view(np.uint64) == np.float64(3.0).view(np.uint64) ^ np.uint64(1 << 62)

@@ -1,0 +1,64 @@
+"""Tests for the checkpoint inspector CLI."""
+
+import numpy as np
+import pytest
+
+from repro import hdf5
+from repro.hdf5.inspect import main
+
+
+@pytest.fixture()
+def ckpt(tmp_path):
+    path = str(tmp_path / "c.h5")
+    with hdf5.File(path, "w") as f:
+        f.attrs["framework"] = "tf_like"
+        d = f.create_dataset("model_weights/conv1/kernel",
+                             data=np.arange(12, dtype=np.float32))
+        d.attrs["role"] = "weights"
+        f.create_dataset("model_weights/conv1/bias",
+                         data=np.array([np.inf, 0.0], np.float32))
+        f.create_dataset("step", data=np.int64(7))
+        f.create_dataset("chunky", data=np.ones((8, 8), np.float64),
+                         chunks=(4, 4), compression="gzip")
+    return path
+
+
+def test_basic_listing(ckpt, capsys):
+    assert main([ckpt]) == 0
+    out = capsys.readouterr().out
+    assert "model_weights/" in out
+    assert "kernel" in out
+    assert "[12 float32]" in out
+    assert "scalar int64" in out
+    assert "chunked(4, 4)+gzip" in out
+
+
+def test_stats_flag_reports_nev(ckpt, capsys):
+    assert main([ckpt, "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "!N-EV=1" in out
+    assert "min=" in out
+
+
+def test_attrs_flag(ckpt, capsys):
+    assert main([ckpt, "--attrs"]) == 0
+    out = capsys.readouterr().out
+    assert "@framework = 'tf_like'" in out
+    assert "@role = 'weights'" in out
+
+
+def test_path_restriction(ckpt, capsys):
+    assert main([ckpt, "--path", "model_weights/conv1/kernel"]) == 0
+    out = capsys.readouterr().out
+    assert "kernel" in out
+    assert "bias" not in out
+
+
+def test_missing_path(ckpt, capsys):
+    assert main([ckpt, "--path", "nope"]) == 2
+
+
+def test_unreadable_file(tmp_path, capsys):
+    bad = tmp_path / "bad.h5"
+    bad.write_bytes(b"not an hdf5 file at all")
+    assert main([str(bad)]) == 1

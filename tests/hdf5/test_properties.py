@@ -1,0 +1,122 @@
+"""Hypothesis property tests for the HDF5 subset."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import hdf5
+
+SUPPORTED_DTYPES = st.sampled_from(
+    [np.float16, np.float32, np.float64,
+     np.int8, np.int16, np.int32, np.int64,
+     np.uint8, np.uint16, np.uint32, np.uint64]
+)
+
+SHAPES = st.lists(st.integers(1, 6), min_size=0, max_size=4).map(tuple)
+
+LINK_NAMES = st.text(
+    alphabet=st.sampled_from(
+        "abcdefghijklmnopqrstuvwxyz0123456789_:."
+    ),
+    min_size=1, max_size=24,
+)
+
+
+def arrays_for(dtype, shape):
+    if np.dtype(dtype).kind == "f":
+        return hnp.arrays(dtype, shape,
+                          elements=st.floats(-1e3, 1e3, width=32))
+    info = np.iinfo(dtype)
+    return hnp.arrays(dtype, shape,
+                      elements=st.integers(max(info.min, -1000),
+                                           min(info.max, 1000)))
+
+
+class TestRoundtripProperties:
+    @given(dtype=SUPPORTED_DTYPES, shape=SHAPES, data=st.data())
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_any_array_roundtrips(self, dtype, shape, data, tmp_path_factory):
+        array = data.draw(arrays_for(dtype, shape))
+        path = str(tmp_path_factory.mktemp("h5") / "t.h5")
+        with hdf5.File(path, "w") as f:
+            f.create_dataset("x", data=array)
+        with hdf5.File(path, "r") as f:
+            out = f["x"].read()
+        assert out.dtype == array.dtype
+        assert out.shape == array.shape
+        np.testing.assert_array_equal(out, array)
+
+    @given(names=st.lists(LINK_NAMES, min_size=1, max_size=40,
+                          unique=True))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_any_link_names_roundtrip(self, names, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("h5") / "t.h5")
+        with hdf5.File(path, "w") as f:
+            for i, name in enumerate(names):
+                f.create_dataset(name, data=np.array([i], np.int32))
+        with hdf5.File(path, "r") as f:
+            assert sorted(f.keys()) == sorted(names)
+            for i, name in enumerate(names):
+                assert f[name].read()[0] == i
+
+    @given(depth=st.integers(1, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_deep_nesting(self, depth, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("h5") / "t.h5")
+        nested = "/".join(f"g{i}" for i in range(depth))
+        with hdf5.File(path, "w") as f:
+            f.create_dataset(f"{nested}/leaf", data=np.ones(2, np.float32))
+        with hdf5.File(path, "r") as f:
+            assert f"{nested}/leaf" in f
+            node = f
+            for i in range(depth):
+                node = node[f"g{i}"]
+            assert isinstance(node[f"leaf"], hdf5.Dataset)
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_inplace_writes_touch_only_target(self, data, tmp_path_factory):
+        """Writing element i leaves every other element bit-identical."""
+        n = data.draw(st.integers(2, 64))
+        index = data.draw(st.integers(0, n - 1))
+        value = data.draw(st.floats(allow_nan=True, allow_infinity=True,
+                                    width=64))
+        original = np.arange(n, dtype=np.float64)
+        path = str(tmp_path_factory.mktemp("h5") / "t.h5")
+        with hdf5.File(path, "w") as f:
+            f.create_dataset("x", data=original)
+        with hdf5.File(path, "r+") as f:
+            f["x"].write_flat(index, value)
+        with hdf5.File(path, "r") as f:
+            out = f["x"].read()
+        expected = original.copy()
+        expected[index] = value
+        np.testing.assert_array_equal(out.view(np.uint64),
+                                      expected.view(np.uint64))
+
+    @given(attrs=st.dictionaries(LINK_NAMES,
+                                 st.one_of(st.integers(-2**31, 2**31),
+                                           st.floats(-1e6, 1e6),
+                                           st.text(max_size=20)),
+                                 max_size=8))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_attributes_roundtrip(self, attrs, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("h5") / "t.h5")
+        with hdf5.File(path, "w") as f:
+            d = f.create_dataset("x", data=np.zeros(1, np.float32))
+            for key, value in attrs.items():
+                d.attrs[key] = value
+        with hdf5.File(path, "r") as f:
+            stored = f["x"].attrs
+            assert set(stored.keys()) == set(attrs)
+            for key, value in attrs.items():
+                if isinstance(value, float):
+                    assert stored[key] == pytest.approx(value)
+                else:
+                    assert stored[key] == value

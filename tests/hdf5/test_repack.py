@@ -1,0 +1,112 @@
+"""Tests for the repack utility and reader robustness fuzzing."""
+
+import numpy as np
+import pytest
+
+from repro import hdf5
+from repro.hdf5.repack import decompress_checkpoint, repack
+from repro.hdf5.validate import validate_file
+
+
+@pytest.fixture()
+def source(tmp_path):
+    path = str(tmp_path / "src.h5")
+    rng = np.random.default_rng(0)
+    with hdf5.File(path, "w") as f:
+        f.attrs["framework"] = "tf_like"
+        d = f.create_dataset("model/conv1/kernel",
+                             data=rng.standard_normal((4, 4, 3, 8))
+                             .astype(np.float32))
+        d.attrs["role"] = "weights"
+        f.create_dataset("model/conv1/bias", data=np.zeros(8, np.float32))
+        f.create_dataset("epoch", data=np.int64(20))
+        f.create_dataset("packed", data=np.zeros((32, 32)),
+                         compression="gzip")
+    return path
+
+
+class TestRepack:
+    def test_identity_repack_preserves_everything(self, source, tmp_path):
+        target = str(tmp_path / "out.h5")
+        stats = repack(source, target)
+        assert stats.datasets == 4
+        assert validate_file(target).ok
+        with hdf5.File(source, "r") as a, hdf5.File(target, "r") as b:
+            assert b.attrs["framework"] == "tf_like"
+            assert b["model/conv1/kernel"].attrs["role"] == "weights"
+            for d in a.datasets():
+                np.testing.assert_array_equal(d.read(), b[d.name].read(),
+                                              err_msg=d.name)
+
+    def test_decompress_makes_injectable(self, source, tmp_path):
+        from repro.injector import corrupt_checkpoint
+        target = str(tmp_path / "plain.h5")
+        decompress_checkpoint(source, target)
+        with hdf5.File(target, "r") as f:
+            assert f["packed"].compression is None
+            assert f["packed"].supports_inplace_writes
+        result = corrupt_checkpoint(target, injection_attempts=10,
+                                    locations_to_corrupt=["packed"],
+                                    use_random_locations=False, seed=3)
+        assert result.successes == 10
+
+    def test_compress_shrinks_sparse_data(self, tmp_path):
+        sparse = str(tmp_path / "sparse.h5")
+        with hdf5.File(sparse, "w") as f:
+            f.create_dataset("zeros", data=np.zeros((128, 128)))
+            f.create_dataset("epoch", data=np.int64(20))
+        target = str(tmp_path / "gz.h5")
+        stats = repack(sparse, target, compression="gzip",
+                       compression_opts=9)
+        assert stats.bytes_out < stats.bytes_in / 5
+        assert validate_file(target).ok
+        with hdf5.File(target, "r") as f:
+            assert f["zeros"].compression == "gzip"
+            # scalars stay contiguous
+            assert f["epoch"].compression is None
+            np.testing.assert_array_equal(f["zeros"].read(),
+                                          np.zeros((128, 128)))
+
+    def test_compressing_random_data_roundtrips(self, source, tmp_path):
+        """Random weights don't shrink, but must still round-trip exactly."""
+        target = str(tmp_path / "gz.h5")
+        repack(source, target, compression="gzip")
+        assert validate_file(target).ok
+        with hdf5.File(source, "r") as a, hdf5.File(target, "r") as b:
+            for d in a.datasets():
+                np.testing.assert_array_equal(d.read(), b[d.name].read())
+
+    def test_rechunk(self, source, tmp_path):
+        target = str(tmp_path / "rechunk.h5")
+        repack(source, target, chunks=(16, 16))
+        with hdf5.File(target, "r") as f:
+            # rank-2 datasets get the chunking; others stay contiguous
+            assert f["packed"].chunks == (16, 16)
+            assert f["model/conv1/kernel"].chunks is None
+
+
+class TestReaderFuzzing:
+    """Random single-byte metadata corruption must never crash the
+    validator — it reports findings instead (reader robustness)."""
+
+    def test_validator_survives_random_byte_corruption(self, source):
+        raw = open(source, "rb").read()
+        rng = np.random.default_rng(99)
+        for _ in range(60):
+            data = bytearray(raw)
+            # corrupt up to 3 bytes anywhere in the file
+            for _ in range(int(rng.integers(1, 4))):
+                position = int(rng.integers(0, len(data)))
+                data[position] ^= int(rng.integers(1, 256))
+            mutated = source + ".fuzz"
+            open(mutated, "wb").write(bytes(data))
+            report = validate_file(mutated)  # must not raise
+            assert report is not None
+
+    def test_validator_survives_truncations(self, source):
+        raw = open(source, "rb").read()
+        for keep in (8, 50, 96, 200, len(raw) // 2, len(raw) - 1):
+            mutated = source + ".trunc"
+            open(mutated, "wb").write(raw[:keep])
+            report = validate_file(mutated)
+            assert not report.ok or keep == len(raw)

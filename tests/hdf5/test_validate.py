@@ -1,0 +1,92 @@
+"""Tests for the structural file validator."""
+
+import numpy as np
+import pytest
+
+from repro import hdf5
+from repro.hdf5.validate import validate_file
+from repro.injector import corrupt_checkpoint
+
+
+@pytest.fixture()
+def ckpt(tmp_path):
+    path = str(tmp_path / "v.h5")
+    with hdf5.File(path, "w") as f:
+        f.create_dataset("model/conv1/W",
+                         data=np.random.default_rng(0).standard_normal(
+                             (8, 8)))
+        f.create_dataset("model/conv1/b", data=np.zeros(8, np.float32))
+        f.create_dataset("chunked", data=np.ones((16, 16)), chunks=(8, 8))
+        f.create_dataset("packed", data=np.ones((16, 16)),
+                         compression="gzip")
+    return path
+
+
+class TestCleanFiles:
+    def test_valid_file_passes(self, ckpt):
+        report = validate_file(ckpt)
+        assert report.ok, [str(f) for f in report.findings]
+        assert report.groups_checked >= 3  # root, model, conv1
+        assert report.datasets_checked == 4
+
+    def test_corrupted_payload_still_validates(self, ckpt):
+        """The injector damages payloads, never structure."""
+        corrupt_checkpoint(ckpt, injection_attempts=200, seed=1)
+        report = validate_file(ckpt)
+        assert report.ok, [str(f) for f in report.findings]
+
+    def test_empty_file_validates(self, tmp_path):
+        path = str(tmp_path / "e.h5")
+        with hdf5.File(path, "w"):
+            pass
+        assert validate_file(path).ok
+
+
+class TestBrokenFiles:
+    def test_bad_signature(self, tmp_path):
+        path = tmp_path / "bad.h5"
+        path.write_bytes(b"x" * 200)
+        report = validate_file(str(path))
+        assert not report.ok
+        assert any("signature" in f.message for f in report.findings)
+
+    def test_truncated_file(self, ckpt):
+        data = open(ckpt, "rb").read()
+        open(ckpt, "wb").write(data[: len(data) // 2])
+        report = validate_file(ckpt)
+        assert not report.ok
+
+    def test_too_small(self, tmp_path):
+        path = tmp_path / "tiny.h5"
+        path.write_bytes(b"\x89HDF\r\n\x1a\n")
+        assert not validate_file(str(path)).ok
+
+    def test_smashed_heap_signature(self, ckpt):
+        data = bytearray(open(ckpt, "rb").read())
+        index = data.find(b"HEAP")
+        assert index > 0
+        data[index:index + 4] = b"XXXX"
+        open(ckpt, "wb").write(bytes(data))
+        report = validate_file(ckpt)
+        assert not report.ok
+        assert any("heap" in f.message.lower() for f in report.findings)
+
+    def test_smashed_btree_signature(self, ckpt):
+        data = bytearray(open(ckpt, "rb").read())
+        index = data.find(b"TREE")
+        assert index > 0
+        data[index:index + 4] = b"EERT"
+        open(ckpt, "wb").write(bytes(data))
+        report = validate_file(ckpt)
+        assert not report.ok
+
+    def test_missing_file(self, tmp_path):
+        report = validate_file(str(tmp_path / "nope.h5"))
+        assert not report.ok
+
+    def test_findings_render(self, tmp_path):
+        path = tmp_path / "bad.h5"
+        path.write_bytes(b"x" * 200)
+        report = validate_file(str(path))
+        text = str(report.findings[0])
+        assert text.startswith("[error]")

@@ -1,0 +1,91 @@
+"""End-to-end tests of the hdf5-corrupter command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import hdf5
+from repro.injector.cli import main
+from repro.injector.log import InjectionLog
+
+
+@pytest.fixture()
+def ckpt(tmp_path):
+    path = str(tmp_path / "ckpt.h5")
+    rng = np.random.default_rng(0)
+    with hdf5.File(path, "w") as f:
+        f.create_dataset("predictor/conv1/W", data=rng.standard_normal(64))
+        f.create_dataset("predictor/fc/W", data=rng.standard_normal(32))
+    return path
+
+
+def test_basic_campaign(ckpt, capsys):
+    code = main([ckpt, "--attempts", "5", "--seed", "1", "--json"])
+    assert code == 0
+    out = json.loads(capsys.readouterr().out)
+    assert out["successes"] == 5
+    assert out["attempts"] == 5
+
+
+def test_save_log_and_replay_with_remap(ckpt, tmp_path, capsys):
+    log_path = str(tmp_path / "flips.json")
+    code = main([
+        ckpt, "--attempts", "8", "--seed", "2",
+        "--location", "predictor/conv1",
+        "--save-log", log_path, "--json",
+    ])
+    assert code == 0
+    log = InjectionLog.load(log_path)
+    assert len(log) == 8
+
+    # build a second checkpoint with a TF-style layout and replay
+    target = str(tmp_path / "tf.h5")
+    with hdf5.File(target, "w") as f:
+        f.create_dataset("model_weights/block1/kernel",
+                         data=np.random.default_rng(3).standard_normal(64))
+    code = main([
+        target, "--replay-log", log_path,
+        "--remap", "/predictor/conv1/W=/model_weights/block1/kernel",
+        "--json",
+    ])
+    assert code == 0
+    out = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+    assert out["replayed"] == 8
+
+
+def test_bad_remap_syntax(ckpt, tmp_path, capsys):
+    log_path = str(tmp_path / "flips.json")
+    main([ckpt, "--attempts", "1", "--save-log", log_path])
+    code = main([ckpt, "--replay-log", log_path, "--remap", "nonsense"])
+    assert code == 2
+
+
+def test_no_nan_flag(ckpt, capsys):
+    code = main([ckpt, "--attempts", "100", "--no-nan", "--seed", "4",
+                 "--json"])
+    assert code == 0
+    out = json.loads(capsys.readouterr().out)
+    assert out["nev_introduced"] == 0
+
+
+def test_mask_mode_flags(ckpt, capsys):
+    code = main([ckpt, "--attempts", "3", "--mode", "bit_mask",
+                 "--bit-mask", "11101101", "--seed", "5", "--json"])
+    assert code == 0
+    assert json.loads(capsys.readouterr().out)["successes"] == 3
+
+
+def test_percentage_mode(ckpt, capsys):
+    code = main([ckpt, "--type", "percentage", "--attempts", "50",
+                 "--seed", "6", "--json"])
+    assert code == 0
+    out = json.loads(capsys.readouterr().out)
+    assert out["attempts"] == 48  # 50% of 96 entries
+
+
+def test_human_readable_output(ckpt, capsys):
+    code = main([ckpt, "--attempts", "2", "--seed", "7"])
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "successes: 2" in text

@@ -1,0 +1,414 @@
+"""Tests of the checkpoint corrupter campaign engine."""
+
+import numpy as np
+import pytest
+
+from repro import hdf5
+from repro.injector import (
+    CheckpointCorrupter,
+    CorruptionError,
+    InjectorConfig,
+    corrupt_checkpoint,
+    count_entries,
+    expand_locations,
+    resolve_attempts,
+)
+
+
+@pytest.fixture()
+def ckpt(tmp_path):
+    """A small checkpoint with two layers, fp64, plus an int64 counter."""
+    path = str(tmp_path / "ckpt.h5")
+    rng = np.random.default_rng(1)
+    with hdf5.File(path, "w") as f:
+        f.create_dataset("predictor/conv1/W",
+                         data=rng.standard_normal((8, 3, 3, 3)))
+        f.create_dataset("predictor/conv1/b", data=np.zeros(8))
+        f.create_dataset("predictor/fc/W", data=rng.standard_normal((10, 32)))
+        f.create_dataset("step", data=np.int64(1234))
+    return path
+
+
+def read_all(path):
+    out = {}
+    with hdf5.File(path, "r") as f:
+        for d in f.datasets():
+            out[d.name] = d.read()
+    return out
+
+
+class TestExpandAndCount:
+    def test_expand_all(self, ckpt):
+        with hdf5.File(ckpt, "r") as f:
+            locations = expand_locations(f, None)
+        assert "/predictor/conv1/W" in locations
+        assert "/step" in locations
+        assert len(locations) == 4
+
+    def test_expand_group(self, ckpt):
+        with hdf5.File(ckpt, "r") as f:
+            locations = expand_locations(f, ["predictor/conv1"])
+        assert sorted(locations) == ["/predictor/conv1/W",
+                                     "/predictor/conv1/b"]
+
+    def test_expand_missing_raises(self, ckpt):
+        with hdf5.File(ckpt, "r") as f:
+            with pytest.raises(CorruptionError):
+                expand_locations(f, ["nope"])
+
+    def test_count_entries(self, ckpt):
+        with hdf5.File(ckpt, "r") as f:
+            locations = expand_locations(f, None)
+            total = count_entries(f, locations)
+        assert total == 8 * 3 * 3 * 3 + 8 + 10 * 32 + 1
+
+    def test_resolve_attempts_count(self):
+        config = InjectorConfig(injection_type="count", injection_attempts=17)
+        assert resolve_attempts(config, 1000) == 17
+
+    def test_resolve_attempts_percentage(self):
+        config = InjectorConfig(injection_type="percentage",
+                                injection_attempts=2.5)
+        assert resolve_attempts(config, 1000) == 25
+
+    def test_resolve_attempts_percentage_rounds_up(self):
+        config = InjectorConfig(injection_type="percentage",
+                                injection_attempts=0.01)
+        assert resolve_attempts(config, 1000) == 1
+
+
+class TestCampaign:
+    def test_exact_flip_count(self, ckpt):
+        before = read_all(ckpt)
+        result = corrupt_checkpoint(
+            ckpt, injection_attempts=10, corruption_mode="bit_range",
+            seed=42,
+        )
+        assert result.successes == 10
+        assert len(result.log) == 10
+        after = read_all(ckpt)
+        changed = sum(
+            int(np.sum(before[name].view(np.uint64)
+                       != after[name].view(np.uint64)))
+            for name in before if before[name].dtype.kind == "f"
+        )
+        int_changed = int(before["/step"] != after["/step"])
+        # Two flips may hit the same element (same or different bits), so the
+        # number of changed elements is at most the number of flips.
+        assert 1 <= changed + int_changed <= 10
+
+    def test_deterministic_given_seed(self, tmp_path, ckpt):
+        import shutil
+        copy1 = str(tmp_path / "c1.h5")
+        copy2 = str(tmp_path / "c2.h5")
+        shutil.copy(ckpt, copy1)
+        shutil.copy(ckpt, copy2)
+        r1 = corrupt_checkpoint(copy1, injection_attempts=25, seed=7)
+        r2 = corrupt_checkpoint(copy2, injection_attempts=25, seed=7)
+        from dataclasses import asdict
+        assert [asdict(a) for a in r1.log] == [asdict(b) for b in r2.log]
+        assert read_all(copy1).keys() == read_all(copy2).keys()
+        for name, data in read_all(copy1).items():
+            np.testing.assert_array_equal(
+                data, read_all(copy2)[name], err_msg=name
+            )
+
+    def test_probability_zero_corrupts_nothing(self, ckpt):
+        before = read_all(ckpt)
+        result = corrupt_checkpoint(
+            ckpt, injection_attempts=50, injection_probability=0.0, seed=3,
+        )
+        assert result.successes == 0
+        assert result.skipped_probability == 50
+        for name, data in read_all(ckpt).items():
+            np.testing.assert_array_equal(data, before[name])
+
+    def test_probability_half_is_binomial(self, ckpt):
+        result = corrupt_checkpoint(
+            ckpt, injection_attempts=400, injection_probability=0.5, seed=5,
+        )
+        assert 140 < result.successes < 260
+
+    def test_locations_restriction(self, ckpt):
+        before = read_all(ckpt)
+        config = InjectorConfig(
+            hdf5_file=ckpt, injection_attempts=30,
+            locations_to_corrupt=["predictor/fc"],
+            use_random_locations=False, seed=1,
+        )
+        CheckpointCorrupter(config).corrupt()
+        after = read_all(ckpt)
+        np.testing.assert_array_equal(before["/predictor/conv1/W"],
+                                      after["/predictor/conv1/W"])
+        np.testing.assert_array_equal(before["/predictor/conv1/b"],
+                                      after["/predictor/conv1/b"])
+        assert not np.array_equal(before["/predictor/fc/W"],
+                                  after["/predictor/fc/W"])
+
+    def test_no_nan_mode_produces_no_nev(self, ckpt):
+        result = corrupt_checkpoint(
+            ckpt, injection_attempts=300, allow_NaN_values=False, seed=11,
+        )
+        assert result.nev_introduced == 0
+        data = read_all(ckpt)
+        for name, array in data.items():
+            if array.dtype.kind == "f":
+                assert np.all(np.isfinite(array)), name
+
+    def test_allow_nan_mode_eventually_produces_nev(self, ckpt):
+        result = corrupt_checkpoint(
+            ckpt, injection_attempts=2000, allow_NaN_values=True, seed=13,
+        )
+        # With full-range 64-bit flips on weights ~N(0,1), NaN/Inf arise when
+        # high exponent bits flip; 2000 attempts make that overwhelmingly
+        # likely.
+        assert result.nev_introduced > 0
+
+    def test_exclude_exponent_msb_limits_magnitude(self, ckpt):
+        """Paper Fig 2: excluding the exponent MSB (first_bit=2) prevents the
+        catastrophic jumps to ~1e308."""
+        corrupt_checkpoint(
+            ckpt, injection_attempts=2000, first_bit=2, seed=17,
+        )
+        data = read_all(ckpt)
+        for name, array in data.items():
+            if array.dtype.kind == "f":
+                finite = array[np.isfinite(array)]
+                assert finite.size == array.size, name
+                assert np.abs(finite).max() < 1e160, name
+
+    def test_sign_and_exponent_msb_only_range(self, ckpt):
+        """Restricting to bits [0,1] flips only sign or exponent MSB."""
+        result = corrupt_checkpoint(
+            ckpt, injection_attempts=50, first_bit=0, last_bit=1, seed=19,
+        )
+        for record in result.log:
+            if record.kind == "bit_range":
+                assert record.bit_msb in (0, 1)
+
+    def test_scaling_factor_mode(self, ckpt):
+        before = read_all(ckpt)["/predictor/conv1/b"]
+        assert np.all(before == 0)
+        result = corrupt_checkpoint(
+            ckpt, injection_attempts=20, corruption_mode="scaling_factor",
+            scaling_factor=4500.0, seed=23,
+        )
+        scaled = [r for r in result.log if r.kind == "scaling_factor"]
+        assert scaled
+        for record in scaled:
+            if record.old_value != 0:
+                assert record.new_value == pytest.approx(
+                    record.old_value * 4500.0, rel=1e-12
+                )
+
+    def test_bit_mask_mode_records_mask_and_shift(self, ckpt):
+        result = corrupt_checkpoint(
+            ckpt, injection_attempts=15, corruption_mode="bit_mask",
+            bit_mask="10001010", seed=29,
+        )
+        masked = [r for r in result.log if r.kind == "bit_mask"]
+        assert masked
+        for record in masked:
+            assert record.mask == "10001010"
+            assert 0 <= record.shift <= record.precision - 8
+
+    def test_integer_corruption_uses_bin_flip(self, ckpt):
+        config = InjectorConfig(
+            hdf5_file=ckpt, injection_attempts=5,
+            locations_to_corrupt=["step"], use_random_locations=False,
+            seed=31,
+        )
+        result = CheckpointCorrupter(config).corrupt()
+        ints = [r for r in result.log if r.kind == "integer"]
+        assert len(ints) == 5
+        with hdf5.File(ckpt, "r") as f:
+            step = int(f["step"].read()[()])
+        assert step == int(ints[-1].new_value)
+        # each flip stays within bin() width of its input
+        for record in ints:
+            old = int(record.old_value)
+            new = int(record.new_value)
+            assert abs(new).bit_length() <= max(abs(old).bit_length(), 1)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = str(tmp_path / "empty.h5")
+        with hdf5.File(path, "w"):
+            pass
+        with pytest.raises(CorruptionError):
+            corrupt_checkpoint(path, injection_attempts=1)
+
+    def test_zero_attempts_noop(self, ckpt):
+        before = read_all(ckpt)
+        result = corrupt_checkpoint(ckpt, injection_attempts=0, seed=1)
+        assert result.attempts == 0
+        for name, data in read_all(ckpt).items():
+            np.testing.assert_array_equal(data, before[name])
+
+    def test_percentage_mode_on_file(self, ckpt):
+        total = 8 * 27 + 8 + 320 + 1
+        result = corrupt_checkpoint(
+            ckpt, injection_type="percentage", injection_attempts=10.0,
+            seed=37,
+        )
+        assert result.attempts == int(np.ceil(total * 0.10))
+
+
+class TestPrecisionHandling:
+    @pytest.fixture()
+    def mixed(self, tmp_path):
+        path = str(tmp_path / "mixed.h5")
+        with hdf5.File(path, "w") as f:
+            f.create_dataset("w16", data=np.ones(50, np.float16))
+            f.create_dataset("w64", data=np.ones(50, np.float64))
+        return path
+
+    def test_adapt_uses_dataset_width(self, mixed):
+        result = corrupt_checkpoint(
+            mixed, injection_attempts=40, float_precision=64,
+            precision_mismatch="adapt", seed=1,
+        )
+        precisions = {r.location: r.precision for r in result.log}
+        if "/w16" in precisions:
+            assert precisions["/w16"] == 16
+        if "/w64" in precisions:
+            assert precisions["/w64"] == 64
+
+    def test_strict_raises_on_mismatch(self, mixed):
+        with pytest.raises(CorruptionError):
+            corrupt_checkpoint(
+                mixed, injection_attempts=40, float_precision=64,
+                precision_mismatch="strict", seed=1,
+            )
+
+    def test_skip_leaves_mismatched_untouched(self, mixed):
+        result = corrupt_checkpoint(
+            mixed, injection_attempts=40, float_precision=16,
+            precision_mismatch="skip", seed=1,
+        )
+        assert all(r.location == "/w16" for r in result.log)
+        with hdf5.File(mixed, "r") as f:
+            np.testing.assert_array_equal(f["w64"].read(), np.ones(50))
+
+
+class TestConfigValidation:
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            InjectorConfig(injection_probability=1.5)
+
+    def test_bad_percentage(self):
+        with pytest.raises(ValueError):
+            InjectorConfig(injection_type="percentage",
+                           injection_attempts=150)
+
+    def test_bad_precision(self):
+        with pytest.raises(ValueError):
+            InjectorConfig(float_precision=128)
+
+    def test_bad_bit_range(self):
+        with pytest.raises(ValueError):
+            InjectorConfig(first_bit=10, last_bit=5)
+        with pytest.raises(ValueError):
+            InjectorConfig(first_bit=0, last_bit=64, float_precision=64)
+
+    def test_zero_mask_rejected(self):
+        with pytest.raises(ValueError):
+            InjectorConfig(corruption_mode="bit_mask", bit_mask="0000")
+
+    def test_locations_required_when_not_random(self):
+        with pytest.raises(ValueError):
+            InjectorConfig(use_random_locations=False)
+
+    def test_dict_roundtrip(self):
+        config = InjectorConfig(injection_attempts=12, first_bit=2, seed=9)
+        clone = InjectorConfig.from_dict(config.to_dict())
+        assert clone.to_dict() == config.to_dict()
+
+
+class TestExtensionModes:
+    """stuck_at and zero_value are extensions beyond the paper's Table I."""
+
+    def test_stuck_at_one_forces_bit(self, ckpt):
+        result = corrupt_checkpoint(
+            ckpt, injection_attempts=20, corruption_mode="stuck_at",
+            stuck_bit=0, stuck_value=1, seed=41,  # force sign bit on
+        )
+        stuck = [r for r in result.log if r.kind == "stuck_at"]
+        assert stuck
+        for record in stuck:
+            assert record.new_value <= 0 or record.new_value != record.new_value
+
+    def test_stuck_at_is_idempotent(self, ckpt):
+        """Applying the same stuck-at twice equals applying it once."""
+        from repro.injector import bitops
+        value = 1.5
+        bits = bitops.float_to_bits(value, 64) | (1 << 61)
+        once = bitops.bits_to_float(bits, 64)
+        twice_bits = bitops.float_to_bits(once, 64) | (1 << 61)
+        assert twice_bits == bits
+
+    def test_zero_value_mode(self, ckpt):
+        result = corrupt_checkpoint(
+            ckpt, injection_attempts=10, corruption_mode="zero_value",
+            seed=43,
+        )
+        zeroed = [r for r in result.log if r.kind == "zero_value"]
+        assert zeroed
+        for record in zeroed:
+            assert record.new_value == 0.0
+
+    def test_stuck_bit_validation(self):
+        with pytest.raises(ValueError):
+            InjectorConfig(corruption_mode="stuck_at", stuck_bit=64,
+                           float_precision=64)
+        with pytest.raises(ValueError):
+            InjectorConfig(corruption_mode="stuck_at", stuck_value=2)
+
+    def test_replay_extension_modes(self, ckpt, tmp_path):
+        import shutil
+        from repro.injector import replay_log
+        copy = str(tmp_path / "replay_target.h5")
+        shutil.copy(ckpt, copy)
+        result = corrupt_checkpoint(
+            ckpt, injection_attempts=5, corruption_mode="zero_value",
+            locations_to_corrupt=["predictor"], use_random_locations=False,
+            seed=47,
+        )
+        replay = replay_log(copy, result.log, reuse_indices=True)
+        assert replay.replayed == 5
+        for record in replay.log:
+            assert record.new_value == 0.0
+
+
+class TestTargetSlice:
+    """Spatial targeting: confine flips to one leading-axis slice."""
+
+    def test_only_targeted_filter_changes(self, ckpt):
+        before = read_all(ckpt)["/predictor/conv1/W"]
+        config = InjectorConfig(
+            hdf5_file=ckpt, injection_attempts=40, target_slice=3,
+            locations_to_corrupt=["predictor/conv1/W"],
+            use_random_locations=False, seed=51,
+        )
+        result = CheckpointCorrupter(config).corrupt()
+        assert result.successes == 40
+        after = read_all(ckpt)["/predictor/conv1/W"]
+        changed = before.view(np.uint64) != after.view(np.uint64)
+        # flat indices of changed elements all live in filter 3
+        flat = np.flatnonzero(changed.reshape(-1))
+        stride = 3 * 3 * 3
+        assert flat.size > 0
+        assert np.all(flat // stride == 3)
+
+    def test_datasets_too_small_are_skipped(self, ckpt):
+        config = InjectorConfig(
+            hdf5_file=ckpt, injection_attempts=10, target_slice=9,
+            locations_to_corrupt=["predictor/conv1"],  # W has 8 filters
+            use_random_locations=False, seed=52,
+        )
+        with pytest.raises(CorruptionError):
+            # conv1/W has 8 filters and conv1/b 8 entries: slice 9 empty
+            CheckpointCorrupter(config).corrupt()
+
+    def test_negative_slice_rejected(self):
+        with pytest.raises(ValueError):
+            InjectorConfig(target_slice=-1)

@@ -1,0 +1,182 @@
+"""Tests for injection logs and equivalent-injection replay (paper §IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro import hdf5
+from repro.injector import (
+    InjectionLog,
+    InjectionRecord,
+    InjectorConfig,
+    CheckpointCorrupter,
+    build_location_map,
+    replay_log,
+)
+from repro.injector.corrupter import CorruptionError
+
+
+def make_ckpt(path, prefix, rng):
+    """A two-layer checkpoint under a framework-specific path prefix."""
+    with hdf5.File(path, "w") as f:
+        f.create_dataset(f"{prefix}/conv1/W", data=rng.standard_normal((4, 3)))
+        f.create_dataset(f"{prefix}/fc/W", data=rng.standard_normal((6, 2)))
+    return path
+
+
+class TestLogSerialization:
+    def test_json_roundtrip(self, tmp_path):
+        log = InjectionLog(config={"seed": 1})
+        log.append(InjectionRecord(
+            location="/a/W", flat_index=3, kind="bit_range", precision=64,
+            bit_msb=5, old_bits="3ff0", new_bits="bff0",
+            old_value=1.0, new_value=-1.0,
+        ))
+        path = tmp_path / "log.json"
+        log.save(path)
+        loaded = InjectionLog.load(path)
+        assert len(loaded) == 1
+        record = loaded.records[0]
+        assert record.location == "/a/W"
+        assert record.bit_msb == 5
+        assert loaded.config == {"seed": 1}
+
+    def test_version_check(self):
+        with pytest.raises(ValueError):
+            InjectionLog.from_json('{"version": 99, "records": []}')
+
+    def test_summary(self):
+        log = InjectionLog()
+        for bit in (1, 1, 7):
+            log.append(InjectionRecord(
+                location="/x", flat_index=0, kind="bit_range", precision=64,
+                bit_msb=bit,
+            ))
+        summary = log.summary()
+        assert summary["total"] == 3
+        assert summary["per_location"] == {"/x": 3}
+        assert summary["per_bit_msb"] == {1: 2, 7: 1}
+
+    def test_locations_order(self):
+        log = InjectionLog()
+        for loc in ("/b", "/a", "/b"):
+            log.append(InjectionRecord(location=loc, flat_index=0,
+                                       kind="bit_range", precision=64))
+        assert log.locations() == ["/b", "/a"]
+
+
+class TestRemap:
+    def test_exact_and_prefix_remap(self):
+        log = InjectionLog()
+        log.append(InjectionRecord(location="/predictor/conv1_1/W",
+                                   flat_index=0, kind="bit_range",
+                                   precision=64, bit_msb=3))
+        log.append(InjectionRecord(location="/predictor/fc8/W",
+                                   flat_index=1, kind="bit_range",
+                                   precision=64, bit_msb=4))
+        remapped = log.remap({
+            "/predictor/conv1_1": "/model_weights/block1_conv1",
+        })
+        assert remapped.records[0].location == \
+            "/model_weights/block1_conv1/W"
+        assert remapped.records[1].location == "/predictor/fc8/W"
+        # original untouched
+        assert log.records[0].location == "/predictor/conv1_1/W"
+
+    def test_longest_prefix_wins(self):
+        log = InjectionLog()
+        log.append(InjectionRecord(location="/a/b/c", flat_index=0,
+                                   kind="bit_range", precision=64))
+        remapped = log.remap({"/a": "/X", "/a/b": "/Y"})
+        assert remapped.records[0].location == "/Y/c"
+
+
+class TestReplay:
+    def test_equivalent_injection_across_layouts(self, tmp_path):
+        rng = np.random.default_rng(0)
+        src = make_ckpt(str(tmp_path / "chainer.h5"), "predictor", rng)
+        dst = make_ckpt(str(tmp_path / "tf.h5"), "model_weights", rng)
+
+        config = InjectorConfig(
+            hdf5_file=src, injection_attempts=20,
+            locations_to_corrupt=["predictor/conv1"],
+            use_random_locations=False, seed=5,
+        )
+        result = CheckpointCorrupter(config).corrupt()
+        assert result.successes == 20
+
+        replay = replay_log(
+            dst, result.log,
+            location_map={"/predictor/conv1": "/model_weights/conv1"},
+            seed=9,
+        )
+        assert replay.replayed == 20
+        assert replay.skipped == 0
+        # same bits flipped, in the same order
+        src_bits = [r.bit_msb for r in result.log]
+        dst_bits = [r.bit_msb for r in replay.log]
+        assert src_bits == dst_bits
+        # all replayed inside the mapped layer
+        assert all(r.location.startswith("/model_weights/conv1")
+                   for r in replay.log)
+
+    def test_reuse_indices_reproduces_exact_bytes(self, tmp_path):
+        import shutil
+        rng = np.random.default_rng(2)
+        src = make_ckpt(str(tmp_path / "a.h5"), "p", rng)
+        dst = str(tmp_path / "b.h5")
+        shutil.copy(src, dst)
+
+        result = CheckpointCorrupter(InjectorConfig(
+            hdf5_file=src, injection_attempts=10, seed=3,
+        )).corrupt()
+        replay = replay_log(dst, result.log, reuse_indices=True)
+        assert replay.replayed == 10
+
+        with hdf5.File(src, "r") as fa, hdf5.File(dst, "r") as fb:
+            for d in fa.datasets():
+                np.testing.assert_array_equal(
+                    d.read().view(np.uint64),
+                    fb[d.name].read().view(np.uint64),
+                    err_msg=d.name,
+                )
+
+    def test_missing_location_skipped(self, tmp_path):
+        rng = np.random.default_rng(4)
+        dst = make_ckpt(str(tmp_path / "t.h5"), "model", rng)
+        log = InjectionLog()
+        log.append(InjectionRecord(location="/nowhere/W", flat_index=0,
+                                   kind="bit_range", precision=64, bit_msb=2))
+        replay = replay_log(dst, log)
+        assert replay.replayed == 0
+        assert replay.skipped == 1
+        assert "missing location" in replay.skipped_records[0]
+
+    def test_replay_mask_and_scaling(self, tmp_path):
+        rng = np.random.default_rng(6)
+        dst = make_ckpt(str(tmp_path / "t.h5"), "model", rng)
+        log = InjectionLog()
+        log.append(InjectionRecord(location="/model/conv1/W", flat_index=0,
+                                   kind="bit_mask", precision=64,
+                                   mask="101", shift=4))
+        log.append(InjectionRecord(location="/model/fc/W", flat_index=0,
+                                   kind="scaling_factor", precision=64,
+                                   factor=10.0))
+        replay = replay_log(dst, log, seed=1)
+        assert replay.replayed == 2
+        kinds = [r.kind for r in replay.log]
+        assert kinds == ["bit_mask", "scaling_factor"]
+        scale = replay.log.records[1]
+        if scale.old_value != 0:
+            assert scale.new_value == pytest.approx(scale.old_value * 10.0)
+
+
+class TestLocationMap:
+    def test_build_location_map(self):
+        src = {"conv1": "/predictor/conv1_1", "fc8": "/predictor/fc8"}
+        dst = {"conv1": "/model_weights/block1_conv1"}
+        mapping = build_location_map(src, dst)
+        assert mapping == {"/predictor/conv1_1": "/model_weights/block1_conv1"}
+
+    def test_no_common_layers_raises(self):
+        with pytest.raises(CorruptionError):
+            build_location_map({"a": "/a"}, {"b": "/b"})

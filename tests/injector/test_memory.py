@@ -1,0 +1,92 @@
+"""Tests for the in-memory (runtime) injector."""
+
+import numpy as np
+import pytest
+
+from repro.injector import InjectorConfig
+from repro.injector.corrupter import CorruptionError
+from repro.injector.memory import ModelCorrupter, apply_log_to_model
+from repro.models import build_model
+from repro.nn import rng
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    rng.seed_all(515)
+
+
+@pytest.fixture()
+def model():
+    return build_model("alexnet", width_mult=0.0625)
+
+
+class TestModelCorrupter:
+    def test_flip_count(self, model):
+        config = InjectorConfig(injection_attempts=25, float_precision=32,
+                                seed=1)
+        result = ModelCorrupter(config).corrupt_model(model)
+        assert result.successes == 25
+        assert len(result.log) == 25
+
+    def test_locations_restriction(self, model):
+        before = {k: v.copy() for k, v in model.named_parameters().items()}
+        config = InjectorConfig(
+            injection_attempts=20, float_precision=32,
+            locations_to_corrupt=["conv3"], use_random_locations=False,
+            seed=2,
+        )
+        ModelCorrupter(config).corrupt_model(model)
+        after = model.named_parameters()
+        assert not np.array_equal(before[("conv3", "W")],
+                                  after[("conv3", "W")])
+        np.testing.assert_array_equal(before[("conv1", "W")],
+                                      after[("conv1", "W")])
+
+    def test_specific_array_location(self, model):
+        config = InjectorConfig(
+            injection_attempts=10, float_precision=32,
+            locations_to_corrupt=["fc8/b"], use_random_locations=False,
+            seed=3,
+        )
+        result = ModelCorrupter(config).corrupt_model(model)
+        assert all(r.location == "fc8/b" for r in result.log)
+
+    def test_missing_location(self, model):
+        config = InjectorConfig(
+            injection_attempts=1, locations_to_corrupt=["nope"],
+            use_random_locations=False, seed=4,
+        )
+        with pytest.raises(CorruptionError):
+            ModelCorrupter(config).corrupt_model(model)
+
+    def test_nan_guard(self, model):
+        config = InjectorConfig(injection_attempts=200, float_precision=32,
+                                allow_NaN_values=False, seed=5)
+        result = ModelCorrupter(config).corrupt_model(model)
+        assert result.nev_introduced == 0
+        assert not model.has_nonfinite_parameters()
+
+
+class TestApplyLog:
+    def test_roundtrip_between_models(self, model):
+        clone = build_model("alexnet", width_mult=0.0625)
+        for key, value in model.named_parameters().items():
+            np.testing.assert_array_equal(value,
+                                          clone.named_parameters()[key])
+        config = InjectorConfig(injection_attempts=30, float_precision=32,
+                                seed=6)
+        result = ModelCorrupter(config).corrupt_model(model)
+        applied = apply_log_to_model(clone, result.log)
+        assert applied == 30
+        for key, value in model.named_parameters().items():
+            np.testing.assert_array_equal(value,
+                                          clone.named_parameters()[key],
+                                          err_msg=str(key))
+
+    def test_unknown_locations_skipped(self, model):
+        from repro.injector import InjectionLog, InjectionRecord
+        log = InjectionLog()
+        log.append(InjectionRecord(location="ghost/W", flat_index=0,
+                                   kind="bit_range", precision=32,
+                                   new_bits="0"))
+        assert apply_log_to_model(model, log) == 0

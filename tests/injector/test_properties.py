@@ -1,0 +1,130 @@
+"""Hypothesis property tests for the injector's end-to-end guarantees."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import hdf5
+from repro.injector import (
+    CheckpointCorrupter,
+    InjectorConfig,
+    replay_log,
+)
+
+
+def build_ckpt(path, rng_seed=0, n=64, dtype=np.float32):
+    gen = np.random.default_rng(rng_seed)
+    with hdf5.File(path, "w") as f:
+        f.create_dataset("model/w", data=gen.standard_normal(n).astype(dtype))
+    return path
+
+
+class TestCampaignProperties:
+    @given(seed=st.integers(0, 2**31), attempts=st.integers(0, 60))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_success_count_equals_log_length(self, seed, attempts,
+                                             tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("inj") / "c.h5")
+        build_ckpt(path)
+        config = InjectorConfig(hdf5_file=path, injection_attempts=attempts,
+                                float_precision=32, seed=seed)
+        result = CheckpointCorrupter(config).corrupt()
+        assert result.successes == len(result.log)
+        assert result.successes + result.skipped_probability \
+            + result.skipped_retries == attempts
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_no_nan_guard_holds_for_any_seed(self, seed, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("inj") / "c.h5")
+        build_ckpt(path)
+        config = InjectorConfig(hdf5_file=path, injection_attempts=40,
+                                float_precision=32,
+                                allow_NaN_values=False, seed=seed)
+        CheckpointCorrupter(config).corrupt()
+        with hdf5.File(path, "r") as f:
+            data = f["model/w"].read()
+        assert np.all(np.isfinite(data))
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_extreme_guard_bounds_magnitudes(self, seed, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("inj") / "c.h5")
+        build_ckpt(path)
+        config = InjectorConfig(hdf5_file=path, injection_attempts=40,
+                                float_precision=32,
+                                allow_NaN_values=False, extreme_guard=1e6,
+                                seed=seed)
+        CheckpointCorrupter(config).corrupt()
+        with hdf5.File(path, "r") as f:
+            data = f["model/w"].read()
+        assert np.all(np.abs(data[np.isfinite(data)]) <= 1e6)
+
+    @given(seed=st.integers(0, 2**31),
+           first=st.integers(0, 30))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_bit_range_respected(self, seed, first, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("inj") / "c.h5")
+        build_ckpt(path)
+        config = InjectorConfig(hdf5_file=path, injection_attempts=25,
+                                float_precision=32, first_bit=first,
+                                seed=seed)
+        result = CheckpointCorrupter(config).corrupt()
+        for record in result.log:
+            assert first <= record.bit_msb <= 31
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_reuse_index_replay_reproduces_file(self, seed,
+                                                tmp_path_factory):
+        """Replay with reuse_indices on an identical copy yields identical
+        bytes — for any seed and any corruption sequence."""
+        import shutil
+        directory = tmp_path_factory.mktemp("inj")
+        src = str(directory / "a.h5")
+        dst = str(directory / "b.h5")
+        build_ckpt(src, rng_seed=seed % 100)
+        shutil.copy(src, dst)
+        config = InjectorConfig(hdf5_file=src, injection_attempts=15,
+                                float_precision=32, seed=seed)
+        result = CheckpointCorrupter(config).corrupt()
+        replay = replay_log(dst, result.log, reuse_indices=True)
+        assert replay.replayed == len(result.log)
+        with hdf5.File(src, "r") as fa, hdf5.File(dst, "r") as fb:
+            np.testing.assert_array_equal(
+                fa["model/w"].read().view(np.uint32),
+                fb["model/w"].read().view(np.uint32),
+            )
+
+    @given(seed=st.integers(0, 2**31),
+           mask=st.integers(1, 255))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_double_mask_campaign_restores_values(self, seed, mask,
+                                                  tmp_path_factory):
+        """XOR masks are involutions: replaying a mask campaign twice at the
+        same indices restores the original bytes."""
+        import shutil
+        directory = tmp_path_factory.mktemp("inj")
+        src = str(directory / "a.h5")
+        build_ckpt(src, rng_seed=1)
+        original = None
+        with hdf5.File(src, "r") as f:
+            original = f["model/w"].read().copy()
+        config = InjectorConfig(
+            hdf5_file=src, injection_attempts=10,
+            corruption_mode="bit_mask", bit_mask=format(mask, "08b"),
+            float_precision=32, seed=seed,
+        )
+        result = CheckpointCorrupter(config).corrupt()
+        replay_log(src, result.log, reuse_indices=True)
+        with hdf5.File(src, "r") as f:
+            restored = f["model/w"].read()
+        np.testing.assert_array_equal(restored.view(np.uint32),
+                                      original.view(np.uint32))

@@ -1,0 +1,150 @@
+"""Structural tests for AlexNet, VGG16, and ResNet50 builders."""
+
+import numpy as np
+import pytest
+
+from repro.models import INJECTION_LAYERS, MODEL_BUILDERS, build_model
+from repro.nn import Conv2D, Dense, rng
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    rng.seed_all(55)
+
+
+def conv_layers(model):
+    return [l for l in model.layers() if isinstance(l, Conv2D)]
+
+
+def dense_layers(model):
+    return [l for l in model.layers() if isinstance(l, Dense)]
+
+
+class TestAlexNet:
+    def test_eight_parameter_layers(self):
+        """Paper: 'AlexNet comprises eight layers (five convolutional and
+        three fully connected)'."""
+        model = build_model("alexnet", width_mult=0.125)
+        assert len(conv_layers(model)) == 5
+        assert len(dense_layers(model)) == 3
+
+    def test_layer_names(self):
+        model = build_model("alexnet", width_mult=0.125)
+        names = [l.name for l in model.parameter_layers()]
+        assert names == ["conv1", "conv2", "conv3", "conv4", "conv5",
+                         "fc6", "fc7", "fc8"]
+
+    def test_forward_shape(self):
+        model = build_model("alexnet", width_mult=0.125)
+        out = model.forward(np.zeros((2, 3, 32, 32), np.float32))
+        assert out.shape == (2, 10)
+
+    def test_width_mult_scales_params(self):
+        small = build_model("alexnet", width_mult=0.125)
+        big = build_model("alexnet", width_mult=0.25)
+        assert big.num_params > 2 * small.num_params
+
+    def test_full_width_channel_profile(self):
+        model = build_model("alexnet", width_mult=1.0)
+        channels = [l.out_channels for l in conv_layers(model)]
+        assert channels == [64, 192, 384, 256, 256]
+
+    def test_bad_image_size(self):
+        with pytest.raises(ValueError):
+            build_model("alexnet", image_size=30)
+
+
+class TestVGG16:
+    def test_sixteen_parameter_layers(self):
+        """Paper: 'VGG16 refers to its 16 layers (13 convolutional and three
+        fully connected)'."""
+        model = build_model("vgg16", width_mult=0.125)
+        assert len(conv_layers(model)) == 13
+        assert len(dense_layers(model)) == 3
+
+    def test_block_naming(self):
+        model = build_model("vgg16", width_mult=0.125)
+        names = [l.name for l in conv_layers(model)]
+        assert names[0] == "conv1_1"
+        assert names[-1] == "conv5_3"
+        assert "conv3_3" in names
+
+    def test_forward_shape(self):
+        model = build_model("vgg16", width_mult=0.125)
+        out = model.forward(np.zeros((2, 3, 32, 32), np.float32))
+        assert out.shape == (2, 10)
+
+    def test_full_width_channel_profile(self):
+        model = build_model("vgg16", width_mult=1.0)
+        channels = [l.out_channels for l in conv_layers(model)]
+        assert channels == [64, 64, 128, 128, 256, 256, 256,
+                            512, 512, 512, 512, 512, 512]
+
+
+class TestResNet50:
+    def test_fifty_three_convolutions(self):
+        """ResNet50: 1 stem + 16 blocks x 3 + 4 projections = 53 convs."""
+        model = build_model("resnet50", width_mult=0.0625)
+        assert len(conv_layers(model)) == 53
+
+    def test_block_structure(self):
+        model = build_model("resnet50", width_mult=0.0625)
+        names = [l.name for l in conv_layers(model)]
+        # stage 2: blocks a,b,c; stage 3: a-d; stage 4: a-f; stage 5: a-c
+        assert "res2a_branch2a" in names
+        assert "res3d_branch2c" in names
+        assert "res4f_branch2b" in names
+        assert "res5c_branch2c" in names
+        assert "res2a_branch1" in names  # projection shortcut
+        assert "res2b_branch1" not in names  # identity shortcut
+
+    def test_batchnorm_everywhere(self):
+        from repro.nn import BatchNorm2D
+        model = build_model("resnet50", width_mult=0.0625)
+        bns = [l for l in model.layers() if isinstance(l, BatchNorm2D)]
+        assert len(bns) == 53  # one per convolution
+
+    def test_forward_shape(self):
+        model = build_model("resnet50", width_mult=0.0625)
+        out = model.forward(np.zeros((2, 3, 32, 32), np.float32))
+        assert out.shape == (2, 10)
+
+    def test_small_image(self):
+        model = build_model("resnet50", width_mult=0.0625, image_size=16)
+        out = model.forward(np.zeros((1, 3, 16, 16), np.float32))
+        assert out.shape == (1, 10)
+
+
+class TestRegistry:
+    def test_all_builders_listed(self):
+        assert set(MODEL_BUILDERS) == {"alexnet", "vgg16", "resnet50"}
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            build_model("lenet")
+
+    def test_injection_layers_exist(self):
+        for name, layers in INJECTION_LAYERS.items():
+            kwargs = {"width_mult": 0.0625}
+            model = build_model(name, **kwargs)
+            parameter_names = {l.name for l in model.parameter_layers()}
+            for layer in layers:
+                assert layer in parameter_names, (name, layer)
+
+    @pytest.mark.parametrize("name", ["alexnet", "vgg16", "resnet50"])
+    def test_policy_applies_to_all_params(self, name):
+        model = build_model(name, width_mult=0.0625, policy="float64")
+        for value in model.named_parameters().values():
+            assert value.dtype == np.float64
+
+    @pytest.mark.parametrize("name", ["alexnet", "vgg16", "resnet50"])
+    def test_backward_runs(self, name):
+        model = build_model(name, width_mult=0.0625)
+        x = np.random.default_rng(0).standard_normal(
+            (2, 3, 32, 32)
+        ).astype(np.float32)
+        out = model.forward(x, training=True)
+        model.backward(np.ones_like(out) / out.size)
+        for layer in model.parameter_layers():
+            for key, grad in layer.grads.items():
+                assert np.all(np.isfinite(grad)), (layer.name, key)

@@ -1,0 +1,113 @@
+"""Tests for the numerical primitives (im2col, softmax, cross-entropy)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+
+
+class TestConvOutputSize:
+    def test_basic(self):
+        assert F.conv_output_size(32, 3, 1, 1) == 32
+        assert F.conv_output_size(32, 2, 2, 0) == 16
+        assert F.conv_output_size(7, 3, 2, 0) == 3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            F.conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2Col:
+    def test_identity_kernel1(self):
+        x = np.arange(2 * 3 * 4 * 4, dtype=np.float64).reshape(2, 3, 4, 4)
+        cols = F.im2col(x, kernel=1, stride=1, pad=0)
+        assert cols.shape == (2 * 16, 3)
+        np.testing.assert_array_equal(
+            cols.reshape(2, 4, 4, 3).transpose(0, 3, 1, 2), x
+        )
+
+    def test_matches_naive_convolution(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 3, 6, 6))
+        w = rng.standard_normal((4, 3, 3, 3))
+        cols = F.im2col(x, 3, 1, 1)
+        out = (cols @ w.reshape(4, -1).T).reshape(2, 6, 6, 4).transpose(
+            0, 3, 1, 2
+        )
+        # naive direct convolution
+        padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        naive = np.zeros_like(out)
+        for i in range(6):
+            for j in range(6):
+                patch = padded[:, :, i:i + 3, j:j + 3]
+                naive[:, :, i, j] = np.einsum("ncij,ocij->no", patch, w)
+        np.testing.assert_allclose(out, naive, rtol=1e-10)
+
+    def test_col2im_adjointness(self):
+        """col2im is the transpose of im2col: <im2col(x), y> == <x, col2im(y)>."""
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((2, 3, 5, 5))
+        cols = F.im2col(x, 3, 2, 1)
+        y = rng.standard_normal(cols.shape)
+        lhs = float(np.sum(cols * y))
+        rhs = float(np.sum(x * F.col2im(y, x.shape, 3, 2, 1)))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    @given(st.integers(2, 4), st.integers(1, 3), st.integers(4, 8),
+           st.integers(1, 2), st.integers(0, 1))
+    @settings(max_examples=30, deadline=None)
+    def test_shapes_property(self, n, c, size, stride, pad):
+        kernel = 3
+        if size + 2 * pad < kernel:
+            return
+        x = np.zeros((n, c, size, size), dtype=np.float32)
+        out_size = F.conv_output_size(size, kernel, stride, pad)
+        cols = F.im2col(x, kernel, stride, pad)
+        assert cols.shape == (n * out_size * out_size, c * kernel * kernel)
+        back = F.col2im(cols, x.shape, kernel, stride, pad)
+        assert back.shape == x.shape
+
+
+class TestSoftmaxCrossEntropy:
+    def test_softmax_rows_sum_to_one(self):
+        logits = np.random.default_rng(2).standard_normal((8, 10))
+        probs = F.softmax(logits)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-12)
+
+    def test_softmax_stable_for_large_logits(self):
+        probs = F.softmax(np.array([[1e4, 0.0, -1e4]]))
+        assert np.all(np.isfinite(probs))
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_cross_entropy_perfect_prediction(self):
+        probs = np.eye(3)
+        labels = np.array([0, 1, 2])
+        assert F.cross_entropy(probs, labels) == pytest.approx(0.0, abs=1e-10)
+
+    def test_uniform_prediction_loss(self):
+        probs = np.full((4, 10), 0.1)
+        labels = np.zeros(4, dtype=np.int64)
+        assert F.cross_entropy(probs, labels) == pytest.approx(np.log(10))
+
+    def test_gradient_matches_finite_differences(self):
+        rng = np.random.default_rng(3)
+        logits = rng.standard_normal((4, 5))
+        labels = np.array([0, 2, 4, 1])
+        _, grad = F.softmax_cross_entropy_with_grad(logits, labels)
+        eps = 1e-6
+        for i in range(4):
+            for j in range(5):
+                bumped = logits.copy()
+                bumped[i, j] += eps
+                up, _ = F.softmax_cross_entropy_with_grad(bumped, labels)
+                bumped[i, j] -= 2 * eps
+                down, _ = F.softmax_cross_entropy_with_grad(bumped, labels)
+                numeric = (up - down) / (2 * eps)
+                assert grad[i, j] == pytest.approx(numeric, abs=1e-5)
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 2.0], [3.0, 0.0]])
+        assert F.accuracy(logits, np.array([1, 0])) == 1.0
+        assert F.accuracy(logits, np.array([0, 0])) == 0.5

@@ -1,0 +1,318 @@
+"""Gradient-check and behaviour tests for every layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Add,
+    AvgPool2D,
+    LocalResponseNorm,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    rng,
+)
+
+
+def numeric_grad_wrt_input(layer, x, grad_out, eps=1e-5):
+    """Central finite-difference gradient of sum(forward(x) * grad_out)."""
+    numeric = np.zeros_like(x)
+    flat = x.reshape(-1)
+    num_flat = numeric.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = float(np.sum(layer.forward(x, training=True) * grad_out))
+        flat[i] = orig - eps
+        down = float(np.sum(layer.forward(x, training=True) * grad_out))
+        flat[i] = orig
+        num_flat[i] = (up - down) / (2 * eps)
+    return numeric
+
+
+def check_input_gradient(layer, x, rtol=1e-4, atol=1e-6):
+    rng_local = np.random.default_rng(0)
+    out = layer.forward(x, training=True)
+    grad_out = rng_local.standard_normal(out.shape)
+    analytic = layer.backward(grad_out)
+    numeric = numeric_grad_wrt_input(layer, x, grad_out)
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+
+def check_param_gradient(layer, x, key, rtol=1e-4, atol=1e-6):
+    rng_local = np.random.default_rng(1)
+    out = layer.forward(x, training=True)
+    grad_out = rng_local.standard_normal(out.shape)
+    layer.backward(grad_out)
+    analytic = layer.grads[key].copy()
+    param = layer.params[key]
+    numeric = np.zeros_like(param, dtype=np.float64)
+    flat = param.reshape(-1)
+    num_flat = numeric.reshape(-1)
+    eps = 1e-5
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = float(np.sum(layer.forward(x, training=True) * grad_out))
+        flat[i] = orig - eps
+        down = float(np.sum(layer.forward(x, training=True) * grad_out))
+        flat[i] = orig
+        num_flat[i] = (up - down) / (2 * eps)
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    rng.seed_all(123)
+
+
+class TestConv2D:
+    def test_output_shape(self):
+        conv = Conv2D("c", 3, 8, kernel=3, stride=1, pad=1, policy="float64")
+        x = np.random.default_rng(0).standard_normal((2, 3, 8, 8))
+        assert conv.forward(x).shape == (2, 8, 8, 8)
+
+    def test_strided_shape(self):
+        conv = Conv2D("c", 3, 4, kernel=3, stride=2, pad=1, policy="float64")
+        x = np.zeros((1, 3, 8, 8))
+        assert conv.forward(x).shape == (1, 4, 4, 4)
+
+    def test_input_gradient(self):
+        conv = Conv2D("c", 2, 3, kernel=3, stride=1, pad=1, policy="float64")
+        x = np.random.default_rng(2).standard_normal((2, 2, 4, 4))
+        check_input_gradient(conv, x)
+
+    def test_weight_gradient(self):
+        conv = Conv2D("c", 2, 3, kernel=3, stride=2, pad=1, policy="float64")
+        x = np.random.default_rng(3).standard_normal((2, 2, 5, 5))
+        check_param_gradient(conv, x, "W")
+
+    def test_bias_gradient(self):
+        conv = Conv2D("c", 2, 3, kernel=3, stride=1, pad=0, policy="float64")
+        x = np.random.default_rng(4).standard_normal((2, 2, 5, 5))
+        check_param_gradient(conv, x, "b")
+
+    def test_wrong_channel_count(self):
+        conv = Conv2D("c", 3, 4, kernel=3, pad=1)
+        with pytest.raises(ValueError):
+            conv.forward(np.zeros((1, 2, 8, 8)))
+
+    def test_deterministic_init_by_name(self):
+        a = Conv2D("same_name", 3, 4, kernel=3)
+        b = Conv2D("same_name", 3, 4, kernel=3)
+        c = Conv2D("other_name", 3, 4, kernel=3)
+        np.testing.assert_array_equal(a.params["W"], b.params["W"])
+        assert not np.array_equal(a.params["W"], c.params["W"])
+
+
+class TestDense:
+    def test_forward_values(self):
+        dense = Dense("d", 3, 2, policy="float64")
+        dense.params["W"] = np.array([[1.0, 0.0, 0.0], [0.0, 2.0, 0.0]])
+        dense.params["b"] = np.array([0.5, -0.5])
+        out = dense.forward(np.array([[1.0, 2.0, 3.0]]))
+        np.testing.assert_allclose(out, [[1.5, 3.5]])
+
+    def test_gradients(self):
+        dense = Dense("d", 4, 3, policy="float64")
+        x = np.random.default_rng(5).standard_normal((3, 4))
+        check_input_gradient(dense, x)
+        check_param_gradient(dense, x, "W")
+        check_param_gradient(dense, x, "b")
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        pool = MaxPool2D("p", kernel=2)
+        x = np.array([[[[1, 2, 5, 6], [3, 4, 7, 8],
+                        [9, 10, 13, 14], [11, 12, 15, 16]]]], dtype=np.float64)
+        out = pool.forward(x)
+        np.testing.assert_array_equal(out, [[[[4, 8], [12, 16]]]])
+
+    def test_maxpool_gradient_routes_to_max(self):
+        pool = MaxPool2D("p", kernel=2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        pool.forward(x)
+        dx = pool.backward(np.array([[[[10.0]]]]))
+        np.testing.assert_array_equal(dx, [[[[0, 0], [0, 10.0]]]])
+
+    def test_maxpool_numeric_gradient(self):
+        pool = MaxPool2D("p", kernel=2)
+        # distinct values avoid ties that break finite differencing
+        x = np.random.default_rng(6).permutation(32).astype(np.float64)
+        x = x.reshape(1, 2, 4, 4)
+        check_input_gradient(pool, x)
+
+    def test_gap(self):
+        gap = GlobalAvgPool2D()
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        np.testing.assert_allclose(gap.forward(x), [[7.5]])
+        check_input_gradient(gap, x)
+
+
+class TestActivationsAndShape:
+    def test_relu(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 2.0]])
+        np.testing.assert_array_equal(relu.forward(x), [[0.0, 2.0]])
+        np.testing.assert_array_equal(relu.backward(np.ones((1, 2))),
+                                      [[0.0, 1.0]])
+
+    def test_flatten_roundtrip(self):
+        flat = Flatten()
+        x = np.zeros((2, 3, 4, 4))
+        out = flat.forward(x)
+        assert out.shape == (2, 48)
+        assert flat.backward(out).shape == x.shape
+
+
+class TestBatchNorm:
+    def test_normalizes_training_batch(self):
+        bn = BatchNorm2D("bn", 3, policy="float64")
+        x = np.random.default_rng(7).standard_normal((8, 3, 4, 4)) * 5 + 2
+        out = bn.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1, atol=1e-2)
+
+    def test_running_stats_update(self):
+        bn = BatchNorm2D("bn", 2, momentum=0.5, policy="float64")
+        x = np.ones((4, 2, 2, 2)) * 3.0
+        bn.forward(x, training=True)
+        np.testing.assert_allclose(bn.state["running_mean"], 1.5)
+
+    def test_inference_uses_running_stats(self):
+        bn = BatchNorm2D("bn", 1, policy="float64")
+        bn.state["running_mean"] = np.array([2.0])
+        bn.state["running_var"] = np.array([4.0])
+        out = bn.forward(np.full((1, 1, 1, 1), 4.0), training=False)
+        assert out[0, 0, 0, 0] == pytest.approx(1.0, rel=1e-3)
+
+    def test_input_gradient(self):
+        bn = BatchNorm2D("bn", 2, policy="float64")
+        x = np.random.default_rng(8).standard_normal((4, 2, 3, 3))
+        check_input_gradient(bn, x, rtol=1e-3, atol=1e-5)
+
+    def test_gamma_beta_gradients(self):
+        bn = BatchNorm2D("bn", 2, policy="float64")
+        x = np.random.default_rng(9).standard_normal((4, 2, 3, 3))
+        check_param_gradient(bn, x, "gamma", rtol=1e-3, atol=1e-5)
+        check_param_gradient(bn, x, "beta", rtol=1e-3, atol=1e-5)
+
+
+class TestDropout:
+    def test_inference_is_identity(self):
+        drop = Dropout("d", 0.5)
+        x = np.ones((4, 4))
+        np.testing.assert_array_equal(drop.forward(x, training=False), x)
+
+    def test_training_scales_kept_units(self):
+        drop = Dropout("d", 0.5)
+        x = np.ones((100, 100))
+        out = drop.forward(x, training=True)
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 2.0)
+        assert 0.3 < kept.size / x.size < 0.7
+
+    def test_deterministic_stream_replay(self):
+        drop1 = Dropout("same", 0.5)
+        drop2 = Dropout("same", 0.5)
+        x = np.ones((10, 10))
+        np.testing.assert_array_equal(drop1.forward(x, True),
+                                      drop2.forward(x, True))
+
+    def test_backward_masks_gradient(self):
+        drop = Dropout("d", 0.5)
+        x = np.ones((8, 8))
+        out = drop.forward(x, training=True)
+        grad = drop.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad == 0, out == 0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout("d", 1.0)
+
+
+class TestComposites:
+    def test_sequential_chains(self):
+        seq = Sequential("s", [Dense("d1", 4, 8, policy="float64"), ReLU(),
+                               Dense("d2", 8, 2, policy="float64")])
+        x = np.random.default_rng(10).standard_normal((3, 4))
+        out = seq.forward(x)
+        assert out.shape == (3, 2)
+        assert len(seq.sublayers()) == 3
+
+    def test_sequential_gradient(self):
+        seq = Sequential("s", [Dense("d1", 4, 6, policy="float64"), ReLU(),
+                               Dense("d2", 6, 2, policy="float64")])
+        x = np.random.default_rng(11).standard_normal((3, 4))
+        check_input_gradient(seq, x)
+
+    def test_residual_identity_shortcut(self):
+        main = Sequential("m", [Conv2D("c1", 2, 2, kernel=3, pad=1,
+                                       policy="float64")])
+        block = Add("res", main, None)
+        x = np.random.default_rng(12).standard_normal((2, 2, 4, 4))
+        check_input_gradient(block, x)
+
+    def test_residual_projection_shortcut(self):
+        main = Sequential("m", [Conv2D("c1", 2, 4, kernel=3, stride=2, pad=1,
+                                       policy="float64")])
+        short = Sequential("s", [Conv2D("c2", 2, 4, kernel=1, stride=2,
+                                        policy="float64")])
+        block = Add("res", main, short)
+        x = np.random.default_rng(13).standard_normal((2, 2, 4, 4))
+        assert block.forward(x).shape == (2, 4, 2, 2)
+        check_input_gradient(block, x)
+        assert len(block.sublayers()) == 2
+
+
+class TestAvgPool:
+    def test_values(self):
+        pool = AvgPool2D("ap", kernel=2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        np.testing.assert_allclose(pool.forward(x), [[[[2.5]]]])
+
+    def test_gradient(self):
+        pool = AvgPool2D("ap", kernel=2)
+        x = np.random.default_rng(20).standard_normal((2, 3, 4, 4))
+        check_input_gradient(pool, x)
+
+    def test_strided(self):
+        pool = AvgPool2D("ap", kernel=3, stride=2)
+        x = np.random.default_rng(21).standard_normal((1, 2, 7, 7))
+        assert pool.forward(x).shape == (1, 2, 3, 3)
+        check_input_gradient(pool, x)
+
+
+class TestLocalResponseNorm:
+    def test_identity_when_alpha_zero(self):
+        lrn = LocalResponseNorm("lrn", size=5, alpha=0.0, beta=0.75, k=1.0)
+        x = np.random.default_rng(22).standard_normal((2, 8, 3, 3))
+        np.testing.assert_allclose(lrn.forward(x), x)
+
+    def test_suppresses_high_activity_channels(self):
+        lrn = LocalResponseNorm("lrn", size=3, alpha=1.0, beta=0.75, k=1.0)
+        quiet = np.zeros((1, 3, 1, 1))
+        quiet[0, 1] = 1.0
+        loud = np.full((1, 3, 1, 1), 10.0)
+        out_quiet = lrn.forward(quiet)[0, 1, 0, 0]
+        out_loud = lrn.forward(loud)[0, 1, 0, 0]
+        # the same unit is attenuated more in a loud neighbourhood
+        assert out_loud / 10.0 < out_quiet / 1.0
+
+    def test_gradient(self):
+        lrn = LocalResponseNorm("lrn", size=3, alpha=0.05, beta=0.75, k=2.0)
+        x = np.random.default_rng(23).standard_normal((2, 5, 2, 2))
+        check_input_gradient(lrn, x, rtol=1e-3, atol=1e-6)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            LocalResponseNorm("lrn", size=4)
+        with pytest.raises(ValueError):
+            LocalResponseNorm("lrn", size=0)

@@ -1,0 +1,180 @@
+"""Tests for learning-rate schedulers, RMSProp, and extended metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, Model, RMSProp, ReLU, SGD, Sequential, Trainer, rng
+from repro.nn.metrics import (
+    confusion_matrix,
+    expected_calibration_error,
+    per_class_accuracy,
+    prediction_churn,
+    top_k_accuracy,
+)
+from repro.nn.schedulers import (
+    ConstantLR,
+    CosineAnnealing,
+    StepDecay,
+    WarmupWrapper,
+)
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    rng.seed_all(111)
+
+
+def tiny_model():
+    net = Sequential("m", [Dense("fc1", 6, 12), ReLU("r"),
+                           Dense("fc2", 12, 3)])
+    return Model("m", net, 3)
+
+
+class TestSchedulers:
+    def test_constant(self):
+        opt = SGD(lr=0.1)
+        sched = ConstantLR(opt)
+        assert sched.lr_at(1) == sched.lr_at(50) == 0.1
+
+    def test_step_decay(self):
+        opt = SGD(lr=0.1)
+        sched = StepDecay(opt, step_size=10, gamma=0.1)
+        assert sched.lr_at(1) == pytest.approx(0.1)
+        assert sched.lr_at(10) == pytest.approx(0.1)
+        assert sched.lr_at(11) == pytest.approx(0.01)
+        assert sched.lr_at(21) == pytest.approx(0.001)
+
+    def test_cosine(self):
+        opt = SGD(lr=0.1)
+        sched = CosineAnnealing(opt, total_epochs=100, min_lr=0.001)
+        assert sched.lr_at(1) == pytest.approx(0.1, rel=1e-2)
+        assert sched.lr_at(101) == pytest.approx(0.001)
+        mid = sched.lr_at(51)
+        assert 0.001 < mid < 0.1
+
+    def test_warmup(self):
+        opt = SGD(lr=0.1)
+        sched = WarmupWrapper(ConstantLR(opt), warmup_epochs=5)
+        assert sched.lr_at(1) == pytest.approx(0.02)
+        assert sched.lr_at(5) == pytest.approx(0.1)
+        assert sched.lr_at(6) == pytest.approx(0.1)
+
+    def test_apply_mutates_optimizer(self):
+        opt = SGD(lr=0.1)
+        sched = StepDecay(opt, step_size=1, gamma=0.5)
+        sched.apply(3)
+        assert opt.lr == pytest.approx(0.025)
+
+    def test_schedule_is_pure_function_of_epoch(self):
+        """The restart-correctness property: lr at epoch k is independent of
+        how many epochs the scheduler was applied before."""
+        opt_a = SGD(lr=0.1)
+        sched_a = CosineAnnealing(opt_a, total_epochs=20)
+        for epoch in range(1, 10):
+            sched_a.apply(epoch)
+        lr_continuous = sched_a.apply(10)
+
+        opt_b = SGD(lr=0.1)
+        sched_b = CosineAnnealing(opt_b, total_epochs=20)
+        lr_resumed = sched_b.apply(10)
+        assert lr_continuous == lr_resumed
+
+    def test_trainer_applies_schedule(self):
+        x = np.random.default_rng(0).standard_normal((32, 6)).astype(
+            np.float32
+        )
+        y = np.zeros(32, dtype=np.int64)
+        model = tiny_model()
+        opt = SGD(lr=0.1)
+        sched = StepDecay(opt, step_size=1, gamma=0.5)
+        trainer = Trainer(model, opt, batch_size=16, scheduler=sched)
+        trainer.fit(x, y, epochs=3)
+        assert opt.lr == pytest.approx(0.1 * 0.5 ** 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepDecay(SGD(lr=0.1), step_size=0)
+        with pytest.raises(ValueError):
+            CosineAnnealing(SGD(lr=0.1), total_epochs=0)
+        with pytest.raises(ValueError):
+            WarmupWrapper(ConstantLR(SGD(lr=0.1)), warmup_epochs=-1)
+
+
+class TestRMSProp:
+    def test_descends(self):
+        gen = np.random.default_rng(1)
+        x = gen.standard_normal((64, 6)).astype(np.float32)
+        y = (x[:, 0] > 0).astype(np.int64)
+        model = tiny_model()
+        trainer = Trainer(model, RMSProp(lr=0.005), batch_size=16)
+        history = trainer.fit(x, y, epochs=10)
+        assert history.epochs[-1].train_loss < history.epochs[0].train_loss
+
+    def test_state_roundtrip(self):
+        gen = np.random.default_rng(2)
+        x = gen.standard_normal((32, 6)).astype(np.float32)
+        y = np.zeros(32, dtype=np.int64)
+        opt = RMSProp(lr=0.01)
+        Trainer(tiny_model(), opt, batch_size=16).fit(x, y, epochs=1)
+        clone = RMSProp(lr=0.01)
+        clone.load_state_arrays(opt.state_arrays())
+        for slot in opt.mean_square:
+            np.testing.assert_array_equal(clone.mean_square[slot],
+                                          opt.mean_square[slot])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RMSProp(decay=1.5)
+
+
+class TestMetrics:
+    def test_top_k(self):
+        logits = np.array([[3.0, 2.0, 1.0], [1.0, 2.0, 3.0]])
+        labels = np.array([1, 0])
+        assert top_k_accuracy(logits, labels, 1) == 0.0
+        assert top_k_accuracy(logits, labels, 2) == pytest.approx(0.5)
+        assert top_k_accuracy(logits, labels, 3) == 1.0
+        with pytest.raises(ValueError):
+            top_k_accuracy(logits, labels, 0)
+
+    def test_per_class_accuracy(self):
+        logits = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        labels = np.array([0, 1, 1])
+        acc = per_class_accuracy(logits, labels, 3)
+        assert acc[0] == 1.0
+        assert acc[1] == pytest.approx(0.5)
+        assert np.isnan(acc[2])
+
+    def test_confusion_matrix(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [0.0, 1.0]])
+        labels = np.array([0, 0, 1])
+        matrix = confusion_matrix(logits, labels, 2)
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 1]])
+        assert matrix.sum() == 3
+
+    def test_prediction_churn(self):
+        clean = np.array([[1.0, 0.0], [1.0, 0.0]])
+        corrupted = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert prediction_churn(clean, corrupted) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            prediction_churn(clean, corrupted[:1])
+
+    def test_churn_detects_compensating_errors(self):
+        """Accuracy unchanged but half the answers moved — churn sees it."""
+        clean = np.array([[1.0, 0, 0], [0, 1.0, 0]])
+        corrupted = np.array([[0, 1.0, 0], [1.0, 0, 0]])
+        labels = np.array([0, 1])
+        from repro.nn.functional import accuracy
+        assert accuracy(clean, labels) == 1.0
+        assert accuracy(corrupted, labels) == 0.0  # here accuracy sees it too
+        assert prediction_churn(clean, corrupted) == 1.0
+
+    def test_ece_perfect_calibration_near_zero(self):
+        logits = np.array([[10.0, 0.0]] * 100)
+        labels = np.zeros(100, dtype=np.int64)
+        assert expected_calibration_error(logits, labels) < 0.01
+
+    def test_ece_overconfident_wrong(self):
+        logits = np.array([[10.0, 0.0]] * 100)
+        labels = np.ones(100, dtype=np.int64)
+        assert expected_calibration_error(logits, labels) > 0.9

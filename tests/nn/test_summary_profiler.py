@@ -1,0 +1,101 @@
+"""Tests for the model summary and per-layer profiler."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.nn import rng
+from repro.nn.profiler import profile_model, profile_step
+from repro.nn.summary import parameter_layer_count, render, summarize
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    rng.seed_all(33)
+
+
+class TestSummary:
+    def test_alexnet_layer_counts(self):
+        model = build_model("alexnet", width_mult=0.0625)
+        counts = parameter_layer_count(model)
+        assert counts == {"Conv2D": 5, "Dense": 3}
+
+    def test_vgg16_layer_counts(self):
+        model = build_model("vgg16", width_mult=0.0625)
+        counts = parameter_layer_count(model)
+        assert counts == {"Conv2D": 13, "Dense": 3}
+
+    def test_resnet50_layer_counts(self):
+        model = build_model("resnet50", width_mult=0.0625)
+        counts = parameter_layer_count(model)
+        assert counts["Conv2D"] == 53
+        assert counts["BatchNorm2D"] == 53
+        assert counts["Dense"] == 1
+
+    def test_summarize_shapes(self):
+        model = build_model("alexnet", width_mult=0.0625)
+        records = summarize(model, (2, 3, 32, 32))
+        by_name = {r.name: r for r in records}
+        assert by_name["conv1"].output_shape[0] == 2
+        assert by_name["fc8"].output_shape == (2, 10)
+        assert by_name["conv1"].params > 0
+        assert by_name["relu1"].params == 0
+
+    def test_summarize_restores_forward(self):
+        model = build_model("alexnet", width_mult=0.0625)
+        summarize(model)
+        # original forward restored: a second summary works identically
+        again = summarize(model)
+        assert len(again) == len(model.layers())
+
+    def test_render_contains_total(self):
+        model = build_model("alexnet", width_mult=0.0625)
+        text = render(model)
+        assert "total parameters" in text
+        assert f"{model.num_params:,}" in text
+        assert "conv1" in text
+
+
+class TestProfiler:
+    def test_profile_step_accounts_layers(self):
+        model = build_model("alexnet", width_mult=0.0625)
+        x = np.random.default_rng(0).standard_normal(
+            (8, 3, 32, 32)).astype(np.float32)
+        y = np.zeros(8, dtype=np.int64)
+        report = profile_step(model, x, y)
+        assert report.total_seconds > 0
+        by_name = report.timings
+        assert by_name["conv1"].forward_calls == 1
+        assert by_name["conv1"].backward_calls == 1
+        assert by_name["conv1"].total_seconds > 0
+
+    def test_convolutions_dominate(self):
+        """The engine's expected hot spot: conv layers outweigh activations."""
+        model = build_model("alexnet", width_mult=0.125)
+        x = np.random.default_rng(1).standard_normal(
+            (16, 3, 32, 32)).astype(np.float32)
+        y = np.zeros(16, dtype=np.int64)
+        report = profile_step(model, x, y)
+        conv_time = sum(t.total_seconds for t in report.timings.values()
+                        if t.kind == "Conv2D")
+        relu_time = sum(t.total_seconds for t in report.timings.values()
+                        if t.kind == "ReLU")
+        assert conv_time > relu_time
+
+    def test_wrappers_restored_on_exit(self):
+        model = build_model("alexnet", width_mult=0.0625)
+        layer = model.get_layer("conv1")
+        original_func = layer.forward.__func__
+        with profile_model(model):
+            assert getattr(layer.forward, "__func__", None) is not \
+                original_func
+        assert layer.forward.__func__ is original_func
+
+    def test_render(self):
+        model = build_model("alexnet", width_mult=0.0625)
+        x = np.zeros((4, 3, 32, 32), np.float32)
+        y = np.zeros(4, dtype=np.int64)
+        report = profile_step(model, x, y)
+        text = report.render(top=5)
+        assert "fwd ms" in text
+        assert "profiled total" in text

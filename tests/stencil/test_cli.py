@@ -1,0 +1,57 @@
+"""Tests for the stencil command line."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.cli import main
+
+
+def test_solve_and_info(tmp_path, capsys):
+    ckpt = str(tmp_path / "j.h5")
+    assert main(["solve", "--size", "16", "--iterations", "100",
+                 "--tolerance", "0", "--checkpoint", ckpt]) == 0
+    out = capsys.readouterr().out
+    assert "ran 100 iterations" in out
+
+    assert main(["info", ckpt]) == 0
+    out = capsys.readouterr().out
+    assert "16x16 grid, iteration 100" in out
+    assert "min=" in out
+
+
+def test_resume(tmp_path, capsys):
+    ckpt = str(tmp_path / "j.h5")
+    final = str(tmp_path / "final.h5")
+    main(["solve", "--size", "16", "--iterations", "50",
+          "--tolerance", "0", "--checkpoint", ckpt])
+    capsys.readouterr()
+    assert main(["resume", ckpt, "--iterations", "50",
+                 "--tolerance", "0", "--save", final]) == 0
+    out = capsys.readouterr().out
+    assert "resumed at iteration 50" in out
+    assert "final.h5" in out
+
+
+def test_resume_corrupted_collapses(tmp_path, capsys):
+    from repro.stencil import JacobiProblem, JacobiSolver
+    ckpt = str(tmp_path / "bad.h5")
+    solver = JacobiSolver(JacobiProblem(size=16))
+    solver.solve(20, tolerance=0)
+    solver.grid[8, 8] = np.nan
+    solver.save_checkpoint(ckpt)
+    assert main(["resume", ckpt, "--iterations", "40",
+                 "--tolerance", "0"]) == 2
+    assert "COLLAPSED" in capsys.readouterr().out
+
+
+def test_missing_checkpoint(tmp_path, capsys):
+    assert main(["info", str(tmp_path / "nope.h5")]) == 1
+    assert main(["resume", str(tmp_path / "nope.h5")]) == 1
+
+
+def test_checkpoint_every(tmp_path, capsys):
+    ckpt = str(tmp_path / "p.h5")
+    main(["solve", "--size", "16", "--iterations", "25", "--tolerance", "0",
+          "--checkpoint", ckpt, "--checkpoint-every", "10"])
+    assert main(["info", ckpt]) == 0
+    assert "iteration 25" in capsys.readouterr().out  # final save wins

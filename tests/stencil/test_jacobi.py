@@ -1,0 +1,136 @@
+"""Tests for the Jacobi solver substrate and its checkpoint corruption."""
+
+import numpy as np
+import pytest
+
+from repro.injector import corrupt_checkpoint
+from repro.stencil import JacobiProblem, JacobiSolver, reference_solution
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return JacobiProblem(size=32)
+
+
+@pytest.fixture(scope="module")
+def reference(problem):
+    return reference_solution(problem, iterations=4000)
+
+
+class TestSolver:
+    def test_boundaries_fixed(self, problem):
+        solver = JacobiSolver(problem)
+        solver.solve(10)
+        np.testing.assert_array_equal(solver.grid[0, 1:-1], problem.top)
+        np.testing.assert_array_equal(solver.grid[-1, 1:-1], problem.bottom)
+        np.testing.assert_array_equal(solver.grid[1:-1, 0], problem.left)
+
+    def test_residual_decreases(self, problem):
+        solver = JacobiSolver(problem)
+        first = solver.step()
+        for _ in range(200):
+            last = solver.step()
+        assert last < first
+
+    def test_converges_to_laplace_solution(self, problem, reference):
+        """Interior of the converged grid satisfies the 5-point Laplacian."""
+        lap = 0.25 * (reference[:-2, 1:-1] + reference[2:, 1:-1]
+                      + reference[1:-1, :-2] + reference[1:-1, 2:])
+        np.testing.assert_allclose(lap, reference[1:-1, 1:-1], atol=1e-6)
+
+    def test_solve_stops_at_tolerance(self, problem):
+        solver = JacobiSolver(problem)
+        executed = solver.solve(100000, tolerance=1e-3)
+        assert executed < 100000
+        assert solver.last_residual < 1e-3
+
+    def test_error_against(self, problem, reference):
+        solver = JacobiSolver(problem)
+        solver.solve(4000, tolerance=1e-10)
+        assert solver.error_against(reference) < 1e-6
+
+
+class TestCheckpointing:
+    def test_roundtrip(self, problem, tmp_path):
+        path = str(tmp_path / "jacobi.h5")
+        solver = JacobiSolver(problem)
+        solver.solve(50, tolerance=0)
+        solver.save_checkpoint(path)
+        restored = JacobiSolver.load_checkpoint(path)
+        assert restored.iteration == 50
+        np.testing.assert_array_equal(restored.grid, solver.grid)
+        assert restored.problem == problem
+
+    def test_resume_matches_uninterrupted(self, problem, tmp_path):
+        path = str(tmp_path / "jacobi.h5")
+        full = JacobiSolver(problem)
+        full.solve(100, tolerance=0)
+
+        half = JacobiSolver(problem)
+        half.solve(50, tolerance=0)
+        half.save_checkpoint(path)
+        resumed = JacobiSolver.load_checkpoint(path)
+        resumed.solve(50, tolerance=0)
+        np.testing.assert_array_equal(resumed.grid, full.grid)
+
+    def test_periodic_checkpointing(self, problem, tmp_path):
+        path = str(tmp_path / "periodic.h5")
+        solver = JacobiSolver(problem)
+        solver.solve(25, tolerance=0, checkpoint_every=10,
+                     checkpoint_path=path)
+        restored = JacobiSolver.load_checkpoint(path)
+        assert restored.iteration == 20  # last multiple of 10
+
+
+class TestInjection:
+    def test_finite_corruption_self_corrects(self, tmp_path):
+        """A bounded perturbation is healed by further iterations — the
+        self-correcting contrast to DNN training the paper's §VI-5 invites.
+
+        Jacobi contracts slowly (spectral radius ~cos(pi/n)), so the test
+        uses a small grid and mantissa-only flips (first_bit=12 at 64-bit
+        excludes the whole exponent => perturbation factor < 2)."""
+        small = JacobiProblem(size=16)
+        small_reference = reference_solution(small, iterations=3000)
+        path = str(tmp_path / "c.h5")
+        solver = JacobiSolver(small)
+        solver.solve(200, tolerance=0)
+        solver.save_checkpoint(path)
+        corrupt_checkpoint(
+            path, injection_attempts=20, corruption_mode="bit_range",
+            first_bit=12, locations_to_corrupt=["state/grid"],
+            use_random_locations=False, seed=5,
+        )
+        resumed = JacobiSolver.load_checkpoint(path)
+        corrupted_error = resumed.error_against(small_reference)
+        resumed.solve(3000, tolerance=1e-12)
+        assert not resumed.collapsed
+        assert resumed.error_against(small_reference) < 1e-4
+        assert resumed.error_against(small_reference) < corrupted_error
+
+    def test_nan_corruption_spreads(self, problem, tmp_path):
+        """A NaN in the grid infects neighbours sweep by sweep."""
+        path = str(tmp_path / "nan.h5")
+        solver = JacobiSolver(problem)
+        solver.solve(50, tolerance=0)
+        solver.grid[16, 16] = np.nan
+        solver.save_checkpoint(path)
+        resumed = JacobiSolver.load_checkpoint(path)
+        resumed.solve(60, tolerance=0)
+        assert resumed.collapsed
+        nan_count = int(np.isnan(resumed.grid).sum())
+        assert nan_count > 100  # spread well beyond the single seed cell
+
+    def test_integer_iteration_counter_corruptible(self, problem, tmp_path):
+        path = str(tmp_path / "int.h5")
+        solver = JacobiSolver(problem)
+        solver.solve(64, tolerance=0)
+        solver.save_checkpoint(path)
+        result = corrupt_checkpoint(
+            path, injection_attempts=1,
+            locations_to_corrupt=["state/iteration"],
+            use_random_locations=False, seed=3,
+        )
+        assert result.successes == 1
+        restored = JacobiSolver.load_checkpoint(path)
+        assert restored.iteration != 64

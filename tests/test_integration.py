@@ -1,0 +1,166 @@
+"""End-to-end integration tests spanning every subsystem.
+
+These walk the paper's full §IV/§V pipeline — deterministic training with
+per-epoch HDF5 checkpoints, injector campaigns, cross-framework equivalent
+injection, and N-EV scrubbing — on one small configuration each.
+"""
+
+import os
+import shutil
+
+import numpy as np
+import pytest
+
+from repro import hdf5
+from repro.analysis import scan_checkpoint, scrub_checkpoint
+from repro.data import synthetic_cifar10
+from repro.frameworks import FRAMEWORKS, get_facade, set_global_determinism
+from repro.injector import (
+    CheckpointCorrupter,
+    InjectorConfig,
+    build_location_map,
+    replay_log,
+)
+from repro.nn import SGD, Trainer
+
+
+SEED = 1234
+
+
+def train_with_checkpoints(framework, workdir, epochs=3, ckpt_epoch=1):
+    set_global_determinism(framework, SEED)
+    train, test = synthetic_cifar10(train_size=60, test_size=50,
+                                    image_size=16)
+    facade = get_facade(framework)
+    model = facade.build_model("alexnet", width_mult=0.0625, dropout=0.2,
+                               image_size=16)
+    optimizer = SGD(lr=0.01, momentum=0.9)
+    ckpt = os.path.join(workdir, f"{framework}.h5")
+
+    def callback(epoch, trainer):
+        if epoch == ckpt_epoch:
+            facade.save_checkpoint(ckpt, model, optimizer, epoch=epoch)
+
+    trainer = Trainer(model, optimizer, batch_size=32,
+                      epoch_callback=callback)
+    history = trainer.fit(train.images, train.labels, epochs=epochs,
+                          x_test=test.images, labels_test=test.labels)
+    return ckpt, history, (train, test)
+
+
+def resume(framework, ckpt, epochs):
+    set_global_determinism(framework, SEED)
+    train, test = synthetic_cifar10(train_size=60, test_size=50,
+                                    image_size=16)
+    facade = get_facade(framework)
+    model = facade.build_model("alexnet", width_mult=0.0625, dropout=0.2,
+                               image_size=16)
+    optimizer = SGD(lr=0.01, momentum=0.9)
+    start = facade.load_checkpoint(ckpt, model, optimizer)
+    trainer = Trainer(model, optimizer, batch_size=32)
+    trainer.epoch = start
+    return trainer.fit(train.images, train.labels, epochs=epochs,
+                       x_test=test.images, labels_test=test.labels)
+
+
+@pytest.mark.parametrize("framework", sorted(FRAMEWORKS))
+def test_full_pipeline_clean_restart_is_exact(framework, tmp_path):
+    """Checkpoint -> restart replays the uninterrupted run bit-exactly."""
+    ckpt, full_history, _ = train_with_checkpoints(framework, str(tmp_path))
+    resumed = resume(framework, ckpt, epochs=2)
+    full_tail = [m.test_accuracy for m in full_history.epochs[1:]]
+    resumed_accs = [m.test_accuracy for m in resumed.epochs]
+    assert resumed_accs == full_tail
+
+
+def test_full_pipeline_injection_and_scrub(tmp_path):
+    """Corrupt -> collapse; scrub -> survive.  The §VI-1 story end to end."""
+    ckpt, _, _ = train_with_checkpoints("tf_like", str(tmp_path))
+    corrupted = str(tmp_path / "corrupted.h5")
+    shutil.copy(ckpt, corrupted)
+    CheckpointCorrupter(InjectorConfig(
+        hdf5_file=corrupted, injection_attempts=500,
+        corruption_mode="bit_range", float_precision=32,
+        locations_to_corrupt=["model_weights"], use_random_locations=False,
+        seed=9,
+    )).corrupt()
+    report = scan_checkpoint(corrupted)
+    assert report.has_nev
+    collapsed = resume("tf_like", corrupted, epochs=1)
+    assert collapsed.collapsed
+
+    replaced = scrub_checkpoint(corrupted)
+    assert replaced == report.nev_count
+    survived = resume("tf_like", corrupted, epochs=1)
+    assert not survived.collapsed
+
+
+def test_cross_framework_equivalent_injection_end_to_end(tmp_path):
+    """Record a campaign on Chainer, replay on TF, verify both applied the
+    same bit sequence to the equivalent layer."""
+    chainer_ckpt, _, _ = train_with_checkpoints("chainer_like",
+                                                str(tmp_path))
+    tf_ckpt, _, _ = train_with_checkpoints("tf_like", str(tmp_path))
+
+    source = CheckpointCorrupter(InjectorConfig(
+        hdf5_file=chainer_ckpt, injection_attempts=50,
+        corruption_mode="bit_range", first_bit=2, float_precision=32,
+        locations_to_corrupt=["predictor/conv2"],
+        use_random_locations=False, seed=3,
+    )).corrupt()
+
+    mapping = build_location_map(
+        {"conv2": "/predictor/conv2"},
+        {"conv2": "/model_weights/conv2/conv2"},
+    )
+    replay = replay_log(tf_ckpt, source.log, location_map=mapping, seed=4)
+    assert replay.replayed == 50
+    assert ([r.bit_msb for r in replay.log]
+            == [r.bit_msb for r in source.log])
+    assert all(r.location.startswith("/model_weights/conv2")
+               for r in replay.log)
+
+    resumed = resume("tf_like", tf_ckpt, epochs=1)
+    assert not resumed.collapsed  # exponent MSB excluded => absorbed
+
+
+def test_checkpoint_files_differ_across_frameworks_but_models_match(tmp_path):
+    """Same engine, different checkpoint layouts: dataset paths disjoint,
+    while each framework round-trips its own checkpoint exactly."""
+    paths = {}
+    for framework in sorted(FRAMEWORKS):
+        ckpt, _, _ = train_with_checkpoints(framework, str(tmp_path))
+        with hdf5.File(ckpt, "r") as f:
+            paths[framework] = {d.name for d in f.datasets()}
+    assert not (paths["chainer_like"] & paths["tf_like"])
+    assert not (paths["torch_like"] & paths["tf_like"])
+
+
+def test_integer_optimizer_counter_corruption(tmp_path):
+    """The checkpoint's int64 step counter is corruptible via bin() flips
+    and survives a reload (integer path of §IV-B)."""
+    ckpt, _, _ = train_with_checkpoints("torch_like", str(tmp_path))
+    with hdf5.File(ckpt, "r") as f:
+        before = int(f["optimizer_state/step_count"].read()[()])
+    result = CheckpointCorrupter(InjectorConfig(
+        hdf5_file=ckpt, injection_attempts=1,
+        locations_to_corrupt=["optimizer_state/step_count"],
+        use_random_locations=False, seed=2,
+    )).corrupt()
+    assert result.successes == 1
+    with hdf5.File(ckpt, "r") as f:
+        after = int(f["optimizer_state/step_count"].read()[()])
+    assert after != before
+    # still loadable: training resumes with the corrupted counter
+    history = resume("torch_like", ckpt, epochs=1)
+    assert len(history.epochs) == 1
+
+
+def test_dataset_identical_across_frameworks():
+    """Equivalent injection requires the same data on every framework."""
+    set_global_determinism("chainer_like", SEED)
+    a, _ = synthetic_cifar10(train_size=60, test_size=50, image_size=16)
+    set_global_determinism("tf_like", SEED)
+    b, _ = synthetic_cifar10(train_size=60, test_size=50, image_size=16)
+    np.testing.assert_array_equal(a.images, b.images)
+    np.testing.assert_array_equal(a.labels, b.labels)
