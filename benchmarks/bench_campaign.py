@@ -1,0 +1,48 @@
+"""Campaign engine throughput: sequential vs. parallel trial execution.
+
+Runs the same smoke-scale Table V cell through the campaign engine with
+``workers=1`` and ``workers=4`` and reports trials/s for each (the outcomes
+are asserted bit-identical — parallelism must never change results).  Set
+``REPRO_BENCH_WORKERS`` to change the parallel width.
+"""
+
+import os
+
+from repro.experiments import run_experiment
+from repro.experiments.common import BaselineCache
+
+from conftest import run_once
+
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "4"))
+
+CELL = dict(scale="smoke", frameworks=("chainer_like",),
+            models=("alexnet", "vgg16"))
+
+
+def test_campaign_sequential_throughput(benchmark, tmp_path):
+    cache = BaselineCache(str(tmp_path / "cache"))
+    run_experiment("table5", cache=cache, **CELL)  # warm the baselines
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("table5", cache=cache, workers=1, **CELL),
+    )
+    campaign = result.extra["campaign"]
+    print(f"\nsequential: {campaign['trials_per_second']} trials/s "
+          f"({campaign['total']} trials)")
+    assert campaign["failed"] == 0
+
+
+def test_campaign_parallel_throughput(benchmark, tmp_path):
+    cache = BaselineCache(str(tmp_path / "cache"))
+    sequential = run_experiment("table5", cache=cache, workers=1, **CELL)
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("table5", cache=cache,
+                               workers=BENCH_WORKERS, **CELL),
+    )
+    campaign = result.extra["campaign"]
+    print(f"\nworkers={BENCH_WORKERS}: {campaign['trials_per_second']} "
+          f"trials/s ({campaign['total']} trials)")
+    assert campaign["failed"] == 0
+    # parallelism must never change the science
+    assert result.rows == sequential.rows

@@ -1,7 +1,16 @@
 """Analysis utilities: N-EV detection/scrubbing, RWC statistics, box-plot
 summaries, and plain-text table/figure rendering."""
 
-from .campaign import RateEstimate, RateTable, rates_differ, wilson_interval
+from .campaign import (
+    CampaignStats,
+    RateEstimate,
+    RateTable,
+    campaign_rate_table,
+    group_records,
+    rates_differ,
+    successful_outcomes,
+    wilson_interval,
+)
 from .incidence_model import (
     IncidenceFit,
     critical_bit_probability,
@@ -29,9 +38,13 @@ from .stats import (
 
 __all__ = [
     "BoxplotStats",
+    "CampaignStats",
     "IncidenceFit",
     "RateEstimate",
     "RateTable",
+    "campaign_rate_table",
+    "group_records",
+    "successful_outcomes",
     "critical_bit_probability",
     "fit_incidence",
     "incidence_curve",

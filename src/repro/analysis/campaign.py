@@ -1,15 +1,24 @@
-"""Campaign-level statistics: binomial confidence intervals and comparisons.
+"""Campaign-level statistics: binomial confidence intervals, comparisons,
+and journal-record aggregation.
 
 The paper reports raw collapse/RWC percentages over 250 trainings.  At the
 reduced trial counts of this reproduction, raw percentages are noisy; this
 module provides Wilson score intervals for the rates, two-proportion
 comparisons, and a `RateTable` container used by the extended analyses.
+
+It also understands the campaign engine's journal records
+(:mod:`repro.experiments.runner` emits them as plain dicts): throughput
+accounting via :class:`CampaignStats` and grouping helpers so harnesses can
+aggregate a finished — or resumed — campaign straight from its JSONL
+journal.  Only mappings are consumed here, keeping ``analysis`` below
+``experiments`` in the dependency stack.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Iterable, Mapping
 
 
 @dataclass(frozen=True)
@@ -80,6 +89,104 @@ def _z_for_confidence(confidence: float) -> float:
 def rates_differ(a: RateEstimate, b: RateEstimate) -> bool:
     """Conservative check: intervals are disjoint => rates differ."""
     return not a.overlaps(b)
+
+
+@dataclass
+class CampaignStats:
+    """Throughput accounting for one campaign run.
+
+    Built from journal records (plain dicts with ``status``, ``attempts``,
+    ``timed_out`` and ``duration`` keys).  ``executed``/``skipped`` separate
+    fresh work from records replayed out of the journal on ``--resume``;
+    ``trials_per_second`` is computed over *executed* trials only, so a
+    fully-replayed campaign reports zero throughput instead of infinity.
+    """
+
+    total: int
+    ok: int
+    failed: int
+    retries: int
+    timeouts: int
+    executed: int
+    skipped: int
+    workers: int
+    wall_time: float
+
+    @classmethod
+    def from_records(cls, records: Iterable[Mapping], *,
+                     wall_time: float, workers: int = 1,
+                     executed: int | None = None,
+                     skipped: int = 0) -> "CampaignStats":
+        records = list(records)
+        ok = sum(1 for r in records if r.get("status") == "ok")
+        failed = sum(1 for r in records if r.get("status") == "failed")
+        retries = sum(max(0, int(r.get("attempts", 1)) - 1) for r in records)
+        timeouts = sum(1 for r in records if r.get("timed_out"))
+        return cls(
+            total=len(records), ok=ok, failed=failed, retries=retries,
+            timeouts=timeouts,
+            executed=len(records) - skipped if executed is None else executed,
+            skipped=skipped, workers=workers, wall_time=wall_time,
+        )
+
+    @property
+    def trials_per_second(self) -> float:
+        if self.executed <= 0 or self.wall_time <= 0:
+            return 0.0
+        return self.executed / self.wall_time
+
+    def as_dict(self) -> dict:
+        payload = asdict(self)
+        payload["trials_per_second"] = round(self.trials_per_second, 3)
+        payload["wall_time"] = round(self.wall_time, 3)
+        return payload
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} trials ({self.ok} ok, {self.failed} failed) "
+            f"in {self.wall_time:.1f}s — "
+            f"{self.trials_per_second:.2f} trials/s, "
+            f"workers={self.workers}, retries={self.retries}, "
+            f"timeouts={self.timeouts}, resumed={self.skipped}"
+        )
+
+
+def group_records(records: Iterable[Mapping],
+                  key_fields: tuple[str, ...]) -> dict[tuple, list[Mapping]]:
+    """Group journal records by fields of their ``payload``, keeping order.
+
+    The campaign engine journals every trial with the payload that produced
+    it, so a harness (or an offline analysis) can rebuild its per-cell
+    aggregation from the JSONL file alone.
+    """
+    groups: dict[tuple, list[Mapping]] = {}
+    for record in records:
+        payload = record.get("payload") or {}
+        key = tuple(payload.get(name) for name in key_fields)
+        groups.setdefault(key, []).append(record)
+    return groups
+
+
+def successful_outcomes(records: Iterable[Mapping]) -> list[Mapping]:
+    """Outcome dicts of ``status == "ok"`` records, in record order."""
+    return [r["outcome"] for r in records
+            if r.get("status") == "ok" and r.get("outcome") is not None]
+
+
+def campaign_rate_table(records: Iterable[Mapping],
+                        key_fields: tuple[str, ...],
+                        success) -> "RateTable":
+    """Wilson-interval rates per cell, straight from journal records.
+
+    *success* is a predicate over outcome dicts; failed trials are excluded
+    from both numerator and denominator (they carry no outcome).
+    """
+    table = RateTable()
+    for key, group in group_records(records, key_fields).items():
+        outcomes = successful_outcomes(group)
+        hits = sum(1 for outcome in outcomes if success(outcome))
+        table.record(key, hits, len(outcomes))
+    return table
 
 
 @dataclass

@@ -24,19 +24,32 @@ from .common import (
     resume_training,
     weights_root,
 )
-from .registry import EXPERIMENTS, run_experiment
+from .registry import CAMPAIGN_EXPERIMENTS, EXPERIMENTS, run_experiment
+from .runner import (
+    Journal,
+    TrialRecord,
+    TrialTask,
+    run_campaign,
+    trial_kind,
+)
 
 __all__ = [
     "Baseline",
     "BaselineCache",
+    "CAMPAIGN_EXPERIMENTS",
     "DEFAULT_CACHE",
     "EXPERIMENTS",
     "ExperimentResult",
     "ExperimentScale",
+    "Journal",
     "SCALES",
     "SessionSpec",
+    "TrialRecord",
+    "TrialTask",
     "get_scale",
     "resume_training",
+    "run_campaign",
     "run_experiment",
+    "trial_kind",
     "weights_root",
 ]

@@ -1,4 +1,18 @@
-"""Command-line entry point: ``repro-experiments run table4 --scale tiny``."""
+"""Command-line entry point: ``repro-experiments run table4 --scale tiny``.
+
+Campaign-capable experiments (see
+:data:`repro.experiments.registry.CAMPAIGN_EXPERIMENTS`) additionally
+accept ``--workers N`` to fan trials out over a process pool, ``--journal
+PATH`` to record every trial to an append-only JSONL journal, and
+``--resume`` to continue a killed campaign from that journal without
+re-running completed trials::
+
+    repro-experiments run table5 --scale tiny --workers 4 \\
+        --journal /tmp/table5.jsonl
+    # ...killed mid-run?  pick up where it left off:
+    repro-experiments run table5 --scale tiny --workers 4 \\
+        --journal /tmp/table5.jsonl --resume
+"""
 
 from __future__ import annotations
 
@@ -7,7 +21,7 @@ import sys
 import time
 
 from .common import SCALES
-from .registry import EXPERIMENTS, run_experiment
+from .registry import CAMPAIGN_EXPERIMENTS, EXPERIMENTS, run_experiment
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -28,7 +42,44 @@ def build_parser() -> argparse.ArgumentParser:
     runner.add_argument("--seed", type=int, default=42)
     runner.add_argument("--json", action="store_true",
                         help="emit machine-readable rows instead of tables")
+    campaign = runner.add_argument_group(
+        "campaign engine",
+        f"only honored by {', '.join(sorted(CAMPAIGN_EXPERIMENTS))}",
+    )
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="parallel trial processes (default 1 = "
+                               "sequential)")
+    campaign.add_argument("--journal", default=None, metavar="PATH",
+                          help="append every trial to this JSONL journal "
+                               "(suffixed per experiment when running "
+                               "several)")
+    campaign.add_argument("--resume", action="store_true",
+                          help="skip trials already recorded in --journal")
+    campaign.add_argument("--trial-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="kill and retry a trial attempt after this "
+                               "long")
+    campaign.add_argument("--retries", type=int, default=1,
+                          help="extra attempts before a trial is journaled "
+                               "'failed' (default 1)")
     return parser
+
+
+def campaign_kwargs(args: argparse.Namespace, experiment_id: str,
+                    multiple: bool) -> dict:
+    """The engine kwargs for one experiment (empty for non-campaign ids)."""
+    if experiment_id not in CAMPAIGN_EXPERIMENTS:
+        return {}
+    journal = args.journal
+    if journal is not None and multiple:
+        journal = f"{journal}.{experiment_id}"
+    return {
+        "workers": args.workers,
+        "journal": journal,
+        "resume": args.resume,
+        "trial_timeout": args.trial_timeout,
+        "retries": args.retries,
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -46,10 +97,15 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         print(f"unknown experiments: {unknown}", file=sys.stderr)
         return 2
+    if args.resume and args.journal is None:
+        print("--resume requires --journal", file=sys.stderr)
+        return 2
     for experiment_id in ids:
         start = time.time()
-        result = run_experiment(experiment_id, scale=args.scale,
-                                seed=args.seed)
+        result = run_experiment(
+            experiment_id, scale=args.scale, seed=args.seed,
+            **campaign_kwargs(args, experiment_id, multiple=len(ids) > 1),
+        )
         elapsed = time.time() - start
         if args.json:
             print(result.to_json())
@@ -57,6 +113,15 @@ def main(argv: list[str] | None = None) -> int:
             print(result.rendered)
             print(f"[{experiment_id} completed in {elapsed:.1f}s "
                   f"at scale={args.scale}]")
+            campaign = result.extra.get("campaign")
+            if campaign:
+                print(f"[campaign: {campaign['total']} trials, "
+                      f"{campaign['trials_per_second']} trials/s, "
+                      f"workers={campaign['workers']}, "
+                      f"retries={campaign['retries']}, "
+                      f"timeouts={campaign['timeouts']}, "
+                      f"failed={campaign['failed']}, "
+                      f"resumed={campaign['skipped']}]")
             print()
     return 0
 

@@ -20,7 +20,7 @@ import json
 import os
 import shutil
 import tempfile
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 import numpy as np
 
@@ -28,6 +28,7 @@ from ..data import synthetic_cifar10
 from ..frameworks import get_facade, set_global_determinism
 from ..nn import SGD, Trainer
 from ..nn.model import Model
+from .locking import FileLock
 
 
 # ---------------------------------------------------------------------------
@@ -173,6 +174,24 @@ class SessionSpec:
         return kwargs
 
 
+def spec_to_payload(spec: SessionSpec) -> dict:
+    """A JSON-serializable dict that round-trips through
+    :func:`spec_from_payload` — campaign trial payloads and journal records
+    carry specs in this form."""
+    payload = asdict(spec)
+    payload["scale"] = asdict(spec.scale)
+    return payload
+
+
+def spec_from_payload(payload: dict) -> SessionSpec:
+    """Rebuild a :class:`SessionSpec` from :func:`spec_to_payload` output."""
+    payload = dict(payload)
+    scale = payload.pop("scale")
+    if isinstance(scale, dict):
+        scale = ExperimentScale(**scale)
+    return SessionSpec(scale=get_scale(scale), **payload)
+
+
 def make_dataset(spec: SessionSpec):
     """The deterministic train/test pair for a spec (after seeding)."""
     size = spec.scale.model_image_size(spec.model)
@@ -211,39 +230,93 @@ class BaselineCache:
     The default cache root lives under the system temp directory and is
     shared between the test suite, benchmarks, and examples; set the
     ``REPRO_CACHE_DIR`` environment variable to relocate it.
+
+    The cache is safe for concurrent use by campaign workers: entries are
+    committed by writing the checkpoints first and an atomically-replaced
+    ``meta.json`` last (its presence is the commit marker), and a per-key
+    lock file ensures exactly one process trains a missing baseline while
+    the others wait and then read the result.  A truncated or torn
+    ``meta.json`` (crash mid-write predating the atomic protocol) is
+    detected and retrained rather than poisoning every subsequent run.
     """
 
+    #: max seconds a worker waits for another process to finish training a
+    #: baseline before giving up (paper-scale baselines are minutes, not
+    #: hours, at the scales this cache serves).
+    lock_timeout: float = 3600.0
+
     def __init__(self, root: str | None = None):
-        self.root = root or os.environ.get(
+        self._root = root
+        if root is not None:
+            os.makedirs(root, exist_ok=True)
+
+    @property
+    def root(self) -> str:
+        """Cache root; ``REPRO_CACHE_DIR`` is honored at *use* time so the
+        module-level :data:`DEFAULT_CACHE` can be redirected after import
+        (test isolation, campaign workers on scratch disks)."""
+        return self._root or os.environ.get(
             "REPRO_CACHE_DIR",
             os.path.join(tempfile.gettempdir(), "repro_baseline_cache"),
         )
-        os.makedirs(self.root, exist_ok=True)
 
     def get(self, spec: SessionSpec) -> Baseline:
         key = spec.cache_key()
         directory = os.path.join(self.root, key)
+        os.makedirs(directory, exist_ok=True)
         meta_path = os.path.join(directory, "meta.json")
         ckpt = os.path.join(directory, "checkpoint.h5")
         final = os.path.join(directory, "final.h5")
-        if os.path.exists(meta_path):
-            meta = json.loads(open(meta_path).read())
-            return Baseline(
-                spec=spec, checkpoint_path=ckpt, final_path=final,
-                accuracy_curve=meta["accuracy_curve"],
-                resumed_curve=meta["resumed_curve"],
-                final_accuracy=meta["final_accuracy"],
-            )
-        os.makedirs(directory, exist_ok=True)
-        baseline = self._train(spec, ckpt, final)
-        meta = {
-            "accuracy_curve": baseline.accuracy_curve,
-            "resumed_curve": baseline.resumed_curve,
-            "final_accuracy": baseline.final_accuracy,
-        }
-        with open(meta_path, "w") as handle:
-            json.dump(meta, handle)
-        return baseline
+
+        cached = self._load(spec, directory)
+        if cached is not None:
+            return cached
+
+        with FileLock(os.path.join(directory, ".lock"),
+                      timeout=self.lock_timeout):
+            # another worker may have trained while we waited for the lock
+            cached = self._load(spec, directory)
+            if cached is not None:
+                return cached
+
+            # train into temp names, then commit: checkpoints first,
+            # meta.json last — readers only trust complete entries.
+            suffix = f".tmp.{os.getpid()}"
+            baseline = self._train(spec, ckpt + suffix, final + suffix)
+            os.replace(ckpt + suffix, ckpt)
+            os.replace(final + suffix, final)
+            meta = {
+                "accuracy_curve": baseline.accuracy_curve,
+                "resumed_curve": baseline.resumed_curve,
+                "final_accuracy": baseline.final_accuracy,
+            }
+            with open(meta_path + suffix, "w") as handle:
+                json.dump(meta, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(meta_path + suffix, meta_path)
+            return replace(baseline, checkpoint_path=ckpt, final_path=final)
+
+    def _load(self, spec: SessionSpec, directory: str) -> Baseline | None:
+        """A committed cache entry, or None if absent/corrupt/incomplete."""
+        meta_path = os.path.join(directory, "meta.json")
+        ckpt = os.path.join(directory, "checkpoint.h5")
+        final = os.path.join(directory, "final.h5")
+        try:
+            with open(meta_path) as handle:
+                meta = json.load(handle)
+            curve = meta["accuracy_curve"]
+            resumed = meta["resumed_curve"]
+            final_accuracy = meta["final_accuracy"]
+        except (OSError, json.JSONDecodeError, KeyError, TypeError):
+            return None  # missing, truncated, or torn — retrain
+        if not (os.path.exists(ckpt) and os.path.exists(final)):
+            return None
+        return Baseline(
+            spec=spec, checkpoint_path=ckpt, final_path=final,
+            accuracy_curve=curve, resumed_curve=resumed,
+            final_accuracy=final_accuracy,
+        )
 
     def _train(self, spec: SessionSpec, ckpt: str, final: str) -> Baseline:
         scale = spec.scale
@@ -361,13 +434,16 @@ class ExperimentResult:
     extra: dict = field(default_factory=dict)
 
     def to_json(self) -> str:
-        return json.dumps({
+        payload = {
             "experiment_id": self.experiment_id,
             "title": self.title,
             "headers": self.headers,
             "rows": self.rows,
             "scale": self.extra.get("scale"),
-        }, indent=2, default=str)
+        }
+        if "campaign" in self.extra:
+            payload["campaign"] = self.extra["campaign"]
+        return json.dumps(payload, indent=2, default=str)
 
 
 def with_scale(spec: SessionSpec, scale: str | ExperimentScale) -> SessionSpec:

@@ -5,6 +5,10 @@ Three framework/model pairs resume from the epoch-20 checkpoint with 1, 10,
 collapses); each curve averages several trainings, plotted against the
 error-free 100-epoch baseline.  Paper shape: no visible degradation at any
 flip rate.
+
+Runs on the campaign engine: one journaled trial per
+(pair, flip rate, training), parallelizable with ``workers`` and resumable
+from the journal (see :mod:`repro.experiments.runner`).
 """
 
 from __future__ import annotations
@@ -13,7 +17,7 @@ import tempfile
 
 import numpy as np
 
-from ..analysis import render_curves
+from ..analysis import group_records, render_curves
 from ..injector import CheckpointCorrupter, InjectorConfig
 from .common import (
     DEFAULT_CACHE,
@@ -22,8 +26,11 @@ from .common import (
     corrupted_copy,
     get_scale,
     resume_training,
+    spec_from_payload,
+    spec_to_payload,
     weights_root,
 )
+from .runner import TrialTask, run_campaign, trial_kind
 from .table5_single_bitflip import SAFE_FIRST_BIT
 
 EXPERIMENT_ID = "fig3"
@@ -37,28 +44,32 @@ DEFAULT_PAIRS = (
 DEFAULT_BITFLIPS = (1, 10, 100, 1000)
 
 
-def averaged_curve(spec: SessionSpec, baseline, flips: int, workdir: str,
-                   trainings: int) -> list[float]:
-    """Average resumed accuracy over *trainings* injected restarts."""
-    epochs = spec.scale.resume_epochs
-    curves = []
-    for trial in range(trainings):
-        path = corrupted_copy(baseline.checkpoint_path, workdir,
-                              f"{spec.framework}_{spec.model}_{flips}_{trial}")
+@trial_kind("fig3")
+def run_trial(payload: dict) -> dict:
+    """One flip-rate trial: inject ``flips`` safe-range bit-flips into a
+    private checkpoint copy, resume the curve schedule."""
+    spec = spec_from_payload(payload["spec"])
+    with tempfile.TemporaryDirectory() as workdir:
+        path = corrupted_copy(payload["checkpoint"], workdir, "fig3")
         config = InjectorConfig(
             hdf5_file=path,
-            injection_attempts=flips,
+            injection_attempts=payload["flips"],
             corruption_mode="bit_range",
             first_bit=SAFE_FIRST_BIT,
             float_precision=32,
             locations_to_corrupt=[weights_root(spec.framework)],
             use_random_locations=False,
-            seed=spec.seed * 3_000 + flips * 17 + trial,
+            seed=payload["injection_seed"],
         )
         CheckpointCorrupter(config).corrupt()
-        outcome = resume_training(spec, path, epochs=epochs)
-        curves.append([a if a is not None else np.nan
-                       for a in outcome.accuracy_curve])
+        outcome = resume_training(spec, path,
+                                  epochs=spec.scale.resume_epochs)
+    # None (collapsed epoch) -> NaN so the curve is JSON-journal-safe
+    return {"curve": [a if a is not None else float("nan")
+                      for a in outcome.accuracy_curve]}
+
+
+def _mean_curve(curves: list[list[float]]) -> list[float]:
     width = max(len(c) for c in curves)
     padded = np.full((len(curves), width), np.nan)
     for i, curve in enumerate(curves):
@@ -66,33 +77,71 @@ def averaged_curve(spec: SessionSpec, baseline, flips: int, workdir: str,
     return [float(v) for v in np.nanmean(padded, axis=0)]
 
 
+def build_tasks(scale, seed, pairs, bitflips, trainings, cache) -> \
+        tuple[list[TrialTask], dict[tuple[str, str], tuple]]:
+    tasks: list[TrialTask] = []
+    baselines: dict[tuple[str, str], tuple] = {}
+    for framework, model in pairs:
+        spec = SessionSpec(framework, model, scale, seed=seed)
+        baselines[(framework, model)] = (spec, cache.get(spec))
+        for flips in bitflips:
+            for trial in range(trainings):
+                tasks.append(TrialTask(
+                    trial_id=(f"fig3/{scale.name}/{framework}/{model}/"
+                              f"{seed}/{flips}/{trial}"),
+                    kind="fig3",
+                    payload={
+                        "spec": spec_to_payload(spec),
+                        "framework": framework,
+                        "model": model,
+                        "flips": flips,
+                        "trial": trial,
+                        "checkpoint":
+                            baselines[(framework, model)][1].checkpoint_path,
+                        "injection_seed": seed * 3_000 + flips * 17 + trial,
+                    },
+                ))
+    return tasks, baselines
+
+
 def run(scale="tiny", seed: int = 42, pairs=DEFAULT_PAIRS,
-        bitflips=DEFAULT_BITFLIPS, cache=None) -> ExperimentResult:
+        bitflips=DEFAULT_BITFLIPS, cache=None, workers: int = 1,
+        journal=None, resume: bool = False,
+        trial_timeout: float | None = None,
+        retries: int = 1) -> ExperimentResult:
     """Regenerate Fig 3 (accuracy curves per flip rate)."""
     scale = get_scale(scale)
     cache = cache or DEFAULT_CACHE
     trainings = scale.curve_trainings
 
+    tasks, baselines = build_tasks(scale, seed, pairs, bitflips, trainings,
+                                   cache)
+    campaign = run_campaign(tasks, workers=workers, journal=journal,
+                            resume=resume, trial_timeout=trial_timeout,
+                            retries=retries)
+    by_cell = group_records(campaign.record_dicts(),
+                            ("framework", "model", "flips"))
+
     panels: dict[str, dict[str, list[float]]] = {}
     rows = []
-    with tempfile.TemporaryDirectory() as workdir:
-        for framework, model in pairs:
-            spec = SessionSpec(framework, model, scale, seed=seed)
-            baseline = cache.get(spec)
-            series: dict[str, list[float]] = {
-                "baseline": baseline.resumed_curve[: scale.resume_epochs],
-            }
-            for flips in bitflips:
-                series[f"{flips} flips"] = averaged_curve(
-                    spec, baseline, flips, workdir, trainings
-                )
-            panels[f"{framework}/{model}"] = series
-            for name, curve in series.items():
-                finite = [v for v in curve if v == v]
-                rows.append([
-                    f"{framework}/{model}", name,
-                    round(float(finite[-1]), 4) if finite else float("nan"),
-                ])
+    for framework, model in pairs:
+        _, baseline = baselines[(framework, model)]
+        series: dict[str, list[float]] = {
+            "baseline": baseline.resumed_curve[: scale.resume_epochs],
+        }
+        for flips in bitflips:
+            curves = [record["outcome"]["curve"]
+                      for record in by_cell.get((framework, model, flips),
+                                                ())
+                      if record["status"] == "ok"]
+            series[f"{flips} flips"] = _mean_curve(curves)
+        panels[f"{framework}/{model}"] = series
+        for name, curve in series.items():
+            finite = [v for v in curve if v == v]
+            rows.append([
+                f"{framework}/{model}", name,
+                round(float(finite[-1]), 4) if finite else float("nan"),
+            ])
 
     rendered = "\n\n".join(
         render_curves(series, title=f"{TITLE} — {panel}")
@@ -102,5 +151,6 @@ def run(scale="tiny", seed: int = 42, pairs=DEFAULT_PAIRS,
         experiment_id=EXPERIMENT_ID, title=TITLE,
         headers=["panel", "series", "final accuracy"], rows=rows,
         rendered=rendered,
-        extra={"scale": scale.name, "curves": panels},
+        extra={"scale": scale.name, "curves": panels,
+               "campaign": campaign.stats.as_dict()},
     )

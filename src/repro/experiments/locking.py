@@ -1,0 +1,128 @@
+"""Inter-process file locking for shared on-disk caches.
+
+:class:`FileLock` implements the classic ``O_CREAT | O_EXCL`` lock-file
+protocol: creation is atomic on POSIX filesystems, so exactly one process
+wins.  The lock file records the owner's pid; a waiter that finds a lock
+whose owner is dead (the process crashed before releasing) breaks the lock
+instead of waiting forever, which keeps a killed campaign from wedging the
+shared :class:`~repro.experiments.common.BaselineCache`.
+
+This is deliberately dependency-free and coarse-grained — baselines take
+seconds to minutes to train, so a polling lock is plenty.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import time
+
+
+class LockTimeout(TimeoutError):
+    """Raised when the lock cannot be acquired within ``timeout`` seconds."""
+
+
+class FileLock:
+    """An exclusive advisory lock backed by an ``O_EXCL`` lock file.
+
+    Usage::
+
+        with FileLock(path + ".lock"):
+            ...critical section...
+
+    Parameters
+    ----------
+    path:
+        Lock-file path.  The parent directory must exist.
+    timeout:
+        Max seconds to wait for the lock (``None`` = wait forever).
+    poll_interval:
+        Seconds between acquisition attempts.
+    stale_after:
+        A lock file older than this whose recorded pid is no longer alive
+        is considered abandoned and broken.
+    """
+
+    def __init__(self, path: str, timeout: float | None = 120.0,
+                 poll_interval: float = 0.05, stale_after: float = 1.0):
+        self.path = path
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+        self.stale_after = stale_after
+        self._fd: int | None = None
+
+    # -- acquisition ------------------------------------------------------
+
+    def acquire(self) -> None:
+        deadline = (None if self.timeout is None
+                    else time.monotonic() + self.timeout)
+        while True:
+            try:
+                fd = os.open(self.path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            except OSError as exc:
+                if exc.errno != errno.EEXIST:
+                    raise
+                self._break_if_stale()
+                if deadline is not None and time.monotonic() > deadline:
+                    raise LockTimeout(
+                        f"could not acquire {self.path} within "
+                        f"{self.timeout}s"
+                    ) from None
+                time.sleep(self.poll_interval)
+                continue
+            os.write(fd, str(os.getpid()).encode("ascii"))
+            os.close(fd)
+            self._fd = 1  # marker: we own the file
+            return
+
+    def release(self) -> None:
+        if self._fd is not None:
+            self._fd = None
+            try:
+                os.unlink(self.path)
+            except FileNotFoundError:  # already broken by a waiter
+                pass
+
+    # -- stale-lock handling ----------------------------------------------
+
+    def _break_if_stale(self) -> None:
+        """Remove the lock file if its owner died without releasing it."""
+        try:
+            age = time.time() - os.stat(self.path).st_mtime
+            if age < self.stale_after:
+                return
+            with open(self.path) as handle:
+                pid = int(handle.read().strip() or "0")
+        except (OSError, ValueError):
+            return  # vanished or torn write; retry normally
+        if pid and _pid_alive(pid):
+            return
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
+    # -- context manager ---------------------------------------------------
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    @property
+    def held(self) -> bool:
+        return self._fd is not None
+
+
+def _pid_alive(pid: int) -> bool:
+    """True when *pid* names a live process we could signal."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True

@@ -49,6 +49,13 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ablation_optimizer_state": ablations.run_optimizer_state,
 }
 
+#: Experiments ported onto the campaign engine — these accept
+#: ``workers`` / ``journal`` / ``resume`` / ``trial_timeout`` / ``retries``
+#: (the CLI only forwards those flags to members of this set).
+CAMPAIGN_EXPERIMENTS: frozenset[str] = frozenset({
+    "table5", "table6", "fig3",
+})
+
 
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
     """Run one experiment by id ('table4' ... 'fig7', 'ablation_*')."""

@@ -1,0 +1,440 @@
+"""Campaign execution engine: parallel, journaled, crash-safe trial running.
+
+The paper's protocol is embarrassingly parallel — every experiment cell is
+N independent inject-and-resume trainings (§V-A: 250 per cell).  This module
+turns a harness's trial list into a *campaign*:
+
+* trials fan out over a ``multiprocessing`` worker pool (``workers=1`` keeps
+  the original in-process sequential path, bit-identical to the parallel one
+  because every trial is a pure function of its payload);
+* every terminal outcome is appended to a JSONL *journal* — an append-only
+  record of (trial id, kind, payload, outcome, status, attempts, duration,
+  worker) that survives ``kill -9`` mid-campaign;
+* a killed campaign resumes by replaying the journal and skipping trials
+  that already have a terminal record;
+* each trial gets a configurable timeout and bounded retry; a trial that
+  keeps hanging or crashing is journaled ``failed`` and the campaign moves
+  on instead of aborting (graceful degradation).
+
+Harnesses register *trial kinds* — top-level functions from JSON payload to
+JSON outcome — with :func:`trial_kind`; worker processes look the function
+up by name, so tasks stay picklable and journal records stay replayable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import traceback
+from dataclasses import asdict, dataclass, field
+from multiprocessing import connection, get_context
+from typing import Callable, Iterable
+
+from ..analysis.campaign import CampaignStats
+
+# ---------------------------------------------------------------------------
+# Trial kinds
+# ---------------------------------------------------------------------------
+
+#: name -> function(payload dict) -> outcome dict.  Worker processes resolve
+#: trial functions through this registry, keeping tasks JSON-serializable.
+TRIAL_KINDS: dict[str, Callable[[dict], dict]] = {}
+
+
+def trial_kind(name: str) -> Callable[[Callable[[dict], dict]],
+                                      Callable[[dict], dict]]:
+    """Register a top-level trial function under *name*."""
+
+    def register(func: Callable[[dict], dict]) -> Callable[[dict], dict]:
+        TRIAL_KINDS[name] = func
+        return func
+
+    return register
+
+
+def get_trial_kind(name: str) -> Callable[[dict], dict]:
+    try:
+        return TRIAL_KINDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown trial kind {name!r}; registered: {sorted(TRIAL_KINDS)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Tasks and records
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TrialTask:
+    """One unit of campaign work.
+
+    ``trial_id`` must be unique within the campaign *and* stable across
+    re-invocations — it is the resume key.  ``payload`` must be
+    JSON-serializable and fully determine the trial's outcome (trials are
+    pure functions; that is what makes ``workers=N`` bit-identical to
+    ``workers=1``).
+    """
+
+    trial_id: str
+    kind: str
+    payload: dict
+
+
+@dataclass
+class TrialRecord:
+    """One journal line: the terminal outcome of a trial."""
+
+    trial_id: str
+    kind: str
+    status: str  # "ok" | "failed"
+    outcome: dict | None = None
+    error: str | None = None
+    attempts: int = 1
+    timed_out: bool = False
+    duration: float = 0.0
+    worker: int = 0
+    payload: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_json_line(self) -> str:
+        # allow_nan keeps NaN accuracies (collapsed trainings) round-trippable
+        # through Python's json, which reads NaN/Infinity back natively.
+        return json.dumps(asdict(self), allow_nan=True, sort_keys=True)
+
+    @classmethod
+    def from_json_line(cls, line: str) -> "TrialRecord":
+        return cls(**json.loads(line))
+
+
+# ---------------------------------------------------------------------------
+# Journal
+# ---------------------------------------------------------------------------
+
+class Journal:
+    """Append-only JSONL journal of terminal trial records.
+
+    Every append is flushed and fsynced, so after ``kill -9`` the journal
+    holds every completed trial plus at most one torn final line, which
+    :meth:`load` tolerates (a torn write can only be the last line of an
+    append-only file).
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+
+    def append(self, record: TrialRecord) -> None:
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(record.to_json_line() + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def repair(self) -> int:
+        """Truncate a torn trailing line; returns the bytes removed.
+
+        A crash mid-append leaves a partial line with no trailing newline
+        (the newline is the last byte of every complete append).  It must
+        be cut *before* new appends, or the next record would concatenate
+        onto the torn prefix and corrupt itself.
+        """
+        if not os.path.exists(self.path):
+            return 0
+        with open(self.path, "rb+") as handle:
+            data = handle.read()
+            if not data or data.endswith(b"\n"):
+                return 0
+            cut = data.rfind(b"\n") + 1
+            handle.truncate(cut)
+            return len(data) - cut
+
+    def load(self) -> list[TrialRecord]:
+        """All parseable records, skipping a torn trailing line."""
+        if not os.path.exists(self.path):
+            return []
+        records: list[TrialRecord] = []
+        with open(self.path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for index, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(TrialRecord.from_json_line(line))
+            except (json.JSONDecodeError, TypeError):
+                if index == len(lines) - 1:
+                    continue  # torn final write from a crash — expected
+                raise ValueError(
+                    f"{self.path}:{index + 1}: corrupt journal line"
+                ) from None
+        return records
+
+    def completed_ids(self) -> set[str]:
+        return {r.trial_id for r in self.load()}
+
+
+# ---------------------------------------------------------------------------
+# Campaign runner
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CampaignResult:
+    """Everything a harness needs to aggregate a finished campaign."""
+
+    records: list[TrialRecord]  # in task order, replayed + fresh merged
+    stats: CampaignStats
+
+    def outcomes_by_id(self) -> dict[str, TrialRecord]:
+        return {r.trial_id: r for r in self.records}
+
+    def record_dicts(self) -> list[dict]:
+        """Journal-shaped dicts for :mod:`repro.analysis.campaign` helpers
+        (:func:`~repro.analysis.campaign.group_records` etc.)."""
+        return [asdict(r) for r in self.records]
+
+
+def run_campaign(tasks: Iterable[TrialTask], *, workers: int = 1,
+                 journal: str | Journal | None = None, resume: bool = False,
+                 trial_timeout: float | None = None,
+                 retries: int = 1) -> CampaignResult:
+    """Execute *tasks*, returning records in task order.
+
+    Parameters
+    ----------
+    workers:
+        ``1`` runs trials sequentially in-process (unless a timeout is set,
+        which needs subprocess isolation); ``>1`` fans out over a fork-based
+        worker pool.
+    journal:
+        JSONL path (or :class:`Journal`).  When given, every terminal record
+        is appended as it happens.
+    resume:
+        Replay the journal first and skip trials that already have a
+        terminal record.
+    trial_timeout:
+        Seconds before an attempt is killed and counted as a timeout.
+    retries:
+        Extra attempts after the first failure before the trial is
+        journaled ``failed``.
+    """
+    tasks = list(tasks)
+    seen: set[str] = set()
+    for task in tasks:
+        if task.trial_id in seen:
+            raise ValueError(f"duplicate trial_id {task.trial_id!r}")
+        seen.add(task.trial_id)
+
+    if isinstance(journal, str):
+        journal = Journal(journal)
+    if journal is not None:
+        journal.repair()  # cut a torn tail before any new append
+
+    replayed: dict[str, TrialRecord] = {}
+    if resume:
+        if journal is None:
+            raise ValueError("resume=True requires a journal")
+        replayed = {r.trial_id: r for r in journal.load()}
+
+    todo = [t for t in tasks if t.trial_id not in replayed]
+    start = time.monotonic()
+    if workers <= 1 and trial_timeout is None:
+        fresh = _run_inline(todo, journal, retries)
+    else:
+        fresh = _run_pool(todo, journal, max(1, workers), trial_timeout,
+                          retries)
+    wall_time = time.monotonic() - start
+
+    by_id = dict(replayed)
+    by_id.update(fresh)
+    records = [by_id[t.trial_id] for t in tasks]
+    stats = CampaignStats.from_records(
+        [asdict(r) for r in records],
+        wall_time=wall_time, workers=max(1, workers),
+        executed=len(fresh), skipped=len(tasks) - len(todo),
+    )
+    return CampaignResult(records=records, stats=stats)
+
+
+# -- sequential path --------------------------------------------------------
+
+def _run_inline(tasks: list[TrialTask], journal: Journal | None,
+                retries: int) -> dict[str, TrialRecord]:
+    results: dict[str, TrialRecord] = {}
+    for task in tasks:
+        func = get_trial_kind(task.kind)
+        record = None
+        started = time.monotonic()
+        for attempt in range(1, retries + 2):
+            try:
+                outcome = func(dict(task.payload))
+            except Exception:
+                record = TrialRecord(
+                    trial_id=task.trial_id, kind=task.kind, status="failed",
+                    error=traceback.format_exc(limit=8), attempts=attempt,
+                    payload=task.payload,
+                )
+                continue
+            record = TrialRecord(
+                trial_id=task.trial_id, kind=task.kind, status="ok",
+                outcome=outcome, attempts=attempt, payload=task.payload,
+            )
+            break
+        record.duration = time.monotonic() - started
+        results[task.trial_id] = record
+        if journal is not None:
+            journal.append(record)
+    return results
+
+
+# -- parallel path ----------------------------------------------------------
+
+def _child_main(conn, kind: str, payload: dict) -> None:
+    """Worker entry point: run one trial, ship the outcome over the pipe."""
+    try:
+        outcome = get_trial_kind(kind)(payload)
+        conn.send(("ok", outcome))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc(limit=8)))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _InFlight:
+    task: TrialTask
+    attempt: int
+    process: object
+    conn: object
+    deadline: float | None
+    started: float
+    first_started: float
+    slot: int
+    timeouts: int = 0
+
+
+def _run_pool(tasks: list[TrialTask], journal: Journal | None, workers: int,
+              trial_timeout: float | None,
+              retries: int) -> dict[str, TrialRecord]:
+    """Process-per-trial scheduler with timeouts and bounded retry.
+
+    One fork per attempt keeps trials fully isolated (a segfault or hang
+    kills the child, never the campaign) and makes timeout enforcement a
+    simple ``terminate()``.
+    """
+    ctx = get_context("fork")
+    results: dict[str, TrialRecord] = {}
+    # (task, attempt, timeouts, first_started) waiting to start
+    pending: list[tuple[TrialTask, int, int, float | None]] = [
+        (t, 1, 0, None) for t in tasks
+    ]
+    pending.reverse()  # pop() from the end preserves task order
+    inflight: list[_InFlight] = []
+    free_slots = list(range(workers - 1, -1, -1))
+
+    def finish(flight: _InFlight, status: str, outcome: dict | None,
+               error: str | None, timed_out: bool) -> None:
+        record = TrialRecord(
+            trial_id=flight.task.trial_id, kind=flight.task.kind,
+            status=status, outcome=outcome, error=error,
+            attempts=flight.attempt, timed_out=timed_out,
+            duration=time.monotonic() - flight.first_started,
+            worker=flight.slot, payload=flight.task.payload,
+        )
+        results[flight.task.trial_id] = record
+        if journal is not None:
+            journal.append(record)
+
+    def retry_or_fail(flight: _InFlight, error: str,
+                      timed_out: bool) -> None:
+        if flight.attempt <= retries:
+            pending.append((flight.task, flight.attempt + 1,
+                            flight.timeouts + (1 if timed_out else 0),
+                            flight.first_started))
+        else:
+            finish(flight, "failed", None, error, timed_out)
+
+    while pending or inflight:
+        while pending and free_slots:
+            task, attempt, timeouts, first_started = pending.pop()
+            slot = free_slots.pop()
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=_child_main,
+                               args=(child_conn, task.kind, task.payload))
+            proc.start()
+            child_conn.close()
+            now = time.monotonic()
+            inflight.append(_InFlight(
+                task=task, attempt=attempt, process=proc, conn=parent_conn,
+                deadline=(None if trial_timeout is None
+                          else now + trial_timeout),
+                started=now,
+                first_started=first_started if first_started is not None
+                else now,
+                slot=slot, timeouts=timeouts,
+            ))
+
+        ready = connection.wait([f.conn for f in inflight], timeout=0.05)
+        now = time.monotonic()
+        still: list[_InFlight] = []
+        for flight in inflight:
+            done = False
+            # a child may exit between connection.wait and this check with
+            # its result still buffered in the pipe — poll before trusting
+            # the exit code, or a completed trial gets retried as crashed.
+            if flight.conn in ready or flight.conn.poll(0):
+                try:
+                    status, value = flight.conn.recv()
+                except (EOFError, OSError):
+                    # child died without reporting (crash / os._exit)
+                    status, value = "error", "worker died without a result"
+                flight.process.join()
+                flight.conn.close()
+                if status == "ok":
+                    rec = TrialRecord(
+                        trial_id=flight.task.trial_id, kind=flight.task.kind,
+                        status="ok", outcome=value, attempts=flight.attempt,
+                        timed_out=flight.timeouts > 0,
+                        duration=now - flight.first_started,
+                        worker=flight.slot, payload=flight.task.payload,
+                    )
+                    results[flight.task.trial_id] = rec
+                    if journal is not None:
+                        journal.append(rec)
+                else:
+                    retry_or_fail(flight, value, timed_out=False)
+                done = True
+            elif flight.process.exitcode is not None:
+                # exited without sending anything
+                flight.conn.close()
+                retry_or_fail(
+                    flight,
+                    f"worker exited with code {flight.process.exitcode} "
+                    "before reporting a result",
+                    timed_out=False,
+                )
+                done = True
+            elif flight.deadline is not None and now > flight.deadline:
+                flight.process.terminate()
+                flight.process.join()
+                flight.conn.close()
+                retry_or_fail(
+                    flight,
+                    f"trial timed out after {now - flight.started:.1f}s",
+                    timed_out=True,
+                )
+                done = True
+            if done:
+                free_slots.append(flight.slot)
+            else:
+                still.append(flight)
+        inflight = still
+
+    return results

@@ -6,13 +6,20 @@ compared against the error-free restart.  RWC counts the trainings whose
 trajectory is *exactly* unchanged — possible only because training is
 deterministic.  Paper shape: a large majority of trainings restart with no
 change.
+
+The harness runs on the campaign engine (:mod:`repro.experiments.runner`):
+each (framework, model, trial) triple is an independent journaled trial, so
+the grid fans out over ``--workers`` processes and a killed run resumes
+from its journal.  ``workers=1`` preserves the original sequential path;
+trial outcomes are a pure function of the trial payload, so both paths are
+bit-identical.
 """
 
 from __future__ import annotations
 
 import tempfile
 
-from ..analysis import count_rwc, render_table
+from ..analysis import count_rwc, group_records, render_table
 from ..injector import CheckpointCorrupter, InjectorConfig
 from .common import (
     DEFAULT_CACHE,
@@ -21,8 +28,11 @@ from .common import (
     corrupted_copy,
     get_scale,
     resume_training,
+    spec_from_payload,
+    spec_to_payload,
     weights_root,
 )
+from .runner import TrialTask, run_campaign, trial_kind
 
 EXPERIMENT_ID = "table5"
 TITLE = "Table V: Model sensitivity to 1 bit-flip (RWC)"
@@ -34,9 +44,10 @@ DEFAULT_MODELS = ("resnet50", "vgg16", "alexnet")
 SAFE_FIRST_BIT = 2
 
 
-def rwc_cell(spec: SessionSpec, baseline, workdir: str,
-             trainings: int) -> tuple[int, list[list[float]]]:
-    """Run *trainings* single-flip trials; return (RWC count, curves).
+@trial_kind("table5")
+def run_trial(payload: dict) -> dict:
+    """One single-bit-flip trial: corrupt a private checkpoint copy, resume
+    one epoch, report the restart accuracy.
 
     Interpretation of "Restarted With no Change in accuracy": the accuracy
     observed at the restart — i.e. after the first post-restart epoch —
@@ -47,14 +58,9 @@ def rwc_cell(spec: SessionSpec, baseline, workdir: str,
     scale (1 %-granularity test accuracy) drives RWC toward zero for
     reasons unrelated to the flip's severity.
     """
-    epochs = 1
-    reference = baseline.resumed_curve[:1]
-    curves: list[list[float]] = []
-    for trial in range(trainings):
-        path = corrupted_copy(
-            baseline.checkpoint_path, workdir,
-            f"{spec.framework}_{spec.model}_t5_{trial}",
-        )
+    spec = spec_from_payload(payload["spec"])
+    with tempfile.TemporaryDirectory() as workdir:
+        path = corrupted_copy(payload["checkpoint"], workdir, "t5")
         config = InjectorConfig(
             hdf5_file=path,
             injection_attempts=1,
@@ -63,42 +69,84 @@ def rwc_cell(spec: SessionSpec, baseline, workdir: str,
             float_precision=32,
             locations_to_corrupt=[weights_root(spec.framework)],
             use_random_locations=False,
-            seed=spec.seed * 5_000 + trial,
+            seed=payload["injection_seed"],
         )
         CheckpointCorrupter(config).corrupt()
-        outcome = resume_training(spec, path, epochs=epochs)
-        finite = [a for a in outcome.accuracy_curve if a is not None]
-        curves.append(finite[-1:])
-    stats = count_rwc(reference, curves)
-    return stats.unchanged, curves
+        outcome = resume_training(spec, path, epochs=1)
+    finite = [a for a in outcome.accuracy_curve if a is not None]
+    return {"finals": finite[-1:]}
+
+
+def build_tasks(scale, seed, frameworks, models, cache) -> \
+        tuple[list[TrialTask], dict[tuple[str, str], object]]:
+    """The campaign's trial list plus the per-cell baselines it references.
+
+    Baselines are materialized up front (cached, so usually a no-op); the
+    trial payloads then only carry paths and seeds, keeping workers from
+    redundantly training the same baseline.
+    """
+    tasks: list[TrialTask] = []
+    baselines: dict[tuple[str, str], object] = {}
+    for model in models:
+        for framework in frameworks:
+            spec = SessionSpec(framework, model, scale, seed=seed)
+            baseline = cache.get(spec)
+            baselines[(model, framework)] = baseline
+            for trial in range(scale.trainings):
+                tasks.append(TrialTask(
+                    trial_id=(f"table5/{scale.name}/{framework}/{model}/"
+                              f"{seed}/{trial}"),
+                    kind="table5",
+                    payload={
+                        "spec": spec_to_payload(spec),
+                        "framework": framework,
+                        "model": model,
+                        "trial": trial,
+                        "checkpoint": baseline.checkpoint_path,
+                        "injection_seed": seed * 5_000 + trial,
+                    },
+                ))
+    return tasks, baselines
 
 
 def run(scale="tiny", seed: int = 42,
         frameworks=DEFAULT_FRAMEWORKS, models=DEFAULT_MODELS,
-        cache=None) -> ExperimentResult:
+        cache=None, workers: int = 1, journal=None, resume: bool = False,
+        trial_timeout: float | None = None,
+        retries: int = 1) -> ExperimentResult:
     """Regenerate Table V (RWC under one bit-flip) over the grid."""
     scale = get_scale(scale)
     cache = cache or DEFAULT_CACHE
     trainings = scale.trainings
+
+    tasks, baselines = build_tasks(scale, seed, frameworks, models, cache)
+    campaign = run_campaign(tasks, workers=workers, journal=journal,
+                            resume=resume, trial_timeout=trial_timeout,
+                            retries=retries)
+    by_cell = group_records(campaign.record_dicts(), ("model", "framework"))
 
     headers = ["Model", "Trainings"]
     for framework in frameworks:
         headers.extend([f"{framework} RWC", "%"])
 
     rows = []
-    with tempfile.TemporaryDirectory() as workdir:
-        for model in models:
-            row: list[object] = [model, trainings]
-            for framework in frameworks:
-                spec = SessionSpec(framework, model, scale, seed=seed)
-                baseline = cache.get(spec)
-                unchanged, _ = rwc_cell(spec, baseline, workdir, trainings)
-                row.append(unchanged)
-                row.append(round(100.0 * unchanged / trainings, 1))
-            rows.append(row)
+    for model in models:
+        row: list[object] = [model, trainings]
+        for framework in frameworks:
+            baseline = baselines[(model, framework)]
+            reference = baseline.resumed_curve[:1]
+            curves = [record["outcome"]["finals"]
+                      for record in by_cell.get((model, framework), ())
+                      if record["status"] == "ok"]
+            stats = count_rwc(reference, curves)
+            row.append(stats.unchanged)
+            row.append(round(100.0 * stats.unchanged / trainings, 1)
+                       if trainings else float("nan"))
+        rows.append(row)
 
     return ExperimentResult(
         experiment_id=EXPERIMENT_ID, title=TITLE, headers=headers, rows=rows,
         rendered=render_table(headers, rows, title=TITLE),
-        extra={"scale": scale.name},
+        extra={"scale": scale.name,
+               "campaign": campaign.stats.as_dict()},
     )

@@ -5,13 +5,17 @@ study ([43] in the paper).  Each mask is XORed into 10 weights of ResNet50
 on all three frameworks; each configuration is trained 10 times.  Reported:
 average final accuracy (AvgI-Acc, collapsed trainings excluded, as in the
 paper) and the number of trainings that produced an N-EV.
+
+Runs on the campaign engine: one journaled trial per
+(framework, mask, trial), parallelizable with ``workers`` and resumable
+from the journal (see :mod:`repro.experiments.runner`).
 """
 
 from __future__ import annotations
 
 import tempfile
 
-from ..analysis import mean_excluding_collapsed, render_table
+from ..analysis import group_records, mean_excluding_collapsed, render_table
 from ..injector import CheckpointCorrupter, InjectorConfig
 from .common import (
     DEFAULT_CACHE,
@@ -20,8 +24,11 @@ from .common import (
     corrupted_copy,
     get_scale,
     resume_training,
+    spec_from_payload,
+    spec_to_payload,
     weights_root,
 )
+from .runner import TrialTask, run_campaign, trial_kind
 
 EXPERIMENT_ID = "table6"
 TITLE = "Table VI: Multi-bit mask applied to DL framework training"
@@ -40,75 +47,111 @@ DEFAULT_MODEL = "resnet50"
 WEIGHTS_PER_TRAINING = 10
 
 
-def mask_cell(spec: SessionSpec, baseline, mask: str, workdir: str,
-              trainings: int) -> tuple[float, int]:
-    """Return (AvgI-Acc excluding collapsed, count of N-EV trainings)."""
-    finals: list[float] = []
-    collapsed_flags: list[bool] = []
-    for trial in range(trainings):
-        path = corrupted_copy(
-            baseline.checkpoint_path, workdir,
-            f"{spec.framework}_{mask}_{trial}",
-        )
+@trial_kind("table6")
+def run_trial(payload: dict) -> dict:
+    """One masked-injection trial: XOR the mask into 10 weights of a private
+    checkpoint copy, resume the remaining schedule."""
+    spec = spec_from_payload(payload["spec"])
+    with tempfile.TemporaryDirectory() as workdir:
+        path = corrupted_copy(payload["checkpoint"], workdir, "t6")
         config = InjectorConfig(
             hdf5_file=path,
             injection_attempts=WEIGHTS_PER_TRAINING,
             corruption_mode="bit_mask",
-            bit_mask=mask,
+            bit_mask=payload["mask"],
             float_precision=32,
             locations_to_corrupt=[weights_root(spec.framework)],
             use_random_locations=False,
-            seed=spec.seed * 7_000 + hash(mask) % 1000 + trial,
+            seed=payload["injection_seed"],
         )
         CheckpointCorrupter(config).corrupt()
         outcome = resume_training(spec, path,
                                   epochs=spec.scale.resume_epochs)
-        finals.append(outcome.final_accuracy)
-        collapsed_flags.append(outcome.collapsed)
-    avg = mean_excluding_collapsed(finals, collapsed_flags)
-    return avg, sum(collapsed_flags)
+    return {"final_accuracy": outcome.final_accuracy,
+            "collapsed": outcome.collapsed}
+
+
+def build_tasks(scale, seed, frameworks, model, masks, trainings, cache) -> \
+        tuple[list[TrialTask], dict[str, tuple]]:
+    tasks: list[TrialTask] = []
+    baselines: dict[str, tuple] = {}
+    for framework in frameworks:
+        spec = SessionSpec(framework, model, scale, seed=seed)
+        baselines[framework] = (spec, cache.get(spec))
+    for bits, mask in masks:
+        _ = bits
+        for framework in frameworks:
+            spec, baseline = baselines[framework]
+            for trial in range(trainings):
+                tasks.append(TrialTask(
+                    trial_id=(f"table6/{scale.name}/{framework}/{model}/"
+                              f"{seed}/{mask}/{trial}"),
+                    kind="table6",
+                    payload={
+                        "spec": spec_to_payload(spec),
+                        "framework": framework,
+                        "mask": mask,
+                        "trial": trial,
+                        "checkpoint": baseline.checkpoint_path,
+                        # int(mask, 2), not hash(mask): string hashing is
+                        # randomized per process, which would desync seeds
+                        # between a journaled campaign and its resume.
+                        "injection_seed": (seed * 7_000
+                                           + int(mask, 2) % 1000 + trial),
+                    },
+                ))
+    return tasks, baselines
 
 
 def run(scale="tiny", seed: int = 42, frameworks=DEFAULT_FRAMEWORKS,
         model: str = DEFAULT_MODEL, masks=PAPER_MASKS,
-        cache=None) -> ExperimentResult:
+        cache=None, workers: int = 1, journal=None, resume: bool = False,
+        trial_timeout: float | None = None,
+        retries: int = 1) -> ExperimentResult:
     """Regenerate Table VI (multi-bit DRAM masks)."""
     scale = get_scale(scale)
     cache = cache or DEFAULT_CACHE
     trainings = min(scale.trainings, 10)
+
+    tasks, baselines = build_tasks(scale, seed, frameworks, model, masks,
+                                   trainings, cache)
+    campaign = run_campaign(tasks, workers=workers, journal=journal,
+                            resume=resume, trial_timeout=trial_timeout,
+                            retries=retries)
+    by_cell = group_records(campaign.record_dicts(), ("framework", "mask"))
 
     headers = ["Bits", "Mask"]
     for framework in frameworks:
         headers.extend([f"{framework} AvgI-Acc", "N-EV"])
 
     rows: list[list[object]] = []
-    with tempfile.TemporaryDirectory() as workdir:
-        baselines = {}
-        # row 0: error-free accuracy (the paper's all-zero mask row)
-        row0: list[object] = [0, "00000000"]
-        for framework in frameworks:
-            spec = SessionSpec(framework, model, scale, seed=seed)
-            baselines[framework] = (spec, cache.get(spec))
-            reference = baselines[framework][1].resumed_curve
-            final = reference[min(scale.resume_epochs, len(reference)) - 1]
-            row0.extend([round(100.0 * final, 1), ""])
-        rows.append(row0)
+    # row 0: error-free accuracy (the paper's all-zero mask row)
+    row0: list[object] = [0, "00000000"]
+    for framework in frameworks:
+        reference = baselines[framework][1].resumed_curve
+        final = reference[min(scale.resume_epochs, len(reference)) - 1]
+        row0.extend([round(100.0 * final, 1), ""])
+    rows.append(row0)
 
-        for bits, mask in masks:
-            row: list[object] = [bits, mask]
-            for framework in frameworks:
-                spec, baseline = baselines[framework]
-                avg, nev = mask_cell(spec, baseline, mask, workdir,
-                                     trainings)
-                row.extend([
-                    round(100.0 * avg, 1) if avg == avg else float("nan"),
-                    nev,
-                ])
-            rows.append(row)
+    for bits, mask in masks:
+        row: list[object] = [bits, mask]
+        for framework in frameworks:
+            outcomes = [record["outcome"]
+                        for record in by_cell.get((framework, mask), ())
+                        if record["status"] == "ok"]
+            finals = [o["final_accuracy"] for o in outcomes]
+            collapsed_flags = [o["collapsed"] for o in outcomes]
+            avg = mean_excluding_collapsed(finals, collapsed_flags)
+            row.extend([
+                round(100.0 * avg, 1) if avg == avg else float("nan"),
+                sum(collapsed_flags),
+            ])
+        rows.append(row)
 
     return ExperimentResult(
         experiment_id=EXPERIMENT_ID, title=TITLE, headers=headers, rows=rows,
         rendered=render_table(headers, rows, title=TITLE),
         extra={"scale": scale.name, "model": model,
-               "weights_per_training": WEIGHTS_PER_TRAINING},
+               "weights_per_training": WEIGHTS_PER_TRAINING,
+               "campaign": campaign.stats.as_dict()},
     )

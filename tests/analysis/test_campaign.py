@@ -100,3 +100,91 @@ class TestRateTable:
         text = str(est)
         assert "50.0%" in text
         assert "10/20" in text
+
+
+# ---------------------------------------------------------------------------
+# Journal-record aggregation (campaign engine support)
+# ---------------------------------------------------------------------------
+
+from repro.analysis.campaign import (  # noqa: E402
+    CampaignStats,
+    campaign_rate_table,
+    group_records,
+    successful_outcomes,
+)
+
+
+def _record(status="ok", attempts=1, timed_out=False, duration=1.0,
+            outcome=None, **payload):
+    return {"status": status, "attempts": attempts, "timed_out": timed_out,
+            "duration": duration, "outcome": outcome, "payload": payload}
+
+
+class TestCampaignStats:
+    def test_counts_and_throughput(self):
+        records = [
+            _record(outcome={"v": 1}),
+            _record(outcome={"v": 2}, attempts=3, timed_out=True),
+            _record(status="failed", attempts=2),
+        ]
+        stats = CampaignStats.from_records(records, wall_time=2.0,
+                                           workers=4)
+        assert stats.total == 3
+        assert stats.ok == 2
+        assert stats.failed == 1
+        assert stats.retries == 3  # (3-1) + (2-1)
+        assert stats.timeouts == 1
+        assert stats.trials_per_second == pytest.approx(1.5)
+        assert "retries=3" in stats.summary()
+
+    def test_fully_replayed_campaign_reports_zero_throughput(self):
+        records = [_record(outcome={})] * 4
+        stats = CampaignStats.from_records(records, wall_time=0.5,
+                                           executed=0, skipped=4)
+        assert stats.trials_per_second == 0.0
+        assert stats.skipped == 4
+
+    def test_as_dict_round_trips_through_json(self):
+        import json
+        stats = CampaignStats.from_records([_record()], wall_time=1.0)
+        payload = json.loads(json.dumps(stats.as_dict()))
+        assert payload["total"] == 1
+        assert payload["trials_per_second"] == 1.0
+
+
+class TestGroupRecords:
+    def test_groups_by_payload_fields_preserving_order(self):
+        records = [
+            _record(outcome={"v": 1}, model="alexnet", fw="tf"),
+            _record(outcome={"v": 2}, model="vgg16", fw="tf"),
+            _record(outcome={"v": 3}, model="alexnet", fw="tf"),
+        ]
+        groups = group_records(records, ("model", "fw"))
+        assert [r["outcome"]["v"] for r in groups[("alexnet", "tf")]] == \
+            [1, 3]
+        assert len(groups[("vgg16", "tf")]) == 1
+
+    def test_missing_payload_fields_group_under_none(self):
+        groups = group_records([_record()], ("model",))
+        assert (None,) in groups
+
+    def test_successful_outcomes_skips_failed(self):
+        records = [_record(outcome={"v": 1}),
+                   _record(status="failed"),
+                   _record(outcome={"v": 3})]
+        assert [o["v"] for o in successful_outcomes(records)] == [1, 3]
+
+
+class TestCampaignRateTable:
+    def test_rates_exclude_failed_trials(self):
+        records = [
+            _record(outcome={"collapsed": True}, cell="a"),
+            _record(outcome={"collapsed": False}, cell="a"),
+            _record(status="failed", cell="a"),
+            _record(outcome={"collapsed": True}, cell="b"),
+        ]
+        table = campaign_rate_table(records, ("cell",),
+                                    lambda o: o["collapsed"])
+        a = table.get(("a",))
+        assert (a.successes, a.trials) == (1, 2)  # failed trial excluded
+        assert table.get(("b",)).percent == 100.0
