@@ -141,6 +141,25 @@ class CampaignStats:
         payload["wall_time"] = round(self.wall_time, 3)
         return payload
 
+    def to_dict(self) -> dict:
+        """JSON-safe summary counters (the result protocol)."""
+        return self.as_dict()
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CampaignStats":
+        """Rebuild stats from an archived ``to_dict`` payload.
+
+        Tolerates extra keys (``trials_per_second`` is derived, not stored)
+        and missing ones, so reports can be regenerated from archives
+        written by older versions.
+        """
+        fields = cls.__dataclass_fields__  # type: ignore[attr-defined]
+        defaults = {name: 0 for name in fields}
+        defaults["workers"] = 1
+        defaults["wall_time"] = 0.0
+        known = {name: payload[name] for name in fields if name in payload}
+        return cls(**{**defaults, **known})
+
     def summary(self) -> str:
         return (
             f"{self.total} trials ({self.ok} ok, {self.failed} failed) "

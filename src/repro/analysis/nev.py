@@ -106,7 +106,9 @@ def scan_checkpoint(path: str,
     with hdf5.File(path, "r") as f:
         for dataset in f.datasets():
             if dataset.dtype.kind == "f":
-                report.merge_array(dataset.name, dataset.read(), threshold)
+                view = dataset.view()  # zero-copy for contiguous storage
+                data = dataset.read() if view is None else view
+                report.merge_array(dataset.name, data, threshold)
     return report
 
 
@@ -123,13 +125,16 @@ def scrub_checkpoint(path: str, replacement: float = 0.0,
         for dataset in f.datasets():
             if dataset.dtype.kind != "f":
                 continue
-            data = dataset.read()
+            view = dataset.view()
+            in_place = view is not None and view.flags.writeable
+            data = view if in_place else dataset.read()
             wide = data.astype(np.float64)
             mask = (~np.isfinite(wide)) | (np.abs(wide) > threshold)
             count = int(mask.sum())
             if count:
                 data[mask] = replacement
-                dataset.write(data)
+                if not in_place:
+                    dataset.write(data)
                 replaced += count
     return replaced
 

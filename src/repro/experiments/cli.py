@@ -20,6 +20,7 @@ import argparse
 import sys
 import time
 
+from ..analysis.campaign import CampaignStats
 from .common import SCALES
 from .registry import CAMPAIGN_EXPERIMENTS, EXPERIMENTS, run_experiment
 
@@ -62,6 +63,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--retries", type=int, default=1,
                           help="extra attempts before a trial is journaled "
                                "'failed' (default 1)")
+    campaign.add_argument("--engine", choices=["scalar", "vectorized"],
+                          default="vectorized",
+                          help="injector apply path for each trial "
+                               "(default vectorized)")
     return parser
 
 
@@ -79,6 +84,7 @@ def campaign_kwargs(args: argparse.Namespace, experiment_id: str,
         "resume": args.resume,
         "trial_timeout": args.trial_timeout,
         "retries": args.retries,
+        "engine": args.engine,
     }
 
 
@@ -115,13 +121,8 @@ def main(argv: list[str] | None = None) -> int:
                   f"at scale={args.scale}]")
             campaign = result.extra.get("campaign")
             if campaign:
-                print(f"[campaign: {campaign['total']} trials, "
-                      f"{campaign['trials_per_second']} trials/s, "
-                      f"workers={campaign['workers']}, "
-                      f"retries={campaign['retries']}, "
-                      f"timeouts={campaign['timeouts']}, "
-                      f"failed={campaign['failed']}, "
-                      f"resumed={campaign['skipped']}]")
+                stats = CampaignStats.from_dict(campaign)
+                print(f"[campaign: {stats.summary()}]")
             print()
     return 0
 

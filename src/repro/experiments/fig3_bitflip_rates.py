@@ -61,7 +61,9 @@ def run_trial(payload: dict) -> dict:
             use_random_locations=False,
             seed=payload["injection_seed"],
         )
-        CheckpointCorrupter(config).corrupt()
+        corrupter = CheckpointCorrupter(
+            config, engine=payload.get("engine", "vectorized"))
+        corrupter.corrupt()
         outcome = resume_training(spec, path,
                                   epochs=spec.scale.resume_epochs)
     # None (collapsed epoch) -> NaN so the curve is JSON-journal-safe
@@ -77,7 +79,8 @@ def _mean_curve(curves: list[list[float]]) -> list[float]:
     return [float(v) for v in np.nanmean(padded, axis=0)]
 
 
-def build_tasks(scale, seed, pairs, bitflips, trainings, cache) -> \
+def build_tasks(scale, seed, pairs, bitflips, trainings, cache,
+                engine: str = "vectorized") -> \
         tuple[list[TrialTask], dict[tuple[str, str], tuple]]:
     tasks: list[TrialTask] = []
     baselines: dict[tuple[str, str], tuple] = {}
@@ -99,6 +102,7 @@ def build_tasks(scale, seed, pairs, bitflips, trainings, cache) -> \
                         "checkpoint":
                             baselines[(framework, model)][1].checkpoint_path,
                         "injection_seed": seed * 3_000 + flips * 17 + trial,
+                        "engine": engine,
                     },
                 ))
     return tasks, baselines
@@ -108,14 +112,14 @@ def run(scale="tiny", seed: int = 42, pairs=DEFAULT_PAIRS,
         bitflips=DEFAULT_BITFLIPS, cache=None, workers: int = 1,
         journal=None, resume: bool = False,
         trial_timeout: float | None = None,
-        retries: int = 1) -> ExperimentResult:
+        retries: int = 1, engine: str = "vectorized") -> ExperimentResult:
     """Regenerate Fig 3 (accuracy curves per flip rate)."""
     scale = get_scale(scale)
     cache = cache or DEFAULT_CACHE
     trainings = scale.curve_trainings
 
     tasks, baselines = build_tasks(scale, seed, pairs, bitflips, trainings,
-                                   cache)
+                                   cache, engine=engine)
     campaign = run_campaign(tasks, workers=workers, journal=journal,
                             resume=resume, trial_timeout=trial_timeout,
                             retries=retries)

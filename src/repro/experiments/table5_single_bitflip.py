@@ -71,13 +71,16 @@ def run_trial(payload: dict) -> dict:
             use_random_locations=False,
             seed=payload["injection_seed"],
         )
-        CheckpointCorrupter(config).corrupt()
+        corrupter = CheckpointCorrupter(
+            config, engine=payload.get("engine", "vectorized"))
+        corrupter.corrupt()
         outcome = resume_training(spec, path, epochs=1)
     finite = [a for a in outcome.accuracy_curve if a is not None]
     return {"finals": finite[-1:]}
 
 
-def build_tasks(scale, seed, frameworks, models, cache) -> \
+def build_tasks(scale, seed, frameworks, models, cache,
+                engine: str = "vectorized") -> \
         tuple[list[TrialTask], dict[tuple[str, str], object]]:
     """The campaign's trial list plus the per-cell baselines it references.
 
@@ -104,6 +107,7 @@ def build_tasks(scale, seed, frameworks, models, cache) -> \
                         "trial": trial,
                         "checkpoint": baseline.checkpoint_path,
                         "injection_seed": seed * 5_000 + trial,
+                        "engine": engine,
                     },
                 ))
     return tasks, baselines
@@ -113,13 +117,14 @@ def run(scale="tiny", seed: int = 42,
         frameworks=DEFAULT_FRAMEWORKS, models=DEFAULT_MODELS,
         cache=None, workers: int = 1, journal=None, resume: bool = False,
         trial_timeout: float | None = None,
-        retries: int = 1) -> ExperimentResult:
+        retries: int = 1, engine: str = "vectorized") -> ExperimentResult:
     """Regenerate Table V (RWC under one bit-flip) over the grid."""
     scale = get_scale(scale)
     cache = cache or DEFAULT_CACHE
     trainings = scale.trainings
 
-    tasks, baselines = build_tasks(scale, seed, frameworks, models, cache)
+    tasks, baselines = build_tasks(scale, seed, frameworks, models, cache,
+                                   engine=engine)
     campaign = run_campaign(tasks, workers=workers, journal=journal,
                             resume=resume, trial_timeout=trial_timeout,
                             retries=retries)

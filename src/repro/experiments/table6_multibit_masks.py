@@ -64,14 +64,17 @@ def run_trial(payload: dict) -> dict:
             use_random_locations=False,
             seed=payload["injection_seed"],
         )
-        CheckpointCorrupter(config).corrupt()
+        corrupter = CheckpointCorrupter(
+            config, engine=payload.get("engine", "vectorized"))
+        corrupter.corrupt()
         outcome = resume_training(spec, path,
                                   epochs=spec.scale.resume_epochs)
     return {"final_accuracy": outcome.final_accuracy,
             "collapsed": outcome.collapsed}
 
 
-def build_tasks(scale, seed, frameworks, model, masks, trainings, cache) -> \
+def build_tasks(scale, seed, frameworks, model, masks, trainings, cache,
+                engine: str = "vectorized") -> \
         tuple[list[TrialTask], dict[str, tuple]]:
     tasks: list[TrialTask] = []
     baselines: dict[str, tuple] = {}
@@ -98,6 +101,7 @@ def build_tasks(scale, seed, frameworks, model, masks, trainings, cache) -> \
                         # between a journaled campaign and its resume.
                         "injection_seed": (seed * 7_000
                                            + int(mask, 2) % 1000 + trial),
+                        "engine": engine,
                     },
                 ))
     return tasks, baselines
@@ -107,14 +111,14 @@ def run(scale="tiny", seed: int = 42, frameworks=DEFAULT_FRAMEWORKS,
         model: str = DEFAULT_MODEL, masks=PAPER_MASKS,
         cache=None, workers: int = 1, journal=None, resume: bool = False,
         trial_timeout: float | None = None,
-        retries: int = 1) -> ExperimentResult:
+        retries: int = 1, engine: str = "vectorized") -> ExperimentResult:
     """Regenerate Table VI (multi-bit DRAM masks)."""
     scale = get_scale(scale)
     cache = cache or DEFAULT_CACHE
     trainings = min(scale.trainings, 10)
 
     tasks, baselines = build_tasks(scale, seed, frameworks, model, masks,
-                                   trainings, cache)
+                                   trainings, cache, engine=engine)
     campaign = run_campaign(tasks, workers=workers, journal=journal,
                             resume=resume, trial_timeout=trial_timeout,
                             retries=retries)

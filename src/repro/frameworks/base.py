@@ -113,7 +113,7 @@ class FrameworkFacade:
                         f"{group_path}/{self.param_dataset_name(layer, key)}"
                     ]
                     value = self.from_checkpoint_layout(
-                        layer, key, dataset.read()
+                        layer, key, dataset[...]
                     )
                     layer.params[key] = value.astype(
                         layer.policy.param_dtype
@@ -123,7 +123,7 @@ class FrameworkFacade:
                         f"{group_path}/{self.state_dataset_name(layer, key)}"
                     ]
                     value = self.from_checkpoint_layout(
-                        layer, key, dataset.read()
+                        layer, key, dataset[...]
                     )
                     layer.state[key] = value.astype(layer.state[key].dtype)
             if optimizer is not None and self.optimizer_group() in f:
@@ -131,8 +131,8 @@ class FrameworkFacade:
                 opt_group = f[self.optimizer_group()]
                 for rel_path, obj in opt_group._walk():
                     if isinstance(obj, hdf5.Dataset):
-                        data = obj.read()
-                        arrays[rel_path] = data if data.shape else data[()]
+                        # __getitem__ already unwraps 0-d datasets to scalars
+                        arrays[rel_path] = obj[...]
                 optimizer.load_state_arrays(arrays)
             return int(f.attrs["epoch"]) if "epoch" in f.attrs else 0
 

@@ -116,6 +116,6 @@ def hdf5_to_npz(hdf5_path: str, npz_path: str) -> int:
                 arrays["__model__"] = np.array(str(value).encode(),
                                                dtype="S64")
         for dataset in f.datasets():
-            arrays[dataset.name.lstrip("/")] = dataset.read()
+            arrays[dataset.name.lstrip("/")] = np.asarray(dataset[...])
     np.savez(npz_path, **arrays)
     return len(arrays)

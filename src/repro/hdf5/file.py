@@ -8,9 +8,11 @@ Supported modes:
 ``"r"``
     Read-only.  The file is loaded into memory and parsed once.
 ``"r+"``
-    Read/write of *dataset contents only* (structure is immutable).  Element
-    and full-array writes go straight to the on-disk bytes, which is exactly
-    the operation a checkpoint corrupter needs.
+    Read/write of *dataset contents only* (structure is immutable).  The
+    whole file is mapped with ``np.memmap``, so element and full-array
+    writes go straight to the on-disk bytes — exactly the operation a
+    checkpoint corrupter needs — and :meth:`Dataset.view` can hand out
+    writable arrays that alias the mapped storage with zero copies.
 """
 
 from __future__ import annotations
@@ -114,6 +116,40 @@ class Dataset:
         return not (self._info.is_chunked and self._info.compressed)
 
     # -- reading -----------------------------------------------------------
+    def view(self) -> np.ndarray | None:
+        """An array aliasing the dataset's storage, or ``None``.
+
+        The fast path behind :meth:`__getitem__`/:meth:`__setitem__` and the
+        vectorized injection engine.  Semantics by storage class:
+
+        * staged (``"w"`` mode): the staged array itself (writable);
+        * contiguous layout in ``"r+"``: a dtype view of the file's
+          ``np.memmap`` — writes land directly in the mapped file bytes;
+        * contiguous layout in ``"r"``: a read-only view of the in-memory
+          buffer (``writeable=False``);
+        * chunked layout (compressed or not): ``None`` — element storage is
+          not contiguous, callers must fall back to read/modify/write.
+
+        On staged datasets the view is invalidated by :meth:`write` (which
+        replaces the staged array); re-call :meth:`view` after a full write.
+        """
+        if self._staged is not None:
+            return self._staged.data
+        info = self._info
+        if info.is_chunked:
+            return None
+        buf = self._file._buffer
+        if isinstance(buf, np.ndarray):
+            flat = buf[info.data_offset:info.data_offset + info.data_size]
+            # asarray strips the np.memmap subclass: same memory, but
+            # without memmap's per-operation bookkeeping on every slice
+            return np.asarray(flat).view(info.dtype).reshape(info.shape)
+        arr = np.frombuffer(buf, dtype=info.dtype, count=info.size,
+                            offset=info.data_offset).reshape(info.shape)
+        arr = arr.view()
+        arr.flags.writeable = False  # "r" mode hands out read-only aliases
+        return arr
+
     def read(self) -> np.ndarray:
         """Return the full dataset contents as a fresh array."""
         if self._staged is not None:
@@ -178,11 +214,20 @@ class Dataset:
         return np.frombuffer(raw, dtype=info.dtype)[0]
 
     def __getitem__(self, key) -> np.ndarray | np.generic:
+        view = self.view()
+        if view is not None:
+            if key is Ellipsis or (isinstance(key, slice)
+                                   and key == slice(None)):
+                return view.copy() if view.shape else view[()]
+            out = view[key]
+            if isinstance(out, np.ndarray):
+                out = out.copy()  # h5py semantics: selections own their data
+            return out
+        # chunked storage: assemble once, then slice the copy
+        data = self.read()
         if key is Ellipsis or key == () or (isinstance(key, slice)
                                             and key == slice(None)):
-            data = self.read()
             return data if data.shape else data[()]
-        data = self.read()
         return data[key]
 
     # -- writing -----------------------------------------------------------
@@ -238,6 +283,14 @@ class Dataset:
         self._file._write_bytes(info.data_offset, array.tobytes())
 
     def __setitem__(self, key, value) -> None:
+        view = self.view()
+        if view is not None and view.flags.writeable:
+            if self._staged is None:
+                self._file._check_writable()
+            view[key] = value
+            return
+        # chunked storage (read/modify/write), or a read-only file — in
+        # which case write() raises the same PermissionError as before.
         if key is Ellipsis or (isinstance(key, slice) and key == slice(None)):
             full = np.broadcast_to(
                 np.asarray(value, dtype=self.dtype), self.shape
@@ -417,11 +470,17 @@ class File(Group):
             self._buffer = None
         elif mode in ("r", "r+"):
             with open(self.filename, "rb") as handle:
-                self._buffer = bytearray(handle.read())
-            info = parse_file(bytes(self._buffer))
+                raw = handle.read()
+            info = parse_file(raw)
             super().__init__(self, "/", None, info)
             if mode == "r+":
-                self._handle = open(self.filename, "rb+")
+                # Map the whole file: Dataset.view() hands out dtype views
+                # of this array, and byte-level writes mutate it directly,
+                # so both paths stay coherent with zero extra copies.
+                self._buffer = np.memmap(self.filename, dtype=np.uint8,
+                                         mode="r+")
+            else:
+                self._buffer = bytearray(raw)
         else:
             raise ValueError(f"unsupported mode: {mode!r}")
 
@@ -431,12 +490,18 @@ class File(Group):
 
     # -- byte-level access used by Dataset -----------------------------------
     def _read_bytes(self, offset: int, size: int) -> bytes:
-        return bytes(self._buffer[offset : offset + size])
+        chunk = self._buffer[offset : offset + size]
+        if isinstance(chunk, np.ndarray):
+            return chunk.tobytes()
+        return bytes(chunk)
 
     def _write_bytes(self, offset: int, data: bytes) -> None:
-        self._buffer[offset : offset + len(data)] = data
-        self._handle.seek(offset)
-        self._handle.write(data)
+        if isinstance(self._buffer, np.ndarray):
+            self._buffer[offset : offset + len(data)] = np.frombuffer(
+                data, dtype=np.uint8
+            )
+        else:
+            self._buffer[offset : offset + len(data)] = data
 
     def _check_writable(self) -> None:
         if self.mode != "r+":
@@ -454,16 +519,15 @@ class File(Group):
             data = serialize_file(self._staged)
             with open(self.filename, "wb") as handle:
                 handle.write(data)
-        elif self._handle is not None:
-            self._handle.flush()
+        elif isinstance(self._buffer, np.memmap):
+            self._buffer.flush()
 
     def close(self) -> None:
         if self._closed:
             return
         self.flush()
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        # The memmap (if any) is kept alive: outstanding Dataset.view()
+        # arrays alias it, and reads remain legal on a closed handle.
         self._closed = True
 
     def __enter__(self) -> "File":

@@ -33,7 +33,8 @@ def format_dataset(dataset: Dataset, stats: bool = False) -> str:
             layout += f"+{dataset.compression}"
     line = f"{dataset.name}  [{shape} {dataset.dtype}] ({layout})"
     if stats and dataset.dtype.kind == "f" and dataset.size:
-        data = dataset.read().astype(np.float64)
+        view = dataset.view()  # zero-copy for contiguous storage
+        data = (dataset.read() if view is None else view).astype(np.float64)
         finite = data[np.isfinite(data)]
         nev = data.size - finite.size
         if finite.size:

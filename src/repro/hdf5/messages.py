@@ -180,10 +180,13 @@ class AttributeValue:
     @classmethod
     def from_python(cls, name: str, value: object) -> "AttributeValue":
         if isinstance(value, str):
+            # Stored NUL-terminated (size = len + 1): the terminator keeps
+            # empty strings representable and lets to_python recover values
+            # with embedded or trailing NULs exactly.
             raw = value.encode("utf-8")
-            arr = np.array(raw, dtype=f"S{max(len(raw), 1)}")
+            arr = np.array(raw, dtype=f"S{len(raw) + 1}")
         elif isinstance(value, bytes):
-            arr = np.array(value, dtype=f"S{max(len(value), 1)}")
+            arr = np.array(value, dtype=f"S{len(value) + 1}")
         elif isinstance(value, bool):
             arr = np.array(int(value), dtype=np.int8)
         elif isinstance(value, int):
@@ -197,7 +200,9 @@ class AttributeValue:
     def to_python(self) -> object:
         arr = self.value
         if arr.dtype.kind == "S":
-            return bytes(arr.item()).decode("utf-8")
+            # Drop exactly the terminator byte; .item() would strip every
+            # trailing NUL, corrupting strings that legitimately end in one.
+            return arr.tobytes()[:-1].decode("utf-8")
         if arr.shape == ():
             return arr.item()
         return arr

@@ -17,6 +17,24 @@ Quick use::
     )
     result = CheckpointCorrupter(config).corrupt()
     result.log.save("flips.json")          # for equivalent injection later
+
+    # derive variants without mutating the original config
+    fp32 = config.replace(float_precision=32, last_bit=31)
+
+Campaigns run on a two-stage engine (:mod:`repro.injector.engine`): every
+attempt's (location, index, bit) tuple is pre-sampled into an
+:class:`InjectionPlan`, then applied either in vectorized batches over
+``hdf5.Dataset.view()`` arrays (``engine="vectorized"``, the default) or
+element by element through the byte-addressed path (``engine="scalar"``,
+the reference implementation).  Both engines are bit-identical for any
+seed — same file bytes, same log — so the scalar path stays available as
+an oracle::
+
+    CheckpointCorrupter(config, engine="scalar").corrupt()
+
+``CorruptionResult``, ``ReplayResult``, and the campaign statistics all
+share one reporting protocol: ``to_dict()`` for JSON-safe counters and
+``summary()`` for a one-line human rendering.
 """
 
 from . import bitops
@@ -30,16 +48,26 @@ from .corrupter import (
     expand_locations,
     resolve_attempts,
 )
-from .equivalent import ReplayResult, build_location_map, replay_log
+from .engine import ENGINES, InjectionPlan, PlanTarget, sample_plan
+from .equivalent import (
+    ReplayConfig,
+    ReplayResult,
+    build_location_map,
+    replay_log,
+)
 from .log import InjectionLog, InjectionRecord
 
 __all__ = [
     "CheckpointCorrupter",
     "CorruptionError",
     "CorruptionResult",
+    "ENGINES",
     "InjectionLog",
+    "InjectionPlan",
     "InjectionRecord",
     "InjectorConfig",
+    "PlanTarget",
+    "ReplayConfig",
     "ReplayResult",
     "bitops",
     "build_location_map",
@@ -48,4 +76,5 @@ __all__ = [
     "expand_locations",
     "replay_log",
     "resolve_attempts",
+    "sample_plan",
 ]

@@ -184,6 +184,85 @@ def flip_integer_bit(value: int, rng: np.random.Generator) -> int:
     return -flipped if value < 0 else flipped
 
 
+# -- array kernels (vectorized injection engine) -----------------------------
+#
+# Each kernel is the batched counterpart of the scalar primitive above: it
+# takes a float array of one precision plus per-element parameters and
+# returns the corrupted values, computed through a uint view of the whole
+# batch.  Scalar and array kernels must agree bit for bit — the engine
+# equivalence property test locks that in.
+
+def float_to_bits_array(values: np.ndarray, precision: int) -> np.ndarray:
+    """Raw IEEE-754 bit patterns of a float array, as the matching uint."""
+    float_dtype, uint_dtype = _FLOAT_DTYPES[precision]
+    return np.ascontiguousarray(values, dtype=float_dtype).view(uint_dtype)
+
+
+def bits_to_float_array(bits: np.ndarray, precision: int) -> np.ndarray:
+    """Reinterpret a uint bit-pattern array as floats of *precision*."""
+    float_dtype, uint_dtype = _FLOAT_DTYPES[precision]
+    return np.ascontiguousarray(bits, dtype=uint_dtype).view(float_dtype)
+
+
+def flip_bits_array(values: np.ndarray, bits_lsb: np.ndarray,
+                    precision: int) -> np.ndarray:
+    """Flip one (LSB-order) bit per element of a float array."""
+    _, uint_dtype = _FLOAT_DTYPES[precision]
+    patterns = float_to_bits_array(values, precision)
+    masks = uint_dtype.type(1) << np.asarray(bits_lsb).astype(uint_dtype)
+    return bits_to_float_array(patterns ^ masks, precision)
+
+
+def apply_xor_mask_array(values: np.ndarray, mask: int, shifts: np.ndarray,
+                         precision: int) -> np.ndarray:
+    """XOR one mask pattern, shifted per element, into a float array."""
+    _, uint_dtype = _FLOAT_DTYPES[precision]
+    patterns = float_to_bits_array(values, precision)
+    masks = uint_dtype.type(mask) << np.asarray(shifts).astype(uint_dtype)
+    return bits_to_float_array(patterns ^ masks, precision)
+
+
+def scale_array(values: np.ndarray, factor: float,
+                precision: int) -> np.ndarray:
+    """Multiply a float array by *factor* at the target precision."""
+    float_dtype, _ = _FLOAT_DTYPES[precision]
+    with np.errstate(over="ignore", invalid="ignore"):
+        return (np.asarray(values, dtype=float_dtype)
+                * float_dtype.type(factor))
+
+
+def stuck_at_array(values: np.ndarray, bit_lsb: int, stuck_value: int,
+                   precision: int) -> np.ndarray:
+    """Force one (LSB-order) bit of every element to a fixed value."""
+    _, uint_dtype = _FLOAT_DTYPES[precision]
+    patterns = float_to_bits_array(values, precision)
+    mask = uint_dtype.type(1) << uint_dtype.type(bit_lsb)
+    if stuck_value:
+        patterns = patterns | mask
+    else:
+        patterns = patterns & ~mask
+    return bits_to_float_array(patterns, precision)
+
+
+def zero_array(count: int, precision: int) -> np.ndarray:
+    """A batch of zeroed values at the target precision."""
+    float_dtype, _ = _FLOAT_DTYPES[precision]
+    return np.zeros(count, dtype=float_dtype)
+
+
+def is_nan_or_inf_array(values: np.ndarray) -> np.ndarray:
+    """Elementwise :func:`is_nan_or_inf` over a float array."""
+    return ~np.isfinite(np.asarray(values))
+
+
+def is_extreme_array(values: np.ndarray,
+                     threshold: float = 1e30) -> np.ndarray:
+    """Elementwise :func:`is_extreme` over a float array."""
+    values = np.asarray(values)
+    with np.errstate(invalid="ignore"):
+        return ~np.isfinite(values) | (np.abs(values) > threshold)
+
+
 def count_flipped_bits(old, new, precision: int) -> int:
     """Hamming distance between the bit patterns of two floats."""
     return int(

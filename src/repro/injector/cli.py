@@ -24,7 +24,7 @@ import sys
 
 from .config import InjectorConfig
 from .corrupter import CheckpointCorrupter
-from .equivalent import replay_log
+from .equivalent import ReplayConfig, replay_log
 from .log import InjectionLog
 
 
@@ -75,6 +75,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(repeatable)")
     parser.add_argument("--reuse-indices", action="store_true",
                         help="replay at the recorded flat indices")
+    parser.add_argument("--engine", choices=["scalar", "vectorized"],
+                        default="vectorized",
+                        help="apply path: batched array kernels (default) "
+                             "or the element-at-a-time reference")
     parser.add_argument("--json", action="store_true",
                         help="print a machine-readable summary")
     return parser
@@ -94,18 +98,14 @@ def main(argv: list[str] | None = None) -> int:
                 return 2
             src, dst = pair.split("=", 1)
             location_map[src] = dst
-        result = replay_log(args.hdf5_file, log,
-                            location_map=location_map or None,
-                            reuse_indices=args.reuse_indices,
-                            seed=args.seed)
-        summary = {
-            "replayed": result.replayed,
-            "skipped": result.skipped,
-            "nev_introduced": result.nev_introduced,
-        }
+        replay_config = ReplayConfig(location_map=location_map or None,
+                                     reuse_indices=args.reuse_indices,
+                                     seed=args.seed)
+        result = replay_log(args.hdf5_file, log, config=replay_config,
+                            engine=args.engine)
         if args.save_log:
             result.log.save(args.save_log)
-        _emit(summary, args.json)
+        _emit(result.to_dict(), args.json)
         return 0
 
     config = InjectorConfig(
@@ -126,18 +126,10 @@ def main(argv: list[str] | None = None) -> int:
         use_random_locations=not args.locations,
         seed=args.seed,
     )
-    result = CheckpointCorrupter(config).corrupt()
+    result = CheckpointCorrupter(config, engine=args.engine).corrupt()
     if args.save_log:
         result.log.save(args.save_log)
-    summary = {
-        "attempts": result.attempts,
-        "successes": result.successes,
-        "skipped_probability": result.skipped_probability,
-        "skipped_retries": result.skipped_retries,
-        "nev_introduced": result.nev_introduced,
-        "locations": len(result.locations),
-    }
-    _emit(summary, args.json)
+    _emit(result.to_dict(), args.json)
     return 0
 
 

@@ -209,3 +209,22 @@ class InjectorConfig:
             if key in payload
         }
         return cls(**known)
+
+    def replace(self, **overrides) -> "InjectorConfig":
+        """A copy with *overrides* applied, re-validated.
+
+        Unlike :meth:`from_dict` — which tolerates foreign keys so logs
+        from future versions stay loadable — unknown override names raise
+        ``TypeError``: a typo in an override silently corrupting nothing
+        is the worst possible failure mode for an injection campaign.
+        """
+        fields = self.__dataclass_fields__  # type: ignore[attr-defined]
+        unknown = sorted(set(overrides) - set(fields))
+        if unknown:
+            raise TypeError(
+                f"unknown InjectorConfig field(s): {', '.join(unknown)}; "
+                f"valid fields are {', '.join(sorted(fields))}"
+            )
+        payload = self.to_dict()
+        payload.update(overrides)
+        return type(self).from_dict(payload)

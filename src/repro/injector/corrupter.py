@@ -6,23 +6,46 @@ element inside it, and — with ``injection_probability`` — corrupts that
 element according to ``corruption_mode``.  All successful corruptions are
 recorded in an :class:`~repro.injector.log.InjectionLog`, which can later be
 replayed on another framework's checkpoint (*equivalent injection*).
+
+Campaigns run on the batched injection engine
+(:mod:`repro.injector.engine`): the attempt tuples are pre-sampled into an
+:class:`~repro.injector.engine.InjectionPlan` and applied either in
+vectorized batches over ``Dataset.view()`` arrays (``engine="vectorized"``,
+the default) or element by element through the byte-addressed path
+(``engine="scalar"``, the reference implementation).  Both engines are
+bit-identical for any seed.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .. import hdf5
-from . import bitops
+from . import bitops  # noqa: F401  (re-exported convenience)
 from .config import InjectorConfig
-from .log import InjectionLog, InjectionRecord
+from .engine import (
+    CorruptionError,
+    DatasetStore,
+    apply_plan,
+    dataset_target,
+    sample_plan,
+    validate_engine,
+)
+from .log import InjectionLog
 
-
-class CorruptionError(RuntimeError):
-    """Raised when a corruption campaign cannot proceed."""
+__all__ = [
+    "CheckpointCorrupter",
+    "CorruptionError",
+    "CorruptionResult",
+    "corrupt_checkpoint",
+    "count_entries",
+    "expand_locations",
+    "resolve_attempts",
+]
 
 
 @dataclass
@@ -41,6 +64,28 @@ class CorruptionResult:
     def success_rate(self) -> float:
         return self.successes / self.attempts if self.attempts else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-safe summary counters (the result protocol)."""
+        return {
+            "attempts": self.attempts,
+            "successes": self.successes,
+            "skipped_probability": self.skipped_probability,
+            "skipped_retries": self.skipped_retries,
+            "nev_introduced": self.nev_introduced,
+            "locations": len(self.locations),
+            "success_rate": round(self.success_rate, 4),
+        }
+
+    def summary(self) -> str:
+        """One human-readable line (the result protocol)."""
+        return (
+            f"{self.successes}/{self.attempts} attempts corrupted over "
+            f"{len(self.locations)} locations "
+            f"({self.skipped_probability} probability-skipped, "
+            f"{self.skipped_retries} retry-skipped, "
+            f"{self.nev_introduced} N-EVs)"
+        )
+
 
 def expand_locations(
     handle: hdf5.File | hdf5.Group, locations: list[str] | None = None
@@ -49,11 +94,21 @@ def expand_locations(
 
     ``None`` (or empty) means *every* dataset in the file.  A location naming
     a group expands to every dataset below it ("all sublocations inside a
-    location will be corrupted", Table I).
+    location will be corrupted", Table I).  A dataset reachable through
+    several configured locations (e.g. a group *and* one of its children)
+    is listed once, at its first appearance — duplicates would silently
+    skew the uniform location draw toward it.
     """
     if not locations:
         return [dataset.name for dataset in handle.datasets()]
     expanded: list[str] = []
+    seen: set[str] = set()
+
+    def add(name: str) -> None:
+        if name not in seen:
+            seen.add(name)
+            expanded.append(name)
+
     for location in locations:
         try:
             obj = handle[location]
@@ -62,14 +117,15 @@ def expand_locations(
                 f"location not found in checkpoint: {location!r}"
             ) from None
         if isinstance(obj, hdf5.Dataset):
-            expanded.append(obj.name)
+            add(obj.name)
         else:
             below = obj.datasets()
             if not below:
                 raise CorruptionError(
                     f"location {location!r} contains no datasets"
                 )
-            expanded.extend(dataset.name for dataset in below)
+            for dataset in below:
+                add(dataset.name)
     return expanded
 
 
@@ -94,8 +150,9 @@ def resolve_attempts(config: InjectorConfig, total_entries: int) -> int:
 class CheckpointCorrupter:
     """Drives a corruption campaign over one HDF5 checkpoint file."""
 
-    def __init__(self, config: InjectorConfig):
+    def __init__(self, config: InjectorConfig, engine: str = "vectorized"):
         self.config = config
+        self.engine = validate_engine(engine)
         self.rng = np.random.default_rng(config.seed)
 
     # -- public entry points ---------------------------------------------------
@@ -128,175 +185,41 @@ class CheckpointCorrupter:
             raise CorruptionError("no corruptible datasets in checkpoint")
 
         attempts = resolve_attempts(config, count_entries(handle, locations))
+        datasets = [handle[loc] for loc in locations]
+        targets = [dataset_target(dataset, config) for dataset in datasets]
+        plan = sample_plan(self.rng, config, targets, attempts)
+        records, counters = apply_plan(plan, DatasetStore(datasets),
+                                       self.rng, engine=self.engine)
+
         log = InjectionLog(config=config.to_dict())
-        result = CorruptionResult(log=log, locations=locations)
-
-        datasets = {loc: handle[loc] for loc in locations}
-        for _ in range(attempts):
-            result.attempts += 1
-            location = locations[int(self.rng.integers(0, len(locations)))]
-            dataset = datasets[location]
-            index = self._draw_index(dataset)
-            if self.rng.random() >= config.injection_probability:
-                result.skipped_probability += 1
-                continue
-            record = self._corrupt_element(dataset, location, index)
-            if record is None:
-                result.skipped_retries += 1
-                continue
-            result.successes += 1
-            if record.kind != "integer" and bitops.is_nan_or_inf(
-                record.new_value
-            ):
-                result.nev_introduced += 1
-            log.append(record)
-        return result
-
-    def _draw_index(self, dataset: hdf5.Dataset) -> int:
-        """Random flat index, confined to ``target_slice`` when configured."""
-        if self.config.target_slice is None or not dataset.shape:
-            return int(self.rng.integers(0, dataset.size))
-        stride = 1
-        for dim in dataset.shape[1:]:
-            stride *= dim
-        base = self.config.target_slice * stride
-        return base + int(self.rng.integers(0, stride))
-
-    # -- element corruption ------------------------------------------------------
-    def _corrupt_element(
-        self, dataset: hdf5.Dataset, location: str, index: int
-    ) -> InjectionRecord | None:
-        if dataset.dtype.kind in ("i", "u"):
-            return self._corrupt_integer(dataset, location, index)
-        if dataset.dtype.kind != "f":
-            return None  # strings etc. are not corrupted
-        precision = self._effective_precision(dataset)
-        if precision is None:
-            return None
-        old = dataset.read_flat(index)
-        for attempt in range(1, self.config.max_retries + 1):
-            new, record = self._corrupt_float(old, precision)
-            if (not self.config.allow_NaN_values
-                    and bitops.is_nan_or_inf(new)):
-                continue
-            if (self.config.extreme_guard is not None
-                    and bitops.is_extreme(new, self.config.extreme_guard)):
-                continue
-            dataset.write_flat(index, new)
-            record.location = location
-            record.flat_index = index
-            record.attempts = attempt
-            return record
-        return None
-
-    def _effective_precision(self, dataset: hdf5.Dataset) -> int | None:
-        actual = bitops.precision_of_dtype(dataset.dtype)
-        if actual == self.config.float_precision:
-            return actual
-        if self.config.precision_mismatch == "strict":
-            raise CorruptionError(
-                f"dataset {dataset.name!r} is {actual}-bit but "
-                f"float_precision={self.config.float_precision}"
-            )
-        if self.config.precision_mismatch == "skip":
-            return None
-        return actual  # adapt
-
-    def _corrupt_float(
-        self, old, precision: int
-    ) -> tuple[np.floating, InjectionRecord]:
-        config = self.config
-        mode = config.corruption_mode
-        if mode == "bit_range":
-            first = config.first_bit
-            last = min(config.effective_last_bit, precision - 1)
-            bit_msb = int(self.rng.integers(first, last + 1))
-            bit_lsb = bitops.msb_to_lsb(bit_msb, precision)
-            new = bitops.flip_bit(old, bit_lsb, precision)
-            record = InjectionRecord(
-                location="", flat_index=-1, kind="bit_range",
-                precision=precision, bit_msb=bit_msb,
-            )
-        elif mode == "bit_mask":
-            mask = bitops.parse_mask(config.bit_mask)
-            width = bitops.mask_width(config.bit_mask)
-            max_shift = precision - width
-            shift = int(self.rng.integers(0, max_shift + 1))
-            new = bitops.apply_xor_mask(old, mask, shift, precision)
-            record = InjectionRecord(
-                location="", flat_index=-1, kind="bit_mask",
-                precision=precision, mask=format(mask, f"0{width}b"),
-                shift=shift,
-            )
-        elif mode == "scaling_factor":
-            dtype = bitops.dtype_for_precision(precision)
-            with np.errstate(over="ignore", invalid="ignore"):
-                new = (np.asarray(old, dtype=dtype)
-                       * dtype.type(config.scaling_factor))[()]
-            record = InjectionRecord(
-                location="", flat_index=-1, kind="scaling_factor",
-                precision=precision, factor=config.scaling_factor,
-            )
-        elif mode == "stuck_at":
-            # extension: force one bit to a fixed value (stuck-at fault)
-            bit_msb = min(config.stuck_bit, precision - 1)
-            bit_lsb = bitops.msb_to_lsb(bit_msb, precision)
-            bits = bitops.float_to_bits(old, precision)
-            if config.stuck_value:
-                bits |= 1 << bit_lsb
-            else:
-                bits &= ~(1 << bit_lsb)
-            new = bitops.bits_to_float(bits, precision)
-            record = InjectionRecord(
-                location="", flat_index=-1, kind="stuck_at",
-                precision=precision, bit_msb=bit_msb,
-                shift=config.stuck_value,
-            )
-        elif mode == "zero_value":
-            # extension: weight zeroing (PyTorchFI-style)
-            dtype = bitops.dtype_for_precision(precision)
-            new = dtype.type(0.0)
-            record = InjectionRecord(
-                location="", flat_index=-1, kind="zero_value",
-                precision=precision,
-            )
-        else:  # pragma: no cover - config validation prevents this
-            raise CorruptionError(f"unknown corruption mode: {mode!r}")
-        record.old_bits = format(bitops.float_to_bits(old, precision), "x")
-        record.new_bits = format(bitops.float_to_bits(new, precision), "x")
-        record.old_value = float(old)
-        record.new_value = float(new)
-        return new, record
-
-    def _corrupt_integer(
-        self, dataset: hdf5.Dataset, location: str, index: int
-    ) -> InjectionRecord:
-        old = int(dataset.read_flat(index))
-        new = bitops.flip_integer_bit(old, self.rng)
-        info = np.iinfo(dataset.dtype)
-        if not info.min <= new <= info.max:
-            # The flipped value no longer fits the stored width; wrap the way
-            # a store of the raw bits would.
-            new = int(np.asarray(new).astype(dataset.dtype)[()])
-        dataset.write_flat(index, new)
-        return InjectionRecord(
-            location=location, flat_index=index, kind="integer",
-            precision=dataset.dtype.itemsize * 8,
-            old_bits=format(old & ((1 << 64) - 1), "x"),
-            new_bits=format(new & ((1 << 64) - 1), "x"),
-            old_value=float(old), new_value=float(new),
+        log.records.extend(records)
+        return CorruptionResult(
+            log=log, attempts=attempts, successes=counters.successes,
+            skipped_probability=counters.skipped_probability,
+            skipped_retries=counters.skipped_retries,
+            nev_introduced=counters.nev_introduced, locations=locations,
         )
 
 
 def corrupt_checkpoint(
-    path: str, config: InjectorConfig | None = None, **overrides
+    path: str, config: InjectorConfig | None = None,
+    engine: str = "vectorized", **overrides
 ) -> CorruptionResult:
-    """One-call convenience wrapper around :class:`CheckpointCorrupter`."""
+    """One-call convenience wrapper around :class:`CheckpointCorrupter`.
+
+    Either build the configuration from ``**overrides`` (``config=None``),
+    or pass a ready :class:`InjectorConfig`.  Mixing both — a config *plus*
+    keyword overrides — is deprecated; call
+    ``config.replace(**overrides)`` yourself instead.
+    """
     if config is None:
         config = InjectorConfig(hdf5_file=path, **overrides)
     elif overrides:
-        payload = config.to_dict()
-        payload.update(overrides)
-        payload["hdf5_file"] = path
-        config = InjectorConfig.from_dict(payload)
-    return CheckpointCorrupter(config).corrupt(path)
+        warnings.warn(
+            "passing both config= and keyword overrides to "
+            "corrupt_checkpoint() is deprecated; use "
+            "config.replace(**overrides) instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        config = config.replace(hdf5_file=path, **overrides)
+    return CheckpointCorrupter(config, engine=engine).corrupt(path)

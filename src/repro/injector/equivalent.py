@@ -12,6 +12,7 @@ layouts do match, e.g. replaying onto a copy of the same checkpoint).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -19,7 +20,42 @@ import numpy as np
 from .. import hdf5
 from . import bitops
 from .corrupter import CorruptionError
+from .engine import validate_engine
 from .log import InjectionLog, InjectionRecord
+
+
+@dataclass
+class ReplayConfig:
+    """Settings for :func:`replay_log` (the seed/map kwargs, unified).
+
+    Attributes
+    ----------
+    location_map:
+        Optional path translation (source framework path -> target framework
+        path); applied with longest-prefix matching before replay.
+    reuse_indices:
+        Replay at the recorded flat indices instead of redrawing random ones.
+        Requires the recorded index to be in range at the target.
+    seed:
+        RNG seed for index redraws.
+    """
+
+    location_map: dict[str, str] | None = None
+    reuse_indices: bool = False
+    seed: int | None = None
+
+    def replace(self, **overrides) -> "ReplayConfig":
+        """A copy with *overrides* applied; unknown names raise TypeError."""
+        fields = self.__dataclass_fields__  # type: ignore[attr-defined]
+        unknown = sorted(set(overrides) - set(fields))
+        if unknown:
+            raise TypeError(
+                f"unknown ReplayConfig field(s): {', '.join(unknown)}; "
+                f"valid fields are {', '.join(sorted(fields))}"
+            )
+        payload = {name: getattr(self, name) for name in fields}
+        payload.update(overrides)
+        return type(self)(**payload)
 
 
 @dataclass
@@ -32,6 +68,73 @@ class ReplayResult:
     nev_introduced: int = 0
     skipped_records: list[str] = field(default_factory=list)
 
+    def to_dict(self) -> dict:
+        """JSON-safe summary counters (the result protocol)."""
+        return {
+            "replayed": self.replayed,
+            "skipped": self.skipped,
+            "nev_introduced": self.nev_introduced,
+        }
+
+    def summary(self) -> str:
+        """One human-readable line (the result protocol)."""
+        return (
+            f"{self.replayed} records replayed, {self.skipped} skipped, "
+            f"{self.nev_introduced} N-EVs"
+        )
+
+
+class _ElementAccess:
+    """Per-dataset element I/O for replay, selected by engine.
+
+    The scalar engine reads and writes elements through the byte-addressed
+    ``read_flat``/``write_flat`` path.  The vectorized engine caches one
+    flat array per dataset — a ``Dataset.view()`` alias where storage is
+    contiguous, a read/modify/write copy (committed by :meth:`finalize`)
+    where it is chunked-but-writable — so an N-record replay costs O(1)
+    array operations per dataset instead of N byte-range file operations.
+    Both paths compute identical values in identical order.
+    """
+
+    def __init__(self, engine: str):
+        self._vectorized = engine == "vectorized"
+        self._flats: dict[str, np.ndarray] = {}
+        self._dirty: dict[str, hdf5.Dataset] = {}
+
+    def _flat(self, dataset: hdf5.Dataset) -> np.ndarray | None:
+        if dataset.name in self._flats:
+            return self._flats[dataset.name]
+        view = dataset.view()
+        if view is not None and view.flags.writeable:
+            flat = view.reshape(-1)
+        elif dataset.supports_inplace_writes:
+            flat = dataset.read().reshape(-1)
+            self._dirty[dataset.name] = dataset
+        else:
+            return None  # compressed chunks: keep per-element semantics
+        self._flats[dataset.name] = flat
+        return flat
+
+    def read(self, dataset: hdf5.Dataset, index: int):
+        if self._vectorized:
+            flat = self._flat(dataset)
+            if flat is not None:
+                return flat[index]
+        return dataset.read_flat(index)
+
+    def write(self, dataset: hdf5.Dataset, index: int, value) -> None:
+        if self._vectorized:
+            flat = self._flat(dataset)
+            if flat is not None:
+                flat[index] = value
+                return
+        dataset.write_flat(index, value)
+
+    def finalize(self) -> None:
+        for name, dataset in self._dirty.items():
+            dataset.write(self._flats[name].reshape(dataset.shape))
+        self._dirty.clear()
+
 
 def replay_log(
     target_path: str,
@@ -39,25 +142,47 @@ def replay_log(
     location_map: dict[str, str] | None = None,
     reuse_indices: bool = False,
     seed: int | None = None,
+    config: ReplayConfig | None = None,
+    engine: str = "vectorized",
 ) -> ReplayResult:
     """Replay *log* onto the checkpoint at *target_path*.
 
-    Parameters
-    ----------
-    location_map:
-        Optional path translation (source framework path -> target framework
-        path); applied with longest-prefix matching before replay.
-    reuse_indices:
-        Replay at the recorded flat indices instead of redrawing random ones.
-        Requires the recorded index to be in range at the target.
-    seed:
-        RNG seed for index redraws.
+    Settings live in a :class:`ReplayConfig` (pass ``config=``); the
+    individual ``location_map``/``reuse_indices``/``seed`` keywords remain
+    for backward compatibility.  Mixing both — a config *plus* non-default
+    legacy keywords — is deprecated; use ``config.replace(...)`` instead.
+    ``engine`` selects the apply path exactly as in
+    :class:`~repro.injector.corrupter.CheckpointCorrupter`.
     """
-    if location_map:
-        log = log.remap(location_map)
-    rng = np.random.default_rng(seed)
+    if isinstance(location_map, ReplayConfig):
+        raise TypeError(
+            "pass ReplayConfig via the config= keyword; the third "
+            "positional argument is the legacy location_map"
+        )
+    legacy = {}
+    if location_map is not None:
+        legacy["location_map"] = location_map
+    if reuse_indices:
+        legacy["reuse_indices"] = reuse_indices
+    if seed is not None:
+        legacy["seed"] = seed
+    if config is None:
+        config = ReplayConfig(**legacy)
+    elif legacy:
+        warnings.warn(
+            "passing both config= and legacy keywords to replay_log() is "
+            "deprecated; use config.replace(**overrides) instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        config = config.replace(**legacy)
+    validate_engine(engine)
+
+    if config.location_map:
+        log = log.remap(config.location_map)
+    rng = np.random.default_rng(config.seed)
     out_log = InjectionLog(config={"replayed_from": dict(log.config)})
     result = ReplayResult(log=out_log)
+    access = _ElementAccess(engine)
     with hdf5.File(target_path, "r+") as handle:
         for record in log:
             dataset = _resolve_target(handle, record.location, rng)
@@ -73,7 +198,8 @@ def replay_log(
                     f"not a corruptible dataset: {record.location}"
                 )
                 continue
-            new_record = _replay_one(dataset, record, rng, reuse_indices)
+            new_record = _replay_one(dataset, record, rng,
+                                     config.reuse_indices, access)
             if new_record is None:
                 result.skipped += 1
                 result.skipped_records.append(
@@ -84,6 +210,7 @@ def replay_log(
             if bitops.is_nan_or_inf(new_record.new_value):
                 result.nev_introduced += 1
             out_log.append(new_record)
+        access.finalize()
     return result
 
 
@@ -133,6 +260,7 @@ def _replay_one(
     record: InjectionRecord,
     rng: np.random.Generator,
     reuse_indices: bool,
+    access: _ElementAccess,
 ) -> InjectionRecord | None:
     if dataset.dtype.kind != "f":
         return None
@@ -143,7 +271,7 @@ def _replay_one(
         index = record.flat_index
     else:
         index = int(rng.integers(0, dataset.size))
-    old = dataset.read_flat(index)
+    old = access.read(dataset, index)
 
     if record.kind == "bit_range":
         if record.bit_msb is None or record.bit_msb >= precision:
@@ -199,7 +327,7 @@ def _replay_one(
     else:
         return None
 
-    dataset.write_flat(index, new)
+    access.write(dataset, index, new)
     replayed.old_bits = format(bitops.float_to_bits(old, precision), "x")
     replayed.new_bits = format(bitops.float_to_bits(new, precision), "x")
     replayed.old_value = float(old)

@@ -22,7 +22,9 @@ from ..nn.model import Model
 from . import bitops
 from .config import InjectorConfig
 from .corrupter import CorruptionError, CorruptionResult
-from .log import InjectionLog, InjectionRecord
+from .engine import ArrayStore, apply_plan, array_target, sample_plan, \
+    validate_engine
+from .log import InjectionLog
 
 
 class ModelCorrupter:
@@ -31,11 +33,15 @@ class ModelCorrupter:
     Locations are ``"<layer>/<key>"`` strings (e.g. ``"conv1/W"``); a bare
     layer name targets all of its arrays.  Only float arrays are corrupted
     (the integer path has no in-memory analogue worth modelling — optimizer
-    counters live outside the model).
+    counters live outside the model).  Campaigns run on the same
+    plan/engine machinery as :class:`~repro.injector.corrupter
+    .CheckpointCorrupter`, over :class:`~repro.injector.engine.ArrayStore`
+    instead of an open file.
     """
 
-    def __init__(self, config: InjectorConfig):
+    def __init__(self, config: InjectorConfig, engine: str = "vectorized"):
         self.config = config
+        self.engine = validate_engine(engine)
         self.rng = np.random.default_rng(config.seed)
 
     # -- location handling -----------------------------------------------------
@@ -84,50 +90,21 @@ class ModelCorrupter:
         from .corrupter import resolve_attempts
         attempts = resolve_attempts(config, total)
 
-        log = InjectionLog(config=config.to_dict())
-        result = CorruptionResult(log=log, locations=names)
-        for _ in range(attempts):
-            result.attempts += 1
-            name = names[int(self.rng.integers(0, len(names)))]
-            array = arrays[name]
-            index = int(self.rng.integers(0, array.size))
-            if self.rng.random() >= config.injection_probability:
-                result.skipped_probability += 1
-                continue
-            record = self._corrupt_element(array, name, index)
-            if record is None:
-                result.skipped_retries += 1
-                continue
-            result.successes += 1
-            if bitops.is_nan_or_inf(record.new_value):
-                result.nev_introduced += 1
-            log.append(record)
-        return result
+        targets = [array_target(name, arrays[name], config)
+                   for name in names]
+        plan = sample_plan(self.rng, config, targets, attempts)
+        store = ArrayStore([arrays[name] for name in names])
+        records, counters = apply_plan(plan, store, self.rng,
+                                       engine=self.engine)
 
-    def _corrupt_element(self, array: np.ndarray, name: str,
-                         index: int) -> InjectionRecord | None:
-        precision = bitops.precision_of_dtype(array.dtype)
-        flat = array.reshape(-1)
-        old = flat[index]
-        # reuse the file corrupter's float logic verbatim
-        from .corrupter import CheckpointCorrupter
-        scratch = CheckpointCorrupter.__new__(CheckpointCorrupter)
-        scratch.config = self.config
-        scratch.rng = self.rng
-        for attempt in range(1, self.config.max_retries + 1):
-            new, record = scratch._corrupt_float(old, precision)
-            if (not self.config.allow_NaN_values
-                    and bitops.is_nan_or_inf(new)):
-                continue
-            if (self.config.extreme_guard is not None
-                    and bitops.is_extreme(new, self.config.extreme_guard)):
-                continue
-            flat[index] = new
-            record.location = name
-            record.flat_index = index
-            record.attempts = attempt
-            return record
-        return None
+        log = InjectionLog(config=config.to_dict())
+        log.records.extend(records)
+        return CorruptionResult(
+            log=log, attempts=attempts, successes=counters.successes,
+            skipped_probability=counters.skipped_probability,
+            skipped_retries=counters.skipped_retries,
+            nev_introduced=counters.nev_introduced, locations=names,
+        )
 
 
 def apply_log_to_model(model: Model, log: InjectionLog) -> int:

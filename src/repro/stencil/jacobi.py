@@ -115,16 +115,16 @@ class JacobiSolver:
     @classmethod
     def load_checkpoint(cls, path: str) -> "JacobiSolver":
         with hdf5.File(path, "r") as f:
-            boundaries = f["problem/boundaries"].read()
-            size = int(f["problem/size"].read()[()])
+            boundaries = f["problem/boundaries"][...]
+            size = int(f["problem/size"][...])
             problem = JacobiProblem(
                 size=size, top=float(boundaries[0]),
                 bottom=float(boundaries[1]), left=float(boundaries[2]),
                 right=float(boundaries[3]),
             )
             solver = cls(problem)
-            solver.grid = f["state/grid"].read()
-            solver.iteration = int(f["state/iteration"].read()[()])
+            solver.grid = f["state/grid"][...]
+            solver.iteration = int(f["state/iteration"][...])
         return solver
 
 

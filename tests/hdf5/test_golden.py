@@ -15,7 +15,7 @@ import numpy as np
 from repro import hdf5
 
 GOLDEN_SHA256 = (
-    "3378e3d97ef0ad5ed68e5ac657ee3ad5a49fccdbab221c1cb83900a572893923"
+    "c601d4e4427219e5440deacddebb7062dba229bde7f147e2339bdb01ff2def5e"
 )
 GOLDEN_SIZE = 8456
 

@@ -1,0 +1,137 @@
+"""Tests of ``Dataset.view()`` — the mmap-backed zero-copy fast path —
+and the ``__getitem__``/``__setitem__`` selection API built on it."""
+
+import numpy as np
+import pytest
+
+from repro import hdf5
+
+
+@pytest.fixture()
+def path(tmp_path):
+    return str(tmp_path / "view.h5")
+
+
+def build(path, **dataset_kwargs):
+    data = np.arange(24, dtype=np.float64).reshape(4, 6)
+    with hdf5.File(path, "w") as f:
+        f.create_dataset("w", data=data, **dataset_kwargs)
+    return data
+
+
+class TestView:
+    def test_writable_alias_in_rplus(self, path):
+        expected = build(path)
+        with hdf5.File(path, "r+") as f:
+            view = f["w"].view()
+            assert view.shape == (4, 6)
+            assert view.dtype == np.float64
+            assert view.flags.writeable
+            np.testing.assert_array_equal(view, expected)
+            view[1, 2] = -99.0
+            # the view is the storage: the byte path sees it immediately
+            assert float(f["w"].read_flat(8)) == -99.0
+        with hdf5.File(path, "r") as f:
+            assert float(f["w"].read()[1, 2]) == -99.0
+
+    def test_read_only_in_r(self, path):
+        build(path)
+        with hdf5.File(path, "r") as f:
+            view = f["w"].view()
+            assert view is not None
+            assert not view.flags.writeable
+            with pytest.raises(ValueError):
+                view[0, 0] = 1.0
+
+    def test_staged_view_is_live(self, path):
+        with hdf5.File(path, "w") as f:
+            f.create_dataset("w", data=np.zeros(5))
+            view = f["w"].view()
+            assert view.flags.writeable
+            view[2] = 7.0
+            np.testing.assert_array_equal(f["w"].read(),
+                                          [0.0, 0.0, 7.0, 0.0, 0.0])
+        with hdf5.File(path, "r") as f:
+            assert float(f["w"].read()[2]) == 7.0
+
+    def test_chunked_has_no_view(self, path):
+        build(path, chunks=(2, 3))
+        with hdf5.File(path, "r+") as f:
+            assert f["w"].view() is None
+
+    def test_compressed_has_no_view(self, path):
+        build(path, chunks=(2, 3), compression="gzip")
+        with hdf5.File(path, "r+") as f:
+            assert f["w"].view() is None
+
+    def test_byte_writes_visible_through_view(self, path):
+        build(path)
+        with hdf5.File(path, "r+") as f:
+            dataset = f["w"]
+            view = dataset.view()
+            dataset.write_flat(0, -1.0)
+            assert float(view[0, 0]) == -1.0
+
+    def test_view_survives_close(self, path):
+        build(path)
+        f = hdf5.File(path, "r+")
+        view = f["w"].view()
+        f.close()
+        assert float(view[0, 0]) == 0.0  # reads stay legal after close
+
+
+class TestGetItem:
+    def test_full_selection_is_a_copy(self, path):
+        expected = build(path)
+        with hdf5.File(path, "r+") as f:
+            out = f["w"][...]
+            np.testing.assert_array_equal(out, expected)
+            out[0, 0] = 123.0
+            assert float(f["w"].read_flat(0)) == 0.0
+
+    def test_partial_selection(self, path):
+        expected = build(path)
+        with hdf5.File(path, "r") as f:
+            np.testing.assert_array_equal(f["w"][1:3, 2], expected[1:3, 2])
+            assert float(f["w"][2, 5]) == expected[2, 5]
+
+    def test_scalar_dataset_unwraps(self, path):
+        with hdf5.File(path, "w") as f:
+            f.create_dataset("s", data=np.float64(2.5))
+        with hdf5.File(path, "r") as f:
+            assert f["s"][...] == 2.5
+            assert np.isscalar(float(f["s"][...]))
+
+    def test_chunked_fallback(self, path):
+        expected = build(path, chunks=(2, 3), compression="gzip")
+        with hdf5.File(path, "r") as f:
+            np.testing.assert_array_equal(f["w"][...], expected)
+            np.testing.assert_array_equal(f["w"][0], expected[0])
+
+
+class TestSetItem:
+    def test_slice_write_persists(self, path):
+        build(path)
+        with hdf5.File(path, "r+") as f:
+            f["w"][1, :] = 5.0
+        with hdf5.File(path, "r") as f:
+            np.testing.assert_array_equal(f["w"].read()[1], np.full(6, 5.0))
+
+    def test_write_in_read_mode_raises(self, path):
+        build(path)
+        with hdf5.File(path, "r") as f:
+            with pytest.raises(PermissionError):
+                f["w"][0, 0] = 1.0
+
+    def test_chunked_uncompressed_fallback_persists(self, path):
+        build(path, chunks=(2, 3))
+        with hdf5.File(path, "r+") as f:
+            f["w"][3, 4] = -8.0
+        with hdf5.File(path, "r") as f:
+            assert float(f["w"].read()[3, 4]) == -8.0
+
+    def test_compressed_raises(self, path):
+        build(path, chunks=(2, 3), compression="gzip")
+        with hdf5.File(path, "r+") as f:
+            with pytest.raises(PermissionError):
+                f["w"][0, 0] = 1.0

@@ -1,0 +1,170 @@
+"""Scalar vs vectorized engine: bit-identical files, logs, and counters.
+
+The vectorized engine is only admissible because the scalar path stays
+available as an oracle.  These tests drive both engines from the same seed
+over the same checkpoint and require the *entire observable outcome* to
+match: every byte of the corrupted file, every log record field, and every
+summary counter — across all corruption modes, precisions, probability
+skips, guard retries, duplicate-prone tiny datasets, and integer datasets.
+"""
+
+import os
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import hdf5
+from repro.injector import (
+    CheckpointCorrupter,
+    CorruptionError,
+    InjectorConfig,
+    ReplayConfig,
+    replay_log,
+)
+
+MODES = ["bit_range", "bit_mask", "scaling_factor", "stuck_at", "zero_value"]
+
+
+def make_checkpoint(path: str, seed: int = 7) -> None:
+    """Mixed-precision layout: fp16/32/64, an integer counter, and a
+    3-element dataset small enough to force duplicate index draws."""
+    gen = np.random.default_rng(seed)
+    with hdf5.File(path, "w") as f:
+        f.create_dataset("w16", data=gen.standard_normal((4, 5))
+                         .astype(np.float16))
+        f.create_dataset("w32", data=gen.standard_normal((3, 7))
+                         .astype(np.float32))
+        f.create_dataset("deep/w64", data=gen.standard_normal((2, 3, 4)))
+        f.create_dataset("tiny", data=gen.standard_normal(3)
+                         .astype(np.float32))
+        f.create_dataset("step", data=np.arange(6, dtype=np.int32))
+
+
+def run_engine(workdir: str, engine: str, **config_kwargs):
+    path = os.path.join(workdir, f"{engine}.h5")
+    make_checkpoint(path)
+    config = InjectorConfig(hdf5_file=path, **config_kwargs)
+    result = CheckpointCorrupter(config, engine=engine).corrupt()
+    with open(path, "rb") as fh:
+        payload = fh.read()
+    return result, payload
+
+
+def assert_engines_identical(**config_kwargs):
+    with tempfile.TemporaryDirectory() as workdir:
+        scalar, scalar_bytes = run_engine(workdir, "scalar", **config_kwargs)
+        vector, vector_bytes = run_engine(workdir, "vectorized",
+                                          **config_kwargs)
+    assert scalar_bytes == vector_bytes
+    # repr-compare: exact for floats, and NaN == NaN textually
+    assert list(map(repr, scalar.log.records)) == \
+        list(map(repr, vector.log.records))
+    assert scalar.to_dict() == vector.to_dict()
+
+
+class TestEveryMode:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("seed", [0, 1, 99])
+    def test_mode_bit_identical(self, mode, seed):
+        assert_engines_identical(
+            corruption_mode=mode, injection_attempts=40, seed=seed,
+            bit_mask="101", scaling_factor=3.0, stuck_bit=1,
+        )
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_mode_with_guards(self, mode):
+        """NaN retry + extreme guard: offender redraws must line up."""
+        assert_engines_identical(
+            corruption_mode=mode, injection_attempts=60, seed=5,
+            allow_NaN_values=False, extreme_guard=10.0, max_retries=50,
+            bit_mask="1111", scaling_factor=1e30, stuck_bit=1,
+        )
+
+    @pytest.mark.parametrize("precision", [16, 32, 64])
+    def test_precisions(self, precision):
+        assert_engines_identical(
+            corruption_mode="bit_range", injection_attempts=50,
+            float_precision=precision, seed=3,
+        )
+
+    def test_probability_and_target_slice(self):
+        assert_engines_identical(
+            corruption_mode="bit_range", injection_attempts=50,
+            injection_probability=0.5, target_slice=0, seed=11,
+        )
+
+    def test_restricted_locations_hit_tiny_duplicates(self):
+        """All draws inside a 3-element dataset: duplicate-index chains."""
+        assert_engines_identical(
+            corruption_mode="bit_range", injection_attempts=30, seed=2,
+            locations_to_corrupt=["tiny"], use_random_locations=False,
+        )
+
+    def test_strict_mismatch_raises_before_mutation(self):
+        with tempfile.TemporaryDirectory() as workdir:
+            for engine in ("scalar", "vectorized"):
+                path = os.path.join(workdir, f"{engine}.h5")
+                make_checkpoint(path)
+                with open(path, "rb") as fh:
+                    before = fh.read()
+                config = InjectorConfig(
+                    hdf5_file=path, injection_attempts=40, seed=1,
+                    float_precision=32, precision_mismatch="strict",
+                )
+                with pytest.raises(CorruptionError):
+                    CheckpointCorrupter(config, engine=engine).corrupt()
+                with open(path, "rb") as fh:
+                    assert fh.read() == before
+
+
+class TestReplayEquivalence:
+    def test_replay_engines_identical(self):
+        with tempfile.TemporaryDirectory() as workdir:
+            source = os.path.join(workdir, "source.h5")
+            make_checkpoint(source)
+            config = InjectorConfig(hdf5_file=source, injection_attempts=25,
+                                    corruption_mode="bit_range", seed=4)
+            log = CheckpointCorrupter(config).corrupt().log
+
+            payloads, results = [], []
+            for engine in ("scalar", "vectorized"):
+                target = os.path.join(workdir, f"replay-{engine}.h5")
+                make_checkpoint(target)
+                result = replay_log(target, log,
+                                    config=ReplayConfig(seed=9),
+                                    engine=engine)
+                with open(target, "rb") as fh:
+                    payloads.append(fh.read())
+                results.append(result)
+        assert payloads[0] == payloads[1]
+        assert list(map(repr, results[0].log.records)) == \
+            list(map(repr, results[1].log.records))
+        assert results[0].to_dict() == results[1].to_dict()
+
+
+class TestPropertyEquivalence:
+    @given(
+        mode=st.sampled_from(MODES),
+        seed=st.integers(0, 2**31),
+        attempts=st.integers(0, 60),
+        probability=st.sampled_from([1.0, 0.5]),
+        precision=st.sampled_from([16, 32, 64]),
+        allow_nan=st.booleans(),
+        guard=st.sampled_from([None, 10.0]),
+        target_slice=st.sampled_from([None, 0]),
+    )
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_any_config_bit_identical(self, mode, seed, attempts,
+                                      probability, precision, allow_nan,
+                                      guard, target_slice):
+        assert_engines_identical(
+            corruption_mode=mode, injection_attempts=attempts, seed=seed,
+            injection_probability=probability, float_precision=precision,
+            allow_NaN_values=allow_nan, extreme_guard=guard,
+            target_slice=target_slice, max_retries=50,
+            bit_mask="1101", scaling_factor=4.0, stuck_bit=2,
+        )
