@@ -34,6 +34,8 @@ import numpy as np
 from repro import hdf5
 from repro.injector import CheckpointCorrupter, InjectorConfig
 
+from conftest import write_bench_result
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: AlexNet weight shapes (fp32): ~54 M parameters, ~220 MB on disk.
@@ -180,6 +182,14 @@ def main(argv: list[str] | None = None) -> int:
         "bit_identical": identical,
     }, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {output}")
+    write_bench_result(
+        "injector_engine",
+        {"scale": args.scale, "attempts": args.attempts,
+         "parameters": parameters, "rounds": args.rounds},
+        timings["vectorized"],
+        {"scalar_seconds": round(timings["scalar"], 6),
+         "speedup": round(speedup, 2), "bit_identical": identical},
+    )
 
     if not identical:
         print("FAIL: engines disagree", file=sys.stderr)

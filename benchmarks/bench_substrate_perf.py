@@ -10,6 +10,12 @@ from repro.injector import CheckpointCorrupter, InjectorConfig
 from repro.models import build_model
 from repro.nn import SGD, Trainer, rng
 
+from conftest import write_bench_result
+
+
+def _mean_seconds(benchmark) -> float:
+    return benchmark.stats.stats.mean
+
 
 @pytest.fixture(scope="module")
 def payload():
@@ -27,6 +33,10 @@ def write_checkpoint(path, payload):
 def test_hdf5_write_throughput(benchmark, tmp_path, payload):
     path = str(tmp_path / "w.h5")
     benchmark(write_checkpoint, path, payload)
+    write_bench_result(
+        "hdf5_write_throughput", {"datasets": 32, "shape": [64, 64]},
+        _mean_seconds(benchmark),
+    )
 
 
 def test_hdf5_read_throughput(benchmark, tmp_path, payload):
@@ -39,6 +49,10 @@ def test_hdf5_read_throughput(benchmark, tmp_path, payload):
 
     total = benchmark(read_all)
     assert total == 32 * 64 * 64
+    write_bench_result(
+        "hdf5_read_throughput", {"datasets": 32, "shape": [64, 64]},
+        _mean_seconds(benchmark), {"elements": total},
+    )
 
 
 def test_injector_flip_rate(benchmark, tmp_path, payload):
@@ -52,6 +66,11 @@ def test_injector_flip_rate(benchmark, tmp_path, payload):
 
     result = benchmark(campaign)
     assert result.successes == 1000
+    seconds = _mean_seconds(benchmark)
+    write_bench_result(
+        "injector_flip_rate", {"attempts": 1000, "precision": 32},
+        seconds, {"flips_per_second": round(1000 / seconds, 1)},
+    )
 
 
 @pytest.mark.parametrize("model_name", ["alexnet", "vgg16", "resnet50"])
@@ -66,4 +85,10 @@ def test_training_epoch_rate(benchmark, model_name):
     benchmark.pedantic(
         lambda: trainer.run_epoch(train.images, train.labels),
         rounds=3, iterations=1,
+    )
+    write_bench_result(
+        "training_epoch_rate",
+        {"model": model_name, "width_mult": 0.0625,
+         "image_size": image_size, "train_size": 60},
+        _mean_seconds(benchmark),
     )

@@ -17,12 +17,18 @@ re-running completed trials::
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 import time
+from dataclasses import asdict
 
+from .. import telemetry
 from ..analysis.campaign import CampaignStats
 from .common import SCALES
 from .registry import CAMPAIGN_EXPERIMENTS, EXPERIMENTS, run_experiment
+
+log = logging.getLogger("repro.experiments.cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,6 +73,29 @@ def build_parser() -> argparse.ArgumentParser:
                           default="vectorized",
                           help="injector apply path for each trial "
                                "(default vectorized)")
+    observability = runner.add_argument_group("observability")
+    observability.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="record spans/metrics from every process to this JSONL stream",
+    )
+    observability.add_argument(
+        "--verbosity", choices=sorted(telemetry.VERBOSITY_LEVELS),
+        default="info", help="logging verbosity (default info)",
+    )
+
+    tele = sub.add_parser(
+        "telemetry", help="summarize or export a recorded telemetry stream"
+    )
+    tele.add_argument("events", help="telemetry JSONL stream (from "
+                                     "'run --telemetry')")
+    tele.add_argument("--top", type=int, default=5,
+                      help="slowest-trial rows to show (default 5)")
+    tele.add_argument("--format", dest="format", default="text",
+                      choices=["text", "prometheus", "chrome", "json"],
+                      help="text breakdown, Prometheus exposition, Chrome "
+                           "trace_event JSON, or a JSON summary")
+    tele.add_argument("--output", default=None, metavar="PATH",
+                      help="write to PATH instead of stdout")
     return parser
 
 
@@ -88,6 +117,36 @@ def campaign_kwargs(args: argparse.Namespace, experiment_id: str,
     }
 
 
+def telemetry_command(args: argparse.Namespace) -> int:
+    """The ``telemetry`` subcommand: summarize/export a recorded stream."""
+    events = telemetry.load_events(args.events)
+    if not events:
+        print(f"no telemetry events found in {args.events}", file=sys.stderr)
+        return 1
+    if args.format == "text":
+        rendered = telemetry.CampaignTelemetry(events).render(top=args.top)
+    elif args.format == "prometheus":
+        rendered = telemetry.prometheus_exposition(events)
+    elif args.format == "chrome":
+        rendered = json.dumps(telemetry.chrome_trace(events), indent=2)
+    else:  # json summary
+        summary = telemetry.CampaignTelemetry(events)
+        rendered = json.dumps({
+            "phases": [asdict(stat) for stat in summary.phases()],
+            "trials": [asdict(trial) for trial in summary.trials()],
+            "metrics": summary.metrics,
+        }, indent=2)
+    if not rendered.endswith("\n"):
+        rendered += "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote {args.format} export to {args.output}")
+    else:
+        sys.stdout.write(rendered)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``repro-experiments``."""
     args = build_parser().parse_args(argv)
@@ -95,7 +154,12 @@ def main(argv: list[str] | None = None) -> int:
         for experiment_id in sorted(EXPERIMENTS):
             print(experiment_id)
         return 0
+    if args.command == "telemetry":
+        return telemetry_command(args)
 
+    # --json keeps stdout machine-readable, so logging moves to stderr
+    telemetry.setup_logging(args.verbosity,
+                            stream=sys.stderr if args.json else None)
     ids = list(args.experiments)
     if ids == ["all"]:
         ids = sorted(EXPERIMENTS)
@@ -106,24 +170,32 @@ def main(argv: list[str] | None = None) -> int:
     if args.resume and args.journal is None:
         print("--resume requires --journal", file=sys.stderr)
         return 2
-    for experiment_id in ids:
-        start = time.time()
-        result = run_experiment(
-            experiment_id, scale=args.scale, seed=args.seed,
-            **campaign_kwargs(args, experiment_id, multiple=len(ids) > 1),
-        )
-        elapsed = time.time() - start
-        if args.json:
-            print(result.to_json())
-        else:
-            print(result.rendered)
-            print(f"[{experiment_id} completed in {elapsed:.1f}s "
-                  f"at scale={args.scale}]")
-            campaign = result.extra.get("campaign")
-            if campaign:
-                stats = CampaignStats.from_dict(campaign)
-                print(f"[campaign: {stats.summary()}]")
-            print()
+    if args.telemetry:
+        telemetry.configure(jsonl=args.telemetry)
+        log.info("recording telemetry to %s", args.telemetry)
+    try:
+        for experiment_id in ids:
+            start = time.time()
+            result = run_experiment(
+                experiment_id, scale=args.scale, seed=args.seed,
+                **campaign_kwargs(args, experiment_id,
+                                  multiple=len(ids) > 1),
+            )
+            elapsed = time.time() - start
+            if args.json:
+                print(result.to_json())
+            else:
+                print(result.rendered)
+                print(f"[{experiment_id} completed in {elapsed:.1f}s "
+                      f"at scale={args.scale}]")
+                campaign = result.extra.get("campaign")
+                if campaign:
+                    stats = CampaignStats.from_dict(campaign)
+                    print(f"[campaign: {stats.summary()}]")
+                print()
+    finally:
+        if args.telemetry:
+            telemetry.shutdown()
     return 0
 
 

@@ -24,6 +24,7 @@ up by name, so tasks stay picklable and journal records stay replayable.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import time
 import traceback
@@ -31,7 +32,10 @@ from dataclasses import asdict, dataclass, field
 from multiprocessing import connection, get_context
 from typing import Callable, Iterable
 
+from .. import telemetry
 from ..analysis.campaign import CampaignStats
+
+log = logging.getLogger("repro.experiments.runner")
 
 # ---------------------------------------------------------------------------
 # Trial kinds
@@ -241,22 +245,30 @@ def run_campaign(tasks: Iterable[TrialTask], *, workers: int = 1,
         replayed = {r.trial_id: r for r in journal.load()}
 
     todo = [t for t in tasks if t.trial_id not in replayed]
+    log.debug("campaign: %d tasks (%d to run, %d replayed), workers=%d",
+              len(tasks), len(todo), len(replayed), max(1, workers))
     start = time.monotonic()
-    if workers <= 1 and trial_timeout is None:
-        fresh = _run_inline(todo, journal, retries)
-    else:
-        fresh = _run_pool(todo, journal, max(1, workers), trial_timeout,
-                          retries)
-    wall_time = time.monotonic() - start
+    with telemetry.span("campaign", workers=max(1, workers),
+                        total=len(tasks), skipped=len(replayed)) as campaign:
+        if workers <= 1 and trial_timeout is None:
+            fresh = _run_inline(todo, journal, retries)
+        else:
+            fresh = _run_pool(todo, journal, max(1, workers), trial_timeout,
+                              retries)
+        wall_time = time.monotonic() - start
 
-    by_id = dict(replayed)
-    by_id.update(fresh)
-    records = [by_id[t.trial_id] for t in tasks]
-    stats = CampaignStats.from_records(
-        [asdict(r) for r in records],
-        wall_time=wall_time, workers=max(1, workers),
-        executed=len(fresh), skipped=len(tasks) - len(todo),
-    )
+        by_id = dict(replayed)
+        by_id.update(fresh)
+        records = [by_id[t.trial_id] for t in tasks]
+        stats = CampaignStats.from_records(
+            [asdict(r) for r in records],
+            wall_time=wall_time, workers=max(1, workers),
+            executed=len(fresh), skipped=len(tasks) - len(todo),
+        )
+        campaign.set(executed=stats.executed, ok=stats.ok,
+                     failed=stats.failed, retries=stats.retries,
+                     timeouts=stats.timeouts)
+    telemetry.flush_metrics()  # parent-side counters join the event stream
     return CampaignResult(records=records, stats=stats)
 
 
@@ -269,22 +281,34 @@ def _run_inline(tasks: list[TrialTask], journal: Journal | None,
         func = get_trial_kind(task.kind)
         record = None
         started = time.monotonic()
-        for attempt in range(1, retries + 2):
-            try:
-                outcome = func(dict(task.payload))
-            except Exception:
+        with telemetry.span("trial", trial_id=task.trial_id,
+                            kind=task.kind) as span:
+            for attempt in range(1, retries + 2):
+                if attempt > 1:
+                    telemetry.count("runner.retries")
+                try:
+                    outcome = func(dict(task.payload))
+                except Exception:
+                    record = TrialRecord(
+                        trial_id=task.trial_id, kind=task.kind,
+                        status="failed",
+                        error=traceback.format_exc(limit=8), attempts=attempt,
+                        payload=task.payload,
+                    )
+                    continue
                 record = TrialRecord(
-                    trial_id=task.trial_id, kind=task.kind, status="failed",
-                    error=traceback.format_exc(limit=8), attempts=attempt,
-                    payload=task.payload,
+                    trial_id=task.trial_id, kind=task.kind, status="ok",
+                    outcome=outcome, attempts=attempt, payload=task.payload,
                 )
-                continue
-            record = TrialRecord(
-                trial_id=task.trial_id, kind=task.kind, status="ok",
-                outcome=outcome, attempts=attempt, payload=task.payload,
-            )
-            break
-        record.duration = time.monotonic() - started
+                break
+            record.duration = time.monotonic() - started
+            telemetry.count(f"runner.trials_{record.status}")
+            span.set(status=record.status, attempts=record.attempts,
+                     queue_wait=0.0, run_time=record.duration, worker=0)
+            span.finish(record.status)
+        log.debug("trial %s: %s after %d attempt(s) in %.3fs",
+                  task.trial_id, record.status, record.attempts,
+                  record.duration)
         results[task.trial_id] = record
         if journal is not None:
             journal.append(record)
@@ -293,8 +317,15 @@ def _run_inline(tasks: list[TrialTask], journal: Journal | None,
 
 # -- parallel path ----------------------------------------------------------
 
-def _child_main(conn, kind: str, payload: dict) -> None:
-    """Worker entry point: run one trial, ship the outcome over the pipe."""
+def _child_main(conn, kind: str, payload: dict,
+                trace: dict | None = None) -> None:
+    """Worker entry point: run one trial, ship the outcome over the pipe.
+
+    *trace* is the parent-side trial span's exported context: adopting it
+    makes every span the trial opens (``inject``, ``train``, ``hdf5.open``)
+    a descendant of that trial span in the merged event stream.
+    """
+    telemetry.adopt(trace)
     try:
         outcome = get_trial_kind(kind)(payload)
         conn.send(("ok", outcome))
@@ -304,7 +335,20 @@ def _child_main(conn, kind: str, payload: dict) -> None:
         except Exception:
             pass
     finally:
+        telemetry.flush_metrics()  # worker counters join the merged stream
         conn.close()
+
+
+@dataclass
+class _Pending:
+    """A trial attempt waiting for a worker slot."""
+
+    task: TrialTask
+    attempt: int = 1
+    timeouts: int = 0
+    first_started: float | None = None
+    run_time: float = 0.0  # attempt wall-time already spent (retries)
+    span: object = None  # parent-side trial span, opened at first fork
 
 
 @dataclass
@@ -318,6 +362,8 @@ class _InFlight:
     first_started: float
     slot: int
     timeouts: int = 0
+    run_time: float = 0.0
+    span: object = telemetry.NOOP_SPAN
 
 
 def _run_pool(tasks: list[TrialTask], journal: Journal | None, workers: int,
@@ -331,54 +377,82 @@ def _run_pool(tasks: list[TrialTask], journal: Journal | None, workers: int,
     """
     ctx = get_context("fork")
     results: dict[str, TrialRecord] = {}
-    # (task, attempt, timeouts, first_started) waiting to start
-    pending: list[tuple[TrialTask, int, int, float | None]] = [
-        (t, 1, 0, None) for t in tasks
-    ]
+    pending: list[_Pending] = [_Pending(task=t) for t in tasks]
     pending.reverse()  # pop() from the end preserves task order
     inflight: list[_InFlight] = []
     free_slots = list(range(workers - 1, -1, -1))
+    pool_start = time.monotonic()
+    busy_seconds = 0.0  # summed attempt wall-time, for worker utilization
 
     def finish(flight: _InFlight, status: str, outcome: dict | None,
-               error: str | None, timed_out: bool) -> None:
+               error: str | None, timed_out: bool, now: float) -> None:
         record = TrialRecord(
             trial_id=flight.task.trial_id, kind=flight.task.kind,
             status=status, outcome=outcome, error=error,
             attempts=flight.attempt, timed_out=timed_out,
-            duration=time.monotonic() - flight.first_started,
+            duration=now - flight.first_started,
             worker=flight.slot, payload=flight.task.payload,
         )
+        telemetry.count(f"runner.trials_{status}")
+        flight.span.set(
+            status=status, attempts=flight.attempt, worker=flight.slot,
+            timed_out=timed_out,
+            queue_wait=flight.first_started - pool_start,
+            run_time=flight.run_time + (now - flight.started),
+        )
+        flight.span.finish(status)
+        log.debug("trial %s: %s after %d attempt(s) in %.3fs (worker %d)",
+                  record.trial_id, status, record.attempts, record.duration,
+                  flight.slot)
         results[flight.task.trial_id] = record
         if journal is not None:
             journal.append(record)
 
-    def retry_or_fail(flight: _InFlight, error: str,
-                      timed_out: bool) -> None:
+    def retry_or_fail(flight: _InFlight, error: str, timed_out: bool,
+                      now: float) -> None:
         if flight.attempt <= retries:
-            pending.append((flight.task, flight.attempt + 1,
-                            flight.timeouts + (1 if timed_out else 0),
-                            flight.first_started))
+            telemetry.count("runner.retries")
+            pending.append(_Pending(
+                task=flight.task, attempt=flight.attempt + 1,
+                timeouts=flight.timeouts + (1 if timed_out else 0),
+                first_started=flight.first_started,
+                run_time=flight.run_time + (now - flight.started),
+                span=flight.span,
+            ))
         else:
-            finish(flight, "failed", None, error, timed_out)
+            finish(flight, "failed", None, error, timed_out, now)
 
     while pending or inflight:
         while pending and free_slots:
-            task, attempt, timeouts, first_started = pending.pop()
+            item = pending.pop()
             slot = free_slots.pop()
+            now = time.monotonic()
+            span = item.span
+            if span is None:
+                # the trial span covers first fork -> terminal record,
+                # spanning retries; workers parent their spans to it
+                span = telemetry.start_span(
+                    "trial", trial_id=item.task.trial_id,
+                    kind=item.task.kind,
+                )
             parent_conn, child_conn = ctx.Pipe(duplex=False)
-            proc = ctx.Process(target=_child_main,
-                               args=(child_conn, task.kind, task.payload))
+            proc = ctx.Process(
+                target=_child_main,
+                args=(child_conn, item.task.kind, item.task.payload,
+                      span.context()),
+            )
             proc.start()
             child_conn.close()
-            now = time.monotonic()
             inflight.append(_InFlight(
-                task=task, attempt=attempt, process=proc, conn=parent_conn,
+                task=item.task, attempt=item.attempt, process=proc,
+                conn=parent_conn,
                 deadline=(None if trial_timeout is None
                           else now + trial_timeout),
                 started=now,
-                first_started=first_started if first_started is not None
-                else now,
-                slot=slot, timeouts=timeouts,
+                first_started=item.first_started
+                if item.first_started is not None else now,
+                slot=slot, timeouts=item.timeouts, run_time=item.run_time,
+                span=span,
             ))
 
         ready = connection.wait([f.conn for f in inflight], timeout=0.05)
@@ -395,6 +469,7 @@ def _run_pool(tasks: list[TrialTask], journal: Journal | None, workers: int,
                 except (EOFError, OSError):
                     # child died without reporting (crash / os._exit)
                     status, value = "error", "worker died without a result"
+                    telemetry.count("runner.worker_crashes")
                 flight.process.join()
                 flight.conn.close()
                 if status == "ok":
@@ -405,36 +480,55 @@ def _run_pool(tasks: list[TrialTask], journal: Journal | None, workers: int,
                         duration=now - flight.first_started,
                         worker=flight.slot, payload=flight.task.payload,
                     )
+                    telemetry.count("runner.trials_ok")
+                    flight.span.set(
+                        status="ok", attempts=flight.attempt,
+                        worker=flight.slot, timed_out=flight.timeouts > 0,
+                        queue_wait=flight.first_started - pool_start,
+                        run_time=flight.run_time + (now - flight.started),
+                    )
+                    flight.span.finish("ok")
+                    log.debug("trial %s: ok after %d attempt(s) in %.3fs "
+                              "(worker %d)", rec.trial_id, rec.attempts,
+                              rec.duration, flight.slot)
                     results[flight.task.trial_id] = rec
                     if journal is not None:
                         journal.append(rec)
                 else:
-                    retry_or_fail(flight, value, timed_out=False)
+                    retry_or_fail(flight, value, timed_out=False, now=now)
                 done = True
             elif flight.process.exitcode is not None:
                 # exited without sending anything
                 flight.conn.close()
+                telemetry.count("runner.worker_crashes")
                 retry_or_fail(
                     flight,
                     f"worker exited with code {flight.process.exitcode} "
                     "before reporting a result",
-                    timed_out=False,
+                    timed_out=False, now=now,
                 )
                 done = True
             elif flight.deadline is not None and now > flight.deadline:
                 flight.process.terminate()
                 flight.process.join()
                 flight.conn.close()
+                telemetry.count("runner.timeouts")
                 retry_or_fail(
                     flight,
                     f"trial timed out after {now - flight.started:.1f}s",
-                    timed_out=True,
+                    timed_out=True, now=now,
                 )
                 done = True
             if done:
+                busy_seconds += now - flight.started
                 free_slots.append(flight.slot)
             else:
                 still.append(flight)
         inflight = still
 
+    elapsed = time.monotonic() - pool_start
+    if elapsed > 0:
+        telemetry.gauge("runner.worker_utilization",
+                        busy_seconds / (workers * elapsed))
+    telemetry.count("runner.busy_seconds", busy_seconds)
     return results

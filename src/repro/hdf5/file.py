@@ -18,10 +18,12 @@ Supported modes:
 from __future__ import annotations
 
 import os
+import time
 from typing import Callable, Iterator
 
 import numpy as np
 
+from .. import telemetry
 from .messages import AttributeValue
 from .reader import DatasetInfo, GroupInfo, parse_file
 from .tree import DatasetNode, GroupNode
@@ -154,11 +156,18 @@ class Dataset:
         """Return the full dataset contents as a fresh array."""
         if self._staged is not None:
             return self._staged.data.copy()
+        start = time.perf_counter() if telemetry.enabled() else None
         info = self._info
         if info.is_chunked:
-            return self._read_chunked()
-        raw = self._file._read_bytes(info.data_offset, info.data_size)
-        return np.frombuffer(raw, dtype=info.dtype).reshape(info.shape).copy()
+            out = self._read_chunked()
+        else:
+            raw = self._file._read_bytes(info.data_offset, info.data_size)
+            out = np.frombuffer(raw, dtype=info.dtype
+                                ).reshape(info.shape).copy()
+        if start is not None:
+            telemetry.observe("hdf5.read_seconds",
+                              time.perf_counter() - start)
+        return out
 
     def _read_chunked(self) -> np.ndarray:
         from . import chunked as chunked_mod
@@ -267,6 +276,7 @@ class Dataset:
             self._staged.data = array.copy()
             return
         self._file._check_writable()
+        start = time.perf_counter() if telemetry.enabled() else None
         info = self._info
         if info.is_chunked:
             if info.compressed:
@@ -279,8 +289,11 @@ class Dataset:
                 piece = chunked_mod.slice_chunk(array, record.offsets,
                                                 info.chunk_shape)
                 self._file._write_bytes(record.address, piece.tobytes())
-            return
-        self._file._write_bytes(info.data_offset, array.tobytes())
+        else:
+            self._file._write_bytes(info.data_offset, array.tobytes())
+        if start is not None:
+            telemetry.observe("hdf5.write_seconds",
+                              time.perf_counter() - start)
 
     def __setitem__(self, key, value) -> None:
         view = self.view()
@@ -464,25 +477,28 @@ class File(Group):
         self.mode = mode
         self._closed = False
         self._handle = None
-        if mode == "w":
-            root = GroupNode()
-            super().__init__(self, "/", root, None)
-            self._buffer = None
-        elif mode in ("r", "r+"):
-            with open(self.filename, "rb") as handle:
-                raw = handle.read()
-            info = parse_file(raw)
-            super().__init__(self, "/", None, info)
-            if mode == "r+":
-                # Map the whole file: Dataset.view() hands out dtype views
-                # of this array, and byte-level writes mutate it directly,
-                # so both paths stay coherent with zero extra copies.
-                self._buffer = np.memmap(self.filename, dtype=np.uint8,
-                                         mode="r+")
+        with telemetry.span("hdf5.open", mode=mode) as span:
+            if mode == "w":
+                root = GroupNode()
+                super().__init__(self, "/", root, None)
+                self._buffer = None
+            elif mode in ("r", "r+"):
+                with open(self.filename, "rb") as handle:
+                    raw = handle.read()
+                info = parse_file(raw)
+                super().__init__(self, "/", None, info)
+                if mode == "r+":
+                    # Map the whole file: Dataset.view() hands out dtype
+                    # views of this array, and byte-level writes mutate it
+                    # directly, so both paths stay coherent with zero extra
+                    # copies.
+                    self._buffer = np.memmap(self.filename, dtype=np.uint8,
+                                             mode="r+")
+                else:
+                    self._buffer = bytearray(raw)
+                span.set(bytes=len(raw))
             else:
-                self._buffer = bytearray(raw)
-        else:
-            raise ValueError(f"unsupported mode: {mode!r}")
+                raise ValueError(f"unsupported mode: {mode!r}")
 
     @property
     def root(self) -> Group:
@@ -490,12 +506,14 @@ class File(Group):
 
     # -- byte-level access used by Dataset -----------------------------------
     def _read_bytes(self, offset: int, size: int) -> bytes:
+        telemetry.count("hdf5.bytes_read", size)
         chunk = self._buffer[offset : offset + size]
         if isinstance(chunk, np.ndarray):
             return chunk.tobytes()
         return bytes(chunk)
 
     def _write_bytes(self, offset: int, data: bytes) -> None:
+        telemetry.count("hdf5.bytes_written", len(data))
         if isinstance(self._buffer, np.ndarray):
             self._buffer[offset : offset + len(data)] = np.frombuffer(
                 data, dtype=np.uint8

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .. import hdf5
+from .. import hdf5, telemetry
 from . import bitops  # noqa: F401  (re-exported convenience)
 from .config import InjectorConfig
 from .engine import (
@@ -166,6 +166,14 @@ class CheckpointCorrupter:
 
     def corrupt_open_file(self, handle: hdf5.File) -> CorruptionResult:
         """Run a campaign against an already-open writable file."""
+        with telemetry.span("inject", engine=self.engine) as span:
+            result = self._corrupt_open_file(handle)
+            span.set(attempts=result.attempts, successes=result.successes,
+                     nev_introduced=result.nev_introduced,
+                     locations=len(result.locations))
+            return result
+
+    def _corrupt_open_file(self, handle: hdf5.File) -> CorruptionResult:
         config = self.config
         if config.use_random_locations:
             locations = expand_locations(handle, None)

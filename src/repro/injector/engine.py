@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from . import bitops
 from .config import InjectorConfig
 from .log import InjectionRecord
@@ -165,38 +166,41 @@ def sample_plan(rng: np.random.Generator, config: InjectorConfig,
     if not targets:
         raise CorruptionError("no corruptible targets")
     n = int(attempts)
-    locations = rng.integers(0, len(targets), size=n)
-    if n:
-        spans = np.array([t.span for t in targets], dtype=np.int64)
-        bases = np.array([t.base for t in targets], dtype=np.int64)
-        indices = bases[locations] + rng.integers(0, spans[locations])
-        accepts = rng.random(n) < config.injection_probability
-    else:
-        indices = np.zeros(0, dtype=np.int64)
-        accepts = np.zeros(0, dtype=bool)
+    telemetry.count("inject.attempts", n)
+    with telemetry.span("inject.plan", attempts=n, targets=len(targets)):
+        locations = rng.integers(0, len(targets), size=n)
+        if n:
+            spans = np.array([t.span for t in targets], dtype=np.int64)
+            bases = np.array([t.base for t in targets], dtype=np.int64)
+            indices = bases[locations] + rng.integers(0, spans[locations])
+            accepts = rng.random(n) < config.injection_probability
+        else:
+            indices = np.zeros(0, dtype=np.int64)
+            accepts = np.zeros(0, dtype=bool)
 
-    # strict precision mismatches abort the campaign before any mutation
-    for t_idx in np.unique(locations[accepts]):
-        message = targets[int(t_idx)].strict_mismatch
-        if message:
-            raise CorruptionError(message)
+        # strict precision mismatches abort the campaign before any mutation
+        for t_idx in np.unique(locations[accepts]):
+            message = targets[int(t_idx)].strict_mismatch
+            if message:
+                raise CorruptionError(message)
 
-    draws = np.full(n, -1, dtype=np.int64)
-    if n and config.corruption_mode in ("bit_range", "bit_mask"):
-        precisions = np.array([t.precision or 0 for t in targets],
-                              dtype=np.int64)
-        kind_f = np.array([t.kind == "f" for t in targets], dtype=bool)
-        drawing = accepts & kind_f[locations] & (precisions[locations] > 0)
-        if drawing.any():
-            prec = precisions[locations[drawing]]
-            if config.corruption_mode == "bit_range":
-                lasts = np.minimum(config.effective_last_bit, prec - 1)
-                draws[drawing] = rng.integers(config.first_bit, lasts + 1)
-            else:
-                width = bitops.mask_width(config.bit_mask)
-                draws[drawing] = rng.integers(0, prec - width + 1)
-    return InjectionPlan(config=config, targets=targets, locations=locations,
-                         indices=indices, accepts=accepts, draws=draws)
+        draws = np.full(n, -1, dtype=np.int64)
+        if n and config.corruption_mode in ("bit_range", "bit_mask"):
+            precisions = np.array([t.precision or 0 for t in targets],
+                                  dtype=np.int64)
+            kind_f = np.array([t.kind == "f" for t in targets], dtype=bool)
+            drawing = accepts & kind_f[locations] & (precisions[locations] > 0)
+            if drawing.any():
+                prec = precisions[locations[drawing]]
+                if config.corruption_mode == "bit_range":
+                    lasts = np.minimum(config.effective_last_bit, prec - 1)
+                    draws[drawing] = rng.integers(config.first_bit, lasts + 1)
+                else:
+                    width = bitops.mask_width(config.bit_mask)
+                    draws[drawing] = rng.integers(0, prec - width + 1)
+        return InjectionPlan(config=config, targets=targets,
+                             locations=locations, indices=indices,
+                             accepts=accepts, draws=draws)
 
 
 # ---------------------------------------------------------------------------
@@ -316,11 +320,19 @@ def apply_plan(plan: InjectionPlan, store, rng: np.random.Generator,
     (read/modify/write) arrays are committed before returning.
     """
     validate_engine(engine)
-    if engine == "scalar":
-        records, counters = _apply_scalar(plan, store, rng)
-    else:
-        records, counters = _apply_vectorized(plan, store, rng)
-    store.finalize()
+    with telemetry.span("inject.apply", engine=engine,
+                        attempts=plan.attempts) as apply_span:
+        if engine == "scalar":
+            records, counters = _apply_scalar(plan, store, rng)
+        else:
+            records, counters = _apply_vectorized(plan, store, rng)
+        store.finalize()
+        if telemetry.enabled():
+            touched = sum(r.precision for r in records) // 8
+            telemetry.count("inject.bytes_touched", touched)
+            apply_span.set(successes=counters.successes,
+                           nev_introduced=counters.nev_introduced,
+                           bytes_touched=touched)
     return records, counters
 
 
@@ -407,6 +419,8 @@ def _apply_vectorized(plan, store, rng):
     # matches the scalar engine exactly.  Guard offenders re-evaluate
     # their (deterministic) first try against the unchanged old value and
     # fail it again without consuming randomness.
+    telemetry.count("inject.sequential_fallback",
+                    len(sequential) - int(is_int.sum()))
     access = _FlatAccess(store)
     for i in sorted(sequential):
         t_idx = int(loc[i])
@@ -505,6 +519,8 @@ def _apply_float(store, t_idx: int, target: PlanTarget, index: int,
     draw_free = config.corruption_mode in ("scaling_factor", "stuck_at",
                                            "zero_value")
     for attempt in range(1, config.max_retries + 1):
+        if attempt > 1:
+            telemetry.count("inject.guard_retries")
         param = planned_param if attempt == 1 else _draw_param(rng, config,
                                                                precision)
         new, record = _float_candidate(old, precision, config, param)

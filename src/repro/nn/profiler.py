@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from .model import Model
 
 
@@ -109,6 +110,15 @@ class profile_model:
         for layer, fwd, bwd in self._originals:
             layer.forward = fwd
             layer.backward = bwd
+        if telemetry.enabled():
+            for timing in self.report.sorted_by_cost():
+                telemetry.event(
+                    "layer_timing", layer=timing.name, kind=timing.kind,
+                    forward_seconds=timing.forward_seconds,
+                    backward_seconds=timing.backward_seconds,
+                    forward_calls=timing.forward_calls,
+                    backward_calls=timing.backward_calls,
+                )
 
 
 def profile_step(model: Model, batch: np.ndarray,

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
+from .. import telemetry
 from . import functional as F
 from .model import Model
 from .optim import Optimizer
@@ -122,21 +124,36 @@ class Trainer:
             x_test: np.ndarray | None = None,
             labels_test: np.ndarray | None = None) -> TrainingHistory:
         """Train for *epochs* epochs, evaluating after each one."""
-        for _ in range(epochs):
-            metrics = self.run_epoch(x, labels)
-            if x_test is not None and not metrics.collapsed:
-                with np.errstate(over="ignore", invalid="ignore",
-                                 divide="ignore"):
-                    test_loss, test_acc = self.model.evaluate(
-                        x_test, labels_test, self.batch_size
-                    )
-                metrics.test_loss = test_loss
-                metrics.test_accuracy = test_acc
-                if not np.isfinite(test_loss):
-                    metrics.collapsed = True
-            self.history.append(metrics)
-            if self.epoch_callback is not None:
-                self.epoch_callback(self.epoch, self)
-            if metrics.collapsed and self.stop_on_collapse:
-                break
+        with telemetry.span("train", epochs=epochs,
+                            batch_size=self.batch_size) as span:
+            for _ in range(epochs):
+                epoch_start = time.perf_counter()
+                metrics = self.run_epoch(x, labels)
+                if x_test is not None and not metrics.collapsed:
+                    with np.errstate(over="ignore", invalid="ignore",
+                                     divide="ignore"):
+                        test_loss, test_acc = self.model.evaluate(
+                            x_test, labels_test, self.batch_size
+                        )
+                    metrics.test_loss = test_loss
+                    metrics.test_accuracy = test_acc
+                    if not np.isfinite(test_loss):
+                        metrics.collapsed = True
+                self.history.append(metrics)
+                telemetry.event(
+                    "epoch", epoch=metrics.epoch,
+                    train_loss=metrics.train_loss,
+                    train_accuracy=metrics.train_accuracy,
+                    test_loss=metrics.test_loss,
+                    test_accuracy=metrics.test_accuracy,
+                    collapsed=metrics.collapsed,
+                    duration=time.perf_counter() - epoch_start,
+                )
+                if self.epoch_callback is not None:
+                    self.epoch_callback(self.epoch, self)
+                if metrics.collapsed and self.stop_on_collapse:
+                    break
+            span.set(epochs_run=len(self.history.epochs),
+                     final_accuracy=self.history.final_accuracy(),
+                     collapsed=self.history.collapsed)
         return self.history

@@ -1,0 +1,89 @@
+"""``repro.telemetry`` — dependency-free tracing + metrics for campaigns.
+
+The paper's methodology is measurement: tracing one corrupted bit in a
+checkpoint through to an accuracy-convergence outcome.  This package gives
+the repo a single shared notion of *what happened when*:
+
+* **Spans** (:func:`span` / :func:`start_span`) time operations, nest
+  through a context variable, carry attributes, and survive the fork
+  boundary into campaign workers via :meth:`Span.context` + :func:`adopt`.
+* **Metrics** (:func:`count` / :func:`gauge` / :func:`observe`) accumulate
+  per process and are flushed into the event stream as mergeable snapshots.
+* **Sinks** receive events: :class:`JsonlSink` writes the merged campaign
+  stream next to the trial journal, :class:`InMemorySink` backs the tests,
+  :class:`NullSink` measures instrumentation overhead.
+* **Exporters** turn a finished stream into a Prometheus exposition
+  (:func:`prometheus_exposition`) or a Chrome ``trace_event`` flamegraph
+  (:func:`chrome_trace`); :class:`CampaignTelemetry` renders the
+  human-readable campaign breakdown behind ``repro-experiments telemetry``.
+
+Telemetry is **off unless configured** — every hook is a ``None`` check —
+and it is timing-only: enabling it never draws randomness or touches file
+bytes, so instrumented campaigns stay bit-identical to bare ones.
+
+See ``docs/observability.md`` for the event schema and span semantics.
+"""
+
+from .aggregate import (
+    CampaignTelemetry,
+    PhaseStat,
+    TrialSummary,
+    load_events,
+    merge_metrics,
+)
+from .core import (
+    NOOP_SPAN,
+    Pipeline,
+    Span,
+    adopt,
+    configure,
+    count,
+    enabled,
+    event,
+    flush_metrics,
+    gauge,
+    observe,
+    pipeline,
+    shutdown,
+    span,
+    start_span,
+)
+from .export import chrome_trace, prometheus_exposition
+from .logging_setup import LOG_FORMAT, VERBOSITY_LEVELS, setup_logging
+from .metrics import DEFAULT_BUCKETS, Histogram, Registry
+from .sinks import InMemorySink, JsonlSink, NullSink, Sink
+
+__all__ = [
+    "CampaignTelemetry",
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "InMemorySink",
+    "JsonlSink",
+    "LOG_FORMAT",
+    "NOOP_SPAN",
+    "NullSink",
+    "PhaseStat",
+    "Pipeline",
+    "Registry",
+    "Sink",
+    "Span",
+    "TrialSummary",
+    "VERBOSITY_LEVELS",
+    "adopt",
+    "chrome_trace",
+    "configure",
+    "count",
+    "enabled",
+    "event",
+    "flush_metrics",
+    "gauge",
+    "load_events",
+    "merge_metrics",
+    "observe",
+    "pipeline",
+    "prometheus_exposition",
+    "setup_logging",
+    "shutdown",
+    "span",
+    "start_span",
+]

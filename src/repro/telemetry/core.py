@@ -1,0 +1,272 @@
+"""Spans, events, and the process-global telemetry pipeline.
+
+The pipeline is *off by default*: every instrumentation point in the repo
+first checks a module-level ``None`` and returns immediately, so code paths
+pay one attribute load when telemetry is not configured.  :func:`configure`
+installs a pipeline (sink + metrics registry + trace id); forked campaign
+workers inherit it through process memory and keep writing to the same
+merged stream (see :mod:`repro.telemetry.sinks` for why that is safe).
+
+Span semantics:
+
+* :func:`span` is a context manager that nests through a ``ContextVar`` —
+  the span opened inside another becomes its child (``parent_id``).
+* :func:`start_span` creates a *detached* span that does not join the
+  context stack; the campaign runner uses it to keep one span per in-flight
+  trial open concurrently, finishing each by hand.
+* :meth:`Span.context` exports the minimal trace context (trace id +
+  span id) as a JSON-safe dict; :func:`adopt` installs it as the ambient
+  parent in another process, which is how a trial span opened in the
+  campaign parent becomes the parent of the ``inject``/``train`` spans
+  opened inside a forked worker.
+
+Instrumentation is timing-only: nothing here draws randomness or touches
+file bytes, so enabling telemetry cannot perturb an experiment (locked in
+by ``tests/telemetry/test_instrumentation.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from contextvars import ContextVar
+
+from .metrics import DEFAULT_BUCKETS, Registry
+from .sinks import JsonlSink, Sink
+
+_pipeline: "Pipeline | None" = None
+_current: ContextVar["Span | None"] = ContextVar("repro_telemetry_span",
+                                                default=None)
+_ids = itertools.count(1)
+
+
+def _new_span_id() -> str:
+    # pid-qualified counter: unique across a fork pool without consuming
+    # any randomness source an experiment could observe
+    return f"{os.getpid():x}.{next(_ids)}"
+
+
+class Span:
+    """One timed operation; emitted to the sink on :meth:`finish`."""
+
+    __slots__ = ("name", "span_id", "parent_id", "attrs", "status",
+                 "_start_wall", "_start_perf", "_token", "_finished")
+
+    def __init__(self, name: str, parent_id: str | None, attrs: dict):
+        self.name = name
+        self.span_id = _new_span_id()
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.status = "ok"
+        self._start_wall = time.time()
+        self._start_perf = time.perf_counter()
+        self._token = None
+        self._finished = False
+
+    def set(self, **attrs) -> "Span":
+        """Attach (or overwrite) attributes before the span closes."""
+        self.attrs.update(attrs)
+        return self
+
+    def finish(self, status: str | None = None) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        if status is not None:
+            self.status = status
+        pipeline = _pipeline
+        if pipeline is None:
+            return
+        pipeline.emit({
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "trace_id": pipeline.trace_id,
+            "pid": os.getpid(),
+            "ts": self._start_wall,
+            "dur": time.perf_counter() - self._start_perf,
+            "status": self.status,
+            "attrs": self.attrs,
+        })
+
+    def context(self) -> dict:
+        """JSON-safe trace context for crossing a process boundary."""
+        trace_id = _pipeline.trace_id if _pipeline is not None else None
+        return {"trace_id": trace_id, "span_id": self.span_id}
+
+    # -- context-manager protocol (joins the ambient stack) -----------------
+    def __enter__(self) -> "Span":
+        self._token = _current.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._token is not None:
+            _current.reset(self._token)
+            self._token = None
+        self.finish("error" if exc_type is not None else None)
+
+
+class _RemoteParent:
+    """Stand-in for a span living in another process (see :func:`adopt`)."""
+
+    __slots__ = ("span_id",)
+
+    def __init__(self, span_id: str):
+        self.span_id = span_id
+
+
+class _NoopSpan:
+    """Singleton returned by every entry point while telemetry is off."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+    def finish(self, status: str | None = None) -> None:
+        pass
+
+    def context(self) -> dict:
+        return {"trace_id": None, "span_id": None}
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Pipeline:
+    """Sink + metrics registry + trace identity for one process tree."""
+
+    def __init__(self, sink: Sink, trace_id: str | None = None):
+        self.sink = sink
+        self.trace_id = trace_id or f"{os.getpid():x}-{time.time_ns():x}"
+        self.registry = Registry()
+
+    def emit(self, event: dict) -> None:
+        self.sink.emit(event)
+
+    def flush_metrics(self) -> None:
+        for event in self.registry.metric_events():
+            self.sink.emit(event)
+
+
+# ---------------------------------------------------------------------------
+# module-level API
+# ---------------------------------------------------------------------------
+
+def configure(sink: Sink | None = None, *, jsonl: str | None = None,
+              trace_id: str | None = None) -> Pipeline:
+    """Install the process-global pipeline (replacing any previous one).
+
+    Pass a ready :class:`~repro.telemetry.sinks.Sink`, or ``jsonl=`` as a
+    shorthand for :class:`~repro.telemetry.sinks.JsonlSink`.
+    """
+    global _pipeline
+    if sink is None:
+        if jsonl is None:
+            raise ValueError("configure() needs a sink or a jsonl path")
+        sink = JsonlSink(jsonl)
+    shutdown()
+    _pipeline = Pipeline(sink, trace_id=trace_id)
+    return _pipeline
+
+
+def shutdown() -> None:
+    """Flush pending metrics, close the sink, and disable telemetry."""
+    global _pipeline
+    pipeline, _pipeline = _pipeline, None
+    if pipeline is not None:
+        pipeline.flush_metrics()
+        pipeline.sink.close()
+
+
+def enabled() -> bool:
+    return _pipeline is not None
+
+
+def pipeline() -> Pipeline | None:
+    return _pipeline
+
+
+def span(name: str, **attrs) -> Span | _NoopSpan:
+    """A nesting span: parent is whatever span is ambient on entry."""
+    if _pipeline is None:
+        return NOOP_SPAN
+    parent = _current.get()
+    return Span(name, parent.span_id if parent is not None else None, attrs)
+
+
+def start_span(name: str, parent: "Span | dict | None" = None,
+               **attrs) -> Span | _NoopSpan:
+    """A detached span: caller owns :meth:`Span.finish`; never ambient.
+
+    ``parent`` may be another span or an exported :meth:`Span.context`
+    dict; ``None`` falls back to the ambient span.
+    """
+    if _pipeline is None:
+        return NOOP_SPAN
+    if parent is None:
+        ambient = _current.get()
+        parent_id = ambient.span_id if ambient is not None else None
+    elif isinstance(parent, dict):
+        parent_id = parent.get("span_id")
+    else:
+        parent_id = parent.span_id
+    return Span(name, parent_id, attrs)
+
+
+def adopt(trace: dict | None) -> None:
+    """Install an inherited trace context as this process's ambient parent.
+
+    Called by forked campaign workers with the trial span's exported
+    context, so every span they open nests under the parent-side trial
+    span.  ``None`` (telemetry off in the parent) resets the ambient stack.
+    """
+    span_id = (trace or {}).get("span_id")
+    _current.set(_RemoteParent(span_id) if span_id else None)
+
+
+def event(name: str, **attrs) -> None:
+    """A point-in-time event attached to the ambient span."""
+    pipeline = _pipeline
+    if pipeline is None:
+        return
+    ambient = _current.get()
+    pipeline.emit({
+        "type": "event",
+        "name": name,
+        "pid": os.getpid(),
+        "ts": time.time(),
+        "span_id": ambient.span_id if ambient is not None else None,
+        "trace_id": pipeline.trace_id,
+        "attrs": attrs,
+    })
+
+
+def count(name: str, value: float = 1) -> None:
+    if _pipeline is not None:
+        _pipeline.registry.count(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    if _pipeline is not None:
+        _pipeline.registry.gauge(name, value)
+
+
+def observe(name: str, value: float,
+            buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+    if _pipeline is not None:
+        _pipeline.registry.observe(name, value, buckets)
+
+
+def flush_metrics() -> None:
+    """Emit the current metrics snapshot (idempotent; see metrics module)."""
+    if _pipeline is not None:
+        _pipeline.flush_metrics()

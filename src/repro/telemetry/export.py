@@ -1,0 +1,120 @@
+"""Exporters: Prometheus text exposition and Chrome ``trace_event`` JSON.
+
+Both work from a list of raw events (the merged JSONL stream or an
+:class:`~repro.telemetry.sinks.InMemorySink`'s buffer), so a finished
+campaign can be exported offline without re-running anything.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .aggregate import merge_metrics
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def _prom_value(value: float) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value == int(value):
+            return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def prometheus_exposition(events: list[dict]) -> str:
+    """Prometheus text-format exposition of the stream's merged metrics.
+
+    Counters and gauges become single samples; histograms expose the usual
+    cumulative ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+    Span timings are additionally rolled up as
+    ``repro_span_seconds_total{...}``-style per-name totals so phase time is
+    scrapeable without histogram instrumentation on every span.
+    """
+    lines: list[str] = []
+    for name, metric in sorted(merge_metrics(events).items()):
+        prom = _prom_name(name)
+        kind = metric["kind"]
+        if kind == "histogram":
+            lines.append(f"# TYPE {prom} histogram")
+            cumulative = 0
+            for boundary, count in zip(metric["buckets"], metric["counts"]):
+                cumulative += count
+                lines.append(
+                    f'{prom}_bucket{{le="{_prom_value(float(boundary))}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {metric["count"]}')
+            lines.append(f"{prom}_sum {_prom_value(metric['sum'])}")
+            lines.append(f"{prom}_count {metric['count']}")
+        else:
+            lines.append(f"# TYPE {prom} {kind}")
+            lines.append(f"{prom} {_prom_value(metric['value'])}")
+
+    totals: dict[str, tuple[int, float]] = {}
+    for event in events:
+        if event.get("type") == "span":
+            count, seconds = totals.get(event["name"], (0, 0.0))
+            totals[event["name"]] = (count + 1,
+                                     seconds + float(event.get("dur", 0.0)))
+    if totals:
+        lines.append("# TYPE repro_span_seconds_total counter")
+        for name in sorted(totals):
+            label = _NAME_RE.sub("_", name)
+            lines.append(
+                f'repro_span_seconds_total{{span="{label}"}} '
+                f"{_prom_value(totals[name][1])}"
+            )
+        lines.append("# TYPE repro_span_count counter")
+        for name in sorted(totals):
+            label = _NAME_RE.sub("_", name)
+            lines.append(f'repro_span_count{{span="{label}"}} '
+                         f"{totals[name][0]}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def chrome_trace(events: list[dict]) -> dict:
+    """The stream as a Chrome ``trace_event`` JSON object.
+
+    Load the output in ``chrome://tracing`` / Perfetto for a flamegraph of
+    the campaign: one track per process, spans as complete ("X") events,
+    point events as instants ("i").  Timestamps are microseconds as the
+    format requires.
+    """
+    trace_events: list[dict] = []
+    for event in events:
+        kind = event.get("type")
+        pid = event.get("pid", 0)
+        if kind == "span":
+            trace_events.append({
+                "name": event.get("name", "?"),
+                "cat": "span",
+                "ph": "X",
+                "ts": float(event.get("ts", 0.0)) * 1e6,
+                "dur": float(event.get("dur", 0.0)) * 1e6,
+                "pid": pid,
+                "tid": pid,
+                "args": dict(event.get("attrs", {}),
+                             status=event.get("status")),
+            })
+        elif kind == "event":
+            trace_events.append({
+                "name": event.get("name", "?"),
+                "cat": "event",
+                "ph": "i",
+                "s": "p",  # process-scoped instant
+                "ts": float(event.get("ts", 0.0)) * 1e6,
+                "pid": pid,
+                "tid": pid,
+                "args": dict(event.get("attrs", {})),
+            })
+    trace_events.sort(key=lambda e: e["ts"])
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}

@@ -1,0 +1,86 @@
+"""Event sinks: where telemetry events go once emitted.
+
+A sink receives finished events — plain JSON-safe dicts — one at a time.
+Three implementations cover every consumer in the repo:
+
+* :class:`JsonlSink` appends one JSON line per event to a file.  It is
+  **fork-safe and multi-process-safe by construction**: the file is opened
+  lazily per process (a forked campaign worker re-opens its own handle on
+  first emit) in unbuffered ``O_APPEND`` mode, so each event is a single
+  ``write(2)`` of one complete line and concurrent writers from a worker
+  pool produce a valid merged stream instead of interleaved fragments.
+* :class:`InMemorySink` collects events in a list — the test double.
+* :class:`NullSink` discards everything — used to measure the overhead of
+  instrumentation itself (event construction without I/O).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+
+class Sink:
+    """Interface: ``emit`` one event dict; ``close`` releases resources."""
+
+    def emit(self, event: dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class NullSink(Sink):
+    """Accepts and discards every event (overhead measurement)."""
+
+    def emit(self, event: dict) -> None:
+        pass
+
+
+class InMemorySink(Sink):
+    """Collects events in :attr:`events` (test double)."""
+
+    def __init__(self):
+        self.events: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+    def by_type(self, event_type: str) -> list[dict]:
+        return [e for e in self.events if e.get("type") == event_type]
+
+    def spans(self, name: str | None = None) -> list[dict]:
+        out = self.by_type("span")
+        if name is not None:
+            out = [e for e in out if e.get("name") == name]
+        return out
+
+
+class JsonlSink(Sink):
+    """Append-only JSONL event stream, safe for concurrent forked writers."""
+
+    def __init__(self, path: str):
+        self.path = os.fspath(path)
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._handle = None
+        self._pid = -1
+
+    def _ensure_handle(self):
+        # A forked child inherits this sink object; sharing the parent's
+        # buffered handle would interleave bytes, so each process opens its
+        # own unbuffered append handle on first use.
+        if self._handle is None or self._pid != os.getpid():
+            self._handle = open(self.path, "ab", buffering=0)
+            self._pid = os.getpid()
+        return self._handle
+
+    def emit(self, event: dict) -> None:
+        line = json.dumps(event, allow_nan=True, sort_keys=True)
+        # one write(2) per event: O_APPEND keeps concurrent lines whole
+        self._ensure_handle().write(line.encode("utf-8") + b"\n")
+
+    def close(self) -> None:
+        if self._handle is not None and self._pid == os.getpid():
+            self._handle.close()
+        self._handle = None

@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro import telemetry
 from repro.experiments.cli import main
 
 
@@ -37,3 +38,95 @@ def test_run_json_output(capsys):
 def test_seed_flag_changes_nothing_structural(capsys):
     assert main(["run", "fig2", "--scale", "smoke", "--seed", "7"]) == 0
     assert "Fig 2" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Telemetry + verbosity flags
+# ---------------------------------------------------------------------------
+
+
+def test_run_records_telemetry_stream(tmp_path, capsys):
+    stream = tmp_path / "events.jsonl"
+    assert main(["run", "fig2", "--scale", "smoke",
+                 "--telemetry", str(stream)]) == 0
+    out = capsys.readouterr().out
+    assert "recording telemetry to" in out  # info-level log on stdout
+    events = telemetry.load_events(str(stream))
+    assert any(e["type"] == "span" for e in events)
+    assert any(e["type"] == "metric" for e in events)
+    assert not telemetry.enabled()  # main() shuts the pipeline down
+
+
+def test_run_json_stdout_stays_machine_readable_with_logging(tmp_path,
+                                                             capsys):
+    stream = tmp_path / "events.jsonl"
+    assert main(["run", "fig2", "--scale", "smoke", "--json",
+                 "--verbosity", "debug", "--telemetry", str(stream)]) == 0
+    captured = capsys.readouterr()
+    payload = json.loads(captured.out)  # logs must not pollute stdout
+    assert payload["experiment_id"] == "fig2"
+    assert "recording telemetry to" in captured.err
+
+
+def test_run_quiet_verbosity_suppresses_log_lines(tmp_path, capsys):
+    stream = tmp_path / "events.jsonl"
+    assert main(["run", "fig2", "--scale", "smoke", "--verbosity", "quiet",
+                 "--telemetry", str(stream)]) == 0
+    assert "recording telemetry to" not in capsys.readouterr().out
+
+
+def _write_stream(path):
+    telemetry.configure(jsonl=str(path))
+    with telemetry.span("trial", trial_id="t/0"):
+        with telemetry.span("inject", successes=4):
+            pass
+        with telemetry.span("train", final_accuracy=0.5, epochs_run=2,
+                            collapsed=False):
+            pass
+    telemetry.count("inject.attempts", 4)
+    telemetry.shutdown()
+
+
+def test_telemetry_subcommand_text(tmp_path, capsys):
+    stream = tmp_path / "events.jsonl"
+    _write_stream(stream)
+    assert main(["telemetry", str(stream)]) == 0
+    out = capsys.readouterr().out
+    assert "== time by phase" in out
+    assert "== flip -> outcome (per trial) ==" in out
+    assert "t/0" in out
+
+
+def test_telemetry_subcommand_prometheus(tmp_path, capsys):
+    stream = tmp_path / "events.jsonl"
+    _write_stream(stream)
+    assert main(["telemetry", str(stream), "--format", "prometheus"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE repro_inject_attempts counter" in out
+    assert 'repro_span_count{span="trial"} 1' in out
+
+
+def test_telemetry_subcommand_chrome_to_output(tmp_path, capsys):
+    stream = tmp_path / "events.jsonl"
+    export = tmp_path / "trace.json"
+    _write_stream(stream)
+    assert main(["telemetry", str(stream), "--format", "chrome",
+                 "--output", str(export)]) == 0
+    assert "wrote chrome export" in capsys.readouterr().out
+    trace = json.loads(export.read_text())
+    assert [e["name"] for e in trace["traceEvents"]] == \
+        ["trial", "inject", "train"]
+
+
+def test_telemetry_subcommand_json_summary(tmp_path, capsys):
+    stream = tmp_path / "events.jsonl"
+    _write_stream(stream)
+    assert main(["telemetry", str(stream), "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["trials"][0]["trial_id"] == "t/0"
+    assert payload["metrics"]["inject.attempts"]["value"] == 4
+
+
+def test_telemetry_subcommand_missing_stream(tmp_path, capsys):
+    assert main(["telemetry", str(tmp_path / "absent.jsonl")]) == 1
+    assert "no telemetry events" in capsys.readouterr().err

@@ -164,6 +164,45 @@ def test_journal_repair_truncates_torn_tail(tmp_path):
     assert [r.trial_id for r in journal.load()] == ["t/0", "t/2"]
 
 
+def test_journal_repair_empty_and_missing(tmp_path):
+    missing = Journal(str(tmp_path / "absent.jsonl"))
+    assert missing.repair() == 0
+    assert missing.load() == []
+    empty_path = tmp_path / "empty.jsonl"
+    empty_path.write_text("")
+    empty = Journal(str(empty_path))
+    assert empty.repair() == 0
+    assert empty.load() == []
+    # a journal that is nothing *but* a torn line repairs down to empty
+    torn_path = tmp_path / "torn.jsonl"
+    torn_path.write_text('{"trial_id": "t/0", "kin')
+    torn = Journal(str(torn_path))
+    assert torn.repair() > 0
+    assert torn.load() == []
+
+
+def test_repaired_journal_resumes_cleanly(tmp_path):
+    """repair() + --resume replays intact records and re-runs only the rest."""
+    marker = str(tmp_path / "marker")
+    tasks = echo_tasks(4, marker=marker)
+    journal = Journal(str(tmp_path / "j.jsonl"))
+    for task in tasks[:2]:  # first two trials completed before the "crash"
+        journal.append(TrialRecord(trial_id=task.trial_id, kind=task.kind,
+                                   status="ok",
+                                   outcome={"value": task.payload["value"]}))
+    with open(journal.path, "a") as handle:
+        handle.write('{"trial_id": "echo/2", "kin')  # crash mid-append
+    assert journal.repair() > 0
+    result = run_campaign(tasks, journal=journal, resume=True)
+    assert [r.trial_id for r in result.records] == \
+        [t.trial_id for t in tasks]
+    assert all(r.status == "ok" for r in result.records)
+    # only the un-journaled trials actually executed after the repair
+    with open(marker) as handle:
+        executed = [int(line) for line in handle.read().splitlines()]
+    assert sorted(executed) == [2, 3]
+
+
 json_scalars = st.one_of(
     st.none(),
     st.booleans(),

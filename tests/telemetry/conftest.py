@@ -1,0 +1,12 @@
+"""Telemetry test fixtures: never leak a configured pipeline across tests."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _reset_telemetry():
+    telemetry.shutdown()
+    yield
+    telemetry.shutdown()

@@ -1,0 +1,96 @@
+"""Exporters: Prometheus text exposition and Chrome trace_event JSON."""
+
+import json
+
+from repro.telemetry.export import chrome_trace, prometheus_exposition
+
+
+def _span(name, dur, pid=1, ts=1.0, **attrs):
+    return {"type": "span", "name": name, "span_id": "s", "parent_id": None,
+            "trace_id": "t", "pid": pid, "ts": ts, "dur": dur,
+            "status": "ok", "attrs": attrs}
+
+
+def _events():
+    return [
+        {"type": "metric", "kind": "counter", "name": "inject.attempts",
+         "value": 100, "pid": 1, "ts": 0.0},
+        {"type": "metric", "kind": "gauge",
+         "name": "runner.worker_utilization", "value": 0.75, "pid": 1,
+         "ts": 0.0},
+        {"type": "metric", "kind": "histogram", "name": "hdf5.read_seconds",
+         "pid": 1, "ts": 0.0, "buckets": [0.01, 0.1], "counts": [2, 1, 1],
+         "sum": 0.3, "count": 4},
+        _span("trial", 2.0),
+        _span("trial", 3.0),
+        _span("inject", 0.5),
+        {"type": "event", "name": "epoch", "pid": 1, "ts": 1.5,
+         "span_id": "s", "trace_id": "t", "attrs": {"epoch": 1}},
+    ]
+
+
+# -- Prometheus --------------------------------------------------------------
+
+def test_prometheus_counter_and_gauge_samples():
+    text = prometheus_exposition(_events())
+    assert "# TYPE repro_inject_attempts counter" in text
+    assert "repro_inject_attempts 100" in text
+    assert "# TYPE repro_runner_worker_utilization gauge" in text
+    assert "repro_runner_worker_utilization 0.75" in text
+
+
+def test_prometheus_histogram_is_cumulative():
+    lines = prometheus_exposition(_events()).splitlines()
+    buckets = [l for l in lines if l.startswith("repro_hdf5_read_seconds_bucket")]
+    assert buckets == [
+        'repro_hdf5_read_seconds_bucket{le="0.01"} 2',
+        'repro_hdf5_read_seconds_bucket{le="0.1"} 3',
+        'repro_hdf5_read_seconds_bucket{le="+Inf"} 4',
+    ]
+    assert "repro_hdf5_read_seconds_sum 0.3" in lines
+    assert "repro_hdf5_read_seconds_count 4" in lines
+
+
+def test_prometheus_span_rollups():
+    text = prometheus_exposition(_events())
+    assert 'repro_span_seconds_total{span="trial"} 5' in text
+    assert 'repro_span_count{span="trial"} 2' in text
+    assert 'repro_span_count{span="inject"} 1' in text
+
+
+def test_prometheus_type_lines_appear_once_per_metric():
+    lines = prometheus_exposition(_events()).splitlines()
+    type_lines = [l for l in lines if l.startswith("# TYPE")]
+    assert len(type_lines) == len(set(type_lines))
+
+
+def test_prometheus_empty_stream():
+    assert prometheus_exposition([]) == ""
+
+
+# -- Chrome trace ------------------------------------------------------------
+
+def test_chrome_trace_spans_are_complete_events():
+    trace = chrome_trace(_events())
+    spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert len(spans) == 3
+    trial = spans[0]
+    assert trial["name"] == "trial"
+    assert trial["ts"] == 1.0 * 1e6   # microseconds
+    assert trial["dur"] == 2.0 * 1e6
+    assert trial["args"]["status"] == "ok"
+
+
+def test_chrome_trace_point_events_are_instants():
+    trace = chrome_trace(_events())
+    (instant,) = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+    assert instant["name"] == "epoch"
+    assert instant["args"] == {"epoch": 1}
+
+
+def test_chrome_trace_sorted_and_serializable():
+    trace = chrome_trace(_events())
+    stamps = [e["ts"] for e in trace["traceEvents"]]
+    assert stamps == sorted(stamps)
+    json.dumps(trace)  # must be JSON-clean for chrome://tracing
+    assert trace["displayTimeUnit"] == "ms"

@@ -1,0 +1,76 @@
+"""Registry semantics: counters, gauges, histograms, fork reset, flushes."""
+
+import os
+
+from repro.telemetry.metrics import DEFAULT_BUCKETS, Histogram, Registry
+
+
+def test_counter_accumulates():
+    registry = Registry()
+    registry.count("flips")
+    registry.count("flips", 9)
+    assert registry.counter_value("flips") == 10
+    assert registry.counter_value("absent") == 0
+
+
+def test_gauge_keeps_latest():
+    registry = Registry()
+    registry.gauge("utilization", 0.2)
+    registry.gauge("utilization", 0.9)
+    (event,) = [e for e in registry.metric_events()
+                if e["kind"] == "gauge"]
+    assert event["value"] == 0.9
+
+
+def test_histogram_bucket_placement():
+    histogram = Histogram(buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 5.0, 50.0):
+        histogram.observe(value)
+    snapshot = histogram.snapshot()
+    assert snapshot["counts"] == [1, 1, 1, 1]  # one per bucket + overflow
+    assert snapshot["count"] == 4
+    assert snapshot["sum"] == 55.55
+
+
+def test_histogram_boundary_is_inclusive():
+    histogram = Histogram(buckets=(1.0, 2.0))
+    histogram.observe(1.0)  # le="1.0" must include exactly 1.0
+    assert histogram.snapshot()["counts"] == [1, 0, 0]
+
+
+def test_default_buckets_are_sorted():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+def test_metric_events_shape():
+    registry = Registry()
+    registry.count("c", 2)
+    registry.gauge("g", 0.5)
+    registry.observe("h", 0.01)
+    events = registry.metric_events()
+    assert [e["kind"] for e in events] == ["counter", "gauge", "histogram"]
+    for event in events:
+        assert event["type"] == "metric"
+        assert event["pid"] == os.getpid()
+    histogram = events[-1]
+    assert histogram["count"] == 1
+    assert len(histogram["counts"]) == len(histogram["buckets"]) + 1
+
+
+def test_fork_reset_clears_inherited_tallies():
+    registry = Registry()
+    registry.count("inherited", 100)
+    registry._pid = -1  # simulate waking up in a forked child
+    registry.count("fresh")
+    assert registry.counter_value("inherited") == 0
+    assert registry.counter_value("fresh") == 1
+    assert registry._pid == os.getpid()
+
+
+def test_repeated_flush_is_snapshot_not_delta():
+    registry = Registry()
+    registry.count("c", 3)
+    first = registry.metric_events()
+    second = registry.metric_events()
+    # snapshots are cumulative; the aggregator keeps the last per (pid, name)
+    assert first[0]["value"] == second[0]["value"] == 3
