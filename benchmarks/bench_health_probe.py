@@ -1,0 +1,137 @@
+"""Health-probe overhead benchmark: training with vs without the probe.
+
+Trains an AlexNet-style MLP for a fixed number of epochs twice — once
+plain, once with :class:`repro.health.ModelHealthProbe` attached to the
+trainer (telemetry off, so only the probe's own reductions are measured) —
+and reports the per-epoch overhead.  The acceptance budget is **5 %**:
+the probe is one float64 reduction pass plus one retained copy per weight
+array, which must stay negligible next to the matmuls of an actual epoch.
+
+Also asserts the probed run's weights are byte-identical to the plain
+run's (the read-only/no-RNG invariant, measured end-to-end here rather
+than at unit scale).
+
+Run standalone (the CI smoke step)::
+
+    PYTHONPATH=src python benchmarks/bench_health_probe.py --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.health import ModelHealthProbe
+from repro.nn import Dense, Model, ReLU, SGD, Sequential, Trainer, rng
+
+from conftest import write_bench_result
+
+#: Hidden widths per scale: wide enough that an epoch does real matmul
+#: work, small enough for CI.  (The probe's cost scales with parameter
+#: count, the epoch's with parameters × samples — larger scales make the
+#: overhead *smaller*, so smoke is the conservative gate.)
+SCALE_WIDTHS = {"smoke": 128, "tiny": 256, "small": 512, "full": 1024}
+OVERHEAD_BUDGET = 0.05  # 5 % per-epoch
+
+
+def build_model(width: int) -> Model:
+    net = Sequential("bench", [
+        Dense("fc1", 64, width), ReLU("r1"),
+        Dense("fc2", width, width), ReLU("r2"),
+        Dense("fc3", width, 10),
+    ])
+    return Model("bench", net, num_classes=10)
+
+
+def problem(samples: int, seed: int = 0):
+    gen = np.random.default_rng(seed)
+    x = gen.standard_normal((samples, 64)).astype(np.float32)
+    y = gen.integers(0, 10, size=samples).astype(np.int64)
+    return x, y
+
+
+def time_training(width: int, samples: int, epochs: int, seed: int,
+                  with_probe: bool) -> tuple[float, dict, bytes]:
+    """One training run; returns (seconds, probe summary, weight bytes)."""
+    rng.seed_all(seed)
+    model = build_model(width)
+    x, y = problem(samples, seed)
+    probe = ModelHealthProbe() if with_probe else None
+    trainer = Trainer(model, SGD(lr=0.05, momentum=0.9), batch_size=32,
+                      health_probe=probe)
+    start = time.perf_counter()
+    trainer.fit(x, y, epochs=epochs)
+    seconds = time.perf_counter() - start
+    summary = probe.history[-1].summary if probe else {}
+    weights = b"".join(arr.tobytes() for _, arr
+                       in sorted(model.named_parameters().items()))
+    return seconds, summary, weights
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure ModelHealthProbe per-epoch overhead.")
+    parser.add_argument("--scale", choices=sorted(SCALE_WIDTHS),
+                        default=os.environ.get("REPRO_BENCH_SCALE", "tiny"))
+    parser.add_argument("--samples", type=int, default=2048)
+    parser.add_argument("--epochs", type=int, default=4)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--max-overhead", type=float,
+                        default=OVERHEAD_BUDGET,
+                        help="fail above this fractional per-epoch overhead"
+                             " (default 0.05)")
+    args = parser.parse_args(argv)
+    width = SCALE_WIDTHS[args.scale]
+
+    # warm-up (allocator, caches), not timed
+    time_training(width, args.samples, 1, args.seed, False)
+
+    plain = probed = float("inf")
+    summary: dict = {}
+    plain_weights = probed_weights = b""
+    for _ in range(args.rounds):
+        seconds, _, plain_weights = time_training(
+            width, args.samples, args.epochs, args.seed, False)
+        plain = min(plain, seconds)
+        seconds, summary, probed_weights = time_training(
+            width, args.samples, args.epochs, args.seed, True)
+        probed = min(probed, seconds)
+
+    overhead = (probed - plain) / plain
+    identical = plain_weights == probed_weights
+    print(f"scale={args.scale} width={width} samples={args.samples} "
+          f"epochs={args.epochs}")
+    print(f"plain:  {plain:.3f}s  probed: {probed:.3f}s  "
+          f"overhead: {overhead * 100:+.2f}% (budget "
+          f"{args.max_overhead * 100:.0f}%)")
+    print(f"probed params: {summary.get('params')}  "
+          f"bit-identical weights: {identical}")
+
+    write_bench_result(
+        "health_probe_overhead",
+        params={"scale": args.scale, "width": width,
+                "samples": args.samples, "epochs": args.epochs,
+                "rounds": args.rounds},
+        seconds=probed,
+        metadata={"plain_seconds": plain, "overhead_fraction": overhead,
+                  "budget": args.max_overhead, "bit_identical": identical,
+                  "params_probed": summary.get("params")},
+    )
+
+    if not identical:
+        print("FAIL: probed weights differ from plain run", file=sys.stderr)
+        return 1
+    if overhead > args.max_overhead:
+        print(f"FAIL: overhead {overhead * 100:.2f}% exceeds budget",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,16 @@ from .nev import (
     scrub_checkpoint,
     training_collapsed,
 )
+from .propagation import (
+    PropagationReport,
+    first_divergence,
+    flip_events,
+    flipped_layers,
+    health_events,
+    health_series,
+    match_layer,
+    propagation_report,
+)
 from .render import render_boxplots, render_curves, render_heatmap, render_table
 from .stats import (
     BoxplotStats,
@@ -57,6 +67,14 @@ __all__ = [
     "classify_value",
     "count_rwc",
     "mean_excluding_collapsed",
+    "PropagationReport",
+    "first_divergence",
+    "flip_events",
+    "flipped_layers",
+    "health_events",
+    "health_series",
+    "match_layer",
+    "propagation_report",
     "render_boxplots",
     "render_curves",
     "render_heatmap",

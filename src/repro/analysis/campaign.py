@@ -111,6 +111,11 @@ class CampaignStats:
     skipped: int
     workers: int
     wall_time: float
+    #: classified-outcome histogram (``masked``/``degraded``/``collapsed``/
+    #: ``crashed`` — see :mod:`repro.health.outcome`).  Records journaled
+    #: before the classifier existed carry no ``outcome_class`` and are
+    #: simply absent from the histogram.
+    outcomes: dict = field(default_factory=dict)
 
     @classmethod
     def from_records(cls, records: Iterable[Mapping], *,
@@ -122,11 +127,17 @@ class CampaignStats:
         failed = sum(1 for r in records if r.get("status") == "failed")
         retries = sum(max(0, int(r.get("attempts", 1)) - 1) for r in records)
         timeouts = sum(1 for r in records if r.get("timed_out"))
+        outcomes: dict[str, int] = {}
+        for record in records:
+            label = record.get("outcome_class")
+            if label:
+                outcomes[label] = outcomes.get(label, 0) + 1
         return cls(
             total=len(records), ok=ok, failed=failed, retries=retries,
             timeouts=timeouts,
             executed=len(records) - skipped if executed is None else executed,
             skipped=skipped, workers=workers, wall_time=wall_time,
+            outcomes=outcomes,
         )
 
     @property
@@ -154,20 +165,30 @@ class CampaignStats:
         written by older versions.
         """
         fields = cls.__dataclass_fields__  # type: ignore[attr-defined]
-        defaults = {name: 0 for name in fields}
+        defaults: dict = {name: 0 for name in fields}
         defaults["workers"] = 1
         defaults["wall_time"] = 0.0
+        defaults["outcomes"] = {}
         known = {name: payload[name] for name in fields if name in payload}
         return cls(**{**defaults, **known})
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.total} trials ({self.ok} ok, {self.failed} failed) "
             f"in {self.wall_time:.1f}s — "
             f"{self.trials_per_second:.2f} trials/s, "
             f"workers={self.workers}, retries={self.retries}, "
             f"timeouts={self.timeouts}, resumed={self.skipped}"
         )
+        if self.outcomes:
+            # fixed severity order, then any unexpected labels
+            order = ("masked", "degraded", "collapsed", "crashed")
+            parts = [f"{name}={self.outcomes[name]}" for name in order
+                     if name in self.outcomes]
+            parts += [f"{name}={count}" for name, count
+                      in sorted(self.outcomes.items()) if name not in order]
+            text += " — outcomes: " + ", ".join(parts)
+        return text
 
 
 def group_records(records: Iterable[Mapping],

@@ -1,0 +1,186 @@
+"""Error-propagation join: flipped layer → where the health stats move.
+
+The injector emits one ``flip`` telemetry event per applied corruption
+(layer path, bit, value delta) and :class:`repro.health.ModelHealthProbe`
+emits one ``health`` event per epoch (per-layer numerical stats).  This
+module joins the two streams: given the events of a corrupted run and its
+error-free baseline, it reports — per layer — the first epoch at which any
+health statistic diverges from the baseline, generalizing the hand-rolled
+weight-diff analysis of ``fig6_error_propagation`` to any probed campaign.
+
+Works on plain event dicts (a loaded JSONL stream or an
+``InMemorySink.events`` buffer); stdlib-only, like the rest of the offline
+aggregation layer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: Health stats compared when looking for divergence, in the order they
+#: are reported as the divergence reason.  ``min``/``max`` are implied by
+#: ``abs_max`` and skipped to keep reasons short.
+COMPARED_STATS = ("nan_count", "inf_count", "l2", "abs_max",
+                  "zero_fraction", "update_l2")
+
+
+def health_events(events: list[dict]) -> list[dict]:
+    """The ``health`` point events of a stream, in order."""
+    return [e for e in events
+            if e.get("type") == "event" and e.get("name") == "health"]
+
+
+def flip_events(events: list[dict]) -> list[dict]:
+    """The injector's ``flip`` provenance events, in order."""
+    return [e for e in events
+            if e.get("type") == "event" and e.get("name") == "flip"]
+
+
+def health_series(events: list[dict]) -> dict[str, list[tuple[int, dict]]]:
+    """Per-layer ``[(epoch, stats), ...]`` series from a stream's health
+    events, in emission order."""
+    series: dict[str, list[tuple[int, dict]]] = {}
+    for event in health_events(events):
+        attrs = event.get("attrs", {})
+        epoch = int(attrs.get("epoch", 0))
+        for layer, stats in (attrs.get("layers") or {}).items():
+            series.setdefault(layer, []).append((epoch, stats))
+    return series
+
+
+def flipped_layers(events: list[dict]) -> dict[str, int]:
+    """Flip counts per corrupted layer path, from ``flip`` events."""
+    counts: dict[str, int] = {}
+    for event in flip_events(events):
+        location = event.get("attrs", {}).get("location") or "?"
+        counts[location] = counts.get(location, 0) + 1
+    return counts
+
+
+def match_layer(flip_location: str, health_layers) -> str | None:
+    """Map a checkpoint dataset path onto a probe layer key.
+
+    Flip locations are checkpoint paths (``predictor/conv1/W``) while the
+    probe keys layers as ``<layer>/<param>`` (``conv1/W``) — the checkpoint
+    path carries an extra framework-root prefix.  The probe key whose
+    ``/``-separated parts form a suffix of the location's parts wins
+    (longest match first).
+    """
+    flip_parts = flip_location.split("/")
+    best: str | None = None
+    best_len = 0
+    for key in health_layers:
+        parts = key.split("/")
+        if len(parts) <= len(flip_parts) and \
+                flip_parts[-len(parts):] == parts and len(parts) > best_len:
+            best, best_len = key, len(parts)
+    return best
+
+
+def _stats_differ(a: dict, b: dict, *, rtol: float, atol: float) -> str | None:
+    """The first compared stat where *a* and *b* disagree, else None."""
+    for key in COMPARED_STATS:
+        left, right = a.get(key), b.get(key)
+        if left is None and right is None:
+            continue
+        if left is None or right is None:
+            return key
+        left, right = float(left), float(right)
+        left_nan, right_nan = left != left, right != right
+        if left_nan or right_nan:
+            if left_nan != right_nan:
+                return key
+            continue
+        if not math.isclose(left, right, rel_tol=rtol, abs_tol=atol):
+            return key
+    return None
+
+
+def first_divergence(corrupted_events: list[dict],
+                     baseline_events: list[dict],
+                     *, rtol: float = 1e-9, atol: float = 0.0
+                     ) -> dict[str, tuple[int, str] | None]:
+    """Per layer: the first ``(epoch, stat)`` where the corrupted run's
+    health stats leave the baseline's, or ``None`` if they never do.
+
+    Epochs present in only one stream (e.g. the corrupted run collapsed
+    and stopped early) are compared as far as both streams reach.
+    """
+    corrupted = health_series(corrupted_events)
+    baseline = health_series(baseline_events)
+    result: dict[str, tuple[int, str] | None] = {}
+    for layer in corrupted:
+        result[layer] = None
+        base = dict(baseline.get(layer, ()))
+        for epoch, stats in corrupted[layer]:
+            reference = base.get(epoch)
+            if reference is None:
+                continue
+            stat = _stats_differ(stats, reference, rtol=rtol, atol=atol)
+            if stat is not None:
+                result[layer] = (epoch, stat)
+                break
+    return result
+
+
+@dataclass
+class PropagationReport:
+    """The flip → first-health-movement join of one corrupted run."""
+
+    flipped: dict[str, int]  # flip location -> flip count
+    first_moved: dict[str, tuple[int, str] | None]  # layer -> (epoch, stat)
+    injected_layers: list[str] = field(default_factory=list)  # probe keys
+
+    def moved(self) -> list[tuple[str, int, str]]:
+        """``(layer, epoch, stat)`` for every layer that diverged, ordered
+        by divergence epoch (injected layers first within an epoch)."""
+        rows = [(layer, epoch, stat)
+                for layer, hit in self.first_moved.items()
+                if hit is not None
+                for epoch, stat in [hit]]
+        return sorted(rows, key=lambda row: (
+            row[1], row[0] not in self.injected_layers, row[0]))
+
+    def rows(self) -> list[list[object]]:
+        out: list[list[object]] = []
+        for layer, epoch, stat in self.moved():
+            out.append([layer, epoch, stat,
+                        "injected" if layer in self.injected_layers
+                        else "propagated"])
+        return out
+
+    def render(self) -> str:
+        lines = ["flipped: " + (", ".join(
+            f"{location} x{count}"
+            for location, count in sorted(self.flipped.items()))
+            or "(none)")]
+        rows = self.rows()
+        if not rows:
+            lines.append("no layer diverged from the baseline")
+        for layer, epoch, stat, origin in rows:
+            lines.append(f"  epoch {epoch:>3}  {layer:<32} {stat:<13} "
+                         f"[{origin}]")
+        return "\n".join(lines)
+
+
+def propagation_report(corrupted_events: list[dict],
+                       baseline_events: list[dict],
+                       *, rtol: float = 1e-9,
+                       atol: float = 0.0) -> PropagationReport:
+    """Join a corrupted run's flip provenance with its health divergence.
+
+    *corrupted_events* must hold the run's ``flip`` and ``health`` events;
+    *baseline_events* the error-free run's ``health`` events (its probe
+    must have observed the same epochs).
+    """
+    divergence = first_divergence(corrupted_events, baseline_events,
+                                  rtol=rtol, atol=atol)
+    flips = flipped_layers(corrupted_events)
+    injected = []
+    for location in flips:
+        key = match_layer(location, divergence)
+        if key is not None and key not in injected:
+            injected.append(key)
+    return PropagationReport(flipped=flips, first_moved=divergence,
+                             injected_layers=injected)

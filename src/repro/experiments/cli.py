@@ -27,6 +27,7 @@ from .. import telemetry
 from ..analysis.campaign import CampaignStats
 from .common import SCALES
 from .registry import CAMPAIGN_EXPERIMENTS, EXPERIMENTS, run_experiment
+from .watch import add_watch_arguments, watch_command
 
 log = logging.getLogger("repro.experiments.cli")
 
@@ -73,6 +74,10 @@ def build_parser() -> argparse.ArgumentParser:
                           default="vectorized",
                           help="injector apply path for each trial "
                                "(default vectorized)")
+    campaign.add_argument("--health-probe", action="store_true",
+                          help="snapshot per-layer numerical health each "
+                               "epoch of every trial (emitted as 'health' "
+                               "telemetry events; read-only, bit-identical)")
     observability = runner.add_argument_group("observability")
     observability.add_argument(
         "--telemetry", default=None, metavar="PATH",
@@ -96,6 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "trace_event JSON, or a JSON summary")
     tele.add_argument("--output", default=None, metavar="PATH",
                       help="write to PATH instead of stdout")
+
+    watcher = sub.add_parser(
+        "watch", help="live-monitor a campaign journal (and telemetry "
+                      "stream) from another terminal"
+    )
+    add_watch_arguments(watcher)
     return parser
 
 
@@ -114,6 +125,7 @@ def campaign_kwargs(args: argparse.Namespace, experiment_id: str,
         "trial_timeout": args.trial_timeout,
         "retries": args.retries,
         "engine": args.engine,
+        "health_probe": args.health_probe,
     }
 
 
@@ -156,6 +168,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "telemetry":
         return telemetry_command(args)
+    if args.command == "watch":
+        return watch_command(args)
 
     # --json keeps stdout machine-readable, so logging moves to stderr
     telemetry.setup_logging(args.verbosity,

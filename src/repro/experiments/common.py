@@ -26,6 +26,7 @@ import numpy as np
 
 from ..data import synthetic_cifar10
 from ..frameworks import get_facade, set_global_determinism
+from ..health import ModelHealthProbe, last_finite
 from ..nn import SGD, Trainer
 from ..nn.model import Model
 from .locking import FileLock
@@ -342,13 +343,25 @@ class BaselineCache:
         facade.save_checkpoint(final, model, optimizer,
                                epoch=scale.total_epochs,
                                include_optimizer=spec.include_optimizer)
-        curve = [m.test_accuracy for m in history.epochs]
-        resumed = curve[scale.checkpoint_epoch:]
-        return Baseline(
-            spec=spec, checkpoint_path=ckpt, final_path=final,
-            accuracy_curve=curve, resumed_curve=resumed,
-            final_accuracy=curve[-1] if curve else float("nan"),
-        )
+        return baseline_from_history(spec, ckpt, final, history)
+
+
+def baseline_from_history(spec: SessionSpec, ckpt: str, final: str,
+                          history) -> Baseline:
+    """Build a :class:`Baseline` from a finished training history.
+
+    ``final_accuracy`` is the *last finite* test accuracy
+    (:func:`repro.health.last_finite`) — the same definition
+    :func:`resume_training` reports — so a NaN/None-tailed curve (a
+    collapsed baseline) yields the last real measurement instead of NaN.
+    """
+    curve = [m.test_accuracy for m in history.epochs]
+    return Baseline(
+        spec=spec, checkpoint_path=ckpt, final_path=final,
+        accuracy_curve=curve,
+        resumed_curve=curve[spec.scale.checkpoint_epoch:],
+        final_accuracy=last_finite(curve),
+    )
 
 
 #: Module-level default cache shared by all experiments.
@@ -367,16 +380,22 @@ class ResumeOutcome:
     collapsed: bool
     final_accuracy: float
     model: Model | None = None
+    health: list = field(default_factory=list)  # HealthSnapshots, if probed
 
 
 def resume_training(spec: SessionSpec, checkpoint_path: str,
                     epochs: int | None = None,
-                    keep_model: bool = False) -> ResumeOutcome:
+                    keep_model: bool = False,
+                    health_probe=False) -> ResumeOutcome:
     """Load *checkpoint_path* and continue training deterministically.
 
     Replays exactly the batches an uninterrupted run would see from the
     stored epoch onward; corrupted values in the checkpoint flow into the
-    model unchecked.
+    model unchecked.  *health_probe* may be ``True`` (attach a fresh
+    :class:`repro.health.ModelHealthProbe`) or a pre-built probe; its
+    per-epoch snapshots come back in ``ResumeOutcome.health``.  Probing is
+    read-only and RNG-free, so probed and unprobed resumes are
+    bit-identical.
     """
     scale = spec.scale
     facade = get_facade(spec.framework)
@@ -386,19 +405,27 @@ def resume_training(spec: SessionSpec, checkpoint_path: str,
     optimizer = SGD(lr=spec.effective_learning_rate,
                         momentum=spec.momentum)
     start_epoch = facade.load_checkpoint(checkpoint_path, model, optimizer)
-    trainer = Trainer(model, optimizer, batch_size=scale.batch_size)
+    probe = None
+    if health_probe:
+        probe = (health_probe if health_probe is not True
+                 else ModelHealthProbe())
+        # epoch-0 snapshot: the (corrupted) checkpoint state itself, so the
+        # propagation join can see where the flip landed before any update
+        probe.observe(model, optimizer, epoch=start_epoch)
+    trainer = Trainer(model, optimizer, batch_size=scale.batch_size,
+                      health_probe=probe)
     trainer.epoch = start_epoch
     if epochs is None:
         epochs = scale.total_epochs - start_epoch
     history = trainer.fit(train.images, train.labels, epochs=epochs,
                           x_test=test.images, labels_test=test.labels)
     curve = [m.test_accuracy for m in history.epochs]
-    finite = [a for a in curve if a is not None]
     return ResumeOutcome(
         accuracy_curve=curve,
         collapsed=history.collapsed,
-        final_accuracy=finite[-1] if finite else float("nan"),
+        final_accuracy=last_finite(curve),
         model=model if keep_model else None,
+        health=probe.history if probe is not None else [],
     )
 
 

@@ -18,6 +18,7 @@ import tempfile
 import numpy as np
 
 from ..analysis import group_records, render_curves
+from ..health import classify_curve, last_finite
 from ..injector import CheckpointCorrupter, InjectorConfig
 from .common import (
     DEFAULT_CACHE,
@@ -64,11 +65,16 @@ def run_trial(payload: dict) -> dict:
         corrupter = CheckpointCorrupter(
             config, engine=payload.get("engine", "vectorized"))
         corrupter.corrupt()
-        outcome = resume_training(spec, path,
-                                  epochs=spec.scale.resume_epochs)
+        outcome = resume_training(
+            spec, path, epochs=spec.scale.resume_epochs,
+            health_probe=payload.get("health_probe", False))
+    verdict = classify_curve(outcome.accuracy_curve,
+                             payload.get("baseline_curve"),
+                             collapsed=outcome.collapsed)
     # None (collapsed epoch) -> NaN so the curve is JSON-journal-safe
     return {"curve": [a if a is not None else float("nan")
-                      for a in outcome.accuracy_curve]}
+                      for a in outcome.accuracy_curve],
+            "outcome_class": verdict.outcome}
 
 
 def _mean_curve(curves: list[list[float]]) -> list[float]:
@@ -80,13 +86,14 @@ def _mean_curve(curves: list[list[float]]) -> list[float]:
 
 
 def build_tasks(scale, seed, pairs, bitflips, trainings, cache,
-                engine: str = "vectorized") -> \
+                engine: str = "vectorized", health_probe: bool = False) -> \
         tuple[list[TrialTask], dict[tuple[str, str], tuple]]:
     tasks: list[TrialTask] = []
     baselines: dict[tuple[str, str], tuple] = {}
     for framework, model in pairs:
         spec = SessionSpec(framework, model, scale, seed=seed)
-        baselines[(framework, model)] = (spec, cache.get(spec))
+        baseline = cache.get(spec)
+        baselines[(framework, model)] = (spec, baseline)
         for flips in bitflips:
             for trial in range(trainings):
                 tasks.append(TrialTask(
@@ -99,10 +106,12 @@ def build_tasks(scale, seed, pairs, bitflips, trainings, cache,
                         "model": model,
                         "flips": flips,
                         "trial": trial,
-                        "checkpoint":
-                            baselines[(framework, model)][1].checkpoint_path,
+                        "checkpoint": baseline.checkpoint_path,
+                        "baseline_curve":
+                            baseline.resumed_curve[:scale.resume_epochs],
                         "injection_seed": seed * 3_000 + flips * 17 + trial,
                         "engine": engine,
+                        "health_probe": health_probe,
                     },
                 ))
     return tasks, baselines
@@ -112,14 +121,16 @@ def run(scale="tiny", seed: int = 42, pairs=DEFAULT_PAIRS,
         bitflips=DEFAULT_BITFLIPS, cache=None, workers: int = 1,
         journal=None, resume: bool = False,
         trial_timeout: float | None = None,
-        retries: int = 1, engine: str = "vectorized") -> ExperimentResult:
+        retries: int = 1, engine: str = "vectorized",
+        health_probe: bool = False) -> ExperimentResult:
     """Regenerate Fig 3 (accuracy curves per flip rate)."""
     scale = get_scale(scale)
     cache = cache or DEFAULT_CACHE
     trainings = scale.curve_trainings
 
     tasks, baselines = build_tasks(scale, seed, pairs, bitflips, trainings,
-                                   cache, engine=engine)
+                                   cache, engine=engine,
+                                   health_probe=health_probe)
     campaign = run_campaign(tasks, workers=workers, journal=journal,
                             resume=resume, trial_timeout=trial_timeout,
                             retries=retries)
@@ -141,10 +152,10 @@ def run(scale="tiny", seed: int = 42, pairs=DEFAULT_PAIRS,
             series[f"{flips} flips"] = _mean_curve(curves)
         panels[f"{framework}/{model}"] = series
         for name, curve in series.items():
-            finite = [v for v in curve if v == v]
+            final = last_finite(curve)
             rows.append([
                 f"{framework}/{model}", name,
-                round(float(finite[-1]), 4) if finite else float("nan"),
+                round(final, 4) if final == final else float("nan"),
             ])
 
     rendered = "\n\n".join(

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..analysis import render_curves
 from ..frameworks import get_facade
+from ..health import classify_curve, last_finite
 from ..injector import (
     CheckpointCorrupter,
     InjectorConfig,
@@ -124,10 +125,12 @@ def run(scale="tiny", seed: int = 42, model: str = DEFAULT_MODEL,
                     padded[i, :len(curve)] = curve
                 series[layer] = [float(v)
                                  for v in np.nanmean(padded, axis=0)]
-                finite = [v for v in series[layer] if v == v]
+                verdict = classify_curve(series[layer], series["baseline"])
+                final = last_finite(series[layer])
                 rows.append([
                     framework, layer,
-                    round(finite[-1], 4) if finite else float("nan"),
+                    round(final, 4) if final == final else float("nan"),
+                    verdict.outcome,
                 ])
             panels[framework] = series
 
@@ -137,7 +140,8 @@ def run(scale="tiny", seed: int = 42, model: str = DEFAULT_MODEL,
     )
     return ExperimentResult(
         experiment_id=EXPERIMENT_ID, title=TITLE,
-        headers=["framework", "injected layer", "final accuracy"], rows=rows,
+        headers=["framework", "injected layer", "final accuracy", "outcome"],
+        rows=rows,
         rendered=rendered,
         extra={"scale": scale.name, "curves": panels,
                "source": SOURCE_FRAMEWORK, "bitflips": BITFLIPS},

@@ -34,6 +34,7 @@ from typing import Callable, Iterable
 
 from .. import telemetry
 from ..analysis.campaign import CampaignStats
+from ..health.outcome import classify_trial_record
 
 log = logging.getLogger("repro.experiments.runner")
 
@@ -100,10 +101,21 @@ class TrialRecord:
     duration: float = 0.0
     worker: int = 0
     payload: dict = field(default_factory=dict)
+    #: canonical taxonomy verdict (repro.health.outcome.OUTCOMES); stamped
+    #: by the runner on every fresh record.  Optional with a None default
+    #: so journals written before the classifier existed still replay.
+    outcome_class: str | None = None
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    def classify(self) -> str:
+        """Stamp (and return) the canonical outcome classification."""
+        if self.outcome_class is None:
+            self.outcome_class = classify_trial_record(self.status,
+                                                       self.outcome)
+        return self.outcome_class
 
     def to_json_line(self) -> str:
         # allow_nan keeps NaN accuracies (collapsed trainings) round-trippable
@@ -302,9 +314,12 @@ def _run_inline(tasks: list[TrialTask], journal: Journal | None,
                 )
                 break
             record.duration = time.monotonic() - started
+            record.classify()
             telemetry.count(f"runner.trials_{record.status}")
+            telemetry.count(f"runner.outcome_{record.outcome_class}")
             span.set(status=record.status, attempts=record.attempts,
-                     queue_wait=0.0, run_time=record.duration, worker=0)
+                     queue_wait=0.0, run_time=record.duration, worker=0,
+                     outcome=record.outcome_class)
             span.finish(record.status)
         log.debug("trial %s: %s after %d attempt(s) in %.3fs",
                   task.trial_id, record.status, record.attempts,
@@ -393,12 +408,15 @@ def _run_pool(tasks: list[TrialTask], journal: Journal | None, workers: int,
             duration=now - flight.first_started,
             worker=flight.slot, payload=flight.task.payload,
         )
+        record.classify()
         telemetry.count(f"runner.trials_{status}")
+        telemetry.count(f"runner.outcome_{record.outcome_class}")
         flight.span.set(
             status=status, attempts=flight.attempt, worker=flight.slot,
             timed_out=timed_out,
             queue_wait=flight.first_started - pool_start,
             run_time=flight.run_time + (now - flight.started),
+            outcome=record.outcome_class,
         )
         flight.span.finish(status)
         log.debug("trial %s: %s after %d attempt(s) in %.3fs (worker %d)",
@@ -480,12 +498,15 @@ def _run_pool(tasks: list[TrialTask], journal: Journal | None, workers: int,
                         duration=now - flight.first_started,
                         worker=flight.slot, payload=flight.task.payload,
                     )
+                    rec.classify()
                     telemetry.count("runner.trials_ok")
+                    telemetry.count(f"runner.outcome_{rec.outcome_class}")
                     flight.span.set(
                         status="ok", attempts=flight.attempt,
                         worker=flight.slot, timed_out=flight.timeouts > 0,
                         queue_wait=flight.first_started - pool_start,
                         run_time=flight.run_time + (now - flight.started),
+                        outcome=rec.outcome_class,
                     )
                     flight.span.finish("ok")
                     log.debug("trial %s: ok after %d attempt(s) in %.3fs "

@@ -20,6 +20,7 @@ import tempfile
 import numpy as np
 
 from ..analysis import render_table
+from ..health import classify_solver
 from ..injector import CheckpointCorrupter, InjectorConfig
 from ..stencil import JacobiProblem, JacobiSolver, reference_solution
 from .common import ExperimentResult, get_scale
@@ -90,23 +91,18 @@ def run(scale="tiny", seed: int = 42, grid_size: int = 24,
             error_before = resumed.error_against(reference)
             resumed.solve(extra_sweeps, tolerance=1e-12)
             error_after = resumed.error_against(reference)
-            if resumed.collapsed:
-                verdict = "collapsed"
-            elif error_after < 1e-3:
-                verdict = "recovered"
-            elif error_after < error_before:
-                verdict = "recovering"
-            else:
-                verdict = "degraded"
+            verdict = classify_solver(error_before, error_after,
+                                      collapsed=resumed.collapsed)
             rows.append([
                 label,
                 f"{error_before:.3g}" if np.isfinite(error_before) else "NaN",
                 f"{error_after:.3g}" if np.isfinite(error_after) else "NaN",
-                verdict,
+                verdict.outcome,
+                verdict.reason,
             ])
 
     headers = ["corruption", "error at restart",
-               f"error after {extra_sweeps} sweeps", "verdict"]
+               f"error after {extra_sweeps} sweeps", "outcome", "detail"]
     return ExperimentResult(
         experiment_id=EXPERIMENT_ID, title=TITLE, headers=headers, rows=rows,
         rendered=render_table(headers, rows, title=TITLE),

@@ -11,6 +11,7 @@ from __future__ import annotations
 import tempfile
 
 from ..analysis import render_table
+from ..health import COLLAPSED, classify_curve
 from ..injector import InjectorConfig, CheckpointCorrupter
 from .common import (
     DEFAULT_CACHE,
@@ -51,7 +52,11 @@ def nev_trial(spec: SessionSpec, baseline, bitflips: int, trial: int,
     CheckpointCorrupter(config).corrupt()
     outcome = resume_training(spec, path,
                               epochs=spec.scale.nev_resume_epochs)
-    return outcome.collapsed
+    # the shared taxonomy's collapse judgment (trainer flag OR a curve that
+    # ends non-finite) — the same verdict the campaign runner stamps
+    verdict = classify_curve(outcome.accuracy_curve,
+                             collapsed=outcome.collapsed)
+    return verdict.outcome == COLLAPSED
 
 
 def run(scale="tiny", seed: int = 42,

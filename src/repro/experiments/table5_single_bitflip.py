@@ -20,6 +20,7 @@ from __future__ import annotations
 import tempfile
 
 from ..analysis import count_rwc, group_records, render_table
+from ..health import classify_curve
 from ..injector import CheckpointCorrupter, InjectorConfig
 from .common import (
     DEFAULT_CACHE,
@@ -74,13 +75,20 @@ def run_trial(payload: dict) -> dict:
         corrupter = CheckpointCorrupter(
             config, engine=payload.get("engine", "vectorized"))
         corrupter.corrupt()
-        outcome = resume_training(spec, path, epochs=1)
+        outcome = resume_training(
+            spec, path, epochs=1,
+            health_probe=payload.get("health_probe", False))
     finite = [a for a in outcome.accuracy_curve if a is not None]
-    return {"finals": finite[-1:]}
+    # tolerance 0: Table V's RWC is *exact* equality with the error-free
+    # restart, so any finite drop counts as degraded
+    verdict = classify_curve(outcome.accuracy_curve,
+                             payload.get("baseline_restart"),
+                             collapsed=outcome.collapsed, tolerance=0.0)
+    return {"finals": finite[-1:], "outcome_class": verdict.outcome}
 
 
 def build_tasks(scale, seed, frameworks, models, cache,
-                engine: str = "vectorized") -> \
+                engine: str = "vectorized", health_probe: bool = False) -> \
         tuple[list[TrialTask], dict[tuple[str, str], object]]:
     """The campaign's trial list plus the per-cell baselines it references.
 
@@ -106,8 +114,10 @@ def build_tasks(scale, seed, frameworks, models, cache,
                         "model": model,
                         "trial": trial,
                         "checkpoint": baseline.checkpoint_path,
+                        "baseline_restart": baseline.resumed_curve[:1],
                         "injection_seed": seed * 5_000 + trial,
                         "engine": engine,
+                        "health_probe": health_probe,
                     },
                 ))
     return tasks, baselines
@@ -117,14 +127,15 @@ def run(scale="tiny", seed: int = 42,
         frameworks=DEFAULT_FRAMEWORKS, models=DEFAULT_MODELS,
         cache=None, workers: int = 1, journal=None, resume: bool = False,
         trial_timeout: float | None = None,
-        retries: int = 1, engine: str = "vectorized") -> ExperimentResult:
+        retries: int = 1, engine: str = "vectorized",
+        health_probe: bool = False) -> ExperimentResult:
     """Regenerate Table V (RWC under one bit-flip) over the grid."""
     scale = get_scale(scale)
     cache = cache or DEFAULT_CACHE
     trainings = scale.trainings
 
     tasks, baselines = build_tasks(scale, seed, frameworks, models, cache,
-                                   engine=engine)
+                                   engine=engine, health_probe=health_probe)
     campaign = run_campaign(tasks, workers=workers, journal=journal,
                             resume=resume, trial_timeout=trial_timeout,
                             retries=retries)

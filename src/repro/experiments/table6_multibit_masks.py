@@ -16,6 +16,7 @@ from __future__ import annotations
 import tempfile
 
 from ..analysis import group_records, mean_excluding_collapsed, render_table
+from ..health import classify_curve
 from ..injector import CheckpointCorrupter, InjectorConfig
 from .common import (
     DEFAULT_CACHE,
@@ -67,14 +68,19 @@ def run_trial(payload: dict) -> dict:
         corrupter = CheckpointCorrupter(
             config, engine=payload.get("engine", "vectorized"))
         corrupter.corrupt()
-        outcome = resume_training(spec, path,
-                                  epochs=spec.scale.resume_epochs)
+        outcome = resume_training(
+            spec, path, epochs=spec.scale.resume_epochs,
+            health_probe=payload.get("health_probe", False))
+    verdict = classify_curve(outcome.accuracy_curve,
+                             payload.get("baseline_curve"),
+                             collapsed=outcome.collapsed)
     return {"final_accuracy": outcome.final_accuracy,
-            "collapsed": outcome.collapsed}
+            "collapsed": outcome.collapsed,
+            "outcome_class": verdict.outcome}
 
 
 def build_tasks(scale, seed, frameworks, model, masks, trainings, cache,
-                engine: str = "vectorized") -> \
+                engine: str = "vectorized", health_probe: bool = False) -> \
         tuple[list[TrialTask], dict[str, tuple]]:
     tasks: list[TrialTask] = []
     baselines: dict[str, tuple] = {}
@@ -96,6 +102,9 @@ def build_tasks(scale, seed, frameworks, model, masks, trainings, cache,
                         "mask": mask,
                         "trial": trial,
                         "checkpoint": baseline.checkpoint_path,
+                        "baseline_curve":
+                            baseline.resumed_curve[:scale.resume_epochs],
+                        "health_probe": health_probe,
                         # int(mask, 2), not hash(mask): string hashing is
                         # randomized per process, which would desync seeds
                         # between a journaled campaign and its resume.
@@ -111,14 +120,16 @@ def run(scale="tiny", seed: int = 42, frameworks=DEFAULT_FRAMEWORKS,
         model: str = DEFAULT_MODEL, masks=PAPER_MASKS,
         cache=None, workers: int = 1, journal=None, resume: bool = False,
         trial_timeout: float | None = None,
-        retries: int = 1, engine: str = "vectorized") -> ExperimentResult:
+        retries: int = 1, engine: str = "vectorized",
+        health_probe: bool = False) -> ExperimentResult:
     """Regenerate Table VI (multi-bit DRAM masks)."""
     scale = get_scale(scale)
     cache = cache or DEFAULT_CACHE
     trainings = min(scale.trainings, 10)
 
     tasks, baselines = build_tasks(scale, seed, frameworks, model, masks,
-                                   trainings, cache, engine=engine)
+                                   trainings, cache, engine=engine,
+                                   health_probe=health_probe)
     campaign = run_campaign(tasks, workers=workers, journal=journal,
                             resume=resume, trial_timeout=trial_timeout,
                             retries=retries)

@@ -1,0 +1,42 @@
+"""Model-health observability: numerical probes + the SDC outcome taxonomy.
+
+Two halves:
+
+* :mod:`repro.health.probe` — :class:`ModelHealthProbe` snapshots per-layer
+  numerical statistics every epoch and emits them as ``health`` telemetry
+  events (numpy-backed; rides the training loop).
+* :mod:`repro.health.outcome` — the canonical ``masked`` / ``degraded`` /
+  ``collapsed`` / ``crashed`` classifier every harness and the campaign
+  runner share (stdlib-only; importable from monitoring hosts).
+"""
+
+from .outcome import (
+    COLLAPSED,
+    CRASHED,
+    DEFAULT_TOLERANCE,
+    DEGRADED,
+    MASKED,
+    OUTCOMES,
+    OutcomeVerdict,
+    classify_curve,
+    classify_solver,
+    classify_trial_record,
+    curve_collapsed,
+    last_finite,
+)
+from .probe import (
+    STAT_KEYS,
+    HealthSnapshot,
+    ModelHealthProbe,
+    array_stats,
+    summarize,
+)
+
+__all__ = [
+    "MASKED", "DEGRADED", "COLLAPSED", "CRASHED", "OUTCOMES",
+    "DEFAULT_TOLERANCE", "OutcomeVerdict", "classify_curve",
+    "classify_solver", "classify_trial_record", "curve_collapsed",
+    "last_finite",
+    "STAT_KEYS", "HealthSnapshot", "ModelHealthProbe", "array_stats",
+    "summarize",
+]

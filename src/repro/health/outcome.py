@@ -1,0 +1,196 @@
+"""Canonical SDC outcome taxonomy: masked / degraded / collapsed / crashed.
+
+Every experiment in the paper ends by judging what a corrupted checkpoint
+did to training, and before this module each harness re-implemented that
+judgment ad hoc (`finite[-1]` here, exact-equality RWC there, a hand-rolled
+solver verdict in the stencil study).  This module is the single
+classifier, mapped onto the paper's observations:
+
+==========  ==============================================================
+outcome     paper analogue
+==========  ==============================================================
+masked      "Restarted With no Change" / no visible degradation
+            (Table V, Fig. 3): the corrupted run tracks the baseline.
+degraded    visible but finite accuracy loss (Fig. 7, Table VIII): the
+            run survives with a worse curve than the baseline.
+collapsed   numerical collapse into NaN/Inf (Table IV N-EV incidence,
+            Fig. 2): the curve ends non-finite or training aborted on
+            non-finite weights.
+crashed     the framework/process itself failed (no outcome at all) —
+            the infrastructure failures §V-A sets aside from SDC proper.
+==========  ==============================================================
+
+Deliberately **stdlib-only** (no numpy): the live campaign watcher
+(:mod:`repro.experiments.watch`) imports it from monitoring-only hosts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+MASKED = "masked"
+DEGRADED = "degraded"
+COLLAPSED = "collapsed"
+CRASHED = "crashed"
+
+#: The canonical taxonomy, in increasing order of severity.
+OUTCOMES = (MASKED, DEGRADED, COLLAPSED, CRASHED)
+
+#: Accuracy slack (absolute) under which a finite curve still counts as
+#: masked.  Test accuracy at the reproduction's reduced scales is quantized
+#: (1/test_size steps) and single flips perturb training chaotically, so a
+#: small tolerance separates "tracks the baseline" from real degradation.
+#: Harnesses that want the paper's exact-equality RWC pass ``tolerance=0``.
+DEFAULT_TOLERANCE = 0.02
+
+
+def _is_finite(value: object) -> bool:
+    if value is None:
+        return False
+    try:
+        return math.isfinite(value)  # type: ignore[arg-type]
+    except TypeError:
+        return False
+
+
+def last_finite(curve: Iterable[object] | None) -> float:
+    """The last finite accuracy of *curve*; NaN when there is none.
+
+    ``None`` entries (epochs that never evaluated, e.g. after collapse) and
+    NaN/Inf entries are skipped — this is the one final-accuracy definition
+    shared by the baseline trainer and every resume harness.
+    """
+    if curve is None:
+        return float("nan")
+    for value in reversed(list(curve)):
+        if _is_finite(value):
+            return float(value)
+    return float("nan")
+
+
+def curve_collapsed(curve: Sequence[object] | None) -> bool:
+    """True when *curve* is empty or ends on a non-finite entry.
+
+    The trainer stops at the collapsing epoch, so a NaN/None tail is the
+    curve-level signature of numerical collapse.
+    """
+    if not curve:
+        return True
+    return not _is_finite(curve[-1])
+
+
+@dataclass(frozen=True)
+class OutcomeVerdict:
+    """One classified outcome plus the evidence it was judged on."""
+
+    outcome: str
+    final_accuracy: float  # last finite accuracy; NaN if none
+    baseline_final: float | None = None
+    delta: float | None = None  # final_accuracy - baseline_final
+    reason: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "outcome": self.outcome,
+            "final_accuracy": self.final_accuracy,
+            "baseline_final": self.baseline_final,
+            "delta": self.delta,
+            "reason": self.reason,
+        }
+
+
+def classify_curve(curve: Sequence[object] | None,
+                   baseline_curve: Sequence[object] | None = None,
+                   *, collapsed: bool = False,
+                   tolerance: float = DEFAULT_TOLERANCE) -> OutcomeVerdict:
+    """Classify an accuracy curve against the error-free baseline.
+
+    ``collapsed`` is the trainer's own non-finite-weights flag; the curve's
+    shape (empty / non-finite tail) is an independent collapse signal, so
+    either suffices.  Without a baseline the only distinction available is
+    collapsed vs. not — a finite curve is reported ``masked`` with a
+    reason saying no reference was available.
+    """
+    final = last_finite(curve)
+    if collapsed or curve_collapsed(curve):
+        return OutcomeVerdict(
+            outcome=COLLAPSED, final_accuracy=final,
+            reason="trainer collapsed" if collapsed
+            else "curve empty or ends non-finite",
+        )
+    baseline_final = (last_finite(baseline_curve)
+                      if baseline_curve is not None else float("nan"))
+    if not _is_finite(baseline_final):
+        return OutcomeVerdict(
+            outcome=MASKED, final_accuracy=final,
+            reason="finite curve, no baseline reference",
+        )
+    delta = final - baseline_final
+    if delta < -tolerance:
+        return OutcomeVerdict(
+            outcome=DEGRADED, final_accuracy=final,
+            baseline_final=baseline_final, delta=delta,
+            reason=f"final accuracy {delta:+.4f} vs baseline "
+                   f"(tolerance {tolerance:g})",
+        )
+    return OutcomeVerdict(
+        outcome=MASKED, final_accuracy=final,
+        baseline_final=baseline_final, delta=delta,
+        reason=f"within {tolerance:g} of baseline",
+    )
+
+
+def classify_solver(error_before: float, error_after: float,
+                    *, collapsed: bool = False,
+                    recovered_threshold: float = 1e-3) -> OutcomeVerdict:
+    """Taxonomy for iterative solvers (the HPC stencil study).
+
+    The solver analogue of an accuracy curve is the residual error before
+    and after the post-injection iterations: convergence back under
+    *recovered_threshold* is ``masked`` (reason ``recovered``); shrinking
+    but not yet converged is ``degraded`` (reason ``recovering``); growth
+    or non-finite residuals are ``degraded``/``collapsed``.
+    """
+    if collapsed or not _is_finite(error_after):
+        return OutcomeVerdict(outcome=COLLAPSED,
+                              final_accuracy=float("nan"),
+                              reason="non-finite residual")
+    if error_after < recovered_threshold:
+        return OutcomeVerdict(outcome=MASKED, final_accuracy=error_after,
+                              reason="recovered")
+    if _is_finite(error_before) and error_after < error_before:
+        return OutcomeVerdict(outcome=DEGRADED, final_accuracy=error_after,
+                              reason="recovering")
+    return OutcomeVerdict(outcome=DEGRADED, final_accuracy=error_after,
+                          reason="degraded")
+
+
+def classify_trial_record(status: str,
+                          outcome: Mapping | None) -> str:
+    """Classify one campaign journal record (used by the runner's stamp).
+
+    A trial that never produced an outcome — worker crash, timeout,
+    exception — is ``crashed``.  Trials whose kind already ran the
+    classifier ship the verdict in ``outcome["outcome_class"]``; otherwise
+    the record's curve/collapse evidence is classified here, and a finite
+    outcome with no curve at all defaults to ``masked`` (the trial ran to
+    completion and reported a finite result).
+    """
+    if status != "ok" or outcome is None:
+        return CRASHED
+    stamped = outcome.get("outcome_class")
+    if stamped in OUTCOMES:
+        return str(stamped)
+    curve = outcome.get("curve")
+    if curve is None:
+        finals = outcome.get("finals")
+        curve = finals if isinstance(finals, (list, tuple)) else None
+    collapsed = bool(outcome.get("collapsed"))
+    if curve is not None:
+        return classify_curve(curve, outcome.get("baseline_curve"),
+                              collapsed=collapsed).outcome
+    if collapsed:
+        return COLLAPSED
+    return MASKED

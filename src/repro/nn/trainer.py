@@ -64,7 +64,8 @@ class Trainer:
                  stop_on_collapse: bool = True,
                  epoch_callback: Callable[[int, "Trainer"], None] | None = None,
                  scheduler=None,
-                 augmenter=None):
+                 augmenter=None,
+                 health_probe=None):
         self.model = model
         self.optimizer = optimizer
         self.batch_size = batch_size
@@ -72,6 +73,8 @@ class Trainer:
         self.epoch_callback = epoch_callback
         self.scheduler = scheduler
         self.augmenter = augmenter  # callable(images, epoch) -> images
+        # duck-typed repro.health.ModelHealthProbe: observe(model, opt, epoch)
+        self.health_probe = health_probe
         self.history = TrainingHistory()
         self.epoch = 0
 
@@ -149,6 +152,10 @@ class Trainer:
                     collapsed=metrics.collapsed,
                     duration=time.perf_counter() - epoch_start,
                 )
+                if self.health_probe is not None:
+                    # read-only, RNG-free: probed runs stay bit-identical
+                    self.health_probe.observe(self.model, self.optimizer,
+                                              self.epoch)
                 if self.epoch_callback is not None:
                     self.epoch_callback(self.epoch, self)
                 if metrics.collapsed and self.stop_on_collapse:

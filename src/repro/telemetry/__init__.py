@@ -48,7 +48,8 @@ from .core import (
     span,
     start_span,
 )
-from .export import chrome_trace, prometheus_exposition
+from .export import (chrome_trace, escape_label_value, prom_sample,
+                     prometheus_exposition)
 from .logging_setup import LOG_FORMAT, VERBOSITY_LEVELS, setup_logging
 from .metrics import DEFAULT_BUCKETS, Histogram, Registry
 from .sinks import InMemorySink, JsonlSink, NullSink, Sink
@@ -71,6 +72,7 @@ __all__ = [
     "VERBOSITY_LEVELS",
     "adopt",
     "chrome_trace",
+    "escape_label_value",
     "configure",
     "count",
     "enabled",
@@ -81,6 +83,7 @@ __all__ = [
     "merge_metrics",
     "observe",
     "pipeline",
+    "prom_sample",
     "prometheus_exposition",
     "setup_logging",
     "shutdown",

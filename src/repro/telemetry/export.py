@@ -14,9 +14,48 @@ from .aggregate import merge_metrics
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
 
+#: ``# HELP`` text for the well-known metric names; anything else gets a
+#: generic line (the text format wants HELP before TYPE for every family).
+_HELP = {
+    "inject.attempts": "Injection attempts sampled into campaign plans.",
+    "inject.bytes_touched": "Checkpoint bytes rewritten by applied flips.",
+    "inject.guard_retries": "Corruption retries forced by NaN/extreme guards.",
+    "inject.sequential_fallback":
+        "Float attempts routed to the sequential apply path.",
+    "hdf5.bytes_read": "Bytes read through repro.hdf5 datasets.",
+    "hdf5.bytes_written": "Bytes written through repro.hdf5 datasets.",
+    "hdf5.read_seconds": "Dataset read latency.",
+    "hdf5.write_seconds": "Dataset write latency.",
+    "runner.trials_ok": "Campaign trials finished ok.",
+    "runner.trials_failed": "Campaign trials journaled failed.",
+    "runner.retries": "Trial attempt retries.",
+    "runner.timeouts": "Trial attempts killed on timeout.",
+    "runner.worker_crashes": "Worker processes that died without a result.",
+    "runner.busy_seconds": "Summed worker busy wall-time.",
+    "runner.worker_utilization": "Busy fraction of the worker pool.",
+}
+
 
 def _prom_name(name: str) -> str:
     return "repro_" + _NAME_RE.sub("_", name)
+
+
+def escape_label_value(value: object) -> str:
+    """Escape a label value per the Prometheus text-format spec:
+    backslash, double-quote, and newline must be backslash-escaped."""
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def prom_sample(name: str, labels: dict | None, value: object) -> str:
+    """One exposition line: ``name{label="escaped",...} value``."""
+    if labels:
+        body = ",".join(f'{key}="{escape_label_value(val)}"'
+                        for key, val in labels.items())
+        return f"{name}{{{body}}} {_prom_value(value)}"
+    return f"{name} {_prom_value(value)}"
 
 
 def _prom_value(value: float) -> str:
@@ -40,11 +79,18 @@ def prometheus_exposition(events: list[dict]) -> str:
     scrapeable without histogram instrumentation on every span.
     """
     lines: list[str] = []
+
+    def family(prom: str, kind: str, help_text: str) -> None:
+        lines.append(f"# HELP {prom} {help_text}")
+        lines.append(f"# TYPE {prom} {kind}")
+
     for name, metric in sorted(merge_metrics(events).items()):
         prom = _prom_name(name)
         kind = metric["kind"]
+        help_text = _HELP.get(name, f"Merged {kind} {name!r} from the "
+                                    "telemetry stream.")
         if kind == "histogram":
-            lines.append(f"# TYPE {prom} histogram")
+            family(prom, "histogram", help_text)
             cumulative = 0
             for boundary, count in zip(metric["buckets"], metric["counts"]):
                 cumulative += count
@@ -56,29 +102,78 @@ def prometheus_exposition(events: list[dict]) -> str:
             lines.append(f"{prom}_sum {_prom_value(metric['sum'])}")
             lines.append(f"{prom}_count {metric['count']}")
         else:
-            lines.append(f"# TYPE {prom} {kind}")
+            family(prom, kind, help_text)
             lines.append(f"{prom} {_prom_value(metric['value'])}")
 
     totals: dict[str, tuple[int, float]] = {}
+    outcomes: dict[str, int] = {}
     for event in events:
         if event.get("type") == "span":
             count, seconds = totals.get(event["name"], (0, 0.0))
             totals[event["name"]] = (count + 1,
                                      seconds + float(event.get("dur", 0.0)))
+            if event.get("name") == "trial":
+                outcome = (event.get("attrs") or {}).get("outcome")
+                if outcome:
+                    outcomes[str(outcome)] = outcomes.get(str(outcome), 0) + 1
     if totals:
-        lines.append("# TYPE repro_span_seconds_total counter")
+        family("repro_span_seconds_total", "counter",
+               "Total wall time per span name.")
         for name in sorted(totals):
-            label = _NAME_RE.sub("_", name)
-            lines.append(
-                f'repro_span_seconds_total{{span="{label}"}} '
-                f"{_prom_value(totals[name][1])}"
-            )
-        lines.append("# TYPE repro_span_count counter")
+            lines.append(prom_sample("repro_span_seconds_total",
+                                     {"span": _NAME_RE.sub("_", name)},
+                                     totals[name][1]))
+        family("repro_span_count", "counter",
+               "Closed spans per span name.")
         for name in sorted(totals):
-            label = _NAME_RE.sub("_", name)
-            lines.append(f'repro_span_count{{span="{label}"}} '
-                         f"{totals[name][0]}")
+            lines.append(prom_sample("repro_span_count",
+                                     {"span": _NAME_RE.sub("_", name)},
+                                     totals[name][0]))
+    if outcomes:
+        family("repro_trials_total", "counter",
+               "Classified trial outcomes (masked/degraded/collapsed/"
+               "crashed).")
+        for outcome in sorted(outcomes):
+            lines.append(prom_sample("repro_trials_total",
+                                     {"outcome": outcome},
+                                     outcomes[outcome]))
+
+    lines.extend(_health_samples(events))
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: Per-layer health stats exposed as gauges (from the latest ``health``
+#: event observed per layer).
+_HEALTH_STATS = ("nan_count", "inf_count", "l2", "abs_max")
+
+
+def _health_samples(events: list[dict]) -> list[str]:
+    """Gauge samples from the newest per-layer health snapshot."""
+    latest: dict[str, dict] = {}
+    epochs: dict[str, int] = {}
+    for event in events:
+        if event.get("type") != "event" or event.get("name") != "health":
+            continue
+        attrs = event.get("attrs") or {}
+        epoch = int(attrs.get("epoch", 0))
+        for layer, stats in (attrs.get("layers") or {}).items():
+            if layer not in epochs or epoch >= epochs[layer]:
+                epochs[layer] = epoch
+                latest[layer] = stats
+    lines: list[str] = []
+    if not latest:
+        return lines
+    for stat in _HEALTH_STATS:
+        prom = f"repro_health_{stat}"
+        lines.append(f"# HELP {prom} Latest per-layer health probe "
+                     f"{stat.replace('_', ' ')}.")
+        lines.append(f"# TYPE {prom} gauge")
+        for layer in sorted(latest):
+            value = latest[layer].get(stat)
+            if value is None:
+                continue
+            lines.append(prom_sample(prom, {"layer": layer}, value))
+    return lines
 
 
 def chrome_trace(events: list[dict]) -> dict:

@@ -188,3 +188,42 @@ class TestCampaignRateTable:
         a = table.get(("a",))
         assert (a.successes, a.trials) == (1, 2)  # failed trial excluded
         assert table.get(("b",)).percent == 100.0
+
+
+class TestOutcomeHistogram:
+    def test_from_records_counts_classified_outcomes(self):
+        records = [
+            dict(_record(outcome={"v": 1}), outcome_class="masked"),
+            dict(_record(outcome={"v": 2}), outcome_class="masked"),
+            dict(_record(outcome={"v": 3}), outcome_class="degraded"),
+            dict(_record(status="failed"), outcome_class="crashed"),
+        ]
+        stats = CampaignStats.from_records(records, wall_time=1.0)
+        assert stats.outcomes == {"masked": 2, "degraded": 1, "crashed": 1}
+
+    def test_unstamped_records_absent_from_histogram(self):
+        stats = CampaignStats.from_records([_record()], wall_time=1.0)
+        assert stats.outcomes == {}
+        assert "outcomes:" not in stats.summary()
+
+    def test_summary_orders_by_severity(self):
+        records = [
+            dict(_record(status="failed"), outcome_class="crashed"),
+            dict(_record(), outcome_class="collapsed"),
+            dict(_record(), outcome_class="masked"),
+        ]
+        stats = CampaignStats.from_records(records, wall_time=1.0)
+        assert ("outcomes: masked=1, collapsed=1, crashed=1"
+                in stats.summary())
+
+    def test_from_dict_defaults_outcomes_for_old_payloads(self):
+        stats = CampaignStats.from_records([_record()], wall_time=1.0)
+        payload = stats.as_dict()
+        payload.pop("outcomes", None)  # pre-taxonomy payload
+        assert CampaignStats.from_dict(payload).outcomes == {}
+
+    def test_outcomes_round_trip_through_as_dict(self):
+        records = [dict(_record(), outcome_class="masked")]
+        stats = CampaignStats.from_records(records, wall_time=1.0)
+        clone = CampaignStats.from_dict(stats.as_dict())
+        assert clone.outcomes == {"masked": 1}

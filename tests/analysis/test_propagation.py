@@ -1,0 +1,127 @@
+"""Propagation join: flip provenance × per-epoch health divergence."""
+
+from repro.analysis import (
+    first_divergence,
+    flipped_layers,
+    health_series,
+    match_layer,
+    propagation_report,
+)
+
+
+def health_event(epoch, layers, pid=1):
+    return {"type": "event", "name": "health", "pid": pid, "ts": float(epoch),
+            "attrs": {"epoch": epoch, "layers": layers}}
+
+
+def flip_event(location, bit=1, pid=1):
+    return {"type": "event", "name": "flip", "pid": pid, "ts": 0.0,
+            "attrs": {"location": location, "bit_msb": bit,
+                      "kind": "bit_range", "old_value": 1.0,
+                      "new_value": 2.0, "delta": 1.0}}
+
+
+def stats(l2=1.0, nan=0, **extra):
+    base = {"nan_count": nan, "inf_count": 0, "l2": l2, "abs_max": l2,
+            "zero_fraction": 0.0, "update_l2": 0.1}
+    base.update(extra)
+    return base
+
+
+class TestMatchLayer:
+    def test_suffix_match_strips_framework_prefix(self):
+        layers = ["conv1/W", "conv1/b", "fc8/W"]
+        assert match_layer("/predictor/conv1/W", layers) == "conv1/W"
+        assert match_layer("predictor/fc8/W", layers) == "fc8/W"
+
+    def test_longest_suffix_wins(self):
+        layers = ["W", "conv1/W"]
+        assert match_layer("/predictor/conv1/W", layers) == "conv1/W"
+
+    def test_no_match(self):
+        assert match_layer("/predictor/conv9/W", ["conv1/W"]) is None
+
+
+class TestStreamFilters:
+    def test_flipped_layers_counts(self):
+        events = [flip_event("/m/a/W"), flip_event("/m/a/W"),
+                  flip_event("/m/b/W")]
+        assert flipped_layers(events) == {"/m/a/W": 2, "/m/b/W": 1}
+
+    def test_health_series_groups_by_layer(self):
+        events = [health_event(0, {"a/W": stats(1.0)}),
+                  health_event(1, {"a/W": stats(2.0)})]
+        series = health_series(events)
+        assert [epoch for epoch, _ in series["a/W"]] == [0, 1]
+
+
+class TestFirstDivergence:
+    def test_identical_streams_never_diverge(self):
+        events = [health_event(0, {"a/W": stats(1.0)}),
+                  health_event(1, {"a/W": stats(1.5)})]
+        assert first_divergence(events, events) == {"a/W": None}
+
+    def test_divergence_epoch_and_stat_reported(self):
+        baseline = [health_event(0, {"a/W": stats(1.0)}),
+                    health_event(1, {"a/W": stats(1.5)}),
+                    health_event(2, {"a/W": stats(1.6)})]
+        corrupted = [health_event(0, {"a/W": stats(1.0)}),
+                     health_event(1, {"a/W": stats(1.5)}),
+                     health_event(2, {"a/W": stats(9.0)})]
+        assert first_divergence(corrupted, baseline)["a/W"] == (2, "l2")
+
+    def test_nan_appearing_is_divergence(self):
+        baseline = [health_event(0, {"a/W": stats(1.0)})]
+        corrupted = [health_event(0, {"a/W": stats(1.0, nan=3)})]
+        assert first_divergence(corrupted, baseline)["a/W"] \
+            == (0, "nan_count")
+
+    def test_matching_nans_are_not_divergence(self):
+        nan = float("nan")
+        baseline = [health_event(0, {"a/W": stats(1.0, update_l2=nan)})]
+        corrupted = [health_event(0, {"a/W": stats(1.0, update_l2=nan)})]
+        assert first_divergence(corrupted, baseline)["a/W"] is None
+
+    def test_short_baseline_compares_common_prefix(self):
+        baseline = [health_event(0, {"a/W": stats(1.0)})]
+        corrupted = [health_event(0, {"a/W": stats(1.0)}),
+                     health_event(1, {"a/W": stats(99.0)})]
+        # epoch 1 has no reference: not (yet) a divergence
+        assert first_divergence(corrupted, baseline)["a/W"] is None
+
+
+class TestPropagationReport:
+    def _streams(self):
+        baseline = [health_event(0, {"a/W": stats(1.0), "b/W": stats(1.0)}),
+                    health_event(1, {"a/W": stats(1.1), "b/W": stats(1.1)}),
+                    health_event(2, {"a/W": stats(1.2), "b/W": stats(1.2)})]
+        corrupted = [
+            flip_event("/model/a/W", bit=1),
+            health_event(0, {"a/W": stats(50.0), "b/W": stats(1.0)}),
+            health_event(1, {"a/W": stats(60.0), "b/W": stats(1.1)}),
+            health_event(2, {"a/W": stats(70.0), "b/W": stats(8.0)}),
+        ]
+        return corrupted, baseline
+
+    def test_injected_layer_moves_first_then_propagates(self):
+        corrupted, baseline = self._streams()
+        report = propagation_report(corrupted, baseline)
+        assert report.injected_layers == ["a/W"]
+        moved = report.moved()
+        assert moved[0] == ("a/W", 0, "l2")     # injection site moves first
+        assert moved[1] == ("b/W", 2, "l2")     # then the error spreads
+        origins = {row[0]: row[3] for row in report.rows()}
+        assert origins == {"a/W": "injected", "b/W": "propagated"}
+
+    def test_render_mentions_flip_and_layers(self):
+        corrupted, baseline = self._streams()
+        rendered = propagation_report(corrupted, baseline).render()
+        assert "/model/a/W x1" in rendered
+        assert "[injected]" in rendered
+        assert "[propagated]" in rendered
+
+    def test_clean_run_reports_no_movement(self):
+        baseline = [health_event(0, {"a/W": stats(1.0)})]
+        report = propagation_report(list(baseline), baseline)
+        assert report.moved() == []
+        assert "no layer diverged" in report.render()

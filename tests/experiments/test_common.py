@@ -117,3 +117,48 @@ def test_weights_root_known_frameworks():
     assert weights_root("tf_like") == "model_weights"
     with pytest.raises(KeyError):
         weights_root("unknown")
+
+
+class TestFinalAccuracy:
+    """Regression for the curve[-1] vs last-finite inconsistency: both the
+    baseline builder and every resume path now share `last_finite`."""
+
+    def test_baseline_final_skips_nan_tail(self, spec):
+        from repro.experiments.common import Baseline, baseline_from_history
+
+        class _Epoch:
+            def __init__(self, acc):
+                self.test_accuracy = acc
+
+        class _History:
+            epochs = [_Epoch(0.3), _Epoch(0.5), _Epoch(float("nan"))]
+
+        built = baseline_from_history(spec, "ckpt.h5", "final.h5",
+                                      _History())
+        assert isinstance(built, Baseline)
+        assert built.final_accuracy == 0.5  # not the NaN tail
+
+    def test_resume_final_accuracy_is_last_finite(self, baseline, spec):
+        outcome = resume_training(spec, baseline.checkpoint_path, epochs=1)
+        assert outcome.final_accuracy == outcome.accuracy_curve[-1]
+
+
+class TestResumeHealthProbe:
+    def test_probe_disabled_by_default(self, baseline, spec):
+        outcome = resume_training(spec, baseline.checkpoint_path, epochs=1)
+        assert outcome.health == []
+
+    def test_probe_snapshots_restart_state_plus_epochs(self, baseline, spec):
+        outcome = resume_training(spec, baseline.checkpoint_path, epochs=2,
+                                  health_probe=True)
+        # epoch-0 snapshot of the (possibly corrupted) checkpoint, then one
+        # per trained epoch
+        assert len(outcome.health) == 3
+        assert outcome.health[0].epoch == spec.scale.checkpoint_epoch
+        assert all(s.summary["nan_count"] == 0 for s in outcome.health)
+
+    def test_probe_does_not_perturb_training(self, baseline, spec):
+        plain = resume_training(spec, baseline.checkpoint_path, epochs=2)
+        probed = resume_training(spec, baseline.checkpoint_path, epochs=2,
+                                 health_probe=True)
+        assert plain.accuracy_curve == probed.accuracy_curve

@@ -102,6 +102,29 @@ class TestFigureHarnesses:
         for series in curves.values():
             assert len(series) >= 1
 
+    def test_fig3_probed_campaign_is_bit_identical(self, cache, tmp_path):
+        """Acceptance gate: enabling health probes + the classifier changes
+        no training byte — journaled curves match the unprobed campaign,
+        and every record carries a taxonomy outcome."""
+        import json
+
+        from repro.health import OUTCOMES
+
+        journals = {}
+        for flag in (False, True):
+            journal = str(tmp_path / f"probe_{flag}.jsonl")
+            run_experiment("fig3", scale="smoke", cache=cache,
+                           pairs=(("chainer_like", "alexnet"),),
+                           bitflips=(1,), journal=journal, health_probe=flag)
+            with open(journal) as handle:
+                journals[flag] = [json.loads(line) for line in handle]
+        curves = {flag: {r["trial_id"]: r["outcome"]["curve"]
+                         for r in records}
+                  for flag, records in journals.items()}
+        assert curves[False] == curves[True]
+        for records in journals.values():
+            assert all(r["outcome_class"] in OUTCOMES for r in records)
+
     def test_fig4_structure(self, cache):
         result = run_experiment("fig4", scale="smoke", cache=cache)
         curves = result.extra["curves"]
@@ -181,13 +204,16 @@ class TestDeterminismStudy:
 class TestStencilStudy:
     def test_self_correction_contrast(self, cache):
         result = run_experiment("stencil_study", scale="smoke", cache=cache)
-        verdicts = {row[0]: row[3] for row in result.rows}
-        assert verdicts["clean restart"] == "recovered"
-        assert verdicts["mantissa flips (first_bit=12)"] == "recovered"
+        # rows now carry the shared taxonomy outcome plus a solver detail
+        verdicts = {row[0]: (row[3], row[4]) for row in result.rows}
+        assert verdicts["clean restart"] == ("masked", "recovered")
+        assert verdicts["mantissa flips (first_bit=12)"] == ("masked",
+                                                             "recovered")
         # exponent corruption is at best still recovering after the budget
-        assert verdicts["exponent flips (bits 2-11)"] in ("recovering",
-                                                          "degraded",
-                                                          "collapsed")
+        outcome, detail = verdicts["exponent flips (bits 2-11)"]
+        assert (outcome, detail) in (("degraded", "recovering"),
+                                     ("degraded", "degraded"),
+                                     ("collapsed", "non-finite residual"))
 
 
 class TestBitSensitivity:

@@ -463,3 +463,68 @@ def test_kill_dash_nine_mid_campaign_then_resume(tmp_path):
                         if f"echo/{i}" not in {r.trial_id
                                                for r in survived}}
     assert [r.outcome["value"] for r in resumed.records] == list(range(n))
+
+
+# ---------------------------------------------------------------------------
+# Outcome stamping (the canonical taxonomy on every fresh record)
+# ---------------------------------------------------------------------------
+
+
+@trial_kind("test_curve")
+def _curve_trial(payload):
+    return {"curve": payload["curve"],
+            "baseline_curve": payload.get("baseline_curve")}
+
+
+def test_inline_records_carry_outcome_class(tmp_path):
+    journal = str(tmp_path / "stamped.jsonl")
+    tasks = [
+        TrialTask("t/ok", "test_echo", {"value": 1}),
+        TrialTask("t/boom", "test_raise", {}),
+        TrialTask("t/collapse", "test_curve",
+                  {"curve": [0.5, float("nan")]}),
+        TrialTask("t/degraded", "test_curve",
+                  {"curve": [0.3], "baseline_curve": [0.6]}),
+    ]
+    result = run_campaign(tasks, journal=journal)
+    by_id = {r.trial_id: r.outcome_class for r in result.records}
+    assert by_id == {"t/ok": "masked", "t/boom": "crashed",
+                     "t/collapse": "collapsed", "t/degraded": "degraded"}
+    # the stamp is journaled: watchers and resumes see it without
+    # re-running the classifier
+    with open(journal) as handle:
+        for line in handle:
+            parsed = json.loads(line)
+            assert parsed["outcome_class"] == by_id[parsed["trial_id"]]
+
+
+def test_parallel_records_carry_outcome_class(tmp_path):
+    tasks = [TrialTask(f"t/{i}", "test_echo", {"value": i})
+             for i in range(3)]
+    tasks.append(TrialTask("t/crash", "test_crash", {}))
+    result = run_campaign(tasks, workers=2)
+    by_id = {r.trial_id: r.outcome_class for r in result.records}
+    assert by_id["t/crash"] == "crashed"
+    assert all(by_id[f"t/{i}"] == "masked" for i in range(3))
+
+
+def test_classify_respects_existing_stamp():
+    record = TrialRecord(trial_id="t", kind="k", status="ok",
+                         outcome={"curve": [0.1]},
+                         outcome_class="degraded")
+    assert record.classify() == "degraded"  # no re-classification
+
+
+def test_preclassifier_journal_replays_without_stamp(tmp_path):
+    """Journals written before the classifier existed lack the field; they
+    must still parse and resume (replayed records stay unstamped)."""
+    journal = str(tmp_path / "old.jsonl")
+    old = {"trial_id": "echo/0", "kind": "test_echo", "status": "ok",
+           "attempts": 1, "timed_out": False, "duration": 0.1, "worker": 0,
+           "error": None, "payload": {"value": 0}, "outcome": {"value": 0}}
+    with open(journal, "w") as handle:
+        handle.write(json.dumps(old) + "\n")
+    result = run_campaign(echo_tasks(2), journal=journal, resume=True)
+    by_id = {r.trial_id: r.outcome_class for r in result.records}
+    assert by_id["echo/0"] is None       # replayed verbatim
+    assert by_id["echo/1"] == "masked"   # fresh trial gets stamped

@@ -1,0 +1,143 @@
+"""The canonical outcome taxonomy: curve/solver/record classification."""
+
+import math
+
+from repro.health import (
+    COLLAPSED,
+    CRASHED,
+    DEGRADED,
+    MASKED,
+    OUTCOMES,
+    classify_curve,
+    classify_solver,
+    classify_trial_record,
+    curve_collapsed,
+    last_finite,
+)
+
+NAN = float("nan")
+
+
+class TestLastFinite:
+    def test_plain_curve_takes_last_entry(self):
+        assert last_finite([0.1, 0.5, 0.62]) == 0.62
+
+    def test_nan_tail_regression(self):
+        """The bug this helper unifies: `curve[-1]` said NaN while the
+        last-finite scan said 0.5 — both call sites now agree on 0.5."""
+        curve = [0.3, 0.5, NAN, NAN]
+        assert last_finite(curve) == 0.5
+        assert curve[-1] != curve[-1]  # the old definition disagreed
+
+    def test_none_entries_skipped(self):
+        assert last_finite([0.2, 0.4, None]) == 0.4
+
+    def test_all_nonfinite_is_nan(self):
+        assert math.isnan(last_finite([NAN, float("inf"), None]))
+        assert math.isnan(last_finite([]))
+        assert math.isnan(last_finite(None))
+
+
+class TestCurveCollapsed:
+    def test_finite_tail_is_not_collapsed(self):
+        assert not curve_collapsed([0.1, NAN, 0.6])
+
+    def test_nonfinite_tail_is_collapsed(self):
+        assert curve_collapsed([0.6, NAN])
+        assert curve_collapsed([0.6, None])
+        assert curve_collapsed([])
+
+
+class TestClassifyCurve:
+    def test_tracks_baseline_is_masked(self):
+        verdict = classify_curve([0.5, 0.6], [0.5, 0.61])
+        assert verdict.outcome == MASKED
+        assert verdict.delta is not None and abs(verdict.delta) < 0.02
+
+    def test_below_tolerance_is_degraded(self):
+        verdict = classify_curve([0.5, 0.40], [0.5, 0.61])
+        assert verdict.outcome == DEGRADED
+        assert verdict.delta < -0.02
+        assert "vs baseline" in verdict.reason
+
+    def test_within_tolerance_is_masked(self):
+        assert classify_curve([0.60], [0.61]).outcome == MASKED
+
+    def test_exact_equality_mode(self):
+        # Table V's RWC is exact equality: tolerance=0 flips the verdict
+        assert classify_curve([0.60], [0.61], tolerance=0.0) \
+            .outcome == DEGRADED
+        assert classify_curve([0.61], [0.61], tolerance=0.0) \
+            .outcome == MASKED
+
+    def test_collapse_flag_wins(self):
+        verdict = classify_curve([0.5, 0.6], [0.5, 0.6], collapsed=True)
+        assert verdict.outcome == COLLAPSED
+
+    def test_nan_tail_collapses(self):
+        verdict = classify_curve([0.5, NAN], [0.5, 0.6])
+        assert verdict.outcome == COLLAPSED
+        assert verdict.final_accuracy == 0.5  # evidence still reported
+
+    def test_no_baseline_is_masked_with_reason(self):
+        verdict = classify_curve([0.5, 0.6])
+        assert verdict.outcome == MASKED
+        assert "no baseline" in verdict.reason
+
+    def test_improvement_is_masked(self):
+        assert classify_curve([0.9], [0.5]).outcome == MASKED
+
+    def test_as_dict_round_trips(self):
+        data = classify_curve([0.5], [0.6]).as_dict()
+        assert data["outcome"] in OUTCOMES
+        assert set(data) == {"outcome", "final_accuracy", "baseline_final",
+                             "delta", "reason"}
+
+
+class TestClassifySolver:
+    def test_recovered(self):
+        verdict = classify_solver(1e4, 1e-5)
+        assert (verdict.outcome, verdict.reason) == (MASKED, "recovered")
+
+    def test_recovering(self):
+        verdict = classify_solver(1e4, 1.0)
+        assert (verdict.outcome, verdict.reason) == (DEGRADED, "recovering")
+
+    def test_worse_residual_is_degraded(self):
+        verdict = classify_solver(1.0, 5.0)
+        assert (verdict.outcome, verdict.reason) == (DEGRADED, "degraded")
+
+    def test_nonfinite_residual_collapses(self):
+        assert classify_solver(1.0, NAN).outcome == COLLAPSED
+        assert classify_solver(1.0, 5.0, collapsed=True).outcome == COLLAPSED
+
+
+class TestClassifyTrialRecord:
+    def test_failed_status_is_crashed(self):
+        assert classify_trial_record("failed", None) == CRASHED
+        assert classify_trial_record("failed", {"curve": [0.5]}) == CRASHED
+
+    def test_ok_without_outcome_is_crashed(self):
+        assert classify_trial_record("ok", None) == CRASHED
+
+    def test_stamped_verdict_wins(self):
+        outcome = {"curve": [0.1], "outcome_class": "degraded"}
+        assert classify_trial_record("ok", outcome) == DEGRADED
+
+    def test_bogus_stamp_falls_back_to_curve(self):
+        outcome = {"curve": [0.5, NAN], "outcome_class": "exploded"}
+        assert classify_trial_record("ok", outcome) == COLLAPSED
+
+    def test_curve_classified_against_payload_baseline(self):
+        outcome = {"curve": [0.2], "baseline_curve": [0.6]}
+        assert classify_trial_record("ok", outcome) == DEGRADED
+
+    def test_finals_list_accepted(self):
+        assert classify_trial_record("ok", {"finals": [0.5]}) == MASKED
+        assert classify_trial_record("ok", {"finals": [NAN]}) == COLLAPSED
+
+    def test_collapsed_flag_without_curve(self):
+        assert classify_trial_record("ok", {"collapsed": True}) == COLLAPSED
+
+    def test_bare_ok_outcome_is_masked(self):
+        assert classify_trial_record("ok", {"anything": 1}) == MASKED

@@ -1,0 +1,164 @@
+"""ModelHealthProbe: stat correctness, trainer hookup, bit-identity."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.health import ModelHealthProbe, array_stats, summarize
+from repro.nn import Dense, Model, ReLU, SGD, Sequential, Trainer, rng
+from repro.telemetry.sinks import InMemorySink
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    rng.seed_all(77)
+
+
+@pytest.fixture(autouse=True)
+def _reset_telemetry():
+    telemetry.shutdown()
+    yield
+    telemetry.shutdown()
+
+
+def tiny_mlp():
+    net = Sequential("mlp", [
+        Dense("fc1", 8, 16), ReLU("r1"),
+        Dense("fc2", 16, 3),
+    ])
+    return Model("mlp", net, num_classes=3)
+
+
+def toy_problem(n=60, seed=0):
+    gen = np.random.default_rng(seed)
+    x = gen.standard_normal((n, 8)).astype(np.float32)
+    y = (x[:, 0] > 0).astype(np.int64)
+    return x, y
+
+
+class TestArrayStats:
+    def test_clean_array(self):
+        stats = array_stats(np.array([1.0, -2.0, 0.0, 3.0]))
+        assert stats["nan_count"] == 0
+        assert stats["inf_count"] == 0
+        assert stats["min"] == -2.0
+        assert stats["max"] == 3.0
+        assert stats["abs_max"] == 3.0
+        assert stats["l2"] == pytest.approx(np.sqrt(1 + 4 + 9))
+        assert stats["zero_fraction"] == 0.25
+        assert np.isnan(stats["update_l2"])  # no previous snapshot
+
+    def test_nonfinite_counted_but_not_poisoning(self):
+        stats = array_stats(np.array([np.nan, np.inf, -np.inf, 2.0, -5.0]))
+        assert stats["nan_count"] == 1
+        assert stats["inf_count"] == 2
+        # order stats come from the finite survivors
+        assert stats["min"] == -5.0
+        assert stats["abs_max"] == 5.0
+
+    def test_all_nonfinite(self):
+        stats = array_stats(np.array([np.nan, np.inf]))
+        assert np.isnan(stats["l2"])
+        assert np.isnan(stats["abs_max"])
+
+    def test_update_l2_against_previous(self):
+        previous = np.zeros(3)
+        stats = array_stats(np.array([3.0, 4.0, 0.0]), previous)
+        assert stats["update_l2"] == pytest.approx(5.0)
+
+    def test_update_l2_shape_mismatch_is_nan(self):
+        stats = array_stats(np.ones(4), np.ones(3))
+        assert np.isnan(stats["update_l2"])
+
+
+class TestSummarize:
+    def test_rollup(self):
+        layers = {
+            "a/W": array_stats(np.array([3.0, np.nan])),
+            "b/W": array_stats(np.array([4.0, 0.0])),
+        }
+        summary = summarize(layers)
+        assert summary["params"] == 4
+        assert summary["nan_count"] == 1
+        assert summary["nonfinite_layers"] == 1
+        assert summary["abs_max"] == 4.0
+        assert summary["l2"] == pytest.approx(5.0)
+
+
+class TestModelHealthProbe:
+    def test_observe_covers_weights_and_optimizer(self):
+        model = tiny_mlp()
+        opt = SGD(lr=0.05, momentum=0.9)
+        x, y = toy_problem()
+        Trainer(model, opt, batch_size=16).fit(x, y, epochs=1)
+        snapshot = ModelHealthProbe().observe(model, opt, epoch=1)
+        assert "fc1/W" in snapshot.layers
+        assert "fc2/b" in snapshot.layers
+        assert any(name.startswith("optimizer/")
+                   for name in snapshot.layers)
+        assert snapshot.summary["nan_count"] == 0
+        assert snapshot.nonfinite_layers() == []
+
+    def test_update_l2_appears_on_second_observation(self):
+        model = tiny_mlp()
+        probe = ModelHealthProbe(include_optimizer=False)
+        first = probe.observe(model, epoch=0)
+        assert np.isnan(first.layers["fc1/W"]["update_l2"])
+        model.get_layer("fc1").params["W"] += 1.0
+        second = probe.observe(model, epoch=1)
+        assert second.layers["fc1/W"]["update_l2"] > 0.0
+        # untouched layer's update norm is exactly zero
+        assert second.layers["fc2/W"]["update_l2"] == 0.0
+
+    def test_probe_detects_injected_nan(self):
+        model = tiny_mlp()
+        model.get_layer("fc1").params["W"][0, 0] = np.nan
+        snapshot = ModelHealthProbe().observe(model)
+        assert snapshot.nonfinite_layers() == ["fc1/W"]
+        assert snapshot.summary["nonfinite_layers"] == 1
+
+    def test_trainer_calls_probe_each_epoch(self):
+        model = tiny_mlp()
+        probe = ModelHealthProbe()
+        x, y = toy_problem()
+        Trainer(model, SGD(lr=0.05), batch_size=16,
+                health_probe=probe).fit(x, y, epochs=3)
+        assert [s.epoch for s in probe.history] == [1, 2, 3]
+
+    def test_probe_emits_health_events(self):
+        sink = InMemorySink()
+        telemetry.configure(sink=sink)
+        model = tiny_mlp()
+        ModelHealthProbe().observe(model, epoch=4)
+        events = [e for e in sink.events
+                  if e["type"] == "event" and e["name"] == "health"]
+        assert len(events) == 1
+        attrs = events[0]["attrs"]
+        assert attrs["epoch"] == 4
+        assert "fc1/W" in attrs["layers"]
+        assert attrs["nan_count"] == 0
+
+    def test_emit_false_stays_silent(self):
+        sink = InMemorySink()
+        telemetry.configure(sink=sink)
+        ModelHealthProbe(emit=False).observe(tiny_mlp())
+        assert not [e for e in sink.events if e.get("name") == "health"]
+
+    def test_probe_is_read_only_and_bit_identical(self):
+        """The central invariant: training with the probe attached produces
+        byte-for-byte the same weights as training without it."""
+        def train(with_probe):
+            rng.seed_all(123)
+            model = tiny_mlp()
+            x, y = toy_problem()
+            probe = ModelHealthProbe() if with_probe else None
+            Trainer(model, SGD(lr=0.05, momentum=0.9), batch_size=16,
+                    health_probe=probe).fit(x, y, epochs=3)
+            return {name: arr.copy() for name, arr
+                    in model.named_parameters().items()}
+
+        plain = train(False)
+        probed = train(True)
+        assert plain.keys() == probed.keys()
+        for name in plain:
+            assert plain[name].tobytes() == probed[name].tobytes(), name

@@ -2,7 +2,12 @@
 
 import json
 
-from repro.telemetry.export import chrome_trace, prometheus_exposition
+from repro.telemetry.export import (
+    chrome_trace,
+    escape_label_value,
+    prom_sample,
+    prometheus_exposition,
+)
 
 
 def _span(name, dur, pid=1, ts=1.0, **attrs):
@@ -66,6 +71,73 @@ def test_prometheus_type_lines_appear_once_per_metric():
 
 def test_prometheus_empty_stream():
     assert prometheus_exposition([]) == ""
+
+
+def test_prometheus_help_precedes_every_type_line():
+    lines = prometheus_exposition(_events()).splitlines()
+    for index, line in enumerate(lines):
+        if line.startswith("# TYPE"):
+            family = line.split()[2]
+            assert lines[index - 1].startswith(f"# HELP {family} "), line
+
+
+def test_prometheus_known_metrics_get_specific_help():
+    text = prometheus_exposition(_events())
+    assert ("# HELP repro_inject_attempts Injection attempts sampled into "
+            "campaign plans.") in text
+
+
+def test_prometheus_trial_outcomes_rolled_up():
+    events = _events() + [
+        _span("trial", 1.0, outcome="masked"),
+        _span("trial", 1.0, outcome="masked"),
+        _span("trial", 1.0, outcome="collapsed"),
+    ]
+    text = prometheus_exposition(events)
+    assert '# TYPE repro_trials_total counter' in text
+    assert 'repro_trials_total{outcome="masked"} 2' in text
+    assert 'repro_trials_total{outcome="collapsed"} 1' in text
+
+
+def test_prometheus_health_gauges_use_latest_epoch():
+    events = _events() + [
+        {"type": "event", "name": "health", "pid": 2, "ts": 2.0,
+         "attrs": {"epoch": 1,
+                   "layers": {"conv1/W": {"nan_count": 0, "l2": 3.0}}}},
+        {"type": "event", "name": "health", "pid": 2, "ts": 3.0,
+         "attrs": {"epoch": 2,
+                   "layers": {"conv1/W": {"nan_count": 4, "l2": 9.0}}}},
+    ]
+    text = prometheus_exposition(events)
+    assert 'repro_health_nan_count{layer="conv1/W"} 4' in text
+    assert 'repro_health_l2{layer="conv1/W"} 9' in text
+    assert 'repro_health_l2{layer="conv1/W"} 3' not in text
+
+
+# -- label escaping ----------------------------------------------------------
+
+def test_escape_label_value_specials():
+    assert escape_label_value('a"b') == 'a\\"b'
+    assert escape_label_value("a\\b") == "a\\\\b"
+    assert escape_label_value("a\nb") == "a\\nb"
+    # backslash escapes first, so an escaped quote stays parseable
+    assert escape_label_value('\\"') == '\\\\\\"'
+
+
+def test_prom_sample_escapes_labels():
+    line = prom_sample("m", {"layer": 'fc"1\n'}, 2)
+    assert line == 'm{layer="fc\\"1\\n"} 2'
+
+
+def test_prom_sample_without_labels():
+    assert prom_sample("m", None, 1.5) == "m 1.5"
+
+
+def test_exposition_escapes_hostile_outcome_labels():
+    events = [_span("trial", 1.0, outcome='bad"label\n')]
+    text = prometheus_exposition(events)
+    assert 'repro_trials_total{outcome="bad\\"label\\n"} 1' in text
+    assert "\n\n" not in text  # no raw newline leaked into a label
 
 
 # -- Chrome trace ------------------------------------------------------------

@@ -1,0 +1,113 @@
+"""Property test: multi-pid JSONL aggregation is interleaving-invariant.
+
+Worker processes append to the telemetry stream concurrently via O_APPEND,
+so the merged file is *some* interleaving of the per-pid streams (each
+pid's own order preserved), possibly ending in a torn line from a writer
+killed mid-append.  Aggregation must not care: ``merge_metrics`` and span
+reconstruction over any interleaving must equal the sequential equivalent
+(the per-pid streams concatenated whole).
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.aggregate import load_events, merge_metrics
+
+COUNTERS = ("inject.attempts", "runner.trials_ok")
+GAUGE = "runner.worker_utilization"
+SPANS = ("trial", "inject")
+
+
+@st.composite
+def pid_stream(draw, pid):
+    """One worker's event stream: metric snapshots and closed spans, in a
+    plausible emission order."""
+    events = []
+    clock = 0.0
+    # counter snapshots: cumulative per pid (merge keeps the last one)
+    for name in COUNTERS:
+        snapshots = draw(st.lists(st.integers(0, 50), min_size=0,
+                                  max_size=4))
+        total = 0
+        for value in snapshots:
+            total += value
+            clock += 1.0
+            events.append({"type": "metric", "kind": "counter",
+                           "name": name, "value": total, "pid": pid,
+                           "ts": clock})
+    for value in draw(st.lists(st.floats(0.0, 1.0, allow_nan=False),
+                               min_size=0, max_size=3)):
+        clock += 1.0
+        events.append({"type": "metric", "kind": "gauge", "name": GAUGE,
+                       "value": value, "pid": pid, "ts": clock})
+    for index in range(draw(st.integers(0, 3))):
+        name = draw(st.sampled_from(SPANS))
+        clock += 1.0
+        events.append({"type": "span", "name": name,
+                       "span_id": f"{pid}.{index}", "parent_id": None,
+                       "trace_id": "t", "pid": pid, "ts": clock,
+                       "dur": draw(st.floats(0.001, 2.0, allow_nan=False)),
+                       "status": "ok", "attrs": {}})
+    return events
+
+
+@st.composite
+def interleaved_streams(draw):
+    """≥3 per-pid streams plus one interleaving that preserves each pid's
+    internal order (what concurrent O_APPEND writers produce)."""
+    n_pids = draw(st.integers(3, 5))
+    streams = {pid: draw(pid_stream(pid)) for pid in range(1, n_pids + 1)}
+    tokens = [pid for pid, events in streams.items() for _ in events]
+    order = draw(st.permutations(tokens))
+    queues = {pid: list(events) for pid, events in streams.items()}
+    interleaved = [queues[pid].pop(0) for pid in order]
+    return streams, interleaved
+
+
+def span_multiset(events):
+    return sorted((e["name"], e["pid"], e["span_id"], e["dur"])
+                  for e in events if e.get("type") == "span")
+
+
+class TestInterleavingInvariance:
+    @given(data=interleaved_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_matches_sequential_equivalent(self, data, tmp_path_factory):
+        streams, interleaved = data
+        sequential = [event for pid in sorted(streams)
+                      for event in streams[pid]]
+
+        # the interleaved stream lands in a JSONL file whose final line is
+        # torn (a writer killed mid-append)
+        path = tmp_path_factory.mktemp("tele") / "events.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in interleaved:
+                handle.write(json.dumps(event) + "\n")
+            handle.write('{"type": "metric", "kind": "counter", "na')
+        loaded = load_events(str(path))
+
+        assert len(loaded) == len(sequential)  # torn tail dropped, no loss
+        assert merge_metrics(loaded) == merge_metrics(sequential)
+        assert span_multiset(loaded) == span_multiset(sequential)
+
+    @given(data=interleaved_streams())
+    @settings(max_examples=30, deadline=None)
+    def test_counters_sum_across_pids(self, data):
+        streams, interleaved = data
+        merged = merge_metrics(interleaved)
+        for name in COUNTERS:
+            expected = 0
+            present = False
+            for events in streams.values():
+                mine = [e["value"] for e in events if e["name"] == name
+                        and e["type"] == "metric"]
+                if mine:
+                    expected += mine[-1]  # last snapshot per pid
+                    present = True
+            if present:
+                assert merged[name] == {"kind": "counter",
+                                        "value": expected}
+            else:
+                assert name not in merged
