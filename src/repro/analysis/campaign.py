@@ -111,6 +111,11 @@ class CampaignStats:
     skipped: int
     workers: int
     wall_time: float
+    #: records that ran the opt-in post-injection structural validation
+    #: (``--validate-checkpoints``), and the summed severity-``error``
+    #: count across them.  Zero/zero when validation was off.
+    validated: int = 0
+    structural_findings: int = 0
     #: classified-outcome histogram (``masked``/``degraded``/``collapsed``/
     #: ``crashed`` — see :mod:`repro.health.outcome`).  Records journaled
     #: before the classifier existed carry no ``outcome_class`` and are
@@ -132,11 +137,16 @@ class CampaignStats:
             label = record.get("outcome_class")
             if label:
                 outcomes[label] = outcomes.get(label, 0) + 1
+        validated = sum(1 for r in records
+                        if r.get("structural_findings") is not None)
+        structural = sum(int(r.get("structural_findings") or 0)
+                         for r in records)
         return cls(
             total=len(records), ok=ok, failed=failed, retries=retries,
             timeouts=timeouts,
             executed=len(records) - skipped if executed is None else executed,
             skipped=skipped, workers=workers, wall_time=wall_time,
+            validated=validated, structural_findings=structural,
             outcomes=outcomes,
         )
 
@@ -180,6 +190,9 @@ class CampaignStats:
             f"workers={self.workers}, retries={self.retries}, "
             f"timeouts={self.timeouts}, resumed={self.skipped}"
         )
+        if self.validated:
+            text += (f" — validated={self.validated}, "
+                     f"structural_findings={self.structural_findings}")
         if self.outcomes:
             # fixed severity order, then any unexpected labels
             order = ("masked", "degraded", "collapsed", "crashed")

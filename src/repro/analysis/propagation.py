@@ -87,7 +87,7 @@ def _stats_differ(a: dict, b: dict, *, rtol: float, atol: float) -> str | None:
         if left is None or right is None:
             return key
         left, right = float(left), float(right)
-        left_nan, right_nan = left != left, right != right
+        left_nan, right_nan = math.isnan(left), math.isnan(right)
         if left_nan or right_nan:
             if left_nan != right_nan:
                 return key

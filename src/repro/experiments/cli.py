@@ -78,6 +78,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="snapshot per-layer numerical health each "
                                "epoch of every trial (emitted as 'health' "
                                "telemetry events; read-only, bit-identical)")
+    campaign.add_argument("--validate-checkpoints", action="store_true",
+                          help="structurally validate each corrupted "
+                               "checkpoint post-injection and stamp the "
+                               "error-finding count on its journal record")
     observability = runner.add_argument_group("observability")
     observability.add_argument(
         "--telemetry", default=None, metavar="PATH",
@@ -126,6 +130,7 @@ def campaign_kwargs(args: argparse.Namespace, experiment_id: str,
         "retries": args.retries,
         "engine": args.engine,
         "health_probe": args.health_probe,
+        "validate_checkpoints": args.validate_checkpoints,
     }
 
 

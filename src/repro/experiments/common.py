@@ -436,6 +436,22 @@ def corrupted_copy(checkpoint_path: str, workdir: str, tag: str) -> str:
     return target
 
 
+def structural_findings_count(checkpoint_path: str) -> int:
+    """Severity-``error`` findings from a structural walk of the checkpoint.
+
+    The opt-in ``--validate-checkpoints`` post-injection step: after the
+    injector has done its work, re-walk the file with
+    :func:`repro.hdf5.validate.validate_file` and count the structural
+    errors.  A payload-only injection yields 0; a flip that escaped into
+    metadata shows up as a positive count on the journal record.
+    """
+    from ..hdf5.validate import validate_file
+
+    report = validate_file(checkpoint_path)
+    return sum(1 for finding in report.findings
+               if finding.severity == "error")
+
+
 def weights_root(framework: str) -> str:
     """The checkpoint group holding model weights (excludes optimizer state)."""
     return {

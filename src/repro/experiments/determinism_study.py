@@ -80,7 +80,10 @@ def run(scale="tiny", seed: int = 42, frameworks=DEFAULT_FRAMEWORKS,
             rows.append([
                 framework, label, num_workers,
                 f"{divergence:.3g}",
-                "bit-identical" if divergence == 0.0 else "nondeterministic",
+                # bit-identity demands exact zero, not a tolerance
+                "bit-identical"
+                if divergence == 0.0  # repro-lint: disable=float-eq
+                else "nondeterministic",
             ])
 
     headers = ["framework", "allreduce mode", "workers",

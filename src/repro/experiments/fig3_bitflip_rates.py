@@ -13,6 +13,7 @@ from the journal (see :mod:`repro.experiments.runner`).
 
 from __future__ import annotations
 
+import math
 import tempfile
 
 import numpy as np
@@ -29,6 +30,7 @@ from .common import (
     resume_training,
     spec_from_payload,
     spec_to_payload,
+    structural_findings_count,
     weights_root,
 )
 from .runner import TrialTask, run_campaign, trial_kind
@@ -65,6 +67,8 @@ def run_trial(payload: dict) -> dict:
         corrupter = CheckpointCorrupter(
             config, engine=payload.get("engine", "vectorized"))
         corrupter.corrupt()
+        findings = (structural_findings_count(path)
+                    if payload.get("validate_checkpoints") else None)
         outcome = resume_training(
             spec, path, epochs=spec.scale.resume_epochs,
             health_probe=payload.get("health_probe", False))
@@ -72,9 +76,12 @@ def run_trial(payload: dict) -> dict:
                              payload.get("baseline_curve"),
                              collapsed=outcome.collapsed)
     # None (collapsed epoch) -> NaN so the curve is JSON-journal-safe
-    return {"curve": [a if a is not None else float("nan")
-                      for a in outcome.accuracy_curve],
-            "outcome_class": verdict.outcome}
+    result = {"curve": [a if a is not None else float("nan")
+                        for a in outcome.accuracy_curve],
+              "outcome_class": verdict.outcome}
+    if findings is not None:
+        result["structural_findings"] = findings
+    return result
 
 
 def _mean_curve(curves: list[list[float]]) -> list[float]:
@@ -86,7 +93,8 @@ def _mean_curve(curves: list[list[float]]) -> list[float]:
 
 
 def build_tasks(scale, seed, pairs, bitflips, trainings, cache,
-                engine: str = "vectorized", health_probe: bool = False) -> \
+                engine: str = "vectorized", health_probe: bool = False,
+                validate_checkpoints: bool = False) -> \
         tuple[list[TrialTask], dict[tuple[str, str], tuple]]:
     tasks: list[TrialTask] = []
     baselines: dict[tuple[str, str], tuple] = {}
@@ -112,6 +120,7 @@ def build_tasks(scale, seed, pairs, bitflips, trainings, cache,
                         "injection_seed": seed * 3_000 + flips * 17 + trial,
                         "engine": engine,
                         "health_probe": health_probe,
+                        "validate_checkpoints": validate_checkpoints,
                     },
                 ))
     return tasks, baselines
@@ -122,7 +131,8 @@ def run(scale="tiny", seed: int = 42, pairs=DEFAULT_PAIRS,
         journal=None, resume: bool = False,
         trial_timeout: float | None = None,
         retries: int = 1, engine: str = "vectorized",
-        health_probe: bool = False) -> ExperimentResult:
+        health_probe: bool = False,
+        validate_checkpoints: bool = False) -> ExperimentResult:
     """Regenerate Fig 3 (accuracy curves per flip rate)."""
     scale = get_scale(scale)
     cache = cache or DEFAULT_CACHE
@@ -130,7 +140,8 @@ def run(scale="tiny", seed: int = 42, pairs=DEFAULT_PAIRS,
 
     tasks, baselines = build_tasks(scale, seed, pairs, bitflips, trainings,
                                    cache, engine=engine,
-                                   health_probe=health_probe)
+                                   health_probe=health_probe,
+                                   validate_checkpoints=validate_checkpoints)
     campaign = run_campaign(tasks, workers=workers, journal=journal,
                             resume=resume, trial_timeout=trial_timeout,
                             retries=retries)
@@ -155,7 +166,7 @@ def run(scale="tiny", seed: int = 42, pairs=DEFAULT_PAIRS,
             final = last_finite(curve)
             rows.append([
                 f"{framework}/{model}", name,
-                round(final, 4) if final == final else float("nan"),
+                round(final, 4) if not math.isnan(final) else float("nan"),
             ])
 
     rendered = "\n\n".join(

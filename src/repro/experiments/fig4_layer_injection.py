@@ -11,6 +11,7 @@ replays on the other frameworks (equivalent injection).
 
 from __future__ import annotations
 
+import math
 import os
 import tempfile
 
@@ -105,7 +106,7 @@ def run(scale="tiny", seed: int = 42, framework: str = DEFAULT_FRAMEWORK,
                 spec, baseline, locations[layer], workdir, trainings,
                 save_log_to=log_path,
             )
-            finite = [v for v in series[label] if v == v]
+            finite = [v for v in series[label] if not math.isnan(v)]
             rows.append([label, layer,
                          round(finite[-1], 4) if finite else float("nan")])
 

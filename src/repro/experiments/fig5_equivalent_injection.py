@@ -9,6 +9,7 @@ absorb the equivalent injections with no visible degradation.
 
 from __future__ import annotations
 
+import math
 import os
 import tempfile
 
@@ -129,7 +130,8 @@ def run(scale="tiny", seed: int = 42, model: str = DEFAULT_MODEL,
                 final = last_finite(series[layer])
                 rows.append([
                     framework, layer,
-                    round(final, 4) if final == final else float("nan"),
+                    round(final, 4) if not math.isnan(final)
+                    else float("nan"),
                     verdict.outcome,
                 ])
             panels[framework] = series

@@ -82,7 +82,7 @@ def run(scale="tiny", seed: int = 42, framework: str = DEFAULT_FRAMEWORK,
     rows = []
     for i, weights in enumerate(weight_counts):
         rows.append([weights] + [
-            round(float(grid[i, j]), 4) if grid[i, j] == grid[i, j]
+            round(float(grid[i, j]), 4) if not np.isnan(grid[i, j])
             else float("nan")
             for j in range(len(factors))
         ])

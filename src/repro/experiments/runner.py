@@ -105,6 +105,10 @@ class TrialRecord:
     #: by the runner on every fresh record.  Optional with a None default
     #: so journals written before the classifier existed still replay.
     outcome_class: str | None = None
+    #: severity-``error`` count from the opt-in post-injection structural
+    #: validation (``--validate-checkpoints``); ``None`` when the trial did
+    #: not validate, so old journals replay unchanged.
+    structural_findings: int | None = None
 
     @property
     def ok(self) -> bool:
@@ -116,6 +120,19 @@ class TrialRecord:
             self.outcome_class = classify_trial_record(self.status,
                                                        self.outcome)
         return self.outcome_class
+
+    def finalize(self) -> str:
+        """Stamp every derived field on a fresh record.
+
+        Lifts the trial's ``structural_findings`` count (when the trial ran
+        post-injection checkpoint validation) onto the record so journal
+        consumers don't have to dig through outcome dicts, then classifies.
+        """
+        if isinstance(self.outcome, dict):
+            findings = self.outcome.get("structural_findings")
+            if findings is not None:
+                self.structural_findings = int(findings)
+        return self.classify()
 
     def to_json_line(self) -> str:
         # allow_nan keeps NaN accuracies (collapsed trainings) round-trippable
@@ -314,7 +331,7 @@ def _run_inline(tasks: list[TrialTask], journal: Journal | None,
                 )
                 break
             record.duration = time.monotonic() - started
-            record.classify()
+            record.finalize()
             telemetry.count(f"runner.trials_{record.status}")
             telemetry.count(f"runner.outcome_{record.outcome_class}")
             span.set(status=record.status, attempts=record.attempts,
@@ -408,7 +425,7 @@ def _run_pool(tasks: list[TrialTask], journal: Journal | None, workers: int,
             duration=now - flight.first_started,
             worker=flight.slot, payload=flight.task.payload,
         )
-        record.classify()
+        record.finalize()
         telemetry.count(f"runner.trials_{status}")
         telemetry.count(f"runner.outcome_{record.outcome_class}")
         flight.span.set(
@@ -498,7 +515,7 @@ def _run_pool(tasks: list[TrialTask], journal: Journal | None, workers: int,
                         duration=now - flight.first_started,
                         worker=flight.slot, payload=flight.task.payload,
                     )
-                    rec.classify()
+                    rec.finalize()
                     telemetry.count("runner.trials_ok")
                     telemetry.count(f"runner.outcome_{rec.outcome_class}")
                     flight.span.set(

@@ -31,6 +31,7 @@ from .common import (
     resume_training,
     spec_from_payload,
     spec_to_payload,
+    structural_findings_count,
     weights_root,
 )
 from .runner import TrialTask, run_campaign, trial_kind
@@ -75,6 +76,8 @@ def run_trial(payload: dict) -> dict:
         corrupter = CheckpointCorrupter(
             config, engine=payload.get("engine", "vectorized"))
         corrupter.corrupt()
+        findings = (structural_findings_count(path)
+                    if payload.get("validate_checkpoints") else None)
         outcome = resume_training(
             spec, path, epochs=1,
             health_probe=payload.get("health_probe", False))
@@ -84,11 +87,15 @@ def run_trial(payload: dict) -> dict:
     verdict = classify_curve(outcome.accuracy_curve,
                              payload.get("baseline_restart"),
                              collapsed=outcome.collapsed, tolerance=0.0)
-    return {"finals": finite[-1:], "outcome_class": verdict.outcome}
+    result = {"finals": finite[-1:], "outcome_class": verdict.outcome}
+    if findings is not None:
+        result["structural_findings"] = findings
+    return result
 
 
 def build_tasks(scale, seed, frameworks, models, cache,
-                engine: str = "vectorized", health_probe: bool = False) -> \
+                engine: str = "vectorized", health_probe: bool = False,
+                validate_checkpoints: bool = False) -> \
         tuple[list[TrialTask], dict[tuple[str, str], object]]:
     """The campaign's trial list plus the per-cell baselines it references.
 
@@ -118,6 +125,7 @@ def build_tasks(scale, seed, frameworks, models, cache,
                         "injection_seed": seed * 5_000 + trial,
                         "engine": engine,
                         "health_probe": health_probe,
+                        "validate_checkpoints": validate_checkpoints,
                     },
                 ))
     return tasks, baselines
@@ -128,14 +136,16 @@ def run(scale="tiny", seed: int = 42,
         cache=None, workers: int = 1, journal=None, resume: bool = False,
         trial_timeout: float | None = None,
         retries: int = 1, engine: str = "vectorized",
-        health_probe: bool = False) -> ExperimentResult:
+        health_probe: bool = False,
+        validate_checkpoints: bool = False) -> ExperimentResult:
     """Regenerate Table V (RWC under one bit-flip) over the grid."""
     scale = get_scale(scale)
     cache = cache or DEFAULT_CACHE
     trainings = scale.trainings
 
     tasks, baselines = build_tasks(scale, seed, frameworks, models, cache,
-                                   engine=engine, health_probe=health_probe)
+                                   engine=engine, health_probe=health_probe,
+                                   validate_checkpoints=validate_checkpoints)
     campaign = run_campaign(tasks, workers=workers, journal=journal,
                             resume=resume, trial_timeout=trial_timeout,
                             retries=retries)

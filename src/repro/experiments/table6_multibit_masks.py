@@ -13,6 +13,7 @@ from the journal (see :mod:`repro.experiments.runner`).
 
 from __future__ import annotations
 
+import math
 import tempfile
 
 from ..analysis import group_records, mean_excluding_collapsed, render_table
@@ -27,6 +28,7 @@ from .common import (
     resume_training,
     spec_from_payload,
     spec_to_payload,
+    structural_findings_count,
     weights_root,
 )
 from .runner import TrialTask, run_campaign, trial_kind
@@ -68,19 +70,25 @@ def run_trial(payload: dict) -> dict:
         corrupter = CheckpointCorrupter(
             config, engine=payload.get("engine", "vectorized"))
         corrupter.corrupt()
+        findings = (structural_findings_count(path)
+                    if payload.get("validate_checkpoints") else None)
         outcome = resume_training(
             spec, path, epochs=spec.scale.resume_epochs,
             health_probe=payload.get("health_probe", False))
     verdict = classify_curve(outcome.accuracy_curve,
                              payload.get("baseline_curve"),
                              collapsed=outcome.collapsed)
-    return {"final_accuracy": outcome.final_accuracy,
-            "collapsed": outcome.collapsed,
-            "outcome_class": verdict.outcome}
+    result = {"final_accuracy": outcome.final_accuracy,
+              "collapsed": outcome.collapsed,
+              "outcome_class": verdict.outcome}
+    if findings is not None:
+        result["structural_findings"] = findings
+    return result
 
 
 def build_tasks(scale, seed, frameworks, model, masks, trainings, cache,
-                engine: str = "vectorized", health_probe: bool = False) -> \
+                engine: str = "vectorized", health_probe: bool = False,
+                validate_checkpoints: bool = False) -> \
         tuple[list[TrialTask], dict[str, tuple]]:
     tasks: list[TrialTask] = []
     baselines: dict[str, tuple] = {}
@@ -111,6 +119,7 @@ def build_tasks(scale, seed, frameworks, model, masks, trainings, cache,
                         "injection_seed": (seed * 7_000
                                            + int(mask, 2) % 1000 + trial),
                         "engine": engine,
+                        "validate_checkpoints": validate_checkpoints,
                     },
                 ))
     return tasks, baselines
@@ -121,7 +130,8 @@ def run(scale="tiny", seed: int = 42, frameworks=DEFAULT_FRAMEWORKS,
         cache=None, workers: int = 1, journal=None, resume: bool = False,
         trial_timeout: float | None = None,
         retries: int = 1, engine: str = "vectorized",
-        health_probe: bool = False) -> ExperimentResult:
+        health_probe: bool = False,
+        validate_checkpoints: bool = False) -> ExperimentResult:
     """Regenerate Table VI (multi-bit DRAM masks)."""
     scale = get_scale(scale)
     cache = cache or DEFAULT_CACHE
@@ -129,7 +139,8 @@ def run(scale="tiny", seed: int = 42, frameworks=DEFAULT_FRAMEWORKS,
 
     tasks, baselines = build_tasks(scale, seed, frameworks, model, masks,
                                    trainings, cache, engine=engine,
-                                   health_probe=health_probe)
+                                   health_probe=health_probe,
+                                   validate_checkpoints=validate_checkpoints)
     campaign = run_campaign(tasks, workers=workers, journal=journal,
                             resume=resume, trial_timeout=trial_timeout,
                             retries=retries)
@@ -158,7 +169,8 @@ def run(scale="tiny", seed: int = 42, frameworks=DEFAULT_FRAMEWORKS,
             collapsed_flags = [o["collapsed"] for o in outcomes]
             avg = mean_excluding_collapsed(finals, collapsed_flags)
             row.extend([
-                round(100.0 * avg, 1) if avg == avg else float("nan"),
+                round(100.0 * avg, 1) if not math.isnan(avg)
+                else float("nan"),
                 sum(collapsed_flags),
             ])
         rows.append(row)

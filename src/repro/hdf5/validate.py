@@ -223,19 +223,62 @@ def _validate_dataset(buffer: bytes, header, path: str,
         except (ValueError, EOFError) as error:
             report.error(path, f"bad chunk index: {error}")
             return
+        try:
+            grid = set(chunked.chunk_grid(shape, chunk_layout.chunk_shape))
+        except ValueError as error:
+            report.error(path, f"bad chunk geometry: {error}")
+            return
+        # without a filter pipeline every chunk is stored raw, so its
+        # stored size is pinned to chunk-shape x element-size
+        filtered = header.find(chunked.MSG_FILTER_PIPELINE) is not None
+        chunk_bytes = chunk_layout.element_size * int(
+            np.prod(chunk_layout.chunk_shape, dtype=np.int64)
+        )
+        origins: set[tuple[int, ...]] = set()
         for record in records:
+            where = f"chunk at {record.offsets}"
+            if record.offsets in origins:
+                report.error(path, f"{where} indexed twice")
+            origins.add(record.offsets)
+            if any(offset % dim
+                   for offset, dim in zip(record.offsets,
+                                          chunk_layout.chunk_shape)):
+                report.error(
+                    path,
+                    f"{where} origin not aligned to chunk shape "
+                    f"{chunk_layout.chunk_shape}",
+                )
+            elif record.offsets not in grid:
+                report.error(
+                    path,
+                    f"{where} origin outside the dataset extent {shape}",
+                )
+            if record.address == UNDEFINED_ADDRESS:
+                report.error(path, f"{where} has undefined storage address")
+                continue
+            if record.address >= len(buffer):
+                report.error(
+                    path,
+                    f"{where} address {record.address:#x} out of file",
+                )
+                continue
             if record.address + record.stored_size > len(buffer):
                 report.error(
                     path,
-                    f"chunk at {record.offsets} extends beyond end of file",
+                    f"{where} extends beyond end of file",
                 )
-        covered = len(records)
-        expected = len(chunked.chunk_grid(shape, chunk_layout.chunk_shape))
-        if covered != expected:
+            if not filtered and record.stored_size != chunk_bytes:
+                report.warning(
+                    path,
+                    f"{where} stored size {record.stored_size} != "
+                    f"chunk bytes {chunk_bytes} (unfiltered dataset)",
+                )
+        missing = grid - origins
+        if missing:
             report.warning(
                 path,
-                f"chunk index holds {covered} chunks, geometry implies "
-                f"{expected}",
+                f"chunk index covers {len(origins & grid)} of {len(grid)} "
+                f"chunks implied by the geometry",
             )
     else:
         try:

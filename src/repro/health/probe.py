@@ -50,8 +50,11 @@ def array_stats(array: np.ndarray,
         "size": int(flat.size),
         "nan_count": nan_count,
         "inf_count": inf_count,
-        "zero_fraction": float((flat == 0.0).sum() / flat.size)
-        if flat.size else 0.0,
+        # exact-zero count is intentional: a flipped mantissa bit turns
+        # 0.0 into a subnormal, which must NOT count as zero
+        "zero_fraction": float(
+            (flat == 0.0).sum() / flat.size  # repro-lint: disable=float-eq
+        ) if flat.size else 0.0,
     }
     if finite_mask.all():
         finite = flat

@@ -1,0 +1,41 @@
+"""``repro.lint`` — static enforcement of the campaign's contracts.
+
+An AST-based invariant checker over the repo's own invariants: injections
+bit-identical across engines, probes/telemetry RNG-free, workers
+fork-safe, HDF5 callers on the zero-copy view discipline.  Run it as
+``repro-lint src tests`` or ``python -m repro.lint src tests``; the rule
+catalogue lives in ``docs/static-analysis.md`` and ``--list-rules``.
+"""
+
+from .baseline import DEFAULT_BASELINE, Baseline
+from .core import (
+    PARSE_ERROR,
+    LintFinding,
+    Rule,
+    SourceModule,
+    get_rules,
+    lint_module,
+    lint_paths,
+    lint_source,
+    module_name,
+    rule,
+)
+from .report import json_report, rule_catalogue, text_report
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE",
+    "LintFinding",
+    "PARSE_ERROR",
+    "Rule",
+    "SourceModule",
+    "get_rules",
+    "json_report",
+    "lint_module",
+    "lint_paths",
+    "lint_source",
+    "module_name",
+    "rule",
+    "rule_catalogue",
+    "text_report",
+]

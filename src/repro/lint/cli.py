@@ -1,0 +1,109 @@
+"""Command-line entry point: ``repro-lint src tests``.
+
+Exit codes follow the convention CI gates on:
+
+* ``0`` — no non-baselined findings;
+* ``1`` — at least one new finding (or an unparseable file);
+* ``2`` — usage error (unknown rule, bad path, bad baseline file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .baseline import DEFAULT_BASELINE, Baseline
+from .core import get_rules, iter_python_files, lint_paths
+from .report import json_report, rule_catalogue, text_report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Statically enforce the repo's bit-identity, "
+                    "fork-safety, and HDF5-discipline contracts.",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(e.g. 'src tests')")
+    parser.add_argument("--format", choices=["text", "json"],
+                        default="text",
+                        help="report format (default text)")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="write the report to PATH instead of stdout")
+    parser.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated rule names to run "
+                             "(default: all)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        metavar="PATH",
+                        help="baseline file of grandfathered findings "
+                             f"(default {DEFAULT_BASELINE}; missing file "
+                             "= empty baseline)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report every finding, ignoring the baseline")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current findings to --baseline and "
+                             "exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(rule_catalogue())
+        return 0
+    if not args.paths:
+        print("repro-lint: no paths given (try: repro-lint src tests)",
+              file=sys.stderr)
+        return 2
+
+    select = None
+    if args.select:
+        select = [name.strip() for name in args.select.split(",")
+                  if name.strip()]
+    try:
+        get_rules(select)  # unknown --select names fail before any I/O
+        files = list(iter_python_files(args.paths))
+        findings = lint_paths(args.paths, select=select)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"repro-lint: {error}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(args.baseline)
+        print(f"wrote {len(findings)} finding(s) to {args.baseline}")
+        return 0
+
+    try:
+        baseline = (Baseline() if args.no_baseline
+                    else Baseline.load(args.baseline))
+    except (ValueError, KeyError, TypeError) as error:
+        print(f"repro-lint: bad baseline file: {error}", file=sys.stderr)
+        return 2
+    new, baselined = baseline.split(findings)
+
+    if args.format == "json":
+        rendered = json_report(new, baselined, len(files), baseline)
+    else:
+        rendered = text_report(new, baselined, len(files))
+    if not rendered.endswith("\n"):
+        rendered += "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+    else:
+        sys.stdout.write(rendered)
+
+    stale = baseline.stale_entries(findings)
+    if stale:
+        print(f"repro-lint: {len(stale)} stale baseline entr"
+              f"{'y' if len(stale) == 1 else 'ies'} (fixed findings "
+              "still tolerated) — refresh with --write-baseline",
+              file=sys.stderr)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,329 @@
+"""The ``repro.lint`` framework: sources, findings, rules, and the runner.
+
+The repo's correctness story rests on contracts the test suite can only
+probe dynamically — injections bit-identical across engines, probes and
+telemetry drawing no RNG, workers staying fork-safe, callers using
+zero-copy views.  This module is the static half of that story: a small
+visitor-based analysis framework over Python ``ast`` whose rules encode
+those contracts as machine-checkable invariants.
+
+Pieces:
+
+* :class:`SourceModule` — one parsed file (path, dotted module name,
+  AST, source lines, pragma suppressions);
+* :class:`LintFinding` — one diagnostic, with a line-independent
+  :meth:`~LintFinding.fingerprint` used by the baseline;
+* :func:`rule` — registers a checker with its metadata (description,
+  rationale, the module-name *domains* it is confined to);
+* :func:`lint_paths` / :func:`lint_module` — the runner, applying every
+  selected rule whose domain matches and filtering pragma-suppressed
+  findings.
+
+Suppression pragmas (both forms take a comma list or ``all``)::
+
+    risky_line()  # repro-lint: disable=float-eq
+    # repro-lint: disable-file=fork-safety
+
+The linter itself must satisfy its own rng-purity rule: nothing in this
+package draws randomness or mutates the tree it inspects.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+#: Pseudo-rule reported for files the ``ast`` parser rejects.
+PARSE_ERROR = "parse-error"
+
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[\w*,\- ]+)"
+)
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One diagnostic emitted by a rule."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] " \
+               f"{self.message}"
+
+    def fingerprint(self) -> str:
+        """Baseline identity: deliberately excludes line/col so unrelated
+        edits shifting a grandfathered finding do not un-baseline it."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def to_dict(self) -> dict:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file plus everything rules need to inspect it."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    lines: list[str]
+    #: physical line -> rule names disabled on that line ("*" = all)
+    line_suppressions: dict[int, set[str]] = field(default_factory=dict)
+    #: rule names disabled for the whole file ("*" = all)
+    file_suppressions: set[str] = field(default_factory=set)
+
+    @classmethod
+    def parse(cls, path: str, source: str | None = None,
+              module: str | None = None) -> "SourceModule":
+        if source is None:
+            with open(path, encoding="utf-8") as handle:
+                source = handle.read()
+        tree = ast.parse(source, filename=path)
+        self = cls(
+            path=normalize_path(path),
+            module=module if module is not None else module_name(path),
+            source=source, tree=tree, lines=source.splitlines(),
+        )
+        self._scan_pragmas()
+        return self
+
+    def _scan_pragmas(self) -> None:
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _PRAGMA.search(line)
+            if match is None:
+                continue
+            names = {
+                "*" if name.strip() == "all" else name.strip()
+                for name in match.group("rules").split(",")
+                if name.strip()
+            }
+            if match.group("kind") == "disable-file":
+                self.file_suppressions |= names
+            else:
+                self.line_suppressions.setdefault(lineno, set()).update(names)
+
+    def suppressed(self, finding: LintFinding) -> bool:
+        if {finding.rule, "*"} & self.file_suppressions:
+            return True
+        on_line = self.line_suppressions.get(finding.line, ())
+        return finding.rule in on_line or "*" in on_line
+
+    def finding(self, node: ast.AST, rule_name: str,
+                message: str) -> LintFinding:
+        return LintFinding(
+            rule=rule_name, path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def normalize_path(path: str) -> str:
+    """Repo-relative posix-ish path, the stable key for baselines."""
+    return os.path.relpath(path).replace(os.sep, "/")
+
+
+def module_name(path: str) -> str:
+    """Dotted module name of *path* under the repo's src/tests layout.
+
+    ``src/repro/health/probe.py`` -> ``repro.health.probe``;
+    ``tests/hdf5/test_view.py`` -> ``tests.hdf5.test_view``; anything
+    outside those roots falls back to its stem, so domain-scoped rules
+    simply do not apply to it.
+    """
+    parts = normalize_path(path).split("/")
+    if parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    elif "tests" in parts:
+        parts = parts[parts.index("tests"):]
+    else:
+        parts = parts[-1:]
+    return ".".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Rule registry
+# ---------------------------------------------------------------------------
+
+Checker = Callable[[SourceModule], Iterable[tuple[ast.AST, str]]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered rule: checker plus user-facing metadata."""
+
+    name: str
+    description: str
+    rationale: str
+    domains: tuple[str, ...]
+    checker: Checker
+
+    def applies_to(self, module: str) -> bool:
+        if not self.domains:
+            return True
+        return any(
+            module == domain or module.startswith(domain + ".")
+            for domain in self.domains
+        )
+
+
+REGISTRY: dict[str, Rule] = {}
+
+
+def rule(name: str, *, description: str, rationale: str,
+         domains: tuple[str, ...] = ()) -> Callable[[Checker], Checker]:
+    """Register *checker* under *name*.
+
+    The checker receives a :class:`SourceModule` and yields
+    ``(node, message)`` pairs; the framework turns them into
+    :class:`LintFinding` objects and applies pragma suppression.  Empty
+    *domains* means the rule runs on every module; otherwise it runs only
+    on modules whose dotted name falls under one of the prefixes.
+    """
+
+    def register(checker: Checker) -> Checker:
+        if name in REGISTRY:
+            raise ValueError(f"duplicate lint rule {name!r}")
+        REGISTRY[name] = Rule(
+            name=name, description=description, rationale=rationale,
+            domains=tuple(domains), checker=checker,
+        )
+        return checker
+
+    return register
+
+
+def get_rules(select: Iterable[str] | None = None) -> list[Rule]:
+    """Registered rules, optionally restricted to *select* names."""
+    _ensure_rules_loaded()
+    if select is None:
+        return [REGISTRY[name] for name in sorted(REGISTRY)]
+    unknown = sorted(set(select) - set(REGISTRY))
+    if unknown:
+        raise ValueError(
+            f"unknown lint rule(s): {', '.join(unknown)}; "
+            f"registered: {', '.join(sorted(REGISTRY))}"
+        )
+    return [REGISTRY[name] for name in sorted(select)]
+
+
+def _ensure_rules_loaded() -> None:
+    # rules live in a sibling module registered on import; imported lazily
+    # so `core` stays importable from `rules` without a cycle
+    from . import rules  # noqa: F401
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+def lint_module(module: SourceModule,
+                select: Iterable[str] | None = None) -> list[LintFinding]:
+    """All non-suppressed findings of the selected rules on one module."""
+    findings: list[LintFinding] = []
+    for rule_ in get_rules(select):
+        if not rule_.applies_to(module.module):
+            continue
+        for node, message in rule_.checker(module):
+            finding = module.finding(node, rule_.name, message)
+            if not module.suppressed(finding):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_source(source: str, *, path: str = "<string>",
+                module: str = "",
+                select: Iterable[str] | None = None) -> list[LintFinding]:
+    """Lint a source string (the fixture-test entry point)."""
+    return lint_module(
+        SourceModule.parse(path, source=source, module=module), select=select
+    )
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Every ``.py`` file under *paths* (files pass through), sorted."""
+    out: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                dirnames[:] = [d for d in dirnames
+                               if d not in ("__pycache__", ".git")]
+                out.extend(os.path.join(dirpath, name)
+                           for name in sorted(filenames)
+                           if name.endswith(".py"))
+        elif path.endswith(".py"):
+            out.append(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {path}")
+    return iter(out)
+
+
+def lint_paths(paths: Iterable[str],
+               select: Iterable[str] | None = None) -> list[LintFinding]:
+    """Lint every Python file under *paths*.
+
+    Unparseable files yield a single :data:`PARSE_ERROR` finding instead of
+    aborting the run — a syntax error in one experiment script must not
+    mask findings everywhere else.
+    """
+    findings: list[LintFinding] = []
+    for file_path in iter_python_files(paths):
+        try:
+            module = SourceModule.parse(file_path)
+        except (SyntaxError, UnicodeDecodeError, OSError) as error:
+            line = getattr(error, "lineno", None) or 1
+            findings.append(LintFinding(
+                rule=PARSE_ERROR, path=normalize_path(file_path),
+                line=line, col=0, message=f"cannot parse file: {error}",
+            ))
+            continue
+        findings.extend(lint_module(module, select=select))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers for rules
+# ---------------------------------------------------------------------------
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(call: ast.Call) -> str | None:
+    """The dotted name a call is made through, if statically resolvable."""
+    return dotted_name(call.func)
+
+
+def terminal_name(call: ast.Call) -> str | None:
+    """The last component of the called name (``rng.choice`` -> ``choice``)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro import telemetry
-from repro.experiments.cli import main
+from repro.experiments.cli import build_parser, campaign_kwargs, main
 
 
 def test_list_command(capsys):
@@ -14,6 +14,21 @@ def test_list_command(capsys):
     assert "table4" in out
     assert "fig7" in out
     assert "ablation_scrub" in out
+
+
+def test_validate_checkpoints_flag_reaches_campaign_kwargs():
+    args = build_parser().parse_args(
+        ["run", "table5", "--validate-checkpoints"])
+    kwargs = campaign_kwargs(args, "table5", multiple=False)
+    assert kwargs["validate_checkpoints"] is True
+    # non-campaign experiments take no engine kwargs at all
+    assert campaign_kwargs(args, "fig2", multiple=False) == {}
+
+
+def test_validate_checkpoints_defaults_off():
+    args = build_parser().parse_args(["run", "table5"])
+    kwargs = campaign_kwargs(args, "table5", multiple=False)
+    assert kwargs["validate_checkpoints"] is False
 
 
 def test_unknown_experiment(capsys):

@@ -1,0 +1,102 @@
+"""The --validate-checkpoints wiring: post-injection structural validation
+flowing from trial outcome dicts onto journal records and into
+CampaignStats."""
+
+import numpy as np
+import pytest
+
+from repro import hdf5
+from repro.analysis.campaign import CampaignStats
+from repro.experiments.common import structural_findings_count
+from repro.experiments.runner import TrialRecord, TrialTask, run_campaign, \
+    trial_kind
+
+
+@trial_kind("test_validated")
+def _validated(payload):
+    return {"value": payload["value"],
+            "structural_findings": payload["findings"]}
+
+
+class TestStructuralFindingsCount:
+    def test_clean_checkpoint_counts_zero(self, tmp_path):
+        path = str(tmp_path / "clean.h5")
+        with hdf5.File(path, "w") as f:
+            f.create_dataset("w", data=np.ones((4, 4)))
+        assert structural_findings_count(path) == 0
+
+    def test_broken_checkpoint_counts_errors(self, tmp_path):
+        path = tmp_path / "broken.h5"
+        path.write_bytes(b"x" * 200)
+        assert structural_findings_count(str(path)) >= 1
+
+
+class TestRecordFinalize:
+    def test_finalize_lifts_count_from_outcome(self):
+        record = TrialRecord(trial_id="a", kind="k", status="ok",
+                             outcome={"structural_findings": 3})
+        record.finalize()
+        assert record.structural_findings == 3
+        assert record.outcome_class is not None
+
+    def test_finalize_without_validation_leaves_none(self):
+        record = TrialRecord(trial_id="a", kind="k", status="ok",
+                             outcome={"finals": [0.5]})
+        record.finalize()
+        assert record.structural_findings is None
+
+    def test_failed_record_finalizes(self):
+        record = TrialRecord(trial_id="a", kind="k", status="failed",
+                             error="boom")
+        record.finalize()
+        assert record.structural_findings is None
+        assert record.outcome_class == "crashed"
+
+    def test_journal_round_trip_keeps_count(self):
+        record = TrialRecord(trial_id="a", kind="k", status="ok",
+                             outcome={"structural_findings": 2})
+        record.finalize()
+        back = TrialRecord.from_json_line(record.to_json_line())
+        assert back.structural_findings == 2
+
+
+class TestCampaignAggregation:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_counts_reach_stats(self, workers):
+        tasks = [
+            TrialTask(trial_id=f"v/{index}", kind="test_validated",
+                      payload={"value": index, "findings": findings})
+            for index, findings in enumerate((0, 2, 1))
+        ]
+        result = run_campaign(tasks, workers=workers)
+        assert [r.structural_findings for r in result.records] == [0, 2, 1]
+        assert result.stats.validated == 3
+        assert result.stats.structural_findings == 3
+
+    def test_unvalidated_campaign_reports_zero(self):
+        stats = CampaignStats.from_records(
+            [{"status": "ok", "attempts": 1}], wall_time=1.0)
+        assert stats.validated == 0
+        assert stats.structural_findings == 0
+        assert "validated" not in stats.summary()
+
+    def test_summary_mentions_validation(self):
+        stats = CampaignStats.from_records(
+            [{"status": "ok", "attempts": 1, "structural_findings": 0},
+             {"status": "ok", "attempts": 1, "structural_findings": 4}],
+            wall_time=1.0)
+        assert "validated=2" in stats.summary()
+        assert "structural_findings=4" in stats.summary()
+
+    def test_dict_round_trip(self):
+        stats = CampaignStats.from_records(
+            [{"status": "ok", "attempts": 1, "structural_findings": 1}],
+            wall_time=1.0)
+        back = CampaignStats.from_dict(stats.to_dict())
+        assert back.validated == 1
+        assert back.structural_findings == 1
+
+    def test_from_dict_tolerates_old_archives(self):
+        back = CampaignStats.from_dict({"total": 5, "ok": 5, "failed": 0})
+        assert back.validated == 0
+        assert back.structural_findings == 0

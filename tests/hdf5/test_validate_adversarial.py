@@ -1,0 +1,213 @@
+"""Adversarial validator tests: deliberate metadata bit-flips.
+
+The campaign's threat model separates *payload* damage (flipped weights —
+the injector's job) from *structural* damage (a flip that lands in file
+metadata).  These tests flip bits in each metadata structure the validator
+walks — superblock, symbol-table nodes, B-trees, local heaps, and the chunk
+index — and assert the damage comes back as classified ``error`` findings
+instead of an exception.  Payload-only flips must keep validating clean.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro import hdf5
+from repro.hdf5.constants import UNDEFINED_ADDRESS
+from repro.hdf5.validate import validate_file
+from repro.injector import corrupt_checkpoint
+
+
+@pytest.fixture()
+def ckpt(tmp_path):
+    path = str(tmp_path / "adv.h5")
+    with hdf5.File(path, "w") as f:
+        f.create_dataset("model/conv1/W",
+                         data=np.arange(64, dtype=np.float32).reshape(8, 8))
+        f.create_dataset("model/fc/W",
+                         data=np.ones((4, 4), dtype=np.float64))
+        f.create_dataset("grid", data=np.ones((16, 16)), chunks=(8, 8))
+    return path
+
+
+def read_bytes(path):
+    with open(path, "rb") as handle:
+        return bytearray(handle.read())
+
+
+def write_bytes(path, data):
+    with open(path, "wb") as handle:
+        handle.write(bytes(data))
+
+
+def flip_bit(data, index, bit=0):
+    data[index] ^= 1 << bit
+
+
+def errors(report):
+    return [f for f in report.findings if f.severity == "error"]
+
+
+def find_chunk_btree(data):
+    """Offset of the first chunk-index B-tree node (TREE, node type 1)."""
+    start = 0
+    while True:
+        index = data.find(b"TREE", start)
+        assert index >= 0, "no chunk B-tree in fixture file"
+        if data[index + 4] == 1:
+            return index
+        start = index + 4
+
+
+# one chunk-index key is size(4) + mask(4) + (rank+1) u64 offsets; the
+# child (chunk) address follows each key.  Node header is 24 bytes.
+def chunk_record_fields(node, record, rank=2):
+    key = node + 24 + record * (8 + 8 * (rank + 1) + 8)
+    return {
+        "stored_size": key,
+        "offsets": key + 8,
+        "address": key + 8 + 8 * (rank + 1),
+    }
+
+
+class TestMetadataFlips:
+    def test_superblock_signature_flip(self, ckpt):
+        data = read_bytes(ckpt)
+        flip_bit(data, 0)
+        write_bytes(ckpt, data)
+        report = validate_file(ckpt)
+        assert not report.ok
+        assert any("signature" in f.message for f in errors(report))
+
+    def test_superblock_version_flip(self, ckpt):
+        data = read_bytes(ckpt)
+        flip_bit(data, 8)  # version byte right after the signature
+        write_bytes(ckpt, data)
+        report = validate_file(ckpt)
+        assert any("superblock version" in f.message for f in errors(report))
+
+    def test_superblock_eof_address_flip(self, ckpt):
+        data = read_bytes(ckpt)
+        flip_bit(data, 40 + 5)  # end-of-file address, a high-order byte
+        write_bytes(ckpt, data)
+        report = validate_file(ckpt)
+        assert not report.ok
+        assert any("end-of-file" in f.message for f in errors(report))
+
+    def test_snod_signature_flip(self, ckpt):
+        data = read_bytes(ckpt)
+        index = data.find(b"SNOD")
+        assert index > 0
+        flip_bit(data, index)
+        write_bytes(ckpt, data)
+        report = validate_file(ckpt)
+        assert not report.ok
+        assert errors(report)
+
+    def test_group_btree_signature_flip(self, ckpt):
+        data = read_bytes(ckpt)
+        index = data.find(b"TREE")
+        assert index > 0
+        flip_bit(data, index + 1)
+        write_bytes(ckpt, data)
+        report = validate_file(ckpt)
+        assert not report.ok
+        assert any("b-tree" in f.message.lower() for f in errors(report))
+
+    def test_local_heap_signature_flip(self, ckpt):
+        data = read_bytes(ckpt)
+        index = data.find(b"HEAP")
+        assert index > 0
+        flip_bit(data, index + 2)
+        write_bytes(ckpt, data)
+        report = validate_file(ckpt)
+        assert not report.ok
+        assert any("heap" in f.message.lower() for f in errors(report))
+
+
+class TestChunkIndexFlips:
+    def test_chunk_address_out_of_file(self, ckpt):
+        data = read_bytes(ckpt)
+        node = find_chunk_btree(data)
+        spot = chunk_record_fields(node, 0)["address"]
+        flip_bit(data, spot + 6)  # push the address far past end-of-file
+        write_bytes(ckpt, data)
+        report = validate_file(ckpt)
+        assert not report.ok
+        assert any("out of file" in f.message for f in errors(report))
+
+    def test_chunk_address_undefined(self, ckpt):
+        data = read_bytes(ckpt)
+        node = find_chunk_btree(data)
+        spot = chunk_record_fields(node, 0)["address"]
+        data[spot:spot + 8] = struct.pack("<Q", UNDEFINED_ADDRESS)
+        write_bytes(ckpt, data)
+        report = validate_file(ckpt)
+        assert not report.ok
+        assert any("undefined storage address" in f.message
+                   for f in errors(report))
+
+    def test_chunk_origin_misaligned(self, ckpt):
+        data = read_bytes(ckpt)
+        node = find_chunk_btree(data)
+        spot = chunk_record_fields(node, 0)["offsets"]
+        data[spot:spot + 8] = struct.pack("<Q", 3)  # not a multiple of 8
+        write_bytes(ckpt, data)
+        report = validate_file(ckpt)
+        assert not report.ok
+        assert any("not aligned" in f.message for f in errors(report))
+
+    def test_chunk_origin_outside_extent(self, ckpt):
+        data = read_bytes(ckpt)
+        node = find_chunk_btree(data)
+        spot = chunk_record_fields(node, 0)["offsets"]
+        data[spot:spot + 8] = struct.pack("<Q", 64)  # aligned, but past 16
+        write_bytes(ckpt, data)
+        report = validate_file(ckpt)
+        assert not report.ok
+        assert any("outside the dataset extent" in f.message
+                   for f in errors(report))
+
+    def test_chunk_indexed_twice(self, ckpt):
+        data = read_bytes(ckpt)
+        node = find_chunk_btree(data)
+        first = chunk_record_fields(node, 0)["offsets"]
+        second = chunk_record_fields(node, 1)["offsets"]
+        data[second:second + 24] = data[first:first + 24]
+        write_bytes(ckpt, data)
+        report = validate_file(ckpt)
+        assert not report.ok
+        assert any("indexed twice" in f.message for f in errors(report))
+        # a duplicated origin also leaves part of the grid uncovered
+        assert any("covers" in f.message for f in report.findings
+                   if f.severity == "warning")
+
+    def test_chunk_stored_size_flip_warns(self, ckpt):
+        data = read_bytes(ckpt)
+        node = find_chunk_btree(data)
+        spot = chunk_record_fields(node, 0)["stored_size"]
+        flip_bit(data, spot, bit=3)
+        write_bytes(ckpt, data)
+        report = validate_file(ckpt)
+        assert any("stored size" in f.message for f in report.findings
+                   if f.severity == "warning")
+
+
+class TestPayloadFlipsStayClean:
+    def test_injector_flips_validate_clean(self, ckpt):
+        corrupt_checkpoint(ckpt, injection_attempts=500, seed=7)
+        report = validate_file(ckpt)
+        assert report.ok, [str(f) for f in report.findings]
+
+    def test_direct_payload_flip_validates_clean(self, ckpt):
+        # flip a bit inside contiguous raw data, located via the reader
+        with hdf5.File(ckpt) as f:
+            expected = f["model/conv1/W"].read().tobytes()
+        data = read_bytes(ckpt)
+        index = bytes(data).find(expected)
+        assert index > 0
+        flip_bit(data, index + 11, bit=5)
+        write_bytes(ckpt, data)
+        report = validate_file(ckpt)
+        assert report.ok, [str(f) for f in report.findings]

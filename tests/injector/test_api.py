@@ -64,14 +64,18 @@ class TestDeprecatedOverridePaths:
     def test_corrupt_checkpoint_config_plus_overrides_warns(self, ckpt):
         config = InjectorConfig(injection_attempts=2, seed=1)
         with pytest.warns(DeprecationWarning):
-            result = corrupt_checkpoint(ckpt, config=config, seed=9)
+            # the deprecated mixing IS the behaviour under test
+            result = corrupt_checkpoint(  # repro-lint: disable=deprecated-injector-kwargs
+                ckpt, config=config, seed=9)
         assert result.attempts == 2
         assert config.seed == 1
 
     def test_replay_config_plus_legacy_kwargs_warns(self, ckpt):
         log = corrupt_checkpoint(ckpt, injection_attempts=2, seed=1).log
         with pytest.warns(DeprecationWarning):
-            result = replay_log(ckpt, log, seed=3, config=ReplayConfig())
+            # the deprecated mixing IS the behaviour under test
+            result = replay_log(  # repro-lint: disable=deprecated-injector-kwargs
+                ckpt, log, seed=3, config=ReplayConfig())
         assert result.replayed == len(log)
 
     def test_replay_config_positional_rejected(self, ckpt):

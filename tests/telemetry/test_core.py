@@ -10,7 +10,8 @@ from repro.telemetry.core import _RemoteParent
 
 def test_disabled_by_default():
     assert not telemetry.enabled()
-    assert telemetry.span("x") is telemetry.NOOP_SPAN
+    # bare span() call asserts the disabled-state singleton, not a span
+    assert telemetry.span("x") is telemetry.NOOP_SPAN  # repro-lint: disable=span-discipline
     assert telemetry.start_span("x") is telemetry.NOOP_SPAN
     # metric and event hooks are silent no-ops
     telemetry.count("c")
