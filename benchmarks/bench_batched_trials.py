@@ -1,0 +1,213 @@
+"""Batched multi-fault execution benchmark: sequential vs stacked trials.
+
+Runs one fig3-class campaign cell both ways — N independently corrupted
+checkpoint copies resumed one at a time (:func:`resume_training`) and as a
+single trial-stacked training (:func:`resume_training_batched`) — checks
+the per-trial outcomes agree (NaN-aware, curves and collapse verdicts),
+and archives trials/sec for both paths plus the speedup as JSON.
+
+The default cell is the one where batching has the most to amortize:
+``batch_size=1`` resume of the narrow smoke-scale ResNet-50, where the
+sequential runner's wall clock is dominated by per-step interpreter and
+kernel-dispatch overhead repeated once per trial.  The batched engine pays
+that overhead once for all trials, so the speedup approaches
+``s / m`` (sequential per-trial cost over the batched marginal per-trial
+cost) as the batch grows; at array-bound configurations (large batch_size,
+wide models) both paths are FLOP-dominated and the ratio shrinks toward 1.
+
+Run standalone (the CI smoke step)::
+
+    PYTHONPATH=src python benchmarks/bench_batched_trials.py --batch 8
+
+or at the headline configuration::
+
+    PYTHONPATH=src python benchmarks/bench_batched_trials.py --batch 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import math
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+from repro.experiments.common import (
+    SCALES,
+    DEFAULT_CACHE,
+    SessionSpec,
+    corrupted_copy,
+    resume_training,
+    resume_training_batched,
+    weights_root,
+)
+from repro.injector import CheckpointCorrupter, InjectorConfig
+from repro.nn import POLICIES
+
+from conftest import write_bench_result
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: How the paper's acceptance target was set: trials/sec over the
+#: sequential runner on a fig3-class campaign, measured at batch 16.
+TARGET_SPEEDUP = 5.0
+
+
+def feq(a: float, b: float) -> bool:
+    """NaN-aware float equality (a collapsed curve tail is NaN on both)."""
+    return (math.isnan(a) and math.isnan(b)) or a == b
+
+
+def bench_spec(scale_name: str, framework: str, model: str,
+               batch_size: int) -> SessionSpec:
+    # rename the scale: SessionSpec.cache_key covers scale.name but not
+    # batch_size, so an unrenamed copy would collide with the test suite's
+    # baselines trained at the stock batch size
+    scale = dataclasses.replace(
+        SCALES[scale_name],
+        name=f"bench_batched_{scale_name}_bs{batch_size}",
+        batch_size=batch_size,
+    )
+    return SessionSpec(framework=framework, model=model, scale=scale)
+
+
+def corrupt_copies(spec: SessionSpec, checkpoint: str, workdir: str,
+                   count: int, seed: int) -> list[str]:
+    """Fig3-style corrupted copies: one safe-range bit flip per trial."""
+    paths = []
+    for index in range(count):
+        path = corrupted_copy(checkpoint, workdir, f"trial-{index}")
+        config = InjectorConfig(
+            hdf5_file=path,
+            injection_attempts=1,
+            corruption_mode="bit_range",
+            first_bit=2,
+            float_precision=POLICIES[spec.policy].precision,
+            locations_to_corrupt=[weights_root(spec.framework)],
+            use_random_locations=False,
+            allow_NaN_values=True,
+            seed=seed + 17 * index,
+        )
+        CheckpointCorrupter(config).corrupt()
+        paths.append(path)
+    return paths
+
+
+def outcomes_equal(sequential, batched) -> bool:
+    if len(sequential) != len(batched):
+        return False
+    for seq, bat in zip(sequential, batched):
+        if seq.collapsed != bat.collapsed:
+            return False
+        if len(seq.accuracy_curve) != len(bat.accuracy_curve):
+            return False
+        if not all(feq(a, b) for a, b in
+                   zip(seq.accuracy_curve, bat.accuracy_curve)):
+            return False
+        if not feq(seq.final_accuracy, bat.final_accuracy):
+            return False
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time sequential vs batched multi-fault trial "
+                    "execution on one fig3-class campaign cell.")
+    parser.add_argument("--scale", choices=sorted(SCALES),
+                        default=os.environ.get("REPRO_BENCH_SCALE", "smoke"))
+    parser.add_argument("--framework", default="tf_like")
+    parser.add_argument("--model", default="resnet50")
+    parser.add_argument("--batch", type=int, default=16,
+                        help="trials per stacked batch (default 16)")
+    parser.add_argument("--batch-size", type=int, default=1,
+                        help="training mini-batch size during the resume "
+                             "(default 1: the overhead-bound regime the "
+                             "batched engine targets)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit non-zero unless batched is at least "
+                             "this many times faster")
+    parser.add_argument("--output", default=None,
+                        help="JSON path (default benchmarks/results/"
+                             "batched_trials.json)")
+    args = parser.parse_args(argv)
+
+    spec = bench_spec(args.scale, args.framework, args.model,
+                      args.batch_size)
+    epochs = spec.scale.resume_epochs
+    print(f"cell: {args.framework}/{args.model} scale={args.scale} "
+          f"batch_size={args.batch_size} resume_epochs={epochs} "
+          f"trials={args.batch}")
+    baseline = DEFAULT_CACHE.get(spec)
+
+    with tempfile.TemporaryDirectory() as workdir:
+        paths = corrupt_copies(spec, baseline.checkpoint_path, workdir,
+                               args.batch, args.seed)
+
+        start = time.perf_counter()
+        sequential = [resume_training(spec, path, epochs=epochs)
+                      for path in paths]
+        seq_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        batched = resume_training_batched(spec, paths, epochs=epochs)
+        bat_seconds = time.perf_counter() - start
+
+    equal = outcomes_equal(sequential, batched)
+    speedup = seq_seconds / bat_seconds if bat_seconds else float("inf")
+    seq_rate = args.batch / seq_seconds if seq_seconds else float("inf")
+    bat_rate = args.batch / bat_seconds if bat_seconds else float("inf")
+    print(f"sequential: {seq_seconds:7.2f} s ({seq_rate:.2f} trials/s)")
+    print(f"   batched: {bat_seconds:7.2f} s ({bat_rate:.2f} trials/s)")
+    print(f"outcomes identical: {equal}")
+    print(f"speedup: {speedup:.2f}x (target {TARGET_SPEEDUP:.0f}x)")
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    output = pathlib.Path(args.output) if args.output else \
+        RESULTS_DIR / "batched_trials.json"
+    output.write_text(json.dumps({
+        "scale": args.scale,
+        "framework": args.framework,
+        "model": args.model,
+        "batch": args.batch,
+        "batch_size": args.batch_size,
+        "resume_epochs": epochs,
+        "sequential_seconds": round(seq_seconds, 4),
+        "batched_seconds": round(bat_seconds, 4),
+        "sequential_trials_per_second": round(seq_rate, 4),
+        "batched_trials_per_second": round(bat_rate, 4),
+        "speedup": round(speedup, 2),
+        "target_speedup": TARGET_SPEEDUP,
+        "outcomes_identical": equal,
+    }, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {output}")
+    write_bench_result(
+        "batched_trials",
+        {"scale": args.scale, "framework": args.framework,
+         "model": args.model, "batch": args.batch,
+         "batch_size": args.batch_size, "resume_epochs": epochs},
+        bat_seconds,
+        {"sequential_seconds": round(seq_seconds, 4),
+         "sequential_trials_per_second": round(seq_rate, 4),
+         "batched_trials_per_second": round(bat_rate, 4),
+         "speedup": round(speedup, 2),
+         "outcomes_identical": equal},
+    )
+
+    if not equal:
+        print("FAIL: batched outcomes diverge from sequential",
+              file=sys.stderr)
+        return 1
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x below required "
+              f"{args.min_speedup}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

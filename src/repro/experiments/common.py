@@ -24,6 +24,8 @@ from dataclasses import asdict, dataclass, field, replace
 
 import numpy as np
 
+from .. import hdf5
+from ..batched import run_stacked_training
 from ..data import synthetic_cifar10
 from ..frameworks import get_facade, set_global_determinism
 from ..health import ModelHealthProbe, last_finite
@@ -191,6 +193,16 @@ def spec_from_payload(payload: dict) -> SessionSpec:
     if isinstance(scale, dict):
         scale = ExperimentScale(**scale)
     return SessionSpec(scale=get_scale(scale), **payload)
+
+
+def spec_group_key(payload: dict) -> str:
+    """Batch-compatibility key for ``--batch-trials`` chunking.
+
+    Trials whose payloads share this key resume from checkpoints of the
+    same spec — same architecture, dataset, schedule, and stored epoch — so
+    their trainings can be stacked into one batched pass
+    (:func:`resume_training_batched`)."""
+    return json.dumps(payload.get("spec"), sort_keys=True)
 
 
 def make_dataset(spec: SessionSpec):
@@ -427,6 +439,83 @@ def resume_training(spec: SessionSpec, checkpoint_path: str,
         model=model if keep_model else None,
         health=probe.history if probe is not None else [],
     )
+
+
+def resume_training_batched(spec: SessionSpec, checkpoint_paths: list[str],
+                            epochs: int | None = None,
+                            keep_models: bool = False,
+                            health_probe=False) -> list[ResumeOutcome]:
+    """Batched analogue of :func:`resume_training` over N checkpoints.
+
+    Loads every (typically independently corrupted) checkpoint through the
+    exact per-trial facade path :func:`resume_training` uses, stacks the
+    replicas along a leading trial axis, and trains them in one shared
+    forward/backward pass (:mod:`repro.batched`).  Outcome *i* — curve,
+    collapse verdict, final accuracy, probe history, and (with
+    *keep_models*) final weights — is bit-identical to
+    ``resume_training(spec, checkpoint_paths[i], ...)``.
+
+    All checkpoints must come from the same spec (same architecture and
+    stored epoch); that is what makes their trials batchable.
+    """
+    if not checkpoint_paths:
+        return []
+    scale = spec.scale
+    facade = get_facade(spec.framework)
+    set_global_determinism(spec.framework, spec.seed)
+    train, test = make_dataset(spec)
+    models, optimizers, start_epochs = [], [], []
+    # Sibling checkpoints in a batch are byte-copies of one baseline whose
+    # corruption touched only dataset payloads, so their structure — and
+    # hence every dataset offset — is identical.  Parse the first file once
+    # and let the others borrow its metadata tree (the template is ignored
+    # for any checkpoint whose size differs).
+    template = hdf5.File(checkpoint_paths[0], "r")
+    for path in checkpoint_paths:
+        model = build_session_model(spec)
+        optimizer = SGD(lr=spec.effective_learning_rate,
+                        momentum=spec.momentum)
+        start_epochs.append(
+            facade.load_checkpoint(path, model, optimizer,
+                                   template=template))
+        models.append(model)
+        optimizers.append(optimizer)
+    if len(set(start_epochs)) != 1:
+        raise ValueError(
+            f"checkpoints stored at differing epochs: {sorted(set(start_epochs))}"
+        )
+    start_epoch = start_epochs[0]
+    probes = None
+    if health_probe:
+        probes = [ModelHealthProbe() for _ in checkpoint_paths]
+        # epoch-0 snapshot of each corrupted checkpoint, mirroring the
+        # sequential path's pre-training observation
+        for model, optimizer, probe in zip(models, optimizers, probes):
+            probe.observe(model, optimizer, epoch=start_epoch)
+    if epochs is None:
+        epochs = scale.total_epochs - start_epoch
+    trainer, histories = run_stacked_training(
+        models, optimizers, train.images, train.labels, epochs,
+        start_epoch=start_epoch, batch_size=scale.batch_size, probes=probes,
+        x_test=test.images, labels_test=test.labels,
+    )
+    outcomes = []
+    for trial, history in enumerate(histories):
+        curve = [m.test_accuracy for m in history.epochs]
+        model = None
+        if keep_models:
+            model = build_session_model(spec)
+            for (layer_name, key), value in trainer.trial_arrays(
+                    trial).items():
+                model.set_parameter(layer_name, key, value)
+        outcomes.append(ResumeOutcome(
+            accuracy_curve=curve,
+            collapsed=history.collapsed,
+            final_accuracy=last_finite(curve),
+            model=model,
+            health=probes[trial].history if probes is not None else [],
+        ))
+    return outcomes
 
 
 def corrupted_copy(checkpoint_path: str, workdir: str, tag: str) -> str:

@@ -8,7 +8,9 @@ flip rate.
 
 Runs on the campaign engine: one journaled trial per
 (pair, flip rate, training), parallelizable with ``workers`` and resumable
-from the journal (see :mod:`repro.experiments.runner`).
+from the journal (see :mod:`repro.experiments.runner`).  With
+``batch_trials > 1`` same-pair trials are stacked into one shared training
+pass (:mod:`repro.batched`), bit-identical per trial.
 """
 
 from __future__ import annotations
@@ -28,12 +30,14 @@ from .common import (
     corrupted_copy,
     get_scale,
     resume_training,
+    resume_training_batched,
     spec_from_payload,
+    spec_group_key,
     spec_to_payload,
     structural_findings_count,
     weights_root,
 )
-from .runner import TrialTask, run_campaign, trial_kind
+from .runner import TrialTask, batch_trial_kind, run_campaign, trial_kind
 from .table5_single_bitflip import SAFE_FIRST_BIT
 
 EXPERIMENT_ID = "fig3"
@@ -47,31 +51,32 @@ DEFAULT_PAIRS = (
 DEFAULT_BITFLIPS = (1, 10, 100, 1000)
 
 
-@trial_kind("fig3")
-def run_trial(payload: dict) -> dict:
-    """One flip-rate trial: inject ``flips`` safe-range bit-flips into a
-    private checkpoint copy, resume the curve schedule."""
+def _inject(payload: dict, workdir: str, tag: str) -> tuple[str, int | None]:
+    """Corrupt a private checkpoint copy per *payload*; returns the path and
+    the structural-findings count (``None`` unless the payload asked for
+    post-injection validation)."""
     spec = spec_from_payload(payload["spec"])
-    with tempfile.TemporaryDirectory() as workdir:
-        path = corrupted_copy(payload["checkpoint"], workdir, "fig3")
-        config = InjectorConfig(
-            hdf5_file=path,
-            injection_attempts=payload["flips"],
-            corruption_mode="bit_range",
-            first_bit=SAFE_FIRST_BIT,
-            float_precision=32,
-            locations_to_corrupt=[weights_root(spec.framework)],
-            use_random_locations=False,
-            seed=payload["injection_seed"],
-        )
-        corrupter = CheckpointCorrupter(
-            config, engine=payload.get("engine", "vectorized"))
-        corrupter.corrupt()
-        findings = (structural_findings_count(path)
-                    if payload.get("validate_checkpoints") else None)
-        outcome = resume_training(
-            spec, path, epochs=spec.scale.resume_epochs,
-            health_probe=payload.get("health_probe", False))
+    path = corrupted_copy(payload["checkpoint"], workdir, tag)
+    config = InjectorConfig(
+        hdf5_file=path,
+        injection_attempts=payload["flips"],
+        corruption_mode="bit_range",
+        first_bit=SAFE_FIRST_BIT,
+        float_precision=32,
+        locations_to_corrupt=[weights_root(spec.framework)],
+        use_random_locations=False,
+        seed=payload["injection_seed"],
+    )
+    corrupter = CheckpointCorrupter(
+        config, engine=payload.get("engine", "vectorized"))
+    corrupter.corrupt()
+    findings = (structural_findings_count(path)
+                if payload.get("validate_checkpoints") else None)
+    return path, findings
+
+
+def _trial_result(payload: dict, outcome, findings: int | None) -> dict:
+    """The journal outcome for one trial's :class:`ResumeOutcome`."""
     verdict = classify_curve(outcome.accuracy_curve,
                              payload.get("baseline_curve"),
                              collapsed=outcome.collapsed)
@@ -82,6 +87,38 @@ def run_trial(payload: dict) -> dict:
     if findings is not None:
         result["structural_findings"] = findings
     return result
+
+
+@trial_kind("fig3")
+def run_trial(payload: dict) -> dict:
+    """One flip-rate trial: inject ``flips`` safe-range bit-flips into a
+    private checkpoint copy, resume the curve schedule."""
+    spec = spec_from_payload(payload["spec"])
+    with tempfile.TemporaryDirectory() as workdir:
+        path, findings = _inject(payload, workdir, "fig3")
+        outcome = resume_training(
+            spec, path, epochs=spec.scale.resume_epochs,
+            health_probe=payload.get("health_probe", False))
+    return _trial_result(payload, outcome, findings)
+
+
+@batch_trial_kind("fig3", group_key=spec_group_key)
+def run_trial_batch(payloads: list[dict]) -> list[dict]:
+    """One chunk of same-spec flip-rate trials: corrupt each payload's
+    private copy exactly as :func:`run_trial` would, then resume all
+    replicas in one stacked training pass (:mod:`repro.batched`) —
+    bit-identical per trial to the sequential kind."""
+    spec = spec_from_payload(payloads[0]["spec"])
+    with tempfile.TemporaryDirectory() as workdir:
+        injected = [_inject(payload, workdir, f"fig3-{index}")
+                    for index, payload in enumerate(payloads)]
+        outcomes = resume_training_batched(
+            spec, [path for path, _ in injected],
+            epochs=spec.scale.resume_epochs,
+            health_probe=any(p.get("health_probe") for p in payloads))
+    return [_trial_result(payload, outcome, findings)
+            for payload, outcome, (_, findings)
+            in zip(payloads, outcomes, injected)]
 
 
 def _mean_curve(curves: list[list[float]]) -> list[float]:
@@ -132,7 +169,8 @@ def run(scale="tiny", seed: int = 42, pairs=DEFAULT_PAIRS,
         trial_timeout: float | None = None,
         retries: int = 1, engine: str = "vectorized",
         health_probe: bool = False,
-        validate_checkpoints: bool = False) -> ExperimentResult:
+        validate_checkpoints: bool = False,
+        batch_trials: int = 1) -> ExperimentResult:
     """Regenerate Fig 3 (accuracy curves per flip rate)."""
     scale = get_scale(scale)
     cache = cache or DEFAULT_CACHE
@@ -144,7 +182,7 @@ def run(scale="tiny", seed: int = 42, pairs=DEFAULT_PAIRS,
                                    validate_checkpoints=validate_checkpoints)
     campaign = run_campaign(tasks, workers=workers, journal=journal,
                             resume=resume, trial_timeout=trial_timeout,
-                            retries=retries)
+                            retries=retries, batch_trials=batch_trials)
     by_cell = group_records(campaign.record_dicts(),
                             ("framework", "model", "flips"))
 

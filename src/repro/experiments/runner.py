@@ -19,6 +19,10 @@ turns a harness's trial list into a *campaign*:
 Harnesses register *trial kinds* — top-level functions from JSON payload to
 JSON outcome — with :func:`trial_kind`; worker processes look the function
 up by name, so tasks stay picklable and journal records stay replayable.
+A kind may additionally register a *batched* executor with
+:func:`batch_trial_kind`: under ``batch_trials > 1`` the runner chunks
+same-group trials and amortizes their shared training pass
+(:mod:`repro.batched`), still journaling one ordinary record per trial.
 """
 
 from __future__ import annotations
@@ -65,6 +69,40 @@ def get_trial_kind(name: str) -> Callable[[dict], dict]:
         raise ValueError(
             f"unknown trial kind {name!r}; registered: {sorted(TRIAL_KINDS)}"
         ) from None
+
+
+@dataclass(frozen=True)
+class _BatchKind:
+    """A batched executor for one trial kind plus its grouping rule."""
+
+    func: Callable[[list[dict]], list[dict]]
+    group_key: Callable[[dict], str]
+
+
+#: name -> batched executor.  A batch kind amortizes shared work (the
+#: training pass) across a chunk of same-kind trials; only payloads with
+#: equal ``group_key`` may share a chunk.  Kinds without an entry here run
+#: sequentially even under ``batch_trials > 1``.
+BATCH_TRIAL_KINDS: dict[str, _BatchKind] = {}
+
+
+def batch_trial_kind(name: str, *, group_key: Callable[[dict], str]) -> \
+        Callable[[Callable[[list[dict]], list[dict]]],
+                 Callable[[list[dict]], list[dict]]]:
+    """Register a batched executor for trial kind *name*.
+
+    The function receives the payloads of one chunk — all sharing a
+    ``group_key`` — and must return one outcome dict per payload, in order,
+    each bit-identical to what the sequential kind would have produced for
+    that payload (the contract ``tests/batched`` enforces).
+    """
+
+    def register(func: Callable[[list[dict]], list[dict]]) -> \
+            Callable[[list[dict]], list[dict]]:
+        BATCH_TRIAL_KINDS[name] = _BatchKind(func=func, group_key=group_key)
+        return func
+
+    return register
 
 
 # ---------------------------------------------------------------------------
@@ -234,7 +272,7 @@ class CampaignResult:
 def run_campaign(tasks: Iterable[TrialTask], *, workers: int = 1,
                  journal: str | Journal | None = None, resume: bool = False,
                  trial_timeout: float | None = None,
-                 retries: int = 1) -> CampaignResult:
+                 retries: int = 1, batch_trials: int = 1) -> CampaignResult:
     """Execute *tasks*, returning records in task order.
 
     Parameters
@@ -254,8 +292,24 @@ def run_campaign(tasks: Iterable[TrialTask], *, workers: int = 1,
     retries:
         Extra attempts after the first failure before the trial is
         journaled ``failed``.
+    batch_trials:
+        ``> 1`` runs chunks of that many batchable trials (same kind, same
+        :func:`batch_trial_kind` group key) through the kind's batched
+        executor in-process, one journal record per trial as usual.
+        Incompatible with ``workers > 1`` and ``trial_timeout`` — the
+        batched path is in-process by design (the whole point is sharing
+        one training pass, which a process-per-trial pool cannot do).
     """
     tasks = list(tasks)
+    if batch_trials > 1:
+        if workers > 1:
+            raise ValueError(
+                "batch_trials > 1 requires workers=1 (batched trials share "
+                "one in-process training pass)")
+        if trial_timeout is not None:
+            raise ValueError(
+                "batch_trials > 1 is incompatible with trial_timeout "
+                "(timeouts need process-per-trial isolation)")
     seen: set[str] = set()
     for task in tasks:
         if task.trial_id in seen:
@@ -278,8 +332,11 @@ def run_campaign(tasks: Iterable[TrialTask], *, workers: int = 1,
               len(tasks), len(todo), len(replayed), max(1, workers))
     start = time.monotonic()
     with telemetry.span("campaign", workers=max(1, workers),
-                        total=len(tasks), skipped=len(replayed)) as campaign:
-        if workers <= 1 and trial_timeout is None:
+                        total=len(tasks), skipped=len(replayed),
+                        batch_trials=max(1, batch_trials)) as campaign:
+        if batch_trials > 1:
+            fresh = _run_batched(todo, journal, batch_trials, retries)
+        elif workers <= 1 and trial_timeout is None:
             fresh = _run_inline(todo, journal, retries)
         else:
             fresh = _run_pool(todo, journal, max(1, workers), trial_timeout,
@@ -341,6 +398,94 @@ def _run_inline(tasks: list[TrialTask], journal: Journal | None,
         log.debug("trial %s: %s after %d attempt(s) in %.3fs",
                   task.trial_id, record.status, record.attempts,
                   record.duration)
+        results[task.trial_id] = record
+        if journal is not None:
+            journal.append(record)
+    return results
+
+
+# -- batched path -----------------------------------------------------------
+
+def _run_batched(tasks: list[TrialTask], journal: Journal | None,
+                 batch_trials: int,
+                 retries: int) -> dict[str, TrialRecord]:
+    """Chunked in-process execution for ``batch_trials > 1``.
+
+    Batchable tasks are grouped by (kind, group key) — preserving task order
+    within a group — and cut into consecutive chunks of up to
+    ``batch_trials`` trials (a ragged tail is an ordinary smaller chunk).
+    Tasks whose kind has no batched executor run through the inline path
+    unchanged, as does any chunk whose executor raises: the fallback re-runs
+    that chunk's trials sequentially, which is outcome-identical by the
+    batch-kind contract, so a batch-level crash degrades to the sequential
+    campaign instead of failing N trials at once.
+    """
+    results: dict[str, TrialRecord] = {}
+    unbatched: list[TrialTask] = []
+    groups: dict[tuple[str, str], list[TrialTask]] = {}
+    for task in tasks:
+        batch_kind = BATCH_TRIAL_KINDS.get(task.kind)
+        if batch_kind is None:
+            unbatched.append(task)
+        else:
+            key = (task.kind, batch_kind.group_key(task.payload))
+            groups.setdefault(key, []).append(task)
+    if unbatched:
+        results.update(_run_inline(unbatched, journal, retries))
+    for (kind_name, _), group in groups.items():
+        func = BATCH_TRIAL_KINDS[kind_name].func
+        for cut in range(0, len(group), batch_trials):
+            chunk = group[cut:cut + batch_trials]
+            results.update(_run_chunk(chunk, func, journal, retries))
+    return results
+
+
+def _run_chunk(chunk: list[TrialTask],
+               func: Callable[[list[dict]], list[dict]],
+               journal: Journal | None,
+               retries: int) -> dict[str, TrialRecord]:
+    """One batched chunk -> one record per trial (or a sequential fallback).
+
+    The chunk's wall-time is split evenly across its records: per-trial
+    attribution inside a shared training pass is meaningless, but the sum
+    over the journal must still equal the time actually spent.
+    """
+    started = time.monotonic()
+    outcomes = None
+    with telemetry.span("trial_batch", kind=chunk[0].kind,
+                        size=len(chunk)) as span:
+        try:
+            outcomes = func([dict(task.payload) for task in chunk])
+            if len(outcomes) != len(chunk):
+                raise ValueError(
+                    f"batch executor returned {len(outcomes)} outcomes "
+                    f"for {len(chunk)} trials")
+        except Exception:
+            log.warning("batch of %d %r trials failed; re-running them "
+                        "sequentially", len(chunk), chunk[0].kind,
+                        exc_info=True)
+            telemetry.count("runner.batch_fallbacks")
+            span.set(fallback=True)
+            span.finish("failed")
+        else:
+            span.set(fallback=False,
+                     run_time=time.monotonic() - started)
+            span.finish("ok")
+    if outcomes is None:
+        return _run_inline(list(chunk), journal, retries)
+    elapsed = time.monotonic() - started
+    results: dict[str, TrialRecord] = {}
+    for task, outcome in zip(chunk, outcomes):
+        record = TrialRecord(
+            trial_id=task.trial_id, kind=task.kind, status="ok",
+            outcome=outcome, attempts=1, duration=elapsed / len(chunk),
+            payload=task.payload,
+        )
+        record.finalize()
+        telemetry.count("runner.trials_ok")
+        telemetry.count(f"runner.outcome_{record.outcome_class}")
+        log.debug("trial %s: ok (batched, chunk of %d)",
+                  task.trial_id, len(chunk))
         results[task.trial_id] = record
         if journal is not None:
             journal.append(record)

@@ -29,12 +29,14 @@ from .common import (
     corrupted_copy,
     get_scale,
     resume_training,
+    resume_training_batched,
     spec_from_payload,
+    spec_group_key,
     spec_to_payload,
     structural_findings_count,
     weights_root,
 )
-from .runner import TrialTask, run_campaign, trial_kind
+from .runner import TrialTask, batch_trial_kind, run_campaign, trial_kind
 
 EXPERIMENT_ID = "table5"
 TITLE = "Table V: Model sensitivity to 1 bit-flip (RWC)"
@@ -44,6 +46,43 @@ DEFAULT_MODELS = ("resnet50", "vgg16", "alexnet")
 
 #: §V-C: "we omit the most significant bit of the exponent" — MSB-order bit 1.
 SAFE_FIRST_BIT = 2
+
+
+def _inject(payload: dict, workdir: str, tag: str) -> tuple[str, int | None]:
+    """Flip one safe-range bit in a private checkpoint copy; returns the
+    path and the structural-findings count (``None`` unless validated)."""
+    spec = spec_from_payload(payload["spec"])
+    path = corrupted_copy(payload["checkpoint"], workdir, tag)
+    config = InjectorConfig(
+        hdf5_file=path,
+        injection_attempts=1,
+        corruption_mode="bit_range",
+        first_bit=SAFE_FIRST_BIT,
+        float_precision=32,
+        locations_to_corrupt=[weights_root(spec.framework)],
+        use_random_locations=False,
+        seed=payload["injection_seed"],
+    )
+    corrupter = CheckpointCorrupter(
+        config, engine=payload.get("engine", "vectorized"))
+    corrupter.corrupt()
+    findings = (structural_findings_count(path)
+                if payload.get("validate_checkpoints") else None)
+    return path, findings
+
+
+def _trial_result(payload: dict, outcome, findings: int | None) -> dict:
+    """The journal outcome for one trial's :class:`ResumeOutcome`."""
+    finite = [a for a in outcome.accuracy_curve if a is not None]
+    # tolerance 0: Table V's RWC is *exact* equality with the error-free
+    # restart, so any finite drop counts as degraded
+    verdict = classify_curve(outcome.accuracy_curve,
+                             payload.get("baseline_restart"),
+                             collapsed=outcome.collapsed, tolerance=0.0)
+    result = {"finals": finite[-1:], "outcome_class": verdict.outcome}
+    if findings is not None:
+        result["structural_findings"] = findings
+    return result
 
 
 @trial_kind("table5")
@@ -62,35 +101,28 @@ def run_trial(payload: dict) -> dict:
     """
     spec = spec_from_payload(payload["spec"])
     with tempfile.TemporaryDirectory() as workdir:
-        path = corrupted_copy(payload["checkpoint"], workdir, "t5")
-        config = InjectorConfig(
-            hdf5_file=path,
-            injection_attempts=1,
-            corruption_mode="bit_range",
-            first_bit=SAFE_FIRST_BIT,
-            float_precision=32,
-            locations_to_corrupt=[weights_root(spec.framework)],
-            use_random_locations=False,
-            seed=payload["injection_seed"],
-        )
-        corrupter = CheckpointCorrupter(
-            config, engine=payload.get("engine", "vectorized"))
-        corrupter.corrupt()
-        findings = (structural_findings_count(path)
-                    if payload.get("validate_checkpoints") else None)
+        path, findings = _inject(payload, workdir, "t5")
         outcome = resume_training(
             spec, path, epochs=1,
             health_probe=payload.get("health_probe", False))
-    finite = [a for a in outcome.accuracy_curve if a is not None]
-    # tolerance 0: Table V's RWC is *exact* equality with the error-free
-    # restart, so any finite drop counts as degraded
-    verdict = classify_curve(outcome.accuracy_curve,
-                             payload.get("baseline_restart"),
-                             collapsed=outcome.collapsed, tolerance=0.0)
-    result = {"finals": finite[-1:], "outcome_class": verdict.outcome}
-    if findings is not None:
-        result["structural_findings"] = findings
-    return result
+    return _trial_result(payload, outcome, findings)
+
+
+@batch_trial_kind("table5", group_key=spec_group_key)
+def run_trial_batch(payloads: list[dict]) -> list[dict]:
+    """One chunk of same-cell single-flip trials, resumed for their one
+    restart epoch in a shared stacked pass — bit-identical per trial to
+    :func:`run_trial`."""
+    spec = spec_from_payload(payloads[0]["spec"])
+    with tempfile.TemporaryDirectory() as workdir:
+        injected = [_inject(payload, workdir, f"t5-{index}")
+                    for index, payload in enumerate(payloads)]
+        outcomes = resume_training_batched(
+            spec, [path for path, _ in injected], epochs=1,
+            health_probe=any(p.get("health_probe") for p in payloads))
+    return [_trial_result(payload, outcome, findings)
+            for payload, outcome, (_, findings)
+            in zip(payloads, outcomes, injected)]
 
 
 def build_tasks(scale, seed, frameworks, models, cache,
@@ -137,7 +169,8 @@ def run(scale="tiny", seed: int = 42,
         trial_timeout: float | None = None,
         retries: int = 1, engine: str = "vectorized",
         health_probe: bool = False,
-        validate_checkpoints: bool = False) -> ExperimentResult:
+        validate_checkpoints: bool = False,
+        batch_trials: int = 1) -> ExperimentResult:
     """Regenerate Table V (RWC under one bit-flip) over the grid."""
     scale = get_scale(scale)
     cache = cache or DEFAULT_CACHE
@@ -148,7 +181,7 @@ def run(scale="tiny", seed: int = 42,
                                    validate_checkpoints=validate_checkpoints)
     campaign = run_campaign(tasks, workers=workers, journal=journal,
                             resume=resume, trial_timeout=trial_timeout,
-                            retries=retries)
+                            retries=retries, batch_trials=batch_trials)
     by_cell = group_records(campaign.record_dicts(), ("model", "framework"))
 
     headers = ["Model", "Trainings"]

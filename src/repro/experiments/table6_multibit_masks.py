@@ -26,12 +26,14 @@ from .common import (
     corrupted_copy,
     get_scale,
     resume_training,
+    resume_training_batched,
     spec_from_payload,
+    spec_group_key,
     spec_to_payload,
     structural_findings_count,
     weights_root,
 )
-from .runner import TrialTask, run_campaign, trial_kind
+from .runner import TrialTask, batch_trial_kind, run_campaign, trial_kind
 
 EXPERIMENT_ID = "table6"
 TITLE = "Table VI: Multi-bit mask applied to DL framework training"
@@ -50,31 +52,32 @@ DEFAULT_MODEL = "resnet50"
 WEIGHTS_PER_TRAINING = 10
 
 
-@trial_kind("table6")
-def run_trial(payload: dict) -> dict:
-    """One masked-injection trial: XOR the mask into 10 weights of a private
-    checkpoint copy, resume the remaining schedule."""
+def _inject(payload: dict, workdir: str, tag: str) -> tuple[str, int | None]:
+    """XOR the payload's mask into 10 weights of a private checkpoint copy;
+    returns the path and the structural-findings count (``None`` unless
+    validated)."""
     spec = spec_from_payload(payload["spec"])
-    with tempfile.TemporaryDirectory() as workdir:
-        path = corrupted_copy(payload["checkpoint"], workdir, "t6")
-        config = InjectorConfig(
-            hdf5_file=path,
-            injection_attempts=WEIGHTS_PER_TRAINING,
-            corruption_mode="bit_mask",
-            bit_mask=payload["mask"],
-            float_precision=32,
-            locations_to_corrupt=[weights_root(spec.framework)],
-            use_random_locations=False,
-            seed=payload["injection_seed"],
-        )
-        corrupter = CheckpointCorrupter(
-            config, engine=payload.get("engine", "vectorized"))
-        corrupter.corrupt()
-        findings = (structural_findings_count(path)
-                    if payload.get("validate_checkpoints") else None)
-        outcome = resume_training(
-            spec, path, epochs=spec.scale.resume_epochs,
-            health_probe=payload.get("health_probe", False))
+    path = corrupted_copy(payload["checkpoint"], workdir, tag)
+    config = InjectorConfig(
+        hdf5_file=path,
+        injection_attempts=WEIGHTS_PER_TRAINING,
+        corruption_mode="bit_mask",
+        bit_mask=payload["mask"],
+        float_precision=32,
+        locations_to_corrupt=[weights_root(spec.framework)],
+        use_random_locations=False,
+        seed=payload["injection_seed"],
+    )
+    corrupter = CheckpointCorrupter(
+        config, engine=payload.get("engine", "vectorized"))
+    corrupter.corrupt()
+    findings = (structural_findings_count(path)
+                if payload.get("validate_checkpoints") else None)
+    return path, findings
+
+
+def _trial_result(payload: dict, outcome, findings: int | None) -> dict:
+    """The journal outcome for one trial's :class:`ResumeOutcome`."""
     verdict = classify_curve(outcome.accuracy_curve,
                              payload.get("baseline_curve"),
                              collapsed=outcome.collapsed)
@@ -84,6 +87,39 @@ def run_trial(payload: dict) -> dict:
     if findings is not None:
         result["structural_findings"] = findings
     return result
+
+
+@trial_kind("table6")
+def run_trial(payload: dict) -> dict:
+    """One masked-injection trial: XOR the mask into 10 weights of a private
+    checkpoint copy, resume the remaining schedule."""
+    spec = spec_from_payload(payload["spec"])
+    with tempfile.TemporaryDirectory() as workdir:
+        path, findings = _inject(payload, workdir, "t6")
+        outcome = resume_training(
+            spec, path, epochs=spec.scale.resume_epochs,
+            health_probe=payload.get("health_probe", False))
+    return _trial_result(payload, outcome, findings)
+
+
+@batch_trial_kind("table6", group_key=spec_group_key)
+def run_trial_batch(payloads: list[dict]) -> list[dict]:
+    """One chunk of same-spec masked-injection trials resumed in a shared
+    stacked pass — bit-identical per trial to :func:`run_trial`.  Table VI
+    is the collapse-heavy campaign, so chunks routinely lose trials to NaN
+    mid-batch; the batched trainer prunes them without perturbing the
+    survivors."""
+    spec = spec_from_payload(payloads[0]["spec"])
+    with tempfile.TemporaryDirectory() as workdir:
+        injected = [_inject(payload, workdir, f"t6-{index}")
+                    for index, payload in enumerate(payloads)]
+        outcomes = resume_training_batched(
+            spec, [path for path, _ in injected],
+            epochs=spec.scale.resume_epochs,
+            health_probe=any(p.get("health_probe") for p in payloads))
+    return [_trial_result(payload, outcome, findings)
+            for payload, outcome, (_, findings)
+            in zip(payloads, outcomes, injected)]
 
 
 def build_tasks(scale, seed, frameworks, model, masks, trainings, cache,
@@ -131,7 +167,8 @@ def run(scale="tiny", seed: int = 42, frameworks=DEFAULT_FRAMEWORKS,
         trial_timeout: float | None = None,
         retries: int = 1, engine: str = "vectorized",
         health_probe: bool = False,
-        validate_checkpoints: bool = False) -> ExperimentResult:
+        validate_checkpoints: bool = False,
+        batch_trials: int = 1) -> ExperimentResult:
     """Regenerate Table VI (multi-bit DRAM masks)."""
     scale = get_scale(scale)
     cache = cache or DEFAULT_CACHE
@@ -143,7 +180,7 @@ def run(scale="tiny", seed: int = 42, frameworks=DEFAULT_FRAMEWORKS,
                                    validate_checkpoints=validate_checkpoints)
     campaign = run_campaign(tasks, workers=workers, journal=journal,
                             resume=resume, trial_timeout=trial_timeout,
-                            retries=retries)
+                            retries=retries, batch_trials=batch_trials)
     by_cell = group_records(campaign.record_dicts(), ("framework", "mask"))
 
     headers = ["Bits", "Mask"]

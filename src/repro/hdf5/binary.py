@@ -44,36 +44,65 @@ class BinaryWriter:
 
 
 class BinaryReader:
-    """A cursor over a bytes-like object with little-endian integer helpers."""
+    """A cursor over a bytes-like object with little-endian integer helpers.
+
+    The integer helpers index the buffer directly rather than delegating to
+    :meth:`read`: checkpoint parsing makes hundreds of thousands of these
+    calls, so the extra slice + ``struct.unpack`` layers were a measurable
+    share of checkpoint-load time.
+    """
 
     def __init__(self, data: bytes, offset: int = 0) -> None:
         self.data = data
         self.offset = offset
+        self._size = len(data)
 
     def seek(self, offset: int) -> None:
         self.offset = offset
 
     def read(self, count: int) -> bytes:
-        if self.offset + count > len(self.data):
+        if self.offset + count > self._size:
             raise EOFError(
                 f"attempt to read {count} bytes at offset {self.offset} "
-                f"beyond end of buffer ({len(self.data)} bytes)"
+                f"beyond end of buffer ({self._size} bytes)"
             )
         out = self.data[self.offset : self.offset + count]
         self.offset += count
         return out
 
+    def _bounds(self, count: int) -> None:
+        raise EOFError(
+            f"attempt to read {count} bytes at offset {self.offset} "
+            f"beyond end of buffer ({self._size} bytes)"
+        )
+
     def u8(self) -> int:
-        return struct.unpack("<B", self.read(1))[0]
+        offset = self.offset
+        if offset + 1 > self._size:
+            self._bounds(1)
+        self.offset = offset + 1
+        return self.data[offset]
 
     def u16(self) -> int:
-        return struct.unpack("<H", self.read(2))[0]
+        offset = self.offset
+        if offset + 2 > self._size:
+            self._bounds(2)
+        self.offset = offset + 2
+        return int.from_bytes(self.data[offset:offset + 2], "little")
 
     def u32(self) -> int:
-        return struct.unpack("<I", self.read(4))[0]
+        offset = self.offset
+        if offset + 4 > self._size:
+            self._bounds(4)
+        self.offset = offset + 4
+        return int.from_bytes(self.data[offset:offset + 4], "little")
 
     def u64(self) -> int:
-        return struct.unpack("<Q", self.read(8))[0]
+        offset = self.offset
+        if offset + 8 > self._size:
+            self._bounds(8)
+        self.offset = offset + 8
+        return int.from_bytes(self.data[offset:offset + 8], "little")
 
     def skip(self, count: int) -> None:
         self.offset += count

@@ -472,13 +472,27 @@ class Group:
 
 
 class File(Group):
-    """An open HDF5 file.  See module docstring for mode semantics."""
+    """An open HDF5 file.  See module docstring for mode semantics.
 
-    def __init__(self, path: str | os.PathLike, mode: str = "r"):
+    *template* (read modes only) is another open :class:`File` whose
+    *structure* is byte-identical to this one — the situation a fault
+    campaign creates when it copies one baseline checkpoint N times and
+    flips bits in dataset payloads only.  Structure determines every
+    group/dataset offset, so the template's parsed metadata tree can be
+    borrowed instead of re-parsed; dataset *contents* still come from this
+    file's own bytes.  If the file sizes differ the template is ignored and
+    the file is parsed normally, but a same-sized file with genuinely
+    different structure would be misread — callers are responsible for the
+    provenance guarantee.
+    """
+
+    def __init__(self, path: str | os.PathLike, mode: str = "r",
+                 template: "File | None" = None):
         self.filename = os.fspath(path)
         self.mode = mode
         self._closed = False
         self._handle = None
+        self._nbytes: int | None = None
         with telemetry.span("hdf5.open", mode=mode) as span:
             if mode == "w":
                 root = GroupNode()
@@ -487,7 +501,15 @@ class File(Group):
             elif mode in ("r", "r+"):
                 with open(self.filename, "rb") as handle:
                     raw = handle.read()
-                info = parse_file(raw)
+                self._nbytes = len(raw)
+                info = None
+                if (template is not None
+                        and template._info is not None
+                        and template._nbytes == len(raw)):
+                    info = template._info
+                    span.set(structure_reused=True)
+                if info is None:
+                    info = parse_file(raw)
                 super().__init__(self, "/", None, info)
                 if mode == "r+":
                     # Map the whole file: Dataset.view() hands out dtype

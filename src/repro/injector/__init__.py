@@ -48,7 +48,13 @@ from .corrupter import (
     expand_locations,
     resolve_attempts,
 )
-from .engine import ENGINES, InjectionPlan, PlanTarget, sample_plan
+from .engine import (
+    ENGINES,
+    InjectionPlan,
+    PlanTarget,
+    apply_plans_stacked,
+    sample_plan,
+)
 from .equivalent import (
     ReplayConfig,
     ReplayResult,
@@ -69,6 +75,7 @@ __all__ = [
     "PlanTarget",
     "ReplayConfig",
     "ReplayResult",
+    "apply_plans_stacked",
     "bitops",
     "build_location_map",
     "corrupt_checkpoint",

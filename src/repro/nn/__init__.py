@@ -25,13 +25,14 @@ from .layers import (
 )
 from .model import Model
 from .optim import SGD, Adam, Optimizer, RMSProp
-from .trainer import EpochMetrics, Trainer, TrainingHistory
+from .trainer import BatchedTrainer, EpochMetrics, Trainer, TrainingHistory
 
 __all__ = [
     "Add",
     "Adam",
     "AvgPool2D",
     "BatchNorm2D",
+    "BatchedTrainer",
     "Conv2D",
     "DTypePolicy",
     "Dense",

@@ -30,6 +30,12 @@ class Layer:
         self.params: dict[str, np.ndarray] = {}
         self.grads: dict[str, np.ndarray] = {}
         self.state: dict[str, np.ndarray] = {}
+        #: trial-axis width when this layer is part of a stacked multi-trial
+        #: replica (see :mod:`repro.batched`): every param/grad/state array
+        #: carries a leading axis of this length and forward/backward expect
+        #: activations shaped ``(trials, batch, ...)``.  ``None`` (the
+        #: default) keeps the ordinary single-trial kernels.
+        self.trials: int | None = None
 
     # -- interface ----------------------------------------------------------
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
@@ -93,6 +99,8 @@ class Conv2D(Layer):
         self._cache = None
 
     def forward(self, x, training=False):
+        if self.trials is not None:
+            return self._forward_stacked(x)
         n, c, h, w = x.shape
         if c != self.in_channels:
             raise ValueError(
@@ -102,12 +110,36 @@ class Conv2D(Layer):
         out_w = F.conv_output_size(w, self.kernel, self.stride, self.pad)
         cols = F.im2col(x, self.kernel, self.stride, self.pad)
         weight = self._param("W").reshape(self.out_channels, -1)
-        out = cols @ weight.T + self._param("b")
+        out = cols @ weight.T
+        np.add(out, self._param("b"), out=out)
         out = out.reshape(n, out_h, out_w, self.out_channels)
         self._cache = (x.shape, cols)
         return out.transpose(0, 3, 1, 2)
 
+    def _forward_stacked(self, x):
+        # (T, N, C, H, W): one im2col over the folded T*N batch, then a
+        # batched GEMM against the per-trial weight stack.  Slice t of every
+        # intermediate is bitwise the sequential forward on replica t.
+        t, n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected {self.in_channels} channels, got {c}"
+            )
+        out_h = F.conv_output_size(h, self.kernel, self.stride, self.pad)
+        out_w = F.conv_output_size(w, self.kernel, self.stride, self.pad)
+        cols = F.im2col(x.reshape(t * n, c, h, w),
+                        self.kernel, self.stride, self.pad)
+        cols = cols.reshape(t, n * out_h * out_w, -1)
+        weight = self._param("W").reshape(t, self.out_channels, -1)
+        out = cols @ weight.transpose(0, 2, 1)
+        np.add(out, self._param("b")[:, None, :], out=out)
+        out = out.reshape(t, n, out_h, out_w, self.out_channels)
+        self._cache = (x.shape, cols)
+        return out.transpose(0, 1, 4, 2, 3)
+
     def backward(self, grad):
+        if self.trials is not None:
+            return self._backward_stacked(grad)
         x_shape, cols = self._cache
         n = x_shape[0]
         grad_mat = grad.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
@@ -116,6 +148,23 @@ class Conv2D(Layer):
         weight = self._param("W").reshape(self.out_channels, -1)
         grad_cols = grad_mat @ weight
         return F.col2im(grad_cols, x_shape, self.kernel, self.stride, self.pad)
+
+    def _backward_stacked(self, grad):
+        x_shape, cols = self._cache
+        t, n = x_shape[0], x_shape[1]
+        grad_mat = grad.transpose(0, 1, 3, 4, 2).reshape(
+            t, -1, self.out_channels
+        )
+        self.grads["W"] = np.matmul(
+            grad_mat.transpose(0, 2, 1), cols
+        ).reshape(self.params["W"].shape)
+        self.grads["b"] = grad_mat.sum(axis=1)
+        weight = self._param("W").reshape(t, self.out_channels, -1)
+        grad_cols = grad_mat @ weight
+        dx = F.col2im(grad_cols.reshape(-1, grad_cols.shape[-1]),
+                      (t * n,) + x_shape[2:],
+                      self.kernel, self.stride, self.pad)
+        return dx.reshape(x_shape)
 
 
 class Dense(Layer):
@@ -137,10 +186,21 @@ class Dense(Layer):
 
     def forward(self, x, training=False):
         self._cache = x
-        return x @ self._param("W").T + self._param("b")
+        if self.trials is not None:
+            weight = self._param("W")
+            out = np.matmul(x, weight.transpose(0, 2, 1))
+            np.add(out, self._param("b")[:, None, :], out=out)
+            return out
+        out = x @ self._param("W").T
+        np.add(out, self._param("b"), out=out)
+        return out
 
     def backward(self, grad):
         x = self._cache
+        if self.trials is not None:
+            self.grads["W"] = np.matmul(grad.transpose(0, 2, 1), x)
+            self.grads["b"] = grad.sum(axis=1)
+            return np.matmul(grad, self._param("W"))
         self.grads["W"] = grad.T @ x
         self.grads["b"] = grad.sum(axis=0)
         return grad @ self._param("W")
@@ -170,6 +230,8 @@ class Flatten(Layer):
 
     def forward(self, x, training=False):
         self._shape = x.shape
+        if self.trials is not None:
+            return x.reshape(x.shape[0], x.shape[1], -1)
         return x.reshape(x.shape[0], -1)
 
     def backward(self, grad):
@@ -186,6 +248,11 @@ class MaxPool2D(Layer):
         self._cache = None
 
     def forward(self, x, training=False):
+        orig = x.shape
+        if self.trials is not None:
+            # fold the trial axis into the batch: pooling has no parameters,
+            # so per-(trial, sample) window math is unchanged bit for bit
+            x = x.reshape(orig[0] * orig[1], *orig[2:])
         n, c, h, w = x.shape
         k, s = self.kernel, self.stride
         out_h = F.conv_output_size(h, k, s, 0)
@@ -193,16 +260,16 @@ class MaxPool2D(Layer):
         cols = F.im2col(x.reshape(n * c, 1, h, w), k, s, 0)
         arg = np.argmax(cols, axis=1)
         out = cols[np.arange(cols.shape[0]), arg]
-        self._cache = (x.shape, cols.shape, arg)
-        return out.reshape(n, c, out_h, out_w)
+        self._cache = (orig, x.shape, cols.shape, arg)
+        return out.reshape(orig[:-2] + (out_h, out_w))
 
     def backward(self, grad):
-        x_shape, cols_shape, arg = self._cache
+        orig, x_shape, cols_shape, arg = self._cache
         n, c, h, w = x_shape
         grad_cols = np.zeros(cols_shape, dtype=grad.dtype)
         grad_cols[np.arange(cols_shape[0]), arg] = grad.reshape(-1)
         dx = F.col2im(grad_cols, (n * c, 1, h, w), self.kernel, self.stride, 0)
-        return dx.reshape(x_shape)
+        return dx.reshape(orig)
 
 
 class GlobalAvgPool2D(Layer):
@@ -213,13 +280,15 @@ class GlobalAvgPool2D(Layer):
         self._shape = None
 
     def forward(self, x, training=False):
+        # reduce the trailing spatial axes rather than hard-coded (2, 3):
+        # the same kernel serves NCHW and trial-stacked TNCHW activations
         self._shape = x.shape
-        return x.mean(axis=(2, 3))
+        return x.mean(axis=(-2, -1))
 
     def backward(self, grad):
-        n, c, h, w = self._shape
+        h, w = self._shape[-2:]
         return np.broadcast_to(
-            grad[:, :, None, None] / (h * w), self._shape
+            grad[..., None, None] / (h * w), self._shape
         ).astype(grad.dtype)
 
 
@@ -233,24 +302,27 @@ class AvgPool2D(Layer):
         self._cache = None
 
     def forward(self, x, training=False):
+        orig = x.shape
+        if self.trials is not None:
+            x = x.reshape(orig[0] * orig[1], *orig[2:])
         n, c, h, w = x.shape
         k, s = self.kernel, self.stride
         out_h = F.conv_output_size(h, k, s, 0)
         out_w = F.conv_output_size(w, k, s, 0)
         cols = F.im2col(x.reshape(n * c, 1, h, w), k, s, 0)
         out = cols.mean(axis=1)
-        self._cache = (x.shape, cols.shape)
-        return out.reshape(n, c, out_h, out_w)
+        self._cache = (orig, x.shape, cols.shape)
+        return out.reshape(orig[:-2] + (out_h, out_w))
 
     def backward(self, grad):
-        x_shape, cols_shape = self._cache
+        orig, x_shape, cols_shape = self._cache
         n, c, h, w = x_shape
         grad_cols = np.broadcast_to(
             grad.reshape(-1, 1) / (self.kernel * self.kernel), cols_shape
         ).astype(grad.dtype)
         dx = F.col2im(grad_cols, (n * c, 1, h, w), self.kernel, self.stride,
                       0)
-        return dx.reshape(x_shape)
+        return dx.reshape(orig)
 
 
 class LocalResponseNorm(Layer):
@@ -283,20 +355,26 @@ class LocalResponseNorm(Layer):
         return out
 
     def forward(self, x, training=False):
+        orig = x.shape
+        if self.trials is not None:
+            # channel-window sums index axis 1; fold trials into the batch so
+            # the 4-D kernel applies unchanged, then unfold the result
+            x = x.reshape(orig[0] * orig[1], *orig[2:])
         squares = x * x
         norm = self.k + (self.alpha / self.size) * self._window_sum(squares)
         scale = norm ** (-self.beta)
-        self._cache = (x, norm, scale)
-        return x * scale
+        self._cache = (orig, x, norm, scale)
+        return (x * scale).reshape(orig)
 
     def backward(self, grad):
-        x, norm, scale = self._cache
+        orig, x, norm, scale = self._cache
+        grad = grad.reshape(x.shape)
         # d(out_c')/d(x_c) has a direct term and a cross-channel term
         direct = grad * scale
         cross_coeff = (grad * x * (norm ** (-self.beta - 1.0)))
         summed = self._window_sum(cross_coeff)
         cross = (-2.0 * self.beta * self.alpha / self.size) * x * summed
-        return direct + cross
+        return (direct + cross).reshape(orig)
 
 
 class BatchNorm2D(Layer):
@@ -325,42 +403,98 @@ class BatchNorm2D(Layer):
         self._cache = None
 
     def forward(self, x, training=False):
+        if self.trials is not None:
+            return self._forward_stacked(x, training)
         compute = self.policy.compute_dtype
         if training:
+            # one explicit centering pass shared by the variance and x_hat;
+            # bitwise it is exactly ``x.var`` (same subtract, same pairwise
+            # sum over the same layout), minus two redundant passes over x
             mean = x.mean(axis=(0, 2, 3))
-            var = x.var(axis=(0, 2, 3))
+            delta = x - mean[None, :, None, None]
+            var = (delta * delta).mean(axis=(0, 2, 3))
             self.state["running_mean"] = (
-                self.momentum * self.state["running_mean"].astype(compute)
+                self.momentum * self.state["running_mean"].astype(compute, copy=False)
                 + (1 - self.momentum) * mean
-            ).astype(self.policy.param_dtype)
+            ).astype(self.policy.param_dtype, copy=False)
             self.state["running_var"] = (
-                self.momentum * self.state["running_var"].astype(compute)
+                self.momentum * self.state["running_var"].astype(compute, copy=False)
                 + (1 - self.momentum) * var
-            ).astype(self.policy.param_dtype)
+            ).astype(self.policy.param_dtype, copy=False)
         else:
-            mean = self.state["running_mean"].astype(compute)
-            var = self.state["running_var"].astype(compute)
+            mean = self.state["running_mean"].astype(compute, copy=False)
+            var = self.state["running_var"].astype(compute, copy=False)
+            delta = x - mean[None, :, None, None]
         std = np.sqrt(var + self.eps)
-        x_hat = (x - mean[None, :, None, None]) / std[None, :, None, None]
-        out = (self._param("gamma")[None, :, None, None] * x_hat
-               + self._param("beta")[None, :, None, None])
+        # in-place where the operand is dead afterwards: same ops in the
+        # same order, just without the intermediate allocations
+        x_hat = np.divide(delta, std[None, :, None, None], out=delta)
+        out = self._param("gamma")[None, :, None, None] * x_hat
+        np.add(out, self._param("beta")[None, :, None, None], out=out)
+        self._cache = (x_hat, std)
+        return out
+
+    def _forward_stacked(self, x, training):
+        # (T, N, C, H, W): batch statistics reduce over (N, H, W) per trial,
+        # running stats and gamma/beta are stacked (T, C)
+        compute = self.policy.compute_dtype
+        if training:
+            # same single centering pass as the sequential branch; per-trial
+            # slices reduce over the same (N, H, W) layout, so slice t stays
+            # bitwise the sequential forward on replica t
+            mean = x.mean(axis=(1, 3, 4))
+            delta = x - mean[:, None, :, None, None]
+            var = (delta * delta).mean(axis=(1, 3, 4))
+            self.state["running_mean"] = (
+                self.momentum * self.state["running_mean"].astype(compute, copy=False)
+                + (1 - self.momentum) * mean
+            ).astype(self.policy.param_dtype, copy=False)
+            self.state["running_var"] = (
+                self.momentum * self.state["running_var"].astype(compute, copy=False)
+                + (1 - self.momentum) * var
+            ).astype(self.policy.param_dtype, copy=False)
+        else:
+            mean = self.state["running_mean"].astype(compute, copy=False)
+            var = self.state["running_var"].astype(compute, copy=False)
+            delta = x - mean[:, None, :, None, None]
+        std = np.sqrt(var + self.eps)
+        x_hat = np.divide(delta, std[:, None, :, None, None], out=delta)
+        out = self._param("gamma")[:, None, :, None, None] * x_hat
+        np.add(out, self._param("beta")[:, None, :, None, None], out=out)
         self._cache = (x_hat, std)
         return out
 
     def backward(self, grad):
         x_hat, std = self._cache
-        n, _, h, w = grad.shape
-        m = n * h * w
-        self.grads["gamma"] = (grad * x_hat).sum(axis=(0, 2, 3))
+        if self.trials is not None:
+            scratch = grad * x_hat
+            self.grads["gamma"] = scratch.sum(axis=(1, 3, 4))
+            self.grads["beta"] = grad.sum(axis=(1, 3, 4))
+            gamma = self._param("gamma")[:, None, :, None, None]
+            dx_hat = grad * gamma
+            term2 = dx_hat.mean(axis=(1, 3, 4), keepdims=True)
+            cross = np.multiply(dx_hat, x_hat, out=scratch)
+            term3 = np.multiply(
+                x_hat, cross.mean(axis=(1, 3, 4), keepdims=True), out=scratch
+            )
+            # same subtract/subtract/divide chain, reusing the dead dx_hat
+            out = np.subtract(dx_hat, term2, out=dx_hat)
+            np.subtract(out, term3, out=out)
+            return np.divide(out, std[:, None, :, None, None], out=out)
+        scratch = grad * x_hat
+        self.grads["gamma"] = scratch.sum(axis=(0, 2, 3))
         self.grads["beta"] = grad.sum(axis=(0, 2, 3))
         gamma = self._param("gamma")[None, :, None, None]
         dx_hat = grad * gamma
         # standard batch-norm backward (training-mode statistics)
-        term1 = dx_hat
         term2 = dx_hat.mean(axis=(0, 2, 3), keepdims=True)
-        term3 = x_hat * (dx_hat * x_hat).mean(axis=(0, 2, 3), keepdims=True)
-        _ = m
-        return (term1 - term2 - term3) / std[None, :, None, None]
+        cross = np.multiply(dx_hat, x_hat, out=scratch)
+        term3 = np.multiply(
+            x_hat, cross.mean(axis=(0, 2, 3), keepdims=True), out=scratch
+        )
+        out = np.subtract(dx_hat, term2, out=dx_hat)
+        np.subtract(out, term3, out=out)
+        return np.divide(out, std[None, :, None, None], out=out)
 
 
 class Dropout(Layer):
@@ -387,7 +521,12 @@ class Dropout(Layer):
             return x
         rng = self._stream.next()
         keep = 1.0 - self.rate
-        self._mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
+        # stacked mode: every sequential trial of a spec draws the same mask
+        # (masks are a pure function of seed and epoch, not of the weights),
+        # so one per-sample mask drawn at the unstacked shape and broadcast
+        # across the trial axis reproduces each trial's draws exactly
+        shape = x.shape[1:] if self.trials is not None else x.shape
+        self._mask = (rng.random(shape) < keep).astype(x.dtype) / keep
         return x * self._mask
 
     def backward(self, grad):

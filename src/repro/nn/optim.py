@@ -29,10 +29,14 @@ class Optimizer:
         for layer in model.parameter_layers():
             compute = layer.policy.compute_dtype
             for key in layer.params:
-                param = layer.params[key].astype(compute)
-                grad = layer.grads[key].astype(compute)
+                # copy=False: _update never mutates its operands, it always
+                # allocates the returned array, so sharing is safe and the
+                # matching-dtype (fp32 policy) casts become no-ops
+                param = layer.params[key].astype(compute, copy=False)
+                grad = layer.grads[key].astype(compute, copy=False)
                 new = self._update(f"{layer.name}/{key}", param, grad)
-                layer.params[key] = new.astype(layer.policy.param_dtype)
+                layer.params[key] = new.astype(layer.policy.param_dtype,
+                                               copy=False)
 
     def _update(self, slot: str, param: np.ndarray,
                 grad: np.ndarray) -> np.ndarray:
@@ -41,6 +45,14 @@ class Optimizer:
     def state_arrays(self) -> dict[str, np.ndarray]:
         """Persistent optimizer state for checkpointing."""
         return {"step_count": np.int64(self.step_count)}
+
+    def slot_dicts(self) -> list[dict[str, np.ndarray]]:
+        """The per-parameter slot buffers, as mutable dicts.
+
+        :mod:`repro.batched` stacks these along a leading trial axis and
+        prunes collapsed trials out of them; the base optimizer has none.
+        """
+        return []
 
     def load_state_arrays(self, arrays: dict[str, np.ndarray]) -> None:
         if "step_count" in arrays:
@@ -64,7 +76,10 @@ class SGD(Optimizer):
             vel = self.velocity.get(slot)
             if vel is None:
                 vel = np.zeros_like(param)
-            vel = self.momentum * vel - self.lr * grad
+            # momentum*vel allocates the new buffer; subtracting lr*grad in
+            # place is the same subtract, minus one allocation per slot
+            vel = self.momentum * vel
+            np.subtract(vel, self.lr * grad, out=vel)
             self.velocity[slot] = vel
             return param + vel
         return param - self.lr * grad
@@ -74,6 +89,9 @@ class SGD(Optimizer):
         for slot, vel in self.velocity.items():
             out[f"velocity/{slot}"] = vel
         return out
+
+    def slot_dicts(self):
+        return [self.velocity]
 
     def load_state_arrays(self, arrays):
         super().load_state_arrays(arrays)
@@ -117,6 +135,9 @@ class Adam(Optimizer):
             out[f"v/{slot}"] = value
         return out
 
+    def slot_dicts(self):
+        return [self.m, self.v]
+
     def load_state_arrays(self, arrays):
         super().load_state_arrays(arrays)
         for key, value in arrays.items():
@@ -151,6 +172,9 @@ class RMSProp(Optimizer):
         for slot, value in self.mean_square.items():
             out[f"ms/{slot}"] = value
         return out
+
+    def slot_dicts(self):
+        return [self.mean_square]
 
     def load_state_arrays(self, arrays):
         super().load_state_arrays(arrays)

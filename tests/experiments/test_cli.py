@@ -31,9 +31,29 @@ def test_validate_checkpoints_defaults_off():
     assert kwargs["validate_checkpoints"] is False
 
 
+def test_batch_trials_flag_reaches_campaign_kwargs():
+    args = build_parser().parse_args(
+        ["run", "fig3", "--batch-trials", "4"])
+    kwargs = campaign_kwargs(args, "fig3", multiple=False)
+    assert kwargs["batch_trials"] == 4
+    # default stays sequential
+    default = build_parser().parse_args(["run", "fig3"])
+    assert campaign_kwargs(default, "fig3",
+                           multiple=False)["batch_trials"] == 1
+
+
 def test_unknown_experiment(capsys):
     assert main(["run", "table99", "--scale", "smoke"]) == 2
     assert "unknown experiments" in capsys.readouterr().err
+
+
+def test_batch_trials_flag_incompatibilities(capsys):
+    assert main(["run", "fig3", "--scale", "smoke", "--batch-trials", "4",
+                 "--workers", "4"]) == 2
+    assert "--workers 1" in capsys.readouterr().err
+    assert main(["run", "fig3", "--scale", "smoke", "--batch-trials", "4",
+                 "--trial-timeout", "5"]) == 2
+    assert "--trial-timeout" in capsys.readouterr().err
 
 
 def test_run_fig2_smoke(capsys):

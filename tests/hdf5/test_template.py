@@ -1,0 +1,94 @@
+"""Tests of the ``template=`` fast path on :class:`repro.hdf5.File`.
+
+A fault campaign copies one baseline checkpoint N times and flips bits in
+dataset payloads only, so the sibling files share their structure byte for
+byte.  ``File(path, "r", template=parsed_sibling)`` borrows the template's
+metadata tree instead of re-parsing — these tests pin down that contents
+still come from the right file and that the guard falls back to a full
+parse whenever sizes differ.
+"""
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro import hdf5
+
+
+@pytest.fixture()
+def baseline(tmp_path):
+    path = str(tmp_path / "baseline.h5")
+    with hdf5.File(path, "w") as f:
+        f.attrs["epoch"] = 3
+        group = f.create_group("layers/conv1")
+        group.create_dataset("W", data=np.arange(12, dtype=np.float32))
+        f.create_dataset("scalar", data=np.float64(2.5))
+    return path
+
+
+def corrupted_sibling(baseline, tmp_path, name="sibling.h5"):
+    sibling = str(tmp_path / name)
+    shutil.copy(baseline, sibling)
+    with hdf5.File(sibling, "r+") as f:
+        f["layers/conv1/W"].write_flat(5, np.float32(-777.0))
+    return sibling
+
+
+class TestTemplateReuse:
+    def test_contents_come_from_the_sibling(self, baseline, tmp_path):
+        sibling = corrupted_sibling(baseline, tmp_path)
+        template = hdf5.File(baseline, "r")
+        with hdf5.File(sibling, "r", template=template) as f:
+            got = f["layers/conv1/W"][...]
+        expected = np.arange(12, dtype=np.float32)
+        expected[5] = -777.0
+        np.testing.assert_array_equal(got, expected)
+        # the template's own data is untouched
+        assert float(template["layers/conv1/W"].read_flat(5)) == 5.0
+
+    def test_structure_tree_is_shared_not_reparsed(self, baseline, tmp_path):
+        sibling = corrupted_sibling(baseline, tmp_path)
+        template = hdf5.File(baseline, "r")
+        with hdf5.File(sibling, "r", template=template) as f:
+            assert f._info is template._info
+            assert f.attrs["epoch"] == 3
+            assert float(f["scalar"][...]) == 2.5
+
+    def test_template_matches_full_parse_bytewise(self, baseline, tmp_path):
+        sibling = corrupted_sibling(baseline, tmp_path)
+        template = hdf5.File(baseline, "r")
+        with hdf5.File(sibling, "r") as plain, \
+                hdf5.File(sibling, "r", template=template) as fast:
+            for dataset in plain.datasets():
+                a = np.asarray(plain[dataset.name][...])
+                b = np.asarray(fast[dataset.name][...])
+                assert a.tobytes() == b.tobytes()
+
+    def test_size_mismatch_falls_back_to_parse(self, baseline, tmp_path):
+        other = str(tmp_path / "other.h5")
+        with hdf5.File(other, "w") as f:
+            f.attrs["epoch"] = 9
+            f.create_dataset("different", data=np.ones(3, dtype=np.float64))
+        template = hdf5.File(baseline, "r")
+        with hdf5.File(other, "r", template=template) as f:
+            assert f._info is not template._info
+            assert f.attrs["epoch"] == 9
+            np.testing.assert_array_equal(f["different"][...], np.ones(3))
+
+    def test_write_mode_ignores_template(self, baseline, tmp_path):
+        template = hdf5.File(baseline, "r")
+        path = str(tmp_path / "fresh.h5")
+        with hdf5.File(path, "w", template=template) as f:
+            f.create_dataset("x", data=np.zeros(2))
+        with hdf5.File(path, "r") as f:
+            assert list(f.keys()) == ["x"]
+
+    def test_rplus_mode_supports_template(self, baseline, tmp_path):
+        sibling = corrupted_sibling(baseline, tmp_path)
+        template = hdf5.File(baseline, "r")
+        with hdf5.File(sibling, "r+", template=template) as f:
+            assert f._info is template._info
+            f["layers/conv1/W"].write_flat(0, np.float32(123.0))
+        with hdf5.File(sibling, "r") as f:
+            assert float(f["layers/conv1/W"].read_flat(0)) == 123.0
