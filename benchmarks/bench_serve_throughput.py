@@ -1,0 +1,163 @@
+"""Campaign-scheduler throughput: trials/sec through ``repro.serve``.
+
+The serve path adds machinery around every trial — shard manifests, lease
+claims with heartbeat renewal, per-shard fsynced journals, done-marker
+bookkeeping — and this benchmark measures what that machinery costs.  The
+trial body is near-free (a handful of float ops), so the measured rate is
+the *scheduling ceiling*: the fastest the work-queue can move trials
+regardless of what they compute.  Real campaigns (seconds per trial) sit
+far below it; the number matters because shards are sized so that lease
+traffic stays a rounding error, and this bench is how that claim is
+checked.
+
+The same tasks also run through plain :func:`run_campaign` (journal on,
+single process) for reference, and the archived JSON reports both rates
+plus the serve/direct overhead ratio.
+
+Run standalone (the CI smoke step)::
+
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py
+
+or heavier::
+
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py \
+        --trials 256 --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import tempfile
+import threading
+import time
+
+from repro.experiments.runner import TrialTask, run_campaign, trial_kind
+from repro.serve import CampaignSpec, CampaignStore, ServeWorker, plan_builder
+
+from conftest import write_bench_result
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@trial_kind("serve_bench")
+def _bench_trial(payload):
+    # a few float ops: cheap enough that journal+lease overhead dominates
+    value = float(payload["value"])
+    return {"value": value, "square": value * value}
+
+
+@plan_builder("serve_bench")
+def _bench_plan(spec, cache):
+    return [TrialTask(trial_id=f"serve_bench/{spec.seed}/{index}",
+                      kind="serve_bench",
+                      payload={"value": index})
+            for index in range(spec.params["count"])]
+
+
+def time_direct(tasks, workdir: str) -> float:
+    journal = os.path.join(workdir, "direct.jsonl")
+    start = time.perf_counter()
+    run_campaign(tasks, workers=1, journal=journal)
+    return time.perf_counter() - start
+
+
+def time_serve(spec: CampaignSpec, workdir: str, workers: int,
+               shard_size: int) -> tuple[float, dict]:
+    store = CampaignStore(os.path.join(workdir, "root"),
+                          shard_size=shard_size)
+    stop = os.path.join(workdir, "stop")
+    pool = [ServeWorker(store, owner=f"bench-{index}", poll=0.005)
+            for index in range(workers)]
+    threads = [threading.Thread(target=worker.run,
+                                kwargs={"stop_file": stop})
+               for worker in pool]
+    start = time.perf_counter()
+    cid = store.submit(spec)
+    for thread in threads:
+        thread.start()
+    try:
+        while store.coarse_state(cid) != "done":
+            time.sleep(0.005)
+        elapsed = time.perf_counter() - start
+    finally:
+        with open(stop, "w", encoding="utf-8"):
+            pass
+        for thread in threads:
+            thread.join(timeout=30)
+    return elapsed, store.status(cid)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure trials/sec through the repro.serve scheduler.")
+    parser.add_argument("--trials", type=int, default=64)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--shard-size", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--min-rate", type=float, default=None,
+                        help="exit non-zero unless the serve path moves at "
+                             "least this many trials/sec")
+    parser.add_argument("--output", default=None,
+                        help="JSON path (default benchmarks/results/"
+                             "serve_throughput.json)")
+    args = parser.parse_args(argv)
+
+    spec = CampaignSpec(kind="serve_bench", seed=args.seed,
+                        params={"count": args.trials})
+    tasks = spec.build_tasks()
+
+    with tempfile.TemporaryDirectory() as workdir:
+        direct_seconds = time_direct(tasks, workdir)
+        serve_seconds, status = time_serve(spec, workdir, args.workers,
+                                           args.shard_size)
+
+    assert status["ok"] == args.trials, status
+    direct_rate = args.trials / direct_seconds if direct_seconds else 0.0
+    serve_rate = args.trials / serve_seconds if serve_seconds else 0.0
+    overhead = serve_seconds / direct_seconds if direct_seconds \
+        else float("inf")
+    print(f"direct run_campaign: {args.trials} trials in "
+          f"{direct_seconds * 1e3:8.1f} ms ({direct_rate:,.0f} trials/s)")
+    print(f"serve ({args.workers} workers, shard_size={args.shard_size}): "
+          f"{args.trials} trials in {serve_seconds * 1e3:8.1f} ms "
+          f"({serve_rate:,.0f} trials/s)")
+    print(f"scheduling overhead: {overhead:.1f}x the direct path")
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    output = pathlib.Path(args.output) if args.output else \
+        RESULTS_DIR / "serve_throughput.json"
+    output.write_text(json.dumps({
+        "trials": args.trials,
+        "workers": args.workers,
+        "shard_size": args.shard_size,
+        "shards": status["shards"]["total"],
+        "direct_seconds": round(direct_seconds, 6),
+        "serve_seconds": round(serve_seconds, 6),
+        "direct_trials_per_sec": round(direct_rate, 1),
+        "serve_trials_per_sec": round(serve_rate, 1),
+        "overhead_ratio": round(overhead, 2),
+    }, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {output}")
+    write_bench_result(
+        "serve_throughput",
+        {"trials": args.trials, "workers": args.workers,
+         "shard_size": args.shard_size},
+        serve_seconds,
+        {"serve_trials_per_sec": round(serve_rate, 1),
+         "direct_trials_per_sec": round(direct_rate, 1),
+         "overhead_ratio": round(overhead, 2)},
+    )
+
+    if args.min_rate is not None and serve_rate < args.min_rate:
+        print(f"FAIL: {serve_rate:,.0f} trials/s below required "
+              f"{args.min_rate:,.0f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

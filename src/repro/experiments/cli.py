@@ -25,6 +25,7 @@ from dataclasses import asdict
 
 from .. import telemetry
 from ..analysis.campaign import CampaignStats
+from ..serve.spec import CampaignSpec
 from .common import SCALES
 from .registry import CAMPAIGN_EXPERIMENTS, EXPERIMENTS, run_experiment
 from .watch import add_watch_arguments, watch_command
@@ -115,27 +116,107 @@ def build_parser() -> argparse.ArgumentParser:
                       "stream) from another terminal"
     )
     add_watch_arguments(watcher)
+
+    server = sub.add_parser(
+        "serve", help="run the campaign scheduler: shard store, worker "
+                      "pool, and HTTP front door (POST /campaigns ...)"
+    )
+    server.add_argument("--root", required=True, metavar="DIR",
+                        help="campaign store directory (the work queue; "
+                             "shared by every worker)")
+    server.add_argument("--port", type=int, default=0,
+                        help="front-door port (default 0 = pick a free one)")
+    server.add_argument("--host", default="127.0.0.1")
+    server.add_argument("--workers", type=int, default=1,
+                        help="shard-executing worker processes (default 1)")
+    server.add_argument("--shard-size", type=int, default=8, metavar="N",
+                        help="trials per claimable shard (default 8)")
+    server.add_argument("--lease-ttl", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="heartbeat lease expiry; a dead worker's shard "
+                             "is reclaimable after this long (default 30)")
+    server.add_argument("--max-active", type=int, default=64,
+                        help="backpressure: reject new submissions (HTTP "
+                             "429) beyond this many active campaigns")
+    server.add_argument("--poll", type=float, default=0.2,
+                        help="idle worker poll period in seconds")
+    server.add_argument("--telemetry", default=None, metavar="PATH",
+                        help="record spans/metrics from the server and all "
+                             "workers to this JSONL stream")
+
+    submit = sub.add_parser(
+        "submit", help="submit a campaign spec to a running 'serve' front "
+                       "door and optionally wait for results"
+    )
+    submit.add_argument("kind", help="campaign kind (fig3, table5, table6)")
+    submit.add_argument("--url", required=True,
+                        help="front-door base URL, e.g. http://127.0.0.1:8731")
+    submit.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    submit.add_argument("--seed", type=int, default=42)
+    submit.add_argument("--params", default=None, metavar="JSON",
+                        help="kind-specific grid parameters as inline JSON, "
+                             "e.g. '{\"bitflips\": [1, 10]}'")
+    submit.add_argument("--batch-trials", type=int, default=1, metavar="N")
+    submit.add_argument("--trial-timeout", type=float, default=None,
+                        metavar="SECONDS")
+    submit.add_argument("--retries", type=int, default=1)
+    submit.add_argument("--engine", choices=["scalar", "vectorized"],
+                        default="vectorized")
+    submit.add_argument("--health-probe", action="store_true")
+    submit.add_argument("--validate-checkpoints", action="store_true")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="scheduler weight; higher runs first")
+    submit.add_argument("--max-trials", type=int, default=None, metavar="N",
+                        help="truncate the plan to its first N trials")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the campaign reaches a terminal "
+                             "state")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="--wait deadline in seconds (default 600)")
+    submit.add_argument("--results", default=None, metavar="PATH",
+                        help="with --wait: write the result JSONL stream "
+                             "to PATH ('-' for stdout)")
     return parser
+
+
+def spec_from_args(args: argparse.Namespace, kind: str) -> CampaignSpec:
+    """The canonical :class:`CampaignSpec` for a parsed command line.
+
+    Both ``run`` (local execution) and ``submit`` (HTTP) funnel through
+    here, so the same flags always describe byte-identical trial plans.
+    """
+    params = getattr(args, "params", None)
+    if isinstance(params, str):
+        params = json.loads(params)
+    return CampaignSpec(
+        kind=kind, scale=args.scale, seed=args.seed, params=params or {},
+        engine=args.engine, batch_trials=args.batch_trials,
+        health_probe=args.health_probe,
+        validate_checkpoints=args.validate_checkpoints,
+        retries=args.retries, trial_timeout=args.trial_timeout,
+        priority=getattr(args, "priority", 0),
+        max_trials=getattr(args, "max_trials", None),
+    )
 
 
 def campaign_kwargs(args: argparse.Namespace, experiment_id: str,
                     multiple: bool) -> dict:
-    """The engine kwargs for one experiment (empty for non-campaign ids)."""
+    """The engine kwargs for one experiment (empty for non-campaign ids).
+
+    Campaign-capable harnesses take the canonical spec plus the three
+    execution-site knobs (``workers``/``journal``/``resume``) that belong
+    to *where* the campaign runs rather than *what* it is.
+    """
     if experiment_id not in CAMPAIGN_EXPERIMENTS:
         return {}
     journal = args.journal
     if journal is not None and multiple:
         journal = f"{journal}.{experiment_id}"
     return {
+        "spec": spec_from_args(args, experiment_id),
         "workers": args.workers,
-        "batch_trials": args.batch_trials,
         "journal": journal,
         "resume": args.resume,
-        "trial_timeout": args.trial_timeout,
-        "retries": args.retries,
-        "engine": args.engine,
-        "health_probe": args.health_probe,
-        "validate_checkpoints": args.validate_checkpoints,
     }
 
 
@@ -169,6 +250,114 @@ def telemetry_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def serve_command(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: store + worker pool + HTTP front door.
+
+    Writes ``<root>/server.json`` (bound address, server and worker pids,
+    stop-file path) once everything is up, so scripts — the CI serve gate
+    included — can discover the ephemeral port and kill individual
+    workers.  Touching the stop file, or Ctrl-C, shuts the pool down.
+    """
+    import multiprocessing
+    import os
+    import threading
+
+    from ..serve.app import build_app_server
+    from ..serve.scheduler import run_worker
+    from ..serve.shards import write_json_atomic
+    from ..serve.store import CampaignStore
+
+    if args.telemetry:
+        # configure before forking: workers inherit the JSONL sink
+        telemetry.configure(jsonl=args.telemetry)
+    store = CampaignStore(args.root, max_active=args.max_active,
+                          shard_size=args.shard_size,
+                          lease_ttl=args.lease_ttl)
+    server = build_app_server(store, args.port, host=args.host)
+    host, port = server.server_address[:2]
+    stop_file = os.path.join(store.root, "stop")
+
+    context = multiprocessing.get_context("fork")
+    workers = []
+    for index in range(args.workers):
+        process = context.Process(
+            target=run_worker, args=(args.root,),
+            kwargs={"owner": f"worker-{index}", "poll": args.poll,
+                    "lease_ttl": args.lease_ttl,
+                    "shard_size": args.shard_size,
+                    "stop_file": stop_file},
+            name=f"serve-worker-{index}")
+        process.start()
+        workers.append(process)
+
+    write_json_atomic(os.path.join(store.root, "server.json"), {
+        "url": f"http://{host}:{port}",
+        "host": host, "port": port, "pid": os.getpid(),
+        "workers": [process.pid for process in workers],
+        "stop_file": stop_file,
+    })
+    print(f"repro.serve front door on http://{host}:{port} "
+          f"({args.workers} workers, root {store.root})", file=sys.stderr)
+
+    # serve_forever on a thread so the main thread can watch the stop file
+    server_thread = threading.Thread(target=server.serve_forever,
+                                     daemon=True)
+    server_thread.start()
+    try:
+        # keep serving HTTP even if every worker dies: their shards sit
+        # behind expiring leases and a future worker will reclaim them
+        while not os.path.exists(stop_file):
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        with open(stop_file, "w", encoding="utf-8"):
+            pass
+        for process in workers:
+            process.join(timeout=30.0)
+        for process in workers:
+            if process.is_alive():
+                process.terminate()
+        server.shutdown()
+        server.server_close()
+        if args.telemetry:
+            telemetry.shutdown()
+    return 0
+
+
+def submit_command(args: argparse.Namespace) -> int:
+    """The ``submit`` subcommand: POST a spec, optionally wait + fetch."""
+    from ..serve.client import ServeClient, ServeError
+
+    try:
+        spec = spec_from_args(args, args.kind)
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"bad spec: {exc}", file=sys.stderr)
+        return 2
+    client = ServeClient(args.url)
+    try:
+        submitted = client.submit(spec)
+    except ServeError as exc:
+        print(f"submission rejected: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(submitted))
+    if not args.wait:
+        return 0
+    campaign_id = submitted["campaign_id"]
+    status = client.wait(campaign_id, timeout=args.timeout)
+    print(json.dumps(status))
+    if args.results:
+        handle = (sys.stdout if args.results == "-"
+                  else open(args.results, "w", encoding="utf-8"))
+        try:
+            for record in client.results(campaign_id):
+                handle.write(json.dumps(record) + "\n")
+        finally:
+            if handle is not sys.stdout:
+                handle.close()
+    return 0 if status["state"] == "done" else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``repro-experiments``."""
     args = build_parser().parse_args(argv)
@@ -180,6 +369,10 @@ def main(argv: list[str] | None = None) -> int:
         return telemetry_command(args)
     if args.command == "watch":
         return watch_command(args)
+    if args.command == "serve":
+        return serve_command(args)
+    if args.command == "submit":
+        return submit_command(args)
 
     # --json keeps stdout machine-readable, so logging moves to stderr
     telemetry.setup_logging(args.verbosity,

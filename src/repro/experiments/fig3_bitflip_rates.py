@@ -40,6 +40,10 @@ from .common import (
 from .runner import TrialTask, batch_trial_kind, run_campaign, trial_kind
 from .table5_single_bitflip import SAFE_FIRST_BIT
 
+# submodule import (not the package) so registration works while
+# repro.serve's own __init__ is still executing
+from ..serve.spec import CampaignSpec, coerce_spec, plan_builder
+
 EXPERIMENT_ID = "fig3"
 TITLE = "Fig 3: Accuracy vs epochs at different bit-flip rates"
 
@@ -163,6 +167,42 @@ def build_tasks(scale, seed, pairs, bitflips, trainings, cache,
     return tasks, baselines
 
 
+def make_spec(scale="tiny", seed: int = 42, pairs=DEFAULT_PAIRS,
+              bitflips=DEFAULT_BITFLIPS, **overrides) -> CampaignSpec:
+    """The canonical :class:`CampaignSpec` for a Fig 3 campaign.
+
+    *overrides* go straight into the spec constructor (``engine``,
+    ``batch_trials``, ``priority``, ...), so CLI flags map one-to-one.
+    """
+    return CampaignSpec(
+        kind=EXPERIMENT_ID, scale=get_scale(scale).name, seed=seed,
+        params={"pairs": [list(pair) for pair in pairs],
+                "bitflips": list(bitflips)},
+        **overrides)
+
+
+def _grid(spec: CampaignSpec):
+    """Decode the spec's parameter grid (defaults filled in)."""
+    scale = get_scale(spec.scale)
+    pairs = [tuple(pair) for pair in spec.params.get("pairs", DEFAULT_PAIRS)]
+    bitflips = tuple(spec.params.get("bitflips", DEFAULT_BITFLIPS))
+    trainings = spec.params.get("trainings", scale.curve_trainings)
+    return scale, pairs, bitflips, trainings
+
+
+@plan_builder(EXPERIMENT_ID)
+def build_plan(spec: CampaignSpec, cache) -> list[TrialTask]:
+    """The registered spec -> trial-plan builder (pure in (spec, cache))."""
+    scale, pairs, bitflips, trainings = _grid(spec)
+    tasks, _ = build_tasks(scale, spec.seed, pairs, bitflips, trainings,
+                           cache, engine=spec.engine,
+                           health_probe=spec.health_probe,
+                           validate_checkpoints=spec.validate_checkpoints)
+    if spec.max_trials is not None:
+        tasks = tasks[: spec.max_trials]
+    return tasks
+
+
 def run(scale="tiny", seed: int = 42, pairs=DEFAULT_PAIRS,
         bitflips=DEFAULT_BITFLIPS, cache=None, workers: int = 1,
         journal=None, resume: bool = False,
@@ -170,19 +210,36 @@ def run(scale="tiny", seed: int = 42, pairs=DEFAULT_PAIRS,
         retries: int = 1, engine: str = "vectorized",
         health_probe: bool = False,
         validate_checkpoints: bool = False,
-        batch_trials: int = 1) -> ExperimentResult:
-    """Regenerate Fig 3 (accuracy curves per flip rate)."""
-    scale = get_scale(scale)
+        batch_trials: int = 1, spec=None) -> ExperimentResult:
+    """Regenerate Fig 3 (accuracy curves per flip rate).
+
+    Pass ``spec`` (a :class:`CampaignSpec`; ad-hoc dicts are deprecated)
+    to pin the whole campaign in one object — the legacy keyword grid is
+    folded into an equivalent spec otherwise, so both invocation styles
+    build byte-identical trial plans.
+    """
+    if spec is None:
+        spec = make_spec(scale=scale, seed=seed, pairs=pairs,
+                         bitflips=bitflips, engine=engine,
+                         health_probe=health_probe,
+                         validate_checkpoints=validate_checkpoints,
+                         retries=retries, trial_timeout=trial_timeout,
+                         batch_trials=batch_trials)
+    else:
+        spec = coerce_spec(spec)
     cache = cache or DEFAULT_CACHE
-    trainings = scale.curve_trainings
+    scale, pairs, bitflips, trainings = _grid(spec)
+    seed = spec.seed
 
     tasks, baselines = build_tasks(scale, seed, pairs, bitflips, trainings,
-                                   cache, engine=engine,
-                                   health_probe=health_probe,
-                                   validate_checkpoints=validate_checkpoints)
+                                   cache, engine=spec.engine,
+                                   health_probe=spec.health_probe,
+                                   validate_checkpoints=(
+                                       spec.validate_checkpoints))
+    if spec.max_trials is not None:
+        tasks = tasks[: spec.max_trials]
     campaign = run_campaign(tasks, workers=workers, journal=journal,
-                            resume=resume, trial_timeout=trial_timeout,
-                            retries=retries, batch_trials=batch_trials)
+                            resume=resume, **spec.runner_kwargs())
     by_cell = group_records(campaign.record_dicts(),
                             ("framework", "model", "flips"))
 
@@ -216,5 +273,6 @@ def run(scale="tiny", seed: int = 42, pairs=DEFAULT_PAIRS,
         headers=["panel", "series", "final accuracy"], rows=rows,
         rendered=rendered,
         extra={"scale": scale.name, "curves": panels,
-               "campaign": campaign.stats.as_dict()},
+               "campaign": campaign.stats.as_dict(),
+               "spec": spec.to_dict()},
     )

@@ -38,6 +38,10 @@ from .common import (
 )
 from .runner import TrialTask, batch_trial_kind, run_campaign, trial_kind
 
+# submodule import (not the package) so registration works while
+# repro.serve's own __init__ is still executing
+from ..serve.spec import CampaignSpec, coerce_spec, plan_builder
+
 EXPERIMENT_ID = "table5"
 TITLE = "Table V: Model sensitivity to 1 bit-flip (RWC)"
 
@@ -163,6 +167,36 @@ def build_tasks(scale, seed, frameworks, models, cache,
     return tasks, baselines
 
 
+def make_spec(scale="tiny", seed: int = 42, frameworks=DEFAULT_FRAMEWORKS,
+              models=DEFAULT_MODELS, **overrides) -> CampaignSpec:
+    """The canonical :class:`CampaignSpec` for a Table V campaign."""
+    return CampaignSpec(
+        kind=EXPERIMENT_ID, scale=get_scale(scale).name, seed=seed,
+        params={"frameworks": list(frameworks), "models": list(models)},
+        **overrides)
+
+
+def _grid(spec: CampaignSpec):
+    """Decode the spec's parameter grid (defaults filled in)."""
+    scale = get_scale(spec.scale)
+    frameworks = tuple(spec.params.get("frameworks", DEFAULT_FRAMEWORKS))
+    models = tuple(spec.params.get("models", DEFAULT_MODELS))
+    return scale, frameworks, models
+
+
+@plan_builder(EXPERIMENT_ID)
+def build_plan(spec: CampaignSpec, cache) -> list[TrialTask]:
+    """The registered spec -> trial-plan builder (pure in (spec, cache))."""
+    scale, frameworks, models = _grid(spec)
+    tasks, _ = build_tasks(scale, spec.seed, frameworks, models, cache,
+                           engine=spec.engine,
+                           health_probe=spec.health_probe,
+                           validate_checkpoints=spec.validate_checkpoints)
+    if spec.max_trials is not None:
+        tasks = tasks[: spec.max_trials]
+    return tasks
+
+
 def run(scale="tiny", seed: int = 42,
         frameworks=DEFAULT_FRAMEWORKS, models=DEFAULT_MODELS,
         cache=None, workers: int = 1, journal=None, resume: bool = False,
@@ -170,18 +204,37 @@ def run(scale="tiny", seed: int = 42,
         retries: int = 1, engine: str = "vectorized",
         health_probe: bool = False,
         validate_checkpoints: bool = False,
-        batch_trials: int = 1) -> ExperimentResult:
-    """Regenerate Table V (RWC under one bit-flip) over the grid."""
-    scale = get_scale(scale)
+        batch_trials: int = 1, spec=None) -> ExperimentResult:
+    """Regenerate Table V (RWC under one bit-flip) over the grid.
+
+    Pass ``spec`` (a :class:`CampaignSpec`; ad-hoc dicts are deprecated)
+    to pin the whole campaign in one object — the legacy keyword grid is
+    folded into an equivalent spec otherwise, so both invocation styles
+    build byte-identical trial plans.
+    """
+    if spec is None:
+        spec = make_spec(scale=scale, seed=seed, frameworks=frameworks,
+                         models=models, engine=engine,
+                         health_probe=health_probe,
+                         validate_checkpoints=validate_checkpoints,
+                         retries=retries, trial_timeout=trial_timeout,
+                         batch_trials=batch_trials)
+    else:
+        spec = coerce_spec(spec)
     cache = cache or DEFAULT_CACHE
+    scale, frameworks, models = _grid(spec)
+    seed = spec.seed
     trainings = scale.trainings
 
     tasks, baselines = build_tasks(scale, seed, frameworks, models, cache,
-                                   engine=engine, health_probe=health_probe,
-                                   validate_checkpoints=validate_checkpoints)
+                                   engine=spec.engine,
+                                   health_probe=spec.health_probe,
+                                   validate_checkpoints=(
+                                       spec.validate_checkpoints))
+    if spec.max_trials is not None:
+        tasks = tasks[: spec.max_trials]
     campaign = run_campaign(tasks, workers=workers, journal=journal,
-                            resume=resume, trial_timeout=trial_timeout,
-                            retries=retries, batch_trials=batch_trials)
+                            resume=resume, **spec.runner_kwargs())
     by_cell = group_records(campaign.record_dicts(), ("model", "framework"))
 
     headers = ["Model", "Trainings"]
@@ -207,5 +260,6 @@ def run(scale="tiny", seed: int = 42,
         experiment_id=EXPERIMENT_ID, title=TITLE, headers=headers, rows=rows,
         rendered=render_table(headers, rows, title=TITLE),
         extra={"scale": scale.name,
-               "campaign": campaign.stats.as_dict()},
+               "campaign": campaign.stats.as_dict(),
+               "spec": spec.to_dict()},
     )

@@ -35,6 +35,10 @@ from .common import (
 )
 from .runner import TrialTask, batch_trial_kind, run_campaign, trial_kind
 
+# submodule import (not the package) so registration works while
+# repro.serve's own __init__ is still executing
+from ..serve.spec import CampaignSpec, coerce_spec, plan_builder
+
 EXPERIMENT_ID = "table6"
 TITLE = "Table VI: Multi-bit mask applied to DL framework training"
 
@@ -161,6 +165,40 @@ def build_tasks(scale, seed, frameworks, model, masks, trainings, cache,
     return tasks, baselines
 
 
+def make_spec(scale="tiny", seed: int = 42, frameworks=DEFAULT_FRAMEWORKS,
+              model: str = DEFAULT_MODEL, masks=PAPER_MASKS,
+              **overrides) -> CampaignSpec:
+    """The canonical :class:`CampaignSpec` for a Table VI campaign."""
+    return CampaignSpec(
+        kind=EXPERIMENT_ID, scale=get_scale(scale).name, seed=seed,
+        params={"frameworks": list(frameworks), "model": model,
+                "masks": [[bits, mask] for bits, mask in masks]},
+        **overrides)
+
+
+def _grid(spec: CampaignSpec):
+    """Decode the spec's parameter grid (defaults filled in)."""
+    scale = get_scale(spec.scale)
+    frameworks = tuple(spec.params.get("frameworks", DEFAULT_FRAMEWORKS))
+    model = spec.params.get("model", DEFAULT_MODEL)
+    masks = [tuple(row) for row in spec.params.get("masks", PAPER_MASKS)]
+    trainings = spec.params.get("trainings", min(scale.trainings, 10))
+    return scale, frameworks, model, masks, trainings
+
+
+@plan_builder(EXPERIMENT_ID)
+def build_plan(spec: CampaignSpec, cache) -> list[TrialTask]:
+    """The registered spec -> trial-plan builder (pure in (spec, cache))."""
+    scale, frameworks, model, masks, trainings = _grid(spec)
+    tasks, _ = build_tasks(scale, spec.seed, frameworks, model, masks,
+                           trainings, cache, engine=spec.engine,
+                           health_probe=spec.health_probe,
+                           validate_checkpoints=spec.validate_checkpoints)
+    if spec.max_trials is not None:
+        tasks = tasks[: spec.max_trials]
+    return tasks
+
+
 def run(scale="tiny", seed: int = 42, frameworks=DEFAULT_FRAMEWORKS,
         model: str = DEFAULT_MODEL, masks=PAPER_MASKS,
         cache=None, workers: int = 1, journal=None, resume: bool = False,
@@ -168,19 +206,36 @@ def run(scale="tiny", seed: int = 42, frameworks=DEFAULT_FRAMEWORKS,
         retries: int = 1, engine: str = "vectorized",
         health_probe: bool = False,
         validate_checkpoints: bool = False,
-        batch_trials: int = 1) -> ExperimentResult:
-    """Regenerate Table VI (multi-bit DRAM masks)."""
-    scale = get_scale(scale)
+        batch_trials: int = 1, spec=None) -> ExperimentResult:
+    """Regenerate Table VI (multi-bit DRAM masks).
+
+    Pass ``spec`` (a :class:`CampaignSpec`; ad-hoc dicts are deprecated)
+    to pin the whole campaign in one object — the legacy keyword grid is
+    folded into an equivalent spec otherwise, so both invocation styles
+    build byte-identical trial plans.
+    """
+    if spec is None:
+        spec = make_spec(scale=scale, seed=seed, frameworks=frameworks,
+                         model=model, masks=masks, engine=engine,
+                         health_probe=health_probe,
+                         validate_checkpoints=validate_checkpoints,
+                         retries=retries, trial_timeout=trial_timeout,
+                         batch_trials=batch_trials)
+    else:
+        spec = coerce_spec(spec)
     cache = cache or DEFAULT_CACHE
-    trainings = min(scale.trainings, 10)
+    scale, frameworks, model, masks, trainings = _grid(spec)
+    seed = spec.seed
 
     tasks, baselines = build_tasks(scale, seed, frameworks, model, masks,
-                                   trainings, cache, engine=engine,
-                                   health_probe=health_probe,
-                                   validate_checkpoints=validate_checkpoints)
+                                   trainings, cache, engine=spec.engine,
+                                   health_probe=spec.health_probe,
+                                   validate_checkpoints=(
+                                       spec.validate_checkpoints))
+    if spec.max_trials is not None:
+        tasks = tasks[: spec.max_trials]
     campaign = run_campaign(tasks, workers=workers, journal=journal,
-                            resume=resume, trial_timeout=trial_timeout,
-                            retries=retries, batch_trials=batch_trials)
+                            resume=resume, **spec.runner_kwargs())
     by_cell = group_records(campaign.record_dicts(), ("framework", "mask"))
 
     headers = ["Bits", "Mask"]
@@ -217,5 +272,6 @@ def run(scale="tiny", seed: int = 42, frameworks=DEFAULT_FRAMEWORKS,
         rendered=render_table(headers, rows, title=TITLE),
         extra={"scale": scale.name, "model": model,
                "weights_per_training": WEIGHTS_PER_TRAINING,
-               "campaign": campaign.stats.as_dict()},
+               "campaign": campaign.stats.as_dict(),
+               "spec": spec.to_dict()},
     )

@@ -20,32 +20,27 @@ from __future__ import annotations
 
 import argparse
 import json
-import math
 import os
 import sys
 import threading
 import time
 from dataclasses import dataclass, field
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from http.server import ThreadingHTTPServer
 
 from ..health.outcome import CRASHED, OUTCOMES
+from ..serve.httpd import (
+    PROMETHEUS_CTYPE,
+    Route,
+    json_response,
+    json_safe as _json_safe,
+    text_response,
+)
+from ..serve.httpd import build_server as _build_http_server
 from ..telemetry.export import prom_sample, prometheus_exposition
 
 #: A worker slot counts as active while its newest telemetry event is
 #: younger than this (seconds).
 ACTIVE_WINDOW = 15.0
-
-
-def _json_safe(value):
-    """*value* with non-finite floats replaced by None — `/health` must be
-    strict JSON (literal NaN chokes non-Python consumers)."""
-    if isinstance(value, float) and not math.isfinite(value):
-        return None
-    if isinstance(value, dict):
-        return {key: _json_safe(val) for key, val in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_json_safe(val) for val in value]
-    return value
 
 
 class JsonlTail:
@@ -359,37 +354,32 @@ def render_frame(snapshot: WatchSnapshot) -> list[str]:
 
 
 # ---------------------------------------------------------------------------
-# --serve: /metrics and /health over stdlib http.server
+# --serve: /metrics and /health over the shared repro.serve router
 # ---------------------------------------------------------------------------
+
+def watch_routes(watch: CampaignWatch) -> list[Route]:
+    """The watcher's route table (shared router from
+    :mod:`repro.serve.httpd`, so behaviour matches the campaign front
+    door)."""
+    def health(request):
+        return json_response(watch.poll().to_json())
+
+    def metrics(request):
+        return text_response(watch.prometheus(),
+                             content_type=PROMETHEUS_CTYPE)
+
+    return [
+        Route("GET", "/", health),
+        Route("GET", "/health", health),
+        Route("GET", "/metrics", metrics),
+    ]
+
 
 def build_server(watch: CampaignWatch, port: int,
                  host: str = "127.0.0.1") -> ThreadingHTTPServer:
     """A threading HTTP server exposing *watch* (not yet serving;
     call ``serve_forever`` — typically on a daemon thread)."""
-
-    class Handler(BaseHTTPRequestHandler):
-        def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
-            path = self.path.split("?", 1)[0].rstrip("/") or "/"
-            if path == "/metrics":
-                body = watch.prometheus().encode()
-                ctype = "text/plain; version=0.0.4; charset=utf-8"
-            elif path in ("/", "/health"):
-                body = (json.dumps(watch.poll().to_json(), indent=2)
-                        + "\n").encode()
-                ctype = "application/json"
-            else:
-                self.send_error(404, "unknown path (try /metrics, /health)")
-                return
-            self.send_response(200)
-            self.send_header("Content-Type", ctype)
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
-            self.wfile.write(body)
-
-        def log_message(self, *args) -> None:  # quiet by default
-            pass
-
-    return ThreadingHTTPServer((host, port), Handler)
+    return _build_http_server(watch_routes(watch), port, host=host)
 
 
 # ---------------------------------------------------------------------------

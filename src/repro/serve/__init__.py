@@ -1,0 +1,52 @@
+"""Injection-as-a-service: sharded campaign scheduling behind an HTTP API.
+
+The single-host campaign runner (:mod:`repro.experiments.runner`) executes
+one campaign in one process tree.  This package scales the same trials out
+and up:
+
+* :mod:`~repro.serve.spec` — :class:`CampaignSpec`, the one canonical,
+  versioned, serializable description of a campaign; CLI flags, harness
+  ``run()`` calls, and HTTP submissions all reduce to it, and all build
+  byte-identical trial plans from it.
+* :mod:`~repro.serve.shards` / :mod:`~repro.serve.store` — the on-disk
+  work queue: plans cut into shard manifests, claimed via expiring
+  heartbeat leases, journaled per shard, resumable after ``kill -9``.
+* :mod:`~repro.serve.scheduler` — pull-based workers with priority-tiered
+  fair round-robin across active campaigns.
+* :mod:`~repro.serve.app` / :mod:`~repro.serve.httpd` /
+  :mod:`~repro.serve.client` — the stdlib HTTP front door
+  (``POST /campaigns`` …) plus the shared router the campaign watcher
+  also uses.
+
+Start a service with ``repro-experiments serve --root DIR --workers N``
+and submit with ``repro-experiments submit`` (or plain ``curl``).
+"""
+
+from .client import ServeClient, ServeError
+from .scheduler import FairScheduler, ServeWorker, run_worker
+from .spec import (
+    SPEC_VERSION,
+    CampaignSpec,
+    coerce_spec,
+    plan_builder,
+    registered_kinds,
+    run_spec,
+)
+from .store import BacklogFull, CampaignStore, UnknownCampaign
+
+__all__ = [
+    "SPEC_VERSION",
+    "BacklogFull",
+    "CampaignSpec",
+    "CampaignStore",
+    "FairScheduler",
+    "ServeClient",
+    "ServeError",
+    "ServeWorker",
+    "UnknownCampaign",
+    "coerce_spec",
+    "plan_builder",
+    "registered_kinds",
+    "run_spec",
+    "run_worker",
+]

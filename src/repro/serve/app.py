@@ -1,0 +1,143 @@
+"""The injection-as-a-service HTTP front door.
+
+Routes (all JSON unless noted)::
+
+    POST /campaigns               submit a CampaignSpec document
+    GET  /campaigns               list campaigns with status rollups
+    GET  /campaigns/{id}          one campaign's status/progress rollup
+    GET  /campaigns/{id}/spec     the spec as submitted
+    GET  /campaigns/{id}/results  the journal records, streamed JSONL
+    POST /campaigns/{id}/cancel   stop scheduling the campaign's shards
+    GET  /metrics                 Prometheus text exposition
+    GET  /health                  liveness + queue summary
+
+Built on the shared :mod:`repro.serve.httpd` router (the same plumbing
+``repro-experiments watch --serve`` uses), over a
+:class:`~repro.serve.store.CampaignStore` that any number of worker
+processes — local or on other hosts sharing the root — drain
+concurrently.
+"""
+
+from __future__ import annotations
+
+from http.server import ThreadingHTTPServer
+
+from .httpd import (
+    PROMETHEUS_CTYPE,
+    Request,
+    Response,
+    Route,
+    build_server,
+    error_response,
+    json_response,
+    text_response,
+)
+from .spec import CampaignSpec
+from .store import BacklogFull, CampaignStore, UnknownCampaign
+
+
+class ServeApp:
+    """Route handlers bound to one campaign store."""
+
+    def __init__(self, store: CampaignStore):
+        self.store = store
+
+    # -- handlers ----------------------------------------------------------
+
+    def submit(self, request: Request) -> Response:
+        try:
+            spec = CampaignSpec.from_dict(request.json())
+            campaign_id = self.store.submit(spec)
+        except BacklogFull as exc:
+            return error_response(429, str(exc))
+        except ValueError as exc:
+            return error_response(400, str(exc))
+        return json_response({
+            "campaign_id": campaign_id,
+            "status_url": f"/campaigns/{campaign_id}",
+            "results_url": f"/campaigns/{campaign_id}/results",
+        }, status=201)
+
+    def list_campaigns(self, request: Request) -> Response:
+        return json_response({
+            "campaigns": [self.store.status(cid)
+                          for cid in self.store.list_campaigns()],
+        })
+
+    def status(self, request: Request) -> Response:
+        try:
+            return json_response(
+                self.store.status(request.params["campaign_id"]))
+        except UnknownCampaign:
+            return self._unknown(request)
+
+    def spec(self, request: Request) -> Response:
+        try:
+            return json_response(
+                self.store.spec(request.params["campaign_id"]).to_dict())
+        except UnknownCampaign:
+            return self._unknown(request)
+
+    def results(self, request: Request) -> Response:
+        cid = request.params["campaign_id"]
+        try:
+            # the stream is lazy; probe eagerly so a bad id 404s instead
+            # of dying after the 200 header is already on the wire
+            self.store.spec(cid)
+        except UnknownCampaign:
+            return self._unknown(request)
+        lines = self.store.results(cid)
+        return Response(
+            status=200,
+            body=(line.encode("utf-8") for line in lines),
+            content_type="application/x-ndjson",
+        )
+
+    def cancel(self, request: Request) -> Response:
+        try:
+            return json_response(
+                self.store.cancel(request.params["campaign_id"]))
+        except UnknownCampaign:
+            return self._unknown(request)
+
+    def metrics(self, request: Request) -> Response:
+        return text_response(self.store.prometheus(),
+                             content_type=PROMETHEUS_CTYPE)
+
+    def health(self, request: Request) -> Response:
+        campaigns = self.store.list_campaigns()
+        active = sum(
+            1 for cid in campaigns
+            if self.store.coarse_state(cid) not in
+            ("done", "cancelled", "failed"))
+        return json_response({
+            "status": "ok",
+            "campaigns": len(campaigns),
+            "active": active,
+            "max_active": self.store.max_active,
+        })
+
+    def _unknown(self, request: Request) -> Response:
+        return error_response(
+            404, f"unknown campaign {request.params.get('campaign_id')!r}")
+
+    # -- wiring ------------------------------------------------------------
+
+    def routes(self) -> list[Route]:
+        return [
+            Route("POST", "/campaigns", self.submit),
+            Route("GET", "/campaigns", self.list_campaigns),
+            Route("GET", "/campaigns/{campaign_id}", self.status),
+            Route("GET", "/campaigns/{campaign_id}/spec", self.spec),
+            Route("GET", "/campaigns/{campaign_id}/results", self.results),
+            Route("POST", "/campaigns/{campaign_id}/cancel", self.cancel),
+            Route("GET", "/metrics", self.metrics),
+            Route("GET", "/health", self.health),
+            Route("GET", "/", self.health),
+        ]
+
+
+def build_app_server(store: CampaignStore, port: int,
+                     host: str = "127.0.0.1") -> ThreadingHTTPServer:
+    """The front-door server (not yet serving; call ``serve_forever``)."""
+    return build_server(ServeApp(store).routes(), port, host=host)

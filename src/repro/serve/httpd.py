@@ -1,0 +1,199 @@
+"""Shared stdlib HTTP plumbing for the watcher and the campaign front door.
+
+One tested path for everything HTTP in this repo: a tiny router over
+``http.server`` with method+pattern matching, JSON helpers, and optional
+chunk-streamed bodies.  ``repro-experiments watch --serve`` and the
+:mod:`repro.serve.app` front door both build their servers here, so the
+threading model, 404 behaviour, and error handling cannot drift apart.
+
+Deliberately dependency-free: campaigns run on HPC login nodes and CI
+runners where ``http.server`` is the only web stack guaranteed present.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import traceback
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Iterable, Iterator
+from urllib.parse import parse_qs, urlsplit
+
+#: Bodies larger than one chunk stream in pieces of this many bytes.
+STREAM_CHUNK = 64 * 1024
+
+
+def json_safe(value):
+    """*value* with non-finite floats replaced by ``None`` — response
+    bodies must be strict JSON (literal ``NaN`` chokes non-Python
+    consumers)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: json_safe(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(val) for val in value]
+    return value
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request as seen by a route handler."""
+
+    method: str
+    path: str
+    params: dict[str, str] = field(default_factory=dict)  # pattern captures
+    query: dict[str, list[str]] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self):
+        """The request body parsed as JSON (raises ``ValueError`` on
+        garbage — handlers translate that to a 400)."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") \
+                from None
+
+
+@dataclass
+class Response:
+    """What a route handler returns.
+
+    ``body`` may be bytes/str (sent with ``Content-Length``) or an
+    iterator of bytes (streamed in chunks and terminated by closing the
+    connection — fine under HTTP/1.0, which ``BaseHTTPRequestHandler``
+    speaks by default).
+    """
+
+    status: int = 200
+    body: bytes | str | Iterator[bytes] = b""
+    content_type: str = "application/json"
+
+
+def json_response(payload, status: int = 200) -> Response:
+    """A JSON :class:`Response` with non-finite floats nulled out."""
+    body = json.dumps(json_safe(payload), indent=2) + "\n"
+    return Response(status=status, body=body)
+
+
+def error_response(status: int, message: str) -> Response:
+    return json_response({"error": message}, status=status)
+
+
+def text_response(text: str, content_type: str = "text/plain; charset=utf-8",
+                  status: int = 200) -> Response:
+    return Response(status=status, body=text, content_type=content_type)
+
+
+#: Prometheus' registered exposition content type.
+PROMETHEUS_CTYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+@dataclass(frozen=True)
+class Route:
+    """``(method, pattern, handler)``.
+
+    *pattern* is a literal path with ``{name}`` placeholders capturing one
+    non-slash segment each — e.g. ``/campaigns/{campaign_id}/results``.
+    Captures land in :attr:`Request.params`.
+    """
+
+    method: str
+    pattern: str
+    handler: Callable[[Request], Response]
+
+    def compile(self) -> "re.Pattern[str]":
+        parts = []
+        for piece in re.split(r"(\{[a-zA-Z_][a-zA-Z0-9_]*\})", self.pattern):
+            if piece.startswith("{") and piece.endswith("}"):
+                parts.append(f"(?P<{piece[1:-1]}>[^/]+)")
+            else:
+                parts.append(re.escape(piece))
+        return re.compile("^" + "".join(parts) + "$")
+
+
+def _normalize(path: str) -> str:
+    """Strip the query string and a trailing slash (except for ``/``)."""
+    bare = urlsplit(path).path
+    return bare.rstrip("/") or "/"
+
+
+def build_server(routes: Iterable[Route], port: int,
+                 host: str = "127.0.0.1") -> ThreadingHTTPServer:
+    """A threading HTTP server dispatching to *routes* (not yet serving;
+    call ``serve_forever`` — typically on a daemon thread).
+
+    Unmatched paths get a 404 listing the known routes; a matched path
+    with the wrong method gets a 405; a handler exception becomes a 500
+    with the traceback in the JSON body (these are trusted-operator
+    endpoints, and a swallowed traceback costs debugging time).
+    """
+    table = [(route.method.upper(), route.compile(), route.handler)
+             for route in routes]
+    known = sorted({route.pattern for route in routes})
+
+    class Handler(BaseHTTPRequestHandler):
+        def _dispatch(self, method: str) -> None:
+            path = _normalize(self.path)
+            matched_other_method = False
+            for route_method, pattern, handler in table:
+                match = pattern.match(path)
+                if match is None:
+                    continue
+                if route_method != method:
+                    matched_other_method = True
+                    continue
+                length = int(self.headers.get("Content-Length") or 0)
+                request = Request(
+                    method=method, path=path, params=match.groupdict(),
+                    query=parse_qs(urlsplit(self.path).query),
+                    body=self.rfile.read(length) if length else b"",
+                )
+                try:
+                    response = handler(request)
+                except Exception:
+                    response = error_response(
+                        500, traceback.format_exc(limit=8))
+                self._send(response)
+                return
+            if matched_other_method:
+                self._send(error_response(405, f"method {method} not "
+                                               f"allowed on {path}"))
+            else:
+                self._send(error_response(
+                    404, f"unknown path {path} (routes: {', '.join(known)})"))
+
+        def _send(self, response: Response) -> None:
+            body = response.body
+            if isinstance(body, str):
+                body = body.encode("utf-8")
+            self.send_response(response.status)
+            self.send_header("Content-Type", response.content_type)
+            if isinstance(body, bytes):
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+                return
+            # streamed body: no Content-Length; HTTP/1.0 semantics mean
+            # the closed connection marks the end of the stream
+            self.end_headers()
+            try:
+                for chunk in body:
+                    if chunk:
+                        self.wfile.write(chunk)
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # client hung up mid-stream
+
+        def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+            self._dispatch("GET")
+
+        def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+            self._dispatch("POST")
+
+        def log_message(self, *args) -> None:  # quiet by default
+            pass
+
+    return ThreadingHTTPServer((host, port), Handler)

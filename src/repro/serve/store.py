@@ -1,0 +1,443 @@
+"""The filesystem campaign store: submissions, plans, shards, results.
+
+One directory per campaign holds everything a fleet of workers (on any
+host sharing the directory) needs::
+
+    <root>/campaigns/<campaign_id>/
+        spec.json               # the CampaignSpec, verbatim
+        state.json              # {"state", "error"?} — atomic replace
+        plan.json               # shard index; presence == planning done
+        shards/shard-0000.json  # manifests (atomic temp+rename)
+        journals/shard-0000.jsonl   # per-shard trial journals
+        journals/shard-0000.done    # completion marker (cache; journals
+                                    # are the ground truth)
+        leases/plan.lease, leases/shard-0000.lease
+
+The store is deliberately dumb about scheduling — it answers "what exists,
+what's claimable, what's done" and leaves fairness to
+:mod:`repro.serve.scheduler`.  All mutation uses the atomic patterns from
+:mod:`repro.serve.shards`, so any number of workers and front doors can
+share a root without coordination beyond the leases.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Iterator
+
+from .. import telemetry
+from ..experiments.runner import Journal
+from ..telemetry.export import prom_sample
+from .shards import (
+    ShardLease,
+    cut_shards,
+    ensure_dir,
+    manifest_payload,
+    manifest_tasks,
+    read_json,
+    shard_name,
+    write_json_atomic,
+)
+from .spec import CampaignSpec, PLAN_BUILDERS, coerce_spec, ensure_builders
+
+log = logging.getLogger("repro.serve.store")
+
+#: Campaign lifecycle states surfaced by :meth:`CampaignStore.status`.
+STATES = ("queued", "planning", "running", "done", "cancelled", "failed")
+
+
+class BacklogFull(RuntimeError):
+    """Submission rejected: the store's active-campaign queue is at its
+    bound (backpressure — the front door turns this into a 429)."""
+
+
+class UnknownCampaign(KeyError):
+    """No campaign with that id in this store."""
+
+
+class CampaignStore:
+    """CRUD + rollups over a shared campaign root directory."""
+
+    def __init__(self, root: str, max_active: int = 64,
+                 shard_size: int = 8, lease_ttl: float = 30.0):
+        self.root = root
+        self.max_active = max_active
+        self.shard_size = shard_size
+        self.lease_ttl = lease_ttl
+        ensure_dir(self._campaigns_dir())
+        self._spec_cache: dict[str, CampaignSpec] = {}
+
+    # -- paths -------------------------------------------------------------
+
+    def _campaigns_dir(self) -> str:
+        return os.path.join(self.root, "campaigns")
+
+    def campaign_dir(self, campaign_id: str) -> str:
+        return os.path.join(self._campaigns_dir(), campaign_id)
+
+    def _spec_path(self, cid: str) -> str:
+        return os.path.join(self.campaign_dir(cid), "spec.json")
+
+    def _state_path(self, cid: str) -> str:
+        return os.path.join(self.campaign_dir(cid), "state.json")
+
+    def _plan_path(self, cid: str) -> str:
+        return os.path.join(self.campaign_dir(cid), "plan.json")
+
+    def _manifest_path(self, cid: str, shard_id: str) -> str:
+        return os.path.join(self.campaign_dir(cid), "shards",
+                            f"{shard_id}.json")
+
+    def shard_journal_path(self, cid: str, shard_id: str) -> str:
+        return os.path.join(self.campaign_dir(cid), "journals",
+                            f"{shard_id}.jsonl")
+
+    def _done_marker(self, cid: str, shard_id: str) -> str:
+        return os.path.join(self.campaign_dir(cid), "journals",
+                            f"{shard_id}.done")
+
+    def _lease(self, cid: str, name: str, owner: str) -> ShardLease:
+        return ShardLease(
+            os.path.join(self.campaign_dir(cid), "leases", f"{name}.lease"),
+            owner=owner, ttl=self.lease_ttl)
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, spec) -> str:
+        """Persist *spec* as a new campaign; returns its id.
+
+        Raises ``ValueError`` for an invalid spec or unregistered kind and
+        :class:`BacklogFull` when ``max_active`` campaigns are already
+        queued or running (bounded-queue backpressure).
+        """
+        spec = coerce_spec(spec)
+        ensure_builders()
+        if spec.kind not in PLAN_BUILDERS:
+            raise ValueError(
+                f"no plan builder registered for kind {spec.kind!r}; "
+                f"registered: {sorted(PLAN_BUILDERS)}")
+        active = sum(1 for cid in self.list_campaigns()
+                     if self.coarse_state(cid) not in
+                     ("done", "cancelled", "failed"))
+        if active >= self.max_active:
+            raise BacklogFull(
+                f"{active} campaigns already active (max_active="
+                f"{self.max_active}); retry after some complete")
+        cid = self._allocate_id(spec.kind)
+        write_json_atomic(self._spec_path(cid), spec.to_dict())
+        write_json_atomic(self._state_path(cid), {"state": "queued"})
+        telemetry.count("serve.campaigns_submitted")
+        log.info("campaign %s submitted (kind=%s scale=%s)", cid, spec.kind,
+                 spec.scale)
+        return cid
+
+    def _allocate_id(self, kind: str) -> str:
+        """A unique, submission-ordered id via atomic ``mkdir``.
+
+        ``mkdir`` without ``exist_ok`` is the one-winner primitive: racing
+        submitters that compute the same sequence number collide on the
+        directory and retry with the next one.
+        """
+        while True:
+            seq = 1 + max(
+                (int(name.split("-", 1)[0])
+                 for name in self.list_campaigns()
+                 if name.split("-", 1)[0].isdigit()),
+                default=0)
+            cid = f"{seq:05d}-{kind}"
+            try:
+                os.mkdir(self.campaign_dir(cid))
+            except FileExistsError:
+                continue
+            return cid
+
+    # -- reads -------------------------------------------------------------
+
+    def list_campaigns(self) -> list[str]:
+        try:
+            names = os.listdir(self._campaigns_dir())
+        except FileNotFoundError:
+            return []
+        return sorted(name for name in names
+                      if os.path.isfile(self._spec_path(name)))
+
+    def spec(self, cid: str) -> CampaignSpec:
+        cached = self._spec_cache.get(cid)
+        if cached is not None:
+            return cached
+        payload = read_json(self._spec_path(cid))
+        if payload is None:
+            raise UnknownCampaign(cid)
+        spec = CampaignSpec.from_dict(payload)
+        self._spec_cache[cid] = spec  # specs are immutable once submitted
+        return spec
+
+    def plan(self, cid: str) -> dict | None:
+        return read_json(self._plan_path(cid))
+
+    def load_manifest(self, cid: str, shard_id: str) -> dict:
+        manifest = read_json(self._manifest_path(cid, shard_id))
+        if manifest is None:
+            raise UnknownCampaign(f"{cid}/{shard_id}")
+        return manifest
+
+    def coarse_state(self, cid: str) -> str:
+        state = read_json(self._state_path(cid)) or {}
+        return state.get("state", "queued")
+
+    def is_cancelled(self, cid: str) -> bool:
+        return self.coarse_state(cid) == "cancelled"
+
+    # -- planning ----------------------------------------------------------
+
+    def claim_planning(self, cid: str, owner: str) -> ShardLease | None:
+        """The planning lease, or ``None`` if planned/claimed/cancelled."""
+        if self.plan(cid) is not None or self.coarse_state(cid) in (
+                "cancelled", "failed"):
+            return None
+        lease = self._lease(cid, "plan", owner)
+        return lease if lease.try_claim() else None
+
+    def build_plan(self, cid: str, cache=None) -> dict:
+        """Build and persist the campaign's shard plan (caller holds the
+        planning lease).
+
+        A planning failure (unknown params, builder crash) marks the
+        campaign ``failed`` with the error text instead of leaving it
+        queued forever.
+        """
+        spec = self.spec(cid)
+        try:
+            tasks = spec.build_tasks(cache)
+            shards = cut_shards(tasks, self.shard_size)
+            for index, shard_tasks in enumerate(shards):
+                sid = shard_name(index)
+                write_json_atomic(self._manifest_path(cid, sid),
+                                  manifest_payload(cid, sid, shard_tasks))
+            plan = {
+                "total": len(tasks),
+                "shard_size": self.shard_size,
+                "shards": [{"shard_id": shard_name(i), "count": len(s)}
+                           for i, s in enumerate(shards)],
+            }
+            write_json_atomic(self._plan_path(cid), plan)
+        except Exception as exc:
+            write_json_atomic(self._state_path(cid),
+                              {"state": "failed", "error": repr(exc)})
+            telemetry.count("serve.plan_failures")
+            log.warning("campaign %s planning failed: %r", cid, exc)
+            raise
+        write_json_atomic(self._state_path(cid), {"state": "running"})
+        telemetry.count("serve.campaigns_planned")
+        telemetry.count("serve.shards_planned", len(plan["shards"]))
+        log.info("campaign %s planned: %d trials in %d shards", cid,
+                 plan["total"], len(plan["shards"]))
+        return plan
+
+    # -- shard claims ------------------------------------------------------
+
+    def shard_ids(self, cid: str) -> list[str]:
+        plan = self.plan(cid)
+        if plan is None:
+            return []
+        return [entry["shard_id"] for entry in plan["shards"]]
+
+    def shard_done(self, cid: str, shard_id: str) -> bool:
+        """Whether the shard's journal covers its manifest.
+
+        The ``.done`` marker is a cache; the journal is the truth (a
+        marker cannot exist without the journal record set that justified
+        it, because the marker is written after the journal fsyncs).
+        """
+        if os.path.exists(self._done_marker(cid, shard_id)):
+            return True
+        manifest = read_json(self._manifest_path(cid, shard_id))
+        if manifest is None:
+            return False
+        completed = Journal(
+            self.shard_journal_path(cid, shard_id)).completed_ids()
+        if set(manifest["trial_ids"]) <= completed:
+            self.mark_shard_done(cid, shard_id)
+            return True
+        return False
+
+    def mark_shard_done(self, cid: str, shard_id: str) -> None:
+        write_json_atomic(self._done_marker(cid, shard_id), {"done": True})
+
+    def claim_shard(self, cid: str, shard_id: str,
+                    owner: str) -> ShardLease | None:
+        if self.shard_done(cid, shard_id):
+            return None
+        lease = self._lease(cid, shard_id, owner)
+        return lease if lease.try_claim() else None
+
+    def claim_work(self, cid: str, owner: str):
+        """The campaign's next claimable unit, as ``("plan", lease)`` or
+        ``("shard", shard_id, lease)``; ``None`` when nothing is
+        claimable (all claimed/done/cancelled)."""
+        if self.coarse_state(cid) in ("cancelled", "failed", "done"):
+            return None
+        if self.plan(cid) is None:
+            lease = self.claim_planning(cid, owner)
+            return ("plan", lease) if lease is not None else None
+        for shard_id in self.shard_ids(cid):
+            lease = self.claim_shard(cid, shard_id, owner)
+            if lease is not None:
+                return ("shard", shard_id, lease)
+        return None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def cancel(self, cid: str) -> dict:
+        """Mark the campaign cancelled; workers stop claiming its shards.
+
+        A shard already executing finishes (its journal records are kept —
+        the results endpoint serves whatever completed before the cancel).
+        """
+        self.spec(cid)  # raises UnknownCampaign
+        state = self.coarse_state(cid)
+        if state not in ("done", "failed"):
+            write_json_atomic(self._state_path(cid), {"state": "cancelled"})
+            telemetry.count("serve.campaigns_cancelled")
+            log.info("campaign %s cancelled", cid)
+        return self.status(cid)
+
+    def maybe_mark_done(self, cid: str) -> bool:
+        """Stamp ``done`` when every shard is complete (idempotent)."""
+        shard_ids = self.shard_ids(cid)
+        if not shard_ids:
+            return False
+        if all(self.shard_done(cid, sid) for sid in shard_ids):
+            if self.coarse_state(cid) not in ("cancelled", "failed"):
+                write_json_atomic(self._state_path(cid), {"state": "done"})
+            return True
+        return False
+
+    # -- rollups -----------------------------------------------------------
+
+    def _records(self, cid: str) -> list:
+        """Every journaled record across the campaign's shards, deduped by
+        trial id (first record wins; duplicates can only arise from a
+        pathological double-claim and are bit-identical anyway), in plan
+        order."""
+        by_id = {}
+        for shard_id in self.shard_ids(cid):
+            journal = Journal(self.shard_journal_path(cid, shard_id))
+            for record in journal.load():
+                by_id.setdefault(record.trial_id, record)
+        ordered = []
+        for shard_id in self.shard_ids(cid):
+            manifest = read_json(self._manifest_path(cid, shard_id))
+            if manifest is None:
+                continue
+            for trial_id in manifest["trial_ids"]:
+                record = by_id.get(trial_id)
+                if record is not None:
+                    ordered.append(record)
+        return ordered
+
+    def results(self, cid: str) -> Iterator[str]:
+        """The campaign's journal records as JSONL lines, plan-ordered and
+        deduped — what ``GET /campaigns/{id}/results`` streams."""
+        self.spec(cid)  # raises UnknownCampaign
+        for record in self._records(cid):
+            yield record.to_json_line() + "\n"
+
+    def status(self, cid: str) -> dict:
+        """The progress rollup served by ``GET /campaigns/{id}``."""
+        spec = self.spec(cid)
+        state_doc = read_json(self._state_path(cid)) or {}
+        coarse = state_doc.get("state", "queued")
+        plan = self.plan(cid)
+        shard_ids = self.shard_ids(cid)
+        done_shards = sum(1 for sid in shard_ids
+                          if self.shard_done(cid, sid))
+        records = self._records(cid)
+        ok = sum(1 for r in records if r.status == "ok")
+        failed = sum(1 for r in records if r.status == "failed")
+        outcomes: dict[str, int] = {}
+        for record in records:
+            label = record.outcome_class or "unclassified"
+            outcomes[label] = outcomes.get(label, 0) + 1
+        if coarse not in ("cancelled", "failed", "done"):
+            if plan is None:
+                state = "queued"
+            elif shard_ids and done_shards == len(shard_ids):
+                state = "done"
+            elif records or done_shards:
+                state = "running"
+            else:
+                state = "running" if plan is not None else "queued"
+        else:
+            state = coarse
+        return {
+            "campaign_id": cid,
+            "kind": spec.kind,
+            "state": state,
+            "priority": spec.priority,
+            "planned": plan is not None,
+            "total": plan["total"] if plan is not None else None,
+            "done": ok + failed,
+            "ok": ok,
+            "failed": failed,
+            "outcomes": outcomes,
+            "shards": {
+                "total": len(shard_ids),
+                "done": done_shards,
+            },
+            "error": state_doc.get("error"),
+        }
+
+    # -- metrics -----------------------------------------------------------
+
+    def prometheus(self) -> str:
+        """Prometheus exposition of store-wide campaign progress."""
+        statuses = [self.status(cid) for cid in self.list_campaigns()]
+        lines = [
+            "# HELP repro_serve_campaigns Campaigns per lifecycle state.",
+            "# TYPE repro_serve_campaigns gauge",
+        ]
+        by_state = {state: 0 for state in STATES}
+        for status in statuses:
+            by_state[status["state"]] = by_state.get(status["state"], 0) + 1
+        for state in sorted(by_state):
+            lines.append(prom_sample("repro_serve_campaigns",
+                                     {"state": state}, by_state[state]))
+        lines += [
+            "# HELP repro_serve_trials Journaled terminal trials "
+            "per campaign.",
+            "# TYPE repro_serve_trials counter",
+        ]
+        for status in statuses:
+            cid = status["campaign_id"]
+            lines.append(prom_sample("repro_serve_trials",
+                                     {"campaign": cid, "status": "ok"},
+                                     status["ok"]))
+            lines.append(prom_sample("repro_serve_trials",
+                                     {"campaign": cid, "status": "failed"},
+                                     status["failed"]))
+        lines += [
+            "# HELP repro_serve_outcomes Classified trial outcomes "
+            "per campaign.",
+            "# TYPE repro_serve_outcomes counter",
+        ]
+        for status in statuses:
+            for outcome in sorted(status["outcomes"]):
+                lines.append(prom_sample(
+                    "repro_serve_outcomes",
+                    {"campaign": status["campaign_id"], "outcome": outcome},
+                    status["outcomes"][outcome]))
+        lines += [
+            "# HELP repro_serve_shards Shards per campaign by completion.",
+            "# TYPE repro_serve_shards gauge",
+        ]
+        for status in statuses:
+            cid = status["campaign_id"]
+            lines.append(prom_sample("repro_serve_shards",
+                                     {"campaign": cid, "state": "done"},
+                                     status["shards"]["done"]))
+            lines.append(prom_sample(
+                "repro_serve_shards", {"campaign": cid, "state": "todo"},
+                status["shards"]["total"] - status["shards"]["done"]))
+        return "\n".join(lines) + "\n"

@@ -20,7 +20,7 @@ def test_validate_checkpoints_flag_reaches_campaign_kwargs():
     args = build_parser().parse_args(
         ["run", "table5", "--validate-checkpoints"])
     kwargs = campaign_kwargs(args, "table5", multiple=False)
-    assert kwargs["validate_checkpoints"] is True
+    assert kwargs["spec"].validate_checkpoints is True
     # non-campaign experiments take no engine kwargs at all
     assert campaign_kwargs(args, "fig2", multiple=False) == {}
 
@@ -28,18 +28,47 @@ def test_validate_checkpoints_flag_reaches_campaign_kwargs():
 def test_validate_checkpoints_defaults_off():
     args = build_parser().parse_args(["run", "table5"])
     kwargs = campaign_kwargs(args, "table5", multiple=False)
-    assert kwargs["validate_checkpoints"] is False
+    assert kwargs["spec"].validate_checkpoints is False
 
 
 def test_batch_trials_flag_reaches_campaign_kwargs():
     args = build_parser().parse_args(
         ["run", "fig3", "--batch-trials", "4"])
     kwargs = campaign_kwargs(args, "fig3", multiple=False)
-    assert kwargs["batch_trials"] == 4
+    assert kwargs["spec"].batch_trials == 4
     # default stays sequential
     default = build_parser().parse_args(["run", "fig3"])
     assert campaign_kwargs(default, "fig3",
-                           multiple=False)["batch_trials"] == 1
+                           multiple=False)["spec"].batch_trials == 1
+
+
+def test_campaign_kwargs_carries_canonical_spec():
+    """`run` funnels flags through the same CampaignSpec that `submit`
+    POSTs, so the two entry points describe identical plans."""
+    args = build_parser().parse_args(
+        ["run", "fig3", "--scale", "smoke", "--seed", "7",
+         "--engine", "scalar", "--journal", "j.jsonl"])
+    kwargs = campaign_kwargs(args, "fig3", multiple=False)
+    spec = kwargs["spec"]
+    assert (spec.kind, spec.scale, spec.seed, spec.engine) == \
+        ("fig3", "smoke", 7, "scalar")
+    # execution-site knobs stay out of the spec
+    assert kwargs["journal"] == "j.jsonl"
+    assert kwargs["workers"] == 1
+    assert kwargs["resume"] is False
+    assert "journal" not in spec.to_dict()
+
+
+def test_submit_flags_build_the_same_spec():
+    from repro.experiments.cli import spec_from_args
+
+    run_args = build_parser().parse_args(
+        ["run", "table5", "--scale", "smoke", "--seed", "9"])
+    submit_args = build_parser().parse_args(
+        ["submit", "table5", "--url", "http://x", "--scale", "smoke",
+         "--seed", "9"])
+    assert spec_from_args(run_args, "table5").canonical_json() == \
+        spec_from_args(submit_args, "table5").canonical_json()
 
 
 def test_unknown_experiment(capsys):
