@@ -1,0 +1,104 @@
+"""Roll the per-run bench archives into one observability trajectory.
+
+:func:`repro.benchmarks.conftest.write_bench_result` archives every
+timing measurement as ``benchmarks/results/<name>__<timestamp>.json``.
+Those files accumulate forever and nothing reads them side by side, so
+regressions only surface when someone diffs two runs by hand.  This
+module folds them into a single ``BENCH_observability.json`` — for each
+bench name the *latest* measurement, the *best* (fastest) one ever
+recorded, the run count, and the latest-vs-best ratio — the file CI
+uploads and reviewers diff.
+
+Standalone-safe like the conftest: stdlib only, importable without
+pytest, runnable as ``python benchmarks/trajectory.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+TRAJECTORY_NAME = "BENCH_observability.json"
+
+
+def load_measurements(results_dir: pathlib.Path = RESULTS_DIR) -> list[dict]:
+    """Every ``<name>__<timestamp>.json`` archive, oldest first.
+
+    Filenames sort chronologically because the stamp is ``%Y%m%dT%H%M%S``;
+    unreadable or schema-less files are skipped — a torn write from a
+    crashed bench must not poison the rollup.
+    """
+    measurements = []
+    for path in sorted(results_dir.glob("*__*.json")):
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(payload, dict) or "name" not in payload \
+                or "seconds" not in payload:
+            continue
+        payload["_path"] = path.name
+        measurements.append(payload)
+    return measurements
+
+
+def _entry(payload: dict) -> dict:
+    return {
+        "seconds": float(payload["seconds"]),
+        "recorded_at": payload.get("recorded_at"),
+        "params": payload.get("params", {}),
+        "metadata": payload.get("metadata", {}),
+        "source": payload.get("_path"),
+    }
+
+
+def build_trajectory(measurements: list[dict]) -> dict:
+    """``{bench_name: {latest, best, runs, latest_over_best}}``.
+
+    ``best`` is the minimum-seconds run on record; ``latest_over_best``
+    > 1.0 means the newest run is slower than the bench has ever been —
+    the one number a reviewer scans for regressions.
+    """
+    benches: dict[str, dict] = {}
+    for payload in measurements:  # oldest first, so the last wins "latest"
+        name = str(payload["name"])
+        entry = _entry(payload)
+        bench = benches.setdefault(name, {"runs": 0, "best": entry})
+        bench["runs"] += 1
+        bench["latest"] = entry
+        if entry["seconds"] < bench["best"]["seconds"]:
+            bench["best"] = entry
+    for bench in benches.values():
+        best = bench["best"]["seconds"]
+        bench["latest_over_best"] = (
+            round(bench["latest"]["seconds"] / best, 4) if best > 0 else None)
+    return dict(sorted(benches.items()))
+
+
+def write_trajectory(results_dir: pathlib.Path = RESULTS_DIR,
+                     ) -> pathlib.Path | None:
+    """(Re)write ``BENCH_observability.json``; None when nothing to roll."""
+    measurements = load_measurements(results_dir)
+    if not measurements:
+        return None
+    path = results_dir / TRAJECTORY_NAME
+    payload = {"benches": build_trajectory(measurements),
+               "measurements": len(measurements)}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    path = write_trajectory()
+    if path is None:
+        print("no bench measurements found", file=sys.stderr)
+        return 1
+    print(path)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,7 +28,12 @@ from ..analysis.campaign import CampaignStats
 from ..serve.spec import CampaignSpec
 from .common import SCALES
 from .registry import CAMPAIGN_EXPERIMENTS, EXPERIMENTS, run_experiment
-from .watch import add_watch_arguments, watch_command
+from .watch import (
+    add_fleet_arguments,
+    add_watch_arguments,
+    fleet_command,
+    watch_command,
+)
 
 log = logging.getLogger("repro.experiments.cli")
 
@@ -116,6 +121,13 @@ def build_parser() -> argparse.ArgumentParser:
                       "stream) from another terminal"
     )
     add_watch_arguments(watcher)
+
+    fleet = sub.add_parser(
+        "fleet", help="live fleet console over a 'serve' campaign root: "
+                      "per-campaign/per-worker status, lease ages, stall "
+                      "alerts"
+    )
+    add_fleet_arguments(fleet)
 
     server = sub.add_parser(
         "serve", help="run the campaign scheduler: shard store, worker "
@@ -369,6 +381,8 @@ def main(argv: list[str] | None = None) -> int:
         return telemetry_command(args)
     if args.command == "watch":
         return watch_command(args)
+    if args.command == "fleet":
+        return fleet_command(args)
     if args.command == "serve":
         return serve_command(args)
     if args.command == "submit":

@@ -1,4 +1,4 @@
-"""``repro-experiments watch`` — live monitor for a running campaign.
+"""``repro-experiments watch`` — live monitor for campaigns and fleets.
 
 Tails the campaign's JSONL journal (and, optionally, its telemetry stream)
 and renders refresh-in-place progress: trials done/failed/in-flight,
@@ -8,12 +8,20 @@ classified outcome counts, worker activity, throughput, and an ETA.  With
 :func:`repro.telemetry.prometheus_exposition` plus journal-derived outcome
 counters) and ``/health`` (a JSON snapshot) for scraping long campaigns.
 
-Everything here is **stdlib-only and read-only**: the watcher opens the
-files the campaign is appending to, remembers its byte offset between
-polls, and tolerates the torn final line an in-flight ``write(2)`` leaves
-— the same invariants the journal and ``JsonlSink`` were built around.
-It can run against a live campaign from another terminal, or after the
-fact (``--once``) against a finished journal.
+``--fleet ROOT`` (or the ``fleet`` subcommand) switches to the **fleet
+console** over a :mod:`repro.serve` campaign root: per-campaign progress,
+per-worker heartbeat resource samples (RSS/CPU, throughput, current
+shard), shard lease ages, and the declarative stall rules from
+:mod:`repro.telemetry.fleet` — newly fired alerts are appended to
+``<root>/fleet_alerts.jsonl`` and counted in ``repro_fleet_alerts_total``.
+
+Everything here is **stdlib-only and read-only** (the alerts journal is
+the one append-only exception): the watcher opens the files the campaign
+is appending to, remembers its byte offset between polls, and tolerates
+the torn final line an in-flight ``write(2)`` leaves — the same
+invariants the journal and ``JsonlSink`` were built around.  It can run
+against a live campaign from another terminal, or after the fact
+(``--once``) against a finished journal.
 """
 
 from __future__ import annotations
@@ -36,57 +44,38 @@ from ..serve.httpd import (
     text_response,
 )
 from ..serve.httpd import build_server as _build_http_server
+from ..serve.store import CampaignStore
 from ..telemetry.export import prom_sample, prometheus_exposition
+from ..telemetry.fleet import (
+    DEFAULT_ALERT_RULES,
+    Alert,
+    FleetStats,
+    JsonlTail,
+    evaluate_alerts,
+    fleet_prometheus,
+)
+
+__all__ = [
+    "ACTIVE_WINDOW",
+    "CampaignWatch",
+    "FleetWatch",
+    "JsonlTail",  # canonical home is repro.telemetry.fleet; re-exported
+    "WatchSnapshot",
+    "add_fleet_arguments",
+    "add_watch_arguments",
+    "build_fleet_server",
+    "fleet_routes",
+    "build_server",
+    "fleet_command",
+    "render_fleet_frame",
+    "render_frame",
+    "watch_command",
+    "watch_routes",
+]
 
 #: A worker slot counts as active while its newest telemetry event is
 #: younger than this (seconds).
 ACTIVE_WINDOW = 15.0
-
-
-class JsonlTail:
-    """Incremental, torn-line-tolerant JSONL reader.
-
-    Each :meth:`poll` reads from the remembered byte offset to EOF and
-    returns the newly completed records.  A trailing partial line (a write
-    caught mid-append) is buffered until its newline arrives; a file that
-    shrinks (rotation/truncation) restarts the tail from byte 0; a file
-    that does not exist yet simply yields nothing.
-    """
-
-    def __init__(self, path: str):
-        self.path = path
-        self.offset = 0
-        self._partial = b""
-
-    def poll(self) -> list[dict]:
-        try:
-            size = os.path.getsize(self.path)
-        except OSError:
-            return []
-        if size < self.offset:
-            self.offset = 0
-            self._partial = b""
-        if size <= self.offset:
-            return []
-        with open(self.path, "rb") as handle:
-            handle.seek(self.offset)
-            chunk = handle.read()
-        self.offset += len(chunk)
-        data = self._partial + chunk
-        lines = data.split(b"\n")
-        self._partial = lines.pop()  # b"" when data ended on a newline
-        records: list[dict] = []
-        for line in lines:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                parsed = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn line that happened to end in \n garbage
-            if isinstance(parsed, dict):
-                records.append(parsed)
-        return records
 
 
 @dataclass
@@ -383,11 +372,154 @@ def build_server(watch: CampaignWatch, port: int,
 
 
 # ---------------------------------------------------------------------------
+# fleet console: per-campaign / per-worker status over a serve root
+# ---------------------------------------------------------------------------
+
+class FleetWatch:
+    """Accumulating fleet monitor over a :mod:`repro.serve` campaign root.
+
+    Each :meth:`poll` snapshots :meth:`CampaignStore.fleet_stats`,
+    evaluates the stall rules against the previous snapshot, journals
+    *newly fired* alerts to ``<root>/fleet_alerts.jsonl`` (one alert per
+    continuous violation, keyed by :meth:`Alert.key`), and keeps the
+    cumulative per-rule totals ``repro_fleet_alerts_total`` exposes.
+
+    Thread-safe for the same reason :class:`CampaignWatch` is: the
+    ``--serve`` HTTP handlers poll from server threads.
+    """
+
+    def __init__(self, store: CampaignStore | str,
+                 rules: tuple = DEFAULT_ALERT_RULES,
+                 alerts_path: str | None = None):
+        if isinstance(store, (str, os.PathLike)):
+            store = CampaignStore(os.fspath(store))
+        self.store = store
+        self.rules = tuple(rules)
+        self.alerts_path = alerts_path or os.path.join(
+            store.root, "fleet_alerts.jsonl")
+        self._lock = threading.Lock()
+        self._previous: FleetStats | None = None
+        self._active_keys: set[tuple] = set()
+        #: cumulative fired-alert count per rule name (feeds
+        #: ``repro_fleet_alerts_total``)
+        self.alert_totals: dict[str, int] = {}
+
+    def poll(self) -> tuple[FleetStats, list[Alert]]:
+        """One snapshot; returns ``(stats, currently_firing_alerts)``."""
+        with self._lock:
+            stats = self.store.fleet_stats()
+            firing = evaluate_alerts(stats, self._previous, self.rules)
+            new = [alert for alert in firing
+                   if alert.key() not in self._active_keys]
+            self._active_keys = {alert.key() for alert in firing}
+            for alert in new:
+                self.alert_totals[alert.rule] = \
+                    self.alert_totals.get(alert.rule, 0) + 1
+            if new:
+                self._journal(new)
+            self._previous = stats
+            return stats, firing
+
+    def _journal(self, alerts: list[Alert]) -> None:
+        # best-effort append: a read-only mount must not kill the console
+        try:
+            with open(self.alerts_path, "a", encoding="utf-8") as handle:
+                for alert in alerts:
+                    handle.write(json.dumps(_json_safe(alert.to_json()))
+                                 + "\n")
+        except OSError:
+            pass
+
+    def prometheus(self) -> str:
+        """Store counters + ``repro_fleet_*`` rollups + alert totals."""
+        stats, _ = self.poll()
+        return self.store.prometheus() + fleet_prometheus(
+            stats, alert_totals=self.alert_totals)
+
+
+def _fmt_bytes(count: float | None) -> str:
+    if count is None:
+        return "?"
+    if count >= 1 << 30:
+        return f"{count / (1 << 30):.1f}GiB"
+    if count >= 1 << 20:
+        return f"{count / (1 << 20):.0f}MiB"
+    return f"{count / 1024:.0f}KiB"
+
+
+def render_fleet_frame(stats: FleetStats,
+                       alerts: list[Alert] | None = None) -> list[str]:
+    """The fleet console frame as a list of lines."""
+    lines = [
+        f"fleet {stats.root} — {len(stats.campaigns)} campaigns, "
+        f"{len(stats.workers)} workers, queue depth {stats.queue_depth}",
+    ]
+    if not stats.campaigns:
+        lines.append("  (no campaigns)")
+    for status in stats.campaigns:
+        total = "?" if status.total is None else str(status.total)
+        lines.append(
+            f"  {status.campaign_id}  {status.state:<9} "
+            f"{status.done}/{total} trials ({status.ok} ok, "
+            f"{status.failed} failed) — shards "
+            f"{status.shards_done}/{status.shards_total}, "
+            f"{status.trials_per_second:.2f} trials/s, "
+            f"eta {_fmt_eta(status.eta_seconds)}")
+    for worker in stats.workers:
+        where = (f"{worker.campaign_id}/{worker.shard_id or '?'}"
+                 if worker.campaign_id else "idle")
+        host = f"@{worker.host}" if worker.host else ""
+        line = (f"  worker {worker.owner}{host}  {where} — "
+                f"{worker.trials_done} trials "
+                f"({worker.trials_per_second:.2f}/s)")
+        if worker.rss_bytes is not None:
+            line += f", rss {_fmt_bytes(worker.rss_bytes)}"
+        if worker.cpu_seconds is not None:
+            line += f", cpu {worker.cpu_seconds:.1f}s"
+        lines.append(line)
+    for alert in alerts or []:
+        lines.append(f"  ALERT [{alert.severity}] {alert.rule}: "
+                     f"{alert.message}")
+    return lines
+
+
+def fleet_routes(watch: FleetWatch) -> list[Route]:
+    """``/metrics`` and ``/health`` for the fleet console's ``--serve``."""
+    def health(request):
+        stats, alerts = watch.poll()
+        payload = stats.to_json()
+        payload["alerts"] = [alert.to_json() for alert in alerts]
+        return json_response(_json_safe(payload))
+
+    def metrics(request):
+        return text_response(watch.prometheus(),
+                             content_type=PROMETHEUS_CTYPE)
+
+    return [
+        Route("GET", "/", health),
+        Route("GET", "/health", health),
+        Route("GET", "/metrics", metrics),
+    ]
+
+
+def build_fleet_server(watch: FleetWatch, port: int,
+                       host: str = "127.0.0.1") -> ThreadingHTTPServer:
+    """A threading HTTP server exposing the fleet console."""
+    return _build_http_server(fleet_routes(watch), port, host=host)
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
 
 def add_watch_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("journal", help="campaign journal JSONL to tail")
+    parser.add_argument("journal", nargs="?", default=None,
+                        help="campaign journal JSONL to tail (omit with "
+                             "--fleet)")
+    parser.add_argument("--fleet", default=None, metavar="ROOT",
+                        help="watch a repro.serve campaign root instead of "
+                             "one journal: per-campaign/per-worker status, "
+                             "lease ages, stall alerts")
     parser.add_argument("--telemetry", default=None, metavar="PATH",
                         help="also tail this telemetry JSONL stream "
                              "(health/epoch events, worker activity)")
@@ -407,6 +539,12 @@ def add_watch_arguments(parser: argparse.ArgumentParser) -> None:
 
 def watch_command(args: argparse.Namespace) -> int:
     """The ``watch`` subcommand body."""
+    if getattr(args, "fleet", None):
+        return fleet_command(args)
+    if args.journal is None:
+        print("watch: a journal path is required unless --fleet is given",
+              file=sys.stderr)
+        return 2
     watch = CampaignWatch(args.journal, args.telemetry, total=args.total)
     server = None
     server_thread = None
@@ -435,6 +573,59 @@ def watch_command(args: argparse.Namespace) -> int:
                 sys.stdout.flush()
                 frame_lines = len(frame)
             if args.once or snapshot.complete:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+    return 0
+
+
+def add_fleet_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("root", help="repro.serve campaign root to watch")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="poll/refresh period in seconds (default 2)")
+    parser.add_argument("--once", action="store_true",
+                        help="render a single frame and exit")
+    parser.add_argument("--json", action="store_true",
+                        help="emit JSON snapshots instead of frames")
+    parser.add_argument("--serve", type=int, default=None, metavar="PORT",
+                        help="also serve /metrics and /health on this port "
+                             "(0 picks a free port)")
+
+
+def fleet_command(args: argparse.Namespace) -> int:
+    """The ``fleet`` subcommand body (also ``watch --fleet ROOT``)."""
+    root = getattr(args, "root", None) or getattr(args, "fleet", None)
+    watch = FleetWatch(root)
+    server = None
+    if args.serve is not None:
+        server = build_fleet_server(watch, args.serve)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        print(f"serving /metrics and /health on "
+              f"http://{server.server_address[0]}:{server.server_address[1]}",
+              file=sys.stderr)
+
+    in_place = sys.stdout.isatty() and not args.json
+    frame_lines = 0
+    try:
+        while True:
+            stats, alerts = watch.poll()
+            if args.json:
+                payload = stats.to_json()
+                payload["alerts"] = [alert.to_json() for alert in alerts]
+                print(json.dumps(_json_safe(payload)), flush=True)
+            else:
+                frame = render_fleet_frame(stats, alerts)
+                if in_place and frame_lines:
+                    sys.stdout.write(f"\x1b[{frame_lines}F\x1b[J")
+                sys.stdout.write("\n".join(frame) + "\n")
+                sys.stdout.flush()
+                frame_lines = len(frame)
+            if args.once:
                 break
             time.sleep(args.interval)
     except KeyboardInterrupt:

@@ -518,3 +518,69 @@ def check_span_discipline(module: SourceModule):
                     "metrics must be emitted by the running process "
                     "(after the campaign fork), not at module import"
                 )
+
+
+# ---------------------------------------------------------------------------
+# 8. trace-propagation
+# ---------------------------------------------------------------------------
+
+def _telemetry_aliases(tree: ast.Module, name: str) -> frozenset[str]:
+    """Local names *name* was imported as from a telemetry module."""
+    return frozenset(
+        alias.asname or alias.name
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ImportFrom)
+        and (node.module or "").endswith("telemetry")
+        for alias in node.names if alias.name == name
+    )
+
+
+def _trace_scope_call(node: ast.Call, aliases: frozenset[str]) -> bool:
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "trace_scope":
+        owner = dotted_name(func.value) or ""
+        return owner.split(".")[-1] == "telemetry"
+    if isinstance(func, ast.Name):
+        return func.id in aliases
+    return False
+
+
+@rule(
+    "trace-propagation",
+    description="serve-layer spans open inside a restored trace context",
+    rationale=(
+        "workers restore the campaign's submit-time trace with "
+        "telemetry.trace_scope() before opening serve.* spans (this PR); "
+        "a serve-layer span opened outside a trace_scope emits under the "
+        "process's own ad-hoc trace id, fracturing the campaign's "
+        "distributed trace per worker so the /trace merge can no longer "
+        "assert one trace id per campaign"
+    ),
+    domains=("repro.serve",),
+)
+def check_trace_propagation(module: SourceModule):
+    scope_aliases = _telemetry_aliases(module.tree, "trace_scope")
+    span_aliases = _telemetry_aliases(module.tree, "span")
+    covered: set[ast.AST] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)) and any(
+                isinstance(item.context_expr, ast.Call) and
+                _trace_scope_call(item.context_expr, scope_aliases)
+                for item in node.items):
+            covered.update(ast.walk(node))
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call) or node in covered or \
+                not _telemetry_span_call(node, span_aliases):
+            continue
+        if not node.args:
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and \
+                isinstance(first.value, str) and \
+                first.value.startswith("serve."):
+            yield node, (
+                f"span {first.value!r} opened outside a "
+                "telemetry.trace_scope(...) block; restore the campaign's "
+                "submit-time trace context first so the span joins the "
+                "campaign's distributed trace"
+            )

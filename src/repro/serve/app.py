@@ -7,9 +7,20 @@ Routes (all JSON unless noted)::
     GET  /campaigns/{id}          one campaign's status/progress rollup
     GET  /campaigns/{id}/spec     the spec as submitted
     GET  /campaigns/{id}/results  the journal records, streamed JSONL
+    GET  /campaigns/{id}/trace    merged cross-worker telemetry: Chrome
+                                  trace JSON (default), raw merged events
+                                  (?format=events), or a summary with the
+                                  trace id and per-trial span index
+                                  (?format=summary)
     POST /campaigns/{id}/cancel   stop scheduling the campaign's shards
-    GET  /metrics                 Prometheus text exposition
+    GET  /metrics                 Prometheus text exposition (store +
+                                  repro_fleet_* rollups)
     GET  /health                  liveness + queue summary
+
+Distributed tracing: a submit may carry a W3C-style ``traceparent``
+header; the front door records it (or mints a fresh context) as the
+campaign's one trace id, which every worker restores before opening
+spans — see :mod:`repro.telemetry` and ``docs/observability.md``.
 
 Built on the shared :mod:`repro.serve.httpd` router (the same plumbing
 ``repro-experiments watch --serve`` uses), over a
@@ -22,6 +33,8 @@ from __future__ import annotations
 
 from http.server import ThreadingHTTPServer
 
+from ..telemetry import TraceContext, chrome_trace
+from ..telemetry.fleet import FleetTelemetry
 from .httpd import (
     PROMETHEUS_CTYPE,
     Request,
@@ -45,17 +58,22 @@ class ServeApp:
     # -- handlers ----------------------------------------------------------
 
     def submit(self, request: Request) -> Response:
+        # adopt the caller's distributed trace when it sent one; the
+        # campaign is stamped with exactly one trace id either way
+        trace = TraceContext.from_traceparent(request.header("traceparent"))
         try:
             spec = CampaignSpec.from_dict(request.json())
-            campaign_id = self.store.submit(spec)
+            campaign_id = self.store.submit(spec, trace=trace)
         except BacklogFull as exc:
             return error_response(429, str(exc))
         except ValueError as exc:
             return error_response(400, str(exc))
+        stored = self.store.trace(campaign_id)
         return json_response({
             "campaign_id": campaign_id,
             "status_url": f"/campaigns/{campaign_id}",
             "results_url": f"/campaigns/{campaign_id}/results",
+            "trace_id": stored.trace_id if stored is not None else None,
         }, status=201)
 
     def list_campaigns(self, request: Request) -> Response:
@@ -93,6 +111,39 @@ class ServeApp:
             content_type="application/x-ndjson",
         )
 
+    def trace(self, request: Request) -> Response:
+        """The campaign's merged cross-worker telemetry.
+
+        Default is Chrome ``trace_event`` JSON (one track per worker
+        process, host-disambiguated); ``?format=events`` returns the raw
+        merged event list; ``?format=summary`` the trace id, source
+        files, and per-trial span index the CI gate asserts on.
+        """
+        cid = request.params["campaign_id"]
+        try:
+            self.store.spec(cid)
+        except UnknownCampaign:
+            return self._unknown(request)
+        fleet = FleetTelemetry(self.store.telemetry_paths(cid))
+        fleet.poll()
+        fmt = (request.query.get("format") or ["chrome"])[0]
+        if fmt == "events":
+            return json_response({"events": fleet.events})
+        if fmt == "summary":
+            stored = self.store.trace(cid)
+            return json_response({
+                "campaign_id": cid,
+                "trace_id": stored.trace_id if stored is not None else None,
+                "trace_ids_observed": sorted(fleet.trace_ids()),
+                "sources": fleet.sources,
+                "spans": len(fleet.spans()),
+                "trials": fleet.trial_span_ids(),
+            })
+        if fmt != "chrome":
+            return error_response(
+                400, f"unknown format {fmt!r} (chrome, events, summary)")
+        return json_response(chrome_trace(fleet.events))
+
     def cancel(self, request: Request) -> Response:
         try:
             return json_response(
@@ -101,7 +152,7 @@ class ServeApp:
             return self._unknown(request)
 
     def metrics(self, request: Request) -> Response:
-        return text_response(self.store.prometheus(),
+        return text_response(self.store.fleet_prometheus(),
                              content_type=PROMETHEUS_CTYPE)
 
     def health(self, request: Request) -> Response:
@@ -130,6 +181,7 @@ class ServeApp:
             Route("GET", "/campaigns/{campaign_id}", self.status),
             Route("GET", "/campaigns/{campaign_id}/spec", self.spec),
             Route("GET", "/campaigns/{campaign_id}/results", self.results),
+            Route("GET", "/campaigns/{campaign_id}/trace", self.trace),
             Route("POST", "/campaigns/{campaign_id}/cancel", self.cancel),
             Route("GET", "/metrics", self.metrics),
             Route("GET", "/health", self.health),

@@ -14,6 +14,7 @@ import urllib.error
 import urllib.request
 from typing import Iterator
 
+from ..telemetry import TraceContext, current_trace
 from .spec import coerce_spec
 
 
@@ -34,9 +35,10 @@ class ServeClient:
 
     # -- plumbing ----------------------------------------------------------
 
-    def _request(self, method: str, path: str, payload: dict | None = None):
+    def _request(self, method: str, path: str, payload: dict | None = None,
+                 headers: dict | None = None):
         body = None
-        headers = {"Accept": "application/json"}
+        headers = dict(headers or {}, Accept="application/json")
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -52,21 +54,27 @@ class ServeClient:
                 pass
             raise ServeError(exc.code, detail) from None
 
-    def _json(self, method: str, path: str,
-              payload: dict | None = None) -> dict:
-        with self._request(method, path, payload) as response:
+    def _json(self, method: str, path: str, payload: dict | None = None,
+              headers: dict | None = None) -> dict:
+        with self._request(method, path, payload, headers) as response:
             return json.loads(response.read().decode("utf-8"))
 
     # -- API ---------------------------------------------------------------
 
-    def submit(self, spec) -> dict:
-        """POST the spec; returns ``{"campaign_id", "status_url", ...}``.
+    def submit(self, spec, trace: TraceContext | None = None) -> dict:
+        """POST the spec; returns ``{"campaign_id", "trace_id", ...}``.
 
         Accepts a :class:`~repro.serve.spec.CampaignSpec` (canonical) or a
         raw dict (deprecated, warns via :func:`coerce_spec`).
+
+        The submit carries a ``traceparent`` header — *trace* if given,
+        else the calling process's ambient trace context, else a freshly
+        minted one — so the campaign's spans on every worker share the
+        submitter's trace id end to end.
         """
-        return self._json("POST", "/campaigns",
-                          coerce_spec(spec).to_dict())
+        trace = trace or current_trace() or TraceContext.new()
+        return self._json("POST", "/campaigns", coerce_spec(spec).to_dict(),
+                          headers={"traceparent": trace.to_traceparent()})
 
     def list_campaigns(self) -> list[dict]:
         return self._json("GET", "/campaigns")["campaigns"]
@@ -79,6 +87,12 @@ class ServeClient:
 
     def cancel(self, campaign_id: str) -> dict:
         return self._json("POST", f"/campaigns/{campaign_id}/cancel")
+
+    def trace(self, campaign_id: str, format: str = "chrome") -> dict:
+        """The campaign's merged cross-worker telemetry (``chrome``,
+        ``events``, or ``summary`` — see the ``/trace`` endpoint)."""
+        return self._json(
+            "GET", f"/campaigns/{campaign_id}/trace?format={format}")
 
     def metrics(self) -> str:
         with self._request("GET", "/metrics") as response:

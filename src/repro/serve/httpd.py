@@ -47,6 +47,10 @@ class Request:
     params: dict[str, str] = field(default_factory=dict)  # pattern captures
     query: dict[str, list[str]] = field(default_factory=dict)
     body: bytes = b""
+    headers: dict[str, str] = field(default_factory=dict)  # lower-cased keys
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        return self.headers.get(name.lower(), default)
 
     def json(self):
         """The request body parsed as JSON (raises ``ValueError`` on
@@ -151,6 +155,8 @@ def build_server(routes: Iterable[Route], port: int,
                     method=method, path=path, params=match.groupdict(),
                     query=parse_qs(urlsplit(self.path).query),
                     body=self.rfile.read(length) if length else b"",
+                    headers={key.lower(): value
+                             for key, value in self.headers.items()},
                 )
                 try:
                     response = handler(request)

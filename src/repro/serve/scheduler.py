@@ -19,6 +19,15 @@ journal and ``resume=True``, so a reclaimed shard (its previous owner
 killed mid-run) re-executes only the trials the journal does not already
 hold — the crash-safety the single-host engine already guarantees,
 inherited wholesale by the distributed layer.
+
+Observability: before opening its ``serve.plan``/``serve.shard`` spans a
+worker restores the campaign's submit-time trace context
+(``telemetry.trace_scope``) and tees every event into a per-shard JSONL
+under the campaign directory — so one campaign is one trace across every
+worker and host, mergeable after the fact by
+:mod:`repro.telemetry.fleet`.  The lease heartbeat doubles as the
+worker's liveness beacon, publishing RSS/CPU resource samples plus
+claim/trial counters to ``<root>/workers/``.
 """
 
 from __future__ import annotations
@@ -42,6 +51,9 @@ class FairScheduler:
         self.store = store
         self.owner = owner
         self._last_served: str | None = None
+        #: cumulative claim/contention/reclaim counts, published through
+        #: the worker's heartbeat samples for the fleet console
+        self.counters: dict[str, int] = {}
 
     def next_work(self):
         """Claim the next unit: ``("plan", cid, lease)`` or
@@ -68,7 +80,8 @@ class FairScheduler:
                 pivot = tier.index(self._last_served) + 1
                 tier = tier[pivot:] + tier[:pivot]
             for cid in tier:
-                work = self.store.claim_work(cid, self.owner)
+                work = self.store.claim_work(cid, self.owner,
+                                             self.counters)
                 if work is None:
                     continue
                 self._last_served = cid
@@ -82,13 +95,33 @@ class ServeWorker:
     """One worker process/thread: claim, heartbeat, execute, repeat."""
 
     def __init__(self, store: CampaignStore, owner: str | None = None,
-                 cache=None, poll: float = 0.2):
+                 cache=None, poll: float = 0.2,
+                 shard_telemetry: bool = True):
         self.store = store
         self.owner = owner or f"worker-{os.getpid()}"
         self.cache = cache
         self.poll = poll
+        #: tee each unit's telemetry into the campaign tree (the fleet
+        #: merge's input); off only for overhead benchmarking
+        self.shard_telemetry = shard_telemetry
         self.scheduler = FairScheduler(store, self.owner)
         self.served: list[tuple[str, str]] = []  # (campaign_id, unit)
+        self.started = time.time()
+        self.trials_done = 0
+        self.units_done = 0
+        self._current: tuple[str, str] | None = None  # (campaign, unit)
+
+    def _heartbeat_info(self) -> dict:
+        """What each heartbeat sample reports beyond liveness/resources."""
+        current = self._current or (None, None)
+        return {
+            "started": self.started,
+            "campaign": current[0],
+            "shard": current[1],
+            "units_done": self.units_done,
+            "trials_done": self.trials_done,
+            **self.scheduler.counters,
+        }
 
     def run(self, drain: bool = False, max_units: int | None = None,
             stop_file: str | None = None) -> int:
@@ -121,23 +154,40 @@ class ServeWorker:
             _, cid, shard_id, lease = work
             unit = shard_id
         self.served.append((cid, unit))
-        with Heartbeat(lease):
+        self._current = (cid, unit)
+        heartbeat = Heartbeat(
+            lease, sample_path=self.store.worker_sample_path(self.owner),
+            info=self._heartbeat_info)
+        with heartbeat:
             try:
                 if unit == "plan":
                     self._plan(cid)
                 else:
                     self._run_shard(cid, shard_id)
             finally:
+                self.units_done += 1
+                self._current = None
                 lease.release()
 
+    def _telemetry_path(self, cid: str, unit: str) -> str | None:
+        if not self.shard_telemetry:
+            return None
+        return self.store.shard_telemetry_path(cid, unit, self.owner)
+
     def _plan(self, cid: str) -> None:
-        with telemetry.span("serve.plan", campaign=cid, owner=self.owner):
-            try:
-                self.store.build_plan(cid, self.cache)
-            except Exception:
-                # already journaled as state=failed by the store; the
-                # worker moves on instead of dying
-                log.exception("planning %s failed", cid)
+        # restore the submit-time trace so the plan span joins the
+        # campaign's distributed trace, teeing into the campaign tree
+        with telemetry.trace_scope(
+                self.store.trace(cid),
+                jsonl=self._telemetry_path(cid, "plan")):
+            with telemetry.span("serve.plan", campaign=cid,
+                                owner=self.owner):
+                try:
+                    self.store.build_plan(cid, self.cache)
+                except Exception:
+                    # already journaled as state=failed by the store; the
+                    # worker moves on instead of dying
+                    log.exception("planning %s failed", cid)
 
     def _run_shard(self, cid: str, shard_id: str) -> None:
         if self.store.is_cancelled(cid):
@@ -145,19 +195,28 @@ class ServeWorker:
         manifest = self.store.load_manifest(cid, shard_id)
         tasks = manifest_tasks(manifest)
         spec = self.store.spec(cid)
-        telemetry.count("serve.shards_claimed")
         log.info("%s: running %s/%s (%d trials)", self.owner, cid, shard_id,
                  len(tasks))
-        with telemetry.span("serve.shard", campaign=cid, shard=shard_id,
-                            owner=self.owner, trials=len(tasks)) as span:
-            result = run_campaign(
-                tasks, workers=1,
-                journal=self.store.shard_journal_path(cid, shard_id),
-                resume=True, **spec.runner_kwargs())
-            span.set(executed=result.stats.executed,
-                     skipped=result.stats.skipped)
+        # one trace for the whole campaign: restore the submit-time
+        # context before the shard span opens, so this span — and the
+        # trial/inject/train spans run_campaign and its forked children
+        # emit inside it — all carry the campaign's trace id into the
+        # per-shard telemetry file the fleet merge reads back
+        with telemetry.trace_scope(
+                self.store.trace(cid),
+                jsonl=self._telemetry_path(cid, shard_id)):
+            telemetry.count("serve.shards_claimed")
+            with telemetry.span("serve.shard", campaign=cid, shard=shard_id,
+                                owner=self.owner, trials=len(tasks)) as span:
+                result = run_campaign(
+                    tasks, workers=1,
+                    journal=self.store.shard_journal_path(cid, shard_id),
+                    resume=True, **spec.runner_kwargs())
+                span.set(executed=result.stats.executed,
+                         skipped=result.stats.skipped)
+            telemetry.count("serve.shards_completed")
+        self.trials_done += result.stats.executed
         self.store.mark_shard_done(cid, shard_id)
-        telemetry.count("serve.shards_completed")
         if self.store.maybe_mark_done(cid):
             log.info("campaign %s complete", cid)
 
@@ -165,7 +224,8 @@ class ServeWorker:
 def run_worker(root: str, *, owner: str | None = None, poll: float = 0.2,
                lease_ttl: float = 30.0, shard_size: int = 8,
                drain: bool = False, stop_file: str | None = None,
-               max_units: int | None = None) -> int:
+               max_units: int | None = None,
+               shard_telemetry: bool = True) -> int:
     """Top-level worker entry point (picklable; ``Process(target=...)``).
 
     Builds its own store handle over *root* — workers share nothing but
@@ -173,5 +233,6 @@ def run_worker(root: str, *, owner: str | None = None, poll: float = 0.2,
     the campaign root.
     """
     store = CampaignStore(root, shard_size=shard_size, lease_ttl=lease_ttl)
-    worker = ServeWorker(store, owner=owner, poll=poll)
+    worker = ServeWorker(store, owner=owner, poll=poll,
+                         shard_telemetry=shard_telemetry)
     return worker.run(drain=drain, stop_file=stop_file, max_units=max_units)

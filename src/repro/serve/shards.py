@@ -25,12 +25,14 @@ from __future__ import annotations
 
 import json
 import os
+import resource
 import threading
 import time
 import uuid
 
 from ..experiments.locking import _pid_alive
 from ..experiments.runner import TrialTask
+from ..telemetry import hostname
 
 
 def ensure_dir(path: str) -> str:
@@ -70,6 +72,28 @@ def read_json(path: str) -> dict | None:
 
 def shard_name(index: int) -> str:
     return f"shard-{index:04d}"
+
+
+def lease_info(path: str, ttl: float | None = None) -> dict | None:
+    """Read-only snapshot of a lease file for observability.
+
+    Returns ``{"owner", "pid", "claimed_at", "age", "expired"?}`` or
+    ``None`` while the lease does not exist (or is torn mid-create —
+    not ours to judge).  ``age`` is seconds since the last heartbeat
+    renewal; ``expired`` is included when *ttl* is given and uses the
+    mtime criterion only (the pid criterion needs same-host context).
+    """
+    try:
+        stat = os.stat(path)
+        with open(path, encoding="utf-8") as handle:
+            holder = json.loads(handle.read())
+    except (OSError, json.JSONDecodeError, ValueError):
+        return None
+    info = dict(holder)
+    info["age"] = max(0.0, time.time() - stat.st_mtime)
+    if ttl is not None:
+        info["expired"] = info["age"] > ttl
+    return info
 
 
 def cut_shards(tasks: list[TrialTask], shard_size: int) -> \
@@ -137,14 +161,22 @@ class ShardLease:
         self.ttl = ttl
         self.dead_pid_grace = dead_pid_grace
         self._held = False
+        #: how the current hold was won: "create" (fresh lease) or
+        #: "reclaim" (expired takeover); ``None`` while not held —
+        #: observability provenance for the fleet's reclaim counters
+        self.acquired_via: str | None = None
 
     # -- claiming ----------------------------------------------------------
 
     def try_claim(self) -> bool:
         """Attempt to take the lease; reclaim it instead if expired."""
         if self._create():
+            self.acquired_via = "create"
             return True
-        return self._reclaim_if_expired()
+        if self._reclaim_if_expired():
+            self.acquired_via = "reclaim"
+            return True
+        return False
 
     def _payload(self) -> bytes:
         return json.dumps({"pid": os.getpid(), "owner": self.owner,
@@ -252,6 +284,7 @@ class ShardLease:
     def release(self) -> None:
         if self._held:
             self._held = False
+            self.acquired_via = None
             try:
                 os.unlink(self.path)
             except FileNotFoundError:
@@ -270,33 +303,83 @@ class ShardLease:
         self.release()
 
 
+def resource_sample() -> dict:
+    """This process's resident-set and CPU usage, for heartbeat samples.
+
+    ``ru_maxrss`` is kibibytes on Linux (the platform the fleet runs on);
+    the sample normalizes to bytes.  Reading ``getrusage`` never touches
+    experiment state — it is pure kernel accounting.
+    """
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    return {
+        "rss_bytes": usage.ru_maxrss * 1024,
+        "cpu_seconds": usage.ru_utime + usage.ru_stime,
+    }
+
+
 class Heartbeat:
     """Daemon thread renewing a lease every ``interval`` seconds.
 
     Keeps a long-running shard's lease fresh without the executing code
     having to think about it; ``stop()`` is idempotent and joins the
     thread so renewals never outlive the claim.
+
+    With ``sample_path`` set, every beat additionally publishes a worker
+    resource sample — host, pid, RSS, CPU seconds, a wall-clock ``ts``,
+    and whatever the ``info`` callable reports (current campaign/shard,
+    trial counters) — as an atomically replaced JSON document.  The fleet
+    console reads these to answer "is that worker alive, and what is it
+    chewing on"; a worker that dies simply stops refreshing ``ts``, which
+    is exactly the signal the ``worker-silent`` alert rule keys on.
     """
 
-    def __init__(self, lease: ShardLease, interval: float | None = None):
+    def __init__(self, lease: ShardLease, interval: float | None = None,
+                 sample_path: str | None = None, info=None):
         self.lease = lease
         self.interval = interval if interval is not None else \
             max(0.05, lease.ttl / 4.0)
+        self.sample_path = sample_path
+        self.info = info
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
 
     def _run(self) -> None:
         while not self._stop.wait(self.interval):
             self.lease.renew()
+            self.sample()
+
+    def sample(self) -> None:
+        """Publish one worker resource sample (best-effort: a full disk
+        must not kill the shard the sample describes)."""
+        if self.sample_path is None:
+            return
+        payload = {
+            "owner": self.lease.owner,
+            "host": hostname(),
+            "pid": os.getpid(),
+            "ts": time.time(),
+            **resource_sample(),
+        }
+        if self.info is not None:
+            try:
+                payload.update(self.info() or {})
+            except Exception:
+                pass
+        try:
+            write_json_atomic(self.sample_path, payload)
+        except OSError:
+            pass
 
     def start(self) -> "Heartbeat":
         self._thread.start()
+        self.sample()  # an immediate sample marks the claim, not just renewals
         return self
 
     def stop(self) -> None:
         self._stop.set()
         if self._thread.is_alive():
             self._thread.join(timeout=5.0)
+        self.sample()  # final sample carries the finished counters
 
     def __enter__(self) -> "Heartbeat":
         return self.start()

@@ -5,6 +5,8 @@ host sharing the directory) needs::
 
     <root>/campaigns/<campaign_id>/
         spec.json               # the CampaignSpec, verbatim
+        trace.json              # submit-time TraceContext (one campaign
+                                # == one distributed trace)
         state.json              # {"state", "error"?} — atomic replace
         plan.json               # shard index; presence == planning done
         shards/shard-0000.json  # manifests (atomic temp+rename)
@@ -12,6 +14,10 @@ host sharing the directory) needs::
         journals/shard-0000.done    # completion marker (cache; journals
                                     # are the ground truth)
         leases/plan.lease, leases/shard-0000.lease
+        telemetry/shard-0000__<owner>.jsonl  # per-worker span streams
+
+    plus ``<root>/workers/<owner>.json`` — each worker's latest heartbeat
+    resource sample, the fleet console's liveness signal.
 
 The store is deliberately dumb about scheduling — it answers "what exists,
 what's claimable, what's done" and leaves fairness to
@@ -24,15 +30,26 @@ from __future__ import annotations
 
 import logging
 import os
+import re
+import time
 from typing import Iterator
 
 from .. import telemetry
 from ..experiments.runner import Journal
+from ..telemetry import TraceContext
 from ..telemetry.export import prom_sample
+from ..telemetry.fleet import (
+    CampaignFleetStatus,
+    FleetStats,
+    ShardStatus,
+    WorkerStatus,
+    fleet_prometheus,
+)
 from .shards import (
     ShardLease,
     cut_shards,
     ensure_dir,
+    lease_info,
     manifest_payload,
     manifest_tasks,
     read_json,
@@ -93,6 +110,54 @@ class CampaignStore:
         return os.path.join(self.campaign_dir(cid), "journals",
                             f"{shard_id}.jsonl")
 
+    def _trace_path(self, cid: str) -> str:
+        return os.path.join(self.campaign_dir(cid), "trace.json")
+
+    def telemetry_dir(self, cid: str) -> str:
+        return os.path.join(self.campaign_dir(cid), "telemetry")
+
+    def shard_telemetry_path(self, cid: str, unit: str, owner: str) -> str:
+        """Where *owner* streams its telemetry while executing *unit*.
+
+        One file per (unit, owner): a reclaimed shard's new owner appends
+        to its own file, so the campaign's telemetry directory is also a
+        record of who touched what.
+        """
+        safe = re.sub(r"[^A-Za-z0-9._-]", "_", owner)
+        return os.path.join(self.telemetry_dir(cid),
+                            f"{unit}__{safe}.jsonl")
+
+    def telemetry_paths(self, cid: str) -> list[str]:
+        """Every per-shard telemetry stream the campaign has, sorted."""
+        try:
+            names = os.listdir(self.telemetry_dir(cid))
+        except FileNotFoundError:
+            return []
+        return [os.path.join(self.telemetry_dir(cid), name)
+                for name in sorted(names) if name.endswith(".jsonl")]
+
+    def _workers_dir(self) -> str:
+        return os.path.join(self.root, "workers")
+
+    def worker_sample_path(self, owner: str) -> str:
+        safe = re.sub(r"[^A-Za-z0-9._-]", "_", owner)
+        return os.path.join(self._workers_dir(), f"{safe}.json")
+
+    def worker_samples(self) -> list[dict]:
+        """Every worker's latest heartbeat sample (unordered)."""
+        try:
+            names = os.listdir(self._workers_dir())
+        except FileNotFoundError:
+            return []
+        samples = []
+        for name in sorted(names):
+            if not name.endswith(".json"):
+                continue
+            sample = read_json(os.path.join(self._workers_dir(), name))
+            if sample is not None:
+                samples.append(sample)
+        return samples
+
     def _done_marker(self, cid: str, shard_id: str) -> str:
         return os.path.join(self.campaign_dir(cid), "journals",
                             f"{shard_id}.done")
@@ -104,8 +169,14 @@ class CampaignStore:
 
     # -- submission --------------------------------------------------------
 
-    def submit(self, spec) -> str:
+    def submit(self, spec, trace=None) -> str:
         """Persist *spec* as a new campaign; returns its id.
+
+        *trace* is the submitter's :class:`~repro.telemetry.TraceContext`
+        (or its dict form) — the identity every worker restores before
+        opening spans for this campaign.  ``None`` falls back to the
+        submitting process's ambient trace, then to a freshly minted one,
+        so every campaign has exactly one trace id from birth.
 
         Raises ``ValueError`` for an invalid spec or unregistered kind and
         :class:`BacklogFull` when ``max_active`` campaigns are already
@@ -117,6 +188,10 @@ class CampaignStore:
             raise ValueError(
                 f"no plan builder registered for kind {spec.kind!r}; "
                 f"registered: {sorted(PLAN_BUILDERS)}")
+        if isinstance(trace, dict):
+            trace = TraceContext.from_dict(trace)
+        if trace is None:
+            trace = telemetry.current_trace() or TraceContext.new()
         active = sum(1 for cid in self.list_campaigns()
                      if self.coarse_state(cid) not in
                      ("done", "cancelled", "failed"))
@@ -126,10 +201,11 @@ class CampaignStore:
                 f"{self.max_active}); retry after some complete")
         cid = self._allocate_id(spec.kind)
         write_json_atomic(self._spec_path(cid), spec.to_dict())
+        write_json_atomic(self._trace_path(cid), trace.to_dict())
         write_json_atomic(self._state_path(cid), {"state": "queued"})
         telemetry.count("serve.campaigns_submitted")
-        log.info("campaign %s submitted (kind=%s scale=%s)", cid, spec.kind,
-                 spec.scale)
+        log.info("campaign %s submitted (kind=%s scale=%s trace=%s)", cid,
+                 spec.kind, spec.scale, trace.trace_id)
         return cid
 
     def _allocate_id(self, kind: str) -> str:
@@ -172,6 +248,11 @@ class CampaignStore:
         spec = CampaignSpec.from_dict(payload)
         self._spec_cache[cid] = spec  # specs are immutable once submitted
         return spec
+
+    def trace(self, cid: str) -> TraceContext | None:
+        """The campaign's submit-time trace context (``None`` for
+        campaigns from stores that predate trace propagation)."""
+        return TraceContext.from_dict(read_json(self._trace_path(cid)))
 
     def plan(self, cid: str) -> dict | None:
         return read_json(self._plan_path(cid))
@@ -265,24 +346,46 @@ class CampaignStore:
     def mark_shard_done(self, cid: str, shard_id: str) -> None:
         write_json_atomic(self._done_marker(cid, shard_id), {"done": True})
 
-    def claim_shard(self, cid: str, shard_id: str,
-                    owner: str) -> ShardLease | None:
+    def claim_shard(self, cid: str, shard_id: str, owner: str,
+                    counters: dict | None = None) -> ShardLease | None:
         if self.shard_done(cid, shard_id):
             return None
         lease = self._lease(cid, shard_id, owner)
-        return lease if lease.try_claim() else None
+        held = lease_info(lease.path) is not None
+        if held and not lease.is_expired():
+            return None  # healthily claimed elsewhere — not contention
+        if not lease.try_claim():
+            # the shard looked claimable (no lease, or an expired one)
+            # but another worker won the race in the window since we
+            # looked: genuine claim contention
+            telemetry.count("serve.claim_contention")
+            if counters is not None:
+                counters["claim_contention"] = \
+                    counters.get("claim_contention", 0) + 1
+            return None
+        if counters is not None:
+            counters["claims"] = counters.get("claims", 0) + 1
+        if lease.acquired_via == "reclaim":
+            telemetry.count("serve.lease_reclaims")
+            if counters is not None:
+                counters["lease_reclaims"] = \
+                    counters.get("lease_reclaims", 0) + 1
+        return lease
 
-    def claim_work(self, cid: str, owner: str):
+    def claim_work(self, cid: str, owner: str,
+                   counters: dict | None = None):
         """The campaign's next claimable unit, as ``("plan", lease)`` or
         ``("shard", shard_id, lease)``; ``None`` when nothing is
-        claimable (all claimed/done/cancelled)."""
+        claimable (all claimed/done/cancelled).  *counters* (mutated in
+        place) accumulates claim/contention/reclaim counts for the
+        caller's heartbeat samples."""
         if self.coarse_state(cid) in ("cancelled", "failed", "done"):
             return None
         if self.plan(cid) is None:
             lease = self.claim_planning(cid, owner)
             return ("plan", lease) if lease is not None else None
         for shard_id in self.shard_ids(cid):
-            lease = self.claim_shard(cid, shard_id, owner)
+            lease = self.claim_shard(cid, shard_id, owner, counters)
             if lease is not None:
                 return ("shard", shard_id, lease)
         return None
@@ -371,6 +474,7 @@ class CampaignStore:
                 state = "running" if plan is not None else "queued"
         else:
             state = coarse
+        trace = self.trace(cid)
         return {
             "campaign_id": cid,
             "kind": spec.kind,
@@ -386,8 +490,96 @@ class CampaignStore:
                 "total": len(shard_ids),
                 "done": done_shards,
             },
+            "trace_id": trace.trace_id if trace is not None else None,
             "error": state_doc.get("error"),
         }
+
+    # -- fleet aggregate ---------------------------------------------------
+
+    def _submitted_at(self, cid: str) -> float | None:
+        try:
+            return os.stat(self._spec_path(cid)).st_mtime
+        except OSError:
+            return None
+
+    def fleet_stats(self) -> FleetStats:
+        """The fleet-wide snapshot the console and alert rules consume.
+
+        Campaign throughput/ETA derive from journaled trials over wall
+        time since submission (the spec file's mtime — specs are written
+        once).  Shard lease state comes straight from the lease files;
+        worker liveness from the heartbeat samples.  Terminal campaigns
+        contribute their rollup but no shard rows (their queue slots are
+        gone).
+        """
+        now = time.time()
+        campaigns: list[CampaignFleetStatus] = []
+        shards: list[ShardStatus] = []
+        for cid in self.list_campaigns():
+            status = self.status(cid)
+            submitted = self._submitted_at(cid)
+            elapsed = (now - submitted) if submitted is not None else 0.0
+            rate = status["done"] / elapsed if elapsed > 0 else 0.0
+            eta = None
+            if status["total"] is not None and \
+                    status["state"] == "running":
+                remaining = max(0, status["total"] - status["done"])
+                if remaining == 0:
+                    eta = 0.0
+                elif rate > 0:
+                    eta = remaining / rate
+            campaigns.append(CampaignFleetStatus(
+                campaign_id=cid, state=status["state"],
+                total=status["total"], done=status["done"],
+                ok=status["ok"], failed=status["failed"],
+                outcomes=status["outcomes"],
+                shards_total=status["shards"]["total"],
+                shards_done=status["shards"]["done"],
+                trials_per_second=rate, eta_seconds=eta,
+                trace_id=status["trace_id"]))
+            if status["state"] in ("done", "cancelled", "failed"):
+                continue
+            for shard_id in self.shard_ids(cid):
+                if self.shard_done(cid, shard_id):
+                    shards.append(ShardStatus(cid, shard_id, "done"))
+                    continue
+                lease = self._lease(cid, shard_id, "fleet-observer")
+                info = lease_info(lease.path, ttl=self.lease_ttl)
+                if info is None:
+                    shards.append(ShardStatus(cid, shard_id, "todo"))
+                    continue
+                shards.append(ShardStatus(
+                    cid, shard_id, "claimed",
+                    lease_owner=info.get("owner"),
+                    lease_age=info.get("age"),
+                    lease_ttl=self.lease_ttl,
+                    # full criterion (mtime ttl OR dead pid on this host)
+                    expired=lease.is_expired()))
+        workers = []
+        for sample in self.worker_samples():
+            workers.append(WorkerStatus(
+                owner=str(sample.get("owner", "?")),
+                host=str(sample.get("host", "")),
+                pid=sample.get("pid"),
+                campaign_id=sample.get("campaign"),
+                shard_id=sample.get("shard"),
+                last_seen=sample.get("ts"),
+                started=sample.get("started"),
+                rss_bytes=sample.get("rss_bytes"),
+                cpu_seconds=sample.get("cpu_seconds"),
+                units_done=int(sample.get("units_done", 0)),
+                trials_done=int(sample.get("trials_done", 0)),
+                claims=int(sample.get("claims", 0)),
+                claim_contention=int(sample.get("claim_contention", 0)),
+                lease_reclaims=int(sample.get("lease_reclaims", 0))))
+        return FleetStats(root=self.root, generated_at=now,
+                          campaigns=campaigns, workers=workers,
+                          shards=shards)
+
+    def fleet_prometheus(self, alert_totals: dict | None = None) -> str:
+        """Store progress + fleet rollups as one exposition document."""
+        return self.prometheus() + fleet_prometheus(self.fleet_stats(),
+                                                    alert_totals)
 
     # -- metrics -----------------------------------------------------------
 

@@ -21,6 +21,12 @@ Telemetry is **off unless configured** — every hook is a ``None`` check —
 and it is timing-only: enabling it never draws randomness or touches file
 bytes, so instrumented campaigns stay bit-identical to bare ones.
 
+Beyond one process tree, :class:`TraceContext` + :func:`trace_scope`
+propagate a trace identity across HTTP/process/host boundaries, and
+:mod:`repro.telemetry.fleet` merges the per-shard streams fleet workers
+write back into one campaign-level view (:class:`FleetTelemetry`,
+:class:`FleetStats`, alert rules, fleet Prometheus exposition).
+
 See ``docs/observability.md`` for the event schema and span semantics.
 """
 
@@ -35,52 +41,88 @@ from .core import (
     NOOP_SPAN,
     Pipeline,
     Span,
+    TraceContext,
     adopt,
     configure,
     count,
+    current_trace,
     enabled,
     event,
     flush_metrics,
     gauge,
+    hostname,
+    new_trace_id,
     observe,
     pipeline,
     shutdown,
     span,
     start_span,
+    trace_scope,
 )
 from .export import (chrome_trace, escape_label_value, prom_sample,
                      prometheus_exposition)
 from .logging_setup import LOG_FORMAT, VERBOSITY_LEVELS, setup_logging
+from .fleet import (
+    Alert,
+    AlertRule,
+    CampaignFleetStatus,
+    DEFAULT_ALERT_RULES,
+    FleetStats,
+    FleetTelemetry,
+    JsonlTail,
+    ShardStatus,
+    WorkerStatus,
+    evaluate_alerts,
+    fleet_prometheus,
+    merge_campaign_events,
+)
 from .metrics import DEFAULT_BUCKETS, Histogram, Registry
-from .sinks import InMemorySink, JsonlSink, NullSink, Sink
+from .sinks import FanoutSink, InMemorySink, JsonlSink, NullSink, Sink
 
 __all__ = [
+    "Alert",
+    "AlertRule",
+    "CampaignFleetStatus",
     "CampaignTelemetry",
+    "DEFAULT_ALERT_RULES",
     "DEFAULT_BUCKETS",
+    "FanoutSink",
+    "FleetStats",
+    "FleetTelemetry",
     "Histogram",
     "InMemorySink",
     "JsonlSink",
+    "JsonlTail",
     "LOG_FORMAT",
     "NOOP_SPAN",
     "NullSink",
     "PhaseStat",
     "Pipeline",
     "Registry",
+    "ShardStatus",
     "Sink",
     "Span",
+    "TraceContext",
     "TrialSummary",
     "VERBOSITY_LEVELS",
+    "WorkerStatus",
     "adopt",
     "chrome_trace",
     "escape_label_value",
     "configure",
     "count",
+    "current_trace",
     "enabled",
+    "evaluate_alerts",
     "event",
+    "fleet_prometheus",
     "flush_metrics",
     "gauge",
+    "hostname",
     "load_events",
+    "merge_campaign_events",
     "merge_metrics",
+    "new_trace_id",
     "observe",
     "pipeline",
     "prom_sample",
@@ -89,4 +131,5 @@ __all__ = [
     "shutdown",
     "span",
     "start_span",
+    "trace_scope",
 ]

@@ -8,8 +8,11 @@ did each fault do to its training curve.
 
 Metric merging rules (the counterpart of the registry's flush semantics):
 snapshots are cumulative per process, so the aggregator keeps the **last**
-snapshot per ``(pid, name)`` and sums across pids.  Counters and histogram
-bucket counts add; gauges keep the most recent value.
+snapshot per ``(host, pid, name)`` and sums across processes.  Counters
+and histogram bucket counts add; gauges keep the most recent value.  The
+host component matters once fleet merging (:mod:`repro.telemetry.fleet`)
+concatenates streams from workers on different machines, where two
+unrelated processes can share a pid.
 """
 
 from __future__ import annotations
@@ -50,14 +53,15 @@ def merge_metrics(events: list[dict]) -> dict[str, dict]:
     ``{name: {"kind": "histogram", "buckets": [...], "counts": [...],
     "sum": ..., "count": ...}}`` for histograms.
     """
-    # last snapshot per (pid, name); events arrive in append order
+    # last snapshot per (host, pid, name); events arrive in append order
     last: dict[tuple, dict] = {}
     for event in events:
         if event.get("type") == "metric":
-            last[(event.get("pid"), event["name"])] = event
+            last[(event.get("host"), event.get("pid"), event["name"])] = event
 
     merged: dict[str, dict] = {}
-    for (_, name), event in sorted(last.items(), key=lambda kv: str(kv[0])):
+    for (_, _, name), event in sorted(last.items(),
+                                      key=lambda kv: str(kv[0])):
         kind = event.get("kind", "counter")
         slot = merged.get(name)
         if kind == "histogram":

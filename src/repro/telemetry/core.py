@@ -20,6 +20,15 @@ Span semantics:
   campaign parent becomes the parent of the ``inject``/``train`` spans
   opened inside a forked worker.
 
+Crossing *process and host* boundaries (not just ``fork``) goes through
+the explicit :class:`TraceContext` carrier: the submitting side exports
+``current_trace()`` (or mints a fresh one with :func:`TraceContext.new`),
+ships it as a dict or W3C-style ``traceparent`` header, and the executing
+side restores it with :func:`trace_scope` before opening spans.  Inside a
+``trace_scope`` every emitted span carries the restored trace id and
+parents under the carrier's span id, so a campaign submitted over HTTP
+and drained by N workers on M hosts still reads as **one** trace.
+
 Instrumentation is timing-only: nothing here draws randomness or touches
 file bytes, so enabling telemetry cannot perturb an experiment (locked in
 by ``tests/telemetry/test_instrumentation.py``).
@@ -27,24 +36,99 @@ by ``tests/telemetry/test_instrumentation.py``).
 
 from __future__ import annotations
 
+import contextlib
+import dataclasses
 import itertools
 import os
+import socket
 import time
 from contextvars import ContextVar
 
 from .metrics import DEFAULT_BUCKETS, Registry
-from .sinks import JsonlSink, Sink
+from .sinks import FanoutSink, JsonlSink, Sink
 
 _pipeline: "Pipeline | None" = None
 _current: ContextVar["Span | None"] = ContextVar("repro_telemetry_span",
                                                 default=None)
 _ids = itertools.count(1)
+_trace_ids = itertools.count(1)
+_host: str | None = None
+_host_pid: int | None = None
+
+
+def hostname() -> str:
+    """This host's name, cached per process (re-read after ``fork`` is
+    pointless — forks share the host — but cheap to keep correct)."""
+    global _host, _host_pid
+    if _host is None or _host_pid != os.getpid():
+        _host = socket.gethostname()
+        _host_pid = os.getpid()
+    return _host
 
 
 def _new_span_id() -> str:
     # pid-qualified counter: unique across a fork pool without consuming
     # any randomness source an experiment could observe
     return f"{os.getpid():x}.{next(_ids)}"
+
+
+def new_trace_id() -> str:
+    """A 32-hex-digit trace id in the W3C ``trace-id`` shape.
+
+    Built from pid + wall-clock nanoseconds + a process counter — globally
+    unique in practice without drawing from any randomness source an
+    experiment could observe (the rng-purity lint rule bans RNG here).
+    """
+    return (f"{os.getpid() & 0xFFFFFFFF:08x}"
+            f"{time.time_ns() & 0xFFFFFFFFFFFFFFFF:016x}"
+            f"{next(_trace_ids) & 0xFFFFFFFF:08x}")
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceContext:
+    """The explicit carrier for a trace identity crossing process or host
+    boundaries.
+
+    ``trace_id`` names the whole distributed trace (one campaign == one
+    trace); ``span_id`` optionally names the remote parent span that new
+    local spans should nest under.  Serializes to a JSON-safe dict and to
+    a W3C-traceparent-style header line (``00-<trace id>-<span id>-01``).
+    """
+
+    trace_id: str
+    span_id: str | None = None
+
+    @classmethod
+    def new(cls, span_id: str | None = None) -> "TraceContext":
+        return cls(trace_id=new_trace_id(), span_id=span_id)
+
+    def to_dict(self) -> dict:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_dict(cls, payload: dict | None) -> "TraceContext | None":
+        if not payload or not payload.get("trace_id"):
+            return None
+        return cls(trace_id=str(payload["trace_id"]),
+                   span_id=payload.get("span_id") or None)
+
+    def to_traceparent(self) -> str:
+        # span ids here are pid-qualified counters ("1a2b.7"), not 16-hex
+        # words, so this is traceparent *shaped* rather than strictly W3C;
+        # neither field may contain "-", which keeps the parse unambiguous
+        return f"00-{self.trace_id}-{self.span_id or '0' * 16}-01"
+
+    @classmethod
+    def from_traceparent(cls, header: str | None) -> "TraceContext | None":
+        if not header:
+            return None
+        parts = header.strip().split("-")
+        if len(parts) != 4 or not parts[1]:
+            return None
+        span_id = parts[2]
+        if not span_id or set(span_id) == {"0"}:
+            span_id = None
+        return cls(trace_id=parts[1], span_id=span_id)
 
 
 class Span:
@@ -146,15 +230,18 @@ class Pipeline:
 
     def __init__(self, sink: Sink, trace_id: str | None = None):
         self.sink = sink
-        self.trace_id = trace_id or f"{os.getpid():x}-{time.time_ns():x}"
+        self.trace_id = trace_id or new_trace_id()
         self.registry = Registry()
 
     def emit(self, event: dict) -> None:
+        # host-stamp centrally so every producer (spans, events, metric
+        # snapshots) is cross-host disambiguable after a fleet merge
+        event.setdefault("host", hostname())
         self.sink.emit(event)
 
     def flush_metrics(self) -> None:
         for event in self.registry.metric_events():
-            self.sink.emit(event)
+            self.emit(event)
 
 
 # ---------------------------------------------------------------------------
@@ -220,6 +307,107 @@ def start_span(name: str, parent: "Span | dict | None" = None,
     else:
         parent_id = parent.span_id
     return Span(name, parent_id, attrs)
+
+
+def current_trace() -> TraceContext | None:
+    """Export this process's trace identity for shipping elsewhere.
+
+    ``trace_id`` is the pipeline's; ``span_id`` is the ambient span's (so
+    remote work parents under whatever the caller is doing right now).
+    ``None`` while telemetry is off — callers that must always propagate
+    mint a fresh :meth:`TraceContext.new` instead.
+    """
+    pipeline = _pipeline
+    if pipeline is None:
+        return None
+    ambient = _current.get()
+    return TraceContext(trace_id=pipeline.trace_id,
+                        span_id=ambient.span_id if ambient is not None
+                        else None)
+
+
+@contextlib.contextmanager
+def trace_scope(trace: "TraceContext | dict | None" = None, *,
+                jsonl: str | None = None):
+    """Adopt a remote trace identity for the duration of a ``with`` block.
+
+    This is the executing-side half of distributed propagation: a worker
+    restores the submit-time :class:`TraceContext` before opening its
+    ``serve.shard``/``trial`` spans, so everything it (and its forked
+    children) emits carries the campaign's trace id and nests under the
+    submitter's span.
+
+    * ``trace`` may be a :class:`TraceContext`, an exported dict, or
+      ``None`` (mint a fresh trace — still useful for the ``jsonl`` tee).
+    * ``jsonl=`` tees every event emitted inside the scope to a private
+      JSONL file *in addition to* any globally configured sink.  When
+      telemetry is globally off, the scope installs a temporary pipeline
+      writing only to that file — which is how serve workers produce
+      per-shard telemetry by default without the operator opting in.
+
+    Yields the effective :class:`TraceContext`.  Metrics accumulated
+    inside the scope are flushed to the teed sink before it closes, so a
+    shard's telemetry file is self-contained.
+
+    The scope swaps *process-global* pipeline state (that is what lets
+    forked campaign children inherit it): overlapping scopes from
+    concurrent **threads** of one process may mislabel each other's
+    events and are unsupported — fleet workers are processes, and the
+    thread-pooled test workers only overlap within a single campaign,
+    where the identity is shared anyway.
+    """
+    global _pipeline
+    if isinstance(trace, dict):
+        trace = TraceContext.from_dict(trace)
+    if trace is None:
+        trace = TraceContext.new()
+
+    pipeline = _pipeline
+    installed = None
+    saved_sink = None
+    saved_trace_id = None
+    # the tee is buffered: one process owns each per-shard file, the
+    # scope exit flushes, and a kill -9 loses only events whose shard is
+    # re-run (and re-traced) by the next lease holder anyway
+    tee: JsonlSink | None = (JsonlSink(jsonl, buffer_bytes=64 * 1024)
+                             if jsonl is not None else None)
+    if pipeline is None:
+        if tee is None:
+            # telemetry fully off and nowhere to write: adopt the parent
+            # id anyway so context() exports stay coherent, nothing else
+            token = _current.set(_RemoteParent(trace.span_id)
+                                 if trace.span_id else None)
+            try:
+                yield trace
+            finally:
+                _current.reset(token)
+            return
+        installed = _pipeline = Pipeline(tee, trace_id=trace.trace_id)
+        scoped = installed
+    else:
+        saved_sink, saved_trace_id = pipeline.sink, pipeline.trace_id
+        pipeline.trace_id = trace.trace_id
+        if tee is not None:
+            pipeline.sink = FanoutSink(saved_sink, tee)
+        scoped = pipeline
+    token = _current.set(_RemoteParent(trace.span_id)
+                         if trace.span_id else None)
+    try:
+        yield trace
+    finally:
+        _current.reset(token)
+        # flush while the tee is still attached so the shard file carries
+        # its own metric snapshots
+        scoped.flush_metrics()
+        if installed is not None:
+            if _pipeline is installed:  # tolerate configure() inside
+                _pipeline = None
+            installed.sink.close()
+        else:
+            pipeline.sink = saved_sink
+            pipeline.trace_id = saved_trace_id
+            if tee is not None:
+                tee.close()
 
 
 def adopt(trace: dict | None) -> None:

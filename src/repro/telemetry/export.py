@@ -33,6 +33,17 @@ _HELP = {
     "runner.worker_crashes": "Worker processes that died without a result.",
     "runner.busy_seconds": "Summed worker busy wall-time.",
     "runner.worker_utilization": "Busy fraction of the worker pool.",
+    "serve.campaigns_submitted": "Campaigns accepted into the store.",
+    "serve.campaigns_planned": "Campaigns whose shard plan was built.",
+    "serve.campaigns_cancelled": "Campaigns cancelled by request.",
+    "serve.plan_failures": "Campaigns whose planning step raised.",
+    "serve.shards_planned": "Shard manifests cut at planning time.",
+    "serve.shards_claimed": "Shard leases claimed by workers.",
+    "serve.shards_completed": "Shards whose journal covers the manifest.",
+    "serve.claim_contention":
+        "Shard claim attempts that lost the lease race to another worker.",
+    "serve.lease_reclaims": "Expired shard leases taken over by a new "
+                            "worker.",
 }
 
 
@@ -176,18 +187,50 @@ def _health_samples(events: list[dict]) -> list[str]:
     return lines
 
 
+def _chrome_tracks(events: list[dict]) -> dict[tuple, int]:
+    """Collision-free synthetic Chrome pid per ``(host, pid)`` pair.
+
+    A fleet-merged stream can carry the same OS pid from two hosts;
+    Chrome's ``pid`` field is the only track key it has, so each distinct
+    ``(host, pid)`` gets its own small synthetic id, assigned in sorted
+    order for output stability.
+    """
+    pairs = {(event.get("host") or "", event.get("pid", 0))
+             for event in events if event.get("type") in ("span", "event")}
+    return {pair: index + 1 for index, pair in
+            enumerate(sorted(pairs, key=lambda p: (str(p[0]), str(p[1]))))}
+
+
 def chrome_trace(events: list[dict]) -> dict:
     """The stream as a Chrome ``trace_event`` JSON object.
 
     Load the output in ``chrome://tracing`` / Perfetto for a flamegraph of
-    the campaign: one track per process, spans as complete ("X") events,
-    point events as instants ("i").  Timestamps are microseconds as the
-    format requires.
+    the campaign: one track per ``(host, pid)`` pair — fleet-merged
+    streams from different hosts cannot collide even when OS pids repeat —
+    spans as complete ("X") events, point events as instants ("i").
+    Each track is labelled with ``process_name``/``thread_name`` metadata
+    ("M") events carrying the originating host and pid.  Timestamps are
+    microseconds as the format requires.
     """
+    tracks = _chrome_tracks(events)
     trace_events: list[dict] = []
+    for (host, pid), track in sorted(tracks.items(), key=lambda kv: kv[1]):
+        label = f"{host}:{pid}" if host else str(pid)
+        for meta in ("process_name", "thread_name"):
+            trace_events.append({
+                "name": meta,
+                "cat": "__metadata",
+                "ph": "M",
+                "ts": 0.0,
+                "pid": track,
+                "tid": track,
+                "args": {"name": label},
+            })
     for event in events:
         kind = event.get("type")
-        pid = event.get("pid", 0)
+        track = tracks.get((event.get("host") or "", event.get("pid", 0)))
+        if track is None:
+            continue
         if kind == "span":
             trace_events.append({
                 "name": event.get("name", "?"),
@@ -195,8 +238,8 @@ def chrome_trace(events: list[dict]) -> dict:
                 "ph": "X",
                 "ts": float(event.get("ts", 0.0)) * 1e6,
                 "dur": float(event.get("dur", 0.0)) * 1e6,
-                "pid": pid,
-                "tid": pid,
+                "pid": track,
+                "tid": track,
                 "args": dict(event.get("attrs", {}),
                              status=event.get("status")),
             })
@@ -207,9 +250,9 @@ def chrome_trace(events: list[dict]) -> dict:
                 "ph": "i",
                 "s": "p",  # process-scoped instant
                 "ts": float(event.get("ts", 0.0)) * 1e6,
-                "pid": pid,
-                "tid": pid,
+                "pid": track,
+                "tid": track,
                 "args": dict(event.get("attrs", {})),
             })
-    trace_events.sort(key=lambda e: e["ts"])
+    trace_events.sort(key=lambda e: (e["ts"], e["ph"] != "M"))
     return {"traceEvents": trace_events, "displayTimeUnit": "ms"}

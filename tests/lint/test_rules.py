@@ -403,3 +403,72 @@ class TestSpanDiscipline:
             """,
         )
         assert found == []
+
+class TestTracePropagation:
+    def test_serve_span_outside_trace_scope_flagged(self):
+        found = findings(
+            """
+            from repro import telemetry
+
+            def run_shard(cid):
+                with telemetry.span("serve.shard", campaign=cid):
+                    pass
+            """,
+            module="repro.serve.scheduler",
+        )
+        assert rules_hit(found) == {"trace-propagation"}
+        assert "trace_scope" in found[0].message
+
+    def test_serve_span_inside_trace_scope_clean(self):
+        found = findings(
+            """
+            from repro import telemetry
+
+            def run_shard(store, cid):
+                with telemetry.trace_scope(store.trace(cid)):
+                    with telemetry.span("serve.shard", campaign=cid):
+                        pass
+            """,
+            module="repro.serve.scheduler",
+        )
+        assert found == []
+
+    def test_aliased_trace_scope_and_span_clean(self):
+        found = findings(
+            """
+            from repro.telemetry import span, trace_scope
+
+            def plan(trace):
+                with trace_scope(trace):
+                    with span("serve.plan"):
+                        pass
+            """,
+            module="repro.serve.scheduler",
+        )
+        assert found == []
+
+    def test_non_serve_span_clean(self):
+        found = findings(
+            """
+            from repro import telemetry
+
+            def run():
+                with telemetry.span("trial"):
+                    pass
+            """,
+            module="repro.serve.scheduler",
+        )
+        assert found == []
+
+    def test_same_code_outside_domain_clean(self):
+        found = findings(
+            """
+            from repro import telemetry
+
+            def run():
+                with telemetry.span("serve.shard"):
+                    pass
+            """,
+            module="repro.experiments.runner",
+        )
+        assert found == []

@@ -1,6 +1,7 @@
 """Exporters: Prometheus text exposition and Chrome trace_event JSON."""
 
 import json
+import re
 
 from repro.telemetry.export import (
     chrome_trace,
@@ -87,6 +88,59 @@ def test_prometheus_known_metrics_get_specific_help():
             "campaign plans.") in text
 
 
+def _serve_events():
+    names = ["serve.campaigns_submitted", "serve.campaigns_planned",
+             "serve.shards_planned", "serve.shards_claimed",
+             "serve.shards_completed", "serve.claim_contention",
+             "serve.lease_reclaims"]
+    return [{"type": "metric", "kind": "counter", "name": name,
+             "value": 3, "pid": 1, "ts": 0.0} for name in names]
+
+
+def test_prometheus_serve_families_have_specific_help():
+    text = prometheus_exposition(_serve_events())
+    for prom in ("repro_serve_campaigns_submitted",
+                 "repro_serve_shards_claimed",
+                 "repro_serve_claim_contention",
+                 "repro_serve_lease_reclaims"):
+        assert f"# TYPE {prom} counter" in text
+        help_lines = [l for l in text.splitlines()
+                      if l.startswith(f"# HELP {prom} ")]
+        assert len(help_lines) == 1, prom
+        # specific prose, not the generic "Merged counter ..." fallback
+        assert "Merged counter" not in help_lines[0], help_lines[0]
+
+
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9.eE+\-]+$"
+    r"|^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (\+|-)?(Inf|NaN)$")
+
+
+def test_prometheus_exposition_is_format_valid():
+    """Every line is a comment or a well-formed sample, and every sample's
+    family was introduced by a HELP+TYPE pair earlier in the text."""
+    text = prometheus_exposition(_events() + _serve_events())
+    declared: set[str] = set()
+    helped: set[str] = set()
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            helped.add(line.split()[2])
+            continue
+        if line.startswith("# TYPE "):
+            family = line.split()[2]
+            assert family in helped, f"TYPE before HELP: {line}"
+            declared.add(family)
+            continue
+        assert _SAMPLE_RE.match(line), f"malformed sample: {line!r}"
+        name = line.split("{")[0].split()[0]
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in declared:
+                base = name[:-len(suffix)]
+        assert base in declared, f"undeclared family: {line!r}"
+    assert text.endswith("\n")
+
+
 def test_prometheus_trial_outcomes_rolled_up():
     events = _events() + [
         _span("trial", 1.0, outcome="masked"),
@@ -166,3 +220,53 @@ def test_chrome_trace_sorted_and_serializable():
     assert stamps == sorted(stamps)
     json.dumps(trace)  # must be JSON-clean for chrome://tracing
     assert trace["displayTimeUnit"] == "ms"
+
+
+# -- Chrome trace: fleet merges (multi-pid, multi-host) ----------------------
+
+def _fleet_events():
+    # same OS pid on two hosts plus a second pid on one of them — the
+    # shape a fleet merge produces when workers run on several machines
+    return [
+        dict(_span("serve.shard", 1.0, pid=4242), host="alpha"),
+        dict(_span("trial", 0.5, pid=4242, ts=2.0), host="beta"),
+        dict(_span("trial", 0.5, pid=9, ts=3.0), host="beta"),
+    ]
+
+
+def test_chrome_trace_same_pid_on_two_hosts_gets_distinct_tracks():
+    trace = chrome_trace(_fleet_events())
+    spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    by_name = {e["name"]: e["pid"] for e in spans}
+    tracks = {e["pid"] for e in spans}
+    assert len(tracks) == 3  # (alpha,4242), (beta,4242), (beta,9)
+    assert by_name["serve.shard"] != spans[1]["pid"]
+
+
+def test_chrome_trace_track_labels_carry_host_and_pid():
+    trace = chrome_trace(_fleet_events())
+    labels = {e["pid"]: e["args"]["name"]
+              for e in trace["traceEvents"]
+              if e["ph"] == "M" and e["name"] == "process_name"}
+    assert sorted(labels.values()) == ["alpha:4242", "beta:4242", "beta:9"]
+    # every span's track has a label
+    for event in trace["traceEvents"]:
+        if event["ph"] == "X":
+            assert event["pid"] in labels
+
+
+def test_chrome_trace_track_assignment_is_stable():
+    events = _fleet_events()
+    first = chrome_trace(events)
+    second = chrome_trace(list(reversed(events)))
+    def label_map(trace):
+        return {e["args"]["name"]: e["pid"] for e in trace["traceEvents"]
+                if e["ph"] == "M" and e["name"] == "process_name"}
+    assert label_map(first) == label_map(second)
+
+
+def test_chrome_trace_hostless_events_fall_back_to_pid_label():
+    trace = chrome_trace([_span("trial", 1.0, pid=7)])
+    (label,) = {e["args"]["name"] for e in trace["traceEvents"]
+                if e["ph"] == "M" and e["name"] == "process_name"}
+    assert label == "7"

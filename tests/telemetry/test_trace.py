@@ -1,0 +1,213 @@
+"""Distributed trace propagation: TraceContext, trace_scope, tee sink."""
+
+import json
+import os
+
+from repro import telemetry
+from repro.telemetry import JsonlSink, TraceContext
+from repro.telemetry.core import new_trace_id
+
+
+# -- trace ids ---------------------------------------------------------------
+
+def test_new_trace_id_shape():
+    trace_id = new_trace_id()
+    assert len(trace_id) == 32
+    int(trace_id, 16)  # pure hex
+    assert "-" not in trace_id  # "-" would break traceparent parsing
+
+
+def test_new_trace_ids_unique():
+    ids = {new_trace_id() for _ in range(100)}
+    assert len(ids) == 100
+
+
+# -- TraceContext carrier ----------------------------------------------------
+
+def test_trace_context_dict_round_trip():
+    trace = TraceContext.new(span_id="1a2b.7")
+    assert TraceContext.from_dict(trace.to_dict()) == trace
+
+
+def test_trace_context_from_dict_rejects_empty():
+    assert TraceContext.from_dict(None) is None
+    assert TraceContext.from_dict({}) is None
+    assert TraceContext.from_dict({"trace_id": ""}) is None
+
+
+def test_traceparent_round_trip():
+    trace = TraceContext(trace_id="a" * 32, span_id="1a2b.7")
+    header = trace.to_traceparent()
+    assert header == f"00-{'a' * 32}-1a2b.7-01"
+    assert TraceContext.from_traceparent(header) == trace
+
+
+def test_traceparent_without_span_uses_zero_word():
+    trace = TraceContext(trace_id="b" * 32)
+    header = trace.to_traceparent()
+    assert header == f"00-{'b' * 32}-{'0' * 16}-01"
+    parsed = TraceContext.from_traceparent(header)
+    assert parsed == trace
+    assert parsed.span_id is None
+
+
+def test_from_traceparent_rejects_malformed():
+    assert TraceContext.from_traceparent(None) is None
+    assert TraceContext.from_traceparent("") is None
+    assert TraceContext.from_traceparent("nonsense") is None
+    assert TraceContext.from_traceparent("00-xyz") is None
+    assert TraceContext.from_traceparent("00--span-01") is None
+
+
+# -- current_trace -----------------------------------------------------------
+
+def test_current_trace_none_while_disabled():
+    assert telemetry.current_trace() is None
+
+
+def test_current_trace_carries_pipeline_and_ambient_span():
+    telemetry.configure(telemetry.InMemorySink())
+    outside = telemetry.current_trace()
+    assert outside.span_id is None
+    with telemetry.span("submit") as span:
+        inside = telemetry.current_trace()
+    assert inside.trace_id == outside.trace_id
+    assert inside.span_id == span.span_id
+
+
+# -- trace_scope -------------------------------------------------------------
+
+def test_trace_scope_adopts_trace_id_in_configured_pipeline():
+    sink = telemetry.InMemorySink()
+    telemetry.configure(sink)
+    remote = TraceContext(trace_id="c" * 32, span_id="dead.1")
+    with telemetry.trace_scope(remote):
+        with telemetry.span("serve.shard"):
+            pass
+    with telemetry.span("after"):
+        pass
+    (shard,) = sink.spans("serve.shard")
+    (after,) = sink.spans("after")
+    assert shard["trace_id"] == "c" * 32
+    assert shard["parent_id"] == "dead.1"  # nests under the remote parent
+    assert after["trace_id"] != "c" * 32  # identity restored on exit
+
+
+def test_trace_scope_accepts_exported_dict():
+    sink = telemetry.InMemorySink()
+    telemetry.configure(sink)
+    with telemetry.trace_scope({"trace_id": "d" * 32, "span_id": None}):
+        with telemetry.span("work"):
+            pass
+    assert sink.spans("work")[0]["trace_id"] == "d" * 32
+
+
+def test_trace_scope_tees_to_jsonl_while_disabled(tmp_path):
+    """The serve-worker default: telemetry globally off, per-shard tee on."""
+    path = tmp_path / "shard.jsonl"
+    assert not telemetry.enabled()
+    remote = TraceContext(trace_id="e" * 32)
+    with telemetry.trace_scope(remote, jsonl=str(path)):
+        assert telemetry.enabled()
+        with telemetry.span("serve.shard", shard="s0"):
+            telemetry.count("serve.shards_claimed")
+    assert not telemetry.enabled()  # temporary pipeline removed
+    events = [json.loads(line) for line in
+              path.read_text().splitlines()]
+    spans = [e for e in events if e["type"] == "span"]
+    metrics = [e for e in events if e["type"] == "metric"]
+    assert [s["name"] for s in spans] == ["serve.shard"]
+    assert spans[0]["trace_id"] == "e" * 32
+    # metrics flushed into the tee before scope exit: self-contained file
+    assert any(m["name"] == "serve.shards_claimed" for m in metrics)
+
+
+def test_trace_scope_tee_duplicates_into_global_sink(tmp_path):
+    path = tmp_path / "shard.jsonl"
+    sink = telemetry.InMemorySink()
+    telemetry.configure(sink)
+    with telemetry.trace_scope(TraceContext.new(), jsonl=str(path)):
+        with telemetry.span("serve.shard"):
+            pass
+    assert sink.spans("serve.shard")  # operator's sink still sees it
+    teed = [json.loads(line) for line in path.read_text().splitlines()]
+    assert any(e.get("name") == "serve.shard" for e in teed)
+
+
+def test_trace_scope_without_pipeline_or_tee_is_ambient_only():
+    remote = TraceContext(trace_id="f" * 32, span_id="beef.2")
+    with telemetry.trace_scope(remote) as trace:
+        assert trace is remote
+        assert not telemetry.enabled()
+
+
+def test_trace_scope_mints_trace_when_given_none():
+    with telemetry.trace_scope() as trace:
+        assert len(trace.trace_id) == 32
+
+
+def test_nested_scopes_restore_outer_identity():
+    sink = telemetry.InMemorySink()
+    telemetry.configure(sink)
+    outer = TraceContext(trace_id="1" * 32)
+    inner = TraceContext(trace_id="2" * 32)
+    with telemetry.trace_scope(outer):
+        with telemetry.trace_scope(inner):
+            with telemetry.span("deep"):
+                pass
+        with telemetry.span("shallow"):
+            pass
+    assert sink.spans("deep")[0]["trace_id"] == "2" * 32
+    assert sink.spans("shallow")[0]["trace_id"] == "1" * 32
+
+
+# -- JsonlSink buffering -----------------------------------------------------
+
+def test_jsonl_sink_unbuffered_writes_immediately(tmp_path):
+    path = tmp_path / "events.jsonl"
+    sink = JsonlSink(str(path))
+    sink.emit({"n": 1})
+    assert path.read_text() == '{"n": 1}\n'
+    sink.close()
+
+
+def test_jsonl_sink_buffered_holds_until_flush(tmp_path):
+    path = tmp_path / "events.jsonl"
+    sink = JsonlSink(str(path), buffer_bytes=1 << 20)
+    sink.emit({"n": 1})
+    sink.emit({"n": 2})
+    assert not path.exists() or path.read_text() == ""
+    sink.flush()
+    assert [json.loads(l) for l in path.read_text().splitlines()] == \
+        [{"n": 1}, {"n": 2}]
+    sink.close()
+
+
+def test_jsonl_sink_buffered_flushes_at_threshold(tmp_path):
+    path = tmp_path / "events.jsonl"
+    sink = JsonlSink(str(path), buffer_bytes=16)
+    sink.emit({"n": 1})  # 9 bytes: stays buffered
+    sink.emit({"n": 2})  # crosses 16: batch written
+    assert len(path.read_text().splitlines()) == 2
+    sink.close()
+
+
+def test_jsonl_sink_close_flushes(tmp_path):
+    path = tmp_path / "events.jsonl"
+    sink = JsonlSink(str(path), buffer_bytes=1 << 20)
+    sink.emit({"n": 1})
+    sink.close()
+    assert json.loads(path.read_text()) == {"n": 1}
+
+
+def test_jsonl_sink_inherited_buffer_dropped_after_fork(tmp_path):
+    """A forked child must not re-flush lines the parent buffered."""
+    path = tmp_path / "events.jsonl"
+    sink = JsonlSink(str(path), buffer_bytes=1 << 20)
+    sink.emit({"who": "parent"})
+    # simulate the fork: the child sees a different pid than the buffer's
+    sink._buffer_pid = os.getpid() - 1
+    sink.emit({"who": "child"})
+    sink.flush()
+    lines = [json.loads(l) for l in path.read_text().splitlines()]
+    assert lines == [{"who": "child"}]
