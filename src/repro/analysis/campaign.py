@@ -17,8 +17,45 @@ journal.  Only mappings are consumed here, keeping ``analysis`` below
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import asdict, dataclass, field
 from typing import Iterable, Mapping
+
+#: Canonical outcome-class labels, in severity order.  Mirrors
+#: :data:`repro.health.outcome.OUTCOMES`; kept literal here so ``analysis``
+#: stays importable without the health stack (a test pins the two in sync).
+CANONICAL_OUTCOMES = ("masked", "degraded", "collapsed", "crashed")
+
+#: labels already warned about, so a campaign with thousands of records
+#: carrying one misspelled label warns once, not thousands of times
+_warned_outcome_labels: set[str] = set()
+
+
+def _split_outcomes(outcomes: Mapping) -> tuple[dict, dict]:
+    """Split an outcome histogram into canonical and ``other`` buckets.
+
+    Unknown labels (archives written by newer/older classifiers, or plain
+    typos) used to flow into ``CampaignStats.outcomes`` unchecked, where
+    downstream rate math silently treated them as zero-count canonical
+    classes.  They now land in a separate ``other`` bucket — preserved
+    label-for-label so ``to_dict``/``from_dict`` round-trips — with a
+    once-per-label warning.
+    """
+    known: dict[str, int] = {}
+    other: dict[str, int] = {}
+    for label, count in outcomes.items():
+        label = str(label)
+        if label in CANONICAL_OUTCOMES:
+            known[label] = int(count)
+            continue
+        other[label] = int(count)
+        if label not in _warned_outcome_labels:
+            _warned_outcome_labels.add(label)
+            warnings.warn(
+                f"unknown outcome label {label!r} bucketed under 'other' "
+                f"(canonical labels: {', '.join(CANONICAL_OUTCOMES)})",
+                stacklevel=3)
+    return known, other
 
 
 @dataclass(frozen=True)
@@ -121,6 +158,10 @@ class CampaignStats:
     #: before the classifier existed carry no ``outcome_class`` and are
     #: simply absent from the histogram.
     outcomes: dict = field(default_factory=dict)
+    #: non-canonical outcome labels (and their counts) seen in the input —
+    #: kept apart from ``outcomes`` so rate math over canonical classes
+    #: cannot silently absorb a typo'd or future label
+    other_outcomes: dict = field(default_factory=dict)
 
     @classmethod
     def from_records(cls, records: Iterable[Mapping], *,
@@ -132,11 +173,12 @@ class CampaignStats:
         failed = sum(1 for r in records if r.get("status") == "failed")
         retries = sum(max(0, int(r.get("attempts", 1)) - 1) for r in records)
         timeouts = sum(1 for r in records if r.get("timed_out"))
-        outcomes: dict[str, int] = {}
+        histogram: dict[str, int] = {}
         for record in records:
             label = record.get("outcome_class")
             if label:
-                outcomes[label] = outcomes.get(label, 0) + 1
+                histogram[label] = histogram.get(label, 0) + 1
+        outcomes, other = _split_outcomes(histogram)
         validated = sum(1 for r in records
                         if r.get("structural_findings") is not None)
         structural = sum(int(r.get("structural_findings") or 0)
@@ -147,7 +189,7 @@ class CampaignStats:
             executed=len(records) - skipped if executed is None else executed,
             skipped=skipped, workers=workers, wall_time=wall_time,
             validated=validated, structural_findings=structural,
-            outcomes=outcomes,
+            outcomes=outcomes, other_outcomes=other,
         )
 
     @property
@@ -158,6 +200,11 @@ class CampaignStats:
 
     def as_dict(self) -> dict:
         payload = asdict(self)
+        # archives carry one histogram: other labels merged back in, so the
+        # wire format predates (and survives) the canonical/other split
+        other = payload.pop("other_outcomes")
+        if other:
+            payload["outcomes"] = {**payload["outcomes"], **other}
         payload["trials_per_second"] = round(self.trials_per_second, 3)
         payload["wall_time"] = round(self.wall_time, 3)
         return payload
@@ -179,7 +226,12 @@ class CampaignStats:
         defaults["workers"] = 1
         defaults["wall_time"] = 0.0
         defaults["outcomes"] = {}
+        defaults["other_outcomes"] = {}
         known = {name: payload[name] for name in fields if name in payload}
+        outcomes, other = _split_outcomes(known.get("outcomes") or {})
+        known["outcomes"] = outcomes
+        known["other_outcomes"] = {
+            **other, **(known.get("other_outcomes") or {})}
         return cls(**{**defaults, **known})
 
     def summary(self) -> str:
@@ -193,13 +245,12 @@ class CampaignStats:
         if self.validated:
             text += (f" — validated={self.validated}, "
                      f"structural_findings={self.structural_findings}")
-        if self.outcomes:
-            # fixed severity order, then any unexpected labels
-            order = ("masked", "degraded", "collapsed", "crashed")
-            parts = [f"{name}={self.outcomes[name]}" for name in order
-                     if name in self.outcomes]
-            parts += [f"{name}={count}" for name, count
-                      in sorted(self.outcomes.items()) if name not in order]
+        if self.outcomes or self.other_outcomes:
+            # fixed severity order, then the non-canonical labels
+            parts = [f"{name}={self.outcomes[name]}"
+                     for name in CANONICAL_OUTCOMES if name in self.outcomes]
+            parts += [f"{name}={count} (other)" for name, count
+                      in sorted(self.other_outcomes.items())]
             text += " — outcomes: " + ", ".join(parts)
         return text
 

@@ -11,6 +11,15 @@ weight-diff analysis of ``fig6_error_propagation`` to any probed campaign.
 Works on plain event dicts (a loaded JSONL stream or an
 ``InMemorySink.events`` buffer); stdlib-only, like the rest of the offline
 aggregation layer.
+
+**Per-trial attribution.**  Early revisions of this join assumed one trial
+per process, so a pid implicitly identified a trial.  Batched execution
+(``--batch-trials N``) broke that: all N trials of a chunk share one pid
+and interleave their ``flip``/``health`` events in one stream.  Both
+emitters now stamp ``trial_id`` into their event attrs (the injector via
+``telemetry.tag_scope``, the probe via ``ModelHealthProbe(trial_id=...)``)
+and every stream filter here takes a ``trial_id=`` keyword that keys the
+join on that stamp — the only correct per-trial key under batching.
 """
 
 from __future__ import annotations
@@ -25,23 +34,49 @@ COMPARED_STATS = ("nan_count", "inf_count", "l2", "abs_max",
                   "zero_fraction", "update_l2")
 
 
-def health_events(events: list[dict]) -> list[dict]:
+def event_trial_id(event: dict) -> str | None:
+    """The ``trial_id`` an event was stamped with, if any."""
+    trial_id = (event.get("attrs") or {}).get("trial_id")
+    return None if trial_id is None else str(trial_id)
+
+
+def _for_trial(events: list[dict], trial_id: str | None) -> list[dict]:
+    """Restrict *events* to one trial's when *trial_id* is given.
+
+    ``None`` keeps every event (the single-trial-per-stream legacy mode);
+    a concrete id keeps only events stamped with it — unstamped events are
+    dropped rather than guessed at, since in a batched stream an unstamped
+    event could belong to any trial of the chunk.
+    """
+    if trial_id is None:
+        return events
+    return [e for e in events if event_trial_id(e) == str(trial_id)]
+
+
+def health_events(events: list[dict], *,
+                  trial_id: str | None = None) -> list[dict]:
     """The ``health`` point events of a stream, in order."""
-    return [e for e in events
-            if e.get("type") == "event" and e.get("name") == "health"]
+    return _for_trial(
+        [e for e in events
+         if e.get("type") == "event" and e.get("name") == "health"],
+        trial_id)
 
 
-def flip_events(events: list[dict]) -> list[dict]:
+def flip_events(events: list[dict], *,
+                trial_id: str | None = None) -> list[dict]:
     """The injector's ``flip`` provenance events, in order."""
-    return [e for e in events
-            if e.get("type") == "event" and e.get("name") == "flip"]
+    return _for_trial(
+        [e for e in events
+         if e.get("type") == "event" and e.get("name") == "flip"],
+        trial_id)
 
 
-def health_series(events: list[dict]) -> dict[str, list[tuple[int, dict]]]:
+def health_series(events: list[dict], *, trial_id: str | None = None
+                  ) -> dict[str, list[tuple[int, dict]]]:
     """Per-layer ``[(epoch, stats), ...]`` series from a stream's health
     events, in emission order."""
     series: dict[str, list[tuple[int, dict]]] = {}
-    for event in health_events(events):
+    for event in health_events(events, trial_id=trial_id):
         attrs = event.get("attrs", {})
         epoch = int(attrs.get("epoch", 0))
         for layer, stats in (attrs.get("layers") or {}).items():
@@ -49,13 +84,29 @@ def health_series(events: list[dict]) -> dict[str, list[tuple[int, dict]]]:
     return series
 
 
-def flipped_layers(events: list[dict]) -> dict[str, int]:
+def flipped_layers(events: list[dict], *,
+                   trial_id: str | None = None) -> dict[str, int]:
     """Flip counts per corrupted layer path, from ``flip`` events."""
     counts: dict[str, int] = {}
-    for event in flip_events(events):
+    for event in flip_events(events, trial_id=trial_id):
         location = event.get("attrs", {}).get("location") or "?"
         counts[location] = counts.get(location, 0) + 1
     return counts
+
+
+def stream_trial_ids(events: list[dict]) -> list[str]:
+    """Distinct ``trial_id`` stamps across a stream's flip/health events,
+    in first-seen order — the iteration key for per-trial reports over a
+    batched chunk's shared stream."""
+    seen: list[str] = []
+    for event in events:
+        if event.get("type") != "event" or \
+                event.get("name") not in ("flip", "health"):
+            continue
+        trial_id = event_trial_id(event)
+        if trial_id is not None and trial_id not in seen:
+            seen.append(trial_id)
+    return seen
 
 
 def match_layer(flip_location: str, health_layers) -> str | None:
@@ -99,16 +150,20 @@ def _stats_differ(a: dict, b: dict, *, rtol: float, atol: float) -> str | None:
 
 def first_divergence(corrupted_events: list[dict],
                      baseline_events: list[dict],
-                     *, rtol: float = 1e-9, atol: float = 0.0
+                     *, rtol: float = 1e-9, atol: float = 0.0,
+                     trial_id: str | None = None,
+                     baseline_trial_id: str | None = None
                      ) -> dict[str, tuple[int, str] | None]:
     """Per layer: the first ``(epoch, stat)`` where the corrupted run's
     health stats leave the baseline's, or ``None`` if they never do.
 
     Epochs present in only one stream (e.g. the corrupted run collapsed
     and stopped early) are compared as far as both streams reach.
+    *trial_id* / *baseline_trial_id* select one trial's events from shared
+    (batched) streams.
     """
-    corrupted = health_series(corrupted_events)
-    baseline = health_series(baseline_events)
+    corrupted = health_series(corrupted_events, trial_id=trial_id)
+    baseline = health_series(baseline_events, trial_id=baseline_trial_id)
     result: dict[str, tuple[int, str] | None] = {}
     for layer in corrupted:
         result[layer] = None
@@ -167,16 +222,23 @@ class PropagationReport:
 def propagation_report(corrupted_events: list[dict],
                        baseline_events: list[dict],
                        *, rtol: float = 1e-9,
-                       atol: float = 0.0) -> PropagationReport:
+                       atol: float = 0.0,
+                       trial_id: str | None = None,
+                       baseline_trial_id: str | None = None
+                       ) -> PropagationReport:
     """Join a corrupted run's flip provenance with its health divergence.
 
     *corrupted_events* must hold the run's ``flip`` and ``health`` events;
     *baseline_events* the error-free run's ``health`` events (its probe
-    must have observed the same epochs).
+    must have observed the same epochs).  When the streams come from a
+    batched chunk (N trials, one pid), pass *trial_id* — the join is then
+    keyed on the ``trial_id`` stamped into both event streams instead of
+    mis-attributing sibling trials' events to one report.
     """
     divergence = first_divergence(corrupted_events, baseline_events,
-                                  rtol=rtol, atol=atol)
-    flips = flipped_layers(corrupted_events)
+                                  rtol=rtol, atol=atol, trial_id=trial_id,
+                                  baseline_trial_id=baseline_trial_id)
+    flips = flipped_layers(corrupted_events, trial_id=trial_id)
     injected = []
     for location in flips:
         key = match_layer(location, divergence)

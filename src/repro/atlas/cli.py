@@ -1,0 +1,166 @@
+"""The ``repro-experiments atlas`` subcommand.
+
+Four verbs over one or two atlas stores::
+
+    atlas ingest  --store DIR [--campaigns ROOT ...] [--journal FILE ...]
+    atlas surface --store DIR --x layer --y bit [--outcome degraded]
+                  [--where dim=value ...] [--format text|csv|json]
+    atlas html    --store DIR --x layer --y bit --out heatmap.html
+    atlas diff    --store BASELINE --against CANDIDATE --x ... --y ...
+
+``diff`` exits non-zero when any cell's rate regressed with disjoint
+Wilson intervals — the CI hook for "did this change make the stack more
+sensitive anywhere".
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .ingest import AtlasIngester
+from .query import diff_surfaces, rank_vulnerability, surface
+from .render import diff_text, rank_text, surface_csv, surface_html, \
+    surface_text
+from .store import AtlasStore
+
+
+def add_atlas_arguments(parser: argparse.ArgumentParser) -> None:
+    sub = parser.add_subparsers(dest="atlas_command", required=True)
+
+    ingest = sub.add_parser(
+        "ingest", help="fold campaign journals into an atlas store")
+    ingest.add_argument("--store", required=True, metavar="DIR",
+                        help="atlas store directory (created if missing)")
+    ingest.add_argument("--campaigns", action="append", default=[],
+                        metavar="ROOT",
+                        help="a 'serve' campaign store root; every shard "
+                             "journal under it is ingested (repeatable)")
+    ingest.add_argument("--journal", action="append", default=[],
+                        metavar="FILE",
+                        help="a bare campaign journal JSONL (repeatable)")
+    ingest.add_argument("--telemetry", action="append", default=[],
+                        metavar="FILE",
+                        help="telemetry stream joined against every bare "
+                             "--journal (repeatable)")
+
+    surf = sub.add_parser(
+        "surface", help="print a sensitivity surface over two dimensions")
+    _add_surface_arguments(surf)
+    surf.add_argument("--format", dest="format", default="text",
+                      choices=["text", "csv", "json"])
+    surf.add_argument("--rank", default=None, metavar="DIM",
+                      help="also print the vulnerability ranking over DIM")
+
+    html = sub.add_parser(
+        "html", help="write a standalone HTML heatmap of a surface")
+    _add_surface_arguments(html)
+    html.add_argument("--out", required=True, metavar="FILE")
+
+    diff = sub.add_parser(
+        "diff", help="flag sensitivity regressions between two stores "
+                     "(exit 1 when any cell regressed)")
+    _add_surface_arguments(diff)
+    diff.add_argument("--against", required=True, metavar="DIR",
+                      help="candidate atlas store compared to --store "
+                           "(the baseline)")
+
+
+def _add_surface_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", required=True, metavar="DIR")
+    parser.add_argument("--x", required=True,
+                        help="column dimension (model, framework, "
+                             "precision, layer, bit, mode, outcome, ...)")
+    parser.add_argument("--y", required=True, help="row dimension")
+    parser.add_argument("--outcome", default="degraded",
+                        help="outcome class whose rate fills the cells "
+                             "(default degraded)")
+    parser.add_argument("--where", action="append", default=[],
+                        metavar="DIM=VALUE",
+                        help="restrict to rows where DIM's label equals "
+                             "VALUE (repeatable)")
+
+
+def _parse_where(pairs: list[str]) -> dict:
+    where: dict = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if not name or not value:
+            raise ValueError(f"--where expects DIM=VALUE, got {pair!r}")
+        where[name] = value
+    return where
+
+
+def _surface_for(args: argparse.Namespace, store_dir: str):
+    columns = AtlasStore(store_dir).load()
+    return columns, surface(columns, args.x, args.y, outcome=args.outcome,
+                            where=_parse_where(args.where))
+
+
+def atlas_command(args: argparse.Namespace) -> int:
+    try:
+        if args.atlas_command == "ingest":
+            return _ingest(args)
+        if args.atlas_command == "surface":
+            return _surface(args)
+        if args.atlas_command == "html":
+            return _html(args)
+        return _diff(args)
+    except ValueError as exc:
+        print(f"atlas: {exc}", file=sys.stderr)
+        return 2
+
+
+def _ingest(args: argparse.Namespace) -> int:
+    if not args.campaigns and not args.journal:
+        print("atlas ingest: need at least one --campaigns or --journal",
+              file=sys.stderr)
+        return 2
+    ingester = AtlasIngester(AtlasStore(args.store))
+    for root in args.campaigns:
+        ingester.add_campaign_root(root)
+    for journal in args.journal:
+        ingester.add_journal(journal,
+                             telemetry_paths=tuple(args.telemetry))
+    stats = ingester.ingest()
+    store = AtlasStore(args.store)
+    print(json.dumps({
+        **stats,
+        "total_rows": store.row_count(),
+        "fingerprint": store.fingerprint(),
+    }))
+    return 0
+
+
+def _surface(args: argparse.Namespace) -> int:
+    columns, result = _surface_for(args, args.store)
+    if args.format == "csv":
+        sys.stdout.write(surface_csv(result))
+    elif args.format == "json":
+        print(json.dumps(result.to_json(), indent=2))
+    else:
+        print(surface_text(result))
+        if args.rank:
+            ranked = rank_vulnerability(columns, args.rank,
+                                        outcome=args.outcome)
+            print()
+            print(rank_text(ranked, args.rank, args.outcome))
+    return 0
+
+
+def _html(args: argparse.Namespace) -> int:
+    _, result = _surface_for(args, args.store)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(surface_html(result))
+    print(f"wrote {args.out} ({result.total_trials} trials, "
+          f"{len(result.cells)} cells)")
+    return 0
+
+
+def _diff(args: argparse.Namespace) -> int:
+    _, baseline = _surface_for(args, args.store)
+    _, candidate = _surface_for(args, args.against)
+    regressions = diff_surfaces(baseline, candidate)
+    print(diff_text(regressions, baseline.x_dim, baseline.y_dim))
+    return 1 if regressions else 0

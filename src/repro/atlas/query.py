@@ -1,0 +1,237 @@
+"""Sensitivity surfaces over the atlas's columns.
+
+A *surface* is the rollup of trial outcomes over one dimension pair: for
+every ``(x, y)`` cell, the fraction of that cell's trials whose outcome
+matched the target class, with the Wilson score interval from
+:mod:`repro.analysis.campaign` quantifying how much the reduced trial
+counts of this reproduction let the rate wobble.  The paper's Table 5 /
+Figure 3 views are single surfaces here — ``(layer, bit)`` per model,
+``(model, framework)`` per bit range — and :func:`diff_surfaces` compares
+two stores cell-by-cell to flag *sensitivity regressions* (a cell whose
+degraded-rate interval moved strictly above its baseline's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.campaign import RateEstimate, wilson_interval
+from .store import MULTI, UNKNOWN
+
+#: Queryable dimensions and how their values sort/format.
+DIMENSIONS: tuple[str, ...] = (
+    "model", "framework", "precision", "layer", "bit", "mode",
+    "outcome", "status", "campaign",
+)
+
+#: Paper-vocabulary aliases accepted anywhere a dimension is named.
+ALIASES = {"bit_position": "bit", "injection_mode": "mode"}
+
+_INT_DIMENSIONS = ("precision", "bit")
+
+_SENTINELS = {MULTI: "(multi)", UNKNOWN: "?"}
+
+
+def resolve_dimension(name: str) -> str:
+    """Canonical dimension name (accepting paper-style aliases)."""
+    resolved = ALIASES.get(name, name)
+    if resolved not in DIMENSIONS:
+        known = ", ".join(DIMENSIONS + tuple(sorted(ALIASES)))
+        raise ValueError(f"unknown atlas dimension {name!r} ({known})")
+    return resolved
+
+
+def dimension_labels(columns: dict, dim: str) -> list[str]:
+    """Per-row display labels of one dimension's column."""
+    dim = resolve_dimension(dim)
+    values = columns[dim]
+    if dim in _INT_DIMENSIONS:
+        return [_SENTINELS.get(int(v), str(int(v))) for v in values]
+    return [str(v) for v in values]
+
+
+def _label_sort_key(label: str):
+    # numeric labels sort numerically; sentinels and names sort after,
+    # lexically — keeps bit axes in 0..63 order with "(multi)"/"?" last
+    try:
+        return (0, int(label), "")
+    except ValueError:
+        return (1, 0, label)
+
+
+@dataclass(frozen=True)
+class SurfaceCell:
+    """One ``(x, y)`` cell: its trial population and outcome rate."""
+
+    x: str
+    y: str
+    trials: int
+    hits: int
+    estimate: RateEstimate
+
+    def to_json(self) -> dict:
+        return {
+            "x": self.x, "y": self.y,
+            "trials": self.trials, "hits": self.hits,
+            "rate": self.estimate.rate,
+            "low": self.estimate.low, "high": self.estimate.high,
+        }
+
+
+@dataclass
+class Surface:
+    """A full sensitivity surface over one dimension pair."""
+
+    x_dim: str
+    y_dim: str
+    outcome: str
+    confidence: float
+    x_labels: list[str] = field(default_factory=list)
+    y_labels: list[str] = field(default_factory=list)
+    cells: dict[tuple[str, str], SurfaceCell] = field(default_factory=dict)
+
+    @property
+    def total_trials(self) -> int:
+        return sum(cell.trials for cell in self.cells.values())
+
+    def cell(self, x: str, y: str) -> SurfaceCell | None:
+        return self.cells.get((str(x), str(y)))
+
+    def matrix(self) -> np.ndarray:
+        """Rates as ``(len(y_labels), len(x_labels))``; empty cells NaN."""
+        grid = np.full((len(self.y_labels), len(self.x_labels)),
+                       np.nan, dtype=np.float64)
+        x_index = {label: i for i, label in enumerate(self.x_labels)}
+        y_index = {label: i for i, label in enumerate(self.y_labels)}
+        for (x, y), cell in self.cells.items():
+            grid[y_index[y], x_index[x]] = cell.estimate.rate
+        return grid
+
+    def to_json(self) -> dict:
+        return {
+            "x": self.x_dim, "y": self.y_dim,
+            "outcome": self.outcome, "confidence": self.confidence,
+            "x_labels": self.x_labels, "y_labels": self.y_labels,
+            "total_trials": self.total_trials,
+            "cells": [self.cells[key].to_json()
+                      for key in sorted(self.cells)],
+        }
+
+
+def _where_mask(columns: dict, where: dict | None) -> list[bool]:
+    rows = len(columns["trial_id"])
+    mask = [True] * rows
+    for name, wanted in (where or {}).items():
+        labels = dimension_labels(columns, name)
+        wanted = str(wanted)
+        mask = [keep and label == wanted
+                for keep, label in zip(mask, labels)]
+    return mask
+
+
+def surface(columns: dict, x: str, y: str, *,
+            outcome: str = "degraded", where: dict | None = None,
+            confidence: float = 0.95) -> Surface:
+    """The ``outcome``-rate surface over dimensions *x* × *y*.
+
+    Every selected trial lands in exactly one cell (the dimension columns
+    are total functions of a row — unknowns bucket under ``"?"`` rather
+    than dropping out), so cell populations sum to the selection size.
+    """
+    x, y = resolve_dimension(x), resolve_dimension(y)
+    mask = _where_mask(columns, where)
+    x_all = dimension_labels(columns, x)
+    y_all = dimension_labels(columns, y)
+    outcomes = columns["outcome"]
+    trials: dict[tuple[str, str], int] = {}
+    hits: dict[tuple[str, str], int] = {}
+    for keep, x_label, y_label, label in zip(mask, x_all, y_all, outcomes):
+        if not keep:
+            continue
+        key = (x_label, y_label)
+        trials[key] = trials.get(key, 0) + 1
+        if label == outcome:
+            hits[key] = hits.get(key, 0) + 1
+    result = Surface(
+        x_dim=x, y_dim=y, outcome=outcome, confidence=confidence,
+        x_labels=sorted({key[0] for key in trials}, key=_label_sort_key),
+        y_labels=sorted({key[1] for key in trials}, key=_label_sort_key),
+    )
+    for key in trials:
+        result.cells[key] = SurfaceCell(
+            x=key[0], y=key[1], trials=trials[key],
+            hits=hits.get(key, 0),
+            estimate=wilson_interval(hits.get(key, 0), trials[key],
+                                     confidence))
+    return result
+
+
+def rank_vulnerability(columns: dict, dim: str, *,
+                       outcome: str = "degraded",
+                       confidence: float = 0.95,
+                       min_trials: int = 1
+                       ) -> list[tuple[str, RateEstimate]]:
+    """Dimension values ranked by outcome rate, most vulnerable first.
+
+    Ties break toward the tighter interval (more trials), then label, so
+    the ranking is deterministic under equal rates.
+    """
+    dim = resolve_dimension(dim)
+    labels = dimension_labels(columns, dim)
+    outcomes = columns["outcome"]
+    trials: dict[str, int] = {}
+    hits: dict[str, int] = {}
+    for label, verdict in zip(labels, outcomes):
+        trials[label] = trials.get(label, 0) + 1
+        if verdict == outcome:
+            hits[label] = hits.get(label, 0) + 1
+    ranked = [
+        (label, wilson_interval(hits.get(label, 0), count, confidence))
+        for label, count in trials.items() if count >= min_trials
+    ]
+    ranked.sort(key=lambda item: (-item[1].rate, -item[1].trials, item[0]))
+    return ranked
+
+
+@dataclass(frozen=True)
+class SurfaceDiff:
+    """One regressed cell of a surface comparison."""
+
+    x: str
+    y: str
+    before: RateEstimate
+    after: RateEstimate
+
+    @property
+    def delta(self) -> float:
+        return self.after.rate - self.before.rate
+
+    def to_json(self) -> dict:
+        return {
+            "x": self.x, "y": self.y, "delta": self.delta,
+            "before": {"rate": self.before.rate, "low": self.before.low,
+                       "high": self.before.high,
+                       "trials": self.before.trials},
+            "after": {"rate": self.after.rate, "low": self.after.low,
+                      "high": self.after.high, "trials": self.after.trials},
+        }
+
+
+def diff_surfaces(baseline: Surface, candidate: Surface) -> list[SurfaceDiff]:
+    """Cells whose rate *regressed* — rose with disjoint Wilson intervals.
+
+    Interval disjointness is the same conservative criterion the
+    campaign comparisons use: an overlap means the reduced trial counts
+    cannot distinguish the rates, so no flag.
+    """
+    regressions: list[SurfaceDiff] = []
+    for key in sorted(set(baseline.cells) & set(candidate.cells)):
+        before = baseline.cells[key].estimate
+        after = candidate.cells[key].estimate
+        if after.rate > before.rate and not after.overlaps(before):
+            regressions.append(SurfaceDiff(
+                x=key[0], y=key[1], before=before, after=after))
+    regressions.sort(key=lambda d: (-d.delta, d.x, d.y))
+    return regressions

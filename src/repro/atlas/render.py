@@ -1,0 +1,168 @@
+"""Surface exporters: terminal heatmap, CSV, standalone HTML.
+
+The terminal view reuses :func:`repro.analysis.render.render_heatmap`
+(the Fig 7 shade scale) so atlas drill-downs visually match the rest of
+the harness output.  The HTML export is one self-contained document with
+an inline SVG heatmap — no JavaScript frameworks, no external assets —
+so it survives CI artifact stores and ``file://`` opening unchanged.
+"""
+
+from __future__ import annotations
+
+import html
+
+from ..analysis.campaign import RateEstimate
+from ..analysis.render import render_heatmap, render_table
+from .query import Surface, SurfaceDiff
+
+
+def surface_text(surface: Surface) -> str:
+    """The terminal heatmap plus the per-cell population footer."""
+    title = (f"{surface.outcome} rate over {surface.x_dim} (cols) x "
+             f"{surface.y_dim} (rows) — {surface.total_trials} trials, "
+             f"{int(surface.confidence * 100)}% Wilson CIs")
+    if not surface.cells:
+        return title + "\n(no trials selected)"
+    lines = [render_heatmap(surface.y_labels, surface.x_labels,
+                            surface.matrix(), title=title)]
+    rows = []
+    for key in sorted(surface.cells):
+        cell = surface.cells[key]
+        rows.append([cell.x, cell.y, cell.trials,
+                     f"{cell.estimate.percent:.1f}%",
+                     f"[{100 * cell.estimate.low:.1f}, "
+                     f"{100 * cell.estimate.high:.1f}]"])
+    lines.append(render_table(
+        [surface.x_dim, surface.y_dim, "trials", "rate", "ci"], rows))
+    return "\n\n".join(lines)
+
+
+def surface_csv(surface: Surface) -> str:
+    """One row per populated cell, spreadsheet-ready."""
+    lines = [f"{surface.x_dim},{surface.y_dim},trials,hits,rate,low,high"]
+    for key in sorted(surface.cells):
+        cell = surface.cells[key]
+        lines.append(
+            f"{_csv(cell.x)},{_csv(cell.y)},{cell.trials},{cell.hits},"
+            f"{cell.estimate.rate:.6f},{cell.estimate.low:.6f},"
+            f"{cell.estimate.high:.6f}")
+    return "\n".join(lines) + "\n"
+
+
+def _csv(value: str) -> str:
+    if any(c in value for c in ",\"\n"):
+        return '"' + value.replace('"', '""') + '"'
+    return value
+
+
+def rank_text(ranked: list[tuple[str, RateEstimate]], dim: str,
+              outcome: str) -> str:
+    rows = [[index + 1, label, str(estimate)]
+            for index, (label, estimate) in enumerate(ranked)]
+    return render_table(["#", dim, f"{outcome} rate"], rows,
+                        title=f"vulnerability ranking by {dim}")
+
+
+def diff_text(diffs: list[SurfaceDiff], x_dim: str, y_dim: str) -> str:
+    if not diffs:
+        return "no sensitivity regressions (all interval-compatible)"
+    rows = [[d.x, d.y, str(d.before), str(d.after), f"{d.delta:+.3f}"]
+            for d in diffs]
+    return render_table([x_dim, y_dim, "before", "after", "delta"], rows,
+                        title=f"{len(diffs)} sensitivity regression(s)")
+
+
+# ---------------------------------------------------------------------------
+# standalone HTML (inline SVG, zero dependencies)
+# ---------------------------------------------------------------------------
+
+_CELL = 46       # px per heatmap cell
+_LABEL_W = 180   # left gutter for y labels
+_LABEL_H = 110   # bottom gutter for x labels
+
+
+def _cell_color(rate: float | None) -> str:
+    """White → deep red ramp; grey for empty cells."""
+    if rate is None:
+        return "#e8e8e8"
+    rate = min(max(rate, 0.0), 1.0)
+    # interpolate #ffffff -> #b40426
+    red = round(255 + (0xb4 - 255) * rate)
+    green = round(255 + (0x04 - 255) * rate)
+    blue = round(255 + (0x26 - 255) * rate)
+    return f"#{red:02x}{green:02x}{blue:02x}"
+
+
+def surface_html(surface: Surface, title: str | None = None) -> str:
+    """A self-contained HTML document with the surface as inline SVG.
+
+    Each cell carries an SVG ``<title>`` tooltip with its exact rate,
+    interval, and population; the legend reproduces the color ramp.
+    """
+    title = title or (f"Sensitivity atlas: {surface.outcome} rate, "
+                      f"{surface.x_dim} x {surface.y_dim}")
+    width = _LABEL_W + _CELL * max(1, len(surface.x_labels)) + 20
+    height = _CELL * max(1, len(surface.y_labels)) + _LABEL_H + 60
+    parts: list[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="12">')
+    for row, y_label in enumerate(surface.y_labels):
+        y_px = 20 + row * _CELL
+        parts.append(
+            f'<text x="{_LABEL_W - 8}" y="{y_px + _CELL // 2 + 4}" '
+            f'text-anchor="end">{html.escape(y_label)}</text>')
+        for col, x_label in enumerate(surface.x_labels):
+            x_px = _LABEL_W + col * _CELL
+            cell = surface.cell(x_label, y_label)
+            rate = cell.estimate.rate if cell is not None else None
+            color = _cell_color(rate)
+            tooltip = "no trials" if cell is None else (
+                f"{surface.x_dim}={cell.x} {surface.y_dim}={cell.y}: "
+                f"{cell.estimate.percent:.1f}% "
+                f"[{100 * cell.estimate.low:.1f}, "
+                f"{100 * cell.estimate.high:.1f}] "
+                f"({cell.hits}/{cell.trials})")
+            parts.append(
+                f'<rect x="{x_px}" y="{y_px}" width="{_CELL - 2}" '
+                f'height="{_CELL - 2}" fill="{color}" '
+                f'stroke="#999" stroke-width="0.5">'
+                f'<title>{html.escape(tooltip)}</title></rect>')
+            if cell is not None:
+                luminance = 1.0 - 0.8 * (rate or 0.0)
+                text_color = "#111" if luminance > 0.55 else "#fff"
+                parts.append(
+                    f'<text x="{x_px + (_CELL - 2) // 2}" '
+                    f'y="{y_px + _CELL // 2 + 4}" text-anchor="middle" '
+                    f'fill="{text_color}">'
+                    f'{100 * (rate or 0):.0f}</text>')
+    base_y = 20 + len(surface.y_labels) * _CELL
+    for col, x_label in enumerate(surface.x_labels):
+        x_px = _LABEL_W + col * _CELL + _CELL // 2
+        parts.append(
+            f'<text x="{x_px}" y="{base_y + 12}" text-anchor="end" '
+            f'transform="rotate(-55 {x_px} {base_y + 12})">'
+            f'{html.escape(x_label)}</text>')
+    legend_y = base_y + _LABEL_H
+    for step in range(11):
+        color = _cell_color(step / 10)
+        parts.append(
+            f'<rect x="{_LABEL_W + step * 24}" y="{legend_y}" width="24" '
+            f'height="14" fill="{color}" stroke="#999" '
+            f'stroke-width="0.5"/>')
+    parts.append(f'<text x="{_LABEL_W}" y="{legend_y - 6}">0%</text>')
+    parts.append(
+        f'<text x="{_LABEL_W + 11 * 24}" y="{legend_y - 6}">100%</text>')
+    parts.append("</svg>")
+    svg = "\n".join(parts)
+    return (
+        "<!DOCTYPE html>\n"
+        "<html><head><meta charset=\"utf-8\">"
+        f"<title>{html.escape(title)}</title>"
+        "<style>body{font-family:monospace;margin:24px}"
+        "h1{font-size:16px}p{color:#555}</style></head>\n"
+        f"<body><h1>{html.escape(title)}</h1>\n"
+        f"<p>{surface.total_trials} trials, cell percentages are "
+        f"{html.escape(surface.outcome)} rates; hover a cell for its "
+        f"{int(surface.confidence * 100)}% Wilson interval.</p>\n"
+        f"{svg}\n</body></html>\n")

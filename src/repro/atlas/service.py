@@ -1,0 +1,95 @@
+"""The live atlas view the serve front door mounts.
+
+One :class:`AtlasService` owns an atlas rooted *inside* the campaign
+store directory (``<store root>/atlas``) and refreshes it on demand:
+every ``/atlas*`` request re-runs the offset-resumable ingest under a
+lock, which is cheap — already-ingested bytes are skipped by the catalog
+offsets — and means the served surfaces always reflect the journals as
+of the request, without a background thread to babysit.
+
+Kept free of :mod:`repro.serve` imports so the dependency arrow stays
+``serve -> atlas`` like everywhere else in the stack.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from ..telemetry.export import prom_sample
+from .ingest import AtlasIngester
+from .query import Surface, surface
+from .store import AtlasStore
+
+
+class AtlasService:
+    """Lock-guarded, refresh-on-read atlas over one campaign root."""
+
+    def __init__(self, campaign_root: str, atlas_root: str | None = None):
+        self.campaign_root = campaign_root
+        self.atlas_root = atlas_root or os.path.join(campaign_root, "atlas")
+        self._lock = threading.Lock()
+        self.ingest_runs = 0
+        self.rows_ingested = 0
+        self.segments_committed = 0
+
+    def refresh(self) -> dict:
+        """Ingest anything new; returns the ingest counters."""
+        with self._lock:
+            store = AtlasStore(self.atlas_root)
+            ingester = AtlasIngester(store)
+            ingester.add_campaign_root(self.campaign_root)
+            stats = ingester.ingest()
+            self.ingest_runs += 1
+            self.rows_ingested += stats["rows"]
+            self.segments_committed += stats["segments"]
+            return stats
+
+    def columns(self) -> dict:
+        self.refresh()
+        return AtlasStore(self.atlas_root).load()
+
+    def surface(self, x: str, y: str, *, outcome: str = "degraded",
+                where: dict | None = None) -> Surface:
+        return surface(self.columns(), x, y, outcome=outcome, where=where)
+
+    def summary(self) -> dict:
+        self.refresh()
+        store = AtlasStore(self.atlas_root)
+        catalog = store.catalog()
+        return {
+            "root": self.atlas_root,
+            "rows": store.row_count(),
+            "sources": len(catalog.get("sources", {})),
+            "segments": len(store.ordered_segments()),
+            "ingest_runs": self.ingest_runs,
+            "fingerprint": store.fingerprint(),
+        }
+
+    def prometheus(self) -> str:
+        """The ``repro_atlas_*`` exposition block for ``/metrics``."""
+        store = AtlasStore(self.atlas_root)
+        catalog = store.catalog()
+        lines = [
+            "# HELP repro_atlas_rows Trial rows in the sensitivity atlas.",
+            "# TYPE repro_atlas_rows gauge",
+            prom_sample("repro_atlas_rows", None, store.row_count()),
+            "# HELP repro_atlas_sources Journal sources the atlas tracks.",
+            "# TYPE repro_atlas_sources gauge",
+            prom_sample("repro_atlas_sources", None,
+                        len(catalog.get("sources", {}))),
+            "# HELP repro_atlas_segments Committed atlas segments.",
+            "# TYPE repro_atlas_segments gauge",
+            prom_sample("repro_atlas_segments", None,
+                        len(store.ordered_segments())),
+            "# HELP repro_atlas_ingest_runs_total Ingest passes served.",
+            "# TYPE repro_atlas_ingest_runs_total counter",
+            prom_sample("repro_atlas_ingest_runs_total", None,
+                        self.ingest_runs),
+            "# HELP repro_atlas_ingested_rows_total Rows folded in since "
+            "start.",
+            "# TYPE repro_atlas_ingested_rows_total counter",
+            prom_sample("repro_atlas_ingested_rows_total", None,
+                        self.rows_ingested),
+        ]
+        return "\n".join(lines) + "\n"

@@ -25,6 +25,7 @@ from dataclasses import asdict
 
 from .. import telemetry
 from ..analysis.campaign import CampaignStats
+from ..atlas.cli import add_atlas_arguments, atlas_command
 from ..serve.spec import CampaignSpec
 from .common import SCALES
 from .registry import CAMPAIGN_EXPERIMENTS, EXPERIMENTS, run_experiment
@@ -155,6 +156,13 @@ def build_parser() -> argparse.ArgumentParser:
     server.add_argument("--telemetry", default=None, metavar="PATH",
                         help="record spans/metrics from the server and all "
                              "workers to this JSONL stream")
+
+    atlas = sub.add_parser(
+        "atlas", help="cross-campaign sensitivity atlas: ingest journals, "
+                      "query drill-down surfaces, export heatmaps, diff "
+                      "stores for regressions"
+    )
+    add_atlas_arguments(atlas)
 
     submit = sub.add_parser(
         "submit", help="submit a campaign spec to a running 'serve' front "
@@ -385,6 +393,8 @@ def main(argv: list[str] | None = None) -> int:
         return fleet_command(args)
     if args.command == "serve":
         return serve_command(args)
+    if args.command == "atlas":
+        return atlas_command(args)
     if args.command == "submit":
         return submit_command(args)
 

@@ -398,7 +398,8 @@ class ResumeOutcome:
 def resume_training(spec: SessionSpec, checkpoint_path: str,
                     epochs: int | None = None,
                     keep_model: bool = False,
-                    health_probe=False) -> ResumeOutcome:
+                    health_probe=False,
+                    trial_id: str | None = None) -> ResumeOutcome:
     """Load *checkpoint_path* and continue training deterministically.
 
     Replays exactly the batches an uninterrupted run would see from the
@@ -407,7 +408,8 @@ def resume_training(spec: SessionSpec, checkpoint_path: str,
     :class:`repro.health.ModelHealthProbe`) or a pre-built probe; its
     per-epoch snapshots come back in ``ResumeOutcome.health``.  Probing is
     read-only and RNG-free, so probed and unprobed resumes are
-    bit-identical.
+    bit-identical.  *trial_id* is stamped onto the probe's ``health``
+    events so offline joins can attribute them per trial.
     """
     scale = spec.scale
     facade = get_facade(spec.framework)
@@ -420,7 +422,7 @@ def resume_training(spec: SessionSpec, checkpoint_path: str,
     probe = None
     if health_probe:
         probe = (health_probe if health_probe is not True
-                 else ModelHealthProbe())
+                 else ModelHealthProbe(trial_id=trial_id))
         # epoch-0 snapshot: the (corrupted) checkpoint state itself, so the
         # propagation join can see where the flip landed before any update
         probe.observe(model, optimizer, epoch=start_epoch)
@@ -444,7 +446,9 @@ def resume_training(spec: SessionSpec, checkpoint_path: str,
 def resume_training_batched(spec: SessionSpec, checkpoint_paths: list[str],
                             epochs: int | None = None,
                             keep_models: bool = False,
-                            health_probe=False) -> list[ResumeOutcome]:
+                            health_probe=False,
+                            trial_ids: list[str] | None = None,
+                            ) -> list[ResumeOutcome]:
     """Batched analogue of :func:`resume_training` over N checkpoints.
 
     Loads every (typically independently corrupted) checkpoint through the
@@ -457,6 +461,11 @@ def resume_training_batched(spec: SessionSpec, checkpoint_paths: list[str],
 
     All checkpoints must come from the same spec (same architecture and
     stored epoch); that is what makes their trials batchable.
+
+    *trial_ids* (aligned with *checkpoint_paths*) are stamped onto the
+    per-trial probes' ``health`` events: every probe in the batch emits
+    into one shared process stream, so without the stamp the events are
+    per-trial indistinguishable.
     """
     if not checkpoint_paths:
         return []
@@ -487,7 +496,9 @@ def resume_training_batched(spec: SessionSpec, checkpoint_paths: list[str],
     start_epoch = start_epochs[0]
     probes = None
     if health_probe:
-        probes = [ModelHealthProbe() for _ in checkpoint_paths]
+        ids = (trial_ids if trial_ids is not None
+               else [None] * len(checkpoint_paths))
+        probes = [ModelHealthProbe(trial_id=tid) for tid in ids]
         # epoch-0 snapshot of each corrupted checkpoint, mirroring the
         # sequential path's pre-training observation
         for model, optimizer, probe in zip(models, optimizers, probes):

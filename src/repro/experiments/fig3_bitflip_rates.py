@@ -20,6 +20,7 @@ import tempfile
 
 import numpy as np
 
+from .. import telemetry
 from ..analysis import group_records, render_curves
 from ..health import classify_curve, last_finite
 from ..injector import CheckpointCorrupter, InjectorConfig
@@ -73,7 +74,10 @@ def _inject(payload: dict, workdir: str, tag: str) -> tuple[str, int | None]:
     )
     corrupter = CheckpointCorrupter(
         config, engine=payload.get("engine", "vectorized"))
-    corrupter.corrupt()
+    # stamp the flip provenance events with the trial identity: batched
+    # chunks interleave many trials' events in one process stream
+    with telemetry.tag_scope(trial_id=payload.get("trial_id")):
+        corrupter.corrupt()
     findings = (structural_findings_count(path)
                 if payload.get("validate_checkpoints") else None)
     return path, findings
@@ -102,7 +106,8 @@ def run_trial(payload: dict) -> dict:
         path, findings = _inject(payload, workdir, "fig3")
         outcome = resume_training(
             spec, path, epochs=spec.scale.resume_epochs,
-            health_probe=payload.get("health_probe", False))
+            health_probe=payload.get("health_probe", False),
+            trial_id=payload.get("trial_id"))
     return _trial_result(payload, outcome, findings)
 
 
@@ -119,7 +124,8 @@ def run_trial_batch(payloads: list[dict]) -> list[dict]:
         outcomes = resume_training_batched(
             spec, [path for path, _ in injected],
             epochs=spec.scale.resume_epochs,
-            health_probe=any(p.get("health_probe") for p in payloads))
+            health_probe=any(p.get("health_probe") for p in payloads),
+            trial_ids=[p.get("trial_id") for p in payloads])
     return [_trial_result(payload, outcome, findings)
             for payload, outcome, (_, findings)
             in zip(payloads, outcomes, injected)]

@@ -360,6 +360,18 @@ def run_campaign(tasks: Iterable[TrialTask], *, workers: int = 1,
 
 # -- sequential path --------------------------------------------------------
 
+def _dispatch_payload(task: TrialTask) -> dict:
+    """The payload copy handed to a trial function.
+
+    ``trial_id`` rides along so emitters deep inside the trial — the
+    injector's ``flip`` provenance, the health probe's per-epoch snapshots
+    — can stamp the trial identity onto their telemetry (batched execution
+    shares one pid across N trials, so pid alone cannot attribute events).
+    The journaled record's ``payload`` stays the task's own, unchanged.
+    """
+    return {**task.payload, "trial_id": task.trial_id}
+
+
 def _run_inline(tasks: list[TrialTask], journal: Journal | None,
                 retries: int) -> dict[str, TrialRecord]:
     results: dict[str, TrialRecord] = {}
@@ -373,7 +385,7 @@ def _run_inline(tasks: list[TrialTask], journal: Journal | None,
                 if attempt > 1:
                     telemetry.count("runner.retries")
                 try:
-                    outcome = func(dict(task.payload))
+                    outcome = func(_dispatch_payload(task))
                 except Exception:
                     record = TrialRecord(
                         trial_id=task.trial_id, kind=task.kind,
@@ -455,7 +467,7 @@ def _run_chunk(chunk: list[TrialTask],
     with telemetry.span("trial_batch", kind=chunk[0].kind,
                         size=len(chunk)) as span:
         try:
-            outcomes = func([dict(task.payload) for task in chunk])
+            outcomes = func([_dispatch_payload(task) for task in chunk])
             if len(outcomes) != len(chunk):
                 raise ValueError(
                     f"batch executor returned {len(outcomes)} outcomes "
@@ -618,8 +630,8 @@ def _run_pool(tasks: list[TrialTask], journal: Journal | None, workers: int,
             parent_conn, child_conn = ctx.Pipe(duplex=False)
             proc = ctx.Process(
                 target=_child_main,
-                args=(child_conn, item.task.kind, item.task.payload,
-                      span.context()),
+                args=(child_conn, item.task.kind,
+                      _dispatch_payload(item.task), span.context()),
             )
             proc.start()
             child_conn.close()

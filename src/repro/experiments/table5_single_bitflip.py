@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import tempfile
 
+from .. import telemetry
 from ..analysis import count_rwc, group_records, render_table
 from ..health import classify_curve
 from ..injector import CheckpointCorrupter, InjectorConfig
@@ -69,7 +70,10 @@ def _inject(payload: dict, workdir: str, tag: str) -> tuple[str, int | None]:
     )
     corrupter = CheckpointCorrupter(
         config, engine=payload.get("engine", "vectorized"))
-    corrupter.corrupt()
+    # stamp the flip provenance events with the trial identity: batched
+    # chunks interleave many trials' events in one process stream
+    with telemetry.tag_scope(trial_id=payload.get("trial_id")):
+        corrupter.corrupt()
     findings = (structural_findings_count(path)
                 if payload.get("validate_checkpoints") else None)
     return path, findings
@@ -108,7 +112,8 @@ def run_trial(payload: dict) -> dict:
         path, findings = _inject(payload, workdir, "t5")
         outcome = resume_training(
             spec, path, epochs=1,
-            health_probe=payload.get("health_probe", False))
+            health_probe=payload.get("health_probe", False),
+            trial_id=payload.get("trial_id"))
     return _trial_result(payload, outcome, findings)
 
 
@@ -123,7 +128,8 @@ def run_trial_batch(payloads: list[dict]) -> list[dict]:
                     for index, payload in enumerate(payloads)]
         outcomes = resume_training_batched(
             spec, [path for path, _ in injected], epochs=1,
-            health_probe=any(p.get("health_probe") for p in payloads))
+            health_probe=any(p.get("health_probe") for p in payloads),
+            trial_ids=[p.get("trial_id") for p in payloads])
     return [_trial_result(payload, outcome, findings)
             for payload, outcome, (_, findings)
             in zip(payloads, outcomes, injected)]

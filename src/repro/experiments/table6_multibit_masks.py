@@ -16,6 +16,7 @@ from __future__ import annotations
 import math
 import tempfile
 
+from .. import telemetry
 from ..analysis import group_records, mean_excluding_collapsed, render_table
 from ..health import classify_curve
 from ..injector import CheckpointCorrupter, InjectorConfig
@@ -74,7 +75,10 @@ def _inject(payload: dict, workdir: str, tag: str) -> tuple[str, int | None]:
     )
     corrupter = CheckpointCorrupter(
         config, engine=payload.get("engine", "vectorized"))
-    corrupter.corrupt()
+    # stamp the flip provenance events with the trial identity: batched
+    # chunks interleave many trials' events in one process stream
+    with telemetry.tag_scope(trial_id=payload.get("trial_id")):
+        corrupter.corrupt()
     findings = (structural_findings_count(path)
                 if payload.get("validate_checkpoints") else None)
     return path, findings
@@ -102,7 +106,8 @@ def run_trial(payload: dict) -> dict:
         path, findings = _inject(payload, workdir, "t6")
         outcome = resume_training(
             spec, path, epochs=spec.scale.resume_epochs,
-            health_probe=payload.get("health_probe", False))
+            health_probe=payload.get("health_probe", False),
+            trial_id=payload.get("trial_id"))
     return _trial_result(payload, outcome, findings)
 
 
@@ -120,7 +125,8 @@ def run_trial_batch(payloads: list[dict]) -> list[dict]:
         outcomes = resume_training_batched(
             spec, [path for path, _ in injected],
             epochs=spec.scale.resume_epochs,
-            health_probe=any(p.get("health_probe") for p in payloads))
+            health_probe=any(p.get("health_probe") for p in payloads),
+            trial_ids=[p.get("trial_id") for p in payloads])
     return [_trial_result(payload, outcome, findings)
             for payload, outcome, (_, findings)
             in zip(payloads, outcomes, injected)]

@@ -127,12 +127,17 @@ class ModelHealthProbe:
 
     def __init__(self, *, include_optimizer: bool = True,
                  include_state: bool = True, track_updates: bool = True,
-                 emit: bool = True, keep_history: bool = True):
+                 emit: bool = True, keep_history: bool = True,
+                 trial_id: str | None = None):
         self.include_optimizer = include_optimizer
         self.include_state = include_state
         self.track_updates = track_updates
         self.emit = emit
         self.keep_history = keep_history
+        #: stamped onto every emitted ``health`` event so per-trial
+        #: attribution survives batched execution, where N trials' probes
+        #: interleave their events in one process stream
+        self.trial_id = trial_id
         self.history: list[HealthSnapshot] = []
         self._previous: dict[str, np.ndarray] = {}
 
@@ -165,8 +170,10 @@ class ModelHealthProbe:
         if self.keep_history:
             self.history.append(snapshot)
         if self.emit and telemetry.enabled():
+            extra = ({"trial_id": self.trial_id}
+                     if self.trial_id is not None else {})
             telemetry.event("health", epoch=epoch, layers=layers,
-                            **snapshot.summary)
+                            **extra, **snapshot.summary)
         return snapshot
 
     def reset(self) -> None:

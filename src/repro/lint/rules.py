@@ -584,3 +584,45 @@ def check_trace_propagation(module: SourceModule):
                 "submit-time trace context first so the span joins the "
                 "campaign's distributed trace"
             )
+
+
+@rule(
+    "atlas-ingest-offsets",
+    description="atlas journal readers go through the offset-resumable "
+                "JsonlTail API, never ad-hoc file reads",
+    rationale=(
+        "the atlas's byte-determinism and kill-9 resumability (this PR) "
+        "hang on every journal byte being consumed through "
+        "telemetry.fleet.JsonlTail, whose `consumed` offset is the "
+        "catalog's durable high-water mark and whose partial-line "
+        "buffering tolerates torn writes; a raw open()/.readlines() of a "
+        "journal reads torn lines as records and cannot resume, silently "
+        "corrupting or duplicating atlas rows"
+    ),
+    domains=("repro.atlas",),
+)
+def check_atlas_ingest_offsets(module: SourceModule):
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if terminal_name(node) == "readlines":
+            yield node, (
+                ".readlines() in the atlas layer bypasses the "
+                "offset-resumable tail; read journals through "
+                "telemetry.fleet.JsonlTail(path, offset=...).poll()"
+            )
+            continue
+        if call_name(node) == "open" and node.args:
+            first = node.args[0]
+            literal = first.value if (
+                isinstance(first, ast.Constant) and
+                isinstance(first.value, str)) else None
+            mentioned = literal if literal is not None else (
+                dotted_name(first) or "")
+            if literal is not None and literal.endswith(".jsonl") or \
+                    "journal" in mentioned.lower():
+                yield node, (
+                    "journal file opened directly; the atlas must tail "
+                    "journals with telemetry.fleet.JsonlTail so ingest "
+                    "stays offset-resumable and torn-line tolerant"
+                )

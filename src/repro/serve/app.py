@@ -13,9 +13,21 @@ Routes (all JSON unless noted)::
                                   trace id and per-trial span index
                                   (?format=summary)
     POST /campaigns/{id}/cancel   stop scheduling the campaign's shards
+    GET  /atlas                   sensitivity-atlas summary (rows, sources,
+                                  store fingerprint); refreshed on read
+    GET  /atlas/surface           a sensitivity surface as JSON
+                                  (?x=layer&y=bit&outcome=degraded, plus
+                                  any dimension as an equality filter)
+    GET  /atlas/heatmap.html      the same surface as a standalone HTML
+                                  heatmap (inline SVG)
     GET  /metrics                 Prometheus text exposition (store +
-                                  repro_fleet_* rollups)
+                                  repro_fleet_* + repro_atlas_* rollups)
     GET  /health                  liveness + queue summary
+
+The atlas endpoints serve the warehouse described in
+:mod:`repro.atlas`: every request re-runs the offset-resumable ingest
+over this store's journals (cheap — already-ingested bytes are skipped),
+so the surfaces are live views of the campaigns as they execute.
 
 Distributed tracing: a submit may carry a W3C-style ``traceparent``
 header; the front door records it (or mints a fresh context) as the
@@ -33,6 +45,9 @@ from __future__ import annotations
 
 from http.server import ThreadingHTTPServer
 
+from ..atlas.query import DIMENSIONS, resolve_dimension
+from ..atlas.render import surface_html
+from ..atlas.service import AtlasService
 from ..telemetry import TraceContext, chrome_trace
 from ..telemetry.fleet import FleetTelemetry
 from .httpd import (
@@ -52,8 +67,10 @@ from .store import BacklogFull, CampaignStore, UnknownCampaign
 class ServeApp:
     """Route handlers bound to one campaign store."""
 
-    def __init__(self, store: CampaignStore):
+    def __init__(self, store: CampaignStore,
+                 atlas: AtlasService | None = None):
         self.store = store
+        self.atlas = atlas or AtlasService(store.root)
 
     # -- handlers ----------------------------------------------------------
 
@@ -152,8 +169,44 @@ class ServeApp:
             return self._unknown(request)
 
     def metrics(self, request: Request) -> Response:
-        return text_response(self.store.fleet_prometheus(),
-                             content_type=PROMETHEUS_CTYPE)
+        return text_response(
+            self.store.fleet_prometheus() + self.atlas.prometheus(),
+            content_type=PROMETHEUS_CTYPE)
+
+    # -- atlas -------------------------------------------------------------
+
+    def _surface_from_query(self, request: Request):
+        """The surface a ``/atlas/*`` request asks for (may raise
+        ``ValueError`` for an unknown dimension)."""
+        x = (request.query.get("x") or ["layer"])[0]
+        y = (request.query.get("y") or ["bit"])[0]
+        outcome = (request.query.get("outcome") or ["degraded"])[0]
+        where = {}
+        for name, values in request.query.items():
+            if name in ("x", "y", "outcome") or not values:
+                continue
+            where[resolve_dimension(name)] = values[0]
+        return self.atlas.surface(x, y, outcome=outcome,
+                                  where=where or None)
+
+    def atlas_summary(self, request: Request) -> Response:
+        summary = self.atlas.summary()
+        summary["dimensions"] = list(DIMENSIONS)
+        return json_response(summary)
+
+    def atlas_surface(self, request: Request) -> Response:
+        try:
+            return json_response(self._surface_from_query(request).to_json())
+        except ValueError as exc:
+            return error_response(400, str(exc))
+
+    def atlas_heatmap(self, request: Request) -> Response:
+        try:
+            surface = self._surface_from_query(request)
+        except ValueError as exc:
+            return error_response(400, str(exc))
+        return text_response(surface_html(surface),
+                             content_type="text/html; charset=utf-8")
 
     def health(self, request: Request) -> Response:
         campaigns = self.store.list_campaigns()
@@ -183,6 +236,9 @@ class ServeApp:
             Route("GET", "/campaigns/{campaign_id}/results", self.results),
             Route("GET", "/campaigns/{campaign_id}/trace", self.trace),
             Route("POST", "/campaigns/{campaign_id}/cancel", self.cancel),
+            Route("GET", "/atlas", self.atlas_summary),
+            Route("GET", "/atlas/surface", self.atlas_surface),
+            Route("GET", "/atlas/heatmap.html", self.atlas_heatmap),
             Route("GET", "/metrics", self.metrics),
             Route("GET", "/health", self.health),
             Route("GET", "/", self.health),

@@ -57,6 +57,7 @@ from .core import (
     shutdown,
     span,
     start_span,
+    tag_scope,
     trace_scope,
 )
 from .export import (chrome_trace, escape_label_value, prom_sample,
@@ -131,5 +132,6 @@ __all__ = [
     "shutdown",
     "span",
     "start_span",
+    "tag_scope",
     "trace_scope",
 ]

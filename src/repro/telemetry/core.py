@@ -50,6 +50,8 @@ from .sinks import FanoutSink, JsonlSink, Sink
 _pipeline: "Pipeline | None" = None
 _current: ContextVar["Span | None"] = ContextVar("repro_telemetry_span",
                                                 default=None)
+_tags: ContextVar["dict | None"] = ContextVar("repro_telemetry_tags",
+                                              default=None)
 _ids = itertools.count(1)
 _trace_ids = itertools.count(1)
 _host: str | None = None
@@ -421,12 +423,44 @@ def adopt(trace: dict | None) -> None:
     _current.set(_RemoteParent(span_id) if span_id else None)
 
 
+@contextlib.contextmanager
+def tag_scope(**tags):
+    """Stamp *tags* onto every event emitted inside the ``with`` block.
+
+    The executing-side half of per-trial attribution: emitters deep in the
+    stack (the injector's ``flip`` provenance, a probe's ``health``
+    snapshots) have no idea which trial they serve, so the harness wraps
+    the trial's work in ``tag_scope(trial_id=...)`` and the tags ride along
+    as event attrs.  Batched execution makes this load-bearing — N trials
+    share one pid, so pid can no longer stand in for trial identity.
+
+    Scopes nest (inner tags shadow outer ones for the inner block);
+    ``None``-valued tags are dropped; explicit ``event()`` attrs always win
+    over ambient tags.  Contextvar-backed, so concurrent threads do not
+    see each other's tags.
+    """
+    cleaned = {key: value for key, value in tags.items() if value is not None}
+    current = _tags.get() or {}
+    token = _tags.set({**current, **cleaned} if cleaned else current)
+    try:
+        yield
+    finally:
+        _tags.reset(token)
+
+
 def event(name: str, **attrs) -> None:
-    """A point-in-time event attached to the ambient span."""
+    """A point-in-time event attached to the ambient span.
+
+    Ambient :func:`tag_scope` tags are merged in under any explicitly
+    passed attrs (explicit attrs win on collision).
+    """
     pipeline = _pipeline
     if pipeline is None:
         return
     ambient = _current.get()
+    tags = _tags.get()
+    if tags:
+        attrs = {**tags, **attrs}
     pipeline.emit({
         "type": "event",
         "name": name,

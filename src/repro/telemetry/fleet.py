@@ -46,14 +46,32 @@ class JsonlTail:
     caught mid-append) is buffered until its newline arrives; a file that
     shrinks (rotation/truncation) restarts the tail from byte 0; a file
     that does not exist yet simply yields nothing.
+
+    ``offset`` seeds the tail mid-file — the resume hook for readers (the
+    sensitivity atlas ingester) that persist how far they got.
+    :attr:`consumed` is the byte offset of the last *complete* line
+    returned so far (the buffered partial tail excluded): the durable
+    high-water mark such readers record, so a torn final line is re-read
+    on the next resume instead of being silently lost.
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, offset: int = 0):
         self.path = path
-        self.offset = 0
+        self.offset = int(offset)
         self._partial = b""
 
+    @property
+    def consumed(self) -> int:
+        """Byte offset just past the last complete line seen by poll()."""
+        return self.offset - len(self._partial)
+
     def poll(self) -> list[dict]:
+        return [record for record, _ in self.poll_with_offsets()]
+
+    def poll_with_offsets(self) -> list[tuple[dict, int]]:
+        """Like :meth:`poll`, but pairs each record with the byte offset
+        just past its line — the line-boundary bookkeeping readers with
+        deterministic segmentation (the atlas ingester) resume from."""
         try:
             size = os.path.getsize(self.path)
         except OSError:
@@ -66,21 +84,24 @@ class JsonlTail:
         with open(self.path, "rb") as handle:
             handle.seek(self.offset)
             chunk = handle.read()
+        base = self.offset - len(self._partial)
         self.offset += len(chunk)
         data = self._partial + chunk
         lines = data.split(b"\n")
         self._partial = lines.pop()  # b"" when data ended on a newline
-        records: list[dict] = []
+        records: list[tuple[dict, int]] = []
+        position = base
         for line in lines:
-            line = line.strip()
-            if not line:
+            position += len(line) + 1  # +1: the newline split() consumed
+            stripped = line.strip()
+            if not stripped:
                 continue
             try:
-                parsed = json.loads(line)
+                parsed = json.loads(stripped)
             except json.JSONDecodeError:
                 continue  # torn line that happened to end in \n garbage
             if isinstance(parsed, dict):
-                records.append(parsed)
+                records.append((parsed, position))
         return records
 
 

@@ -227,3 +227,68 @@ class TestOutcomeHistogram:
         stats = CampaignStats.from_records(records, wall_time=1.0)
         clone = CampaignStats.from_dict(stats.as_dict())
         assert clone.outcomes == {"masked": 1}
+
+
+class TestOtherOutcomeBucket:
+    """Unknown outcome labels: bucketed under `other`, warned once, and
+    merged back into the single-histogram wire format."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_warning_slate(self):
+        from repro.analysis import campaign as module
+        module._warned_outcome_labels.clear()
+        yield
+        module._warned_outcome_labels.clear()
+
+    def records(self):
+        return [
+            dict(_record(), outcome_class="masked"),
+            dict(_record(), outcome_class="rwc"),  # a paper-era label
+            dict(_record(), outcome_class="rwc"),
+        ]
+
+    def test_unknown_label_lands_in_other(self):
+        with pytest.warns(UserWarning, match="unknown outcome label 'rwc'"):
+            stats = CampaignStats.from_records(self.records(),
+                                               wall_time=1.0)
+        assert stats.outcomes == {"masked": 1}
+        assert stats.other_outcomes == {"rwc": 2}
+
+    def test_warns_once_per_label(self):
+        import warnings as warnings_module
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            CampaignStats.from_records(self.records(), wall_time=1.0)
+            CampaignStats.from_records(self.records(), wall_time=1.0)
+        assert len([w for w in caught
+                    if "unknown outcome label" in str(w.message)]) == 1
+
+    def test_round_trips_through_to_dict(self):
+        with pytest.warns(UserWarning):
+            stats = CampaignStats.from_records(self.records(),
+                                               wall_time=1.0)
+        payload = stats.to_dict()
+        # the wire format stays a single histogram
+        assert payload["outcomes"] == {"masked": 1, "rwc": 2}
+        assert "other_outcomes" not in payload
+        clone = CampaignStats.from_dict(payload)
+        assert clone.outcomes == stats.outcomes
+        assert clone.other_outcomes == stats.other_outcomes
+
+    def test_from_dict_rebuckets_archived_unknowns(self):
+        payload = {"total": 2, "outcomes": {"masked": 1, "sdc": 1}}
+        with pytest.warns(UserWarning, match="'sdc'"):
+            stats = CampaignStats.from_dict(payload)
+        assert stats.outcomes == {"masked": 1}
+        assert stats.other_outcomes == {"sdc": 1}
+
+    def test_summary_marks_other_labels(self):
+        with pytest.warns(UserWarning):
+            stats = CampaignStats.from_records(self.records(),
+                                               wall_time=1.0)
+        assert "masked=1, rwc=2 (other)" in stats.summary()
+
+    def test_canonical_labels_pinned_to_health_taxonomy(self):
+        from repro.analysis.campaign import CANONICAL_OUTCOMES
+        from repro.health.outcome import OUTCOMES
+        assert CANONICAL_OUTCOMES == tuple(OUTCOMES)

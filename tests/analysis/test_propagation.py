@@ -6,6 +6,7 @@ from repro.analysis import (
     health_series,
     match_layer,
     propagation_report,
+    stream_trial_ids,
 )
 
 
@@ -125,3 +126,79 @@ class TestPropagationReport:
         report = propagation_report(list(baseline), baseline)
         assert report.moved() == []
         assert "no layer diverged" in report.render()
+
+
+def stamp(event, trial_id):
+    stamped = dict(event, attrs=dict(event["attrs"]))
+    stamped["attrs"]["trial_id"] = trial_id
+    return stamped
+
+
+class TestBatchedTrialJoin:
+    """The --batch-trials regression: N trials interleave flip and health
+    events in ONE process stream (one pid), so the join must key on the
+    trial_id stamp, never on pid."""
+
+    def _interleaved(self):
+        # two trials, same pid, events interleaved exactly as a batched
+        # chunk emits them; trial a flips a/W, trial b flips b/W
+        return [
+            stamp(flip_event("/model/a/W"), "fig3/0"),
+            stamp(flip_event("/model/b/W"), "fig3/1"),
+            stamp(health_event(0, {"a/W": stats(50.0),
+                                   "b/W": stats(1.0)}), "fig3/0"),
+            stamp(health_event(0, {"a/W": stats(1.0),
+                                   "b/W": stats(50.0)}), "fig3/1"),
+            stamp(health_event(1, {"a/W": stats(60.0),
+                                   "b/W": stats(1.1)}), "fig3/0"),
+            stamp(health_event(1, {"a/W": stats(1.1),
+                                   "b/W": stats(60.0)}), "fig3/1"),
+        ]
+
+    def _baseline(self):
+        return [health_event(0, {"a/W": stats(1.0), "b/W": stats(1.0)}),
+                health_event(1, {"a/W": stats(1.1), "b/W": stats(1.1)})]
+
+    def test_stream_trial_ids_enumerates_the_batch(self):
+        assert stream_trial_ids(self._interleaved()) == ["fig3/0", "fig3/1"]
+
+    def test_filters_select_one_trial(self):
+        events = self._interleaved()
+        assert flipped_layers(events, trial_id="fig3/0") == \
+            {"/model/a/W": 1}
+        assert flipped_layers(events, trial_id="fig3/1") == \
+            {"/model/b/W": 1}
+        series = health_series(events, trial_id="fig3/1")
+        assert [epoch for epoch, _ in series["b/W"]] == [0, 1]
+
+    def test_per_trial_reports_attribute_their_own_flip(self):
+        events = self._interleaved()
+        report_a = propagation_report(events, self._baseline(),
+                                      trial_id="fig3/0")
+        report_b = propagation_report(events, self._baseline(),
+                                      trial_id="fig3/1")
+        assert report_a.injected_layers == ["a/W"]
+        assert report_b.injected_layers == ["b/W"]
+        # each trial sees only its own layer diverge — the other trial's
+        # flip does not bleed in despite sharing the stream and pid
+        assert {row[0]: row[3] for row in report_a.rows()} == \
+            {"a/W": "injected"}
+        assert {row[0]: row[3] for row in report_b.rows()} == \
+            {"b/W": "injected"}
+
+    def test_unstamped_events_excluded_from_keyed_join(self):
+        # a legacy (pid-era) event must not leak into a keyed trial
+        events = self._interleaved() + [flip_event("/model/c/W")]
+        assert "/model/c/W" not in flipped_layers(events,
+                                                  trial_id="fig3/0")
+        # but the unkeyed view still sees everything
+        assert "/model/c/W" in flipped_layers(events)
+
+    def test_baseline_trial_id_selects_shared_baseline_stream(self):
+        corrupted = self._interleaved()
+        baseline = [stamp(e, "base/0") for e in self._baseline()] + \
+            [stamp(health_event(0, {"a/W": stats(77.0)}), "base/1")]
+        report = propagation_report(corrupted, baseline,
+                                    trial_id="fig3/0",
+                                    baseline_trial_id="base/0")
+        assert report.moved()[0][0] == "a/W"

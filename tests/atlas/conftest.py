@@ -1,0 +1,65 @@
+"""Synthetic journal/telemetry builders shared by the atlas tests."""
+
+import json
+import os
+
+import pytest
+
+
+def journal_record(i: int, *, model: str = "lenet",
+                   framework: str = "repro", flips: int = 1,
+                   outcome_class: str = "masked",
+                   status: str = "ok") -> dict:
+    return {
+        "trial_id": f"trial/{i}",
+        "kind": "fig3",
+        "status": status,
+        "outcome": {"final_accuracy": 0.9} if status == "ok" else None,
+        "error": None if status == "ok" else "boom",
+        "attempts": 1,
+        "timed_out": False,
+        "duration": 0.25,
+        "worker": 0,
+        "payload": {"model": model, "framework": framework, "flips": flips},
+        "outcome_class": outcome_class,
+        "structural_findings": None,
+    }
+
+
+def flip_event(trial_id: str, *, location: str = "conv1/W",
+               bit_msb: int = 0, precision: int = 32,
+               stamped: bool = True, span_id=None) -> dict:
+    attrs = {
+        "location": location, "flat_index": 7, "kind": "f",
+        "precision": precision, "bit_msb": bit_msb,
+        "old_value": 1.0, "new_value": -1.0, "delta": -2.0,
+    }
+    if stamped:
+        attrs["trial_id"] = trial_id
+    return {"type": "event", "name": "flip", "pid": 1, "ts": 1.0,
+            "span_id": span_id, "trace_id": "t", "attrs": attrs}
+
+
+def write_jsonl(path: str, records: list[dict]) -> None:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+@pytest.fixture
+def sample_journal(tmp_path):
+    """A 24-trial journal + stamped flip stream, cycling 3 layers x 4
+    bits, degraded on every third trial."""
+    journal = str(tmp_path / "journals" / "run.jsonl")
+    telemetry_path = str(tmp_path / "telemetry" / "run.jsonl")
+    records, events = [], []
+    for i in range(24):
+        records.append(journal_record(
+            i, model="lenet" if i % 2 else "vgg",
+            outcome_class="degraded" if i % 3 == 0 else "masked"))
+        events.append(flip_event(f"trial/{i}", location=f"conv{i % 3}/W",
+                                 bit_msb=i % 4))
+    write_jsonl(journal, records)
+    write_jsonl(telemetry_path, events)
+    return journal, telemetry_path, records

@@ -1,0 +1,144 @@
+"""`repro-experiments atlas ...` end to end, through the real CLI main."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+
+from .conftest import journal_record, write_jsonl
+
+
+@pytest.fixture
+def populated_store(tmp_path, sample_journal, capsys):
+    journal, telemetry_path, records = sample_journal
+    store = str(tmp_path / "atlas")
+    code = main(["atlas", "ingest", "--store", store,
+                 "--journal", journal, "--telemetry", telemetry_path])
+    assert code == 0
+    capsys.readouterr()  # drop the ingest report from captured output
+    return store, records
+
+
+class TestIngest:
+    def test_reports_stats_and_fingerprint(self, capsys, tmp_path,
+                                           sample_journal):
+        journal, telemetry_path, records = sample_journal
+        store = str(tmp_path / "atlas")
+        assert main(["atlas", "ingest", "--store", store,
+                     "--journal", journal,
+                     "--telemetry", telemetry_path]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["rows"] == len(records)
+        assert report["total_rows"] == len(records)
+        assert len(report["fingerprint"]) == 40
+
+    def test_requires_an_input(self, capsys, tmp_path):
+        code = main(["atlas", "ingest",
+                     "--store", str(tmp_path / "atlas")])
+        assert code == 2
+        assert "--campaigns or --journal" in capsys.readouterr().err
+
+    def test_campaign_root_input(self, capsys, tmp_path):
+        campaign = tmp_path / "root" / "campaigns" / "00001-x"
+        write_jsonl(str(campaign / "journals" / "shard-0000.jsonl"),
+                    [journal_record(i) for i in range(4)])
+        with open(campaign / "spec.json", "w", encoding="utf-8") as handle:
+            handle.write("{}")
+        assert main(["atlas", "ingest",
+                     "--store", str(tmp_path / "atlas"),
+                     "--campaigns", str(tmp_path / "root")]) == 0
+        assert json.loads(capsys.readouterr().out)["rows"] == 4
+
+
+class TestSurface:
+    def test_text_output(self, capsys, populated_store):
+        store, _ = populated_store
+        assert main(["atlas", "surface", "--store", store,
+                     "--x", "layer", "--y", "bit"]) == 0
+        out = capsys.readouterr().out
+        assert "degraded rate over layer (cols) x bit (rows)" in out
+        assert "24 trials" in out
+
+    def test_json_every_trial_in_one_cell(self, capsys, populated_store):
+        store, records = populated_store
+        assert main(["atlas", "surface", "--store", store,
+                     "--x", "layer", "--y", "bit",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_trials"] == len(records)
+        assert sum(c["trials"] for c in payload["cells"]) == len(records)
+
+    def test_csv_where_and_alias(self, capsys, populated_store):
+        store, _ = populated_store
+        assert main(["atlas", "surface", "--store", store,
+                     "--x", "layer", "--y", "bit_position",
+                     "--where", "model=vgg", "--format", "csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "layer,bit,trials,hits,rate,low,high"
+        assert sum(int(line.split(",")[2]) for line in lines[1:]) == 12
+
+    def test_rank_appended(self, capsys, populated_store):
+        store, _ = populated_store
+        assert main(["atlas", "surface", "--store", store,
+                     "--x", "layer", "--y", "bit",
+                     "--rank", "layer"]) == 0
+        assert "vulnerability ranking by layer" in capsys.readouterr().out
+
+    def test_unknown_dimension_exits_2(self, capsys, populated_store):
+        store, _ = populated_store
+        assert main(["atlas", "surface", "--store", store,
+                     "--x", "epoch", "--y", "bit"]) == 2
+        assert "unknown atlas dimension" in capsys.readouterr().err
+
+    def test_malformed_where_exits_2(self, capsys, populated_store):
+        store, _ = populated_store
+        assert main(["atlas", "surface", "--store", store,
+                     "--x", "layer", "--y", "bit",
+                     "--where", "model"]) == 2
+        assert "DIM=VALUE" in capsys.readouterr().err
+
+
+class TestHtml:
+    def test_writes_standalone_document(self, capsys, tmp_path,
+                                        populated_store):
+        store, _ = populated_store
+        out = str(tmp_path / "heatmap.html")
+        assert main(["atlas", "html", "--store", store,
+                     "--x", "layer", "--y", "bit", "--out", out]) == 0
+        with open(out, encoding="utf-8") as handle:
+            document = handle.read()
+        assert document.startswith("<!DOCTYPE html>")
+        assert "<svg" in document
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestDiff:
+    def write_store(self, tmp_path, name, degraded_every):
+        journal = str(tmp_path / f"{name}.jsonl")
+        write_jsonl(journal, [
+            journal_record(i, outcome_class=(
+                "degraded" if i % degraded_every == 0 else "masked"))
+            for i in range(60)])
+        store = str(tmp_path / name)
+        assert main(["atlas", "ingest", "--store", store,
+                     "--journal", journal]) == 0
+        return store
+
+    def test_regression_exits_1(self, capsys, tmp_path):
+        baseline = self.write_store(tmp_path, "baseline", 60)
+        candidate = self.write_store(tmp_path, "candidate", 2)
+        capsys.readouterr()
+        assert main(["atlas", "diff", "--store", baseline,
+                     "--against", candidate,
+                     "--x", "layer", "--y", "bit"]) == 1
+        assert "sensitivity regression" in capsys.readouterr().out
+
+    def test_identical_stores_exit_0(self, capsys, tmp_path):
+        baseline = self.write_store(tmp_path, "b2", 3)
+        candidate = self.write_store(tmp_path, "c2", 3)
+        capsys.readouterr()
+        assert main(["atlas", "diff", "--store", baseline,
+                     "--against", candidate,
+                     "--x", "layer", "--y", "bit"]) == 0
+        assert "no sensitivity regressions" in capsys.readouterr().out

@@ -1,0 +1,209 @@
+"""AtlasIngester: resumable ingest, the flip join, kill-9 recovery, and
+the brute-force recount parity the acceptance gate demands."""
+
+import json
+import os
+
+from repro.atlas.ingest import AtlasIngester, derive_row, flips_by_trial
+from repro.atlas.query import surface
+from repro.atlas.store import CHUNK_ROWS, MULTI, UNKNOWN, AtlasStore
+
+from .conftest import flip_event, journal_record, write_jsonl
+
+
+def build(tmp_path, name="atlas"):
+    return AtlasStore(str(tmp_path / name))
+
+
+def ingest_journal(store, journal, telemetry=()):
+    ingester = AtlasIngester(store)
+    ingester.add_journal(journal, campaign="camp",
+                         telemetry_paths=tuple(telemetry))
+    return ingester.ingest()
+
+
+class TestDeriveRow:
+    def test_joined_dimensions(self):
+        record = journal_record(0, model="vgg", outcome_class="degraded")
+        flips = [flip_event("trial/0", location="fc/W", bit_msb=5,
+                            precision=64)["attrs"]]
+        row = derive_row(record, "camp", flips)
+        assert row["layer"] == "fc/W"
+        assert row["bit"] == 5
+        assert row["precision"] == 64
+        assert row["mode"] == "single"
+        assert row["outcome"] == "degraded"
+        assert row["model"] == "vgg"
+
+    def test_multi_flip_collapses_to_sentinels(self):
+        record = journal_record(0)
+        flips = [flip_event("trial/0", location="a/W", bit_msb=1)["attrs"],
+                 flip_event("trial/0", location="b/W", bit_msb=2)["attrs"]]
+        row = derive_row(record, "camp", flips)
+        assert row["layer"] == "(multi)"
+        assert row["bit"] == MULTI
+        assert row["mode"] == "multi"
+
+    def test_no_provenance_buckets_unknown(self):
+        row = derive_row(journal_record(0, flips=1), "camp", [])
+        assert row["layer"] == "?"
+        assert row["bit"] == UNKNOWN
+        assert row["precision"] == UNKNOWN
+        assert row["mode"] == "single"  # declared in the payload
+
+    def test_failed_record_classifies_crashed(self):
+        record = journal_record(0, status="failed")
+        record["outcome_class"] = None
+        assert derive_row(record, "camp", [])["outcome"] == "crashed"
+
+
+class TestFlipJoin:
+    def test_stamped_events_win(self):
+        events = [flip_event("trial/1"), flip_event("trial/2"),
+                  flip_event("trial/1", bit_msb=3)]
+        grouped = flips_by_trial(events)
+        assert set(grouped) == {"trial/1", "trial/2"}
+        assert len(grouped["trial/1"]) == 2
+
+    def test_span_chain_fallback_for_legacy_streams(self):
+        events = [
+            {"type": "span", "name": "trial", "span_id": "s1",
+             "parent_id": None, "attrs": {"trial_id": "trial/9"}},
+            {"type": "span", "name": "inject.apply", "span_id": "s2",
+             "parent_id": "s1", "attrs": {}},
+            flip_event("ignored", stamped=False, span_id="s2"),
+        ]
+        grouped = flips_by_trial(events)
+        assert list(grouped) == ["trial/9"]
+
+    def test_unattributable_flip_dropped(self):
+        assert flips_by_trial([flip_event("x", stamped=False)]) == {}
+
+
+class TestIngest:
+    def test_brute_force_recount_parity(self, tmp_path, sample_journal):
+        journal, telemetry_path, records = sample_journal
+        store = build(tmp_path)
+        stats = ingest_journal(store, journal, [telemetry_path])
+        assert stats["rows"] == len(records)
+        columns = store.load()
+        result = surface(columns, "layer", "bit")
+        # brute-force recount straight from the synthetic inputs
+        brute: dict[tuple, list] = {}
+        for i in range(len(records)):
+            key = (f"conv{i % 3}/W", str(i % 4))
+            brute.setdefault(key, []).append(i % 3 == 0)
+        assert set(result.cells) == set(brute)
+        for key, verdicts in brute.items():
+            cell = result.cells[key]
+            assert cell.trials == len(verdicts)
+            assert cell.hits == sum(verdicts)
+            assert cell.estimate.rate == sum(verdicts) / len(verdicts)
+        # every trial in exactly one cell
+        assert result.total_trials == len(records)
+
+    def test_reingest_is_byte_identical(self, tmp_path, sample_journal):
+        journal, telemetry_path, _ = sample_journal
+        store = build(tmp_path)
+        ingest_journal(store, journal, [telemetry_path])
+        fingerprint = store.fingerprint()
+        again = ingest_journal(AtlasStore(store.root), journal,
+                               [telemetry_path])
+        assert again["rows"] == 0
+        assert AtlasStore(store.root).fingerprint() == fingerprint
+
+    def test_incremental_equals_oneshot(self, tmp_path, sample_journal):
+        journal, telemetry_path, records = sample_journal
+        # one-shot reference
+        oneshot = build(tmp_path, "oneshot")
+        ingest_journal(oneshot, journal, [telemetry_path])
+        # the same journal fed in three increments
+        grown = str(tmp_path / "grown.jsonl")
+        incremental = build(tmp_path, "incremental")
+        with open(journal, encoding="utf-8") as handle:
+            lines = handle.readlines()
+        with open(grown, "w", encoding="utf-8") as handle:
+            for cut in (8, 17, len(lines)):
+                handle.seek(0)
+                handle.truncate()
+                handle.writelines(lines[:cut])
+                handle.flush()
+                ingest_journal(incremental, grown, [telemetry_path])
+        # identical logical content (keys differ: journal basename)
+        assert incremental.load()["trial_id"] == oneshot.load()["trial_id"]
+        assert list(incremental.load()["bit"]) == list(oneshot.load()["bit"])
+
+    def test_kill9_between_segment_and_catalog(self, tmp_path,
+                                               sample_journal):
+        journal, telemetry_path, _ = sample_journal
+        reference = build(tmp_path, "reference")
+        ingest_journal(reference, journal, [telemetry_path])
+        # simulate the crash window: segments on disk, catalog never
+        # written (the ingest died after commit_segment, before
+        # write_catalog)
+        crashed = build(tmp_path, "crashed")
+        ingester = AtlasIngester(crashed)
+        ingester.add_journal(journal, campaign="camp",
+                             telemetry_paths=(telemetry_path,))
+        original = AtlasStore.write_catalog
+        AtlasStore.write_catalog = lambda self, catalog: None
+        try:
+            ingester.ingest()
+        finally:
+            AtlasStore.write_catalog = original
+        assert not os.path.exists(crashed.catalog_path)
+        # recovery run converges on the reference bytes
+        ingest_journal(AtlasStore(crashed.root), journal, [telemetry_path])
+        ref_names = reference.ordered_segments()
+        assert AtlasStore(crashed.root).ordered_segments() == ref_names
+        for name in ref_names:
+            assert AtlasStore(crashed.root).segment_bytes(name) == \
+                reference.segment_bytes(name)
+
+    def test_torn_trailing_line_excluded_then_recovered(self, tmp_path):
+        journal = str(tmp_path / "torn.jsonl")
+        write_jsonl(journal, [journal_record(i) for i in range(3)])
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"trial_id": "trial/3", "status"')  # torn
+        store = build(tmp_path)
+        ingest_journal(store, journal)
+        assert store.row_count() == 3
+        # the torn line completes (with new records after it)
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write(": \"ok\"}\n")
+            handle.write(json.dumps(journal_record(4)) + "\n")
+        ingest_journal(AtlasStore(store.root), journal)
+        loaded = AtlasStore(store.root).load()
+        assert loaded["trial_id"] == \
+            ["trial/0", "trial/1", "trial/2", "trial/3", "trial/4"]
+
+    def test_chunk_boundary_spill(self, tmp_path):
+        count = CHUNK_ROWS + 7
+        journal = str(tmp_path / "big.jsonl")
+        write_jsonl(journal, [journal_record(i) for i in range(count)])
+        store = build(tmp_path)
+        ingest_journal(store, journal)
+        assert store.row_count() == count
+        assert len(store.ordered_segments()) == 2
+        assert len(store.load()["trial_id"]) == count
+
+    def test_campaign_root_walk(self, tmp_path):
+        root = tmp_path / "serve-root"
+        for cid in ("00001-fig3", "00002-table5"):
+            campaign = root / "campaigns" / cid
+            write_jsonl(str(campaign / "journals" / "shard-0000.jsonl"),
+                        [journal_record(0), journal_record(1)])
+            with open(campaign / "spec.json", "w", encoding="utf-8") as h:
+                json.dump({"kind": "fig3"}, h)
+        # a campaign dir without spec.json is skipped
+        os.makedirs(root / "campaigns" / "junk", exist_ok=True)
+        store = build(tmp_path)
+        ingester = AtlasIngester(store)
+        keys = ingester.add_campaign_root(str(root))
+        assert keys == ["00001-fig3/shard-0000.jsonl",
+                        "00002-table5/shard-0000.jsonl"]
+        ingester.ingest()
+        columns = store.load()
+        assert sorted(set(columns["campaign"])) == \
+            ["00001-fig3", "00002-table5"]
+        assert len(columns["trial_id"]) == 4

@@ -1,0 +1,80 @@
+"""Satellite property: any interleaving/truncation of journal arrival,
+re-ingested at arbitrary points, converges on the one-shot store bytes.
+
+The journal is grown by arbitrary byte prefixes (so cuts land mid-line,
+mid-record, and on boundaries alike) with an ingest after every growth
+step; the final store fingerprint — catalog plus every segment's exact
+bytes — must equal a single ingest of the complete journal.
+"""
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.atlas.ingest import AtlasIngester
+from repro.atlas.store import AtlasStore
+
+from .conftest import flip_event, journal_record
+
+
+def journal_blob(spec: list[tuple[int, int, int]]) -> bytes:
+    lines = []
+    for i, (outcome, model, status) in enumerate(spec):
+        record = journal_record(
+            i,
+            model=("lenet", "vgg", "alexnet")[model],
+            outcome_class=("masked", "degraded", "collapsed")[outcome],
+            status=("ok", "failed")[status])
+        lines.append(json.dumps(record, sort_keys=True) + "\n")
+    return "".join(lines).encode("utf-8")
+
+
+def ingest(store_root: str, journal: str, telemetry: str) -> AtlasStore:
+    store = AtlasStore(store_root)
+    ingester = AtlasIngester(store)
+    ingester.add_journal(journal, campaign="prop",
+                         telemetry_paths=(telemetry,))
+    ingester.ingest()
+    return store
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    spec=st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 1)),
+        min_size=1, max_size=30),
+    data=st.data(),
+)
+def test_any_truncation_schedule_converges(tmp_path_factory, spec, data):
+    tmp_path = tmp_path_factory.mktemp("prop")
+    blob = journal_blob(spec)
+    cuts = sorted(data.draw(
+        st.lists(st.integers(0, len(blob)), max_size=8),
+        label="cuts")) + [len(blob)]
+
+    telemetry = str(tmp_path / "telemetry.jsonl")
+    with open(telemetry, "w", encoding="utf-8") as handle:
+        for i in range(0, len(spec), 2):  # flips for every other trial
+            handle.write(json.dumps(flip_event(
+                f"trial/{i}", location=f"conv{i % 2}/W",
+                bit_msb=i % 5)) + "\n")
+
+    journal = str(tmp_path / "run.jsonl")
+    # one-shot reference over the complete journal
+    with open(journal, "wb") as handle:
+        handle.write(blob)
+    reference = ingest(str(tmp_path / "reference"), journal, telemetry)
+    expected = reference.fingerprint()
+    assert reference.row_count() == len(spec)
+
+    # grow the same file through the drawn truncation schedule,
+    # re-ingesting the same store after every step
+    incremental_root = str(tmp_path / "incremental")
+    for cut in cuts:
+        with open(journal, "wb") as handle:
+            handle.write(blob[:cut])
+        ingest(incremental_root, journal, telemetry)
+
+    assert AtlasStore(incremental_root).fingerprint() == expected

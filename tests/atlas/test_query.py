@@ -1,0 +1,161 @@
+"""Surface rollups: cell math, filters, rankings, and the diff gate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.campaign import wilson_interval
+from repro.atlas.query import (
+    DIMENSIONS,
+    Surface,
+    SurfaceCell,
+    diff_surfaces,
+    rank_vulnerability,
+    resolve_dimension,
+    surface,
+)
+from repro.atlas.store import MULTI, UNKNOWN
+
+
+def make_columns(rows: list[dict]) -> dict:
+    return {
+        "campaign": [r.get("campaign", "c") for r in rows],
+        "trial_id": [r.get("trial_id", f"t{i}")
+                     for i, r in enumerate(rows)],
+        "model": [r.get("model", "lenet") for r in rows],
+        "framework": [r.get("framework", "repro") for r in rows],
+        "precision": np.array([r.get("precision", 32) for r in rows],
+                              dtype=np.int16),
+        "layer": [r.get("layer", "conv1/W") for r in rows],
+        "bit": np.array([r.get("bit", 0) for r in rows], dtype=np.int16),
+        "mode": [r.get("mode", "single") for r in rows],
+        "outcome": [r.get("outcome", "masked") for r in rows],
+        "status": [r.get("status", "ok") for r in rows],
+        "duration": np.array([0.1] * len(rows), dtype=np.float64),
+    }
+
+
+class TestResolveDimension:
+    def test_canonical_names_pass_through(self):
+        for name in DIMENSIONS:
+            assert resolve_dimension(name) == name
+
+    def test_paper_aliases(self):
+        assert resolve_dimension("bit_position") == "bit"
+        assert resolve_dimension("injection_mode") == "mode"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown atlas dimension"):
+            resolve_dimension("epoch")
+
+
+class TestSurface:
+    def test_every_trial_in_exactly_one_cell(self):
+        rows = [{"layer": f"conv{i % 3}", "bit": i % 4} for i in range(24)]
+        result = surface(make_columns(rows), "layer", "bit")
+        assert result.total_trials == 24
+        assert all(cell.trials == 2 for cell in result.cells.values())
+
+    def test_cell_estimates_are_wilson(self):
+        rows = [{"layer": "fc", "bit": 0,
+                 "outcome": "degraded" if i < 3 else "masked"}
+                for i in range(10)]
+        result = surface(make_columns(rows), "layer", "bit")
+        cell = result.cell("fc", "0")
+        expected = wilson_interval(3, 10, 0.95)
+        assert cell.hits == 3
+        assert cell.estimate.low == expected.low
+        assert cell.estimate.high == expected.high
+
+    def test_axis_labels_sort_numerically_then_lexically(self):
+        rows = [{"bit": b} for b in (10, 2, MULTI, UNKNOWN, 1)]
+        result = surface(make_columns(rows), "bit", "layer")
+        assert result.x_labels == ["1", "2", "10", "(multi)", "?"]
+
+    def test_where_filter_restricts_population(self):
+        rows = [{"model": "vgg" if i % 2 else "lenet", "bit": i % 2}
+                for i in range(10)]
+        result = surface(make_columns(rows), "layer", "bit",
+                         where={"model": "vgg"})
+        assert result.total_trials == 5
+        assert list(result.cells) == [("conv1/W", "1")]
+
+    def test_where_accepts_aliases_and_int_dimensions(self):
+        rows = [{"bit": 3}, {"bit": 4}]
+        result = surface(make_columns(rows), "layer", "model",
+                         where={"bit_position": 3})
+        assert result.total_trials == 1
+
+    def test_matrix_shape_and_nan_for_empty_cells(self):
+        # (a,0) and (b,1) populated; (a,1) and (b,0) never observed
+        rows = [{"layer": "a", "bit": 0, "outcome": "degraded"},
+                {"layer": "b", "bit": 1}]
+        grid = surface(make_columns(rows), "layer", "bit").matrix()
+        assert grid.shape == (2, 2)  # y-rows x x-cols
+        assert grid[0, 0] == 1.0
+        assert grid[1, 1] == 0.0
+        assert math.isnan(grid[1, 0]) and math.isnan(grid[0, 1])
+
+    def test_to_json_cells_sorted_and_complete(self):
+        rows = [{"layer": "b"}, {"layer": "a"}]
+        payload = surface(make_columns(rows), "layer", "bit").to_json()
+        assert [c["x"] for c in payload["cells"]] == ["a", "b"]
+        assert payload["total_trials"] == 2
+        assert payload["outcome"] == "degraded"
+
+    def test_alternate_outcome_class(self):
+        rows = [{"outcome": "collapsed"}, {"outcome": "masked"}]
+        result = surface(make_columns(rows), "layer", "bit",
+                         outcome="collapsed")
+        assert result.cells[("conv1/W", "0")].hits == 1
+
+
+class TestRankVulnerability:
+    def test_orders_by_rate_then_population_then_label(self):
+        rows = (
+            [{"layer": "hot", "outcome": "degraded"}] * 3
+            + [{"layer": "hot", "outcome": "masked"}]
+            + [{"layer": "warm", "outcome": "degraded"},
+               {"layer": "warm", "outcome": "masked"}]
+            + [{"layer": "tied", "outcome": "degraded"},
+               {"layer": "tied", "outcome": "masked"}]
+        )
+        ranked = rank_vulnerability(make_columns(rows), "layer")
+        assert [label for label, _ in ranked] == ["hot", "tied", "warm"]
+        assert ranked[0][1].rate == 0.75
+
+    def test_min_trials_prunes_thin_cells(self):
+        rows = [{"layer": "thin", "outcome": "degraded"}] + \
+            [{"layer": "thick"}] * 5
+        ranked = rank_vulnerability(make_columns(rows), "layer",
+                                    min_trials=2)
+        assert [label for label, _ in ranked] == ["thick"]
+
+
+class TestDiffSurfaces:
+    def build(self, hits: int, trials: int) -> Surface:
+        result = Surface(x_dim="layer", y_dim="bit", outcome="degraded",
+                         confidence=0.95, x_labels=["fc"], y_labels=["0"])
+        result.cells[("fc", "0")] = SurfaceCell(
+            x="fc", y="0", trials=trials, hits=hits,
+            estimate=wilson_interval(hits, trials, 0.95))
+        return result
+
+    def test_disjoint_rise_is_a_regression(self):
+        diffs = diff_surfaces(self.build(1, 100), self.build(50, 100))
+        assert len(diffs) == 1
+        assert diffs[0].delta == pytest.approx(0.49)
+        assert diffs[0].to_json()["after"]["trials"] == 100
+
+    def test_overlapping_rise_is_not_flagged(self):
+        assert diff_surfaces(self.build(4, 100), self.build(6, 100)) == []
+
+    def test_improvement_is_not_flagged(self):
+        assert diff_surfaces(self.build(50, 100), self.build(1, 100)) == []
+
+    def test_cells_missing_from_either_side_ignored(self):
+        baseline = self.build(1, 100)
+        candidate = Surface(x_dim="layer", y_dim="bit", outcome="degraded",
+                            confidence=0.95)
+        assert diff_surfaces(baseline, candidate) == []

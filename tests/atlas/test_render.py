@@ -1,0 +1,95 @@
+"""Exporters: terminal text, CSV quoting, and the standalone HTML/SVG."""
+
+from repro.analysis.campaign import wilson_interval
+from repro.atlas.query import Surface, SurfaceCell, diff_surfaces
+from repro.atlas.render import (
+    diff_text,
+    rank_text,
+    surface_csv,
+    surface_html,
+    surface_text,
+)
+
+
+def build_surface(cells: dict[tuple[str, str], tuple[int, int]],
+                  x_dim: str = "layer", y_dim: str = "bit") -> Surface:
+    result = Surface(x_dim=x_dim, y_dim=y_dim, outcome="degraded",
+                     confidence=0.95)
+    for (x, y), (hits, trials) in cells.items():
+        result.cells[(x, y)] = SurfaceCell(
+            x=x, y=y, trials=trials, hits=hits,
+            estimate=wilson_interval(hits, trials, 0.95))
+    result.x_labels = sorted({x for x, _ in cells})
+    result.y_labels = sorted({y for _, y in cells})
+    return result
+
+
+class TestSurfaceText:
+    def test_carries_title_and_cell_rows(self):
+        text = surface_text(build_surface({("fc", "0"): (3, 10),
+                                           ("fc", "1"): (0, 10)}))
+        assert "degraded rate over layer (cols) x bit (rows)" in text
+        assert "20 trials" in text
+        assert "95% Wilson CIs" in text
+        assert "30.0%" in text
+
+    def test_empty_surface_degrades_gracefully(self):
+        text = surface_text(build_surface({}))
+        assert "(no trials selected)" in text
+
+
+class TestSurfaceCsv:
+    def test_header_and_rows(self):
+        csv = surface_csv(build_surface({("fc", "0"): (1, 4)}))
+        lines = csv.strip().splitlines()
+        assert lines[0] == "layer,bit,trials,hits,rate,low,high"
+        assert lines[1].startswith("fc,0,4,1,0.250000,")
+
+    def test_values_with_commas_are_quoted(self):
+        csv = surface_csv(build_surface({('a,"b"', "0"): (1, 2)}))
+        assert '"a,""b""",0,2,1,' in csv
+
+
+class TestRankAndDiffText:
+    def test_rank_table(self):
+        ranked = [("conv1", wilson_interval(3, 4, 0.95))]
+        text = rank_text(ranked, "layer", "degraded")
+        assert "vulnerability ranking by layer" in text
+        assert "conv1" in text and "75.0%" in text
+
+    def test_diff_clean_and_regressed(self):
+        clean = diff_text([], "layer", "bit")
+        assert "no sensitivity regressions" in clean
+        diffs = diff_surfaces(build_surface({("fc", "0"): (1, 100)}),
+                              build_surface({("fc", "0"): (60, 100)}))
+        text = diff_text(diffs, "layer", "bit")
+        assert "1 sensitivity regression(s)" in text
+        assert "+0.590" in text
+
+
+class TestSurfaceHtml:
+    def test_self_contained_document(self):
+        html_doc = surface_html(build_surface({("fc", "0"): (3, 10)}))
+        assert html_doc.startswith("<!DOCTYPE html>")
+        assert "<svg" in html_doc and "</svg>" in html_doc
+        # zero external references
+        assert "http" not in html_doc.replace(
+            "http://www.w3.org/2000/svg", "")
+        assert "<script" not in html_doc
+
+    def test_tooltips_carry_exact_interval(self):
+        html_doc = surface_html(build_surface({("fc", "0"): (3, 10)}))
+        assert "<title>layer=fc bit=0: 30.0%" in html_doc
+        assert "(3/10)" in html_doc
+
+    def test_empty_cells_render_grey(self):
+        # 2x2 axes with only the diagonal populated
+        html_doc = surface_html(build_surface({("a", "0"): (0, 5),
+                                               ("b", "1"): (5, 5)}))
+        assert 'fill="#e8e8e8"' in html_doc
+        assert "no trials" in html_doc
+
+    def test_labels_are_escaped(self):
+        html_doc = surface_html(build_surface({("<fc>", "0"): (1, 2)}))
+        assert "&lt;fc&gt;" in html_doc
+        assert "<fc>" not in html_doc

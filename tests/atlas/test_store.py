@@ -1,0 +1,107 @@
+"""AtlasStore: segment codec determinism, atomic commits, fingerprints."""
+
+import os
+
+import numpy as np
+
+from repro.atlas.store import (
+    CHUNK_ROWS,
+    COLUMNS,
+    MULTI,
+    UNKNOWN,
+    AtlasStore,
+    decode_segment,
+    encode_segment,
+    segment_name,
+)
+
+
+def make_row(i: int) -> dict:
+    return {
+        "campaign": f"c{i % 2}", "trial_id": f"t{i}", "model": "lenet",
+        "framework": "repro", "precision": 32, "layer": f"conv{i % 3}",
+        "bit": i % 7, "mode": "single", "outcome": "masked",
+        "status": "ok", "duration": 0.5 * i,
+    }
+
+
+class TestSegmentCodec:
+    def test_round_trip(self):
+        rows = [make_row(i) for i in range(20)]
+        decoded = decode_segment(encode_segment("src", 0, rows))
+        assert decoded["trial_id"] == [f"t{i}" for i in range(20)]
+        assert list(decoded["bit"]) == [i % 7 for i in range(20)]
+        assert decoded["bit"].dtype == np.int16
+        assert decoded["duration"].dtype == np.float64
+        assert list(decoded["duration"]) == [0.5 * i for i in range(20)]
+
+    def test_bytes_are_deterministic(self):
+        rows = [make_row(i) for i in range(9)]
+        assert encode_segment("src", 3, rows) == \
+            encode_segment("src", 3, [dict(r) for r in rows])
+
+    def test_sentinels_round_trip(self):
+        row = dict(make_row(0), bit=MULTI, precision=UNKNOWN)
+        decoded = decode_segment(encode_segment("s", 0, [row]))
+        assert int(decoded["bit"][0]) == MULTI
+        assert int(decoded["precision"][0]) == UNKNOWN
+
+    def test_every_declared_column_present(self):
+        decoded = decode_segment(encode_segment("s", 0, [make_row(1)]))
+        assert set(decoded) == {name for name, _ in COLUMNS}
+
+
+class TestStore:
+    def test_commit_is_idempotent_bytes(self, tmp_path):
+        store = AtlasStore(str(tmp_path / "atlas"))
+        rows = [make_row(i) for i in range(5)]
+        name = store.commit_segment("a/shard.jsonl", 0, rows)
+        first = store.segment_bytes(name)
+        assert store.commit_segment("a/shard.jsonl", 0, rows) == name
+        assert store.segment_bytes(name) == first
+
+    def test_segment_name_is_stable(self):
+        assert segment_name("a/shard.jsonl", 2) == \
+            segment_name("a/shard.jsonl", 2)
+        assert segment_name("a/shard.jsonl", 2) != \
+            segment_name("b/shard.jsonl", 2)
+        assert segment_name("a/shard.jsonl", 2).endswith("-000002.seg")
+
+    def test_catalog_round_trip_and_load_order(self, tmp_path):
+        store = AtlasStore(str(tmp_path / "atlas"))
+        name_b = store.commit_segment("b", 0, [make_row(1)])
+        name_a = store.commit_segment("a", 0, [make_row(0)])
+        store.write_catalog({"version": 1, "sources": {
+            "b": {"rows": 1, "segments": [name_b]},
+            "a": {"rows": 1, "segments": [name_a]},
+        }})
+        assert store.ordered_segments() == [name_a, name_b]
+        columns = store.load()
+        assert columns["trial_id"] == ["t0", "t1"]
+        assert store.row_count() == 2
+
+    def test_empty_store_loads_empty_columns(self, tmp_path):
+        columns = AtlasStore(str(tmp_path / "atlas")).load()
+        assert columns["trial_id"] == []
+        assert len(columns["bit"]) == 0
+
+    def test_clean_tmp_removes_strays(self, tmp_path):
+        store = AtlasStore(str(tmp_path / "atlas"))
+        stray = os.path.join(store.segments_dir, "crash.tmp")
+        with open(stray, "w", encoding="utf-8") as handle:
+            handle.write("partial")
+        assert store.clean_tmp() == 1
+        assert not os.path.exists(stray)
+
+    def test_fingerprint_tracks_content(self, tmp_path):
+        store = AtlasStore(str(tmp_path / "atlas"))
+        store.write_catalog({"version": 1, "sources": {}})
+        empty = store.fingerprint()
+        name = store.commit_segment("a", 0, [make_row(0)])
+        store.write_catalog({"version": 1, "sources": {
+            "a": {"rows": 1, "segments": [name]}}})
+        assert store.fingerprint() != empty
+
+    def test_chunk_rows_sane(self):
+        # the ingester's boundary arithmetic assumes a positive chunk size
+        assert CHUNK_ROWS > 0

@@ -16,6 +16,7 @@ from repro.experiments.runner import (
     Journal,
     TrialRecord,
     TrialTask,
+    batch_trial_kind,
     get_trial_kind,
     run_campaign,
     trial_kind,
@@ -528,3 +529,54 @@ def test_preclassifier_journal_replays_without_stamp(tmp_path):
     by_id = {r.trial_id: r.outcome_class for r in result.records}
     assert by_id["echo/0"] is None       # replayed verbatim
     assert by_id["echo/1"] == "masked"   # fresh trial gets stamped
+
+
+# ---------------------------------------------------------------------------
+# trial_id stamping on dispatched payloads
+# ---------------------------------------------------------------------------
+
+
+@trial_kind("test_echo_trial_id")
+def _echo_trial_id(payload):
+    return {"seen_trial_id": payload.get("trial_id")}
+
+
+
+@batch_trial_kind("test_echo_trial_id", group_key=lambda p: "all")
+def _echo_trial_id_batch(payloads):
+    return [{"seen_trial_id": p.get("trial_id"), "batched": True}
+            for p in payloads]
+
+
+class TestDispatchTrialIdStamp:
+    """Every dispatch path hands the trial function a payload carrying its
+    trial_id (so deep emitters can stamp telemetry), while the journaled
+    record's payload stays the task's own, unchanged."""
+
+    def tasks(self, n=3):
+        return [TrialTask(f"stamp/{i}", "test_echo_trial_id", {"value": i})
+                for i in range(n)]
+
+    def assert_stamped(self, result):
+        for record in result.records:
+            assert record.outcome["seen_trial_id"] == record.trial_id
+            assert "trial_id" not in record.payload
+
+    def test_inline_dispatch_stamps(self, tmp_path):
+        result = run_campaign(self.tasks(), workers=1,
+                              journal=str(tmp_path / "j.jsonl"))
+        self.assert_stamped(result)
+        # the journal on disk carries the unstamped payload too
+        for record in Journal(str(tmp_path / "j.jsonl")).load():
+            assert "trial_id" not in record.payload
+
+    def test_pool_dispatch_stamps(self, tmp_path):
+        result = run_campaign(self.tasks(4), workers=2,
+                              journal=str(tmp_path / "j.jsonl"))
+        self.assert_stamped(result)
+
+    def test_batched_dispatch_stamps(self, tmp_path):
+        result = run_campaign(self.tasks(4), workers=1, batch_trials=2,
+                              journal=str(tmp_path / "j.jsonl"))
+        self.assert_stamped(result)
+        assert all(r.outcome.get("batched") for r in result.records)

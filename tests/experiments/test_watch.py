@@ -258,3 +258,51 @@ class TestWatchCli:
                      "--serve", "0"]) == 0
         err = capsys.readouterr().err
         assert "/metrics" in err  # announced the bound port
+
+
+class TestJsonlTailOffsets:
+    """poll_with_offsets: the byte positions the atlas keys its
+    resumable chunk boundaries on."""
+
+    def test_offsets_point_past_each_line(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        lines = [json.dumps(record(name)) for name in ("a", "b", "c")]
+        path.write_text("".join(line + "\n" for line in lines))
+        pairs = JsonlTail(str(path)).poll_with_offsets()
+        expected, position = [], 0
+        for line in lines:
+            position += len(line) + 1
+            expected.append(position)
+        assert [offset for _, offset in pairs] == expected
+        assert [r["trial_id"] for r, _ in pairs] == ["a", "b", "c"]
+
+    def test_resume_from_reported_offset(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        write_journal(path, [record("a"), record("b"), record("c")])
+        pairs = JsonlTail(str(path)).poll_with_offsets()
+        # re-open at the offset just past "a": only b and c remain
+        resumed = JsonlTail(str(path), offset=pairs[0][1])
+        assert [r["trial_id"] for r, _ in resumed.poll_with_offsets()] == \
+            ["b", "c"]
+        assert [offset for _, offset in resumed.poll_with_offsets()] == []
+
+    def test_torn_line_has_no_offset_until_complete(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        full = json.dumps(record("b"))
+        write_journal(path, [record("a")], torn_tail=full[:10])
+        tail = JsonlTail(str(path))
+        pairs = tail.poll_with_offsets()
+        assert [r["trial_id"] for r, _ in pairs] == ["a"]
+        # consumed stops at the torn line's start, not EOF
+        assert tail.consumed == pairs[0][1]
+        with open(path, "a") as handle:
+            handle.write(full[10:] + "\n")
+        (pair,) = tail.poll_with_offsets()
+        assert pair[0]["trial_id"] == "b"
+        assert tail.consumed == pair[1]
+
+    def test_poll_delegates_to_offset_variant(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        write_journal(path, [record("a"), record("b")])
+        assert [r["trial_id"] for r in JsonlTail(str(path)).poll()] == \
+            ["a", "b"]

@@ -162,3 +162,48 @@ class TestModelHealthProbe:
         assert plain.keys() == probed.keys()
         for name in plain:
             assert plain[name].tobytes() == probed[name].tobytes(), name
+
+
+class TestTrialIdStamp:
+    """Per-trial attribution: probes in a batched chunk share one process
+    stream, so their health events must carry the trial identity."""
+
+    def test_stamp_rides_on_every_health_event(self):
+        sink = InMemorySink()
+        telemetry.configure(sink=sink)
+        probe = ModelHealthProbe(trial_id="fig3/42")
+        model = tiny_mlp()
+        probe.observe(model, epoch=0)
+        probe.observe(model, epoch=1)
+        stamps = [e["attrs"]["trial_id"] for e in sink.events
+                  if e.get("name") == "health"]
+        assert stamps == ["fig3/42", "fig3/42"]
+
+    def test_unstamped_probe_emits_no_trial_id(self):
+        sink = InMemorySink()
+        telemetry.configure(sink=sink)
+        ModelHealthProbe().observe(tiny_mlp(), epoch=0)
+        (event,) = [e for e in sink.events if e.get("name") == "health"]
+        assert "trial_id" not in event["attrs"]
+
+    def test_two_stamped_probes_stay_separable(self):
+        sink = InMemorySink()
+        telemetry.configure(sink=sink)
+        model = tiny_mlp()
+        probes = [ModelHealthProbe(trial_id=f"t/{i}") for i in range(2)]
+        for epoch in range(2):  # interleaved, as a batched chunk runs
+            for probe in probes:
+                probe.observe(model, epoch=epoch)
+        stamps = [e["attrs"]["trial_id"] for e in sink.events
+                  if e.get("name") == "health"]
+        assert stamps == ["t/0", "t/1", "t/0", "t/1"]
+
+    def test_stamp_does_not_perturb_snapshots(self):
+        model = tiny_mlp()
+        plain = ModelHealthProbe(emit=False).observe(model, epoch=0)
+        stamped = ModelHealthProbe(emit=False,
+                                   trial_id="x").observe(model, epoch=0)
+        assert plain.summary.keys() == stamped.summary.keys()
+        for key in plain.summary:
+            a, b = plain.summary[key], stamped.summary[key]
+            assert a == b or (np.isnan(a) and np.isnan(b))

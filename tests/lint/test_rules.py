@@ -472,3 +472,69 @@ class TestTracePropagation:
             module="repro.experiments.runner",
         )
         assert found == []
+
+
+class TestAtlasIngestOffsets:
+    def test_readlines_flagged_in_atlas(self):
+        found = findings(
+            """
+            def load(path):
+                with open(path) as handle:
+                    return handle.readlines()
+            """,
+            module="repro.atlas.ingest",
+        )
+        assert rules_hit(found) == {"atlas-ingest-offsets"}
+        assert "JsonlTail" in found[0].message
+
+    def test_open_on_jsonl_literal_flagged(self):
+        found = findings(
+            'records = open("journals/shard-0000.jsonl")\n',
+            module="repro.atlas.store",
+        )
+        assert rules_hit(found) == {"atlas-ingest-offsets"}
+
+    def test_open_on_journal_variable_flagged(self):
+        found = findings(
+            """
+            def scan(source):
+                return open(source.journal_path)
+            """,
+            module="repro.atlas.ingest",
+        )
+        assert rules_hit(found) == {"atlas-ingest-offsets"}
+
+    def test_jsonltail_usage_clean(self):
+        found = findings(
+            """
+            from ..telemetry.fleet import JsonlTail
+
+            def scan(path, offset):
+                tail = JsonlTail(path, offset=offset)
+                return tail.poll_with_offsets()
+            """,
+            module="repro.atlas.ingest",
+        )
+        assert found == []
+
+    def test_non_journal_open_clean_in_domain(self):
+        found = findings(
+            """
+            def read_catalog(path):
+                with open(path, encoding="utf-8") as handle:
+                    return handle.read()
+            """,
+            module="repro.atlas.store",
+        )
+        assert found == []
+
+    def test_same_code_outside_domain_clean(self):
+        found = findings(
+            """
+            def load(path):
+                with open(path) as handle:
+                    return handle.readlines()
+            """,
+            module="repro.experiments.watch",
+        )
+        assert found == []

@@ -1,0 +1,120 @@
+"""The /atlas endpoints: served surfaces must match the CLI/direct query
+over the same campaign root, and repro_atlas_* must ride /metrics."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.atlas.query import surface
+from repro.atlas.store import AtlasStore
+from repro.serve.app import build_app_server
+from repro.serve.client import ServeClient
+from repro.serve.scheduler import ServeWorker
+from repro.serve.spec import CampaignSpec
+from repro.serve.store import CampaignStore
+
+from . import kinds  # noqa: F401  (registers the serve_* kinds)
+
+
+@pytest.fixture
+def service(tmp_path):
+    store = CampaignStore(str(tmp_path / "root"), max_active=2,
+                          shard_size=2)
+    server = build_app_server(store, 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    yield store, ServeClient(base), base
+    server.shutdown()
+    server.server_close()
+
+
+def get(base: str, path: str):
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        return (response.status,
+                response.headers.get("Content-Type", ""),
+                response.read().decode("utf-8"))
+
+
+def run_campaign(store, client, seed=5, count=6):
+    spec = CampaignSpec(kind="serve_echo", seed=seed,
+                        params={"count": count})
+    cid = client.submit(spec)["campaign_id"]
+    ServeWorker(store, owner="w", poll=0.01).run(drain=True)
+    client.wait(cid, timeout=30)
+    return cid
+
+
+class TestAtlasSummary:
+    def test_empty_root(self, service):
+        _, _, base = service
+        status, _, body = get(base, "/atlas")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["rows"] == 0
+        assert "layer" in payload["dimensions"]
+
+    def test_counts_served_trials(self, service):
+        store, client, base = service
+        run_campaign(store, client, count=6)
+        payload = json.loads(get(base, "/atlas")[2])
+        assert payload["rows"] == 6
+        assert payload["sources"] >= 1
+        assert len(payload["fingerprint"]) == 40
+
+
+class TestAtlasSurface:
+    def test_matches_direct_query(self, service):
+        store, client, base = service
+        run_campaign(store, client, count=6)
+        served = json.loads(
+            get(base, "/atlas/surface?x=outcome&y=status")[2])
+        # the acceptance check: the HTTP surface carries the same cells
+        # as a direct query over the atlas the service maintains
+        columns = AtlasStore(store.root + "/atlas").load()
+        direct = surface(columns, "outcome", "status").to_json()
+        assert served["cells"] == direct["cells"]
+        assert served["total_trials"] == direct["total_trials"] == 6
+
+    def test_default_dimensions_and_filters(self, service):
+        store, client, base = service
+        run_campaign(store, client, count=4)
+        payload = json.loads(get(base, "/atlas/surface")[2])
+        assert (payload["x"], payload["y"]) == ("layer", "bit")
+        assert payload["total_trials"] == 4
+        filtered = json.loads(
+            get(base, "/atlas/surface?x=outcome&y=status"
+                      "&status=nonexistent")[2])
+        assert filtered["total_trials"] == 0
+
+    def test_unknown_dimension_is_400(self, service):
+        _, _, base = service
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(base, "/atlas/surface?x=epoch&y=bit")
+        assert excinfo.value.code == 400
+
+
+class TestAtlasHeatmap:
+    def test_standalone_html(self, service):
+        store, client, base = service
+        run_campaign(store, client, count=4)
+        status, content_type, body = get(base, "/atlas/heatmap.html")
+        assert status == 200
+        assert content_type.startswith("text/html")
+        assert body.startswith("<!DOCTYPE html>")
+        assert "<svg" in body
+
+
+class TestMetrics:
+    def test_atlas_samples_exported(self, service):
+        store, client, base = service
+        run_campaign(store, client, count=6)
+        get(base, "/atlas")  # force at least one ingest pass
+        body = get(base, "/metrics")[2]
+        assert "repro_atlas_rows 6" in body
+        assert "repro_atlas_ingest_runs_total" in body
+        assert "repro_atlas_sources" in body

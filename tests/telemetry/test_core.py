@@ -164,3 +164,54 @@ def test_shutdown_flushes_pending_metrics():
     (metric,) = sink.by_type("metric")
     assert metric["name"] == "pending"
     assert metric["value"] == 5
+
+
+class TestTagScope:
+    """Ambient event tags: the executing-side half of per-trial
+    attribution under batched execution."""
+
+    def test_tags_ride_along_on_events(self):
+        sink = telemetry.InMemorySink()
+        telemetry.configure(sink)
+        with telemetry.tag_scope(trial_id="fig3/7"):
+            telemetry.event("flip", location="a/W")
+        (event,) = sink.by_type("event")
+        assert event["attrs"]["trial_id"] == "fig3/7"
+        assert event["attrs"]["location"] == "a/W"
+
+    def test_scope_is_bounded(self):
+        sink = telemetry.InMemorySink()
+        telemetry.configure(sink)
+        with telemetry.tag_scope(trial_id="x"):
+            pass
+        telemetry.event("after")
+        (event,) = sink.by_type("event")
+        assert "trial_id" not in event["attrs"]
+
+    def test_scopes_nest_inner_shadows_outer(self):
+        sink = telemetry.InMemorySink()
+        telemetry.configure(sink)
+        with telemetry.tag_scope(trial_id="outer", campaign="c"):
+            with telemetry.tag_scope(trial_id="inner"):
+                telemetry.event("deep")
+            telemetry.event("shallow")
+        deep, shallow = sink.by_type("event")
+        assert deep["attrs"]["trial_id"] == "inner"
+        assert deep["attrs"]["campaign"] == "c"
+        assert shallow["attrs"]["trial_id"] == "outer"
+
+    def test_none_valued_tags_are_dropped(self):
+        sink = telemetry.InMemorySink()
+        telemetry.configure(sink)
+        with telemetry.tag_scope(trial_id=None):
+            telemetry.event("flip")
+        (event,) = sink.by_type("event")
+        assert "trial_id" not in event["attrs"]
+
+    def test_explicit_event_attrs_win(self):
+        sink = telemetry.InMemorySink()
+        telemetry.configure(sink)
+        with telemetry.tag_scope(trial_id="ambient"):
+            telemetry.event("flip", trial_id="explicit")
+        (event,) = sink.by_type("event")
+        assert event["attrs"]["trial_id"] == "explicit"
