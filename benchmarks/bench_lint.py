@@ -1,0 +1,113 @@
+"""Whole-program lint bench: cold and warm full-repo analysis.
+
+The lint job sits on every CI push, so its wall-clock is a budget, not a
+curiosity: the whole-program pass (parse every file, build the project
+call graph, run per-file and cross-module rules) must stay under the
+--max-seconds gate on a cold cache, and the --graph-cache warm path must
+actually be warm (zero files re-parsed).
+
+Run standalone::
+
+    python benchmarks/bench_lint.py --max-seconds 30
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+from conftest import RESULTS_DIR, write_bench_result  # noqa: E402
+
+from repro.lint import analyze_paths  # noqa: E402
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def time_analysis(paths: list[str], jobs: int,
+                  cache_path: str | None) -> tuple[float, object]:
+    start = time.perf_counter()
+    result = analyze_paths(paths, jobs=jobs, cache_path=cache_path)
+    return time.perf_counter() - start, result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure whole-program lint analysis wall-clock.")
+    parser.add_argument("--paths", nargs="*", default=["src", "tests"],
+                        help="trees to analyze (default: src tests)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parser worker processes (default 1 — the "
+                             "gate is the serial worst case)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="cold repetitions; best-of wins (default 3)")
+    parser.add_argument("--max-seconds", type=float, default=None,
+                        help="exit non-zero unless the cold full-repo "
+                             "pass finishes within this budget (the CI "
+                             "gate is 30)")
+    parser.add_argument("--output", default=None,
+                        help="JSON path (default benchmarks/results/"
+                             "lint_analysis.json)")
+    args = parser.parse_args(argv)
+
+    os.chdir(REPO_ROOT)
+    cold_seconds = warm_seconds = float("inf")
+    result = warm_result = None
+    with tempfile.TemporaryDirectory() as workdir:
+        for round_index in range(max(1, args.rounds)):
+            cache = os.path.join(workdir, f"cache-{round_index}.json")
+            elapsed, result = time_analysis(args.paths, args.jobs, cache)
+            assert result.stats["parsed"] == result.stats["files"], \
+                result.stats
+            cold_seconds = min(cold_seconds, elapsed)
+            warm_elapsed, warm_result = time_analysis(
+                args.paths, args.jobs, cache)
+            assert warm_result.stats["parsed"] == 0, warm_result.stats
+            warm_seconds = min(warm_seconds, warm_elapsed)
+
+    files = result.stats["files"]
+    functions = len(result.graph.functions)
+    print(f"cold whole-program pass: {files} files, {functions} "
+          f"functions in {cold_seconds:6.2f} s")
+    print(f"warm --graph-cache pass: 0 parsed in {warm_seconds:6.2f} s "
+          f"({cold_seconds / warm_seconds:.1f}x)")
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    output = pathlib.Path(args.output) if args.output else \
+        RESULTS_DIR / "lint_analysis.json"
+    output.write_text(json.dumps({
+        "paths": args.paths,
+        "jobs": args.jobs,
+        "rounds": max(1, args.rounds),
+        "files": files,
+        "functions": functions,
+        "findings": len(result.findings),
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+    }, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {output}")
+    write_bench_result(
+        "lint_analysis",
+        params={"paths": args.paths, "jobs": args.jobs,
+                "files": files},
+        seconds=cold_seconds,
+        metadata={"warm_seconds": round(warm_seconds, 6),
+                  "functions": functions,
+                  "findings": len(result.findings)},
+    )
+
+    if args.max_seconds is not None and cold_seconds > args.max_seconds:
+        print(f"FAIL: cold pass took {cold_seconds:.2f} s "
+              f"(budget {args.max_seconds:.0f} s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

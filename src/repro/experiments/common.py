@@ -237,6 +237,15 @@ class Baseline:
     final_accuracy: float
 
 
+def _fsync_path(path: str) -> None:
+    """Flush *path*'s written bytes to disk before it is committed."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 class BaselineCache:
     """Disk cache of baseline trainings keyed by :meth:`SessionSpec.cache_key`.
 
@@ -296,6 +305,11 @@ class BaselineCache:
             # meta.json last — readers only trust complete entries.
             suffix = f".tmp.{os.getpid()}"
             baseline = self._train(spec, ckpt + suffix, final + suffix)
+            # save_checkpoint leaves the bytes in the page cache; the
+            # renames below are durable *before* unsynced data is, so a
+            # crash in between would commit a name pointing at garbage
+            _fsync_path(ckpt + suffix)
+            _fsync_path(final + suffix)
             os.replace(ckpt + suffix, ckpt)
             os.replace(final + suffix, final)
             meta = {

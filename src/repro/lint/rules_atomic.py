@@ -1,0 +1,207 @@
+"""Whole-program rule: atomic-commit discipline.
+
+Every durable artifact in the campaign pipeline — journals, stores,
+catalogs, checkpoint metadata — lands via the same three-step protocol:
+write a temp path, ``os.fsync`` it, ``os.replace`` it over the final
+name, with the commit marker (catalog/meta/manifest) written *after* the
+data it indexes.  A replace of an unfsynced temp is the classic torn
+commit: the rename is durable before the bytes are, and a crash yields a
+catalog entry pointing at garbage.
+
+The per-file rules cannot see this — the fsync routinely lives two
+helpers away (``write_json_atomic``, a facade's ``save_checkpoint``).
+This rule walks each ``os.replace``/``os.rename`` whose destination looks
+like a commit path, credits a local fsync of the source expression or an
+interprocedural one through the :func:`~repro.lint.dataflow.
+fsync_param_fixpoint` summaries of every helper the source was passed to
+(by-name call edges included, so duck-typed writers are credited), and
+flags what remains.  It also flags in-place writes of commit-marker
+paths and data replaces sequenced *after* the function's commit marker.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator
+
+from .core import CrossFinding, CrossModuleRule, cross_rule
+from .dataflow import _self_offset
+
+#: Destination path texts that make a replace a commit we police.
+COMMIT_PATH = re.compile(
+    r"journal|catalog|manifest|meta|store|ckpt|checkpoint|segment|lease",
+    re.IGNORECASE,
+)
+
+#: The commit *marker* subset: must be the last replace in a commit
+#: function, because readers trust it to index already-durable data.
+MARKER_PATH = re.compile(r"catalog|manifest|meta", re.IGNORECASE)
+
+#: Source texts that already look like the sanctioned temp-file half of
+#: the protocol's write side.
+TEMP_PATH = re.compile(r"tmp|temp|partial|\.new|suffix", re.IGNORECASE)
+
+
+@cross_rule
+class AtomicCommitRule(CrossModuleRule):
+    name = "atomic-commit"
+    description = (
+        "os.replace onto a journal/store/catalog path must replace an "
+        "fsynced temp file, with the commit marker written last"
+    )
+    rationale = (
+        "os.replace is durable before unfsynced data is; a crash between "
+        "rename and writeback leaves a catalog entry naming garbage "
+        "bytes, which a resumed campaign then replays as real results. "
+        "The fsync may live in a helper — credited through "
+        "interprocedural summaries."
+    )
+    domains = ("repro",)
+
+    def check(self, graph) -> Iterable[CrossFinding]:
+        summaries = graph.fsync_summary()
+        for qualname in sorted(graph.functions):
+            facts = graph.functions[qualname]
+            yield from self._check_replaces(graph, qualname, facts,
+                                            summaries)
+            yield from self._check_marker_order(qualname, facts)
+            yield from self._check_inplace_writes(qualname, facts)
+
+    # -- missing fsync before replace --------------------------------------
+
+    def _check_replaces(self, graph, qualname: str, facts: dict,
+                        summaries: dict) -> Iterator[CrossFinding]:
+        effects = facts["effects"]
+        params = facts.get("params", [])
+        own_summary = summaries.get(qualname, set())
+        # one commit sequence, one discipline: if any replace in this
+        # function touches a policed path, every replace here is part of
+        # the same commit and gets checked (the temp-named siblings of a
+        # flagged checkpoint are just as torn after a crash)
+        policed = any(
+            COMMIT_PATH.search(r["dst"]) or COMMIT_PATH.search(r["src"])
+            for r in effects["replaces"]
+        )
+        if not policed:
+            return
+        for replace in effects["replaces"]:
+            if replace["src_fsynced"]:
+                continue
+            if replace["src"] in params and \
+                    params.index(replace["src"]) in own_summary:
+                # a param this function is summarized as fsyncing — the
+                # fixpoint credited a helper call we also see below, but
+                # keep the cheap check for summary-only paths
+                continue
+            trace = [
+                f"{qualname} ({facts['path']}:{replace['line']}) "
+                f"os.{replace['op']}({replace['src']} -> "
+                f"{replace['dst']})",
+                f"no os.fsync of {replace['src']} before the "
+                f"{replace['op']} in {qualname}",
+            ]
+            credited = False
+            for candidate in replace["candidates"]:
+                callees = graph.resolve(qualname, candidate["name"],
+                                        by_name=True)
+                for callee in callees:
+                    offset = _self_offset(graph.functions.get(callee))
+                    if candidate["arg"] + offset in \
+                            summaries.get(callee, set()):
+                        credited = True
+                        break
+                    callee_facts = graph.functions[callee]
+                    trace.append(
+                        f"helper {candidate['name']} "
+                        f"({facts['path']}:{candidate['line']}) resolves "
+                        f"to {callee} ({callee_facts['path']}:"
+                        f"{callee_facts['line']}), which never fsyncs "
+                        f"argument {candidate['arg']}"
+                    )
+                if credited:
+                    break
+                if not callees:
+                    trace.append(
+                        f"helper {candidate['name']} "
+                        f"({facts['path']}:{candidate['line']}) is not "
+                        "resolvable to a project function"
+                    )
+            if credited:
+                continue
+            if not replace["candidates"]:
+                trace.append(
+                    f"{replace['src']} is never passed to a helper that "
+                    "could fsync it"
+                )
+            yield CrossFinding(
+                path=facts["path"], line=replace["line"],
+                message=(
+                    f"os.{replace['op']} commits {replace['src']} to "
+                    f"{replace['dst']} without an fsync on any path; "
+                    "a crash after the rename publishes unsynced bytes "
+                    "(fsync the temp file, or route through a helper "
+                    "like write_json_atomic)"
+                ),
+                trace=tuple(trace),
+            )
+
+    # -- commit marker must be last ----------------------------------------
+
+    def _check_marker_order(self, qualname: str,
+                            facts: dict) -> Iterator[CrossFinding]:
+        replaces = [r for r in facts["effects"]["replaces"]
+                    if COMMIT_PATH.search(r["dst"])]
+        markers = [r for r in replaces if MARKER_PATH.search(r["dst"])]
+        data = [r for r in replaces if not MARKER_PATH.search(r["dst"])]
+        if not markers or not data:
+            return
+        first_marker = min(markers, key=lambda r: r["line"])
+        for replace in data:
+            if replace["line"] > first_marker["line"]:
+                yield CrossFinding(
+                    path=facts["path"], line=replace["line"],
+                    message=(
+                        f"data commit of {replace['dst']} happens after "
+                        f"the commit marker {first_marker['dst']} "
+                        f"(line {first_marker['line']}); a crash in "
+                        "between leaves the marker indexing data that "
+                        "never landed — write the marker last"
+                    ),
+                    trace=(
+                        f"{qualname} ({facts['path']}:"
+                        f"{first_marker['line']}) commits marker "
+                        f"{first_marker['dst']}",
+                        f"{qualname} ({facts['path']}:{replace['line']}) "
+                        f"then commits data {replace['dst']}",
+                    ),
+                )
+
+    # -- in-place writes of commit markers ---------------------------------
+
+    def _check_inplace_writes(self, qualname: str,
+                              facts: dict) -> Iterator[CrossFinding]:
+        effects = facts["effects"]
+        replace_srcs = {r["src"] for r in effects["replaces"]}
+        for opened in effects["opens"]:
+            path = opened["path"]
+            if not MARKER_PATH.search(path):
+                continue
+            if TEMP_PATH.search(path) or path in replace_srcs:
+                continue
+            if opened["mode"] not in ("w", "wb", "w+", "x", "xb"):
+                continue
+            yield CrossFinding(
+                path=facts["path"], line=opened["line"],
+                message=(
+                    f"in-place open({path!r}, {opened['mode']!r}) "
+                    "truncates a commit-marker path; a crash mid-write "
+                    "destroys the previous marker too — write a temp "
+                    "file and os.replace it"
+                ),
+                trace=(
+                    f"{qualname} ({facts['path']}:{opened['line']}) "
+                    f"opens {path} with mode {opened['mode']!r}",
+                    f"{path} never appears as an os.replace source in "
+                    f"{qualname}",
+                ),
+            )

@@ -1,0 +1,89 @@
+"""Whole-program rule: lease-protocol discipline.
+
+Shard ownership and single-writer guarantees ride on lock files created
+with ``os.open(path, O_CREAT | O_EXCL)`` — atomic acquisition, but only
+half a protocol.  The other half is liveness: a holder that crashes (or
+is SIGKILLed, which the campaign harness does on purpose) leaves the
+file behind, and without a ttl/stale/reclaim path every future acquirer
+spins forever on a lease nobody holds.  ``FileLock`` pairs its O_EXCL
+create with ``stale_after`` + pid-liveness breaking; ``ShardLease`` pairs
+it with a ttl and ``_reclaim_if_expired``.
+
+This rule finds every ``O_CREAT|O_EXCL`` creation site in the project
+and demands evidence of the liveness half in scope: an identifier
+matching ``ttl|stale|expir|reclaim`` in the creating function, in a
+sibling method of the same class, or in a same-module function the
+creator's class can reach.  Textual evidence is deliberate — the repo's
+lease implementations all name their reclaim machinery, and a lease that
+hides its expiry under an unrelated name deserves the flag.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .core import CrossFinding, CrossModuleRule, cross_rule
+
+
+@cross_rule
+class LeaseProtocolRule(CrossModuleRule):
+    name = "lease-protocol"
+    description = (
+        "every O_CREAT|O_EXCL lock-file creation must pair with a "
+        "ttl/stale/reclaim path in the same function or class"
+    )
+    rationale = (
+        "O_EXCL acquisition without expiry turns every holder crash into "
+        "a permanently stuck lease; the harness SIGKILLs workers by "
+        "design, so orphaned lock files are the common case, not the "
+        "edge case. FileLock and ShardLease are the reference "
+        "implementations."
+    )
+    domains = ("repro",)
+
+    def check(self, graph) -> Iterable[CrossFinding]:
+        for qualname in sorted(graph.functions):
+            facts = graph.functions[qualname]
+            effects = facts["effects"]
+            if not effects["excl_creates"]:
+                continue
+            if effects["ttl_marker"]:
+                continue
+            scope, scoped = self._scope_functions(graph, facts)
+            if any(peer["effects"]["ttl_marker"] for peer in scoped):
+                continue
+            for create in effects["excl_creates"]:
+                yield CrossFinding(
+                    path=facts["path"], line=create["line"],
+                    message=(
+                        f"O_CREAT|O_EXCL lock file {create['path']} is "
+                        f"created with no ttl/stale/reclaim path in "
+                        f"{scope}; a crashed holder leaves the lease "
+                        "stuck forever — add an expiry (see FileLock's "
+                        "stale_after or ShardLease's ttl)"
+                    ),
+                    trace=(
+                        f"{qualname} ({facts['path']}:{create['line']}) "
+                        f"os.open({create['path']}, O_CREAT|O_EXCL)",
+                        f"no identifier matching ttl/stale/expir/reclaim "
+                        f"anywhere in {scope}",
+                    ),
+                )
+
+    @staticmethod
+    def _scope_functions(graph, facts: dict) -> tuple[str, list[dict]]:
+        """(scope label, peer functions) sharing the creator's liveness.
+
+        For a method, the scope is the whole class; for a module-level
+        function, it is the function alone — a reclaim path elsewhere in
+        the module is no evidence *this* lease ever expires.
+        """
+        cls = facts.get("cls")
+        if not cls:
+            return f"function {facts['name']}", [facts]
+        peers = [
+            other for other in graph.functions.values()
+            if other["module"] == facts["module"] and
+            other.get("cls") == cls
+        ]
+        return f"class {cls}", peers

@@ -1,0 +1,68 @@
+"""Whole-program rule: transitive RNG purity.
+
+The per-file ``rng-purity`` rule flags a probe or telemetry function that
+draws randomness *itself*.  The guarantee the paper's methodology needs
+is stronger: a probe must be observationally pure through every helper it
+calls, because one hidden draw anywhere downstream shifts every
+subsequent sample of a seeded campaign and silently breaks the
+probed == unprobed bit-identity oracle.
+
+This rule propagates RNG taint backwards over resolved call edges to a
+fixpoint, then flags any function *anchored in a purity domain* (health
+probes, telemetry, HDF5 validators, the linter itself) whose taint is
+transitive — the direct-draw case stays with the per-file rule, so one
+defect is never reported twice.  The ``--explain`` trace is the witness
+chain down to the actual draw.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .core import CrossFinding, CrossModuleRule, cross_rule
+
+
+@cross_rule
+class RngPurityFlowRule(CrossModuleRule):
+    name = "rng-purity-flow"
+    description = (
+        "probe/telemetry/validator functions must be transitively "
+        "RNG-free: nothing they call (at any depth) may draw randomness"
+    )
+    rationale = (
+        "a seeded campaign's bit-identity oracle compares probed and "
+        "unprobed runs; one RNG draw inside any helper a probe calls "
+        "advances the stream and shifts every later sample. Taint is "
+        "propagated over resolved call edges; direct draws are the "
+        "per-file rng-purity rule's territory."
+    )
+    domains = (
+        "repro.health",
+        "repro.telemetry",
+        "repro.hdf5.validate",
+        "repro.lint",
+    )
+
+    def check(self, graph) -> Iterable[CrossFinding]:
+        taint = graph.rng_taint()
+        for qualname in sorted(taint):
+            witness = taint[qualname]
+            if witness is None:
+                continue  # direct draw: per-file rng-purity reports it
+            facts = graph.functions[qualname]
+            if not self.applies_to(facts["module"]):
+                continue
+            callee, line = witness
+            callee_facts = graph.functions[callee]
+            yield CrossFinding(
+                path=facts["path"], line=line,
+                message=(
+                    f"{facts['name']} transitively draws RNG: it calls "
+                    f"{callee_facts['name']} ({callee_facts['path']}:"
+                    f"{callee_facts['line']}), which reaches an RNG draw; "
+                    "observational code must be pure through every helper "
+                    "— pass values in, or move the draw to the campaign "
+                    "side"
+                ),
+                trace=tuple(graph.rng_chain(qualname)),
+            )

@@ -1,0 +1,11 @@
+"""Positive fixture: os.replace onto a catalog path, temp never fsynced."""
+
+import json
+import os
+
+
+def commit_catalog(payload, catalog_path):
+    tmp = catalog_path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp, catalog_path)

@@ -1,0 +1,8 @@
+"""Positive fixture: truncating a commit-marker path in place."""
+
+import json
+
+
+def write_manifest(manifest_path, rows):
+    with open(manifest_path, "w") as handle:
+        json.dump(rows, handle)

@@ -1,0 +1,16 @@
+"""Positive fixture: the commit marker (meta) lands before the data."""
+
+import os
+
+
+def commit(store_path, meta_path):
+    _sync(meta_path + ".tmp")
+    _sync(store_path + ".tmp")
+    os.replace(meta_path + ".tmp", meta_path)
+    os.replace(store_path + ".tmp", store_path)
+
+
+def _sync(path):
+    fd = os.open(path, os.O_RDONLY)
+    os.fsync(fd)
+    os.close(fd)

@@ -1,0 +1,13 @@
+"""Negative fixture: the full temp-write + fsync + replace protocol."""
+
+import json
+import os
+
+
+def commit_catalog(payload, catalog_path):
+    tmp = catalog_path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, catalog_path)

@@ -1,0 +1,14 @@
+"""Negative fixture: the fsync lives one helper away (summary credit)."""
+
+import json
+import os
+
+from repro.helpers import flush_to_disk
+
+
+def commit_catalog(payload, catalog_path):
+    tmp = catalog_path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle)
+    flush_to_disk(tmp)
+    os.replace(tmp, catalog_path)

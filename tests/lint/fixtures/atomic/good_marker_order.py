@@ -1,0 +1,16 @@
+"""Negative fixture: data first, commit marker (meta) last."""
+
+import os
+
+
+def commit(store_path, meta_path):
+    _sync(store_path + ".tmp")
+    _sync(meta_path + ".tmp")
+    os.replace(store_path + ".tmp", store_path)
+    os.replace(meta_path + ".tmp", meta_path)
+
+
+def _sync(path):
+    fd = os.open(path, os.O_RDONLY)
+    os.fsync(fd)
+    os.close(fd)

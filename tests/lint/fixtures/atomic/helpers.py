@@ -1,0 +1,11 @@
+"""Support module: an fsync helper credited interprocedurally."""
+
+import os
+
+
+def flush_to_disk(path):
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

@@ -1,0 +1,22 @@
+"""Positive fixture: worker closure acquires a module-level lock."""
+
+import threading
+from multiprocessing import get_context
+
+_REGISTRY_LOCK = threading.Lock()
+
+
+def refresh_registry(payload):
+    with _REGISTRY_LOCK:
+        return dict(payload)
+
+
+def worker_main(payload):
+    return refresh_registry(payload)
+
+
+def launch(payload):
+    ctx = get_context("fork")
+    proc = ctx.Process(target=worker_main, args=(payload,))
+    proc.start()
+    return proc

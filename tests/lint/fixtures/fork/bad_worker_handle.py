@@ -1,0 +1,15 @@
+"""Positive fixture: worker writes through a pre-fork module handle."""
+
+from multiprocessing import get_context
+
+_JOURNAL = open("journal.log", "a")
+
+
+def worker_main(payload):
+    _JOURNAL.write(repr(payload))
+    return payload
+
+
+def launch(payload):
+    ctx = get_context("fork")
+    return ctx.Process(target=worker_main, args=(payload,))

@@ -1,0 +1,17 @@
+"""Positive fixture: worker reconfigures logging in the child."""
+
+from multiprocessing import get_context
+
+
+def setup_logging():
+    pass
+
+
+def worker_main(payload):
+    setup_logging()
+    return payload
+
+
+def launch(payload):
+    ctx = get_context("fork")
+    return ctx.Process(target=worker_main, args=(payload,))

@@ -1,0 +1,17 @@
+"""Negative fixture: worker state is created inside the worker."""
+
+import threading
+from multiprocessing import get_context
+
+
+def worker_main(payload):
+    gate = threading.Lock()
+    with gate:
+        with open("scratch.log", "a") as handle:
+            handle.write(repr(payload))
+    return payload
+
+
+def launch(payload):
+    ctx = get_context("fork")
+    return ctx.Process(target=worker_main, args=(payload,))

@@ -1,0 +1,12 @@
+"""Positive fixture: O_EXCL acquisition with no liveness half."""
+
+import os
+
+
+class SessionLock:
+    def __init__(self, path):
+        self.path = path
+
+    def acquire(self):
+        fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        os.close(fd)

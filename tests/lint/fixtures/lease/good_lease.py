@@ -1,0 +1,23 @@
+"""Negative fixture: the creating function carries its own ttl path."""
+
+import os
+import time
+
+
+class SessionLock:
+    def __init__(self, path, ttl_seconds=60.0):
+        self.path = path
+        self.ttl_seconds = ttl_seconds
+
+    def acquire(self):
+        self._reclaim_if_stale()
+        fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        os.close(fd)
+
+    def _reclaim_if_stale(self):
+        try:
+            age = time.time() - os.path.getmtime(self.path)
+        except OSError:
+            return
+        if age > self.ttl_seconds:
+            os.unlink(self.path)

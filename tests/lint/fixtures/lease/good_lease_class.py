@@ -1,0 +1,22 @@
+"""Negative fixture: the liveness half lives in a sibling method."""
+
+import os
+import time
+
+
+class GuardLock:
+    def __init__(self, path):
+        self.path = path
+
+    def acquire(self):
+        self._maybe_break()
+        fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        os.close(fd)
+
+    def _maybe_break(self):
+        try:
+            age = time.time() - os.path.getmtime(self.path)
+        except OSError:
+            return
+        if age > self.stale_after:
+            os.unlink(self.path)

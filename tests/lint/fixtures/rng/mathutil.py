@@ -1,0 +1,5 @@
+"""Support module: pure helpers."""
+
+
+def clamp(value, low=0.0, high=1.0):
+    return min(max(value, low), high)

@@ -1,0 +1,8 @@
+"""Support module: draws RNG (outside the purity domains itself)."""
+
+import numpy as np
+
+
+def jitter():
+    rng = np.random.default_rng()
+    return float(rng.normal())

@@ -1,0 +1,7 @@
+"""Positive fixture: a health probe two hops from an RNG draw."""
+
+from repro.noise import jitter
+
+
+def probe_activation(tensor):
+    return sum(tensor) + jitter()

@@ -1,0 +1,7 @@
+"""Negative fixture: a probe whose helpers are all pure."""
+
+from repro.mathutil import clamp
+
+
+def probe_activation(tensor):
+    return clamp(sum(tensor))
